@@ -1,0 +1,60 @@
+//! Ablation: §3.1 value quantization. More duplicate density → smaller
+//! Level-1 tree → faster accumulation (the §5.4 redundancy effect), at
+//! the cost of ≤1% value error. Measures the full QLOVE operator with
+//! quantization on and off, plus the raw quantization primitive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qlove_core::{Qlove, QloveConfig};
+use qlove_stream::QuantilePolicy;
+use qlove_workloads::{transform::quantize_sig_digits, NetMonGen, NormalGen};
+
+const EVENTS: usize = 200_000;
+const WINDOW: usize = 50_000;
+const PERIOD: usize = 5_000;
+
+fn bench_operator_quantization(c: &mut Criterion) {
+    let phis = [0.5, 0.9, 0.99, 0.999];
+    let mut group = c.benchmark_group("quantization_ablation");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.sample_size(10);
+
+    for (dataset, data) in [
+        ("netmon", NetMonGen::generate(5, EVENTS)),
+        ("normal", NormalGen::generate(5, EVENTS)),
+    ] {
+        for (mode, digits) in [("quantized3", Some(3)), ("raw", None)] {
+            group.bench_with_input(
+                BenchmarkId::new(dataset, mode),
+                &data,
+                |b, data| {
+                    b.iter(|| {
+                        let cfg = QloveConfig::without_fewk(&phis, WINDOW, PERIOD)
+                            .quantize(digits);
+                        let mut q = Qlove::new(cfg);
+                        let mut out = 0usize;
+                        for &v in data {
+                            if q.push(v).is_some() {
+                                out += 1;
+                            }
+                        }
+                        out
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_quantize_primitive(c: &mut Criterion) {
+    let data = NetMonGen::generate(9, EVENTS);
+    let mut group = c.benchmark_group("quantize_primitive");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.bench_function("quantize_sig_digits_3", |b| {
+        b.iter(|| -> u64 { data.iter().map(|&v| quantize_sig_digits(v, 3)).sum() });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_operator_quantization, bench_quantize_primitive);
+criterion_main!(benches);

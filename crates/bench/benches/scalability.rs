@@ -1,0 +1,62 @@
+//! Criterion micro-version of Figure 5: QLOVE vs Exact per-event cost
+//! as the sliding window grows (1K period). The full sweep with larger
+//! windows lives in the `fig5_scalability` binary; this keeps a
+//! regression-checked core of the scalability claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qlove_core::{Qlove, QloveConfig};
+use qlove_sketches::ExactPolicy;
+use qlove_stream::QuantilePolicy;
+use qlove_workloads::NormalGen;
+
+const PERIOD: usize = 1_000;
+const WINDOWS: [usize; 3] = [10_000, 100_000, 400_000];
+
+fn bench_scalability(c: &mut Criterion) {
+    let phis = [0.5, 0.9, 0.99, 0.999];
+    let mut group = c.benchmark_group("fig5_scalability");
+    group.sample_size(10);
+
+    for &window in &WINDOWS {
+        let events = window * 2 + 100_000;
+        let data = NormalGen::generate(33, events);
+        group.throughput(Throughput::Elements(events as u64));
+        group.bench_with_input(
+            BenchmarkId::new("qlove", window),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let mut q =
+                        Qlove::new(QloveConfig::without_fewk(&phis, window, PERIOD));
+                    let mut out = 0usize;
+                    for &v in data {
+                        if q.push(v).is_some() {
+                            out += 1;
+                        }
+                    }
+                    out
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact", window),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let mut e = ExactPolicy::new(&phis, window, PERIOD);
+                    let mut out = 0usize;
+                    for &v in data {
+                        if e.push(v).is_some() {
+                            out += 1;
+                        }
+                    }
+                    out
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

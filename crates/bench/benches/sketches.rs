@@ -1,0 +1,76 @@
+//! Per-sketch micro-costs: insert paths and query paths of the baseline
+//! summaries, isolated from windowing. Explains *why* the Figure-4
+//! ordering comes out the way it does (GK tuple maintenance vs tree
+//! insert vs reservoir update vs moment accumulation).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qlove_rbtree::FreqTree;
+use qlove_sketches::{GkSketch, MomentSketch};
+use qlove_workloads::NetMonGen;
+
+const N: usize = 100_000;
+
+fn bench_insert_paths(c: &mut Criterion) {
+    let data = NetMonGen::generate(3, N);
+    let mut group = c.benchmark_group("sketch_insert");
+    group.throughput(Throughput::Elements(N as u64));
+    group.sample_size(15);
+
+    group.bench_function("gk_eps_0.01", |b| {
+        b.iter(|| {
+            let mut s = GkSketch::new(0.01);
+            for &v in &data {
+                s.insert(v);
+            }
+            s.tuple_count()
+        });
+    });
+    group.bench_function("moment_k12", |b| {
+        b.iter(|| {
+            let mut s = MomentSketch::new(12);
+            for &v in &data {
+                s.insert(v);
+            }
+            s.count()
+        });
+    });
+    group.bench_function("freqtree", |b| {
+        b.iter(|| {
+            let mut t = FreqTree::new();
+            for &v in &data {
+                t.insert(v, 1);
+            }
+            t.total()
+        });
+    });
+    group.finish();
+}
+
+fn bench_query_paths(c: &mut Criterion) {
+    let data = NetMonGen::generate(3, N);
+    let mut gk = GkSketch::new(0.01);
+    let mut moment = MomentSketch::new(12);
+    let mut tree = FreqTree::new();
+    for &v in &data {
+        gk.insert(v);
+        moment.insert(v);
+        tree.insert(v, 1);
+    }
+    let phis = [0.5, 0.9, 0.99, 0.999];
+
+    let mut group = c.benchmark_group("sketch_query_4_quantiles");
+    group.sample_size(20);
+    group.bench_function("gk", |b| {
+        b.iter(|| -> Vec<u64> { phis.iter().map(|&p| gk.query(p).unwrap()).collect() });
+    });
+    group.bench_function("moment_maxent_solve", |b| {
+        b.iter(|| moment.quantiles(&phis).unwrap());
+    });
+    group.bench_function("freqtree_single_pass", |b| {
+        b.iter(|| tree.quantiles(&phis).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert_paths, bench_query_paths);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion micro-version of Figure 4: per-event cost of each policy
+//! on the NetMon workload at a sliding 100K/1K query.
+//!
+//! Run with `cargo bench -p qlove-bench --bench throughput`; the
+//! `fig4_throughput` binary produces the full-table version.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qlove_bench::configs::QMONITOR_PHIS;
+use qlove_core::{Qlove, QloveConfig};
+use qlove_sketches::{CmqsPolicy, ExactPolicy, MomentPolicy, RandomPolicy};
+use qlove_stream::QuantilePolicy;
+use qlove_workloads::NetMonGen;
+
+const WINDOW: usize = 100_000;
+const PERIOD: usize = 1_000;
+const EVENTS: usize = 300_000;
+
+fn policies() -> Vec<(&'static str, Box<dyn FnMut() -> Box<dyn QuantilePolicy>>)> {
+    let phis = &QMONITOR_PHIS;
+    vec![
+        (
+            "qlove",
+            Box::new(move || {
+                Box::new(Qlove::new(QloveConfig::without_fewk(phis, WINDOW, PERIOD)))
+                    as Box<dyn QuantilePolicy>
+            }),
+        ),
+        (
+            "qlove_fewk",
+            Box::new(move || {
+                Box::new(Qlove::new(QloveConfig::new(phis, WINDOW, PERIOD)))
+                    as Box<dyn QuantilePolicy>
+            }),
+        ),
+        (
+            "cmqs_1x",
+            Box::new(move || {
+                Box::new(CmqsPolicy::new(phis, WINDOW, PERIOD, 0.02)) as Box<dyn QuantilePolicy>
+            }),
+        ),
+        (
+            "cmqs_10x",
+            Box::new(move || {
+                Box::new(CmqsPolicy::new(phis, WINDOW, PERIOD, 0.2)) as Box<dyn QuantilePolicy>
+            }),
+        ),
+        (
+            "random",
+            Box::new(move || {
+                Box::new(RandomPolicy::from_epsilon(phis, WINDOW, PERIOD, 0.02))
+                    as Box<dyn QuantilePolicy>
+            }),
+        ),
+        (
+            "moment_k12",
+            Box::new(move || {
+                Box::new(MomentPolicy::new(phis, WINDOW, PERIOD, 12)) as Box<dyn QuantilePolicy>
+            }),
+        ),
+        (
+            "exact",
+            Box::new(move || {
+                Box::new(ExactPolicy::new(phis, WINDOW, PERIOD)) as Box<dyn QuantilePolicy>
+            }),
+        ),
+    ]
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let data = NetMonGen::generate(42, EVENTS);
+    let mut group = c.benchmark_group("fig4_throughput");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.sample_size(10);
+    for (name, mut make) in policies() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &data, |b, data| {
+            b.iter(|| {
+                let mut p = make();
+                let mut emitted = 0usize;
+                for &v in data {
+                    if p.push(v).is_some() {
+                        emitted += 1;
+                    }
+                }
+                emitted
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Run every experiment at a (scalable) default volume and print the
+//! full paper-vs-measured report. `--scale 5` for a fuller run,
+//! `--events N` for exact control.
+fn main() {
+    let events = qlove_bench::configs::events_from_args(1_000_000);
+    println!("QLOVE reproduction — full experiment suite ({events} events per experiment)");
+    print!("{}", qlove_bench::experiments::fig1::run(100_000));
+    print!("{}", qlove_bench::experiments::table1::run(events));
+    print!("{}", qlove_bench::experiments::table2::run(events));
+    print!("{}", qlove_bench::experiments::table3::run(events));
+    print!("{}", qlove_bench::experiments::table4::run(events));
+    print!("{}", qlove_bench::experiments::table5::run(events));
+    print!("{}", qlove_bench::experiments::fig4::run(events));
+    print!("{}", qlove_bench::experiments::fig5::run(events.max(2_000_000)));
+    print!("{}", qlove_bench::experiments::pareto_skew::run(events));
+    print!("{}", qlove_bench::experiments::redundancy::run(events.min(1_000_000)));
+    print!("{}", qlove_bench::experiments::fewk_throughput::run(events));
+    print!("{}", qlove_bench::experiments::theorem1::run(events.min(600_000)));
+    print!("{}", qlove_bench::experiments::extended::run(events));
+}

@@ -1,0 +1,5 @@
+//! Extended (beyond-paper) comparison: QLOVE vs DDSketch/KLL/CKMS.
+fn main() {
+    let events = qlove_bench::configs::events_from_args(qlove_bench::configs::DEFAULT_EVENTS);
+    println!("{}", qlove_bench::experiments::extended::run(events));
+}

@@ -1,0 +1,5 @@
+//! Regenerate the §5.3 few-k throughput study.
+fn main() {
+    let events = qlove_bench::configs::events_from_args(qlove_bench::configs::DEFAULT_EVENTS);
+    println!("{}", qlove_bench::experiments::fewk_throughput::run(events));
+}

@@ -1,0 +1,5 @@
+//! Regenerate Figure 1: the NetMon latency histogram.
+fn main() {
+    let events = qlove_bench::configs::events_from_args(100_000);
+    println!("{}", qlove_bench::experiments::fig1::run(events));
+}

@@ -1,0 +1,5 @@
+//! Regenerate Figure 4: throughput of QLOVE vs CMQS vs Exact.
+fn main() {
+    let events = qlove_bench::configs::events_from_args(qlove_bench::configs::DEFAULT_EVENTS);
+    println!("{}", qlove_bench::experiments::fig4::run(events));
+}

@@ -1,0 +1,5 @@
+//! Regenerate Figure 5: throughput vs window size.
+fn main() {
+    let events = qlove_bench::configs::events_from_args(3_000_000);
+    println!("{}", qlove_bench::experiments::fig5::run(events));
+}

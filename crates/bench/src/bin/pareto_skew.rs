@@ -1,0 +1,5 @@
+//! Regenerate the §5.4 Pareto skewness study.
+fn main() {
+    let events = qlove_bench::configs::events_from_args(qlove_bench::configs::DEFAULT_EVENTS);
+    println!("{}", qlove_bench::experiments::pareto_skew::run(events));
+}

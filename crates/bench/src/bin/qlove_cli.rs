@@ -1,0 +1,156 @@
+//! `qlove_cli` — run a quantile monitor over values from stdin.
+//!
+//! Reads one non-negative integer per line (e.g. latency in µs) and
+//! prints an evaluation line every window period:
+//!
+//! ```text
+//! some_producer | qlove_cli --window 100000 --period 10000 \
+//!                           --phis 0.5,0.99,0.999 --policy qlove
+//! # or replay a generated trace:
+//! qlove_cli --demo netmon --events 500000
+//! ```
+//!
+//! Policies: `qlove` (default), `exact`, `cmqs`, `am`, `random`,
+//! `moment`, `ddsketch`, `kll`, `ckms`, `tdigest`.
+
+use qlove_core::{Qlove, QloveConfig};
+use qlove_sketches::{
+    AmPolicy, CkmsPolicy, CmqsPolicy, DdSketchPolicy, ExactPolicy, KllPolicy, MomentPolicy,
+    RandomPolicy, TDigestPolicy,
+};
+use qlove_stream::QuantilePolicy;
+use std::io::{BufRead, Write};
+
+struct Args {
+    window: usize,
+    period: usize,
+    phis: Vec<f64>,
+    policy: String,
+    demo: Option<String>,
+    events: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        window: 100_000,
+        period: 10_000,
+        phis: vec![0.5, 0.9, 0.99, 0.999],
+        policy: "qlove".into(),
+        demo: None,
+        events: 1_000_000,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        let need_value = |i: usize| -> Result<&str, String> {
+            argv.get(i + 1)
+                .map(String::as_str)
+                .ok_or_else(|| format!("{} needs a value", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--window" => args.window = need_value(i)?.parse().map_err(|e| format!("{e}"))?,
+            "--period" => args.period = need_value(i)?.parse().map_err(|e| format!("{e}"))?,
+            "--events" => args.events = need_value(i)?.parse().map_err(|e| format!("{e}"))?,
+            "--policy" => args.policy = need_value(i)?.to_string(),
+            "--demo" => args.demo = Some(need_value(i)?.to_string()),
+            "--phis" => {
+                args.phis = need_value(i)?
+                    .split(',')
+                    .map(|s| s.trim().parse::<f64>().map_err(|e| format!("{e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: qlove_cli [--window N] [--period K] [--phis a,b,c] \
+                     [--policy qlove|exact|cmqs|am|random|moment|ddsketch|kll|ckms|tdigest] \
+                     [--demo netmon|search|normal|uniform|pareto --events N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    Ok(args)
+}
+
+fn make_policy(a: &Args) -> Result<Box<dyn QuantilePolicy>, String> {
+    let (phis, w, p) = (&a.phis[..], a.window, a.period);
+    Ok(match a.policy.as_str() {
+        "qlove" => Box::new(Qlove::new(QloveConfig::new(phis, w, p))),
+        "exact" => Box::new(ExactPolicy::new(phis, w, p)),
+        "cmqs" => Box::new(CmqsPolicy::new(phis, w, p, 0.02)),
+        "am" => Box::new(AmPolicy::new(phis, w, p, 0.02)),
+        "random" => Box::new(RandomPolicy::from_epsilon(phis, w, p, 0.02)),
+        "moment" => Box::new(MomentPolicy::new(phis, w, p, 12)),
+        "ddsketch" => Box::new(DdSketchPolicy::new(phis, w, p, 0.01)),
+        "kll" => Box::new(KllPolicy::new(phis, w, p, 200, 0xC11)),
+        "ckms" => Box::new(CkmsPolicy::new(phis, w, p, 0.02)),
+        "tdigest" => Box::new(TDigestPolicy::new(phis, w, p, 200.0)),
+        other => return Err(format!("unknown policy {other}")),
+    })
+}
+
+fn demo_values(name: &str, n: usize) -> Result<Vec<u64>, String> {
+    Ok(match name {
+        "netmon" => qlove_workloads::NetMonGen::generate(42, n),
+        "search" => qlove_workloads::SearchGen::generate(42, n),
+        "normal" => qlove_workloads::NormalGen::generate(42, n),
+        "uniform" => qlove_workloads::UniformGen::generate(42, n),
+        "pareto" => qlove_workloads::ParetoGen::generate(42, n),
+        other => return Err(format!("unknown demo workload {other}")),
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let mut policy = make_policy(&args)?;
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let header: Vec<String> = args.phis.iter().map(|p| format!("Q{p}")).collect();
+    writeln!(out, "# event\t{}\tspace", header.join("\t")).map_err(|e| e.to_string())?;
+
+    let mut feed = |i: usize, v: u64, policy: &mut Box<dyn QuantilePolicy>| {
+        if let Some(ans) = policy.push(v) {
+            let cells: Vec<String> = ans.iter().map(u64::to_string).collect();
+            let _ = writeln!(
+                out,
+                "{}\t{}\t{}",
+                i + 1,
+                cells.join("\t"),
+                policy.space_variables()
+            );
+        }
+    };
+
+    match &args.demo {
+        Some(name) => {
+            for (i, v) in demo_values(name, args.events)?.into_iter().enumerate() {
+                feed(i, v, &mut policy);
+            }
+        }
+        None => {
+            let stdin = std::io::stdin();
+            for (i, line) in stdin.lock().lines().enumerate() {
+                let line = line.map_err(|e| e.to_string())?;
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('#') {
+                    continue;
+                }
+                let v: u64 = t
+                    .parse()
+                    .map_err(|_| format!("line {}: not a non-negative integer: {t}", i + 1))?;
+                feed(i, v, &mut policy);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("qlove_cli: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerate the §5.4 data-redundancy throughput study.
+fn main() {
+    let events = qlove_bench::configs::events_from_args(1_000_000);
+    println!("{}", qlove_bench::experiments::redundancy::run(events));
+}

@@ -1,0 +1,5 @@
+//! Regenerate Table 1: accuracy and space of the five policies.
+fn main() {
+    let events = qlove_bench::configs::events_from_args(qlove_bench::configs::DEFAULT_EVENTS);
+    println!("{}", qlove_bench::experiments::table1::run(events));
+}

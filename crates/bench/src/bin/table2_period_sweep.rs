@@ -1,0 +1,5 @@
+//! Regenerate Table 2: QLOVE error without few-k vs period size.
+fn main() {
+    let events = qlove_bench::configs::events_from_args(qlove_bench::configs::DEFAULT_EVENTS);
+    println!("{}", qlove_bench::experiments::table2::run(events));
+}

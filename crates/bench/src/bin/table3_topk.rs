@@ -1,0 +1,5 @@
+//! Regenerate Table 3: top-k merging fractions at Q0.999.
+fn main() {
+    let events = qlove_bench::configs::events_from_args(qlove_bench::configs::DEFAULT_EVENTS);
+    println!("{}", qlove_bench::experiments::table3::run(events));
+}

@@ -1,0 +1,5 @@
+//! Regenerate Table 4: sample-k merging under injected bursts.
+fn main() {
+    let events = qlove_bench::configs::events_from_args(qlove_bench::configs::DEFAULT_EVENTS);
+    println!("{}", qlove_bench::experiments::table4::run(events));
+}

@@ -1,0 +1,5 @@
+//! Regenerate Table 5: QLOVE on AR(1) non-i.i.d. data.
+fn main() {
+    let events = qlove_bench::configs::events_from_args(qlove_bench::configs::DEFAULT_EVENTS);
+    println!("{}", qlove_bench::experiments::table5::run(events));
+}

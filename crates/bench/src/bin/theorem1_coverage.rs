@@ -1,0 +1,5 @@
+//! Empirical coverage check of the Theorem-1 error bound.
+fn main() {
+    let events = qlove_bench::configs::events_from_args(500_000);
+    println!("{}", qlove_bench::experiments::theorem1::run(events));
+}

@@ -1,0 +1,87 @@
+//! The paper's standard experiment configurations.
+//!
+//! Every harness binary accepts `--scale <f>` to shrink/grow dataset
+//! volume; the *query shapes* (window/period ratios, quantile sets, ε
+//! values) are fixed to the paper's.
+
+/// The four quantiles of `Qmonitor` (§5.1).
+pub const QMONITOR_PHIS: [f64; 4] = [0.5, 0.9, 0.99, 0.999];
+
+/// Table 1: 16K period, 128K window, ε = 0.02, Moment K = 12.
+pub const TABLE1_WINDOW: usize = 128_000;
+/// Table 1's window period.
+pub const TABLE1_PERIOD: usize = 16_000;
+/// ε used by CMQS/AM/Random in Table 1.
+pub const TABLE1_EPSILON: f64 = 0.02;
+/// Moment-sketch order in Table 1.
+pub const TABLE1_MOMENT_K: usize = 12;
+
+/// Figure 4: 1K period, 100K window.
+pub const FIG4_WINDOW: usize = 100_000;
+/// Figure 4's window period.
+pub const FIG4_PERIOD: usize = 1_000;
+
+/// Table 2: window 128K, periods 64K → 1K.
+pub const TABLE2_PERIODS: [usize; 7] = [64_000, 32_000, 16_000, 8_000, 4_000, 2_000, 1_000];
+
+/// Table 3: top-k fractions swept at Q0.999.
+pub const TABLE3_FRACTIONS: [f64; 2] = [0.1, 0.5];
+/// Table 3's periods.
+pub const TABLE3_PERIODS: [usize; 4] = [8_000, 4_000, 2_000, 1_000];
+
+/// Table 4: sample-k fractions (0 = no sampling).
+pub const TABLE4_FRACTIONS: [f64; 3] = [0.0, 0.1, 0.5];
+/// Table 4's periods.
+pub const TABLE4_PERIODS: [usize; 2] = [16_000, 4_000];
+
+/// Table 5: AR(1) correlation coefficients reported.
+pub const TABLE5_PSIS: [f64; 3] = [0.0, 0.2, 0.8];
+/// Table 5's quantiles.
+pub const TABLE5_PHIS: [f64; 3] = [0.5, 0.9, 0.99];
+
+/// Default number of stream events for accuracy experiments (the paper
+/// streams 10M-entry datasets; 2M keeps a laptop run under a minute per
+/// table while giving 100+ evaluations at the Table 1 configuration).
+pub const DEFAULT_EVENTS: usize = 2_000_000;
+
+/// Parse `--scale <f>` / `--events <n>` style flags from `args`,
+/// returning the scaled event count (and leaving interpretation of other
+/// flags to the caller).
+pub fn events_from_args(default_events: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let mut events = default_events;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--events" if i + 1 < args.len() => {
+                events = args[i + 1].parse().unwrap_or(default_events);
+                i += 1;
+            }
+            "--scale" if i + 1 < args.len() => {
+                let f: f64 = args[i + 1].parse().unwrap_or(1.0);
+                events = ((default_events as f64) * f) as usize;
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_matches_paper() {
+        assert_eq!(TABLE1_WINDOW / TABLE1_PERIOD, 8);
+        assert_eq!(QMONITOR_PHIS.len(), 4);
+    }
+
+    #[test]
+    fn default_events_cover_many_evaluations() {
+        let evals = (DEFAULT_EVENTS - TABLE1_WINDOW) / TABLE1_PERIOD + 1;
+        assert!(evals > 100);
+    }
+}

@@ -1,0 +1,49 @@
+//! §5.3 few-k throughput: the cost of the tail caches at the most
+//! resource-demanding query (1K period, 128K window, Q0.999) as the
+//! caching fraction grows.
+//!
+//! Paper shape: fraction 1.0 costs ~21% throughput vs no few-k;
+//! fraction 0.2 recovers to ~9% while already achieving ~0.6% error.
+
+use crate::configs::*;
+use crate::harness::{measure_accuracy, measure_throughput};
+use crate::table::{f, Table};
+use qlove_core::{FewKConfig, Qlove, QloveConfig};
+
+const FRACTIONS: [f64; 4] = [0.0, 0.2, 0.5, 1.0];
+
+/// Run the sweep over `events` NetMon samples.
+pub fn run(events: usize) -> String {
+    let (w, p, phi) = (TABLE1_WINDOW, 1_000, 0.999);
+    let data = super::netmon(events.max(w * 2));
+
+    let mut out = super::header(
+        "§5.3 few-k throughput — caching fraction vs speed and accuracy",
+        &format!(
+            "NetMon ({} events), window {w}, period {p}, Q{phi}; paper: \
+             21.2% penalty at fraction 1, 9.0% at 0.2 (err 0.6%)",
+            data.len()
+        ),
+    );
+    let mut t = Table::new(["fraction", "M ev/s", "penalty", "val err %"]);
+    let mut base_tput = 0.0;
+    for &fraction in &FRACTIONS {
+        let fewk = (fraction > 0.0).then(|| FewKConfig::with_fractions(fraction, 0.0));
+        let cfg = QloveConfig::new(&[phi], w, p).fewk(fewk);
+        let mut q = Qlove::new(cfg.clone());
+        let tput = measure_throughput(&mut q, &data);
+        if fraction == 0.0 {
+            base_tput = tput;
+        }
+        let mut q2 = Qlove::new(cfg);
+        let acc = measure_accuracy(&mut q2, &data, w);
+        t.row([
+            format!("{fraction}"),
+            f(tput, 3),
+            format!("{:+.1}%", (tput / base_tput - 1.0) * 100.0),
+            f(acc.per_phi[0].avg_value_err_pct, 2),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}

@@ -1,0 +1,66 @@
+//! Figure 4: single-thread throughput of QLOVE vs CMQS at ε ∈
+//! {1×, 5×, 10×} vs Exact, on NetMon with a 1K period / 100K window
+//! query answering the four Qmonitor quantiles.
+//!
+//! Shape to reproduce: QLOVE above Exact and every CMQS setting;
+//! CMQS(1×) *below* Exact (aggressive ε costs more than exact
+//! computation); CMQS recovering with looser ε but never reaching QLOVE.
+
+use crate::configs::*;
+use crate::harness::measure_throughput;
+use crate::table::{f, Table};
+use qlove_core::{Qlove, QloveConfig};
+use qlove_sketches::{CmqsPolicy, ExactPolicy};
+use qlove_stream::QuantilePolicy;
+
+/// Run the comparison over `events` NetMon samples.
+pub fn run(events: usize) -> String {
+    let data = super::netmon(events.max(FIG4_WINDOW * 2));
+    let (w, p) = (FIG4_WINDOW, FIG4_PERIOD);
+    let phis = &QMONITOR_PHIS;
+    let base_eps = 0.02;
+
+    let mut policies: Vec<(String, Box<dyn QuantilePolicy>)> = vec![
+        (
+            "QLOVE".into(),
+            Box::new(Qlove::new(QloveConfig::without_fewk(phis, w, p))),
+        ),
+        (
+            "CMQS(1x)".into(),
+            Box::new(CmqsPolicy::new(phis, w, p, base_eps)),
+        ),
+        (
+            "CMQS(5x)".into(),
+            Box::new(CmqsPolicy::new(phis, w, p, base_eps * 5.0)),
+        ),
+        (
+            "CMQS(10x)".into(),
+            Box::new(CmqsPolicy::new(phis, w, p, base_eps * 10.0)),
+        ),
+        ("Exact".into(), Box::new(ExactPolicy::new(phis, w, p))),
+    ];
+
+    let mut out = super::header(
+        "Figure 4 — throughput comparison (M events/s, single thread)",
+        &format!(
+            "NetMon ({} events), window {w}, period {p}; paper shape: \
+             QLOVE > CMQS(10x) > CMQS(5x) > Exact > CMQS(1x)",
+            data.len()
+        ),
+    );
+    let mut t = Table::new(["policy", "M ev/s", "vs Exact"]);
+    let mut rows = Vec::new();
+    let mut exact_tput = 0.0;
+    for (name, policy) in policies.iter_mut() {
+        let tput = measure_throughput(policy.as_mut(), &data);
+        if name == "Exact" {
+            exact_tput = tput;
+        }
+        rows.push((name.clone(), tput));
+    }
+    for (name, tput) in rows {
+        t.row([name, f(tput, 3), format!("{:.2}x", tput / exact_tput)]);
+    }
+    out.push_str(&t.render());
+    out
+}

@@ -1,0 +1,68 @@
+//! Figure 5: scalability — throughput of QLOVE vs Exact as the window
+//! grows from 1K to 100M elements (1K period) on the Normal and Uniform
+//! synthetic datasets.
+//!
+//! Shape to reproduce: QLOVE's throughput is flat across window sizes;
+//! Exact collapses as soon as the window slides (deaccumulation +
+//! whole-window state), with the paper quoting ~79% degradation already
+//! at a 10K window.
+//!
+//! Default sweep stops at 1M (laptop-friendly); pass a larger `events`
+//! (e.g. via `--scale`) to extend — window sizes are capped so that
+//! `window·2 ≤ events`.
+
+use crate::harness::measure_throughput_streaming;
+use crate::table::{f, Table};
+use qlove_core::{Qlove, QloveConfig};
+use qlove_sketches::ExactPolicy;
+use qlove_workloads::{NormalGen, UniformGen};
+
+const WINDOWS: [usize; 5] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+const PERIOD: usize = 1_000;
+
+/// Run the sweep; `events` bounds both stream length and max window.
+pub fn run(events: usize) -> String {
+    let events = events.max(200_000);
+    let phis = [0.5, 0.9, 0.99, 0.999];
+
+    let mut out = super::header(
+        "Figure 5 — scalability: throughput vs window size (1K period)",
+        &format!(
+            "Normal(1M, 50K) and Uniform(90..110) streams, {events} events \
+             per point; paper shape: QLOVE flat, Exact degrades once sliding"
+        ),
+    );
+    for dataset in ["Normal", "Uniform"] {
+        out.push_str(&format!("\n[{dataset}]\n"));
+        let mut t = Table::new(["window", "QLOVE M ev/s", "Exact M ev/s", "QLOVE/Exact"]);
+        for &w in &WINDOWS {
+            if w * 2 > events {
+                continue;
+            }
+            let stream = |seed: u64| -> Box<dyn Iterator<Item = u64>> {
+                match dataset {
+                    "Normal" => Box::new(NormalGen::paper(seed).take(events)),
+                    _ => Box::new(UniformGen::paper(seed).take(events)),
+                }
+            };
+            let mut qlove = Qlove::new(QloveConfig::without_fewk(&phis, w, PERIOD));
+            let tq = measure_throughput_streaming(&mut qlove, stream(33));
+            let mut exact = ExactPolicy::new(&phis, w, PERIOD);
+            let te = measure_throughput_streaming(&mut exact, stream(33));
+            t.row([
+                w.to_string(),
+                f(tq, 3),
+                f(te, 3),
+                format!("{:.1}x", tq / te),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+/// The window sizes the sweep covers for a given event budget (used by
+/// tests to know what to expect).
+pub fn windows_for(events: usize) -> Vec<usize> {
+    WINDOWS.iter().copied().filter(|w| w * 2 <= events).collect()
+}

@@ -1,0 +1,30 @@
+//! One module per table/figure of the paper. Each exposes
+//! `run(events) -> String` returning the rendered report, so the thin
+//! binaries and the `experiments_all` runner share identical logic.
+
+pub mod extended;
+pub mod fewk_throughput;
+pub mod fig1;
+pub mod fig4;
+pub mod fig5;
+pub mod pareto_skew;
+pub mod redundancy;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod theorem1;
+
+/// Shared seed so every experiment sees the same NetMon trace.
+pub(crate) const NETMON_SEED: u64 = 42;
+
+/// Generate the shared NetMon stand-in trace.
+pub(crate) fn netmon(events: usize) -> Vec<u64> {
+    qlove_workloads::NetMonGen::generate(NETMON_SEED, events)
+}
+
+/// Section header used by every report.
+pub(crate) fn header(title: &str, detail: &str) -> String {
+    format!("\n=== {title} ===\n{detail}\n\n")
+}

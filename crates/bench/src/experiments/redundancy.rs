@@ -1,0 +1,69 @@
+//! §5.4 data redundancy: throughput gain from low-precision (100 µs)
+//! variants of NetMon and Search — two low-order digits dropped — for a
+//! tumbling 1K window and a sliding 100K/1K query.
+//!
+//! Paper shape: clear gains everywhere; bigger gains on sliding windows
+//! (tree stays smaller for both accumulate and deaccumulate); NetMon
+//! gains more than Search (more of its values collide at 100 µs
+//! precision). Quantization is disabled in the operator so the gain
+//! isolates the *dataset* precision effect, as in the paper.
+
+use crate::harness::measure_throughput;
+use crate::table::{f, Table};
+use qlove_core::{Qlove, QloveConfig};
+use qlove_sketches::ExactPolicy;
+use qlove_stream::QuantilePolicy;
+use qlove_workloads::transform::drop_low_digits;
+use qlove_workloads::SearchGen;
+
+/// Run the study over `events` samples per dataset.
+pub fn run(events: usize) -> String {
+    let events = events.max(400_000);
+    let phis = [0.5, 0.9, 0.99, 0.999];
+    let queries: [(&str, usize, usize); 2] =
+        [("tumbling 1K", 1_000, 1_000), ("sliding 100K/1K", 100_000, 1_000)];
+
+    let mut out = super::header(
+        "§5.4 data redundancy — low-precision (drop 2 digits) speedup",
+        &format!(
+            "{events} events per dataset; paper: 2.7×/1.8× tumbling gains \
+             (NetMon/Search), 3.7–4.6× sliding"
+        ),
+    );
+    let mut t = Table::new(["dataset", "query", "policy", "orig M ev/s", "lowprec M ev/s", "gain"]);
+    for dataset in ["NetMon", "Search"] {
+        let original: Vec<u64> = match dataset {
+            "NetMon" => super::netmon(events),
+            _ => SearchGen::generate(super::NETMON_SEED, events),
+        };
+        let mut lowprec = original.clone();
+        drop_low_digits(&mut lowprec, 2);
+
+        for &(qname, w, p) in &queries {
+            for policy_name in ["QLOVE", "Exact"] {
+                let make = |_: &str| -> Box<dyn QuantilePolicy> {
+                    match policy_name {
+                        "QLOVE" => Box::new(Qlove::new(
+                            QloveConfig::without_fewk(&phis, w, p).quantize(None),
+                        )),
+                        _ => Box::new(ExactPolicy::new(&phis, w, p)),
+                    }
+                };
+                let mut a = make("orig");
+                let t_orig = measure_throughput(a.as_mut(), &original);
+                let mut b = make("low");
+                let t_low = measure_throughput(b.as_mut(), &lowprec);
+                t.row([
+                    dataset.to_string(),
+                    qname.to_string(),
+                    policy_name.to_string(),
+                    f(t_orig, 3),
+                    f(t_low, 3),
+                    format!("{:.2}x", t_low / t_orig),
+                ]);
+            }
+        }
+    }
+    out.push_str(&t.render());
+    out
+}

@@ -1,0 +1,60 @@
+//! Table 2: QLOVE's average relative value error **without few-k
+//! merging** for period sizes 64K → 1K at a 128K window on NetMon.
+//! The paper's finding to reproduce: Q0.5/Q0.9 stay below 1% at every
+//! period, while Q0.999 degrades sharply as periods shrink (statistical
+//! inefficiency), reaching ~19% at 1K.
+
+use crate::configs::*;
+use crate::harness::measure_accuracy;
+use crate::table::{f, Table};
+use qlove_core::{Qlove, QloveConfig};
+
+/// Paper's Table 2 (value error %, rows = quantile, cols = period).
+pub const PAPER: [[f64; 7]; 4] = [
+    [0.04, 0.06, 0.10, 0.15, 0.22, 0.28, 0.35],
+    [0.03, 0.04, 0.06, 0.08, 0.10, 0.14, 0.27],
+    [0.13, 0.27, 0.78, 1.27, 1.73, 2.27, 3.39],
+    [1.82, 3.31, 4.40, 7.04, 10.46, 10.55, 18.93],
+];
+
+/// Run the sweep over `events` NetMon samples; returns the rendered
+/// report and (via [`run_matrix`]) the measured error matrix.
+pub fn run(events: usize) -> String {
+    let (report, _) = run_matrix(events);
+    report
+}
+
+/// Like [`run`] but also returns `errors[phi_idx][period_idx]` for
+/// integration tests.
+pub fn run_matrix(events: usize) -> (String, Vec<Vec<f64>>) {
+    let data = super::netmon(events.max(TABLE1_WINDOW * 2));
+    let w = TABLE1_WINDOW;
+    let phis = &QMONITOR_PHIS;
+    let mut errors = vec![vec![f64::NAN; TABLE2_PERIODS.len()]; phis.len()];
+
+    for (pi, &period) in TABLE2_PERIODS.iter().enumerate() {
+        let mut q = Qlove::new(QloveConfig::without_fewk(phis, w, period));
+        let r = measure_accuracy(&mut q, &data, w);
+        for (qi, pa) in r.per_phi.iter().enumerate() {
+            errors[qi][pi] = pa.avg_value_err_pct;
+        }
+    }
+
+    let mut out = super::header(
+        "Table 2 — QLOVE value error without few-k vs period size",
+        &format!("NetMon ({} events), window {w}, periods 64K → 1K", data.len()),
+    );
+    let mut t = Table::new([
+        "quantile", "64K", "32K", "16K", "8K", "4K", "2K", "1K", " ", "paper@16K", "paper@1K",
+    ]);
+    for (qi, &phi) in phis.iter().enumerate() {
+        let mut row: Vec<String> = vec![format!("{phi}")];
+        row.extend(errors[qi].iter().map(|&e| f(e, 2)));
+        row.push(String::new());
+        row.push(f(PAPER[qi][2], 2));
+        row.push(f(PAPER[qi][6], 2));
+        t.row(row);
+    }
+    out.push_str(&t.render());
+    (out, errors)
+}

@@ -1,0 +1,78 @@
+//! Table 4: sample-k merging under injected bursty traffic — average
+//! relative error (and sample space) for sampling fractions 0, 0.1, 0.5
+//! at Q0.99/Q0.999, window 128K, periods 16K and 4K.
+//!
+//! Burst injection follows §5.3: the top `N(1−φ)` elements of every
+//! `(N/P)`-th sub-window are multiplied by 10, so exactly one burst is
+//! live in every evaluation of the sliding window. Shape to reproduce:
+//! fraction 0 is catastrophic (tens of percent at Q0.999, and Q0.99
+//! compromised at the 4K period), fraction 0.5 repairs both to ~1–2%.
+
+use crate::configs::*;
+use crate::harness::measure_accuracy;
+use crate::table::{f, Table};
+use qlove_core::{fewk::tail_need, FewKConfig, Qlove, QloveConfig};
+use qlove_workloads::burst::inject_burst;
+
+/// Paper's Table 4: rows = fraction, cols = (16K Q0.99, 16K Q0.999,
+/// 4K Q0.99, 4K Q0.999).
+const PAPER: [[f64; 4]; 3] = [
+    [0.08, 44.10, 28.15, 55.36],
+    [0.14, 25.97, 0.43, 17.38],
+    [0.05, 1.75, 0.30, 1.52],
+];
+
+/// Run the sweep over `events` burst-injected NetMon samples.
+pub fn run(events: usize) -> String {
+    let w = TABLE1_WINDOW;
+    let phis = [0.99, 0.999];
+    let base = super::netmon(events.max(w * 2));
+
+    let mut out = super::header(
+        "Table 4 — sample-k merging under bursty traffic: value error",
+        &format!(
+            "NetMon ({} events) with 10× bursts on the top N(1−0.999) of \
+             every (N/P)-th sub-window; window {w}",
+            base.len()
+        ),
+    );
+    let mut t = Table::new([
+        "fraction",
+        "16K Q.99",
+        "16K Q.999",
+        "4K Q.99",
+        "4K Q.999",
+        " ",
+        "paper 16K Q.999",
+        "paper 4K Q.999",
+    ]);
+    for (fi, &fraction) in TABLE4_FRACTIONS.iter().enumerate() {
+        let mut cells: Vec<String> = vec![format!("{fraction}")];
+        for &period in &TABLE4_PERIODS {
+            // Fresh burst-injected copy per period (bursts align with P).
+            let mut data = base.clone();
+            inject_burst(&mut data, w, period, 0.999, 10);
+            let fewk = if fraction > 0.0 {
+                Some(FewKConfig::with_fractions(0.0, fraction))
+            } else {
+                None
+            };
+            let cfg = QloveConfig::new(&phis, w, period).fewk(fewk);
+            let mut q = Qlove::new(cfg);
+            let r = measure_accuracy(&mut q, &data, w);
+            for (qi, &phi) in phis.iter().enumerate() {
+                let space = ((tail_need(w, phi) as f64 * fraction).ceil() as usize) * (w / period);
+                cells.push(format!(
+                    "{} ({space})",
+                    f(r.per_phi[qi].avg_value_err_pct, 2)
+                ));
+            }
+        }
+        cells.push(String::new());
+        cells.push(f(PAPER[fi][1], 2));
+        cells.push(f(PAPER[fi][3], 2));
+        t.row(cells);
+    }
+    out.push_str(&t.render());
+    out
+}

@@ -1,0 +1,177 @@
+//! Policy-agnostic measurement loops.
+
+use qlove_rbtree::FreqTree;
+use qlove_stats::{quantile_rank, relative_error_pct};
+use qlove_stream::QuantilePolicy;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Per-quantile accuracy accumulation.
+#[derive(Debug, Clone)]
+pub struct PhiAccuracy {
+    /// The quantile fraction.
+    pub phi: f64,
+    /// Average relative value error in percent (§5.1's metric).
+    pub avg_value_err_pct: f64,
+    /// Average normalized rank error `e′` (§5.2's metric).
+    pub avg_rank_err: f64,
+    /// Worst single-evaluation relative value error in percent.
+    pub max_value_err_pct: f64,
+}
+
+/// Output of [`measure_accuracy`].
+#[derive(Debug, Clone)]
+pub struct AccuracyReport {
+    /// Per-quantile averages over all evaluations.
+    pub per_phi: Vec<PhiAccuracy>,
+    /// Number of query evaluations contributing to the averages.
+    pub evaluations: usize,
+    /// Peak observed space in variables across the run.
+    pub peak_space: usize,
+}
+
+/// Drive `policy` over `data` and compare every emission against the
+/// exact quantiles of the same `window`-element suffix.
+///
+/// The policy must be freshly constructed for `window`/`period`; the
+/// harness trusts its evaluation schedule and only uses `window` to
+/// slice the ground-truth view.
+pub fn measure_accuracy(
+    policy: &mut dyn QuantilePolicy,
+    data: &[u64],
+    window: usize,
+) -> AccuracyReport {
+    let phis = policy.phis().to_vec();
+    let mut sum_val = vec![0.0f64; phis.len()];
+    let mut sum_rank = vec![0.0f64; phis.len()];
+    let mut max_val = vec![0.0f64; phis.len()];
+    let mut evals = 0usize;
+    let mut peak_space = 0usize;
+
+    // Incremental ground truth: an exact frequency tree over the live
+    // window (so sweeps with 1K periods do not re-sort 128K elements
+    // thousands of times).
+    let mut truth: FreqTree<u64> = FreqTree::new();
+    let mut live: VecDeque<u64> = VecDeque::with_capacity(window + 1);
+
+    for (i, &v) in data.iter().enumerate() {
+        truth.insert(v, 1);
+        live.push_back(v);
+        if live.len() > window {
+            let old = live.pop_front().expect("len > window");
+            truth.remove(old, 1).expect("previously inserted");
+        }
+        // Sample space on a coarse schedule (and at evaluations) so the
+        // peak captures mid-sub-window fill, not just post-reset lows.
+        if i % 1009 == 0 {
+            peak_space = peak_space.max(policy.space_variables());
+        }
+        if let Some(ans) = policy.push(v) {
+            peak_space = peak_space.max(policy.space_variables());
+            evals += 1;
+            for (j, &phi) in phis.iter().enumerate() {
+                let exact = truth.quantile(phi).expect("window non-empty");
+                let val_err = relative_error_pct(ans[j] as f64, exact as f64);
+                sum_val[j] += val_err;
+                max_val[j] = max_val[j].max(val_err);
+                // Rank error: distance from the target rank to the
+                // nearest rank occupied by the returned value (duplicates
+                // occupy a rank span; any rank inside it is error-free).
+                let exact_r = quantile_rank(phi, window) as u64;
+                let hi = truth.rank_of(ans[j]).max(1);
+                let lo = (hi + 1).saturating_sub(truth.count_of(ans[j])).max(1);
+                let dist = if exact_r < lo {
+                    lo - exact_r
+                } else {
+                    exact_r.saturating_sub(hi)
+                };
+                sum_rank[j] += dist as f64 / window as f64;
+            }
+        }
+    }
+
+    let per_phi = phis
+        .iter()
+        .enumerate()
+        .map(|(j, &phi)| PhiAccuracy {
+            phi,
+            avg_value_err_pct: if evals > 0 { sum_val[j] / evals as f64 } else { f64::NAN },
+            avg_rank_err: if evals > 0 { sum_rank[j] / evals as f64 } else { f64::NAN },
+            max_value_err_pct: max_val[j],
+        })
+        .collect();
+    AccuracyReport {
+        per_phi,
+        evaluations: evals,
+        peak_space,
+    }
+}
+
+/// Single-thread throughput in million events per second: push the whole
+/// dataset through the policy and divide. Results are only meaningful in
+/// release builds (the harness binaries are expected to be run with
+/// `--release`, as `cargo bench` does automatically).
+pub fn measure_throughput(policy: &mut dyn QuantilePolicy, data: &[u64]) -> f64 {
+    let start = Instant::now();
+    let mut emitted = 0usize;
+    for &v in data {
+        if policy.push(v).is_some() {
+            emitted += 1;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    // Keep `emitted` observable so the whole loop cannot be optimized out.
+    std::hint::black_box(emitted);
+    data.len() as f64 / secs / 1e6
+}
+
+/// Throughput from a streaming generator (for window sizes whose
+/// datasets would not fit in memory, as in Figure 5's 100M windows).
+pub fn measure_throughput_streaming<I>(policy: &mut dyn QuantilePolicy, events: I) -> f64
+where
+    I: IntoIterator<Item = u64>,
+{
+    let start = Instant::now();
+    let mut n = 0u64;
+    for v in events {
+        std::hint::black_box(policy.push(v));
+        n += 1;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    n as f64 / secs / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlove_sketches::ExactPolicy;
+
+    #[test]
+    fn exact_policy_reports_zero_error() {
+        let data: Vec<u64> = (0..4000u64).map(|i| (i * 7919) % 1000).collect();
+        let mut p = ExactPolicy::new(&[0.5, 0.99], 1000, 250);
+        let report = measure_accuracy(&mut p, &data, 1000);
+        assert!(report.evaluations > 5);
+        for pa in &report.per_phi {
+            assert_eq!(pa.avg_value_err_pct, 0.0, "phi {}", pa.phi);
+            assert_eq!(pa.avg_rank_err, 0.0);
+            assert_eq!(pa.max_value_err_pct, 0.0);
+        }
+        assert!(report.peak_space > 0);
+    }
+
+    #[test]
+    fn throughput_is_positive_and_finite() {
+        let data: Vec<u64> = (0..20_000u64).collect();
+        let mut p = ExactPolicy::new(&[0.5], 1000, 1000);
+        let t = measure_throughput(&mut p, &data);
+        assert!(t.is_finite() && t > 0.0);
+    }
+
+    #[test]
+    fn streaming_throughput_matches_slice_semantics() {
+        let mut p1 = ExactPolicy::new(&[0.5], 500, 500);
+        let t = measure_throughput_streaming(&mut p1, (0..10_000u64).map(|i| i % 97));
+        assert!(t.is_finite() && t > 0.0);
+    }
+}

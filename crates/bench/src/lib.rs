@@ -1,0 +1,30 @@
+//! # qlove-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md's experiment
+//! index) plus Criterion micro-benchmarks. This library holds the shared
+//! measurement machinery:
+//!
+//! * [`harness::measure_accuracy`] — drive any [`qlove_stream::QuantilePolicy`] over a
+//!   dataset, comparing each emission against ground-truth quantiles of
+//!   the same window, accumulating the paper's two accuracy metrics
+//!   (average relative value error %, average normalized rank error) and
+//!   peak observed space.
+//! * [`harness::measure_throughput`] — single-thread events/second over
+//!   a dataset, matching §5.1's "million elements per second processed
+//!   for a single thread".
+//! * [`table`] — fixed-width table rendering for harness stdout, with
+//!   optional paper-reference columns so every run shows
+//!   measured-vs-paper side by side.
+//! * [`configs`] — the paper's standard experiment configurations
+//!   (Table 1's 16K/128K query, Figure 4's 1K/100K query, …) so
+//!   binaries and tests agree on parameters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod configs;
+pub mod experiments;
+pub mod harness;
+pub mod table;
+
+pub use harness::{measure_accuracy, measure_throughput, AccuracyReport, PhiAccuracy};

@@ -1,0 +1,125 @@
+//! Theorem-1 error bounds from live operator state.
+//!
+//! The bound `|y_a − y_e| ≤ 2·Φ⁻¹(α/2)·√(φ(1−φ)) / (√(nm)·f(p_φ))`
+//! needs the data density at the target quantile. The operator estimates
+//! it non-parametrically from the sub-window that just completed, using
+//! the symmetric finite difference
+//!
+//! ```text
+//! f(p_φ) ≈ 2h / (q(φ+h) − q(φ−h))
+//! ```
+//!
+//! — the probability mass `2h` between two empirical quantiles divided
+//! by the value distance between them. This only has to be right to a
+//! small factor: it scales a confidence interval, not the answer.
+
+use qlove_rbtree::FreqTree;
+use qlove_stats::error_bound::{clt_error_bound, CltBound};
+
+/// Density estimate `f(p_φ)` from a frequency tree via symmetric finite
+/// differences with half-width `h = min(0.05, φ/2, (1−φ)/2)`.
+///
+/// Returns `None` when the tree is empty, the quantile is degenerate, or
+/// the two flanking quantiles coincide (point mass → the CLT bound does
+/// not apply; the answer there is exact anyway).
+pub fn density_at_quantile(tree: &FreqTree<u64>, phi: f64) -> Option<f64> {
+    if tree.is_empty() || !(0.0 < phi && phi < 1.0) {
+        return None;
+    }
+    let h = (0.05f64).min(phi / 2.0).min((1.0 - phi) / 2.0);
+    if h <= 0.0 {
+        return None;
+    }
+    let lo = tree.quantile(phi - h)? as f64;
+    let hi = tree.quantile(phi + h)? as f64;
+    if hi <= lo {
+        return None;
+    }
+    Some(2.0 * h / (hi - lo))
+}
+
+/// Theorem-1 bound for a window of `n_subwindows × m_per_subwindow`
+/// points whose freshest sub-window is summarized by `tree`.
+pub fn bound_from_tree(
+    tree: &FreqTree<u64>,
+    phi: f64,
+    n_subwindows: usize,
+    m_per_subwindow: usize,
+    alpha: f64,
+) -> Option<CltBound> {
+    let f = density_at_quantile(tree, phi)?;
+    clt_error_bound(phi, n_subwindows, m_per_subwindow, f, alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_tree(n: u64) -> FreqTree<u64> {
+        let mut t = FreqTree::new();
+        for v in 0..n {
+            t.insert(v, 1);
+        }
+        t
+    }
+
+    #[test]
+    fn uniform_density_is_flat_and_correct() {
+        // Uniform on 0..10_000 → density 1e-4 everywhere.
+        let t = uniform_tree(10_000);
+        for &phi in &[0.25, 0.5, 0.9] {
+            let f = density_at_quantile(&t, phi).unwrap();
+            assert!((f - 1e-4).abs() < 2e-5, "phi={phi}: f={f}");
+        }
+    }
+
+    #[test]
+    fn skewed_tree_has_sparser_tail_density() {
+        // Dense body, sparse tail: tail density must come out smaller.
+        let mut t = FreqTree::new();
+        for v in 0..10_000u64 {
+            t.insert(500 + v % 100, 1); // dense body
+        }
+        for v in 0..100u64 {
+            t.insert(10_000 + v * 500, 1); // sparse tail
+        }
+        let body = density_at_quantile(&t, 0.5).unwrap();
+        let tail = density_at_quantile(&t, 0.995).unwrap();
+        assert!(body > tail * 10.0, "body {body} vs tail {tail}");
+    }
+
+    #[test]
+    fn degenerate_cases_yield_none() {
+        let empty: FreqTree<u64> = FreqTree::new();
+        assert!(density_at_quantile(&empty, 0.5).is_none());
+        let t = uniform_tree(100);
+        assert!(density_at_quantile(&t, 0.0).is_none());
+        assert!(density_at_quantile(&t, 1.0).is_none());
+        // Point mass: flanking quantiles coincide.
+        let mut point = FreqTree::new();
+        point.insert(7, 1000);
+        assert!(density_at_quantile(&point, 0.5).is_none());
+    }
+
+    #[test]
+    fn bound_shrinks_with_more_subwindows() {
+        let t = uniform_tree(10_000);
+        let few = bound_from_tree(&t, 0.5, 2, 10_000, 0.05).unwrap();
+        let many = bound_from_tree(&t, 0.5, 32, 10_000, 0.05).unwrap();
+        assert!(many.half_width < few.half_width);
+        assert!((few.half_width / many.half_width - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_matches_manual_computation() {
+        // Uniform 0..10_000, φ=0.5, f=1e-4, n=8, m=10_000:
+        // eb = 2·1.96·0.5/(√80000·1e-4) ≈ 69.3.
+        let t = uniform_tree(10_000);
+        let b = bound_from_tree(&t, 0.5, 8, 10_000, 0.05).unwrap();
+        assert!(
+            (b.half_width - 69.3).abs() / 69.3 < 0.15,
+            "half width {}",
+            b.half_width
+        );
+    }
+}

@@ -1,0 +1,344 @@
+//! Few-k merging: the tail-repair machinery of §4.
+//!
+//! Pure functions, deliberately separated from the operator so that the
+//! budget arithmetic, the interval sampler, and both merge rules can be
+//! unit-tested against the paper's worked examples (E1–E4 of Figure 3).
+
+/// Whole-window tail requirement: the rank-from-the-top that the
+/// φ-quantile refers to under the paper's ⌈φN⌉ convention, i.e.
+/// `N − ⌈φN⌉ + 1` (with a 1e-9 guard against floating-point dust in the
+/// product). This is the paper's shorthand "N(1−φ)" made exact — the
+/// two differ by one rank when φN is integral, and at extreme tails one
+/// rank is several percent in value, so every budget, snapshot, and
+/// merge in this module keys off this single definition.
+pub fn tail_need(window: usize, phi: f64) -> usize {
+    if window == 0 {
+        return 0;
+    }
+    let r = ((window as f64 * phi) - 1e-9).ceil().max(1.0) as usize;
+    window - r.min(window) + 1
+}
+
+/// Per-sub-window tail budgets for one quantile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailBudget {
+    /// Exact tail requirement `⌈N(1−φ)⌉` for the whole window.
+    pub exact_need: usize,
+    /// Top-k cache size per sub-window.
+    pub kt: usize,
+    /// Sample-k sample count per sub-window.
+    pub ks: usize,
+}
+
+impl TailBudget {
+    /// Derive budgets from the configured fractions (§4.2): per
+    /// sub-window `kt = ⌈f_t·N(1−φ)⌉`, `ks = ⌈f_s·N(1−φ)⌉`, both capped
+    /// at the sub-window size `P` (a sub-window cannot cache more
+    /// elements than it contains).
+    pub fn derive(
+        window: usize,
+        period: usize,
+        phi: f64,
+        topk_fraction: f64,
+        samplek_fraction: f64,
+    ) -> Self {
+        let exact_need = tail_need(window, phi);
+        let kt = ((exact_need as f64 * topk_fraction).ceil() as usize).min(period);
+        let ks = ((exact_need as f64 * samplek_fraction).ceil() as usize).min(period);
+        Self {
+            exact_need,
+            kt,
+            ks,
+        }
+    }
+
+    /// Effective sample-k rate `α = ks / N(1−φ)` (§4.2).
+    pub fn alpha(&self) -> f64 {
+        if self.exact_need == 0 {
+            0.0
+        } else {
+            self.ks as f64 / self.exact_need as f64
+        }
+    }
+
+    /// §4.3's statistical-inefficiency trigger: top-k output is selected
+    /// when the per-sub-window tail support `P(1−φ)` falls below `Ts`.
+    pub fn statistically_inefficient(period: usize, phi: f64, ts: f64) -> bool {
+        (period as f64) * (1.0 - phi) < ts
+    }
+}
+
+/// Rank-interval sampling of a descending tail (§4.2 sample-k): pick
+/// every `i`-th element of `tail` (which must hold the sub-window's
+/// `N(1−φ)` largest values, descending), `i = ⌈|tail| / ks⌉`, yielding
+/// at most `ks` samples. "For i = 2, we select all even ranked values" —
+/// so sampling starts at rank `i`, not rank 1.
+pub fn interval_sample(tail: &[u64], ks: usize) -> Vec<u64> {
+    if ks == 0 || tail.is_empty() {
+        return Vec::new();
+    }
+    if ks >= tail.len() {
+        return tail.to_vec();
+    }
+    let i = tail.len().div_ceil(ks);
+    tail.iter()
+        .skip(i - 1)
+        .step_by(i)
+        .copied()
+        .take(ks)
+        .collect()
+}
+
+/// Select the `rank`-th largest element (1-indexed) across several
+/// descending-sorted slices via a k-way heap walk: `O(rank · log v)`
+/// instead of sorting the whole pool. This runs at every evaluation, so
+/// it is the few-k throughput hot spot whose cost §5.3 measures.
+/// Returns the smallest available element when the pool is shorter than
+/// `rank`, `None` on an empty pool.
+fn select_rank_desc(views: &[&[u64]], rank: usize) -> Option<u64> {
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<(u64, usize, usize)> = views
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.is_empty())
+        .map(|(vi, s)| (s[0], vi, 0))
+        .collect();
+    let mut last = None;
+    for _ in 0..rank {
+        let Some((v, vi, pos)) = heap.pop() else {
+            return last; // pool exhausted: smallest pooled value
+        };
+        last = Some(v);
+        if pos + 1 < views[vi].len() {
+            heap.push((views[vi][pos + 1], vi, pos + 1));
+        }
+    }
+    last
+}
+
+/// Top-k merging (§4.2): merge every sub-window's `kt` largest values
+/// (each slice descending, as the tail snapshots are stored) and draw
+/// the `rank_from_top`-th largest of the merged data (the caller
+/// supplies `N − ⌈φN⌉ + 1`, the paper's "N(1−φ)th largest" made exact).
+/// When the merged pool is smaller than that rank (budget fraction
+/// below `P/N`), the smallest pooled value is the best available
+/// approximation.
+pub fn merge_top_k(per_subwindow: &[&[u64]], rank_from_top: usize) -> Option<u64> {
+    if rank_from_top == 0 {
+        return None;
+    }
+    select_rank_desc(per_subwindow, rank_from_top)
+}
+
+/// Sample-k merging (§4.2): merge every sub-window's interval samples
+/// and draw the rank scaled by the sampling rate, "to factor in data
+/// reduction by sampling".
+///
+/// `represented` is how many tail ranks each view's samples stand for
+/// (the sub-window's `N(1−φ)` snapshot). The scaling uses the
+/// **realized** rate — total samples over total represented ranks —
+/// rather than the configured `α = ks/N(1−φ)`: with tiny tails the
+/// interval sampler can return fewer than `ks` samples, and a configured
+/// rate would then point past the shifted mass.
+pub fn merge_sample_k(
+    per_subwindow: &[&[u64]],
+    represented: usize,
+    rank_from_top: usize,
+) -> Option<u64> {
+    if rank_from_top == 0 || represented == 0 || per_subwindow.is_empty() {
+        return None;
+    }
+    let total: usize = per_subwindow.iter().map(|s| s.len()).sum();
+    if total == 0 {
+        return None;
+    }
+    let rate = total as f64 / (per_subwindow.len() * represented) as f64;
+    let rank = ((rate * rank_from_top as f64).ceil() as usize).max(1);
+    select_rank_desc(per_subwindow, rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // ---- budgets ---------------------------------------------------------
+
+    #[test]
+    fn derive_matches_paper_table3_numbers() {
+        // §5.3: 128K window, φ = 0.999 → rank-from-top requirement 129
+        // (the paper's shorthand gives 128 and it quotes 132 from its
+        // own window arithmetic). Fraction 0.1 → 13 top-k entries per
+        // sub-window, matching Table 3.
+        let b = TailBudget::derive(128_000, 8_000, 0.999, 0.1, 0.5);
+        assert_eq!(b.exact_need, 129);
+        assert_eq!(b.kt, 13);
+        assert_eq!(b.ks, 65);
+        assert!((b.alpha() - 65.0 / 129.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budgets_capped_at_period() {
+        let b = TailBudget::derive(1000, 10, 0.5, 1.0, 1.0);
+        assert_eq!(b.exact_need, 501);
+        assert_eq!(b.kt, 10);
+        assert_eq!(b.ks, 10);
+    }
+
+    #[test]
+    fn zero_fraction_gives_zero_budget() {
+        let b = TailBudget::derive(128_000, 16_000, 0.999, 0.0, 0.0);
+        assert_eq!(b.kt, 0);
+        assert_eq!(b.ks, 0);
+        assert_eq!(b.alpha(), 0.0);
+    }
+
+    #[test]
+    fn inefficiency_trigger_matches_paper() {
+        // §3.3/§4.3 with Ts = 10: for 128K window and φ = 0.999, periods
+        // below 10K are inefficient (P·0.001 < 10).
+        assert!(TailBudget::statistically_inefficient(8_000, 0.999, 10.0));
+        assert!(TailBudget::statistically_inefficient(1_000, 0.999, 10.0));
+        assert!(!TailBudget::statistically_inefficient(16_000, 0.999, 10.0));
+        // Q0.5 never triggers at realistic periods.
+        assert!(!TailBudget::statistically_inefficient(1_000, 0.5, 10.0));
+    }
+
+    // ---- interval sampling -----------------------------------------------
+
+    #[test]
+    fn interval_sampling_picks_every_ith() {
+        let tail: Vec<u64> = (1..=10).rev().collect(); // 10, 9, …, 1
+        // ks = 5 → i = 2 → "all even ranked values": ranks 2,4,6,8,10.
+        assert_eq!(interval_sample(&tail, 5), vec![9, 7, 5, 3, 1]);
+    }
+
+    #[test]
+    fn interval_sampling_edge_cases() {
+        let tail = vec![5, 4, 3];
+        assert_eq!(interval_sample(&tail, 0), Vec::<u64>::new());
+        assert_eq!(interval_sample(&[], 4), Vec::<u64>::new());
+        // ks ≥ len: everything.
+        assert_eq!(interval_sample(&tail, 3), tail);
+        assert_eq!(interval_sample(&tail, 10), tail);
+        // ks = 1 → i = 3 → rank 3 only.
+        assert_eq!(interval_sample(&tail, 1), vec![3]);
+    }
+
+    #[test]
+    fn interval_sampling_never_exceeds_ks() {
+        for len in 1..40usize {
+            let tail: Vec<u64> = (0..len as u64).rev().collect();
+            for ks in 1..=len {
+                let s = interval_sample(&tail, ks);
+                assert!(s.len() <= ks, "len={len} ks={ks} got {}", s.len());
+                assert!(!s.is_empty());
+            }
+        }
+    }
+
+    // ---- top-k merging over Figure 3's E1–E4 patterns ---------------------
+
+    /// Build 10 sub-windows where the global top-10 values
+    /// (100, 99, …, 91) are distributed per `spread`, with filler 1s.
+    fn figure3_subwindows(spread: &[usize]) -> Vec<Vec<u64>> {
+        let mut subs = vec![vec![1u64; 10]; 10];
+        let mut next_big = 100u64;
+        for (sub, &count) in spread.iter().enumerate() {
+            for slot in 0..count {
+                subs[sub][slot] = next_big;
+                next_big -= 1;
+            }
+        }
+        for s in subs.iter_mut() {
+            s.sort_unstable_by(|a, b| b.cmp(a));
+        }
+        subs
+    }
+
+    #[test]
+    fn e1_burst_needs_full_k() {
+        // E1: all 10 largest in S1. With kt = 10 the exact answer (the
+        // 10th largest = 91) is recovered.
+        let subs = figure3_subwindows(&[10, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let views: Vec<&[u64]> = subs.iter().map(|s| &s[..10]).collect();
+        assert_eq!(merge_top_k(&views, 10), Some(91));
+        // With kt = 1 (taking each sub-window's single largest), the
+        // merged pool misses 9 of the top-10: answer collapses to filler.
+        let views1: Vec<&[u64]> = subs.iter().map(|s| &s[..1]).collect();
+        assert_eq!(merge_top_k(&views1, 10), Some(1));
+    }
+
+    #[test]
+    fn e4_even_spread_needs_only_k1() {
+        // E4: one top value per sub-window — kt = 1 is exact.
+        let subs = figure3_subwindows(&[1; 10]);
+        let views: Vec<&[u64]> = subs.iter().map(|s| &s[..1]).collect();
+        assert_eq!(merge_top_k(&views, 10), Some(91));
+    }
+
+    #[test]
+    fn e2_half_concentration_needs_k2() {
+        // E2: top values in pairs across 5 sub-windows. kt = 2 exact,
+        // kt = 1 not.
+        let subs = figure3_subwindows(&[2, 2, 2, 2, 2, 0, 0, 0, 0, 0]);
+        let v2: Vec<&[u64]> = subs.iter().map(|s| &s[..2]).collect();
+        assert_eq!(merge_top_k(&v2, 10), Some(91));
+        let v1: Vec<&[u64]> = subs.iter().map(|s| &s[..1]).collect();
+        assert_ne!(merge_top_k(&v1, 10), Some(91));
+    }
+
+    #[test]
+    fn merge_top_k_empty_inputs() {
+        assert_eq!(merge_top_k(&[], 10), None);
+        let empty: &[u64] = &[];
+        assert_eq!(merge_top_k(&[empty], 10), None);
+        assert_eq!(merge_top_k(&[&[5u64][..]], 0), None);
+    }
+
+    // ---- sample-k merging --------------------------------------------------
+
+    #[test]
+    fn sample_k_recovers_even_spread_tail() {
+        // 4 sub-windows, each samples its 8-value tail at α = 0.5
+        // (ks = 4). Window exact need 32 → rank ⌈0.5·32⌉ = 16 of merged.
+        let tails: Vec<Vec<u64>> = (0..4)
+            .map(|s| (0..8u64).map(|i| 1000 - (i * 4 + s)).collect())
+            .collect();
+        let samples: Vec<Vec<u64>> = tails.iter().map(|t| interval_sample(t, 4)).collect();
+        let views: Vec<&[u64]> = samples.iter().map(|s| &s[..]).collect();
+        // Each view's 4 samples represent that sub-window's 8-rank tail.
+        let ans = merge_sample_k(&views, 8, 32).unwrap();
+        // The exact 32nd largest across sub-windows is 1000−31 = 969;
+        // interval sampling lands within a couple of ranks.
+        assert!((969i64 - ans as i64).abs() <= 8, "got {ans}");
+    }
+
+    #[test]
+    fn sample_k_tracks_burst_concentration() {
+        // All tail mass in one sub-window (E1): its samples alone must
+        // reconstruct the quantile. Other sub-windows contribute small
+        // values.
+        let burst_tail: Vec<u64> = (0..32u64).map(|i| 10_000 - i * 10).collect();
+        let quiet_tail: Vec<u64> = (0..32u64).map(|i| 100 - i).collect();
+        let alpha = 0.25; // ks = 8 of exact_need 32
+        let bs = interval_sample(&burst_tail, 8);
+        let qs: Vec<Vec<u64>> = (0..3).map(|_| interval_sample(&quiet_tail, 8)).collect();
+        let mut views: Vec<&[u64]> = vec![&bs];
+        views.extend(qs.iter().map(|s| &s[..]));
+        // Window exact need 32: true 32nd largest over the 4 sub-windows
+        // is burst_tail[31] = 9690 (the burst dominates the top-32).
+        let _ = alpha; // configured rate documented above; merge uses realized
+        let ans = merge_sample_k(&views, 32, 32).unwrap();
+        assert!(
+            (9_690i64 - ans as i64).abs() <= 40,
+            "burst quantile {ans} should be ≈ 9690"
+        );
+    }
+
+    #[test]
+    fn sample_k_degenerate_inputs() {
+        assert_eq!(merge_sample_k(&[], 8, 10), None);
+        assert_eq!(merge_sample_k(&[&[1u64][..]], 0, 10), None);
+        assert_eq!(merge_sample_k(&[&[1u64][..]], 8, 0), None);
+    }
+}

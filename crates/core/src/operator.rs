@@ -1,0 +1,602 @@
+//! The QLOVE operator: two-level hierarchical quantile processing
+//! (Figure 2) with few-k tail repair (§4) and Theorem-1 error bounds.
+
+use crate::bounds::bound_from_tree;
+use crate::burst::is_bursty;
+use crate::config::QloveConfig;
+use crate::fewk::{interval_sample, merge_sample_k, merge_top_k, tail_need, TailBudget};
+use qlove_rbtree::FreqTree;
+use qlove_stats::error_bound::CltBound;
+use qlove_stream::QuantilePolicy;
+use qlove_workloads::transform::quantize_sig_digits;
+use std::collections::VecDeque;
+
+/// Which pipeline produced a quantile answer (§4.3's runtime selection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnswerSource {
+    /// Level-2 mean of sub-window quantiles (§3).
+    Level2,
+    /// Top-k merging — statistical inefficiency repair (§4.2).
+    TopK,
+    /// Sample-k merging — bursty traffic repair (§4.2).
+    SampleK,
+}
+
+/// One evaluation's full output.
+#[derive(Debug, Clone)]
+pub struct QloveAnswer {
+    /// Estimated quantile values, one per configured φ, in input order.
+    pub values: Vec<u64>,
+    /// Which pipeline produced each value.
+    pub sources: Vec<AnswerSource>,
+    /// Theorem-1 95% bounds (half-widths) where computable — `None` in
+    /// degenerate-density regions, where the paper calls the bound "not
+    /// informative".
+    pub bounds: Vec<Option<CltBound>>,
+    /// Whether the burst detector fired for this evaluation.
+    pub bursty: bool,
+}
+
+/// Everything retained about a completed sub-window: its exact
+/// quantiles (the Level-1 summary `s_i`), the few-k tail caches, and
+/// the density-based error-bound inputs.
+#[derive(Debug, Clone)]
+struct SubWindowSummary {
+    /// Exact φ-quantiles of the sub-window, one per configured φ.
+    quantiles: Vec<u64>,
+    /// Per-φ top-k caches (empty for φs without a tail budget).
+    topk: Vec<Vec<u64>>,
+    /// Per-φ interval samples of the sub-window's own tail.
+    samples: Vec<Vec<u64>>,
+    /// Per-φ burst flags, decided at completion time against the
+    /// preceding sub-window (§4.3's Mann-Whitney comparison). A burst
+    /// keeps influencing evaluations for as long as its sub-window stays
+    /// inside the window.
+    bursty: Vec<bool>,
+    /// Per-φ Theorem-1 bounds estimated from this sub-window's density.
+    bounds: Vec<Option<CltBound>>,
+}
+
+/// The QLOVE operator. See the crate docs for the architecture and
+/// [`QloveConfig`] for the knobs.
+#[derive(Debug)]
+pub struct Qlove {
+    config: QloveConfig,
+    n_sub: usize,
+    /// Per-φ tail budgets; `None` when few-k is off or the φ's tail does
+    /// not fit in one sub-window snapshot.
+    budgets: Vec<Option<TailBudget>>,
+    /// Largest per-sub-window tail snapshot needed across φs.
+    max_tail: usize,
+    // ---- Level 1 state ----
+    tree: FreqTree<u64>,
+    filled: usize,
+    // ---- Level 2 state ----
+    summaries: VecDeque<SubWindowSummary>,
+    /// Running Σ of sub-window quantiles per φ (u128: immune to overflow
+    /// even for Pareto-scale values).
+    sums: Vec<u128>,
+}
+
+impl Qlove {
+    /// Build the operator; panics on invalid configuration (see
+    /// [`QloveConfig::validate`]).
+    pub fn new(config: QloveConfig) -> Self {
+        config.validate();
+        let n_sub = config.subwindows();
+        let budgets: Vec<Option<TailBudget>> = config
+            .phis
+            .iter()
+            .map(|&phi| {
+                let fk = config.fewk.as_ref()?;
+                // Tail-eligible: a high quantile (≥ min_phi, §4's "high
+                // quantiles") whose whole-window tail requirement fits
+                // inside one sub-window snapshot.
+                let need = tail_need(config.window, phi);
+                if phi < fk.min_phi || need == 0 || need > config.period {
+                    return None;
+                }
+                Some(TailBudget::derive(
+                    config.window,
+                    config.period,
+                    phi,
+                    fk.topk_fraction,
+                    fk.samplek_fraction,
+                ))
+            })
+            .collect();
+        let max_tail = budgets
+            .iter()
+            .flatten()
+            .map(|b| b.exact_need.min(config.period))
+            .max()
+            .unwrap_or(0);
+        let l = config.phis.len();
+        Self {
+            n_sub,
+            budgets,
+            max_tail,
+            tree: FreqTree::new(),
+            filled: 0,
+            summaries: VecDeque::with_capacity(n_sub + 1),
+            sums: vec![0; l],
+            config,
+        }
+    }
+
+    /// The live configuration.
+    pub fn config(&self) -> &QloveConfig {
+        &self.config
+    }
+
+    /// Feed one element; on evaluation boundaries returns the full
+    /// answer (values + provenance + bounds). [`QuantilePolicy::push`]
+    /// is the values-only convenience wrapper.
+    pub fn push_detailed(&mut self, value: u64) -> Option<QloveAnswer> {
+        let v = match self.config.sig_digits {
+            Some(d) => quantize_sig_digits(value, d),
+            None => value,
+        };
+        self.tree.insert(v, 1);
+        self.filled += 1;
+        if self.filled < self.config.period {
+            return None;
+        }
+        self.filled = 0;
+        self.complete_subwindow();
+        if self.summaries.len() < self.n_sub {
+            return None;
+        }
+        Some(self.evaluate())
+    }
+
+    /// Level-1 boundary work: summarize the in-flight tree, snapshot the
+    /// tail caches, roll the Level-2 ring, discard the raw data.
+    fn complete_subwindow(&mut self) {
+        let phis = &self.config.phis;
+        let quantiles = self
+            .tree
+            .quantiles(phis)
+            .expect("sub-window contains `period` > 0 elements");
+
+        // One descending tail snapshot serves every φ's caches.
+        let tail = if self.max_tail > 0 {
+            self.tree.top_k(self.max_tail)
+        } else {
+            Vec::new()
+        };
+        let mut topk = Vec::with_capacity(phis.len());
+        let mut samples = Vec::with_capacity(phis.len());
+        for budget in &self.budgets {
+            match budget {
+                Some(b) => {
+                    let need = b.exact_need.min(tail.len());
+                    topk.push(tail[..b.kt.min(need)].to_vec());
+                    samples.push(interval_sample(&tail[..need], b.ks));
+                }
+                None => {
+                    topk.push(Vec::new());
+                    samples.push(Vec::new());
+                }
+            }
+        }
+
+        // Burst flags (§4.3): is this sub-window's tail stochastically
+        // larger than recent history? Tested against the adjacent former
+        // sub-window (the paper's description) and, for statistical
+        // power when per-φ samples are few, against the pooled samples
+        // of all live sub-windows — either firing marks the burst.
+        //
+        // Significance is Bonferroni-corrected: each boundary runs 2
+        // reference comparisons (× 2 tests inside the detector) and a
+        // flag influences up to n_sub evaluations, so the per-test level
+        // is α / (4·n_sub) to keep the configured α as the per-
+        // evaluation false-positive budget.
+        let bursty: Vec<bool> = match (self.config.fewk.as_ref(), self.summaries.back()) {
+            (Some(fk), Some(prev)) => {
+                let alpha = fk.burst_alpha / (4.0 * self.n_sub as f64);
+                (0..phis.len())
+                    .map(|i| {
+                        if self.budgets[i].is_none() {
+                            return false;
+                        }
+                        if is_bursty(&samples[i], &prev.samples[i], alpha) {
+                            return true;
+                        }
+                        // Pooled fallback only where the single-window
+                        // comparison is underpowered (small per-φ
+                        // samples), and capped: ranking thousands of
+                        // pooled values at every boundary would erase
+                        // the throughput advantage QLOVE exists for.
+                        if samples[i].len() >= 32 {
+                            return false;
+                        }
+                        let mut pooled: Vec<u64> = Vec::with_capacity(1024);
+                        for s in self.summaries.iter().rev() {
+                            pooled.extend_from_slice(&s.samples[i]);
+                            if pooled.len() >= 1024 {
+                                break;
+                            }
+                        }
+                        is_bursty(&samples[i], &pooled, alpha)
+                    })
+                    .collect()
+            }
+            _ => vec![false; phis.len()],
+        };
+
+        // Theorem-1 bounds from this sub-window's empirical density.
+        let alpha = 0.05;
+        let bounds = phis
+            .iter()
+            .map(|&phi| bound_from_tree(&self.tree, phi, self.n_sub, self.config.period, alpha))
+            .collect();
+
+        for (s, &q) in self.sums.iter_mut().zip(&quantiles) {
+            *s += q as u128;
+        }
+        self.summaries.push_back(SubWindowSummary {
+            quantiles,
+            topk,
+            samples,
+            bursty,
+            bounds,
+        });
+        if self.summaries.len() > self.n_sub {
+            let old = self.summaries.pop_front().expect("len > n_sub ≥ 1");
+            for (s, &q) in self.sums.iter_mut().zip(&old.quantiles) {
+                *s -= q as u128;
+            }
+        }
+        // Tumbling reset: all raw values discarded, arena kept.
+        self.tree.clear();
+    }
+
+    /// Level-2 aggregation plus §4.3's per-quantile outcome selection.
+    fn evaluate(&self) -> QloveAnswer {
+        let l = self.config.phis.len();
+        let latest = self.summaries.back().expect("ring full");
+
+        let mut values = Vec::with_capacity(l);
+        let mut sources = Vec::with_capacity(l);
+        let mut any_burst = false;
+
+        for (i, &phi) in self.config.phis.iter().enumerate() {
+            let level2 = (self.sums[i] as f64 / self.n_sub as f64).round() as u64;
+            let Some(budget) = &self.budgets[i] else {
+                values.push(level2);
+                sources.push(AnswerSource::Level2);
+                continue;
+            };
+            let fk = self.config.fewk.as_ref().expect("budget implies fewk");
+
+            // Bursty traffic is a property of the *stream*, not of one
+            // quantile: a burst detected at any tail quantile sweeps the
+            // reference ranks of every high quantile (§5.3's Q0.99
+            // example), so the flag is shared across few-k-eligible φs
+            // and persists until the bursty sub-window expires.
+            let bursty = self
+                .summaries
+                .iter()
+                .any(|s| s.bursty.iter().any(|&b| b));
+            any_burst |= bursty;
+
+            // `exact_need` is the φ-quantile's rank from the top under
+            // the paper's ⌈φN⌉ convention (see `fewk::tail_need`) — the
+            // rank both merges answer at.
+            if bursty {
+                let views: Vec<&[u64]> =
+                    self.summaries.iter().map(|s| s.samples[i].as_slice()).collect();
+                if let Some(v) = merge_sample_k(&views, budget.exact_need, budget.exact_need) {
+                    values.push(v);
+                    sources.push(AnswerSource::SampleK);
+                    continue;
+                }
+            }
+            if TailBudget::statistically_inefficient(self.config.period, phi, fk.ts) {
+                let views: Vec<&[u64]> =
+                    self.summaries.iter().map(|s| s.topk[i].as_slice()).collect();
+                if let Some(v) = merge_top_k(&views, budget.exact_need) {
+                    values.push(v);
+                    sources.push(AnswerSource::TopK);
+                    continue;
+                }
+            }
+            values.push(level2);
+            sources.push(AnswerSource::Level2);
+        }
+
+        QloveAnswer {
+            values,
+            sources,
+            bounds: latest.bounds.clone(),
+            bursty: any_burst,
+        }
+    }
+
+    /// Elements accumulated into the in-flight sub-window.
+    pub fn pending(&self) -> usize {
+        self.filled
+    }
+
+    /// Completed sub-window summaries currently live.
+    pub fn live_subwindows(&self) -> usize {
+        self.summaries.len()
+    }
+}
+
+impl QuantilePolicy for Qlove {
+    fn push(&mut self, value: u64) -> Option<Vec<u64>> {
+        self.push_detailed(value).map(|a| a.values)
+    }
+
+    fn phis(&self) -> &[f64] {
+        &self.config.phis
+    }
+
+    fn space_variables(&self) -> usize {
+        let l = self.config.phis.len();
+        let summaries: usize = self
+            .summaries
+            .iter()
+            .map(|s| {
+                s.quantiles.len()
+                    + s.topk.iter().map(Vec::len).sum::<usize>()
+                    + s.samples.iter().map(Vec::len).sum::<usize>()
+            })
+            .sum();
+        // In-flight tree stores {value, count} pairs; plus l running sums.
+        summaries + self.tree.unique_len() * 2 + l
+    }
+
+    fn name(&self) -> &'static str {
+        "QLOVE"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FewKConfig;
+    use qlove_stats::{quantile_sorted, relative_error_pct};
+
+    fn normal_stream(seed: u64, n: usize) -> Vec<u64> {
+        qlove_workloads::NormalGen::generate(seed, n)
+    }
+
+    #[test]
+    fn tumbling_single_subwindow_is_exact_modulo_quantization() {
+        // n_sub = 1: Level 2 averages one exact quantile → exact result
+        // (quantization off to compare bit-for-bit).
+        let cfg = QloveConfig::without_fewk(&[0.5, 0.9], 1000, 1000).quantize(None);
+        let mut q = Qlove::new(cfg);
+        let data: Vec<u64> = (0..5000u64).map(|i| (i * 7919) % 4096).collect();
+        for (i, &v) in data.iter().enumerate() {
+            if let Some(ans) = q.push(v) {
+                let mut win: Vec<u64> = data[i + 1 - 1000..=i].to_vec();
+                win.sort_unstable();
+                assert_eq!(ans[0], quantile_sorted(&win, 0.5));
+                assert_eq!(ans[1], quantile_sorted(&win, 0.9));
+            }
+        }
+    }
+
+    #[test]
+    fn evaluation_schedule_matches_window_spec() {
+        let mut q = Qlove::new(QloveConfig::new(&[0.5], 4000, 500));
+        let mut eval_at = Vec::new();
+        for (i, v) in normal_stream(1, 12_000).into_iter().enumerate() {
+            if q.push(v).is_some() {
+                eval_at.push(i + 1);
+            }
+        }
+        assert_eq!(eval_at.first(), Some(&4000));
+        assert!(eval_at.windows(2).all(|w| w[1] - w[0] == 500));
+    }
+
+    #[test]
+    fn level2_median_tracks_exact_on_iid_data() {
+        let (window, period) = (8000, 1000);
+        let cfg = QloveConfig::without_fewk(&[0.5, 0.9], window, period);
+        let mut q = Qlove::new(cfg);
+        let data = normal_stream(7, 40_000);
+        let mut worst = 0.0f64;
+        for (i, &v) in data.iter().enumerate() {
+            if let Some(ans) = q.push(v) {
+                let mut win: Vec<u64> = data[i + 1 - window..=i].to_vec();
+                win.sort_unstable();
+                for (j, &phi) in [0.5, 0.9].iter().enumerate() {
+                    let exact = quantile_sorted(&win, phi);
+                    worst = worst.max(relative_error_pct(ans[j] as f64, exact as f64));
+                }
+            }
+        }
+        // Paper reports ≪1% for non-high quantiles; allow generous slack.
+        assert!(worst < 1.0, "worst relative error {worst}%");
+    }
+
+    #[test]
+    fn quantization_bounds_value_error_to_one_percent() {
+        let (window, period) = (4000, 1000);
+        let with_q = QloveConfig::without_fewk(&[0.5], window, period);
+        let without_q = with_q.clone().quantize(None);
+        let data = normal_stream(3, 20_000);
+        let mut a = Qlove::new(with_q);
+        let mut b = Qlove::new(without_q);
+        for &v in &data {
+            let (ra, rb) = (a.push(v), b.push(v));
+            if let (Some(x), Some(y)) = (ra, rb) {
+                let rel = relative_error_pct(x[0] as f64, y[0] as f64);
+                assert!(rel < 1.0, "quantization moved the answer by {rel}%");
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_shrinks_the_tree() {
+        let (window, period) = (10_000, 10_000);
+        let data = normal_stream(5, 9_999); // keep the sub-window in flight
+        let mut with_q = Qlove::new(QloveConfig::without_fewk(&[0.5], window, period));
+        let mut without_q =
+            Qlove::new(QloveConfig::without_fewk(&[0.5], window, period).quantize(None));
+        for &v in &data {
+            with_q.push(v);
+            without_q.push(v);
+        }
+        assert!(
+            with_q.space_variables() * 5 < without_q.space_variables(),
+            "quantized {} vs raw {}",
+            with_q.space_variables(),
+            without_q.space_variables()
+        );
+    }
+
+    #[test]
+    fn space_is_far_below_exact_window_storage() {
+        let (window, period) = (100_000, 10_000);
+        let mut q = Qlove::new(QloveConfig::new(&[0.5, 0.9, 0.99, 0.999], window, period));
+        for v in qlove_workloads::NetMonGen::new(2).take(150_000) {
+            q.push(v);
+        }
+        assert!(
+            q.space_variables() < window / 4,
+            "space {} not sublinear",
+            q.space_variables()
+        );
+    }
+
+    #[test]
+    fn phi_half_and_low_quantiles_never_get_tail_budgets() {
+        let q = Qlove::new(QloveConfig::new(&[0.1, 0.5, 0.99], 10_000, 1000));
+        assert!(q.budgets[0].is_none());
+        assert!(q.budgets[1].is_none());
+        // 0.99: need = 100 ≤ period → eligible.
+        assert!(q.budgets[2].is_some());
+    }
+
+    #[test]
+    fn wide_tails_that_exceed_a_subwindow_are_ineligible() {
+        // φ = 0.6 → need 4000 > period 1000: tail can't be snapshot.
+        let q = Qlove::new(QloveConfig::new(&[0.6], 10_000, 1000));
+        assert!(q.budgets[0].is_none());
+    }
+
+    #[test]
+    fn topk_fires_under_statistical_inefficiency() {
+        // P(1−φ) = 1000·0.001 = 1 < Ts = 10 → top-k path for φ = 0.999.
+        let (window, period) = (8000, 1000);
+        let cfg = QloveConfig::new(&[0.999], window, period)
+            .fewk(Some(FewKConfig::with_fractions(0.5, 0.0)));
+        let mut q = Qlove::new(cfg);
+        let data = normal_stream(11, 40_000);
+        let mut saw_topk = false;
+        let mut worst = 0.0f64;
+        for (i, &v) in data.iter().enumerate() {
+            if let Some(ans) = q.push_detailed(v) {
+                if ans.sources[0] == AnswerSource::TopK {
+                    saw_topk = true;
+                }
+                let mut win: Vec<u64> = data[i + 1 - window..=i].to_vec();
+                win.sort_unstable();
+                let exact = quantile_sorted(&win, 0.999);
+                worst = worst.max(relative_error_pct(ans.values[0] as f64, exact as f64));
+            }
+        }
+        assert!(saw_topk, "top-k pipeline never selected");
+        // fraction 0.5 → near-exact per Table 3's finding.
+        assert!(worst < 2.0, "Q0.999 error {worst}% with half-budget top-k");
+    }
+
+    #[test]
+    fn burst_triggers_sample_k_and_repairs_the_answer() {
+        let (window, period, phi) = (8000, 1000, 0.999);
+        let mut data = normal_stream(13, 48_000);
+        qlove_workloads::burst::inject_burst(&mut data, window, period, phi, 10);
+
+        let with_sk = QloveConfig::new(&[phi], window, period)
+            .fewk(Some(FewKConfig::with_fractions(0.125, 0.5)));
+        let without_fk = QloveConfig::without_fewk(&[phi], window, period);
+        let mut q_sk = Qlove::new(with_sk);
+        let mut q_l2 = Qlove::new(without_fk);
+
+        let mut sk_errs = Vec::new();
+        let mut l2_errs = Vec::new();
+        let mut saw_samplek = false;
+        for (i, &v) in data.iter().enumerate() {
+            let a = q_sk.push_detailed(v);
+            let b = q_l2.push(v);
+            if let (Some(a), Some(b)) = (a, b) {
+                let mut win: Vec<u64> = data[i + 1 - window..=i].to_vec();
+                win.sort_unstable();
+                let exact = quantile_sorted(&win, phi) as f64;
+                sk_errs.push(relative_error_pct(a.values[0] as f64, exact));
+                l2_errs.push(relative_error_pct(b[0] as f64, exact));
+                if a.sources[0] == AnswerSource::SampleK {
+                    saw_samplek = true;
+                }
+            }
+        }
+        assert!(saw_samplek, "burst never routed to sample-k");
+        let sk_mean = qlove_stats::mean(&sk_errs).unwrap();
+        let l2_mean = qlove_stats::mean(&l2_errs).unwrap();
+        assert!(
+            sk_mean < l2_mean / 2.0,
+            "sample-k {sk_mean}% should beat plain Level-2 {l2_mean}% under bursts"
+        );
+    }
+
+    #[test]
+    fn error_bounds_cover_observed_errors_on_iid_data() {
+        // Theorem-1 empirical check (the paper's §5.4 coverage claim):
+        // on i.i.d. normal data the observed |y_a − y_e| should fall
+        // within the 95% bound essentially always.
+        let (window, period) = (16_000, 2_000);
+        let cfg = QloveConfig::without_fewk(&[0.5, 0.9], window, period).quantize(None);
+        let mut q = Qlove::new(cfg);
+        let data = normal_stream(17, 64_000);
+        let (mut covered, mut total) = (0usize, 0usize);
+        for (i, &v) in data.iter().enumerate() {
+            if let Some(ans) = q.push_detailed(v) {
+                let mut win: Vec<u64> = data[i + 1 - window..=i].to_vec();
+                win.sort_unstable();
+                for (j, &phi) in [0.5, 0.9].iter().enumerate() {
+                    if let Some(b) = &ans.bounds[j] {
+                        let exact = quantile_sorted(&win, phi) as f64;
+                        total += 1;
+                        if b.covers((ans.values[j] as f64 - exact).abs()) {
+                            covered += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(total >= 40, "bounds were rarely computable: {total}");
+        let rate = covered as f64 / total as f64;
+        assert!(rate >= 0.90, "coverage {rate} below the 95% target band");
+    }
+
+    #[test]
+    fn answers_are_monotone_in_phi_for_level2() {
+        let mut q = Qlove::new(QloveConfig::without_fewk(
+            &[0.1, 0.5, 0.9, 0.99],
+            4000,
+            500,
+        ));
+        for v in normal_stream(23, 20_000) {
+            if let Some(ans) = q.push(v) {
+                for w in ans.windows(2) {
+                    assert!(w[0] <= w[1], "non-monotone answers {ans:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn policy_metadata() {
+        let q = Qlove::new(QloveConfig::new(&[0.5, 0.99], 1000, 100));
+        assert_eq!(q.name(), "QLOVE");
+        assert_eq!(q.phis(), &[0.5, 0.99]);
+        assert_eq!(q.pending(), 0);
+        assert_eq!(q.live_subwindows(), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # qlove-rbtree — order-statistic frequency red-black tree
+//!
+//! The in-flight state of QLOVE's Level 1 (paper §3.1, Algorithm 1) is a
+//! red-black tree keyed by *element value* whose nodes carry the
+//! *frequency* of that value — the `{(e₁,f₁), …, (eₙ,fₙ)}` compressed
+//! representation that exploits telemetry's high value redundancy. The
+//! same structure, plus a decrement/deaccumulate path, is the paper's
+//! `Exact` baseline (§5.1: "the node representing the expired element's
+//! value decrements its frequency by one, and is deleted from the
+//! red-black tree if the frequency becomes zero").
+//!
+//! This implementation is an **arena-based** CLRS red-black tree (nodes in
+//! a `Vec`, `u32` links, free-list reuse) augmented with per-subtree
+//! frequency sums, which provides:
+//!
+//! * `O(log u)` [`FreqTree::insert`] / [`FreqTree::remove`] where `u` is
+//!   the number of *unique* values — the paper's duplicate-driven cost
+//!   continuum between `O(log 1)` and `O(log P)` (§3.2);
+//! * `O(log u)` [`FreqTree::select`] (rank → value) and
+//!   [`FreqTree::rank_of`] (value → rank) via the subtree sums;
+//! * `O(u)` single-pass multi-quantile [`FreqTree::quantiles`] — exactly
+//!   Algorithm 1's `ComputeResult` in-order traversal;
+//! * cheap [`FreqTree::clear`] for tumbling sub-window reuse (the arena is
+//!   retained, so steady-state Level-1 processing allocates nothing).
+//!
+//! No `unsafe` anywhere: links are indices, the borrow checker stays happy,
+//! and the memory layout is cache-friendlier than `Box`-per-node trees.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod tree;
+
+pub use tree::{FreqTree, InOrderIter, RemoveError};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,171 @@
+//! Property-based tests: the tree must behave exactly like a reference
+//! `BTreeMap<K, u64>` model under arbitrary interleavings of operations,
+//! and every operation must preserve the red-black + order-statistic
+//! invariants checked by `FreqTree::validate`.
+
+use crate::FreqTree;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u8),
+    Remove(u16, u8),
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (any::<u16>(), 1..16u8).prop_map(|(k, f)| Op::Insert(k % 512, f)),
+        6 => (any::<u16>(), 1..16u8).prop_map(|(k, f)| Op::Remove(k % 512, f)),
+        1 => Just(Op::Clear),
+    ]
+}
+
+fn model_quantile(model: &BTreeMap<u64, u64>, phi: f64) -> Option<u64> {
+    let total: u64 = model.values().sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = ((phi * total as f64).ceil() as u64).clamp(1, total);
+    let mut running = 0;
+    for (&k, &c) in model {
+        running += c;
+        if running >= rank {
+            return Some(k);
+        }
+    }
+    unreachable!("rank ≤ total")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary op sequences agree with the BTreeMap model and keep all
+    /// invariants.
+    #[test]
+    fn model_equivalence(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut tree: FreqTree<u64> = FreqTree::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, f) => {
+                    let (k, f) = (k as u64, f as u64);
+                    tree.insert(k, f);
+                    *model.entry(k).or_insert(0) += f;
+                }
+                Op::Remove(k, f) => {
+                    let (k, f) = (k as u64, f as u64);
+                    let available = model.get(&k).copied().unwrap_or(0);
+                    let res = tree.remove(k, f);
+                    if available >= f {
+                        prop_assert!(res.is_ok());
+                        if available == f {
+                            model.remove(&k);
+                        } else {
+                            *model.get_mut(&k).unwrap() -= f;
+                        }
+                    } else {
+                        prop_assert!(res.is_err());
+                    }
+                }
+                Op::Clear => {
+                    tree.clear();
+                    model.clear();
+                }
+            }
+            tree.validate().map_err(TestCaseError::fail)?;
+            let model_total: u64 = model.values().sum();
+            prop_assert_eq!(tree.total(), model_total);
+            prop_assert_eq!(tree.unique_len(), model.len());
+        }
+
+        // Full in-order agreement.
+        let tree_pairs: Vec<(u64, u64)> = tree.iter().collect();
+        let model_pairs: Vec<(u64, u64)> = model.iter().map(|(&k, &c)| (k, c)).collect();
+        prop_assert_eq!(tree_pairs, model_pairs);
+    }
+
+    /// select(rank) enumerates the sorted multiset.
+    #[test]
+    fn select_is_sorted_enumeration(keys in proptest::collection::vec((0u64..256, 1u64..8), 1..80)) {
+        let mut tree = FreqTree::new();
+        let mut expanded: Vec<u64> = Vec::new();
+        for &(k, f) in &keys {
+            tree.insert(k, f);
+            for _ in 0..f {
+                expanded.push(k);
+            }
+        }
+        expanded.sort_unstable();
+        for (i, &want) in expanded.iter().enumerate() {
+            prop_assert_eq!(tree.select(i as u64 + 1), Some(want));
+        }
+        prop_assert_eq!(tree.select(expanded.len() as u64 + 1), None);
+    }
+
+    /// quantile() agrees with the model on arbitrary fractions.
+    #[test]
+    fn quantile_matches_model(
+        keys in proptest::collection::vec((0u64..128, 1u64..5), 1..60),
+        phi in 0.0f64..=1.0,
+    ) {
+        let mut tree = FreqTree::new();
+        let mut model = BTreeMap::new();
+        for &(k, f) in &keys {
+            tree.insert(k, f);
+            *model.entry(k).or_insert(0u64) += f;
+        }
+        prop_assert_eq!(tree.quantile(phi), model_quantile(&model, phi));
+    }
+
+    /// Multi-quantile single-pass equals repeated select-based quantiles.
+    #[test]
+    fn quantiles_batch_matches_individual(
+        keys in proptest::collection::vec((0u64..128, 1u64..5), 1..60),
+        phis in proptest::collection::vec(0.001f64..=1.0, 1..6),
+    ) {
+        let mut tree = FreqTree::new();
+        for &(k, f) in &keys {
+            tree.insert(k, f);
+        }
+        let batch = tree.quantiles(&phis).unwrap();
+        for (i, &phi) in phis.iter().enumerate() {
+            prop_assert_eq!(Some(batch[i]), tree.quantile(phi));
+        }
+    }
+
+    /// rank_of and select are mutually consistent: for every stored key,
+    /// select(rank_of(key)) == key.
+    #[test]
+    fn rank_select_roundtrip(keys in proptest::collection::vec((0u64..200, 1u64..4), 1..50)) {
+        let mut tree = FreqTree::new();
+        for &(k, f) in &keys {
+            tree.insert(k, f);
+        }
+        for (k, _) in tree.iter().collect::<Vec<_>>() {
+            let r = tree.rank_of(k);
+            prop_assert_eq!(tree.select(r), Some(k));
+        }
+    }
+
+    /// top_k returns the k largest elements with multiplicity, descending.
+    #[test]
+    fn top_k_matches_sorted_tail(
+        keys in proptest::collection::vec((0u64..100, 1u64..4), 1..40),
+        k in 0usize..40,
+    ) {
+        let mut tree = FreqTree::new();
+        let mut expanded = Vec::new();
+        for &(key, f) in &keys {
+            tree.insert(key, f);
+            for _ in 0..f {
+                expanded.push(key);
+            }
+        }
+        expanded.sort_unstable_by(|a, b| b.cmp(a));
+        expanded.truncate(k);
+        prop_assert_eq!(tree.top_k(k), expanded);
+    }
+}

@@ -1,0 +1,1025 @@
+//! The arena-based order-statistic frequency red-black tree.
+
+use std::fmt;
+
+/// Index type for arena links. `u32` halves node size versus `usize`
+/// pointers; 4 billion unique values per sub-window is far beyond any
+/// telemetry workload (the paper's largest sub-window holds 1M elements).
+type Idx = u32;
+
+/// Sentinel index of the NIL node (always slot 0 of the arena, black,
+/// zero frequency) — the CLRS `T.nil` trick, which removes almost every
+/// null check from the fixup procedures.
+const NIL: Idx = 0;
+
+#[derive(Debug, Clone)]
+struct Node<K> {
+    key: K,
+    /// Frequency of `key` in the multiset.
+    count: u64,
+    /// Total frequency of the subtree rooted here (order-statistic
+    /// augmentation; NIL carries 0).
+    subtree: u64,
+    left: Idx,
+    right: Idx,
+    parent: Idx,
+    red: bool,
+}
+
+/// Error from [`FreqTree::remove`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoveError {
+    /// The key is not present in the tree.
+    KeyNotFound,
+    /// The key is present but with a smaller frequency than requested.
+    InsufficientCount {
+        /// Frequency actually present.
+        available: u64,
+    },
+}
+
+impl fmt::Display for RemoveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoveError::KeyNotFound => write!(f, "key not found in frequency tree"),
+            RemoveError::InsufficientCount { available } => {
+                write!(f, "requested removal exceeds stored frequency {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RemoveError {}
+
+/// Order-statistic red-black tree over a multiset of `K`, stored as
+/// `{key → frequency}` with subtree frequency sums.
+///
+/// `K: Default` is only used to fill the NIL sentinel slot; the default
+/// value itself is never observed through the public API.
+#[derive(Clone)]
+pub struct FreqTree<K> {
+    arena: Vec<Node<K>>,
+    root: Idx,
+    /// Head of the free list threaded through `parent` links of freed slots.
+    free_head: Idx,
+    /// Number of live (non-NIL, non-free) nodes.
+    unique: usize,
+    /// Total frequency over all keys.
+    total: u64,
+}
+
+impl<K: Ord + Copy + Default> Default for FreqTree<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Copy + Default> FreqTree<K> {
+    /// Empty tree.
+    pub fn new() -> Self {
+        let nil = Node {
+            key: K::default(),
+            count: 0,
+            subtree: 0,
+            left: NIL,
+            right: NIL,
+            parent: NIL,
+            red: false,
+        };
+        Self {
+            arena: vec![nil],
+            root: NIL,
+            free_head: NIL,
+            unique: 0,
+            total: 0,
+        }
+    }
+
+    /// Empty tree with arena capacity for `unique_capacity` distinct keys.
+    pub fn with_capacity(unique_capacity: usize) -> Self {
+        let mut t = Self::new();
+        t.arena.reserve(unique_capacity);
+        t
+    }
+
+    /// Total frequency (the paper's `state.Count`).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct keys currently stored.
+    pub fn unique_len(&self) -> usize {
+        self.unique
+    }
+
+    /// `true` when no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Remove all elements but keep the arena allocation for reuse — the
+    /// tumbling-window reset at every sub-window boundary (§3.1: "once a
+    /// sub-window completes, all values are discarded").
+    pub fn clear(&mut self) {
+        self.arena.truncate(1);
+        self.arena[0].left = NIL;
+        self.arena[0].right = NIL;
+        self.arena[0].parent = NIL;
+        self.root = NIL;
+        self.free_head = NIL;
+        self.unique = 0;
+        self.total = 0;
+    }
+
+    // ---- arena plumbing ------------------------------------------------
+
+    fn alloc(&mut self, key: K, count: u64) -> Idx {
+        let node = Node {
+            key,
+            count,
+            subtree: count,
+            left: NIL,
+            right: NIL,
+            parent: NIL,
+            red: true,
+        };
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            self.free_head = self.arena[idx as usize].parent;
+            self.arena[idx as usize] = node;
+            idx
+        } else {
+            self.arena.push(node);
+            (self.arena.len() - 1) as Idx
+        }
+    }
+
+    fn free(&mut self, idx: Idx) {
+        debug_assert_ne!(idx, NIL);
+        self.arena[idx as usize].parent = self.free_head;
+        self.free_head = idx;
+    }
+
+    #[inline]
+    fn n(&self, i: Idx) -> &Node<K> {
+        &self.arena[i as usize]
+    }
+
+    #[inline]
+    fn nm(&mut self, i: Idx) -> &mut Node<K> {
+        &mut self.arena[i as usize]
+    }
+
+    /// Recompute a node's subtree sum from its children.
+    #[inline]
+    fn update(&mut self, i: Idx) {
+        if i == NIL {
+            return;
+        }
+        let l = self.n(self.n(i).left).subtree;
+        let r = self.n(self.n(i).right).subtree;
+        let c = self.n(i).count;
+        self.nm(i).subtree = l + r + c;
+    }
+
+    // ---- rotations (subtree sums repaired locally) ----------------------
+
+    fn rotate_left(&mut self, x: Idx) {
+        let y = self.n(x).right;
+        debug_assert_ne!(y, NIL);
+        let y_left = self.n(y).left;
+        self.nm(x).right = y_left;
+        if y_left != NIL {
+            self.nm(y_left).parent = x;
+        }
+        let xp = self.n(x).parent;
+        self.nm(y).parent = xp;
+        if xp == NIL {
+            self.root = y;
+        } else if self.n(xp).left == x {
+            self.nm(xp).left = y;
+        } else {
+            self.nm(xp).right = y;
+        }
+        self.nm(y).left = x;
+        self.nm(x).parent = y;
+        // x is now y's child: recompute bottom-up.
+        self.update(x);
+        self.update(y);
+    }
+
+    fn rotate_right(&mut self, x: Idx) {
+        let y = self.n(x).left;
+        debug_assert_ne!(y, NIL);
+        let y_right = self.n(y).right;
+        self.nm(x).left = y_right;
+        if y_right != NIL {
+            self.nm(y_right).parent = x;
+        }
+        let xp = self.n(x).parent;
+        self.nm(y).parent = xp;
+        if xp == NIL {
+            self.root = y;
+        } else if self.n(xp).right == x {
+            self.nm(xp).right = y;
+        } else {
+            self.nm(xp).left = y;
+        }
+        self.nm(y).right = x;
+        self.nm(x).parent = y;
+        self.update(x);
+        self.update(y);
+    }
+
+    // ---- insertion ------------------------------------------------------
+
+    /// Add `freq` occurrences of `key` (Algorithm 1 `Accumulate`).
+    ///
+    /// Existing keys take the `O(log u)` descent with an in-place counter
+    /// bump — the cheap path that high-redundancy telemetry hits almost
+    /// always. `freq == 0` is a no-op.
+    pub fn insert(&mut self, key: K, freq: u64) {
+        if freq == 0 {
+            return;
+        }
+        self.total += freq;
+        if self.root == NIL {
+            let z = self.alloc(key, freq);
+            self.nm(z).red = false;
+            self.root = z;
+            self.unique += 1;
+            return;
+        }
+        // Descend, bumping subtree sums optimistically (every node on the
+        // path gains `freq` whether the key exists or is created below it).
+        let mut cur = self.root;
+        loop {
+            self.nm(cur).subtree += freq;
+            match key.cmp(&self.n(cur).key) {
+                std::cmp::Ordering::Equal => {
+                    self.nm(cur).count += freq;
+                    return;
+                }
+                std::cmp::Ordering::Less => {
+                    let next = self.n(cur).left;
+                    if next == NIL {
+                        let z = self.alloc(key, freq);
+                        self.nm(z).parent = cur;
+                        self.nm(cur).left = z;
+                        self.unique += 1;
+                        self.insert_fixup(z);
+                        return;
+                    }
+                    cur = next;
+                }
+                std::cmp::Ordering::Greater => {
+                    let next = self.n(cur).right;
+                    if next == NIL {
+                        let z = self.alloc(key, freq);
+                        self.nm(z).parent = cur;
+                        self.nm(cur).right = z;
+                        self.unique += 1;
+                        self.insert_fixup(z);
+                        return;
+                    }
+                    cur = next;
+                }
+            }
+        }
+    }
+
+    fn insert_fixup(&mut self, mut z: Idx) {
+        while self.n(self.n(z).parent).red {
+            let zp = self.n(z).parent;
+            let zpp = self.n(zp).parent;
+            if zp == self.n(zpp).left {
+                let uncle = self.n(zpp).right;
+                if self.n(uncle).red {
+                    self.nm(zp).red = false;
+                    self.nm(uncle).red = false;
+                    self.nm(zpp).red = true;
+                    z = zpp;
+                } else {
+                    if z == self.n(zp).right {
+                        z = zp;
+                        self.rotate_left(z);
+                    }
+                    let zp = self.n(z).parent;
+                    let zpp = self.n(zp).parent;
+                    self.nm(zp).red = false;
+                    self.nm(zpp).red = true;
+                    self.rotate_right(zpp);
+                }
+            } else {
+                let uncle = self.n(zpp).left;
+                if self.n(uncle).red {
+                    self.nm(zp).red = false;
+                    self.nm(uncle).red = false;
+                    self.nm(zpp).red = true;
+                    z = zpp;
+                } else {
+                    if z == self.n(zp).left {
+                        z = zp;
+                        self.rotate_right(z);
+                    }
+                    let zp = self.n(z).parent;
+                    let zpp = self.n(zp).parent;
+                    self.nm(zp).red = false;
+                    self.nm(zpp).red = true;
+                    self.rotate_left(zpp);
+                }
+            }
+        }
+        let r = self.root;
+        self.nm(r).red = false;
+    }
+
+    // ---- removal ---------------------------------------------------------
+
+    /// Remove `freq` occurrences of `key` (the Exact baseline's
+    /// `Deaccumulate`). Structural deletion only happens when the key's
+    /// frequency reaches zero. `freq == 0` is a no-op.
+    pub fn remove(&mut self, key: K, freq: u64) -> Result<(), RemoveError> {
+        if freq == 0 {
+            return Ok(());
+        }
+        let z = self.find(key);
+        if z == NIL {
+            return Err(RemoveError::KeyNotFound);
+        }
+        let available = self.n(z).count;
+        if freq > available {
+            return Err(RemoveError::InsufficientCount { available });
+        }
+        self.total -= freq;
+        if freq < available {
+            // Counter path: subtract along the ancestor chain.
+            self.nm(z).count -= freq;
+            let mut cur = z;
+            while cur != NIL {
+                self.nm(cur).subtree -= freq;
+                cur = self.n(cur).parent;
+            }
+            return Ok(());
+        }
+        self.delete_node(z);
+        self.unique -= 1;
+        Ok(())
+    }
+
+    fn find(&self, key: K) -> Idx {
+        let mut cur = self.root;
+        while cur != NIL {
+            match key.cmp(&self.n(cur).key) {
+                std::cmp::Ordering::Equal => return cur,
+                std::cmp::Ordering::Less => cur = self.n(cur).left,
+                std::cmp::Ordering::Greater => cur = self.n(cur).right,
+            }
+        }
+        NIL
+    }
+
+    /// Frequency of `key`, 0 if absent.
+    pub fn count_of(&self, key: K) -> u64 {
+        let i = self.find(key);
+        if i == NIL {
+            0
+        } else {
+            self.n(i).count
+        }
+    }
+
+    fn minimum(&self, mut x: Idx) -> Idx {
+        while self.n(x).left != NIL {
+            x = self.n(x).left;
+        }
+        x
+    }
+
+    /// `v` replaces `u` as `u.parent`'s child (CLRS RB-TRANSPLANT; also
+    /// sets `v.parent` even when `v` is NIL — delete_fixup relies on it).
+    fn transplant(&mut self, u: Idx, v: Idx) {
+        let up = self.n(u).parent;
+        if up == NIL {
+            self.root = v;
+        } else if self.n(up).left == u {
+            self.nm(up).left = v;
+        } else {
+            self.nm(up).right = v;
+        }
+        self.nm(v).parent = up;
+    }
+
+    /// CLRS RB-DELETE with augmentation repair.
+    fn delete_node(&mut self, z: Idx) {
+        let mut y = z;
+        let mut y_was_red = self.n(y).red;
+        let x;
+        if self.n(z).left == NIL {
+            x = self.n(z).right;
+            self.transplant(z, x);
+        } else if self.n(z).right == NIL {
+            x = self.n(z).left;
+            self.transplant(z, x);
+        } else {
+            y = self.minimum(self.n(z).right);
+            y_was_red = self.n(y).red;
+            x = self.n(y).right;
+            if self.n(y).parent == z {
+                // x may be NIL; fixup needs its parent pointer anyway.
+                self.nm(x).parent = y;
+            } else {
+                self.transplant(y, x);
+                let zr = self.n(z).right;
+                self.nm(y).right = zr;
+                self.nm(zr).parent = y;
+            }
+            self.transplant(z, y);
+            let zl = self.n(z).left;
+            self.nm(y).left = zl;
+            self.nm(zl).parent = y;
+            self.nm(y).red = self.n(z).red;
+        }
+        // Repair subtree sums from the splice point upward. Starting at
+        // x's parent covers both the two-children case (y moved) and the
+        // simple transplant cases.
+        let mut cur = self.n(x).parent;
+        while cur != NIL {
+            self.update(cur);
+            cur = self.n(cur).parent;
+        }
+        if !y_was_red {
+            self.delete_fixup(x);
+        }
+        // NIL may have been given a temporary parent; restore invariants.
+        self.nm(NIL).parent = NIL;
+        self.free(z);
+    }
+
+    fn delete_fixup(&mut self, mut x: Idx) {
+        while x != self.root && !self.n(x).red {
+            let xp = self.n(x).parent;
+            if x == self.n(xp).left {
+                let mut w = self.n(xp).right;
+                if self.n(w).red {
+                    self.nm(w).red = false;
+                    self.nm(xp).red = true;
+                    self.rotate_left(xp);
+                    w = self.n(self.n(x).parent).right;
+                }
+                if !self.n(self.n(w).left).red && !self.n(self.n(w).right).red {
+                    self.nm(w).red = true;
+                    x = self.n(x).parent;
+                } else {
+                    if !self.n(self.n(w).right).red {
+                        let wl = self.n(w).left;
+                        self.nm(wl).red = false;
+                        self.nm(w).red = true;
+                        self.rotate_right(w);
+                        w = self.n(self.n(x).parent).right;
+                    }
+                    let xp = self.n(x).parent;
+                    let xp_red = self.n(xp).red;
+                    self.nm(w).red = xp_red;
+                    self.nm(xp).red = false;
+                    let wr = self.n(w).right;
+                    self.nm(wr).red = false;
+                    self.rotate_left(xp);
+                    x = self.root;
+                }
+            } else {
+                let mut w = self.n(xp).left;
+                if self.n(w).red {
+                    self.nm(w).red = false;
+                    self.nm(xp).red = true;
+                    self.rotate_right(xp);
+                    w = self.n(self.n(x).parent).left;
+                }
+                if !self.n(self.n(w).left).red && !self.n(self.n(w).right).red {
+                    self.nm(w).red = true;
+                    x = self.n(x).parent;
+                } else {
+                    if !self.n(self.n(w).left).red {
+                        let wr = self.n(w).right;
+                        self.nm(wr).red = false;
+                        self.nm(w).red = true;
+                        self.rotate_left(w);
+                        w = self.n(self.n(x).parent).left;
+                    }
+                    let xp = self.n(x).parent;
+                    let xp_red = self.n(xp).red;
+                    self.nm(w).red = xp_red;
+                    self.nm(xp).red = false;
+                    let wl = self.n(w).left;
+                    self.nm(wl).red = false;
+                    self.rotate_right(xp);
+                    x = self.root;
+                }
+            }
+        }
+        self.nm(x).red = false;
+    }
+
+    // ---- order statistics -------------------------------------------------
+
+    /// Value at 1-indexed rank `r` in the multiset (`1 ≤ r ≤ total`),
+    /// `O(log u)` via the subtree sums. Returns `None` out of range.
+    pub fn select(&self, mut r: u64) -> Option<K> {
+        if r == 0 || r > self.total {
+            return None;
+        }
+        let mut cur = self.root;
+        loop {
+            debug_assert_ne!(cur, NIL);
+            let left = self.n(cur).left;
+            let left_sum = self.n(left).subtree;
+            if r <= left_sum {
+                cur = left;
+                continue;
+            }
+            r -= left_sum;
+            let c = self.n(cur).count;
+            if r <= c {
+                return Some(self.n(cur).key);
+            }
+            r -= c;
+            cur = self.n(cur).right;
+        }
+    }
+
+    /// Number of stored elements `≤ key` — the multiset rank used for
+    /// measuring observed rank error.
+    pub fn rank_of(&self, key: K) -> u64 {
+        let mut acc = 0u64;
+        let mut cur = self.root;
+        while cur != NIL {
+            match key.cmp(&self.n(cur).key) {
+                std::cmp::Ordering::Less => cur = self.n(cur).left,
+                std::cmp::Ordering::Equal => {
+                    return acc + self.n(self.n(cur).left).subtree + self.n(cur).count;
+                }
+                std::cmp::Ordering::Greater => {
+                    acc += self.n(self.n(cur).left).subtree + self.n(cur).count;
+                    cur = self.n(cur).right;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Exact φ-quantile under the paper's rank convention `⌈φ·total⌉`,
+    /// `O(log u)`. Returns `None` on an empty tree.
+    pub fn quantile(&self, phi: f64) -> Option<K> {
+        if self.total == 0 {
+            return None;
+        }
+        let r = (phi * self.total as f64).ceil() as u64;
+        self.select(r.clamp(1, self.total))
+    }
+
+    /// Exact φ-quantiles for several fractions in **one** in-order pass —
+    /// Algorithm 1's `ComputeResult`. `phis` need not be sorted; results
+    /// are returned in the caller's order. `None` on an empty tree.
+    pub fn quantiles(&self, phis: &[f64]) -> Option<Vec<K>> {
+        if self.total == 0 || phis.is_empty() {
+            return if phis.is_empty() { Some(vec![]) } else { None };
+        }
+        // Sort the requested ranks but remember the original positions.
+        let mut order: Vec<usize> = (0..phis.len()).collect();
+        order.sort_by(|&a, &b| phis[a].partial_cmp(&phis[b]).expect("NaN quantile"));
+        let ranks: Vec<u64> = order
+            .iter()
+            .map(|&i| ((phis[i] * self.total as f64).ceil() as u64).clamp(1, self.total))
+            .collect();
+
+        let mut results: Vec<Option<K>> = vec![None; phis.len()];
+        let mut next = 0usize; // index into `ranks`/`order`
+        let mut running = 0u64;
+
+        // Iterative in-order traversal, as in Algorithm 1 lines 17-27.
+        let mut stack: Vec<Idx> = Vec::new();
+        let mut cur = self.root;
+        'outer: while (cur != NIL || !stack.is_empty()) && next < ranks.len() {
+            while cur != NIL {
+                stack.push(cur);
+                cur = self.n(cur).left;
+            }
+            let node = stack.pop().expect("loop guard ensures non-empty");
+            running += self.n(node).count;
+            while next < ranks.len() && running >= ranks[next] {
+                results[order[next]] = Some(self.n(node).key);
+                next += 1;
+                if next == ranks.len() {
+                    break 'outer;
+                }
+            }
+            cur = self.n(node).right;
+        }
+        Some(results.into_iter().map(|r| r.expect("rank ≤ total")).collect())
+    }
+
+    /// Smallest key, `None` when empty.
+    pub fn min_key(&self) -> Option<K> {
+        if self.root == NIL {
+            None
+        } else {
+            Some(self.n(self.minimum(self.root)).key)
+        }
+    }
+
+    /// Largest key, `None` when empty.
+    pub fn max_key(&self) -> Option<K> {
+        if self.root == NIL {
+            return None;
+        }
+        let mut x = self.root;
+        while self.n(x).right != NIL {
+            x = self.n(x).right;
+        }
+        Some(self.n(x).key)
+    }
+
+    /// The `k` largest stored *elements* (with multiplicity), descending.
+    /// Cost `O(log u + k)` via a reverse in-order walk — used by few-k
+    /// merging to snapshot a sub-window's tail.
+    pub fn top_k(&self, k: usize) -> Vec<K> {
+        let mut out = Vec::with_capacity(k);
+        if k == 0 {
+            return out;
+        }
+        let mut stack: Vec<Idx> = Vec::new();
+        let mut cur = self.root;
+        while cur != NIL || !stack.is_empty() {
+            while cur != NIL {
+                stack.push(cur);
+                cur = self.n(cur).right;
+            }
+            let node = stack.pop().expect("guard");
+            let key = self.n(node).key;
+            let mut c = self.n(node).count;
+            while c > 0 && out.len() < k {
+                out.push(key);
+                c -= 1;
+            }
+            if out.len() == k {
+                return out;
+            }
+            cur = self.n(node).left;
+        }
+        out
+    }
+
+    /// Borrowed in-order iterator over `(key, frequency)` pairs.
+    pub fn iter(&self) -> InOrderIter<'_, K> {
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        while cur != NIL {
+            stack.push(cur);
+            cur = self.n(cur).left;
+        }
+        InOrderIter { tree: self, stack }
+    }
+
+    /// Approximate heap footprint in bytes (arena slots × node size).
+    pub fn memory_bytes(&self) -> usize {
+        self.arena.capacity() * std::mem::size_of::<Node<K>>()
+    }
+
+    // ---- invariant validation (used by tests & proptests) ------------------
+
+    /// Check every red-black and augmentation invariant; returns a
+    /// description of the first violation. `O(u)`. Intended for tests —
+    /// not called on hot paths.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n(NIL).red {
+            return Err("NIL is red".into());
+        }
+        if self.n(NIL).subtree != 0 {
+            return Err("NIL has nonzero subtree sum".into());
+        }
+        if self.root != NIL {
+            if self.n(self.root).red {
+                return Err("root is red".into());
+            }
+            if self.n(self.root).parent != NIL {
+                return Err("root has a parent".into());
+            }
+        }
+        let mut unique = 0usize;
+        let (total, _) = self.validate_node(self.root, None, None, &mut unique)?;
+        if total != self.total {
+            return Err(format!("total mismatch: cached {} vs walked {total}", self.total));
+        }
+        if unique != self.unique {
+            return Err(format!("unique mismatch: cached {} vs walked {unique}", self.unique));
+        }
+        Ok(())
+    }
+
+    /// Returns (subtree frequency sum, black height).
+    fn validate_node(
+        &self,
+        i: Idx,
+        lo: Option<K>,
+        hi: Option<K>,
+        unique: &mut usize,
+    ) -> Result<(u64, usize), String> {
+        if i == NIL {
+            return Ok((0, 1));
+        }
+        *unique += 1;
+        let node = self.n(i);
+        if node.count == 0 {
+            return Err("live node with zero frequency".into());
+        }
+        if let Some(lo) = lo {
+            if node.key <= lo {
+                return Err("BST order violated (left bound)".into());
+            }
+        }
+        if let Some(hi) = hi {
+            if node.key >= hi {
+                return Err("BST order violated (right bound)".into());
+            }
+        }
+        if node.red && (self.n(node.left).red || self.n(node.right).red) {
+            return Err("red node with red child".into());
+        }
+        if node.left != NIL && self.n(node.left).parent != i {
+            return Err("broken parent link (left)".into());
+        }
+        if node.right != NIL && self.n(node.right).parent != i {
+            return Err("broken parent link (right)".into());
+        }
+        let (lsum, lbh) = self.validate_node(node.left, lo, Some(node.key), unique)?;
+        let (rsum, rbh) = self.validate_node(node.right, Some(node.key), hi, unique)?;
+        if lbh != rbh {
+            return Err("black heights differ".into());
+        }
+        let sum = lsum + rsum + node.count;
+        if sum != node.subtree {
+            return Err(format!("subtree sum mismatch: stored {} vs walked {sum}", node.subtree));
+        }
+        Ok((sum, lbh + usize::from(!node.red)))
+    }
+}
+
+impl<K: Ord + Copy + Default + fmt::Debug> fmt::Debug for FreqTree<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FreqTree")
+            .field("total", &self.total)
+            .field("unique", &self.unique)
+            .finish()
+    }
+}
+
+/// In-order `(key, frequency)` iterator over a [`FreqTree`].
+pub struct InOrderIter<'a, K> {
+    tree: &'a FreqTree<K>,
+    stack: Vec<Idx>,
+}
+
+impl<K: Ord + Copy + Default> Iterator for InOrderIter<'_, K> {
+    type Item = (K, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let node = self.stack.pop()?;
+        let out = (self.tree.n(node).key, self.tree.n(node).count);
+        let mut cur = self.tree.n(node).right;
+        while cur != NIL {
+            self.stack.push(cur);
+            cur = self.tree.n(cur).left;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree_basics() {
+        let t: FreqTree<u64> = FreqTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.unique_len(), 0);
+        assert_eq!(t.select(1), None);
+        assert_eq!(t.quantile(0.5), None);
+        assert_eq!(t.min_key(), None);
+        assert_eq!(t.max_key(), None);
+        assert_eq!(t.iter().count(), 0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let mut t = FreqTree::new();
+        t.insert(5u64, 1);
+        t.insert(3, 2);
+        t.insert(5, 1);
+        assert_eq!(t.total(), 4);
+        assert_eq!(t.unique_len(), 2);
+        assert_eq!(t.count_of(5), 2);
+        assert_eq!(t.count_of(3), 2);
+        assert_eq!(t.count_of(42), 0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_freq_insert_is_noop() {
+        let mut t = FreqTree::new();
+        t.insert(1u64, 0);
+        assert!(t.is_empty());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn select_respects_multiplicity() {
+        let mut t = FreqTree::new();
+        t.insert(10u64, 3);
+        t.insert(20, 1);
+        t.insert(5, 2);
+        // Multiset: 5,5,10,10,10,20
+        assert_eq!(t.select(1), Some(5));
+        assert_eq!(t.select(2), Some(5));
+        assert_eq!(t.select(3), Some(10));
+        assert_eq!(t.select(5), Some(10));
+        assert_eq!(t.select(6), Some(20));
+        assert_eq!(t.select(7), None);
+        assert_eq!(t.select(0), None);
+    }
+
+    #[test]
+    fn quantile_paper_convention() {
+        let mut t = FreqTree::new();
+        for v in 1..=100u64 {
+            t.insert(v, 1);
+        }
+        assert_eq!(t.quantile(0.5), Some(50));
+        assert_eq!(t.quantile(0.99), Some(99));
+        assert_eq!(t.quantile(1.0), Some(100));
+        assert_eq!(t.quantile(0.0), Some(1)); // clamped to rank 1
+    }
+
+    #[test]
+    fn multi_quantile_single_pass_matches_select() {
+        let mut t = FreqTree::new();
+        for v in [5u64, 9, 9, 1, 14, 2, 2, 2, 30, 7] {
+            t.insert(v, 1);
+        }
+        let phis = [0.999, 0.5, 0.9, 0.1]; // deliberately unsorted
+        let qs = t.quantiles(&phis).unwrap();
+        for (i, &phi) in phis.iter().enumerate() {
+            assert_eq!(Some(qs[i]), t.quantile(phi), "phi = {phi}");
+        }
+    }
+
+    #[test]
+    fn quantiles_empty_inputs() {
+        let t: FreqTree<u64> = FreqTree::new();
+        assert_eq!(t.quantiles(&[]), Some(vec![]));
+        assert_eq!(t.quantiles(&[0.5]), None);
+    }
+
+    #[test]
+    fn remove_decrements_then_deletes() {
+        let mut t = FreqTree::new();
+        t.insert(7u64, 3);
+        t.remove(7, 2).unwrap();
+        assert_eq!(t.count_of(7), 1);
+        assert_eq!(t.unique_len(), 1);
+        t.remove(7, 1).unwrap();
+        assert_eq!(t.count_of(7), 0);
+        assert_eq!(t.unique_len(), 0);
+        assert!(t.is_empty());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_errors() {
+        let mut t = FreqTree::new();
+        t.insert(1u64, 2);
+        assert_eq!(t.remove(9, 1), Err(RemoveError::KeyNotFound));
+        assert_eq!(
+            t.remove(1, 5),
+            Err(RemoveError::InsufficientCount { available: 2 })
+        );
+        // Failed removals must not corrupt state.
+        assert_eq!(t.total(), 2);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn rank_of_multiset() {
+        let mut t = FreqTree::new();
+        t.insert(10u64, 2);
+        t.insert(20, 3);
+        t.insert(30, 1);
+        assert_eq!(t.rank_of(5), 0);
+        assert_eq!(t.rank_of(10), 2);
+        assert_eq!(t.rank_of(15), 2);
+        assert_eq!(t.rank_of(20), 5);
+        assert_eq!(t.rank_of(30), 6);
+        assert_eq!(t.rank_of(99), 6);
+    }
+
+    #[test]
+    fn top_k_descending_with_multiplicity() {
+        let mut t = FreqTree::new();
+        t.insert(1u64, 1);
+        t.insert(50, 2);
+        t.insert(9, 1);
+        assert_eq!(t.top_k(3), vec![50, 50, 9]);
+        assert_eq!(t.top_k(0), Vec::<u64>::new());
+        assert_eq!(t.top_k(10), vec![50, 50, 9, 1]); // k > total
+    }
+
+    #[test]
+    fn iter_sorted_pairs() {
+        let mut t = FreqTree::new();
+        for v in [3u64, 1, 4, 1, 5, 9, 2, 6] {
+            t.insert(v, 1);
+        }
+        let pairs: Vec<(u64, u64)> = t.iter().collect();
+        assert_eq!(
+            pairs,
+            vec![(1, 2), (2, 1), (3, 1), (4, 1), (5, 1), (6, 1), (9, 1)]
+        );
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_resets() {
+        let mut t = FreqTree::new();
+        for v in 0..100u64 {
+            t.insert(v, 1);
+        }
+        let bytes = t.memory_bytes();
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.unique_len(), 0);
+        assert_eq!(t.memory_bytes(), bytes);
+        t.insert(5, 1);
+        assert_eq!(t.quantile(0.5), Some(5));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn ascending_descending_and_random_insert_stay_balanced() {
+        // 2·log2(n+1) is the red-black height bound; validate() checks the
+        // invariants that imply it.
+        let mut t = FreqTree::new();
+        for v in 0..1000u64 {
+            t.insert(v, 1);
+        }
+        t.validate().unwrap();
+        let mut t2 = FreqTree::new();
+        for v in (0..1000u64).rev() {
+            t2.insert(v, 1);
+        }
+        t2.validate().unwrap();
+        assert_eq!(t.quantile(0.5), t2.quantile(0.5));
+    }
+
+    #[test]
+    fn interleaved_insert_remove_consistency() {
+        let mut t = FreqTree::new();
+        // Simulate a sliding window: insert 0..500, remove 0..250.
+        for v in 0..500u64 {
+            t.insert(v % 97, 1); // heavy duplication
+        }
+        for v in 0..250u64 {
+            t.remove(v % 97, 1).unwrap();
+        }
+        assert_eq!(t.total(), 250);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn arena_slots_are_reused_after_free() {
+        let mut t = FreqTree::new();
+        for v in 0..64u64 {
+            t.insert(v, 1);
+        }
+        let bytes = t.memory_bytes();
+        for v in 0..64u64 {
+            t.remove(v, 1).unwrap();
+        }
+        for v in 100..164u64 {
+            t.insert(v, 1);
+        }
+        assert_eq!(t.memory_bytes(), bytes, "free list should recycle slots");
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn works_with_signed_and_float_ordered_keys() {
+        let mut t = FreqTree::new();
+        for v in [-5i64, 3, -5, 0, 8] {
+            t.insert(v, 1);
+        }
+        assert_eq!(t.min_key(), Some(-5));
+        assert_eq!(t.max_key(), Some(8));
+        assert_eq!(t.quantile(0.5), Some(0));
+    }
+}

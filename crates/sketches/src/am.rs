@@ -1,0 +1,308 @@
+//! AM — Arasu & Manku, "Approximate Counts and Quantiles over Sliding
+//! Windows" (PODS 2004).
+//!
+//! The second deterministic baseline of §5. Its idea: maintain summaries
+//! over **dyadic blocks** of the stream (blocks of 1, 2, 4, … periods,
+//! aligned to their size), so that any window suffix can be covered by
+//! `O(log)` disjoint blocks — fewer, bigger summaries than CMQS, hence
+//! the better space at equal ε the original paper proves.
+//!
+//! Implementation: per-level in-flight GK summaries; level `l` freezes a
+//! block every `2^l` periods, compacted to a fixed per-block capacity.
+//! Expired blocks (fully outside the window) are dropped. A query covers
+//! the last `N/P` periods greedily with the largest completed aligned
+//! blocks and combines their weighted pairs, just like CMQS's
+//! query-time merge.
+
+use crate::gk::{query_weighted_union, GkSketch};
+use crate::subwindows::subwindow_count;
+use qlove_stream::QuantilePolicy;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone)]
+struct Block {
+    /// First period index this block covers; aligned to `2^level`.
+    start: u64,
+    pairs: Vec<(u64, u64)>,
+}
+
+#[derive(Debug)]
+struct Level {
+    /// Completed blocks, oldest first.
+    blocks: VecDeque<Block>,
+    /// Summary of the block currently filling at this level.
+    inflight: GkSketch,
+}
+
+/// AM dyadic sliding-window quantiles with deterministic ε rank error.
+#[derive(Debug)]
+pub struct AmPolicy {
+    phis: Vec<f64>,
+    period: usize,
+    n_sub: usize,
+    epsilon: f64,
+    /// Per-block summary capacity (tuples) at every level.
+    capacity: usize,
+    levels: Vec<Level>,
+    /// Completed periods so far.
+    periods_done: u64,
+    filled: usize,
+}
+
+impl AmPolicy {
+    /// AM over `window`/`period` with rank tolerance `epsilon`.
+    pub fn new(phis: &[f64], window: usize, period: usize, epsilon: f64) -> Self {
+        assert!(!phis.is_empty(), "need at least one quantile");
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0,1)");
+        let n_sub = subwindow_count(window, period);
+        // Levels 0..=L with 2^L ≤ n_sub.
+        let max_level = (usize::BITS - 1 - n_sub.leading_zeros()) as usize;
+        // Each cover uses ≤ 2 blocks per level; giving each block rank
+        // slack (block_size · ε/2) keeps the union within εN (§ of the
+        // original proof); capacity 2/ε tuples achieves that slack.
+        let capacity = ((2.0 / epsilon).ceil() as usize).max(2);
+        let levels = (0..=max_level)
+            .map(|_| Level {
+                blocks: VecDeque::new(),
+                inflight: GkSketch::new(epsilon / 2.0),
+            })
+            .collect();
+        Self {
+            phis: phis.to_vec(),
+            period,
+            n_sub,
+            epsilon,
+            capacity,
+            levels,
+            periods_done: 0,
+            filled: 0,
+        }
+    }
+
+    /// Configured rank tolerance.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Oldest period index still inside the window ending after
+    /// `periods_done` completed periods.
+    fn window_start(&self) -> u64 {
+        self.periods_done.saturating_sub(self.n_sub as u64)
+    }
+
+    fn freeze_completed_levels(&mut self) {
+        let t = self.periods_done; // period just completed is t-1
+        for (l, level) in self.levels.iter_mut().enumerate() {
+            let span = 1u64 << l;
+            if t.is_multiple_of(span) {
+                // Block [t - span, t) completed at this level.
+                let mut sk =
+                    std::mem::replace(&mut level.inflight, GkSketch::new(self.epsilon / 2.0));
+                sk.shrink_to(self.capacity);
+                level.blocks.push_back(Block {
+                    start: t - span,
+                    pairs: sk.weighted_pairs().collect(),
+                });
+            }
+        }
+        // Drop blocks that ended at or before the window start.
+        let ws = self.window_start();
+        for (l, level) in self.levels.iter_mut().enumerate() {
+            let span = 1u64 << l;
+            while level
+                .blocks
+                .front()
+                .is_some_and(|b| b.start + span <= ws)
+            {
+                level.blocks.pop_front();
+            }
+        }
+    }
+
+    /// Greedy disjoint dyadic cover of periods `[window_start, t)`.
+    fn cover(&self) -> Vec<&Block> {
+        let mut out = Vec::new();
+        let mut p = self.window_start();
+        let t = self.periods_done;
+        while p < t {
+            // Largest aligned completed block starting exactly at p.
+            let mut chosen: Option<(usize, &Block)> = None;
+            for (l, level) in self.levels.iter().enumerate().rev() {
+                let span = 1u64 << l;
+                if p.is_multiple_of(span) && p + span <= t {
+                    if let Some(b) = level.blocks.iter().find(|b| b.start == p) {
+                        chosen = Some((l, b));
+                        break;
+                    }
+                }
+            }
+            let (l, b) = chosen.expect("level-0 block always exists per completed period");
+            out.push(b);
+            p += 1u64 << l;
+        }
+        out
+    }
+}
+
+impl QuantilePolicy for AmPolicy {
+    fn push(&mut self, value: u64) -> Option<Vec<u64>> {
+        for level in &mut self.levels {
+            level.inflight.insert(value);
+        }
+        self.filled += 1;
+        if self.filled < self.period {
+            return None;
+        }
+        self.filled = 0;
+        self.periods_done += 1;
+        self.freeze_completed_levels();
+
+        if self.periods_done < self.n_sub as u64 {
+            return None;
+        }
+        let cover = self.cover();
+        let mut union: Vec<(u64, u64)> = cover
+            .iter()
+            .flat_map(|b| b.pairs.iter().copied())
+            .collect();
+        let total: u64 = union.iter().map(|p| p.1).sum();
+        let out = self
+            .phis
+            .iter()
+            .map(|&phi| {
+                let r = ((phi * total as f64).ceil() as u64).clamp(1, total);
+                query_weighted_union(&mut union, r).expect("non-empty cover")
+            })
+            .collect();
+        Some(out)
+    }
+
+    fn phis(&self) -> &[f64] {
+        &self.phis
+    }
+
+    fn space_variables(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|level| {
+                let frozen: usize = level.blocks.iter().map(|b| b.pairs.len() * 2).sum();
+                frozen + level.inflight.space_variables()
+            })
+            .sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "AM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlove_stats::{quantile_rank, rank_of_value};
+
+    fn stream(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| (i * 2654435761) % 1_000_003).collect()
+    }
+
+    #[test]
+    fn rank_error_stays_within_epsilon() {
+        let eps = 0.05;
+        let (window, period) = (4096, 512);
+        let mut p = AmPolicy::new(&[0.1, 0.5, 0.9, 0.99], window, period, eps);
+        let data = stream(16_000);
+        let mut evals = 0;
+        for (i, &v) in data.iter().enumerate() {
+            if let Some(out) = p.push(v) {
+                evals += 1;
+                let mut win: Vec<u64> = data[i + 1 - window..=i].to_vec();
+                win.sort_unstable();
+                for (qi, &phi) in p.phis().iter().enumerate() {
+                    let exact_r = quantile_rank(phi, window);
+                    let got_r = rank_of_value(&win, &out[qi]).max(1);
+                    let e = (exact_r as f64 - got_r as f64).abs() / window as f64;
+                    assert!(e <= eps + 0.01, "phi={phi} rank err {e} at {i}");
+                }
+            }
+        }
+        assert!(evals > 5);
+    }
+
+    #[test]
+    fn cover_uses_few_blocks() {
+        let (window, period) = (8192, 512); // 16 sub-windows, levels 0..=4
+        let mut p = AmPolicy::new(&[0.5], window, period, 0.05);
+        for &v in &stream(40_000) {
+            p.push(v);
+        }
+        let cover = p.cover();
+        // A 16-period cover needs at most ~2·log2(16) blocks; greedy from
+        // an aligned boundary often does better.
+        assert!(cover.len() <= 9, "cover used {} blocks", cover.len());
+        // Blocks are disjoint and contiguous.
+        let mut pos = p.window_start();
+        for b in &cover {
+            assert_eq!(b.start, pos);
+            let span = cover_span(&p, b);
+            pos += span;
+        }
+        assert_eq!(pos, p.periods_done);
+    }
+
+    fn cover_span(p: &AmPolicy, target: &Block) -> u64 {
+        for (l, level) in p.levels.iter().enumerate() {
+            if level
+                .blocks
+                .iter()
+                .any(|b| std::ptr::eq(b, target))
+            {
+                return 1u64 << l;
+            }
+        }
+        panic!("block not found in any level");
+    }
+
+    #[test]
+    fn expired_blocks_are_dropped() {
+        let (window, period) = (2048, 256);
+        let mut p = AmPolicy::new(&[0.5], window, period, 0.05);
+        for &v in &stream(100_000) {
+            p.push(v);
+        }
+        for (l, level) in p.levels.iter().enumerate() {
+            let span = 1u64 << l;
+            // Live blocks per level bounded by windows-worth plus one
+            // in-freeze block.
+            assert!(
+                level.blocks.len() as u64 <= p.n_sub as u64 / span + 2,
+                "level {l} holds {} blocks",
+                level.blocks.len()
+            );
+        }
+    }
+
+    #[test]
+    fn evaluates_every_period_once_warm() {
+        let mut p = AmPolicy::new(&[0.5], 1024, 128, 0.05);
+        let mut eval_at = Vec::new();
+        for (i, &v) in stream(4096).iter().enumerate() {
+            if p.push(v).is_some() {
+                eval_at.push(i + 1);
+            }
+        }
+        assert_eq!(eval_at.first(), Some(&1024));
+        assert!(eval_at.windows(2).all(|w| w[1] - w[0] == 128));
+    }
+
+    #[test]
+    fn single_subwindow_degenerates_to_tumbling() {
+        let mut p = AmPolicy::new(&[0.5], 256, 256, 0.05);
+        let mut outs = 0;
+        for &v in &stream(1024) {
+            if p.push(v).is_some() {
+                outs += 1;
+            }
+        }
+        assert_eq!(outs, 4);
+    }
+}

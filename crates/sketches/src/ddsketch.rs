@@ -1,0 +1,354 @@
+//! DDSketch — Masson, Rim, Lee ("DDSketch: a fast and fully-mergeable
+//! quantile sketch with relative-error guarantees", VLDB 2019).
+//!
+//! Not part of the paper's evaluation (it appeared the same year), but
+//! the natural *post-hoc* comparison point: DDSketch guarantees bounded
+//! **relative value error** by construction — exactly the metric QLOVE
+//! optimizes for — via logarithmically-spaced buckets. The extended
+//! harness pits it against QLOVE (`cargo run -p qlove-bench --bin
+//! ddsketch_comparison`) to see how the paper's workload-driven design
+//! compares with a guarantee-driven one on the same telemetry.
+//!
+//! Implementation: the standard collapsing-lowest variant. Values map to
+//! bucket `⌈log_γ v⌉` with `γ = (1+α)/(1−α)`; any value in a bucket can
+//! be reported as the bucket midpoint with relative error ≤ α. When the
+//! bucket count exceeds the budget, the lowest buckets collapse (the
+//! guarantee then holds for quantiles above the collapsed mass — the
+//! tail, which is what telemetry monitoring asks about).
+
+use crate::subwindows::{subwindow_count, Ring};
+use qlove_stream::QuantilePolicy;
+use std::collections::BTreeMap;
+
+/// A DDSketch over positive `u64` values with relative accuracy `alpha`.
+#[derive(Debug, Clone)]
+pub struct DdSketch {
+    alpha: f64,
+    gamma_ln: f64,
+    /// Bucket index → count. BTreeMap keeps quantile walks ordered and
+    /// collapsing cheap; bucket counts are small (~log range / α).
+    buckets: BTreeMap<i32, u64>,
+    /// Values equal to zero get a dedicated bucket.
+    zero_count: u64,
+    count: u64,
+    max_buckets: usize,
+}
+
+impl DdSketch {
+    /// Sketch with relative error `alpha` (e.g. 0.01 = 1%) and a bucket
+    /// budget (the reference implementation defaults to 2048; telemetry
+    /// ranges fit comfortably in a few hundred).
+    pub fn new(alpha: f64, max_buckets: usize) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0, 1)");
+        assert!(max_buckets >= 2, "need at least two buckets");
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        Self {
+            alpha,
+            gamma_ln: gamma.ln(),
+            buckets: BTreeMap::new(),
+            zero_count: 0,
+            count: 0,
+            max_buckets,
+        }
+    }
+
+    /// Configured relative accuracy α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Observations inserted.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Live buckets (excluding the zero bucket).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn bucket_of(&self, v: u64) -> i32 {
+        debug_assert!(v > 0);
+        ((v as f64).ln() / self.gamma_ln).ceil() as i32
+    }
+
+    fn bucket_value(&self, idx: i32) -> u64 {
+        // Midpoint of (γ^(i−1), γ^i] in the relative sense: 2γ^i/(γ+1).
+        let gamma = self.gamma_ln.exp();
+        let upper = (idx as f64 * self.gamma_ln).exp();
+        ((2.0 * upper) / (gamma + 1.0)).round().max(1.0) as u64
+    }
+
+    /// Insert one observation.
+    pub fn insert(&mut self, v: u64) {
+        self.count += 1;
+        if v == 0 {
+            self.zero_count += 1;
+            return;
+        }
+        *self.buckets.entry(self.bucket_of(v)).or_insert(0) += 1;
+        if self.buckets.len() > self.max_buckets {
+            self.collapse_lowest();
+        }
+    }
+
+    /// Collapse the two lowest buckets into one (the reference
+    /// "collapsing lowest dense" strategy): tail accuracy is preserved,
+    /// the collapsed low quantiles lose their guarantee.
+    fn collapse_lowest(&mut self) {
+        let mut it = self.buckets.iter();
+        let (Some((&lo, &lo_c)), Some((&next, _))) = (it.next(), it.next()) else {
+            return;
+        };
+        drop(it);
+        self.buckets.remove(&lo);
+        *self.buckets.get_mut(&next).expect("key just observed") += lo_c;
+    }
+
+    /// Merge another sketch with identical α (bucket indices align).
+    pub fn merge(&mut self, other: &Self) {
+        assert!(
+            (self.alpha - other.alpha).abs() < 1e-12,
+            "cannot merge DDSketches of different alpha"
+        );
+        self.count += other.count;
+        self.zero_count += other.zero_count;
+        for (&idx, &c) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += c;
+        }
+        while self.buckets.len() > self.max_buckets {
+            self.collapse_lowest();
+        }
+    }
+
+    /// φ-quantile under the paper's `⌈φn⌉` rank convention.
+    pub fn quantile(&self, phi: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((phi * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank <= self.zero_count {
+            return Some(0);
+        }
+        let mut acc = self.zero_count;
+        for (&idx, &c) in &self.buckets {
+            acc += c;
+            if acc >= rank {
+                return Some(self.bucket_value(idx));
+            }
+        }
+        self.buckets.keys().next_back().map(|&i| self.bucket_value(i))
+    }
+
+    /// Stored scalars: 2 per bucket plus counters.
+    pub fn space_variables(&self) -> usize {
+        self.buckets.len() * 2 + 3
+    }
+}
+
+/// DDSketch deployed per sub-window over a sliding window (merge at
+/// evaluation), mirroring how every other policy in the harness runs.
+#[derive(Debug)]
+pub struct DdSketchPolicy {
+    phis: Vec<f64>,
+    period: usize,
+    alpha: f64,
+    max_buckets: usize,
+    inflight: DdSketch,
+    completed: Ring<DdSketch>,
+    filled: usize,
+}
+
+impl DdSketchPolicy {
+    /// Per-sub-window DDSketches with relative accuracy `alpha`.
+    pub fn new(phis: &[f64], window: usize, period: usize, alpha: f64) -> Self {
+        assert!(!phis.is_empty(), "need at least one quantile");
+        let n_sub = subwindow_count(window, period);
+        let max_buckets = 1024;
+        Self {
+            phis: phis.to_vec(),
+            period,
+            alpha,
+            max_buckets,
+            inflight: DdSketch::new(alpha, max_buckets),
+            completed: Ring::new(n_sub),
+            filled: 0,
+        }
+    }
+}
+
+impl QuantilePolicy for DdSketchPolicy {
+    fn push(&mut self, value: u64) -> Option<Vec<u64>> {
+        self.inflight.insert(value);
+        self.filled += 1;
+        if self.filled < self.period {
+            return None;
+        }
+        self.filled = 0;
+        let sketch = std::mem::replace(
+            &mut self.inflight,
+            DdSketch::new(self.alpha, self.max_buckets),
+        );
+        self.completed.push(sketch);
+        if !self.completed.is_full() {
+            return None;
+        }
+        let mut merged = DdSketch::new(self.alpha, self.max_buckets);
+        for s in self.completed.iter() {
+            merged.merge(s);
+        }
+        Some(
+            self.phis
+                .iter()
+                .map(|&p| merged.quantile(p).expect("window non-empty"))
+                .collect(),
+        )
+    }
+
+    fn phis(&self) -> &[f64] {
+        &self.phis
+    }
+
+    fn space_variables(&self) -> usize {
+        self.completed
+            .iter()
+            .map(DdSketch::space_variables)
+            .sum::<usize>()
+            + self.inflight.space_variables()
+    }
+
+    fn name(&self) -> &'static str {
+        "DDSketch"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_returns_none() {
+        let s = DdSketch::new(0.01, 128);
+        assert_eq!(s.quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        DdSketch::new(1.5, 128);
+    }
+
+    #[test]
+    fn relative_error_bounded_by_alpha() {
+        let alpha = 0.02;
+        let mut s = DdSketch::new(alpha, 2048);
+        let mut data: Vec<u64> = (0..50_000u64)
+            .map(|i| 1 + (i * 2654435761) % 1_000_000)
+            .collect();
+        for &v in &data {
+            s.insert(v);
+        }
+        data.sort_unstable();
+        for &phi in &[0.01, 0.1, 0.5, 0.9, 0.99, 0.999] {
+            let exact = qlove_stats::quantile_sorted(&data, phi) as f64;
+            let got = s.quantile(phi).unwrap() as f64;
+            let rel = ((got - exact) / exact).abs();
+            assert!(rel <= alpha + 1e-6, "phi={phi}: rel {rel} > α");
+        }
+    }
+
+    #[test]
+    fn zero_values_handled() {
+        let mut s = DdSketch::new(0.01, 128);
+        for _ in 0..60 {
+            s.insert(0);
+        }
+        for _ in 0..40 {
+            s.insert(1000);
+        }
+        assert_eq!(s.quantile(0.5), Some(0));
+        let q9 = s.quantile(0.9).unwrap();
+        assert!((q9 as f64 - 1000.0).abs() / 1000.0 < 0.011);
+    }
+
+    #[test]
+    fn merge_equals_bulk_insert() {
+        let mut a = DdSketch::new(0.01, 2048);
+        let mut b = DdSketch::new(0.01, 2048);
+        let mut bulk = DdSketch::new(0.01, 2048);
+        for v in 1..4000u64 {
+            a.insert(v);
+            bulk.insert(v);
+        }
+        for v in 4000..9000u64 {
+            b.insert(v);
+            bulk.insert(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), bulk.count());
+        for &phi in &[0.1, 0.5, 0.99] {
+            assert_eq!(a.quantile(phi), bulk.quantile(phi), "phi={phi}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different alpha")]
+    fn merge_rejects_mismatched_alpha() {
+        let mut a = DdSketch::new(0.01, 128);
+        let b = DdSketch::new(0.02, 128);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn collapsing_preserves_tail_accuracy() {
+        let alpha = 0.02;
+        // Tiny budget forces collapsing of the low buckets.
+        let mut s = DdSketch::new(alpha, 32);
+        let mut data: Vec<u64> = (0..20_000u64)
+            .map(|i| 1 + (i * 48271) % 5_000_000)
+            .collect();
+        for &v in &data {
+            s.insert(v);
+        }
+        assert!(s.bucket_count() <= 32);
+        data.sort_unstable();
+        // High quantiles keep the guarantee even after collapsing.
+        for &phi in &[0.9, 0.99, 0.999] {
+            let exact = qlove_stats::quantile_sorted(&data, phi) as f64;
+            let got = s.quantile(phi).unwrap() as f64;
+            let rel = ((got - exact) / exact).abs();
+            assert!(rel <= alpha + 1e-6, "phi={phi}: rel {rel}");
+        }
+    }
+
+    #[test]
+    fn space_is_compact() {
+        let mut s = DdSketch::new(0.01, 2048);
+        for v in 1..1_000_000u64 {
+            s.insert(v % 100_000 + 1);
+        }
+        // ln(1e5)/ln(γ) ≈ 575 buckets at α = 1%.
+        assert!(s.space_variables() < 1500, "{}", s.space_variables());
+    }
+
+    #[test]
+    fn policy_sliding_schedule_and_accuracy() {
+        let (window, period) = (8_000, 1_000);
+        let mut p = DdSketchPolicy::new(&[0.5, 0.99], window, period, 0.01);
+        let data: Vec<u64> = (0..40_000u64).map(|i| 1 + (i * 7919) % 90_000).collect();
+        let mut evals = 0;
+        for (i, &v) in data.iter().enumerate() {
+            if let Some(ans) = p.push(v) {
+                evals += 1;
+                let mut win: Vec<u64> = data[i + 1 - window..=i].to_vec();
+                win.sort_unstable();
+                for (j, &phi) in [0.5, 0.99].iter().enumerate() {
+                    let exact = qlove_stats::quantile_sorted(&win, phi) as f64;
+                    let rel = ((ans[j] as f64 - exact) / exact).abs();
+                    assert!(rel < 0.011, "phi={phi} rel={rel} at {i}");
+                }
+            }
+        }
+        assert_eq!(evals, (40_000 - window) / period + 1);
+    }
+}

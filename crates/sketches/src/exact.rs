@@ -1,0 +1,185 @@
+//! The `Exact` baseline (§5.1).
+//!
+//! A frequency red-black tree over the *entire* window. Accumulation
+//! inserts into the tree; on a sliding window every expiring element is
+//! deaccumulated ("decrements its frequency by one, and is deleted from
+//! the red-black tree if the frequency becomes zero"). The paper notes
+//! this "outperformed other methods for the exact quantiles" — it is both
+//! the accuracy ground truth and the throughput baseline that QLOVE's
+//! Figure 4/5 speedups are measured against.
+
+use crate::subwindows::subwindow_count;
+use qlove_rbtree::FreqTree;
+use qlove_stream::QuantilePolicy;
+use std::collections::VecDeque;
+
+/// Exact sliding/tumbling-window quantiles over a frequency tree.
+#[derive(Debug)]
+pub struct ExactPolicy {
+    phis: Vec<f64>,
+    window: usize,
+    period: usize,
+    tree: FreqTree<u64>,
+    /// Live elements, oldest first; empty in tumbling mode (no expiry
+    /// bookkeeping needed when the whole state resets each period).
+    live: VecDeque<u64>,
+    since_eval: usize,
+}
+
+impl ExactPolicy {
+    /// Exact quantiles over windows of `window` elements evaluated every
+    /// `period` insertions. `window == period` runs tumbling (cheap
+    /// whole-state reset); `window > period` runs sliding (per-element
+    /// deaccumulate).
+    pub fn new(phis: &[f64], window: usize, period: usize) -> Self {
+        assert!(!phis.is_empty(), "need at least one quantile");
+        subwindow_count(window, period); // validates the pair
+        Self {
+            phis: phis.to_vec(),
+            window,
+            period,
+            tree: FreqTree::new(),
+            live: VecDeque::with_capacity(if window == period { 0 } else { window + 1 }),
+            since_eval: 0,
+        }
+    }
+
+    fn is_tumbling(&self) -> bool {
+        self.window == self.period
+    }
+
+    /// Elements currently in the window.
+    pub fn len(&self) -> usize {
+        self.tree.total() as usize
+    }
+
+    /// `true` when the window holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Borrow the underlying frequency tree (ground-truth inspection in
+    /// tests and harness code).
+    pub fn tree(&self) -> &FreqTree<u64> {
+        &self.tree
+    }
+}
+
+impl QuantilePolicy for ExactPolicy {
+    fn push(&mut self, value: u64) -> Option<Vec<u64>> {
+        self.tree.insert(value, 1);
+        if !self.is_tumbling() {
+            self.live.push_back(value);
+            if self.live.len() > self.window {
+                let expired = self.live.pop_front().expect("len > window ≥ 1");
+                self.tree
+                    .remove(expired, 1)
+                    .expect("expired element was previously inserted");
+            }
+        }
+        self.since_eval += 1;
+
+        let full = self.tree.total() as usize == self.window;
+        if self.since_eval >= self.period && full {
+            self.since_eval = 0;
+            let out = self.tree.quantiles(&self.phis).expect("window full");
+            if self.is_tumbling() {
+                self.tree.clear();
+            }
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    fn phis(&self) -> &[f64] {
+        &self.phis
+    }
+
+    fn space_variables(&self) -> usize {
+        // One {value, count} pair per unique element, plus the element
+        // ring in sliding mode (stored values awaiting expiry).
+        self.tree.unique_len() * 2 + self.live.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "Exact"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlove_stats::quantile_sorted;
+
+    #[test]
+    fn tumbling_results_are_exact() {
+        let mut p = ExactPolicy::new(&[0.5, 0.9, 1.0], 100, 100);
+        let data: Vec<u64> = (0..300u64).map(|i| (i * 613) % 1009).collect();
+        let mut outs = Vec::new();
+        for &v in &data {
+            if let Some(o) = p.push(v) {
+                outs.push(o);
+            }
+        }
+        assert_eq!(outs.len(), 3);
+        for (w, out) in outs.iter().enumerate() {
+            let mut chunk: Vec<u64> = data[w * 100..(w + 1) * 100].to_vec();
+            chunk.sort_unstable();
+            assert_eq!(out[0], quantile_sorted(&chunk, 0.5));
+            assert_eq!(out[1], quantile_sorted(&chunk, 0.9));
+            assert_eq!(out[2], quantile_sorted(&chunk, 1.0));
+        }
+    }
+
+    #[test]
+    fn sliding_results_are_exact() {
+        let mut p = ExactPolicy::new(&[0.5, 0.99], 60, 20);
+        let data: Vec<u64> = (0..200u64).map(|i| (i * 7919) % 523).collect();
+        let mut eval_points = Vec::new();
+        for (i, &v) in data.iter().enumerate() {
+            if let Some(out) = p.push(v) {
+                let mut win: Vec<u64> = data[i + 1 - 60..=i].to_vec();
+                win.sort_unstable();
+                assert_eq!(out[0], quantile_sorted(&win, 0.5), "at {i}");
+                assert_eq!(out[1], quantile_sorted(&win, 0.99), "at {i}");
+                eval_points.push(i);
+            }
+        }
+        assert_eq!(eval_points, vec![59, 79, 99, 119, 139, 159, 179, 199]);
+    }
+
+    #[test]
+    fn tumbling_space_has_no_live_ring() {
+        let mut p = ExactPolicy::new(&[0.5], 50, 50);
+        for v in 0..49u64 {
+            p.push(v % 7);
+        }
+        // 7 unique values → 14 variables, no ring.
+        assert_eq!(p.space_variables(), 14);
+    }
+
+    #[test]
+    fn sliding_space_includes_live_ring() {
+        let mut p = ExactPolicy::new(&[0.5], 40, 10);
+        for v in 0..40u64 {
+            p.push(v % 4);
+        }
+        assert_eq!(p.space_variables(), 4 * 2 + 40);
+    }
+
+    #[test]
+    fn duplicates_share_tree_nodes() {
+        let mut p = ExactPolicy::new(&[0.5], 1000, 1000);
+        for _ in 0..999 {
+            p.push(42);
+        }
+        assert_eq!(p.space_variables(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one quantile")]
+    fn rejects_empty_phis() {
+        ExactPolicy::new(&[], 10, 10);
+    }
+}

@@ -1,0 +1,294 @@
+//! KLL — Karnin, Lang, Liberty ("Optimal quantile approximation in
+//! streams", FOCS 2016).
+//!
+//! The modern optimal rank-error sketch, included as an extended
+//! baseline: the paper compares against GK-era deterministic summaries
+//! and one sampler; KLL is what an engineer would reach for today, and
+//! its failure mode on heavy-tailed telemetry is the same one QLOVE
+//! targets — a rank guarantee that says nothing about tail *values*.
+//!
+//! Implementation: the classic compactor hierarchy. Level `h` holds
+//! items of weight `2^h`; when a level overflows its capacity
+//! (`k·c^(H−h)`, `c = 2/3`), it is sorted and every second item —
+//! random offset — is promoted to level `h+1`.
+
+use crate::gk::query_weighted_union;
+use crate::subwindows::{subwindow_count, Ring};
+use qlove_stream::QuantilePolicy;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const C: f64 = 2.0 / 3.0;
+
+/// A KLL sketch over `u64` values.
+#[derive(Debug, Clone)]
+pub struct KllSketch {
+    k: usize,
+    levels: Vec<Vec<u64>>,
+    count: u64,
+    rng: SmallRng,
+    /// Exact extremes (KLL compaction can drop them; monitoring wants
+    /// min/max exact, and the reference implementations track them too).
+    min: u64,
+    max: u64,
+}
+
+impl KllSketch {
+    /// Sketch with base capacity `k` (accuracy ~ O(1/k) rank error) and
+    /// a deterministic seed for the compaction coin flips.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 8, "base capacity must be at least 8");
+        Self {
+            k,
+            levels: vec![Vec::new()],
+            count: 0,
+            rng: SmallRng::seed_from_u64(seed),
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Observations inserted.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Total items retained across all compactors.
+    pub fn retained(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    fn capacity(&self, level: usize) -> usize {
+        let h = self.levels.len() - 1 - level; // depth below the top
+        ((self.k as f64) * C.powi(h as i32)).ceil().max(2.0) as usize
+    }
+
+    /// Insert one observation.
+    pub fn insert(&mut self, v: u64) {
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.levels[0].push(v);
+        self.compact_cascade();
+    }
+
+    fn compact_cascade(&mut self) {
+        let mut level = 0;
+        while level < self.levels.len() {
+            if self.levels[level].len() < self.capacity(level) {
+                break;
+            }
+            if level + 1 == self.levels.len() {
+                self.levels.push(Vec::new());
+            }
+            let mut items = std::mem::take(&mut self.levels[level]);
+            items.sort_unstable();
+            let offset = usize::from(self.rng.gen::<bool>());
+            let promoted: Vec<u64> = items.iter().skip(offset).step_by(2).copied().collect();
+            // Items not promoted are discarded — that is the compaction.
+            self.levels[level + 1].extend(promoted);
+            level += 1;
+        }
+    }
+
+    /// Weighted `(value, weight)` pairs, `Σ weight·… = count` up to the
+    /// parity remainder each compaction throws away.
+    pub fn weighted_pairs(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.levels
+            .iter()
+            .enumerate()
+            .flat_map(|(h, items)| items.iter().map(move |&v| (v, 1u64 << h)))
+    }
+
+    /// φ-quantile under the paper's `⌈φn⌉` rank convention.
+    pub fn quantile(&self, phi: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        if phi <= 0.0 {
+            return Some(self.min);
+        }
+        if phi >= 1.0 {
+            return Some(self.max);
+        }
+        let mut pairs: Vec<(u64, u64)> = self.weighted_pairs().collect();
+        let total: u64 = pairs.iter().map(|p| p.1).sum();
+        let r = ((phi * total as f64).ceil() as u64).clamp(1, total);
+        query_weighted_union(&mut pairs, r)
+    }
+
+    /// Stored scalars.
+    pub fn space_variables(&self) -> usize {
+        self.retained() + 4
+    }
+}
+
+/// KLL deployed per sub-window over a sliding window; live sketches'
+/// weighted pairs are combined at evaluation.
+#[derive(Debug)]
+pub struct KllPolicy {
+    phis: Vec<f64>,
+    period: usize,
+    k: usize,
+    seed: u64,
+    inflight: KllSketch,
+    completed: Ring<Vec<(u64, u64)>>,
+    filled: usize,
+    spawned: u64,
+}
+
+impl KllPolicy {
+    /// Per-sub-window KLL sketches with base capacity `k`.
+    pub fn new(phis: &[f64], window: usize, period: usize, k: usize, seed: u64) -> Self {
+        assert!(!phis.is_empty(), "need at least one quantile");
+        let n_sub = subwindow_count(window, period);
+        Self {
+            phis: phis.to_vec(),
+            period,
+            k,
+            seed,
+            inflight: KllSketch::new(k, seed),
+            completed: Ring::new(n_sub),
+            filled: 0,
+            spawned: 0,
+        }
+    }
+}
+
+impl QuantilePolicy for KllPolicy {
+    fn push(&mut self, value: u64) -> Option<Vec<u64>> {
+        self.inflight.insert(value);
+        self.filled += 1;
+        if self.filled < self.period {
+            return None;
+        }
+        self.filled = 0;
+        self.spawned += 1;
+        let sketch = std::mem::replace(
+            &mut self.inflight,
+            KllSketch::new(self.k, self.seed.wrapping_add(self.spawned)),
+        );
+        self.completed.push(sketch.weighted_pairs().collect());
+        if !self.completed.is_full() {
+            return None;
+        }
+        let mut union: Vec<(u64, u64)> = self
+            .completed
+            .iter()
+            .flat_map(|p| p.iter().copied())
+            .collect();
+        let total: u64 = union.iter().map(|p| p.1).sum();
+        Some(
+            self.phis
+                .iter()
+                .map(|&phi| {
+                    let r = ((phi * total as f64).ceil() as u64).clamp(1, total);
+                    query_weighted_union(&mut union, r).expect("non-empty union")
+                })
+                .collect(),
+        )
+    }
+
+    fn phis(&self) -> &[f64] {
+        &self.phis
+    }
+
+    fn space_variables(&self) -> usize {
+        self.completed.iter().map(|p| p.len() * 2).sum::<usize>()
+            + self.inflight.space_variables()
+    }
+
+    fn name(&self) -> &'static str {
+        "KLL"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_returns_none() {
+        let s = KllSketch::new(64, 1);
+        assert_eq!(s.quantile(0.5), None);
+    }
+
+    #[test]
+    fn extremes_exact() {
+        let mut s = KllSketch::new(64, 1);
+        for v in [5u64, 900, 2, 77, 1_000_000] {
+            s.insert(v);
+        }
+        assert_eq!(s.quantile(0.0), Some(2));
+        assert_eq!(s.quantile(1.0), Some(1_000_000));
+    }
+
+    #[test]
+    fn rank_error_small_with_reasonable_k() {
+        let mut s = KllSketch::new(200, 7);
+        let mut data: Vec<u64> = (0..100_000u64).map(|i| (i * 2654435761) % 1_000_003).collect();
+        for &v in &data {
+            s.insert(v);
+        }
+        data.sort_unstable();
+        for &phi in &[0.1, 0.5, 0.9, 0.99] {
+            let got = s.quantile(phi).unwrap();
+            let got_rank = data.partition_point(|&x| x <= got) as f64;
+            let want_rank = (phi * data.len() as f64).ceil();
+            let e = (got_rank - want_rank).abs() / data.len() as f64;
+            assert!(e < 0.03, "phi={phi}: rank error {e}");
+        }
+    }
+
+    #[test]
+    fn space_is_sublinear() {
+        let mut s = KllSketch::new(128, 3);
+        for v in 0..1_000_000u64 {
+            s.insert(v);
+        }
+        // O(k·(1/(1−c))) ≈ 3k retained items plus level overhead.
+        assert!(s.retained() < 1_200, "retained {}", s.retained());
+    }
+
+    #[test]
+    fn total_weight_tracks_count_approximately() {
+        let mut s = KllSketch::new(64, 5);
+        for v in 0..50_000u64 {
+            s.insert(v % 997);
+        }
+        let total: u64 = s.weighted_pairs().map(|p| p.1).sum();
+        // Compaction discards the odd remainder at each step; the
+        // retained weight stays within a few percent of the true count.
+        let rel = (total as f64 - 50_000.0).abs() / 50_000.0;
+        assert!(rel < 0.05, "weight drift {rel}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut s = KllSketch::new(64, seed);
+            for v in 0..10_000u64 {
+                s.insert((v * 31) % 1009);
+            }
+            s.quantile(0.9)
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn policy_emits_and_tracks_exact_roughly() {
+        let (window, period) = (8_000, 1_000);
+        let mut p = KllPolicy::new(&[0.5], window, period, 200, 11);
+        let data: Vec<u64> = (0..32_000u64).map(|i| (i * 48271) % 65_536).collect();
+        let mut worst = 0.0f64;
+        for (i, &v) in data.iter().enumerate() {
+            if let Some(ans) = p.push(v) {
+                let mut win: Vec<u64> = data[i + 1 - window..=i].to_vec();
+                win.sort_unstable();
+                let exact = qlove_stats::quantile_sorted(&win, 0.5) as f64;
+                worst = worst.max(((ans[0] as f64 - exact) / exact).abs());
+            }
+        }
+        assert!(worst < 0.05, "median drift {worst}");
+    }
+}

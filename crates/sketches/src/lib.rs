@@ -1,0 +1,61 @@
+//! # qlove-sketches — the competing quantile algorithms of §5
+//!
+//! QLOVE's evaluation compares against five policies; all of them are
+//! implemented here from scratch so that Table 1, Figure 4/5 and the
+//! sensitivity studies can be regenerated:
+//!
+//! * [`exact`] — the `Exact` baseline: a frequency red-black tree over
+//!   the whole window with per-element deaccumulation (§5.1).
+//! * [`gk`] — Greenwald–Khanna ε-summaries, the building block of the
+//!   two deterministic sliding-window algorithms.
+//! * [`cmqs`] — **CMQS**, Lin et al. ICDE 2004: per-sub-window sketches
+//!   of capacity `⌊εP/2⌋`, combined at query time (§5.2's description).
+//! * [`am`] — **AM**, Arasu & Manku PODS 2004: dyadic block summaries
+//!   with merge-on-completion, better space than CMQS at equal ε.
+//! * [`random`] — the sampling-based algorithm of Luo et al. (VLDBJ
+//!   2016): per-sub-window reservoirs merged at query time, probabilistic
+//!   rank guarantees.
+//! * [`moment`] — the Moment sketch (Gan et al., VLDB 2018): power sums
+//!   + maximum-entropy inversion on a Chebyshev basis, with the
+//!   log-transform variant for heavy-tailed telemetry.
+//!
+//! Three **extended baselines** beyond the paper's evaluation round out
+//! the modern landscape (all post-date or parallel the paper):
+//!
+//! * [`ddsketch`] — DDSketch (VLDB 2019): guaranteed bounded *relative
+//!   value error*, the very metric QLOVE optimizes.
+//! * [`kll`] — KLL (FOCS 2016): today's default optimal rank-error
+//!   sketch.
+//! * [`ckms`] — CKMS high-biased quantiles (PODS 2006, the paper's
+//!   reference \[8\]): deterministic relative-rank guarantees at the tail.
+//! * [`tdigest`] — t-digest (Dunning & Ertl): the de-facto industry
+//!   sketch, with rank accuracy pinched toward the extremes.
+//!
+//! Every policy implements [`qlove_stream::QuantilePolicy`], so harness
+//! code drives them interchangeably with QLOVE itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod am;
+pub mod ckms;
+pub mod cmqs;
+pub mod ddsketch;
+pub mod exact;
+pub mod gk;
+pub mod kll;
+pub mod moment;
+pub mod random;
+pub mod tdigest;
+mod subwindows;
+
+pub use am::AmPolicy;
+pub use ckms::{CkmsPolicy, CkmsSketch};
+pub use cmqs::CmqsPolicy;
+pub use ddsketch::{DdSketch, DdSketchPolicy};
+pub use exact::ExactPolicy;
+pub use gk::GkSketch;
+pub use kll::{KllPolicy, KllSketch};
+pub use moment::{MomentPolicy, MomentSketch};
+pub use random::RandomPolicy;
+pub use tdigest::{TDigest, TDigestPolicy};

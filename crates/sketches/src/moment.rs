@@ -1,0 +1,518 @@
+//! Moment sketch — Gan, Ding, Tai, Sharan, Bailis ("Moment-Based
+//! Quantile Sketches for Efficient High Cardinality Aggregation
+//! Queries", VLDB 2018).
+//!
+//! §5.1's fifth policy: "mergeable moment-based quantile sketches to
+//! predict the original data distribution from moment statistics". The
+//! sketch stores `min`, `max`, `count` and the first `K` power sums;
+//! a query reconstructs the **maximum-entropy** density consistent with
+//! those moments and reads quantiles off its CDF.
+//!
+//! Following the original system's guidance for heavy-tailed data (and
+//! telemetry latencies are exactly that), moments are accumulated in the
+//! log domain `x = ln(1 + v)`: raw 12th powers of ~74,000 µs values would
+//! burn through f64 precision, while `ln` keeps the domain within ~\[0,12\].
+//!
+//! The solver is a damped Newton iteration on the max-entropy dual
+//! potential over a Chebyshev basis, with grid quadrature — the same
+//! construction as the reference implementation, sized down to have no
+//! dependencies.
+
+use crate::subwindows::{subwindow_count, Ring};
+use qlove_stream::QuantilePolicy;
+
+/// Number of quadrature points for the density grid. 512 keeps the solve
+/// fast; quantile read-off interpolates between grid cells.
+const GRID: usize = 512;
+/// Newton iteration cap.
+const MAX_ITERS: usize = 60;
+/// Gradient-norm convergence tolerance.
+const TOL: f64 = 1e-8;
+
+/// A mergeable moment sketch over `u64` telemetry values.
+#[derive(Debug, Clone)]
+pub struct MomentSketch {
+    k: usize,
+    count: u64,
+    min: f64,
+    max: f64,
+    /// Power sums of `ln(1+v)`: `sums[i] = Σ x^i` (so `sums[0] == count`).
+    sums: Vec<f64>,
+}
+
+impl MomentSketch {
+    /// Sketch tracking `k` moments (the paper's Table 1 uses `K = 12`).
+    ///
+    /// # Panics
+    /// Panics unless `2 ≤ k ≤ 16` (higher orders are numerically useless
+    /// in f64).
+    pub fn new(k: usize) -> Self {
+        assert!((2..=16).contains(&k), "moment order must lie in 2..=16");
+        Self {
+            k,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sums: vec![0.0; k + 1],
+        }
+    }
+
+    /// Moment order `K`.
+    pub fn order(&self) -> usize {
+        self.k
+    }
+
+    /// Observations accumulated.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Insert one value.
+    pub fn insert(&mut self, v: u64) {
+        let x = (1.0 + v as f64).ln();
+        self.count += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        let mut p = 1.0;
+        for s in self.sums.iter_mut() {
+            *s += p;
+            p *= x;
+        }
+    }
+
+    /// Merge another sketch of the same order (the "mergeable" property
+    /// that makes per-sub-window deployment trivial).
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.k, other.k, "cannot merge sketches of different order");
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.sums.iter_mut().zip(&other.sums) {
+            *a += *b;
+        }
+    }
+
+    /// Stored scalars: k+1 power sums, min, max, count.
+    pub fn space_variables(&self) -> usize {
+        self.sums.len() + 3
+    }
+
+    /// Estimate the φ-quantile (in the original value domain).
+    /// Returns `None` on an empty sketch.
+    pub fn quantile(&self, phi: f64) -> Option<u64> {
+        let xs = self.quantiles(&[phi])?;
+        Some(xs[0])
+    }
+
+    /// Estimate several quantiles with one max-entropy solve.
+    pub fn quantiles(&self, phis: &[f64]) -> Option<Vec<u64>> {
+        if self.count == 0 {
+            return None;
+        }
+        let span = self.max - self.min;
+        if span <= 0.0 {
+            // Point mass.
+            let v = (self.min.exp() - 1.0).round().max(0.0) as u64;
+            return Some(vec![v; phis.len()]);
+        }
+        let density = self.solve_density();
+        // CDF on the grid, then inverse-interpolate each phi.
+        let mut cdf = vec![0.0; GRID + 1];
+        let ds = 2.0 / GRID as f64;
+        for i in 0..GRID {
+            cdf[i + 1] = cdf[i] + density[i] * ds;
+        }
+        let total = cdf[GRID];
+        let out = phis
+            .iter()
+            .map(|&phi| {
+                let target = phi.clamp(0.0, 1.0) * total;
+                let cell = cdf.partition_point(|&c| c < target).clamp(1, GRID);
+                let (c0, c1) = (cdf[cell - 1], cdf[cell]);
+                let frac = if c1 > c0 { (target - c0) / (c1 - c0) } else { 0.5 };
+                let s = -1.0 + (cell as f64 - 1.0 + frac) * ds;
+                let x = (s + 1.0) / 2.0 * span + self.min;
+                (x.exp() - 1.0).round().max(0.0) as u64
+            })
+            .collect();
+        Some(out)
+    }
+
+    /// Max-entropy density on the standardized grid `s ∈ [-1, 1]`
+    /// (midpoints of `GRID` cells).
+    fn solve_density(&self) -> Vec<f64> {
+        let k = self.k;
+        let eta = self.chebyshev_moments();
+
+        // Chebyshev values at grid midpoints, T[j][i] = T_j(s_i).
+        let ds = 2.0 / GRID as f64;
+        let mut s_pts = [0.0; GRID];
+        for (i, s) in s_pts.iter_mut().enumerate() {
+            *s = -1.0 + (i as f64 + 0.5) * ds;
+        }
+        let mut t = vec![vec![0.0; GRID]; k + 1];
+        for i in 0..GRID {
+            t[0][i] = 1.0;
+            if k >= 1 {
+                t[1][i] = s_pts[i];
+            }
+        }
+        for j in 2..=k {
+            for i in 0..GRID {
+                t[j][i] = 2.0 * s_pts[i] * t[j - 1][i] - t[j - 2][i];
+            }
+        }
+
+        // Newton on F(λ) = ∫exp(Σλ_j T_j) − Σλ_j η_j.
+        let mut lambda = vec![0.0; k + 1];
+        lambda[0] = -(2.0f64).ln(); // start at the uniform density 1/2
+        let mut weights = vec![0.0; GRID];
+        for _ in 0..MAX_ITERS {
+            for i in 0..GRID {
+                let mut e = 0.0;
+                for j in 0..=k {
+                    e += lambda[j] * t[j][i];
+                }
+                weights[i] = e.exp() * ds;
+            }
+            // Gradient g_j = ∫T_j f − η_j; Hessian H_jl = ∫T_j T_l f.
+            let mut g = vec![0.0; k + 1];
+            let mut h = vec![vec![0.0; k + 1]; k + 1];
+            for i in 0..GRID {
+                let w = weights[i];
+                for j in 0..=k {
+                    let tj = t[j][i];
+                    g[j] += tj * w;
+                    for l in j..=k {
+                        h[j][l] += tj * t[l][i] * w;
+                    }
+                }
+            }
+            for j in 0..=k {
+                g[j] -= eta[j];
+                for l in 0..j {
+                    h[j][l] = h[l][j];
+                }
+            }
+            let gnorm: f64 = g.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if gnorm < TOL {
+                break;
+            }
+            let Some(step) = solve_linear(&mut h, &g) else {
+                break; // singular Hessian: accept current density
+            };
+            // Damped update: halve until the potential is finite and the
+            // step is sane.
+            let mut scale = 1.0;
+            for _ in 0..30 {
+                let cand: Vec<f64> = lambda
+                    .iter()
+                    .zip(&step)
+                    .map(|(l, s)| l - scale * s)
+                    .collect();
+                let max_exp = (0..GRID)
+                    .map(|i| {
+                        (0..=k)
+                            .map(|j| cand[j] * t[j][i])
+                            .sum::<f64>()
+                    })
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if max_exp < 300.0 {
+                    lambda = cand;
+                    break;
+                }
+                scale *= 0.5;
+            }
+        }
+        // Final density values at midpoints.
+        (0..GRID)
+            .map(|i| {
+                let e: f64 = (0..=k).map(|j| lambda[j] * t[j][i]).sum();
+                e.exp()
+            })
+            .collect()
+    }
+
+    /// Sample Chebyshev moments η_j = E[T_j(s)], s the affine map of the
+    /// log-domain value onto [-1, 1], derived from the raw power sums.
+    fn chebyshev_moments(&self) -> Vec<f64> {
+        let k = self.k;
+        let n = self.count as f64;
+        let span = self.max - self.min;
+        let a = 2.0 / span;
+        let b = -(self.max + self.min) / span;
+        // E[s^m] = Σ_i C(m,i) a^i b^(m-i) E[x^i].
+        let mut s_moments = vec![0.0; k + 1];
+        for (m, sm) in s_moments.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for i in 0..=m {
+                acc += binom(m, i) * a.powi(i as i32) * b.powi((m - i) as i32)
+                    * (self.sums[i] / n);
+            }
+            *sm = acc;
+        }
+        // T_j as power-basis coefficients via the recurrence.
+        let mut coeffs: Vec<Vec<f64>> = vec![vec![1.0], vec![0.0, 1.0]];
+        for j in 2..=k {
+            let mut c = vec![0.0; j + 1];
+            for (p, &v) in coeffs[j - 1].iter().enumerate() {
+                c[p + 1] += 2.0 * v;
+            }
+            for (p, &v) in coeffs[j - 2].iter().enumerate() {
+                c[p] -= v;
+            }
+            coeffs.push(c);
+        }
+        (0..=k)
+            .map(|j| {
+                coeffs[j]
+                    .iter()
+                    .enumerate()
+                    .map(|(p, &c)| c * s_moments[p])
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+fn binom(n: usize, k: usize) -> f64 {
+    let mut r = 1.0;
+    for i in 0..k.min(n - k) {
+        r = r * (n - i) as f64 / (i + 1) as f64;
+    }
+    r
+}
+
+/// Gaussian elimination with partial pivoting; consumes `a`. Returns
+/// `None` when the system is numerically singular.
+fn solve_linear(a: &mut [Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    let mut x = b.to_vec();
+    for col in 0..n {
+        // Pivot.
+        let mut piv = col;
+        for row in col + 1..n {
+            if a[row][col].abs() > a[piv][col].abs() {
+                piv = row;
+            }
+        }
+        if a[piv][col].abs() < 1e-13 {
+            return None;
+        }
+        a.swap(col, piv);
+        x.swap(col, piv);
+        // Eliminate.
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            for c in col..n {
+                a[row][c] -= f * a[col][c];
+            }
+            x[row] -= f * x[col];
+        }
+    }
+    for col in (0..n).rev() {
+        x[col] /= a[col][col];
+        for row in 0..col {
+            x[row] -= a[row][col] * x[col];
+        }
+        a[col][col] = 1.0;
+    }
+    Some(x)
+}
+
+/// Moment sketch deployed per sub-window over a sliding window, merged
+/// at evaluation — the policy form used in Table 1.
+#[derive(Debug)]
+pub struct MomentPolicy {
+    phis: Vec<f64>,
+    period: usize,
+    k: usize,
+    inflight: MomentSketch,
+    completed: Ring<MomentSketch>,
+    filled: usize,
+}
+
+impl MomentPolicy {
+    /// Sub-window moment sketches of order `k` over `window`/`period`.
+    pub fn new(phis: &[f64], window: usize, period: usize, k: usize) -> Self {
+        assert!(!phis.is_empty(), "need at least one quantile");
+        let n_sub = subwindow_count(window, period);
+        Self {
+            phis: phis.to_vec(),
+            period,
+            k,
+            inflight: MomentSketch::new(k),
+            completed: Ring::new(n_sub),
+            filled: 0,
+        }
+    }
+}
+
+impl QuantilePolicy for MomentPolicy {
+    fn push(&mut self, value: u64) -> Option<Vec<u64>> {
+        self.inflight.insert(value);
+        self.filled += 1;
+        if self.filled < self.period {
+            return None;
+        }
+        self.filled = 0;
+        let sketch = std::mem::replace(&mut self.inflight, MomentSketch::new(self.k));
+        self.completed.push(sketch);
+        if !self.completed.is_full() {
+            return None;
+        }
+        let mut merged = MomentSketch::new(self.k);
+        for s in self.completed.iter() {
+            merged.merge(s);
+        }
+        merged.quantiles(&self.phis)
+    }
+
+    fn phis(&self) -> &[f64] {
+        &self.phis
+    }
+
+    fn space_variables(&self) -> usize {
+        self.completed
+            .iter()
+            .map(MomentSketch::space_variables)
+            .sum::<usize>()
+            + self.inflight.space_variables()
+    }
+
+    fn name(&self) -> &'static str {
+        "Moment"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch_returns_none() {
+        let s = MomentSketch::new(8);
+        assert_eq!(s.quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "moment order")]
+    fn rejects_extreme_order() {
+        MomentSketch::new(40);
+    }
+
+    #[test]
+    fn point_mass_is_exact() {
+        let mut s = MomentSketch::new(8);
+        for _ in 0..1000 {
+            s.insert(777);
+        }
+        assert_eq!(s.quantile(0.5), Some(777));
+        assert_eq!(s.quantile(0.999), Some(777));
+    }
+
+    #[test]
+    fn uniform_distribution_quantiles_close() {
+        let mut s = MomentSketch::new(10);
+        for v in 0..10_000u64 {
+            s.insert(v);
+        }
+        for &(phi, want) in &[(0.25, 2500.0), (0.5, 5000.0), (0.9, 9000.0)] {
+            let got = s.quantile(phi).unwrap() as f64;
+            let rel = (got - want).abs() / want;
+            assert!(rel < 0.12, "phi={phi}: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn lognormal_like_median_close() {
+        // Deterministic heavy-tail-ish data: exp of a triangular ramp.
+        let data: Vec<u64> = (0..20_000)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / 20_000.0;
+                ((6.0 + 1.2 * qlove_stats::norm_inv_cdf(u)).exp()) as u64
+            })
+            .collect();
+        let mut s = MomentSketch::new(12);
+        for &v in &data {
+            s.insert(v);
+        }
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let exact = qlove_stats::quantile_sorted(&sorted, 0.5) as f64;
+        let got = s.quantile(0.5).unwrap() as f64;
+        assert!(
+            (got - exact).abs() / exact < 0.10,
+            "median {got} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn merge_equals_bulk_insert() {
+        let data_a: Vec<u64> = (0..5000u64).map(|i| (i * 97) % 4096).collect();
+        let data_b: Vec<u64> = (0..5000u64).map(|i| (i * 193) % 8192).collect();
+        let mut bulk = MomentSketch::new(10);
+        let mut a = MomentSketch::new(10);
+        let mut b = MomentSketch::new(10);
+        for &v in &data_a {
+            bulk.insert(v);
+            a.insert(v);
+        }
+        for &v in &data_b {
+            bulk.insert(v);
+            b.insert(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), bulk.count());
+        for (x, y) in a.sums.iter().zip(&bulk.sums) {
+            assert!((x - y).abs() <= 1e-6 * x.abs().max(1.0));
+        }
+        assert_eq!(a.quantile(0.9), bulk.quantile(0.9));
+    }
+
+    #[test]
+    #[should_panic(expected = "different order")]
+    fn merge_rejects_mismatched_order() {
+        let mut a = MomentSketch::new(8);
+        let b = MomentSketch::new(10);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn space_is_constant() {
+        let mut s = MomentSketch::new(12);
+        for v in 0..100_000u64 {
+            s.insert(v);
+        }
+        assert_eq!(s.space_variables(), 12 + 1 + 3);
+    }
+
+    #[test]
+    fn policy_emits_and_orders_quantiles() {
+        let mut p = MomentPolicy::new(&[0.5, 0.9, 0.99], 2000, 500, 8);
+        let data: Vec<u64> = (0..8000u64).map(|i| (i * 2654435761) % 10_000).collect();
+        let mut emissions = 0;
+        for &v in &data {
+            if let Some(out) = p.push(v) {
+                emissions += 1;
+                assert!(out[0] <= out[1] && out[1] <= out[2], "quantiles ordered");
+            }
+        }
+        assert_eq!(emissions, (8000 - 2000) / 500 + 1);
+    }
+
+    #[test]
+    fn solve_linear_known_system() {
+        // [2 1; 1 3] x = [3; 5] → x = [0.8, 1.4]
+        let mut a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let x = solve_linear(&mut a, &[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_linear_singular_returns_none() {
+        let mut a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_linear(&mut a, &[1.0, 2.0]).is_none());
+    }
+}

@@ -1,0 +1,229 @@
+//! Random — the sampling-based sliding-window quantile algorithm of
+//! Luo, Wang, Yi, Cormode ("Quantiles over Data Streams: Experimental
+//! Comparisons, New Analyses, and Further Improvements", VLDBJ 2016).
+//!
+//! §5.1 describes it as "a state of the art using sampling to bound rank
+//! error with constant probabilities". The sliding-window form keeps a
+//! uniform reservoir per sub-window; at evaluation the live reservoirs
+//! are merged and the quantile read off the sorted merged sample. With
+//! `k` total samples the rank error concentrates at `O(1/√k)` — fine for
+//! central quantiles, but the sparse sampled tail produces exactly the
+//! large *value* errors on Q0.999 that Table 1 and the Pareto study
+//! report (16.7% and 35.2% in the paper).
+
+use crate::subwindows::{subwindow_count, Ring};
+use qlove_stream::QuantilePolicy;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Sampling-based sliding-window quantiles.
+#[derive(Debug)]
+pub struct RandomPolicy {
+    phis: Vec<f64>,
+    period: usize,
+    /// Reservoir capacity per sub-window.
+    samples_per_subwindow: usize,
+    rng: SmallRng,
+    inflight: Vec<u64>,
+    seen_in_subwindow: usize,
+    completed: Ring<Vec<u64>>,
+    /// Scratch buffer reused across evaluations.
+    merged: Vec<u64>,
+}
+
+impl RandomPolicy {
+    /// Reservoir size chosen from a rank tolerance: `k_total = ⌈1/ε²⌉`
+    /// samples across the window give rank error ≈ ε with constant
+    /// probability; split evenly over the `N/P` sub-windows.
+    pub fn from_epsilon(phis: &[f64], window: usize, period: usize, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0,1)");
+        let n_sub = subwindow_count(window, period);
+        let k_total = (1.0 / (epsilon * epsilon)).ceil() as usize;
+        let per_sub = (k_total / n_sub).clamp(1, period);
+        Self::with_reservoir(phis, window, period, per_sub, 0xDA7A_CE17)
+    }
+
+    /// Explicit per-sub-window reservoir size and RNG seed (deterministic
+    /// runs for the harness).
+    pub fn with_reservoir(
+        phis: &[f64],
+        window: usize,
+        period: usize,
+        samples_per_subwindow: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!phis.is_empty(), "need at least one quantile");
+        assert!(samples_per_subwindow > 0, "need at least one sample");
+        let n_sub = subwindow_count(window, period);
+        Self {
+            phis: phis.to_vec(),
+            period,
+            samples_per_subwindow: samples_per_subwindow.min(period),
+            rng: SmallRng::seed_from_u64(seed),
+            inflight: Vec::with_capacity(samples_per_subwindow.min(period)),
+            seen_in_subwindow: 0,
+            completed: Ring::new(n_sub),
+            merged: Vec::new(),
+        }
+    }
+
+    /// Per-sub-window reservoir capacity.
+    pub fn reservoir_size(&self) -> usize {
+        self.samples_per_subwindow
+    }
+}
+
+impl QuantilePolicy for RandomPolicy {
+    fn push(&mut self, value: u64) -> Option<Vec<u64>> {
+        // Vitter's Algorithm R.
+        self.seen_in_subwindow += 1;
+        if self.inflight.len() < self.samples_per_subwindow {
+            self.inflight.push(value);
+        } else {
+            let j = self.rng.gen_range(0..self.seen_in_subwindow);
+            if j < self.samples_per_subwindow {
+                self.inflight[j] = value;
+            }
+        }
+        if self.seen_in_subwindow < self.period {
+            return None;
+        }
+        // Sub-window boundary.
+        self.seen_in_subwindow = 0;
+        let reservoir = std::mem::replace(
+            &mut self.inflight,
+            Vec::with_capacity(self.samples_per_subwindow),
+        );
+        self.completed.push(reservoir);
+        if !self.completed.is_full() {
+            return None;
+        }
+        // Merge live reservoirs; each is a uniform sample of an
+        // equally-sized sub-window, so the concatenation is a uniform
+        // sample of the window.
+        self.merged.clear();
+        for r in self.completed.iter() {
+            self.merged.extend_from_slice(r);
+        }
+        self.merged.sort_unstable();
+        let out = self
+            .phis
+            .iter()
+            .map(|&phi| qlove_stats::quantile_sorted(&self.merged, phi))
+            .collect();
+        Some(out)
+    }
+
+    fn phis(&self) -> &[f64] {
+        &self.phis
+    }
+
+    fn space_variables(&self) -> usize {
+        let frozen: usize = self.completed.iter().map(Vec::len).sum();
+        frozen + self.inflight.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlove_stats::{quantile_rank, rank_of_value};
+
+    fn stream(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| (i * 2654435761) % 1_000_003).collect()
+    }
+
+    #[test]
+    fn from_epsilon_sizes_reservoir() {
+        let p = RandomPolicy::from_epsilon(&[0.5], 100_000, 10_000, 0.02);
+        // k_total = 2500 over 10 sub-windows → 250 each.
+        assert_eq!(p.reservoir_size(), 250);
+    }
+
+    #[test]
+    fn median_rank_error_is_small() {
+        let (window, period) = (8000, 1000);
+        let mut p = RandomPolicy::with_reservoir(&[0.5], window, period, 400, 7);
+        let data = stream(32_000);
+        let mut worst = 0.0f64;
+        for (i, &v) in data.iter().enumerate() {
+            if let Some(out) = p.push(v) {
+                let mut win: Vec<u64> = data[i + 1 - window..=i].to_vec();
+                win.sort_unstable();
+                let exact_r = quantile_rank(0.5, window);
+                let got_r = rank_of_value(&win, &out[0]).max(1);
+                worst = worst.max((exact_r as f64 - got_r as f64).abs() / window as f64);
+            }
+        }
+        // 3200 merged samples → σ ≈ 0.009 at the median; allow 5σ.
+        assert!(worst < 0.045, "median rank error {worst}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut p = RandomPolicy::with_reservoir(&[0.5, 0.99], 4000, 500, 100, seed);
+            stream(12_000)
+                .iter()
+                .filter_map(|&v| p.push(v))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn space_counts_reservoirs() {
+        let (window, period, s) = (4000, 500, 123);
+        let mut p = RandomPolicy::with_reservoir(&[0.5], window, period, s, 1);
+        for &v in &stream(window) {
+            p.push(v);
+        }
+        // 8 full reservoirs at the first evaluation.
+        assert_eq!(p.space_variables(), 8 * s);
+    }
+
+    #[test]
+    fn reservoir_capped_at_period() {
+        let p = RandomPolicy::with_reservoir(&[0.5], 100, 10, 500, 1);
+        assert_eq!(p.reservoir_size(), 10);
+    }
+
+    #[test]
+    fn small_reservoir_misses_extreme_tail() {
+        // The motivating failure: a sparse sampled tail misestimates high
+        // quantiles on skewed data. Values: 99% small, 1% huge.
+        let (window, period) = (10_000, 1000);
+        let mut p = RandomPolicy::with_reservoir(&[0.999], window, period, 50, 3);
+        // Tail values spread over two orders of magnitude so a mis-ranked
+        // sample visibly moves the value (as in NetMon's 1.2K→74K tail).
+        let data: Vec<u64> = (0..40_000u64)
+            .map(|i| {
+                if i % 100 == 99 {
+                    100_000 + (i * 7919) % 10_000_000
+                } else {
+                    i % 500
+                }
+            })
+            .collect();
+        let mut any_error_large = false;
+        for (i, &v) in data.iter().enumerate() {
+            if let Some(out) = p.push(v) {
+                let mut win: Vec<u64> = data[i + 1 - window..=i].to_vec();
+                win.sort_unstable();
+                let exact = qlove_stats::quantile_sorted(&win, 0.999);
+                let rel = qlove_stats::relative_error_pct(out[0] as f64, exact as f64);
+                if rel > 5.0 {
+                    any_error_large = true;
+                }
+            }
+        }
+        assert!(
+            any_error_large,
+            "expected visible tail value error from sparse sampling"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Small shared plumbing for policies that summarize per sub-window and
+//! combine summaries at query time (CMQS, Random — and QLOVE itself uses
+//! the same shape in `qlove-core`).
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO of completed sub-window summaries: pushing beyond the
+/// capacity evicts the oldest (the sub-window that just slid out of the
+/// window).
+#[derive(Debug, Clone)]
+pub(crate) struct Ring<S> {
+    items: VecDeque<S>,
+    cap: usize,
+}
+
+impl<S> Ring<S> {
+    pub(crate) fn new(cap: usize) -> Self {
+        assert!(cap > 0, "ring capacity must be positive");
+        Self {
+            items: VecDeque::with_capacity(cap + 1),
+            cap,
+        }
+    }
+
+    /// Push a completed summary, returning the evicted one if the ring
+    /// was full.
+    pub(crate) fn push(&mut self, item: S) -> Option<S> {
+        self.items.push_back(item);
+        if self.items.len() > self.cap {
+            self.items.pop_front()
+        } else {
+            None
+        }
+    }
+
+    pub(crate) fn is_full(&self) -> bool {
+        self.items.len() == self.cap
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &S> {
+        self.items.iter()
+    }
+}
+
+/// Validate the `(window, period)` pair shared by all sub-window
+/// policies and return the sub-window count `n = N/P`.
+///
+/// # Panics
+/// Panics unless `period > 0`, `window ≥ period`, and `period` divides
+/// `window` (the paper aligns sub-windows with the period, §3.1).
+pub(crate) fn subwindow_count(window: usize, period: usize) -> usize {
+    assert!(period > 0, "period must be positive");
+    assert!(window >= period, "window must be ≥ period");
+    assert!(
+        window.is_multiple_of(period),
+        "window ({window}) must be a multiple of period ({period}); \
+         sub-windows are aligned with the period"
+    );
+    window / period
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_when_full() {
+        let mut r = Ring::new(3);
+        assert_eq!(r.push(1), None);
+        assert_eq!(r.push(2), None);
+        assert!(!r.is_full());
+        assert_eq!(r.push(3), None);
+        assert!(r.is_full());
+        assert_eq!(r.push(4), Some(1));
+        let live: Vec<i32> = r.iter().copied().collect();
+        assert_eq!(live, vec![2, 3, 4]);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn subwindow_count_valid() {
+        assert_eq!(subwindow_count(128_000, 16_000), 8);
+        assert_eq!(subwindow_count(10, 10), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn subwindow_count_rejects_non_divisible() {
+        subwindow_count(100, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ period")]
+    fn subwindow_count_rejects_small_window() {
+        subwindow_count(10, 20);
+    }
+}

@@ -1,0 +1,375 @@
+//! t-digest — Dunning & Ertl ("Computing extremely accurate quantiles
+//! using t-digests", 2019).
+//!
+//! The third member of the modern OSS trio (with DDSketch and KLL) that
+//! practitioners would reach for instead of the paper's 2004-era
+//! baselines. Its design goal is *relative rank accuracy at the
+//! extremes*: centroid sizes are bounded by a scale function that
+//! pinches toward q = 0 and q = 1, so Q0.999 is resolved by near-
+//! singleton centroids while the body is coarsely clustered — a rank
+//! analogue of what QLOVE's few-k caches do with raw values.
+//!
+//! Implementation: the merging variant with the `k₁` scale function
+//! `k(q) = (δ/2π)·asin(2q − 1)`; incoming values buffer and periodically
+//! merge-compact with existing centroids in one sorted pass.
+
+use crate::subwindows::{subwindow_count, Ring};
+use qlove_stream::QuantilePolicy;
+
+/// One centroid: mean and weight.
+#[derive(Debug, Clone, Copy)]
+struct Centroid {
+    mean: f64,
+    weight: f64,
+}
+
+/// A merging t-digest over `u64` values.
+#[derive(Debug, Clone)]
+pub struct TDigest {
+    /// Compression parameter δ: ~δ centroids retained; accuracy at
+    /// quantile q scales like `q(1−q)/δ`.
+    delta: f64,
+    centroids: Vec<Centroid>,
+    buffer: Vec<f64>,
+    count: u64,
+    min: u64,
+    max: u64,
+}
+
+impl TDigest {
+    /// Digest with compression `delta` (typical values 100–500).
+    pub fn new(delta: f64) -> Self {
+        assert!(delta >= 10.0, "compression must be at least 10");
+        Self {
+            delta,
+            centroids: Vec::new(),
+            buffer: Vec::with_capacity((delta * 5.0) as usize),
+            count: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Observations inserted.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Centroids currently retained (after flushing the buffer).
+    pub fn centroid_count(&mut self) -> usize {
+        self.flush();
+        self.centroids.len()
+    }
+
+    /// Insert one observation.
+    pub fn insert(&mut self, v: u64) {
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buffer.push(v as f64);
+        if self.buffer.len() >= self.buffer.capacity() {
+            self.flush();
+        }
+    }
+
+    /// Merge another digest (buffered values and centroids alike).
+    pub fn merge(&mut self, other: &Self) {
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for c in &other.centroids {
+            self.merge_weighted(c.mean, c.weight);
+        }
+        for &v in &other.buffer {
+            self.buffer.push(v);
+        }
+        self.flush();
+    }
+
+    fn merge_weighted(&mut self, mean: f64, weight: f64) {
+        // Weighted inputs bypass the scalar buffer: stage as a centroid.
+        self.centroids.push(Centroid { mean, weight });
+    }
+
+    /// The k₁ scale function.
+    fn k(&self, q: f64) -> f64 {
+        self.delta / (2.0 * std::f64::consts::PI) * (2.0 * q.clamp(0.0, 1.0) - 1.0).asin()
+    }
+
+    /// Merge-compact buffer + centroids in one sorted pass.
+    fn flush(&mut self) {
+        if self.buffer.is_empty() && self.centroids.is_sorted_by(|a, b| a.mean <= b.mean) {
+            // Nothing new and already canonical.
+            return;
+        }
+        let mut staged: Vec<Centroid> = self
+            .buffer
+            .drain(..)
+            .map(|v| Centroid { mean: v, weight: 1.0 })
+            .collect();
+        staged.append(&mut self.centroids);
+        staged.sort_by(|a, b| a.mean.partial_cmp(&b.mean).expect("no NaN inputs"));
+        let total: f64 = staged.iter().map(|c| c.weight).sum();
+        if total == 0.0 {
+            return;
+        }
+
+        let mut out: Vec<Centroid> = Vec::with_capacity((self.delta * 1.5) as usize);
+        let mut q_left = 0.0f64;
+        let mut k_limit = self.k(q_left) + 1.0;
+        let mut acc: Option<Centroid> = None;
+        let mut acc_q = 0.0f64; // cumulative weight before `acc`
+        for c in staged {
+            match acc.as_mut() {
+                None => {
+                    acc = Some(c);
+                }
+                Some(a) => {
+                    let q_right = (acc_q + a.weight + c.weight) / total;
+                    if self.k(q_right) <= k_limit {
+                        // Absorb into the accumulator.
+                        let w = a.weight + c.weight;
+                        a.mean = (a.mean * a.weight + c.mean * c.weight) / w;
+                        a.weight = w;
+                    } else {
+                        acc_q += a.weight;
+                        q_left = acc_q / total;
+                        k_limit = self.k(q_left) + 1.0;
+                        out.push(*a);
+                        *a = c;
+                    }
+                }
+            }
+        }
+        if let Some(a) = acc {
+            out.push(a);
+        }
+        self.centroids = out;
+    }
+
+    /// φ-quantile under the paper's `⌈φn⌉` rank convention (interpolated
+    /// between centroid means; extremes are exact).
+    pub fn quantile(&mut self, phi: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        self.flush();
+        if phi <= 0.0 {
+            return Some(self.min);
+        }
+        if phi >= 1.0 {
+            return Some(self.max);
+        }
+        let total: f64 = self.centroids.iter().map(|c| c.weight).sum();
+        let target = phi * total;
+        let mut acc = 0.0f64;
+        for (i, c) in self.centroids.iter().enumerate() {
+            let mid = acc + c.weight / 2.0;
+            if target <= mid {
+                // Interpolate with the previous centroid (or the min).
+                let (m0, q0) = if i == 0 {
+                    (self.min as f64, 0.0)
+                } else {
+                    let p = &self.centroids[i - 1];
+                    (p.mean, acc - p.weight / 2.0)
+                };
+                let frac = if mid > q0 { (target - q0) / (mid - q0) } else { 1.0 };
+                let v = m0 + (c.mean - m0) * frac.clamp(0.0, 1.0);
+                return Some(v.round().max(0.0) as u64);
+            }
+            acc += c.weight;
+        }
+        Some(self.max)
+    }
+
+    /// Stored scalars: 2 per centroid plus counters (buffer excluded —
+    /// it is transient workspace, flushed at every query).
+    pub fn space_variables(&self) -> usize {
+        self.centroids.len() * 2 + 3
+    }
+}
+
+/// t-digest deployed per sub-window over a sliding window.
+#[derive(Debug)]
+pub struct TDigestPolicy {
+    phis: Vec<f64>,
+    period: usize,
+    delta: f64,
+    inflight: TDigest,
+    completed: Ring<TDigest>,
+    filled: usize,
+}
+
+impl TDigestPolicy {
+    /// Per-sub-window digests with compression `delta`.
+    pub fn new(phis: &[f64], window: usize, period: usize, delta: f64) -> Self {
+        assert!(!phis.is_empty(), "need at least one quantile");
+        let n_sub = subwindow_count(window, period);
+        Self {
+            phis: phis.to_vec(),
+            period,
+            delta,
+            inflight: TDigest::new(delta),
+            completed: Ring::new(n_sub),
+            filled: 0,
+        }
+    }
+}
+
+impl QuantilePolicy for TDigestPolicy {
+    fn push(&mut self, value: u64) -> Option<Vec<u64>> {
+        self.inflight.insert(value);
+        self.filled += 1;
+        if self.filled < self.period {
+            return None;
+        }
+        self.filled = 0;
+        let mut sketch = std::mem::replace(&mut self.inflight, TDigest::new(self.delta));
+        sketch.flush();
+        self.completed.push(sketch);
+        if !self.completed.is_full() {
+            return None;
+        }
+        let mut merged = TDigest::new(self.delta);
+        for s in self.completed.iter() {
+            merged.merge(s);
+        }
+        Some(
+            self.phis
+                .iter()
+                .map(|&p| merged.quantile(p).expect("window non-empty"))
+                .collect(),
+        )
+    }
+
+    fn phis(&self) -> &[f64] {
+        &self.phis
+    }
+
+    fn space_variables(&self) -> usize {
+        self.completed
+            .iter()
+            .map(TDigest::space_variables)
+            .sum::<usize>()
+            + self.inflight.space_variables()
+    }
+
+    fn name(&self) -> &'static str {
+        "t-digest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_returns_none() {
+        let mut d = TDigest::new(100.0);
+        assert_eq!(d.quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "compression")]
+    fn rejects_tiny_delta() {
+        TDigest::new(1.0);
+    }
+
+    #[test]
+    fn extremes_exact() {
+        let mut d = TDigest::new(100.0);
+        for v in [9u64, 2, 44, 7, 1_000_000] {
+            d.insert(v);
+        }
+        assert_eq!(d.quantile(0.0), Some(2));
+        assert_eq!(d.quantile(1.0), Some(1_000_000));
+    }
+
+    #[test]
+    fn uniform_quantiles_accurate() {
+        let mut d = TDigest::new(200.0);
+        let mut data: Vec<u64> = (0..100_000u64).map(|i| (i * 2654435761) % 1_000_003).collect();
+        for &v in &data {
+            d.insert(v);
+        }
+        data.sort_unstable();
+        for &phi in &[0.01, 0.1, 0.5, 0.9, 0.99, 0.999] {
+            let exact = qlove_stats::quantile_sorted(&data, phi) as f64;
+            let got = d.quantile(phi).unwrap() as f64;
+            let rel = ((got - exact) / exact.max(1.0)).abs();
+            assert!(rel < 0.02, "phi={phi}: rel {rel}");
+        }
+    }
+
+    #[test]
+    fn tail_resolution_is_fine_grained() {
+        // The k₁ scale function's promise: extreme-quantile rank error
+        // shrinks toward the ends.
+        let mut d = TDigest::new(200.0);
+        let mut data: Vec<u64> = (0..200_000u64).map(|i| (i * 48271) % 999_983).collect();
+        for &v in &data {
+            d.insert(v);
+        }
+        data.sort_unstable();
+        let got = d.quantile(0.999).unwrap();
+        let got_rank = data.partition_point(|&x| x <= got) as f64;
+        let want_rank = 0.999 * data.len() as f64;
+        let rank_err = (got_rank - want_rank).abs() / data.len() as f64;
+        assert!(rank_err < 5e-4, "tail rank error {rank_err}");
+    }
+
+    #[test]
+    fn centroid_count_bounded_by_delta() {
+        let mut d = TDigest::new(100.0);
+        for v in 0..500_000u64 {
+            d.insert((v * 7919) % 1_000_003);
+        }
+        let n = d.centroid_count();
+        assert!(n < 250, "{n} centroids for δ = 100");
+    }
+
+    #[test]
+    fn merge_close_to_bulk_insert() {
+        let data_a: Vec<u64> = (0..40_000u64).map(|i| (i * 97) % 65_536).collect();
+        let data_b: Vec<u64> = (0..40_000u64).map(|i| (i * 193) % 131_072).collect();
+        let mut bulk = TDigest::new(200.0);
+        let mut a = TDigest::new(200.0);
+        let mut b = TDigest::new(200.0);
+        for &v in &data_a {
+            bulk.insert(v);
+            a.insert(v);
+        }
+        for &v in &data_b {
+            bulk.insert(v);
+            b.insert(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), bulk.count());
+        for &phi in &[0.1, 0.5, 0.9, 0.99] {
+            let x = a.quantile(phi).unwrap() as f64;
+            let y = bulk.quantile(phi).unwrap() as f64;
+            assert!(((x - y) / y.max(1.0)).abs() < 0.02, "phi={phi}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn policy_sliding_accuracy() {
+        let (window, period) = (8_000, 1_000);
+        let mut p = TDigestPolicy::new(&[0.5, 0.99], window, period, 150.0);
+        let data: Vec<u64> = (0..32_000u64).map(|i| 1 + (i * 7919) % 90_000).collect();
+        let mut evals = 0;
+        for (i, &v) in data.iter().enumerate() {
+            if let Some(ans) = p.push(v) {
+                evals += 1;
+                let mut win: Vec<u64> = data[i + 1 - window..=i].to_vec();
+                win.sort_unstable();
+                for (j, &phi) in [0.5, 0.99].iter().enumerate() {
+                    let exact = qlove_stats::quantile_sorted(&win, phi) as f64;
+                    let rel = ((ans[j] as f64 - exact) / exact).abs();
+                    assert!(rel < 0.03, "phi={phi} rel={rel} at {i}");
+                }
+            }
+        }
+        assert_eq!(evals, (32_000 - window) / period + 1);
+    }
+}

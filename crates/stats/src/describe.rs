@@ -1,0 +1,175 @@
+//! Descriptive statistics and the paper's exact-quantile convention.
+//!
+//! The paper (§1) defines the φ-quantile of `N` sorted elements as the
+//! element with rank `r = ⌈φN⌉` (1-indexed). Every accuracy comparison in
+//! the evaluation (§5) is taken against this definition, so all crates in
+//! the workspace route quantile lookups through [`quantile_rank`] /
+//! [`quantile_sorted`] to stay mutually consistent.
+
+/// Rank (1-indexed) of the φ-quantile in `n` elements: `⌈φ·n⌉`, clamped to
+/// `[1, n]`.
+///
+/// `φ = 0` is mapped to rank 1 (the minimum) and `φ = 1` to rank `n` (the
+/// maximum), matching the paper's `0 < φ ≤ 1` convention while staying
+/// total on the closed interval.
+pub fn quantile_rank(phi: f64, n: usize) -> usize {
+    assert!(n > 0, "quantile of an empty collection is undefined");
+    assert!(
+        (0.0..=1.0).contains(&phi),
+        "quantile fraction {phi} outside [0, 1]"
+    );
+    let r = (phi * n as f64).ceil() as usize;
+    r.clamp(1, n)
+}
+
+/// Exact φ-quantile of an ascending-sorted slice, paper convention.
+///
+/// # Panics
+/// Panics if `sorted` is empty or `phi ∉ [0, 1]`.
+pub fn quantile_sorted<T: Copy>(sorted: &[T], phi: f64) -> T {
+    sorted[quantile_rank(phi, sorted.len()) - 1]
+}
+
+/// Exact φ-quantiles for several fractions in one pass over the ranks.
+pub fn quantiles_sorted<T: Copy>(sorted: &[T], phis: &[f64]) -> Vec<T> {
+    phis.iter().map(|&p| quantile_sorted(sorted, p)).collect()
+}
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+pub fn mean(data: &[f64]) -> Option<f64> {
+    if data.is_empty() {
+        return None;
+    }
+    Some(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Unbiased sample variance (denominator `n − 1`).
+///
+/// Returns `None` when fewer than two observations are available. Uses the
+/// two-pass algorithm, which is numerically robust for the dataset sizes
+/// the harness produces.
+pub fn variance(data: &[f64]) -> Option<f64> {
+    if data.len() < 2 {
+        return None;
+    }
+    let m = mean(data)?;
+    let ss = data.iter().map(|&x| (x - m) * (x - m)).sum::<f64>();
+    Some(ss / (data.len() - 1) as f64)
+}
+
+/// Sample standard deviation (square root of [`variance`]).
+pub fn stddev(data: &[f64]) -> Option<f64> {
+    variance(data).map(f64::sqrt)
+}
+
+/// Relative value error `|a − b| / b` in percent — the paper's accuracy
+/// metric (§5.1): `a` is the approximation, `b` the exact value.
+///
+/// A zero exact value with a nonzero estimate yields `f64::INFINITY`; two
+/// zeros yield `0.0` (a correct estimate of an exactly-zero quantile).
+pub fn relative_error_pct(approx: f64, exact: f64) -> f64 {
+    if exact == 0.0 {
+        if approx == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        ((approx - exact) / exact).abs() * 100.0
+    }
+}
+
+/// Normalized rank error `|r − r′| / N` — the paper's `e′` metric (§5.2).
+///
+/// `r` is the exact rank of the quantile, `r′` the rank the returned value
+/// actually occupies in the window, `n` the window size.
+pub fn rank_error(exact_rank: usize, returned_rank: usize, n: usize) -> f64 {
+    assert!(n > 0);
+    (exact_rank as f64 - returned_rank as f64).abs() / n as f64
+}
+
+/// Rank that `value` occupies in an ascending-sorted window: the number of
+/// elements `≤ value` (so a value smaller than the minimum has rank 0).
+///
+/// Used to measure the observed rank error of an approximate answer. Runs
+/// in `O(log n)` by binary search for the upper partition point.
+pub fn rank_of_value<T: PartialOrd>(sorted: &[T], value: &T) -> usize {
+    sorted.partition_point(|x| x <= value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_matches_paper_examples() {
+        // §1: N = 100K, φ = 0.5 → rank 50K; φ = 0.99 → rank 99K.
+        assert_eq!(quantile_rank(0.5, 100_000), 50_000);
+        assert_eq!(quantile_rank(0.99, 100_000), 99_000);
+        assert_eq!(quantile_rank(0.999, 1000), 999);
+    }
+
+    #[test]
+    fn rank_boundaries() {
+        assert_eq!(quantile_rank(0.0, 10), 1);
+        assert_eq!(quantile_rank(1.0, 10), 10);
+        assert_eq!(quantile_rank(1e-9, 10), 1);
+        assert_eq!(quantile_rank(0.5, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rank_of_empty_panics() {
+        quantile_rank(0.5, 0);
+    }
+
+    #[test]
+    fn quantile_sorted_small() {
+        let v = [10, 20, 30, 40, 50];
+        assert_eq!(quantile_sorted(&v, 0.5), 30); // ceil(2.5) = 3rd
+        assert_eq!(quantile_sorted(&v, 0.2), 10); // ceil(1.0) = 1st
+        assert_eq!(quantile_sorted(&v, 0.21), 20); // ceil(1.05) = 2nd
+        assert_eq!(quantile_sorted(&v, 1.0), 50);
+    }
+
+    #[test]
+    fn quantiles_sorted_multi() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantiles_sorted(&v, &[0.5, 0.9, 0.99]), vec![50, 90, 99]);
+    }
+
+    #[test]
+    fn mean_variance_stddev() {
+        let d = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&d), Some(5.0));
+        let var = variance(&d).unwrap();
+        assert!((var - 4.571_428_571).abs() < 1e-9);
+        assert!((stddev(&d).unwrap() - var.sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[1.0]), None);
+    }
+
+    #[test]
+    fn relative_error_examples() {
+        assert!((relative_error_pct(105.0, 100.0) - 5.0).abs() < 1e-12);
+        assert!((relative_error_pct(95.0, 100.0) - 5.0).abs() < 1e-12);
+        assert_eq!(relative_error_pct(0.0, 0.0), 0.0);
+        assert_eq!(relative_error_pct(1.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn rank_error_matches_definition() {
+        assert!((rank_error(99_000, 101_000, 100_000) - 0.02).abs() < 1e-12);
+        assert_eq!(rank_error(5, 5, 10), 0.0);
+    }
+
+    #[test]
+    fn rank_of_value_with_duplicates() {
+        let v = [1, 2, 2, 2, 5, 9];
+        assert_eq!(rank_of_value(&v, &2), 4);
+        assert_eq!(rank_of_value(&v, &0), 0);
+        assert_eq!(rank_of_value(&v, &9), 6);
+        assert_eq!(rank_of_value(&v, &10), 6);
+        assert_eq!(rank_of_value(&v, &4), 4);
+    }
+}

@@ -1,0 +1,129 @@
+//! Theorem 1: the CLT-based probabilistic error bound.
+//!
+//! For a sliding window of `n` sub-windows with `m` i.i.d. points each,
+//! QLOVE's aggregated estimate `y_a` satisfies, with probability ≥ 1 − α
+//! (asymptotically in `m`):
+//!
+//! ```text
+//! |y_a − y_e| ≤ 2 · Φ⁻¹(α/2) · √(φ(1−φ)) / (√(n·m) · f(p_φ))
+//! ```
+//!
+//! where `Φ⁻¹(α/2)` is the *upper* α/2 standard-normal quantile (1.96 for
+//! α = 5%) and `f(p_φ)` the data density at the true quantile. The bound
+//! is reported alongside every QLOVE answer so that a monitoring system
+//! can tell an informative estimate (narrow bound, dense region — e.g. the
+//! median) from a fragile one (wide bound, sparse tail — e.g. Q0.999).
+
+use crate::normal;
+
+/// A computed Theorem-1 bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CltBound {
+    /// Half-width of the confidence interval: `y_e ∈ [y_a − eb, y_a + eb]`.
+    pub half_width: f64,
+    /// Confidence level `1 − α` the bound holds at.
+    pub confidence: f64,
+}
+
+impl CltBound {
+    /// Whether an observed absolute error is covered by the bound.
+    pub fn covers(&self, abs_error: f64) -> bool {
+        abs_error <= self.half_width
+    }
+}
+
+/// Evaluate the Theorem-1 bound.
+///
+/// * `phi` — target quantile fraction in `(0, 1)`.
+/// * `n_subwindows` — number of sub-windows `n` in the sliding window.
+/// * `m_per_subwindow` — points per sub-window `m`.
+/// * `density_at_quantile` — `f(p_φ)`, e.g. from [`crate::kde::Kde`].
+/// * `alpha` — significance (paper instantiates `α = 0.05` → factor 1.96).
+///
+/// Returns `None` when the inputs are degenerate (zero density, empty
+/// window, or φ outside the open interval): in those cases the bound is
+/// mathematically infinite/undefined and therefore "not informative" in
+/// the paper's wording.
+pub fn clt_error_bound(
+    phi: f64,
+    n_subwindows: usize,
+    m_per_subwindow: usize,
+    density_at_quantile: f64,
+    alpha: f64,
+) -> Option<CltBound> {
+    if !(0.0 < phi && phi < 1.0) || !(0.0 < alpha && alpha < 1.0) {
+        return None;
+    }
+    if n_subwindows == 0 || m_per_subwindow == 0 {
+        return None;
+    }
+    if !(density_at_quantile > 0.0) || !density_at_quantile.is_finite() {
+        return None;
+    }
+    // Upper α/2 quantile: Φ⁻¹(1 − α/2).
+    let z = normal::inv_cdf(1.0 - alpha / 2.0);
+    let nm = (n_subwindows as f64) * (m_per_subwindow as f64);
+    let half_width = 2.0 * z * (phi * (1.0 - phi)).sqrt() / (nm.sqrt() * density_at_quantile);
+    Some(CltBound {
+        half_width,
+        confidence: 1.0 - alpha,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_hand_computed_value() {
+        // φ = 0.5, n = 10, m = 1000, f = 0.01, α = 0.05:
+        // eb = 2·1.96·0.5 / (100 · 0.01) = 1.96
+        let b = clt_error_bound(0.5, 10, 1000, 0.01, 0.05).unwrap();
+        assert!((b.half_width - 1.96).abs() < 2e-3, "{}", b.half_width);
+        assert!((b.confidence - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shrinks_with_more_data() {
+        let small = clt_error_bound(0.9, 4, 100, 0.01, 0.05).unwrap();
+        let large = clt_error_bound(0.9, 4, 10_000, 0.01, 0.05).unwrap();
+        assert!(large.half_width < small.half_width);
+        // √100x data → 10x tighter.
+        assert!((small.half_width / large.half_width - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wider_in_sparse_regions() {
+        // Lower density at the tail quantile ⇒ wider bound, §3.2 discussion.
+        let dense = clt_error_bound(0.5, 8, 1000, 0.05, 0.05).unwrap();
+        let sparse = clt_error_bound(0.999, 8, 1000, 1e-5, 0.05).unwrap();
+        assert!(sparse.half_width > dense.half_width * 100.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(clt_error_bound(0.0, 4, 100, 0.1, 0.05).is_none());
+        assert!(clt_error_bound(1.0, 4, 100, 0.1, 0.05).is_none());
+        assert!(clt_error_bound(0.5, 0, 100, 0.1, 0.05).is_none());
+        assert!(clt_error_bound(0.5, 4, 0, 0.1, 0.05).is_none());
+        assert!(clt_error_bound(0.5, 4, 100, 0.0, 0.05).is_none());
+        assert!(clt_error_bound(0.5, 4, 100, f64::INFINITY, 0.05).is_none());
+        assert!(clt_error_bound(0.5, 4, 100, 0.1, 0.0).is_none());
+        assert!(clt_error_bound(0.5, 4, 100, 0.1, 1.0).is_none());
+    }
+
+    #[test]
+    fn covers_checks_half_width() {
+        let b = clt_error_bound(0.5, 10, 1000, 0.01, 0.05).unwrap();
+        assert!(b.covers(1.0));
+        assert!(b.covers(b.half_width));
+        assert!(!b.covers(b.half_width + 1e-9));
+    }
+
+    #[test]
+    fn stricter_alpha_widens_bound() {
+        let loose = clt_error_bound(0.5, 10, 1000, 0.01, 0.10).unwrap();
+        let strict = clt_error_bound(0.5, 10, 1000, 0.01, 0.01).unwrap();
+        assert!(strict.half_width > loose.half_width);
+    }
+}

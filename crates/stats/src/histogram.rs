@@ -1,0 +1,162 @@
+//! Fixed-width histograms.
+//!
+//! Used by the harness to regenerate Figure 1 (the NetMon latency
+//! histogram whose x-axis is cut at 10,000 µs "due to a very long tail")
+//! and by examples that visualize workload shapes in the terminal.
+
+/// A fixed-width histogram over `[lo, hi)` with values outside the range
+/// counted in explicit underflow/overflow buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    width: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` equal-width buckets spanning
+    /// `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Self {
+            lo,
+            hi,
+            width: (hi - lo) / bins as f64,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / self.width) as usize;
+            // Floating-point edge: x infinitesimally below hi can index ==
+            // len after division rounding.
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Record every value in an iterator.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.record(v);
+        }
+    }
+
+    /// Per-bucket counts (excludes under/overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Inclusive-exclusive bounds `[lo, hi)` of bucket `i`.
+    pub fn bucket_bounds(&self, i: usize) -> (f64, f64) {
+        let lo = self.lo + self.width * i as f64;
+        (lo, lo + self.width)
+    }
+
+    /// Observations below the histogram range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the histogram range (Figure 1's "very
+    /// long tail" beyond the cut axis).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Render an ASCII bar chart, `rows` buckets per line group, bar width
+    /// normalized to `max_bar` characters. Used by the Figure-1 binary.
+    pub fn render_ascii(&self, max_bar: usize) -> String {
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.bucket_bounds(i);
+            let bar_len = ((c as f64 / peak as f64) * max_bar as f64).round() as usize;
+            out.push_str(&format!(
+                "[{lo:>9.0}, {hi:>9.0}) {c:>9} {}\n",
+                "#".repeat(bar_len)
+            ));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!(
+                "[{:>9.0},       inf) {:>9} (long tail beyond axis)\n",
+                self.hi, self.overflow
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_values_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record_all([0.0, 1.9, 2.0, 9.99, 10.0, -0.1, 100.0]);
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn bucket_bounds_are_contiguous() {
+        let h = Histogram::new(0.0, 100.0, 4);
+        assert_eq!(h.bucket_bounds(0), (0.0, 25.0));
+        assert_eq!(h.bucket_bounds(3), (75.0, 100.0));
+    }
+
+    #[test]
+    fn value_just_below_hi_lands_in_last_bucket() {
+        let mut h = Histogram::new(0.0, 1.0, 3);
+        h.record(1.0 - f64::EPSILON);
+        assert_eq!(h.counts()[2], 1);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_range_panics() {
+        Histogram::new(1.0, 0.0, 4);
+    }
+
+    #[test]
+    fn ascii_render_contains_overflow_note() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.record_all([1.0, 11.0]);
+        let s = h.render_ascii(10);
+        assert!(s.contains("long tail"));
+        assert!(s.lines().count() == 3);
+    }
+}

@@ -1,0 +1,45 @@
+//! # qlove-stats — statistical substrate for QLOVE
+//!
+//! Self-contained (no third-party dependencies) statistics toolkit used by
+//! the QLOVE quantile operator and by the experiment harness:
+//!
+//! * [`normal`] — the standard normal distribution: `erf`, CDF Φ, inverse
+//!   CDF Φ⁻¹ (Acklam's rational approximation), density φ. Needed by
+//!   Theorem 1's error bound and by the Mann-Whitney normal approximation.
+//! * [`describe`] — descriptive statistics and *exact* quantiles over
+//!   sorted data using the paper's rank definition (the ⌈φN⌉-th smallest
+//!   element, §1).
+//! * [`mannwhitney`] — the Mann-Whitney U test used by QLOVE's runtime
+//!   burst detector (§4.3, reference \[22\] of the paper).
+//! * [`kde`] — Gaussian kernel density estimation (Silverman bandwidth),
+//!   used to evaluate `f(p_φ)` in the Theorem 1 bound.
+//! * [`error_bound`] — the CLT-based probabilistic error bound of
+//!   Theorem 1: `|y_a − y_e| ≤ 2·Φ⁻¹(α/2)·√(φ(1−φ)) / (√(nm)·f(p_φ))`.
+//! * [`histogram`] — fixed-width histograms (Figure 1 of the paper) with a
+//!   terminal renderer used by the harness binaries.
+//!
+//! Everything here is deterministic and allocation-conscious; the hot paths
+//! (`normal::cdf`, `describe::quantile_sorted`) are branch-light and used
+//! inside per-event processing loops.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod describe;
+pub mod error_bound;
+pub mod histogram;
+pub mod kde;
+pub mod mannwhitney;
+pub mod normal;
+pub mod student;
+
+pub use describe::{
+    mean, quantile_rank, quantile_sorted, quantiles_sorted, rank_error, rank_of_value,
+    relative_error_pct, stddev, variance,
+};
+pub use error_bound::{clt_error_bound, CltBound};
+pub use histogram::Histogram;
+pub use kde::Kde;
+pub use mannwhitney::{mann_whitney_u, Alternative, MannWhitneyResult};
+pub use normal::{cdf as norm_cdf, erf, erfc, inv_cdf as norm_inv_cdf, pdf as norm_pdf};
+pub use student::{t_cdf, welch_t, WelchResult};

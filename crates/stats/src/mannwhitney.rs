@@ -1,0 +1,202 @@
+//! Mann-Whitney U test (Wilcoxon rank-sum).
+//!
+//! QLOVE's runtime burst detector (§4.3) must decide whether "the sampled
+//! largest values in the current sub-window are distributionally different
+//! and *stochastically larger* than those in the adjacent former
+//! sub-window", citing Mann & Whitney (1947). This module implements the
+//! test with the normal approximation, continuity correction, and the
+//! standard tie correction — exact enough for the tail-sample sizes QLOVE
+//! feeds it (ks is typically tens to hundreds of values).
+
+use crate::normal;
+
+/// Which deviation from "same distribution" the test looks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Alternative {
+    /// Sample *a* is stochastically greater than sample *b* (the burst
+    /// detector's direction: current tail larger than previous tail).
+    Greater,
+    /// Sample *a* is stochastically smaller than sample *b*.
+    Less,
+    /// Any difference in location.
+    TwoSided,
+}
+
+/// Outcome of the Mann-Whitney U test.
+#[derive(Debug, Clone, Copy)]
+pub struct MannWhitneyResult {
+    /// U statistic of the first sample.
+    pub u: f64,
+    /// Standardized z-score under H₀ (with tie and continuity correction).
+    pub z: f64,
+    /// p-value for the requested alternative.
+    pub p_value: f64,
+}
+
+impl MannWhitneyResult {
+    /// Convenience: reject H₀ at significance level `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Mann-Whitney U test of samples `a` against `b`.
+///
+/// Returns `None` when either sample is empty (the burst detector treats
+/// this as "no evidence of a burst"). Sample sizes ≥ 8 per side make the
+/// normal approximation accurate to well under the 5% level the burst
+/// detector operates at.
+pub fn mann_whitney_u(a: &[f64], b: &[f64], alternative: Alternative) -> Option<MannWhitneyResult> {
+    let n1 = a.len();
+    let n2 = b.len();
+    if n1 == 0 || n2 == 0 {
+        return None;
+    }
+
+    // Pool, remember origin, and rank with midranks for ties.
+    let mut pooled: Vec<(f64, bool)> = a
+        .iter()
+        .map(|&v| (v, true))
+        .chain(b.iter().map(|&v| (v, false)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("NaN in Mann-Whitney input"));
+
+    let n = pooled.len();
+    let mut rank_sum_a = 0.0f64;
+    let mut tie_term = 0.0f64; // Σ (t³ − t) over tie groups
+    let mut i = 0;
+    while i < n {
+        let mut j = i + 1;
+        while j < n && pooled[j].0 == pooled[i].0 {
+            j += 1;
+        }
+        let group = (j - i) as f64;
+        // Midrank of the tie group spanning 1-indexed ranks (i+1)..=j.
+        let midrank = (i + 1 + j) as f64 / 2.0;
+        for item in &pooled[i..j] {
+            if item.1 {
+                rank_sum_a += midrank;
+            }
+        }
+        if group > 1.0 {
+            tie_term += group * group * group - group;
+        }
+        i = j;
+    }
+
+    let n1f = n1 as f64;
+    let n2f = n2 as f64;
+    let u1 = rank_sum_a - n1f * (n1f + 1.0) / 2.0;
+
+    let mu = n1f * n2f / 2.0;
+    let nf = n as f64;
+    // Variance with tie correction.
+    let var = n1f * n2f / 12.0 * ((nf + 1.0) - tie_term / (nf * (nf - 1.0)));
+    if var <= 0.0 {
+        // All pooled values identical: no evidence either way.
+        return Some(MannWhitneyResult {
+            u: u1,
+            z: 0.0,
+            p_value: 1.0,
+        });
+    }
+    let sd = var.sqrt();
+
+    // Continuity correction of 0.5 toward the mean.
+    let z = match alternative {
+        Alternative::Greater => (u1 - mu - 0.5) / sd,
+        Alternative::Less => (u1 - mu + 0.5) / sd,
+        Alternative::TwoSided => {
+            let num = (u1 - mu).abs() - 0.5;
+            num.max(0.0) / sd
+        }
+    };
+
+    let p_value = match alternative {
+        Alternative::Greater => 1.0 - normal::cdf(z),
+        Alternative::Less => normal::cdf(z),
+        Alternative::TwoSided => 2.0 * (1.0 - normal::cdf(z)).min(0.5),
+    };
+
+    Some(MannWhitneyResult { u: u1, z, p_value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples_yield_none() {
+        assert!(mann_whitney_u(&[], &[1.0], Alternative::Greater).is_none());
+        assert!(mann_whitney_u(&[1.0], &[], Alternative::Greater).is_none());
+    }
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let a = [5.0, 5.0, 5.0, 5.0];
+        let r = mann_whitney_u(&a, &a, Alternative::Greater).unwrap();
+        assert!(!r.significant_at(0.05));
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clearly_shifted_sample_detected_as_greater() {
+        let a: Vec<f64> = (100..120).map(|x| x as f64).collect();
+        let b: Vec<f64> = (0..20).map(|x| x as f64).collect();
+        let r = mann_whitney_u(&a, &b, Alternative::Greater).unwrap();
+        assert!(r.significant_at(0.01), "p = {}", r.p_value);
+        // U should be maximal: every a beats every b.
+        assert!((r.u - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn direction_matters() {
+        let a: Vec<f64> = (0..20).map(|x| x as f64).collect();
+        let b: Vec<f64> = (100..120).map(|x| x as f64).collect();
+        let greater = mann_whitney_u(&a, &b, Alternative::Greater).unwrap();
+        let less = mann_whitney_u(&a, &b, Alternative::Less).unwrap();
+        assert!(!greater.significant_at(0.05));
+        assert!(less.significant_at(0.01));
+    }
+
+    #[test]
+    fn two_sided_detects_either_shift() {
+        let a: Vec<f64> = (0..30).map(|x| x as f64).collect();
+        let b: Vec<f64> = (50..80).map(|x| x as f64).collect();
+        let r = mann_whitney_u(&a, &b, Alternative::TwoSided).unwrap();
+        assert!(r.significant_at(0.01));
+    }
+
+    #[test]
+    fn reference_value_against_scipy() {
+        // scipy.stats.mannwhitneyu([1,2,3,4,5], [3,4,5,6,7],
+        //                          alternative='less', method='asymptotic',
+        //                          use_continuity=True)
+        // Midranks: a gets 1 + 2 + 3.5 + 5.5 + 7.5 = 19.5 → U1 = 4.5.
+        // μ = 12.5, tie term Σ(t³−t) = 18, var = 25/12·(11 − 18/90) = 22.5,
+        // z = (4.5 − 12.5 + 0.5)/√22.5 = −1.5811 → p = Φ(z) ≈ 0.0569.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [3.0, 4.0, 5.0, 6.0, 7.0];
+        let r = mann_whitney_u(&a, &b, Alternative::Less).unwrap();
+        assert!((r.u - 4.5).abs() < 1e-9, "u = {}", r.u);
+        assert!((r.p_value - 0.0569).abs() < 5e-3, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn heavy_ties_do_not_break_variance() {
+        let a = [1.0, 1.0, 1.0, 2.0, 2.0];
+        let b = [1.0, 1.0, 2.0, 2.0, 2.0];
+        let r = mann_whitney_u(&a, &b, Alternative::TwoSided).unwrap();
+        assert!(r.p_value > 0.05);
+        assert!(r.p_value <= 1.0);
+    }
+
+    #[test]
+    fn overlap_moderate_shift_plausible_p() {
+        let a = [10.0, 12.0, 14.0, 16.0, 18.0, 20.0, 22.0, 24.0];
+        let b = [9.0, 11.0, 13.0, 15.0, 17.0, 19.0, 21.0, 23.0];
+        let r = mann_whitney_u(&a, &b, Alternative::Greater).unwrap();
+        // a is slightly larger but far from significant.
+        assert!(r.p_value > 0.2 && r.p_value < 0.8, "p = {}", r.p_value);
+    }
+}

@@ -1,0 +1,62 @@
+//! The four-function incremental operator contract (§2).
+//!
+//! > To implement an incremental operator, developers should define the
+//! > following functions: `InitialState`, `Accumulate`, `Deaccumulate`,
+//! > `ComputeResult`.
+//!
+//! Operators are *factories plus logic*: the operator value holds query
+//! parameters (e.g. which quantiles to answer), while the state it mints
+//! holds per-window data. Executors own the state and route events.
+
+/// An incremental aggregate in the paper's sense.
+///
+/// `Deaccumulate` has a default panicking implementation because some
+/// operators are tumbling-only (QLOVE's Level 1 deliberately avoids
+/// per-element deaccumulation, §3.1); the sliding executor requires
+/// [`IncrementalAggregate::SUPPORTS_DEACCUMULATE`] so misuse fails at
+/// construction, not mid-stream.
+pub trait IncrementalAggregate {
+    /// Per-window mutable state `S`.
+    type State;
+    /// Event payload type `E`.
+    type Input;
+    /// Query result type `R`.
+    type Output;
+
+    /// Whether `deaccumulate` is implemented (sliding-window capable).
+    const SUPPORTS_DEACCUMULATE: bool = true;
+
+    /// `InitialState: () => S`.
+    fn initial_state(&self) -> Self::State;
+
+    /// `Accumulate: (S, E) => S` — fold one arriving event into the state.
+    fn accumulate(&self, state: &mut Self::State, input: &Self::Input);
+
+    /// `Deaccumulate: (S, E) => S` — remove one expiring event.
+    fn deaccumulate(&self, state: &mut Self::State, input: &Self::Input) {
+        let _ = (state, input);
+        unimplemented!("this operator does not support per-element deaccumulation")
+    }
+
+    /// `ComputeResult: S => R`.
+    fn compute_result(&self, state: &Self::State) -> Self::Output;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::MeanOp;
+
+    #[test]
+    fn average_operator_matches_paper_example() {
+        // §2's worked example: average via {Count, Sum}.
+        let op = MeanOp;
+        let mut s = op.initial_state();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            op.accumulate(&mut s, &v);
+        }
+        assert_eq!(op.compute_result(&s), Some(2.5));
+        op.deaccumulate(&mut s, &1.0);
+        assert_eq!(op.compute_result(&s), Some(3.0));
+    }
+}

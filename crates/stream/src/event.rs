@@ -1,0 +1,60 @@
+//! Stream events.
+
+/// One element of a data stream: a payload plus the logical timestamp that
+/// "captures the order of the element's occurrence" (§2).
+///
+/// Telemetry payloads in this workspace are latency samples (`u64`
+/// microseconds), but the engine is generic: any `V` works as long as the
+/// downstream aggregate accepts it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event<V> {
+    /// Payload value.
+    pub value: V,
+    /// Monotonic logical timestamp (arrival index or wall-clock ticks).
+    pub timestamp: u64,
+}
+
+impl<V> Event<V> {
+    /// Construct an event.
+    pub fn new(value: V, timestamp: u64) -> Self {
+        Self { value, timestamp }
+    }
+
+    /// Map the payload, keeping the timestamp.
+    pub fn map<U>(self, f: impl FnOnce(V) -> U) -> Event<U> {
+        Event {
+            value: f(self.value),
+            timestamp: self.timestamp,
+        }
+    }
+}
+
+/// Wrap an iterator of plain values into events with sequential
+/// timestamps starting at 0 — the shape every harness source uses.
+pub fn sequence<V, I: IntoIterator<Item = V>>(
+    values: I,
+) -> impl Iterator<Item = Event<V>> {
+    values
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| Event::new(v, i as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_assigns_increasing_timestamps() {
+        let evs: Vec<Event<u64>> = sequence([10u64, 20, 30]).collect();
+        assert_eq!(evs[0], Event::new(10, 0));
+        assert_eq!(evs[2], Event::new(30, 2));
+    }
+
+    #[test]
+    fn map_preserves_timestamp() {
+        let e = Event::new(5u64, 42).map(|v| v * 2);
+        assert_eq!(e.value, 10);
+        assert_eq!(e.timestamp, 42);
+    }
+}

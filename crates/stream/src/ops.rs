@@ -1,0 +1,260 @@
+//! Stock incremental operators.
+//!
+//! These serve three purposes: they are the worked examples of the §2
+//! programming model (average is the paper's own illustration), they give
+//! the examples/tests simple operators to exercise the executors with,
+//! and `ExactQuantileOp` is the paper's `Exact` baseline packaged as an
+//! engine operator.
+
+use crate::aggregate::IncrementalAggregate;
+use qlove_rbtree::FreqTree;
+
+/// Running count of events.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountOp;
+
+impl IncrementalAggregate for CountOp {
+    type State = u64;
+    type Input = f64;
+    type Output = u64;
+
+    fn initial_state(&self) -> u64 {
+        0
+    }
+    fn accumulate(&self, state: &mut u64, _input: &f64) {
+        *state += 1;
+    }
+    fn deaccumulate(&self, state: &mut u64, _input: &f64) {
+        *state -= 1;
+    }
+    fn compute_result(&self, state: &u64) -> u64 {
+        *state
+    }
+}
+
+/// Running sum.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SumOp;
+
+impl IncrementalAggregate for SumOp {
+    type State = f64;
+    type Input = f64;
+    type Output = f64;
+
+    fn initial_state(&self) -> f64 {
+        0.0
+    }
+    fn accumulate(&self, state: &mut f64, input: &f64) {
+        *state += *input;
+    }
+    fn deaccumulate(&self, state: &mut f64, input: &f64) {
+        *state -= *input;
+    }
+    fn compute_result(&self, state: &f64) -> f64 {
+        *state
+    }
+}
+
+/// State for [`MeanOp`] — the paper's `{Count, Sum}` pair.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeanState {
+    /// Number of live events.
+    pub count: u64,
+    /// Sum of live event values.
+    pub sum: f64,
+}
+
+/// Arithmetic mean — the operator §2 uses to introduce incremental
+/// evaluation. Returns `None` over an empty window.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeanOp;
+
+impl IncrementalAggregate for MeanOp {
+    type State = MeanState;
+    type Input = f64;
+    type Output = Option<f64>;
+
+    fn initial_state(&self) -> MeanState {
+        MeanState::default()
+    }
+    fn accumulate(&self, state: &mut MeanState, input: &f64) {
+        state.count += 1;
+        state.sum += *input;
+    }
+    fn deaccumulate(&self, state: &mut MeanState, input: &f64) {
+        state.count -= 1;
+        state.sum -= *input;
+    }
+    fn compute_result(&self, state: &MeanState) -> Option<f64> {
+        if state.count == 0 {
+            None
+        } else {
+            Some(state.sum / state.count as f64)
+        }
+    }
+}
+
+/// State for [`VarianceOp`]: moments Σx and Σx².
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VarianceState {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+}
+
+/// Sample variance via deaccumulatable power sums. (Welford's recurrence
+/// is more stable but cannot retract elements; power sums are the
+/// standard sliding-window compromise.)
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VarianceOp;
+
+impl IncrementalAggregate for VarianceOp {
+    type State = VarianceState;
+    type Input = f64;
+    type Output = Option<f64>;
+
+    fn initial_state(&self) -> VarianceState {
+        VarianceState::default()
+    }
+    fn accumulate(&self, state: &mut VarianceState, input: &f64) {
+        state.count += 1;
+        state.sum += *input;
+        state.sum_sq += *input * *input;
+    }
+    fn deaccumulate(&self, state: &mut VarianceState, input: &f64) {
+        state.count -= 1;
+        state.sum -= *input;
+        state.sum_sq -= *input * *input;
+    }
+    fn compute_result(&self, state: &VarianceState) -> Option<f64> {
+        if state.count < 2 {
+            return None;
+        }
+        let n = state.count as f64;
+        let var = (state.sum_sq - state.sum * state.sum / n) / (n - 1.0);
+        Some(var.max(0.0)) // clamp tiny negative rounding residue
+    }
+}
+
+/// The `Exact` baseline (§5.1) as an engine operator: a frequency
+/// red-black tree accumulates values and deaccumulates expiring ones
+/// ("decrements its frequency by one, and is deleted … if the frequency
+/// becomes zero"), answering any quantile set exactly.
+#[derive(Debug, Clone)]
+pub struct ExactQuantileOp {
+    phis: Vec<f64>,
+}
+
+impl ExactQuantileOp {
+    /// Operator answering the given quantile fractions each evaluation.
+    pub fn new(phis: &[f64]) -> Self {
+        assert!(!phis.is_empty(), "need at least one quantile");
+        assert!(
+            phis.iter().all(|p| (0.0..=1.0).contains(p)),
+            "quantile fractions must lie in [0, 1]"
+        );
+        Self { phis: phis.to_vec() }
+    }
+
+    /// The configured quantile fractions.
+    pub fn phis(&self) -> &[f64] {
+        &self.phis
+    }
+}
+
+impl IncrementalAggregate for ExactQuantileOp {
+    type State = FreqTree<u64>;
+    type Input = u64;
+    type Output = Vec<u64>;
+
+    fn initial_state(&self) -> FreqTree<u64> {
+        FreqTree::new()
+    }
+    fn accumulate(&self, state: &mut FreqTree<u64>, input: &u64) {
+        state.insert(*input, 1);
+    }
+    fn deaccumulate(&self, state: &mut FreqTree<u64>, input: &u64) {
+        state
+            .remove(*input, 1)
+            .expect("executor only expires previously-accumulated events");
+    }
+    fn compute_result(&self, state: &FreqTree<u64>) -> Vec<u64> {
+        state.quantiles(&self.phis).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_and_sum_roundtrip() {
+        let c = CountOp;
+        let mut cs = c.initial_state();
+        let s = SumOp;
+        let mut ss = s.initial_state();
+        for v in [1.0, 2.0, 3.0] {
+            c.accumulate(&mut cs, &v);
+            s.accumulate(&mut ss, &v);
+        }
+        assert_eq!(c.compute_result(&cs), 3);
+        assert_eq!(s.compute_result(&ss), 6.0);
+        c.deaccumulate(&mut cs, &1.0);
+        s.deaccumulate(&mut ss, &1.0);
+        assert_eq!(c.compute_result(&cs), 2);
+        assert_eq!(s.compute_result(&ss), 5.0);
+    }
+
+    #[test]
+    fn mean_empty_is_none() {
+        let op = MeanOp;
+        assert_eq!(op.compute_result(&op.initial_state()), None);
+    }
+
+    #[test]
+    fn variance_matches_two_pass() {
+        let op = VarianceOp;
+        let mut s = op.initial_state();
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        for v in &data {
+            op.accumulate(&mut s, v);
+        }
+        let v = op.compute_result(&s).unwrap();
+        assert!((v - 4.571_428_571).abs() < 1e-9);
+        // Retract the first two, compare against direct computation.
+        op.deaccumulate(&mut s, &2.0);
+        op.deaccumulate(&mut s, &4.0);
+        let direct = qlove_stats::variance(&data[2..]).unwrap();
+        assert!((op.compute_result(&s).unwrap() - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_needs_two_points() {
+        let op = VarianceOp;
+        let mut s = op.initial_state();
+        assert_eq!(op.compute_result(&s), None);
+        op.accumulate(&mut s, &1.0);
+        assert_eq!(op.compute_result(&s), None);
+    }
+
+    #[test]
+    fn exact_quantile_op_accumulate_and_expire() {
+        let op = ExactQuantileOp::new(&[0.5, 1.0]);
+        let mut s = op.initial_state();
+        for v in 1..=10u64 {
+            op.accumulate(&mut s, &v);
+        }
+        assert_eq!(op.compute_result(&s), vec![5, 10]);
+        for v in 1..=5u64 {
+            op.deaccumulate(&mut s, &v);
+        }
+        // Remaining: 6..=10 → median ceil(0.5·5)=3rd = 8.
+        assert_eq!(op.compute_result(&s), vec![8, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one quantile")]
+    fn exact_quantile_op_requires_phis() {
+        ExactQuantileOp::new(&[]);
+    }
+}

@@ -1,0 +1,68 @@
+//! The common contract for streaming multi-quantile operators.
+//!
+//! Every policy evaluated in the paper (§5.1: QLOVE, Exact, CMQS, AM,
+//! Random, Moment) is, to the harness, the same thing: a box that eats
+//! one `u64` telemetry value at a time and, on its window schedule,
+//! emits one answer per configured quantile. This trait captures that,
+//! letting accuracy/throughput/space experiments run policy-agnostic.
+
+/// A streaming operator answering a fixed set of quantiles over a
+/// count-based window, self-scheduled by its window/period parameters.
+pub trait QuantilePolicy {
+    /// Feed one element. Returns `Some(answers)` — one value per entry of
+    /// [`QuantilePolicy::phis`], in the same order — whenever this
+    /// element lands on an evaluation boundary with a full window.
+    fn push(&mut self, value: u64) -> Option<Vec<u64>>;
+
+    /// The quantile fractions this policy answers.
+    fn phis(&self) -> &[f64];
+
+    /// Observed space usage in "number of variables" — the paper's §5.1
+    /// memory metric (each stored scalar counts as one variable).
+    fn space_variables(&self) -> usize;
+
+    /// Human-readable policy name for harness tables.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy {
+        phis: Vec<f64>,
+        seen: u64,
+    }
+
+    impl QuantilePolicy for Dummy {
+        fn push(&mut self, value: u64) -> Option<Vec<u64>> {
+            self.seen += 1;
+            self.seen.is_multiple_of(4).then(|| vec![value; self.phis.len()])
+        }
+        fn phis(&self) -> &[f64] {
+            &self.phis
+        }
+        fn space_variables(&self) -> usize {
+            1
+        }
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let mut p: Box<dyn QuantilePolicy> = Box::new(Dummy {
+            phis: vec![0.5, 0.9],
+            seen: 0,
+        });
+        let mut emitted = 0;
+        for v in 0..16u64 {
+            if let Some(ans) = p.push(v) {
+                assert_eq!(ans.len(), p.phis().len());
+                emitted += 1;
+            }
+        }
+        assert_eq!(emitted, 4);
+    }
+}

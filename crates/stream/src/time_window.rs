@@ -1,0 +1,294 @@
+//! Time-based window executors.
+//!
+//! §2: "Our work can be applied to windows defined by time parameters,
+//! e.g., evaluate the query every one minute (window period) for the
+//! elements seen last one hour (window size)." These executors drive
+//! any [`IncrementalAggregate`] over event-time windows; the paper's
+//! evaluation itself is count-based, so the count executors in
+//! [`crate::window`] remain the harness workhorses.
+//!
+//! Semantics: event time is taken from [`Event::timestamp`] and must be
+//! non-decreasing (telemetry pipelines deliver in arrival order; an
+//! out-of-order event panics in debug and is clamped in release).
+//! Windows are aligned to multiples of the period; a window `(t₀, t₁]`
+//! is evaluated when the first event with `timestamp > t₁` arrives,
+//! covering events in `(t₁ − size, t₁]`.
+
+use crate::aggregate::IncrementalAggregate;
+use crate::event::Event;
+use std::collections::VecDeque;
+
+/// Window size and period in timestamp units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeWindowSpec {
+    /// How far back a window reaches, in timestamp units.
+    pub size: u64,
+    /// How often the query evaluates, in timestamp units.
+    pub period: u64,
+}
+
+impl TimeWindowSpec {
+    /// A sliding time window.
+    ///
+    /// # Panics
+    /// Panics when `period == 0` or `size < period`.
+    pub fn sliding(size: u64, period: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        assert!(size >= period, "size must be ≥ period");
+        Self { size, period }
+    }
+
+    /// A tumbling time window.
+    pub fn tumbling(size: u64) -> Self {
+        Self::sliding(size, size)
+    }
+}
+
+/// One emitted evaluation of a time window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedResult<R> {
+    /// Window end timestamp `t₁` (window covers `(t₁ − size, t₁]`).
+    pub window_end: u64,
+    /// Number of events inside the window at evaluation.
+    pub events: usize,
+    /// The aggregate's output.
+    pub result: R,
+}
+
+/// Event-time sliding-window executor over any incremental aggregate.
+#[derive(Debug)]
+pub struct TimeSlidingWindow<A: IncrementalAggregate>
+where
+    A::Input: Clone,
+{
+    op: A,
+    spec: TimeWindowSpec,
+    state: A::State,
+    live: VecDeque<Event<A::Input>>,
+    /// End timestamp of the next window to evaluate (exclusive of later
+    /// events); `None` until the first event fixes the alignment.
+    next_boundary: Option<u64>,
+    last_ts: u64,
+}
+
+impl<A: IncrementalAggregate> TimeSlidingWindow<A>
+where
+    A::Input: Clone,
+{
+    /// Build an executor. Sliding specs require a deaccumulating
+    /// operator, exactly like the count-based executor.
+    pub fn new(op: A, spec: TimeWindowSpec) -> Self {
+        assert!(
+            spec.size == spec.period || A::SUPPORTS_DEACCUMULATE,
+            "operator cannot deaccumulate; use a tumbling time window"
+        );
+        let state = op.initial_state();
+        Self {
+            op,
+            spec,
+            state,
+            live: VecDeque::new(),
+            next_boundary: None,
+            last_ts: 0,
+        }
+    }
+
+    /// Feed one event; returns the evaluations (possibly several, if the
+    /// event jumped multiple idle periods) that closed *before* this
+    /// event's timestamp.
+    pub fn push(&mut self, event: Event<A::Input>) -> Vec<TimedResult<A::Output>> {
+        debug_assert!(
+            event.timestamp >= self.last_ts,
+            "event time went backwards: {} after {}",
+            event.timestamp,
+            self.last_ts
+        );
+        let ts = event.timestamp.max(self.last_ts);
+        self.last_ts = ts;
+
+        let boundary = *self.next_boundary.get_or_insert_with(|| {
+            // Align the first boundary to the period multiple at or
+            // after the first event (an event exactly on a boundary
+            // belongs to the window that boundary closes).
+            (ts.div_ceil(self.spec.period) * self.spec.period).max(self.spec.period)
+        });
+
+        let mut out = Vec::new();
+        // Close every window that ended strictly before this event.
+        let mut b = boundary;
+        while ts > b {
+            if self.spec.size == self.spec.period {
+                // Tumbling: evaluate, then reset wholesale — no
+                // per-element deaccumulation, mirroring the count-based
+                // executor's cheap path.
+                out.push(TimedResult {
+                    window_end: b,
+                    events: self.live.len(),
+                    result: self.op.compute_result(&self.state),
+                });
+                self.state = self.op.initial_state();
+                self.live.clear();
+            } else {
+                self.expire_older_than(b.saturating_sub(self.spec.size));
+                out.push(TimedResult {
+                    window_end: b,
+                    events: self.live.len(),
+                    result: self.op.compute_result(&self.state),
+                });
+            }
+            b += self.spec.period;
+        }
+        self.next_boundary = Some(b);
+
+        self.op.accumulate(&mut self.state, &event.value);
+        self.live.push_back(event);
+        out
+    }
+
+    fn expire_older_than(&mut self, cutoff: u64) {
+        while self
+            .live
+            .front()
+            .is_some_and(|e| e.timestamp <= cutoff)
+        {
+            let e = self.live.pop_front().expect("front checked");
+            self.op.deaccumulate(&mut self.state, &e.value);
+        }
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// `true` when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{CountOp, ExactQuantileOp, MeanOp};
+
+    #[test]
+    fn spec_validation() {
+        let s = TimeWindowSpec::sliding(3600, 60);
+        assert_eq!(s.size, 3600);
+        assert!(TimeWindowSpec::tumbling(60).size == 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ period")]
+    fn spec_rejects_small_size() {
+        TimeWindowSpec::sliding(10, 60);
+    }
+
+    #[test]
+    fn evaluates_at_period_boundaries() {
+        // Period 10: events at t = 1..25 → boundaries at 10 and 20.
+        let mut w = TimeSlidingWindow::new(CountOp, TimeWindowSpec::sliding(20, 10));
+        let mut results = Vec::new();
+        for t in 1..=25u64 {
+            results.extend(w.push(Event::new(t as f64, t)));
+        }
+        let ends: Vec<u64> = results.iter().map(|r| r.window_end).collect();
+        assert_eq!(ends, vec![10, 20]);
+        // Window (−10, 10] saw events 1..=10 → count 10 at evaluation
+        // (the boundary event 10 itself arrived before the close? no:
+        // evaluation happens when t > boundary, so event 10 is included).
+        assert_eq!(results[0].result, 10);
+        assert_eq!(results[1].result, 20); // (0, 20] → 20 events
+    }
+
+    #[test]
+    fn sliding_expires_old_events() {
+        let mut w = TimeSlidingWindow::new(CountOp, TimeWindowSpec::sliding(10, 5));
+        let mut results = Vec::new();
+        for t in 1..=31u64 {
+            results.extend(w.push(Event::new(t as f64, t)));
+        }
+        // From the third boundary on, every window holds exactly 10
+        // events (full coverage).
+        for r in results.iter().filter(|r| r.window_end >= 15) {
+            assert_eq!(r.result, 10, "window ending {}", r.window_end);
+            assert_eq!(r.events, 10);
+        }
+    }
+
+    #[test]
+    fn idle_gaps_emit_every_skipped_boundary() {
+        let mut w = TimeSlidingWindow::new(CountOp, TimeWindowSpec::sliding(10, 10));
+        assert!(w.push(Event::new(1.0, 1)).is_empty());
+        // Jump from t=1 to t=45: boundaries 10, 20, 30, 40 all close.
+        let results = w.push(Event::new(2.0, 45));
+        let ends: Vec<u64> = results.iter().map(|r| r.window_end).collect();
+        assert_eq!(ends, vec![10, 20, 30, 40]);
+        // Windows (10,20] … (30,40] were empty.
+        assert_eq!(results[1].events, 0);
+    }
+
+    #[test]
+    fn irregular_arrival_rates_are_reflected_in_counts() {
+        // Bursty arrivals: many events in one period, few in the next —
+        // the whole reason time windows differ from count windows.
+        let mut w = TimeSlidingWindow::new(MeanOp, TimeWindowSpec::sliding(20, 10));
+        let mut results = Vec::new();
+        for i in 0..50u64 {
+            results.extend(w.push(Event::new(100.0, 1 + i / 10))); // t 1..=5: dense
+        }
+        results.extend(w.push(Event::new(7.0, 25)));
+        assert!(!results.is_empty());
+        let first = &results[0];
+        assert_eq!(first.window_end, 10);
+        assert_eq!(first.events, 50);
+        assert_eq!(first.result, Some(100.0));
+    }
+
+    #[test]
+    fn exact_quantiles_over_time_window() {
+        let mut w = TimeSlidingWindow::new(
+            ExactQuantileOp::new(&[0.5]),
+            TimeWindowSpec::sliding(100, 50),
+        );
+        let mut results = Vec::new();
+        for t in 1..=300u64 {
+            results.extend(w.push(Event::new(t % 97, t)));
+        }
+        for r in &results {
+            assert_eq!(r.result.len(), 1);
+            assert!(r.result[0] < 97);
+        }
+        assert_eq!(results.len(), 5); // boundaries 50..=250 closed by t ≤ 300
+    }
+
+    #[test]
+    fn tumbling_time_window_allows_non_deaccumulating_ops() {
+        struct NoDeacc;
+        impl IncrementalAggregate for NoDeacc {
+            type State = u64;
+            type Input = u64;
+            type Output = u64;
+            const SUPPORTS_DEACCUMULATE: bool = false;
+            fn initial_state(&self) -> u64 {
+                0
+            }
+            fn accumulate(&self, s: &mut u64, _: &u64) {
+                *s += 1;
+            }
+            fn compute_result(&self, s: &u64) -> u64 {
+                *s
+            }
+        }
+        // Tumbling never deaccumulates: boundaries reset wholesale.
+        let mut w = TimeSlidingWindow::new(NoDeacc, TimeWindowSpec::tumbling(10));
+        let mut results = Vec::new();
+        for t in 1..=35u64 {
+            results.extend(w.push(Event::new(t, t)));
+        }
+        let counts: Vec<u64> = results.iter().map(|r| r.result).collect();
+        assert_eq!(counts, vec![10, 10, 10]);
+        assert_eq!(w.len(), 5); // t = 31..=35 in flight
+    }
+}

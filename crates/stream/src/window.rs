@@ -1,0 +1,337 @@
+//! Count-based window executors (§2's windowing models).
+//!
+//! A window query is `(size N, period K)`: evaluate over the latest `N`
+//! elements, once per `K` arrivals. `N == K` is a tumbling window (no
+//! element outlives one evaluation, no deaccumulation); `N > K` is a
+//! sliding window (elements stay live across `N/K` evaluations and must
+//! be deaccumulated on expiry).
+
+use crate::aggregate::IncrementalAggregate;
+use std::collections::VecDeque;
+
+/// Window size and period, both counted in elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Window size `N`: how many recent elements a query evaluation sees.
+    pub size: usize,
+    /// Window period `K`: evaluate after every `K` insertions.
+    pub period: usize,
+}
+
+impl WindowSpec {
+    /// A sliding window (`size ≥ period`).
+    ///
+    /// # Panics
+    /// Panics when `period == 0` or `size < period`.
+    pub fn sliding(size: usize, period: usize) -> Self {
+        assert!(period > 0, "window period must be positive");
+        assert!(size >= period, "window size must be ≥ period");
+        Self { size, period }
+    }
+
+    /// A tumbling window (`size == period`).
+    pub fn tumbling(size: usize) -> Self {
+        Self::sliding(size, size)
+    }
+
+    /// `true` when size equals period.
+    pub fn is_tumbling(&self) -> bool {
+        self.size == self.period
+    }
+
+    /// Number of whole periods per window (`N/K`, rounded up) — the
+    /// sub-window count QLOVE and CMQS partition the window into.
+    pub fn subwindows(&self) -> usize {
+        self.size.div_ceil(self.period)
+    }
+}
+
+/// Tumbling-window executor: accumulate `P` events, emit, reset.
+///
+/// Matches the paper's observation that tumbling queries skip
+/// `Deaccumulate` entirely: state is rebuilt from `InitialState` per
+/// window (operators with cheap `reset` semantics can make
+/// `initial_state` reuse allocations).
+#[derive(Debug)]
+pub struct TumblingWindow<A: IncrementalAggregate> {
+    op: A,
+    state: A::State,
+    size: usize,
+    filled: usize,
+}
+
+impl<A: IncrementalAggregate> TumblingWindow<A> {
+    /// Build an executor over windows of `size` elements.
+    pub fn new(op: A, size: usize) -> Self {
+        assert!(size > 0, "window size must be positive");
+        let state = op.initial_state();
+        Self {
+            op,
+            state,
+            size,
+            filled: 0,
+        }
+    }
+
+    /// Feed one event; returns the window result when this event closes a
+    /// window.
+    pub fn push(&mut self, input: A::Input) -> Option<A::Output> {
+        self.op.accumulate(&mut self.state, &input);
+        self.filled += 1;
+        if self.filled == self.size {
+            let out = self.op.compute_result(&self.state);
+            self.state = self.op.initial_state();
+            self.filled = 0;
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Events accumulated into the currently open window.
+    pub fn pending(&self) -> usize {
+        self.filled
+    }
+
+    /// Access the wrapped operator.
+    pub fn operator(&self) -> &A {
+        &self.op
+    }
+}
+
+/// Sliding-window executor: keeps the live elements in a ring buffer and
+/// calls `Deaccumulate` for each expiry, exactly as Trill executes
+/// sliding aggregates (§2).
+///
+/// Evaluation policy: the first result is emitted when the window first
+/// fills to `N` elements, then every `K` arrivals thereafter — so every
+/// emitted result covers exactly `N` elements, which is what the paper's
+/// error metrics average over.
+#[derive(Debug)]
+pub struct SlidingWindow<A: IncrementalAggregate>
+where
+    A::Input: Clone,
+{
+    op: A,
+    state: A::State,
+    spec: WindowSpec,
+    live: VecDeque<A::Input>,
+    since_eval: usize,
+}
+
+impl<A: IncrementalAggregate> SlidingWindow<A>
+where
+    A::Input: Clone,
+{
+    /// Build an executor. For genuinely sliding specs the operator must
+    /// support deaccumulation.
+    ///
+    /// # Panics
+    /// Panics when `spec` slides but `A::SUPPORTS_DEACCUMULATE` is false.
+    pub fn new(op: A, spec: WindowSpec) -> Self {
+        assert!(
+            spec.is_tumbling() || A::SUPPORTS_DEACCUMULATE,
+            "operator cannot deaccumulate; use a tumbling window or a \
+             sub-window-based operator"
+        );
+        let state = op.initial_state();
+        Self {
+            op,
+            state,
+            spec,
+            live: VecDeque::with_capacity(spec.size + 1),
+            since_eval: 0,
+        }
+    }
+
+    /// Feed one event; returns a result on period boundaries once the
+    /// window is full.
+    ///
+    /// A tumbling spec (`size == period`) takes the cheap path the paper
+    /// describes: no element retention, no deaccumulation — the state is
+    /// simply reset after each emission.
+    pub fn push(&mut self, input: A::Input) -> Option<A::Output> {
+        self.op.accumulate(&mut self.state, &input);
+        self.since_eval += 1;
+        if self.spec.is_tumbling() {
+            if self.since_eval == self.spec.period {
+                let out = self.op.compute_result(&self.state);
+                self.state = self.op.initial_state();
+                self.since_eval = 0;
+                return Some(out);
+            }
+            return None;
+        }
+        self.live.push_back(input);
+        if self.live.len() > self.spec.size {
+            let expired = self.live.pop_front().expect("len > size ≥ 1");
+            self.op.deaccumulate(&mut self.state, &expired);
+        }
+        if self.live.len() == self.spec.size && self.since_eval >= self.spec.period {
+            self.since_eval = 0;
+            Some(self.op.compute_result(&self.state))
+        } else {
+            None
+        }
+    }
+
+    /// Elements currently inside the window (≤ `N`).
+    pub fn len(&self) -> usize {
+        if self.spec.is_tumbling() {
+            self.since_eval
+        } else {
+            self.live.len()
+        }
+    }
+
+    /// `true` when no elements are live in the window.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrow the live window contents, oldest first.
+    pub fn live_elements(&self) -> impl Iterator<Item = &A::Input> {
+        self.live.iter()
+    }
+
+    /// Access the wrapped operator.
+    pub fn operator(&self) -> &A {
+        &self.op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{CountOp, ExactQuantileOp, MeanOp};
+
+    #[test]
+    fn spec_constructors_and_validation() {
+        let s = WindowSpec::sliding(100, 10);
+        assert!(!s.is_tumbling());
+        assert_eq!(s.subwindows(), 10);
+        let t = WindowSpec::tumbling(50);
+        assert!(t.is_tumbling());
+        assert_eq!(t.subwindows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ period")]
+    fn spec_rejects_size_below_period() {
+        WindowSpec::sliding(5, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn spec_rejects_zero_period() {
+        WindowSpec::sliding(10, 0);
+    }
+
+    #[test]
+    fn tumbling_emits_every_size_events() {
+        let mut w = TumblingWindow::new(MeanOp, 4);
+        let mut results = Vec::new();
+        for v in 1..=12 {
+            if let Some(r) = w.push(v as f64) {
+                results.push(r.unwrap());
+            }
+        }
+        assert_eq!(results, vec![2.5, 6.5, 10.5]);
+        assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn tumbling_partial_window_pending() {
+        let mut w = TumblingWindow::new(CountOp, 10);
+        for v in 0..7 {
+            assert!(w.push(v as f64).is_none());
+        }
+        assert_eq!(w.pending(), 7);
+    }
+
+    #[test]
+    fn sliding_first_emit_when_full_then_each_period() {
+        let mut w = SlidingWindow::new(CountOp, WindowSpec::sliding(6, 2));
+        let mut emit_at = Vec::new();
+        for i in 1..=12 {
+            if w.push(i as f64).is_some() {
+                emit_at.push(i);
+            }
+        }
+        assert_eq!(emit_at, vec![6, 8, 10, 12]);
+        assert_eq!(w.len(), 6);
+    }
+
+    #[test]
+    fn sliding_window_contents_match_latest_n() {
+        let op = ExactQuantileOp::new(&[1.0]); // max of window
+        let mut w = SlidingWindow::new(op, WindowSpec::sliding(3, 1));
+        let mut maxes = Vec::new();
+        for v in [5u64, 1, 9, 2, 3, 10, 4] {
+            if let Some(r) = w.push(v) {
+                maxes.push(r[0]);
+            }
+        }
+        // Windows: [5,1,9] [1,9,2] [9,2,3] [2,3,10] [3,10,4]
+        assert_eq!(maxes, vec![9, 9, 9, 10, 10]);
+    }
+
+    #[test]
+    fn sliding_equals_recompute_from_scratch() {
+        // Deaccumulation must give identical results to recomputation.
+        let spec = WindowSpec::sliding(50, 10);
+        let op = ExactQuantileOp::new(&[0.5, 0.9]);
+        let mut w = SlidingWindow::new(op, spec);
+        let data: Vec<u64> = (0..200u64).map(|i| (i * 37) % 101).collect();
+        let mut all = Vec::new();
+        for (i, &v) in data.iter().enumerate() {
+            if let Some(r) = w.push(v) {
+                let mut window: Vec<u64> = data[i + 1 - 50..=i].to_vec();
+                window.sort_unstable();
+                let want = vec![
+                    qlove_stats::quantile_sorted(&window, 0.5),
+                    qlove_stats::quantile_sorted(&window, 0.9),
+                ];
+                all.push((r.clone(), want.clone()));
+                assert_eq!(r, want, "at event {i}");
+            }
+        }
+        assert_eq!(all.len(), 16); // (200 - 50)/10 + 1
+    }
+
+    #[test]
+    fn tumbling_spec_via_sliding_executor() {
+        // size == period: no deaccumulation ever happens, results match
+        // TumblingWindow.
+        let mut s = SlidingWindow::new(CountOp, WindowSpec::tumbling(4));
+        let mut t = TumblingWindow::new(CountOp, 4);
+        for i in 0..16 {
+            assert_eq!(s.push(i as f64), t.push(i as f64));
+        }
+    }
+
+    struct NoDeacc;
+    impl IncrementalAggregate for NoDeacc {
+        type State = ();
+        type Input = f64;
+        type Output = ();
+        const SUPPORTS_DEACCUMULATE: bool = false;
+        fn initial_state(&self) {}
+        fn accumulate(&self, _: &mut (), _: &f64) {}
+        fn compute_result(&self, _: &()) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot deaccumulate")]
+    fn sliding_rejects_tumbling_only_operator() {
+        SlidingWindow::new(NoDeacc, WindowSpec::sliding(10, 5));
+    }
+
+    #[test]
+    fn tumbling_only_operator_allowed_in_tumbling_spec() {
+        let mut w = SlidingWindow::new(NoDeacc, WindowSpec::tumbling(3));
+        for i in 0..9 {
+            w.push(i as f64);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! §5.3's burst injection.
+//!
+//! > "we inject a burst traffic to NetMon such that it affects Q0.999
+//! > and above and appears just once in every evaluation of the sliding
+//! > window. That is, in the window size N and the quantile φ, we
+//! > increase the values of the top N(1−φ) elements in every (N/P)-th
+//! > sub-window of size P by 10x."
+
+/// Multiply the top `N − ⌈φN⌉ + 1` values of every `(N/P)`-th
+/// sub-window by `factor` (the paper uses 10×), in place.
+///
+/// The boost count is the exact rank-from-the-top that the φ-quantile
+/// refers to under the paper's ⌈φN⌉ convention — the precise form of
+/// "the top N(1−φ) elements" that guarantees the burst sweeps the
+/// φ-quantile at any window size (the paper's own counts, e.g. 132 for
+/// φ = 0.999 at N = 128K, satisfy the same property).
+///
+/// Sub-windows are the consecutive chunks of `period` elements;
+/// sub-window indices are 1-based, so with `N/P = 8` the 8th, 16th, …
+/// sub-windows carry the burst — exactly one burst per full window.
+///
+/// # Panics
+/// Panics when `period == 0`, `window < period`, `window % period != 0`
+/// or `φ ∉ (0, 1)`.
+pub fn inject_burst(data: &mut [u64], window: usize, period: usize, phi: f64, factor: u64) {
+    assert!(period > 0, "period must be positive");
+    assert!(
+        window >= period && window.is_multiple_of(period),
+        "window must be a positive multiple of period"
+    );
+    assert!(0.0 < phi && phi < 1.0, "phi must lie in (0, 1)");
+    let n_sub = window / period;
+    // Guarded ceil: 0.999·8000 evaluates to 7992.000000000001 in f64 and
+    // must not round up past the true rank.
+    let r = (((window as f64) * phi) - 1e-9).ceil().max(1.0) as usize;
+    let boost_count = (window - r.min(window) + 1).min(period);
+
+    let len = data.len();
+    let mut scratch: Vec<(u64, usize)> = Vec::with_capacity(period);
+    for (sub_idx, chunk_start) in (0..len).step_by(period).enumerate() {
+        // 1-based sub-window index; burst every (N/P)-th.
+        if (sub_idx + 1) % n_sub != 0 {
+            continue;
+        }
+        let chunk = &mut data[chunk_start..(chunk_start + period).min(len)];
+        scratch.clear();
+        scratch.extend(chunk.iter().copied().zip(0..));
+        // Top `boost_count` positions by value.
+        scratch.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        for &(_, pos) in scratch.iter().take(boost_count) {
+            chunk[pos] = chunk[pos].saturating_mul(factor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bursts_land_on_every_nth_subwindow() {
+        // window 40, period 10 → n_sub 4 → sub-windows 4, 8 (1-based)
+        // carry the burst.
+        let mut data: Vec<u64> = (0..80).map(|i| i % 10 + 1).collect();
+        let before = data.clone();
+        inject_burst(&mut data, 40, 10, 0.9, 10);
+        // boost_count = 40 − ⌈40·0.9⌉ + 1 = 5 per bursty sub-window.
+        for sub in 0..8 {
+            let changed = (0..10)
+                .filter(|&i| data[sub * 10 + i] != before[sub * 10 + i])
+                .count();
+            if (sub + 1) % 4 == 0 {
+                assert_eq!(changed, 5, "sub-window {sub}");
+            } else {
+                assert_eq!(changed, 0, "sub-window {sub}");
+            }
+        }
+    }
+
+    #[test]
+    fn boosts_the_largest_values_by_factor() {
+        let mut data: Vec<u64> = vec![1, 2, 3, 100, 4, 5, 6, 200];
+        // window 8, period 8 → n_sub 1 → every sub-window bursts.
+        inject_burst(&mut data, 8, 8, 0.75, 10);
+        // boost_count = 8 − ⌈8·0.75⌉ + 1 = 3 → the three largest
+        // (100, 200, and 6 — the rank the Q0.75 answer refers to).
+        assert_eq!(data, vec![1, 2, 3, 1000, 4, 5, 60, 2000]);
+    }
+
+    #[test]
+    fn boost_count_capped_at_period() {
+        // N(1−φ) can exceed P for small φ; never boost more than the
+        // sub-window holds.
+        let mut data: Vec<u64> = (1..=10).collect();
+        inject_burst(&mut data, 10, 5, 0.1, 2);
+        // boost_count = min(10 − 1 + 1, 5) = 5; 2nd sub-window only.
+        assert_eq!(data[..5], [1, 2, 3, 4, 5]);
+        assert_eq!(data[5..], [12, 14, 16, 18, 20]);
+    }
+
+    #[test]
+    fn partial_trailing_chunk_is_handled() {
+        let mut data: Vec<u64> = (1..=12).collect();
+        // 12 elements, period 5: chunks [0..5), [5..10), [10..12).
+        inject_burst(&mut data, 5, 5, 0.8, 10);
+        // Every chunk bursts (n_sub = 1); boost_count = 5 − 4 + 1 = 2.
+        assert_eq!(&data[..5], &[1, 2, 3, 40, 50]);
+        assert_eq!(&data[5..10], &[6, 7, 8, 90, 100]);
+        // Trailing partial chunk of 2: both values boosted.
+        assert_eq!(&data[10..], &[110, 120]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn rejects_misaligned_window() {
+        inject_burst(&mut [0; 10], 10, 3, 0.9, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi")]
+    fn rejects_degenerate_phi() {
+        inject_burst(&mut [0; 10], 10, 5, 1.0, 10);
+    }
+}

@@ -1,0 +1,139 @@
+//! Binary snapshot save/load for datasets.
+//!
+//! Harness runs generate workloads deterministically from seeds, but a
+//! snapshot on disk lets (a) a run be replayed bit-identically across
+//! machines/versions and (b) externally captured telemetry be fed to the
+//! same harness. The format is deliberately trivial: a magic header, a
+//! UTF-8 name, and little-endian `u64` values, assembled with `bytes`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// File magic: "QLVD" + format version 1.
+const MAGIC: &[u8; 4] = b"QLVD";
+const VERSION: u32 = 1;
+
+/// A named dataset snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dataset {
+    /// Human-readable dataset name (e.g. `"netmon-seed42"`).
+    pub name: String,
+    /// The telemetry values.
+    pub values: Vec<u64>,
+}
+
+impl Dataset {
+    /// Bundle a name and values.
+    pub fn new(name: impl Into<String>, values: Vec<u64>) -> Self {
+        Self {
+            name: name.into(),
+            values,
+        }
+    }
+
+    /// Serialize into the QLVD byte format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf =
+            BytesMut::with_capacity(4 + 4 + 4 + self.name.len() + 8 + self.values.len() * 8);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(self.name.len() as u32);
+        buf.put_slice(self.name.as_bytes());
+        buf.put_u64_le(self.values.len() as u64);
+        for &v in &self.values {
+            buf.put_u64_le(v);
+        }
+        buf.freeze()
+    }
+
+    /// Parse the QLVD byte format.
+    pub fn from_bytes(mut data: &[u8]) -> io::Result<Self> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        if data.remaining() < 12 {
+            return Err(bad("truncated header"));
+        }
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(bad("not a QLVD dataset file"));
+        }
+        let version = data.get_u32_le();
+        if version != VERSION {
+            return Err(bad("unsupported QLVD version"));
+        }
+        let name_len = data.get_u32_le() as usize;
+        if data.remaining() < name_len + 8 {
+            return Err(bad("truncated name"));
+        }
+        let name = String::from_utf8(data.copy_to_bytes(name_len).to_vec())
+            .map_err(|_| bad("dataset name is not UTF-8"))?;
+        let count = data.get_u64_le() as usize;
+        if data.remaining() != count * 8 {
+            return Err(bad("value payload length mismatch"));
+        }
+        let mut values = Vec::with_capacity(count);
+        for _ in 0..count {
+            values.push(data.get_u64_le());
+        }
+        Ok(Self { name, values })
+    }
+
+    /// Write the snapshot to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        fs::write(path, self.to_bytes())
+    }
+
+    /// Read a snapshot from a file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::from_bytes(&fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let d = Dataset::new("netmon-test", vec![1, 2, 798, 74_265, u64::MAX]);
+        let parsed = Dataset::from_bytes(&d.to_bytes()).unwrap();
+        assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn roundtrip_empty_values() {
+        let d = Dataset::new("empty", vec![]);
+        assert_eq!(Dataset::from_bytes(&d.to_bytes()).unwrap(), d);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = Dataset::from_bytes(b"NOPE\x01\x00\x00\x00").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let d = Dataset::new("t", vec![1, 2, 3]);
+        let bytes = d.to_bytes();
+        for cut in [3, 10, bytes.len() - 1] {
+            assert!(
+                Dataset::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_via_file() {
+        let dir = std::env::temp_dir().join("qlove-io-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.qlvd");
+        let d = Dataset::new("file-test", (0..1000u64).collect());
+        d.save(&path).unwrap();
+        assert_eq!(Dataset::load(&path).unwrap(), d);
+        let _ = fs::remove_file(&path);
+    }
+}

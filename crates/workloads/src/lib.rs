@@ -1,0 +1,49 @@
+//! # qlove-workloads — telemetry dataset generators
+//!
+//! The paper evaluates on two proprietary traces and four synthetics.
+//! The traces cannot be redistributed, so this crate generates synthetic
+//! stand-ins **calibrated to every statistic the paper publishes about
+//! them**, plus faithful implementations of the synthetics:
+//!
+//! | Paper dataset | Here | Calibration anchors |
+//! |---|---|---|
+//! | NetMon (DC RTTs, µs) | [`netmon::NetMonGen`] | median 798, ~90% < 1,247, Q0.99 ≈ 1,874, long Pareto tail to ~74,265, heavy value redundancy (§1, Fig. 1) |
+//! | Search (ISN response times, µs) | [`search::SearchGen`] | 200 ms SLA cap concentrating mass in the tail (§5.3 footnote) |
+//! | Normal (1B entries) | [`synth::NormalGen`] | mean 1M, sd 50K (§5.2) |
+//! | Uniform | [`synth::UniformGen`] | range 90–110 (§5.2) |
+//! | Pareto | [`synth::ParetoGen`] | Q0.5 = 20, Q0.999 = 10,000, max ~1.1B (§5.4) |
+//! | AR(1) | [`ar1::Ar1Gen`] | ψ ∈ {0.1…0.9}, marginal N(1M, 50K²) (§5.4) |
+//!
+//! Plus the experiment-support transforms:
+//!
+//! * [`burst`] — §5.3's burst injection: boost the top `N(1−φ)` elements
+//!   of every `(N/P)`-th sub-window by 10×.
+//! * [`transform`] — §5.4's low-precision derivation (drop two low-order
+//!   digits) and significant-digit quantization.
+//! * [`io`] — compact binary snapshot save/load so harness runs can be
+//!   replayed bit-identically.
+//!
+//! All generators are deterministic given a seed and implement
+//! `Iterator<Item = u64>`, so scalability sweeps can stream hundreds of
+//! millions of values without materializing them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ar1;
+pub mod burst;
+pub mod io;
+pub mod netmon;
+pub mod search;
+pub mod synth;
+pub mod transform;
+
+pub use ar1::Ar1Gen;
+pub use netmon::NetMonGen;
+pub use search::SearchGen;
+pub use synth::{NormalGen, ParetoGen, UniformGen};
+
+/// Collect `n` values from any generator into a `Vec`.
+pub fn take_vec<G: Iterator<Item = u64>>(gen: G, n: usize) -> Vec<u64> {
+    gen.take(n).collect()
+}

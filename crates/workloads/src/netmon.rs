@@ -1,0 +1,145 @@
+//! NetMon stand-in: datacenter RTT latencies in microseconds.
+//!
+//! The paper's NetMon trace (Pingmesh-style RTTs between servers of a
+//! large datacenter) is proprietary; this generator reproduces every
+//! property the paper publishes and that QLOVE's design exploits:
+//!
+//! 1. **Concentrated body** — "most latencies are small and
+//!    concentrated, with more than 90% taking below 1,247 µs" and a
+//!    median of 798 µs (§1). Modeled as a log-normal calibrated so that
+//!    `median = 798` and `P90 ≈ 1,247` (µ = ln 798, σ = 0.348).
+//! 2. **Heavy sparse tail** — "a few latencies are very large and
+//!    heavy-tailed, taking up to 74,265 µs". Modeled as a Pareto tail
+//!    (α ≈ 1.05) entered with ~0.6% probability, truncated at 74,265.
+//! 3. **High value redundancy** — values are integer microseconds and
+//!    the body spans only a few thousand distinct values, giving the
+//!    duplicate density QLOVE's frequency compression feeds on (§3.1's
+//!    quantization pushes it further).
+
+use qlove_stats::norm_inv_cdf;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Log-normal location: ln(798) — pins the median at 798 µs.
+const MU: f64 = 6.682;
+/// Log-normal scale: (ln 1247 − ln 798)/Φ⁻¹(0.9) — pins P90 ≈ 1,247 µs.
+const SIGMA: f64 = 0.348;
+/// Probability an event comes from the heavy tail instead of the body.
+const TAIL_PROB: f64 = 0.006;
+/// Pareto scale for the tail (starts just above the body's P99 region).
+const TAIL_XM: f64 = 2_000.0;
+/// Pareto shape — heavy (infinite variance) like measured RTT tails.
+const TAIL_ALPHA: f64 = 1.05;
+/// Paper's observed maximum RTT.
+const TAIL_CAP: u64 = 74_265;
+
+/// Infinite deterministic stream of NetMon-like RTT samples.
+#[derive(Debug, Clone)]
+pub struct NetMonGen {
+    rng: SmallRng,
+}
+
+impl NetMonGen {
+    /// Generator seeded for reproducible experiments.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// `n` samples as a vector.
+    pub fn generate(seed: u64, n: usize) -> Vec<u64> {
+        Self::new(seed).take(n).collect()
+    }
+
+    fn sample(&mut self) -> u64 {
+        if self.rng.gen::<f64>() < TAIL_PROB {
+            // Heavy tail: truncated Pareto.
+            let u: f64 = self.rng.gen_range(1e-12..1.0);
+            let v = TAIL_XM / u.powf(1.0 / TAIL_ALPHA);
+            (v as u64).min(TAIL_CAP)
+        } else {
+            // Body: log-normal via inverse-CDF (deterministic given rng).
+            let u: f64 = self.rng.gen_range(1e-12..1.0 - 1e-12);
+            let z = norm_inv_cdf(u);
+            (MU + SIGMA * z).exp().round().max(1.0) as u64
+        }
+    }
+}
+
+impl Iterator for NetMonGen {
+    type Item = u64;
+    fn next(&mut self) -> Option<u64> {
+        Some(self.sample())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlove_stats::quantile_sorted;
+
+    fn sorted_sample(n: usize) -> Vec<u64> {
+        let mut v = NetMonGen::generate(42, n);
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn median_matches_paper_anchor() {
+        let s = sorted_sample(200_000);
+        let med = quantile_sorted(&s, 0.5) as f64;
+        assert!((med - 798.0).abs() / 798.0 < 0.03, "median {med}");
+    }
+
+    #[test]
+    fn p90_matches_paper_anchor() {
+        let s = sorted_sample(200_000);
+        let p90 = quantile_sorted(&s, 0.9) as f64;
+        assert!((p90 - 1247.0).abs() / 1247.0 < 0.05, "p90 {p90}");
+    }
+
+    #[test]
+    fn tail_is_heavy_and_capped() {
+        let s = sorted_sample(500_000);
+        let max = *s.last().unwrap();
+        let p999 = quantile_sorted(&s, 0.999);
+        assert!(max <= TAIL_CAP);
+        assert!(max > 30_000, "tail should reach tens of ms, max {max}");
+        // Paper's skew: Q0.999 is several times Q0.99.
+        let p99 = quantile_sorted(&s, 0.99);
+        assert!(p999 > 2 * p99, "p999 {p999} vs p99 {p99}");
+    }
+
+    #[test]
+    fn values_are_heavily_duplicated() {
+        let s = sorted_sample(100_000);
+        let unique = {
+            let mut u = s.clone();
+            u.dedup();
+            u.len()
+        };
+        // Body spans a few thousand distinct integer µs values.
+        assert!(unique < 10_000, "unique {unique} too high");
+        assert!(unique > 100, "unique {unique} suspiciously low");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(NetMonGen::generate(7, 1000), NetMonGen::generate(7, 1000));
+        assert_ne!(NetMonGen::generate(7, 1000), NetMonGen::generate(8, 1000));
+    }
+
+    #[test]
+    fn rank_to_value_blowup_mirrors_motivating_example() {
+        // §1: at 100K elements, moving from rank r to r+2K at φ=0.5 moves
+        // the value by ~2%, while at φ=0.99 it explodes. Verify the shape.
+        let s = sorted_sample(100_000);
+        let v50 = s[49_999] as f64;
+        let v52 = s[51_999] as f64;
+        assert!((v52 - v50) / v50 < 0.05, "median region must be dense");
+        let v99 = s[98_999] as f64;
+        let v_max = s[99_999] as f64;
+        assert!(v_max / v99 > 5.0, "tail region must be sparse/skewed");
+    }
+}

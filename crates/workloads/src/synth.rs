@@ -1,0 +1,187 @@
+//! The paper's synthetic distributions (§5.2 scalability, §5.4 skew).
+
+use qlove_stats::norm_inv_cdf;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// §5.2 Normal dataset: "generated from a normal distribution, with a
+/// mean of 1 million and a standard deviation of 50 thousand", clamped
+/// at zero and rounded to integers.
+#[derive(Debug, Clone)]
+pub struct NormalGen {
+    rng: SmallRng,
+    mean: f64,
+    sd: f64,
+}
+
+impl NormalGen {
+    /// Paper parameters: mean 1,000,000, sd 50,000.
+    pub fn paper(seed: u64) -> Self {
+        Self::new(seed, 1_000_000.0, 50_000.0)
+    }
+
+    /// Custom mean/standard deviation.
+    pub fn new(seed: u64, mean: f64, sd: f64) -> Self {
+        assert!(sd >= 0.0, "standard deviation must be non-negative");
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            mean,
+            sd,
+        }
+    }
+
+    /// `n` samples as a vector.
+    pub fn generate(seed: u64, n: usize) -> Vec<u64> {
+        Self::paper(seed).take(n).collect()
+    }
+}
+
+impl Iterator for NormalGen {
+    type Item = u64;
+    fn next(&mut self) -> Option<u64> {
+        let u: f64 = self.rng.gen_range(1e-12..1.0 - 1e-12);
+        Some((self.mean + self.sd * norm_inv_cdf(u)).round().max(0.0) as u64)
+    }
+}
+
+/// §5.2 Uniform dataset: integers "ranging from 90 to 110" — 21 distinct
+/// values, the extreme-redundancy end of the spectrum.
+#[derive(Debug, Clone)]
+pub struct UniformGen {
+    rng: SmallRng,
+    lo: u64,
+    hi: u64,
+}
+
+impl UniformGen {
+    /// Paper parameters: range 90..=110.
+    pub fn paper(seed: u64) -> Self {
+        Self::new(seed, 90, 110)
+    }
+
+    /// Custom inclusive range.
+    pub fn new(seed: u64, lo: u64, hi: u64) -> Self {
+        assert!(hi >= lo, "range must be non-empty");
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            lo,
+            hi,
+        }
+    }
+
+    /// `n` samples as a vector.
+    pub fn generate(seed: u64, n: usize) -> Vec<u64> {
+        Self::paper(seed).take(n).collect()
+    }
+}
+
+impl Iterator for UniformGen {
+    type Item = u64;
+    fn next(&mut self) -> Option<u64> {
+        Some(self.rng.gen_range(self.lo..=self.hi))
+    }
+}
+
+/// §5.4 Pareto dataset: "integers from a skewed, heavy-tailed Pareto
+/// distribution, with Q0.5 of 20, Q0.999 of 10,000".
+///
+/// Those two anchors pin the parameters exactly: `P(X > x) = (xm/x)^α`
+/// with `xm·2^{1/α} = 20` and `xm·1000^{1/α} = 10,000` gives `α = 1`,
+/// `xm = 10`. At α = 1 the distribution has no mean — a 10M-sample run
+/// reaches maxima around 10⁸–10⁹, matching the paper's "max of 1.1
+/// billion".
+#[derive(Debug, Clone)]
+pub struct ParetoGen {
+    rng: SmallRng,
+    xm: f64,
+    alpha: f64,
+}
+
+impl ParetoGen {
+    /// Paper parameters: xm = 10, α = 1.
+    pub fn paper(seed: u64) -> Self {
+        Self::new(seed, 10.0, 1.0)
+    }
+
+    /// Custom scale/shape.
+    pub fn new(seed: u64, xm: f64, alpha: f64) -> Self {
+        assert!(xm > 0.0 && alpha > 0.0, "Pareto parameters must be positive");
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            xm,
+            alpha,
+        }
+    }
+
+    /// `n` samples as a vector.
+    pub fn generate(seed: u64, n: usize) -> Vec<u64> {
+        Self::paper(seed).take(n).collect()
+    }
+}
+
+impl Iterator for ParetoGen {
+    type Item = u64;
+    fn next(&mut self) -> Option<u64> {
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let v = self.xm / u.powf(1.0 / self.alpha);
+        // Cap at u64 range; α=1 can in principle overflow on tiny u.
+        Some(v.min(u64::MAX as f64 / 2.0).round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlove_stats::quantile_sorted;
+
+    #[test]
+    fn normal_moments_match() {
+        let v = NormalGen::generate(5, 200_000);
+        let f: Vec<f64> = v.iter().map(|&x| x as f64).collect();
+        let mean = qlove_stats::mean(&f).unwrap();
+        let sd = qlove_stats::stddev(&f).unwrap();
+        assert!((mean - 1_000_000.0).abs() < 1_000.0, "mean {mean}");
+        assert!((sd - 50_000.0).abs() < 1_000.0, "sd {sd}");
+    }
+
+    #[test]
+    fn uniform_range_and_coverage() {
+        let v = UniformGen::generate(5, 100_000);
+        assert!(v.iter().all(|&x| (90..=110).contains(&x)));
+        let mut sorted = v;
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 21, "all 21 values should appear");
+    }
+
+    #[test]
+    fn pareto_quantile_anchors() {
+        let mut v = ParetoGen::generate(5, 1_000_000);
+        v.sort_unstable();
+        let q50 = quantile_sorted(&v, 0.5) as f64;
+        let q999 = quantile_sorted(&v, 0.999) as f64;
+        assert!((q50 - 20.0).abs() <= 1.0, "Q0.5 {q50}");
+        assert!((q999 - 10_000.0).abs() / 10_000.0 < 0.10, "Q0.999 {q999}");
+        // Heavy max, far beyond Q0.999.
+        assert!(*v.last().unwrap() > 1_000_000);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(NormalGen::generate(1, 100), NormalGen::generate(1, 100));
+        assert_eq!(UniformGen::generate(1, 100), UniformGen::generate(1, 100));
+        assert_eq!(ParetoGen::generate(1, 100), ParetoGen::generate(1, 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn uniform_rejects_inverted_range() {
+        UniformGen::new(0, 10, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn pareto_rejects_bad_parameters() {
+        ParetoGen::new(0, 0.0, 1.0);
+    }
+}

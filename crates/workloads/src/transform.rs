@@ -1,0 +1,96 @@
+//! Dataset transforms used by the sensitivity studies (§5.4).
+
+/// §5.4's low-precision derivation: "We discard two low-order digits
+/// from the original datasets … resulting in the data precision of 100
+/// µs, not 1 µs." Rounds each value down to a multiple of 100.
+pub fn drop_low_digits(values: &mut [u64], digits: u32) {
+    let unit = 10u64.pow(digits);
+    for v in values.iter_mut() {
+        *v = (*v / unit) * unit;
+    }
+}
+
+/// §3.1's significant-digit quantization: "we consider only the three
+/// most significant digits of the original value, which ensures the
+/// quantized value within less than 1% relative error." Zeroes all
+/// lower-order digits (floor), e.g. `74_265 → 74_200` for 3 digits.
+pub fn quantize_sig_digits(v: u64, sig_digits: u32) -> u64 {
+    debug_assert!(sig_digits > 0, "need at least one significant digit");
+    if v == 0 {
+        return 0;
+    }
+    let digits = v.ilog10() + 1;
+    if digits <= sig_digits {
+        return v;
+    }
+    let unit = 10u64.pow(digits - sig_digits);
+    (v / unit) * unit
+}
+
+/// Quantize a whole slice in place.
+pub fn quantize_all(values: &mut [u64], sig_digits: u32) {
+    for v in values.iter_mut() {
+        *v = quantize_sig_digits(*v, sig_digits);
+    }
+}
+
+/// Fraction of distinct values in a slice — the redundancy metric the
+/// paper quotes ("only 0.08% of the elements … are unique").
+pub fn unique_fraction(values: &[u64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_low_digits_rounds_to_unit() {
+        let mut v = vec![1, 99, 100, 12_345, 74_265];
+        drop_low_digits(&mut v, 2);
+        assert_eq!(v, vec![0, 0, 100, 12_300, 74_200]);
+    }
+
+    #[test]
+    fn quantize_keeps_three_sig_digits() {
+        assert_eq!(quantize_sig_digits(74_265, 3), 74_200);
+        assert_eq!(quantize_sig_digits(1_247, 3), 1_240);
+        assert_eq!(quantize_sig_digits(798, 3), 798);
+        assert_eq!(quantize_sig_digits(99, 3), 99);
+        assert_eq!(quantize_sig_digits(0, 3), 0);
+        assert_eq!(quantize_sig_digits(1_000_000, 3), 1_000_000);
+        assert_eq!(quantize_sig_digits(1_234_567, 3), 1_230_000);
+    }
+
+    #[test]
+    fn quantization_error_below_one_percent() {
+        // §3.1's claim: 3 significant digits ⇒ < 1% relative error.
+        for v in (100u64..1_000_000).step_by(7919) {
+            let q = quantize_sig_digits(v, 3);
+            let rel = (v - q) as f64 / v as f64;
+            assert!(rel < 0.01, "v={v} q={q} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn quantization_increases_redundancy() {
+        let mut v: Vec<u64> = (0..50_000u64).map(|i| 1000 + (i * 37) % 9000).collect();
+        let before = unique_fraction(&v);
+        quantize_all(&mut v, 2);
+        let after = unique_fraction(&v);
+        assert!(after < before / 10.0, "{before} → {after}");
+    }
+
+    #[test]
+    fn unique_fraction_edge_cases() {
+        assert_eq!(unique_fraction(&[]), 0.0);
+        assert_eq!(unique_fraction(&[5]), 1.0);
+        assert_eq!(unique_fraction(&[5, 5, 5, 5]), 0.25);
+    }
+}

@@ -1,0 +1,71 @@
+//! Side-by-side comparison of every quantile policy in the workspace —
+//! a pocket version of the paper's Table 1 you can point at any stream.
+//!
+//! ```text
+//! cargo run --release --example compare_policies
+//! ```
+
+use qlove::core::{Qlove, QloveConfig};
+use qlove::rbtree::FreqTree;
+use qlove::sketches::{AmPolicy, CmqsPolicy, ExactPolicy, MomentPolicy, RandomPolicy};
+use qlove::stream::QuantilePolicy;
+use qlove::workloads::NetMonGen;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+fn main() {
+    let phis = [0.5, 0.9, 0.99, 0.999];
+    let (window, period, eps) = (64_000, 8_000, 0.02);
+    let data = NetMonGen::generate(123, 1_000_000);
+
+    let policies: Vec<Box<dyn QuantilePolicy>> = vec![
+        Box::new(Qlove::new(QloveConfig::new(&phis, window, period))),
+        Box::new(ExactPolicy::new(&phis, window, period)),
+        Box::new(CmqsPolicy::new(&phis, window, period, eps)),
+        Box::new(AmPolicy::new(&phis, window, period, eps)),
+        Box::new(RandomPolicy::from_epsilon(&phis, window, period, eps)),
+        Box::new(MomentPolicy::new(&phis, window, period, 12)),
+    ];
+
+    println!(
+        "{:>8}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}",
+        "policy", "err%(.5)", "err%(.99)", "err%(.999)", "M ev/s", "space", "evals"
+    );
+    for mut policy in policies {
+        // Exact ground truth maintained incrementally alongside.
+        let mut truth: FreqTree<u64> = FreqTree::new();
+        let mut live: VecDeque<u64> = VecDeque::new();
+        let mut err = [0.0f64; 4];
+        let mut evals = 0u32;
+        let start = Instant::now();
+        for &v in &data {
+            truth.insert(v, 1);
+            live.push_back(v);
+            if live.len() > window {
+                truth.remove(live.pop_front().unwrap(), 1).unwrap();
+            }
+            if let Some(ans) = policy.push(v) {
+                evals += 1;
+                for (j, &phi) in phis.iter().enumerate() {
+                    let exact = truth.quantile(phi).unwrap() as f64;
+                    err[j] += ((ans[j] as f64 - exact) / exact).abs() * 100.0;
+                }
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "{:>8}  {:>9.2}  {:>9.2}  {:>9.2}  {:>9.2}  {:>9}  {:>9}",
+            policy.name(),
+            err[0] / evals as f64,
+            err[2] / evals as f64,
+            err[3] / evals as f64,
+            data.len() as f64 / secs / 1e6,
+            policy.space_variables(),
+            evals
+        );
+    }
+    println!(
+        "\n(throughput here includes the harness's own ground-truth tree; \
+         use the qlove-bench binaries for clean throughput numbers)"
+    );
+}

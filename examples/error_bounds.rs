@@ -1,0 +1,56 @@
+//! Theorem-1 error bounds in practice: QLOVE reports a 95% confidence
+//! half-width with every answer, estimated from the live data's density.
+//! Dense quantiles (the median of a normal marginal) get tight, useful
+//! bounds; sparse tail quantiles get honest wide ones — "otherwise the
+//! error bound is not informative" (§3.2).
+//!
+//! ```text
+//! cargo run --release --example error_bounds
+//! ```
+
+use qlove::core::{Qlove, QloveConfig};
+use qlove::workloads::NormalGen;
+
+fn main() {
+    let phis = [0.1, 0.5, 0.9, 0.99];
+    let (window, period) = (64_000, 8_000);
+
+    let cfg = QloveConfig::without_fewk(&phis, window, period).quantize(None);
+    let mut q = Qlove::new(cfg);
+
+    println!("Theorem-1 bounds on N(1M, 50K²) — window {window}, period {period}\n");
+    println!(
+        "{:>6}  {:>10}  {:>12}  {:>10}",
+        "phi", "estimate", "95% bound", "relative"
+    );
+
+    let mut printed = false;
+    for v in NormalGen::paper(9).take(400_000) {
+        if let Some(ans) = q.push_detailed(v) {
+            if printed {
+                continue; // show one evaluation in detail
+            }
+            printed = true;
+            for (j, &phi) in phis.iter().enumerate() {
+                match &ans.bounds[j] {
+                    Some(b) => println!(
+                        "{:>6}  {:>10}  {:>12}  {:>9.3}%",
+                        phi,
+                        ans.values[j],
+                        format!("±{:.0}", b.half_width),
+                        100.0 * b.half_width / ans.values[j] as f64
+                    ),
+                    None => println!(
+                        "{:>6}  {:>10}  {:>12}  {:>10}",
+                        phi, ans.values[j], "n/a", "-"
+                    ),
+                }
+            }
+        }
+    }
+    println!(
+        "\nthe bound widens toward the tail (lower density f(p_φ) in the \
+         denominator) and shrinks as √(n·m) with more data — exactly \
+         Theorem 1's formula."
+    );
+}

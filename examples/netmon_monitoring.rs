@@ -1,0 +1,76 @@
+//! Network-latency monitoring with threshold alerting — the paper's
+//! motivating NetMon scenario (§1): a dashboard computes a fixed set of
+//! quantiles over datacenter RTTs and compares them against SLO
+//! thresholds to "discover outliers"; approximate quantiles are only
+//! usable if their *value* error is small enough not to flip those
+//! threshold decisions.
+//!
+//! This example runs QLOVE and an exact operator side by side and counts
+//! decision disagreements (false/missed alerts). With QLOVE's <5% value
+//! error the alert streams should agree essentially always.
+//!
+//! ```text
+//! cargo run --release --example netmon_monitoring
+//! ```
+
+use qlove::core::{Qlove, QloveConfig};
+use qlove::sketches::ExactPolicy;
+use qlove::stream::QuantilePolicy;
+use qlove::workloads::NetMonGen;
+
+/// SLO: alert when Q0.99 RTT exceeds 2,500 µs or Q0.999 exceeds 11,500 µs.
+const Q99_SLO_US: u64 = 2_500;
+const Q999_SLO_US: u64 = 11_500;
+
+fn main() {
+    let phis = [0.5, 0.9, 0.99, 0.999];
+    let (window, period) = (64_000, 8_000);
+
+    let mut qlove = Qlove::new(QloveConfig::new(&phis, window, period));
+    let mut exact = ExactPolicy::new(&phis, window, period);
+
+    let mut evaluations = 0u32;
+    let mut agreements = 0u32;
+    let mut alerts = 0u32;
+
+    println!("NetMon monitoring — window {window}, period {period}");
+    println!("SLO: Q0.99 ≤ {Q99_SLO_US} µs, Q0.999 ≤ {Q999_SLO_US} µs\n");
+
+    for v in NetMonGen::new(2024).take(1_000_000) {
+        let approx = qlove.push(v);
+        let truth = exact.push(v);
+        let (Some(a), Some(t)) = (approx, truth) else {
+            continue;
+        };
+        evaluations += 1;
+
+        let approx_alert = a[2] > Q99_SLO_US || a[3] > Q999_SLO_US;
+        let exact_alert = t[2] > Q99_SLO_US || t[3] > Q999_SLO_US;
+        if approx_alert == exact_alert {
+            agreements += 1;
+        }
+        if approx_alert {
+            alerts += 1;
+            if alerts <= 5 {
+                println!(
+                    "ALERT at evaluation {evaluations}: Q0.99 = {} µs, Q0.999 = {} µs \
+                     (exact: {}, {})",
+                    a[2], a[3], t[2], t[3]
+                );
+            }
+        }
+    }
+
+    println!("\nevaluations:          {evaluations}");
+    println!("alerts raised:        {alerts}");
+    println!(
+        "decision agreement:   {agreements}/{evaluations} ({:.1}%)",
+        100.0 * agreements as f64 / evaluations as f64
+    );
+    println!(
+        "state size:           QLOVE {} vs Exact {} variables ({:.1}× smaller)",
+        qlove.space_variables(),
+        exact.space_variables(),
+        exact.space_variables() as f64 / qlove.space_variables() as f64
+    );
+}

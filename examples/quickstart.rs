@@ -1,0 +1,62 @@
+//! Quickstart: monitor quantiles of a latency stream with QLOVE.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This is the paper's `Qmonitor` query (§5.1) in its simplest form:
+//! answer Q0.5 / Q0.9 / Q0.99 / Q0.999 over a sliding window of the last
+//! 80,000 latency samples, re-evaluated every 10,000 arrivals.
+
+use qlove::core::{Qlove, QloveConfig};
+use qlove::stream::QuantilePolicy;
+use qlove::workloads::NetMonGen;
+
+fn main() {
+    let phis = [0.5, 0.9, 0.99, 0.999];
+    let (window, period) = (80_000, 10_000);
+
+    // Paper defaults: 3-significant-digit quantization + automatic few-k
+    // tail budgets. See `QloveConfig` for the knobs.
+    let config = QloveConfig::new(&phis, window, period);
+    let mut monitor = Qlove::new(config);
+
+    println!("QLOVE quickstart — window {window}, period {period}");
+    println!("{:>10}  {:>8}  {:>8}  {:>8}  {:>8}  space", "event#", "Q0.5", "Q0.9", "Q0.99", "Q0.999");
+
+    for (i, latency_us) in NetMonGen::new(7).take(400_000).enumerate() {
+        if let Some(q) = monitor.push(latency_us) {
+            println!(
+                "{:>10}  {:>8}  {:>8}  {:>8}  {:>8}  {} vars",
+                i + 1,
+                q[0],
+                q[1],
+                q[2],
+                q[3],
+                monitor.space_variables()
+            );
+        }
+    }
+
+    // The detailed API also reports provenance and Theorem-1 bounds.
+    let mut detailed = Qlove::new(QloveConfig::new(&phis, window, period));
+    let mut last = None;
+    for v in NetMonGen::new(7).take(200_000) {
+        if let Some(ans) = detailed.push_detailed(v) {
+            last = Some(ans);
+        }
+    }
+    if let Some(ans) = last {
+        println!("\nlast evaluation, with provenance and 95% error bounds:");
+        for (j, &phi) in phis.iter().enumerate() {
+            let bound = ans.bounds[j]
+                .map(|b| format!("±{:.1}", b.half_width))
+                .unwrap_or_else(|| "±?".into());
+            println!(
+                "  Q{phi:<5} = {:>8} µs  ({:?}, {bound})",
+                ans.values[j], ans.sources[j]
+            );
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Tail-latency-aware load balancing — the paper's Search scenario (§1):
+//! "a predefined set of quantiles are computed on query response times
+//! across clusters and are employed by load balancers so as to meet
+//! strict service-level agreements on query latency".
+//!
+//! Two index-serving clusters report response times; every window period
+//! the balancer shifts traffic share toward the cluster with the lower
+//! Q0.99. The decisions made from QLOVE's approximate quantiles are
+//! compared against those an exact operator would make.
+//!
+//! ```text
+//! cargo run --release --example search_load_balancer
+//! ```
+
+use qlove::core::{Qlove, QloveConfig};
+use qlove::sketches::ExactPolicy;
+use qlove::stream::QuantilePolicy;
+use qlove::workloads::SearchGen;
+
+fn main() {
+    let phis = [0.5, 0.99];
+    let (window, period) = (40_000, 8_000);
+
+    // Cluster B is degraded: its response times run 25% hotter.
+    let cluster_a = SearchGen::generate(1, 600_000);
+    let cluster_b: Vec<u64> = SearchGen::generate(2, 600_000)
+        .into_iter()
+        .map(|v| (v as f64 * 1.25) as u64)
+        .collect();
+
+    let mut qlove_a = Qlove::new(QloveConfig::new(&phis, window, period));
+    let mut qlove_b = Qlove::new(QloveConfig::new(&phis, window, period));
+    let mut exact_a = ExactPolicy::new(&phis, window, period);
+    let mut exact_b = ExactPolicy::new(&phis, window, period);
+
+    let mut share_to_a = 0.5f64; // traffic fraction routed to cluster A
+    let mut decisions = 0u32;
+    let mut agreements = 0u32;
+
+    println!("search load balancer — window {window}, period {period}\n");
+    for i in 0..cluster_a.len() {
+        let qa = qlove_a.push(cluster_a[i]);
+        let qb = qlove_b.push(cluster_b[i]);
+        let ea = exact_a.push(cluster_a[i]);
+        let eb = exact_b.push(cluster_b[i]);
+        let (Some(qa), Some(qb), Some(ea), Some(eb)) = (qa, qb, ea, eb) else {
+            continue;
+        };
+        decisions += 1;
+
+        // Route 10% more traffic toward the cluster with the lower tail.
+        let approx_prefers_a = qa[1] <= qb[1];
+        let exact_prefers_a = ea[1] <= eb[1];
+        if approx_prefers_a == exact_prefers_a {
+            agreements += 1;
+        }
+        share_to_a = (share_to_a + if approx_prefers_a { 0.1 } else { -0.1 }).clamp(0.1, 0.9);
+
+        if decisions <= 6 {
+            println!(
+                "eval {decisions}: Q0.99 A = {} µs, B = {} µs → route {}% to A \
+                 (exact would agree: {})",
+                qa[1],
+                qb[1],
+                (share_to_a * 100.0) as u32,
+                approx_prefers_a == exact_prefers_a
+            );
+        }
+    }
+
+    println!("\nbalancing decisions:   {decisions}");
+    println!(
+        "agreement with exact:  {agreements}/{decisions} ({:.1}%)",
+        100.0 * agreements as f64 / decisions as f64
+    );
+    println!(
+        "final share to A:      {:.0}% (B is the degraded cluster)",
+        share_to_a * 100.0
+    );
+}

@@ -1,0 +1,25 @@
+//! # qlove — facade crate
+//!
+//! Re-exports the whole QLOVE workspace behind one dependency so that
+//! examples, integration tests, and downstream users can write
+//! `use qlove::core::Qlove;` without naming each sub-crate.
+//!
+//! See the individual crates for the substance:
+//!
+//! * [`core`] — the QLOVE operator (the paper's contribution, §3–§4).
+//! * [`stream`] — the mini streaming engine (incremental evaluation, §2).
+//! * [`sketches`] — baseline quantile sketches compared in §5 (Exact,
+//!   GK, CMQS, AM, Random, Moment).
+//! * [`workloads`] — dataset generators standing in for the paper's
+//!   NetMon/Search traces plus the synthetic Normal/Uniform/Pareto/AR(1).
+//! * [`stats`] — statistical substrate (normal distribution, Mann-Whitney
+//!   U, KDE, Theorem-1 error bound, histograms).
+//! * [`rbtree`] — the order-statistic frequency red-black tree backing
+//!   Level-1 state and the Exact baseline.
+
+pub use qlove_core as core;
+pub use qlove_rbtree as rbtree;
+pub use qlove_sketches as sketches;
+pub use qlove_stats as stats;
+pub use qlove_stream as stream;
+pub use qlove_workloads as workloads;

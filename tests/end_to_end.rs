@@ -1,0 +1,155 @@
+//! End-to-end integration: the full QLOVE stack (workload generator →
+//! streaming operator → answers) against exact ground truth, across
+//! crate boundaries.
+
+use qlove::core::{Qlove, QloveConfig};
+use qlove::rbtree::FreqTree;
+use qlove::sketches::ExactPolicy;
+use qlove::stream::QuantilePolicy;
+use qlove::workloads::NetMonGen;
+use std::collections::VecDeque;
+
+const PHIS: [f64; 4] = [0.5, 0.9, 0.99, 0.999];
+
+/// Drive a policy and return (per-phi average value error %, evals).
+fn avg_errors(policy: &mut dyn QuantilePolicy, data: &[u64], window: usize) -> (Vec<f64>, u32) {
+    let phis = policy.phis().to_vec();
+    let mut truth: FreqTree<u64> = FreqTree::new();
+    let mut live: VecDeque<u64> = VecDeque::new();
+    let mut sums = vec![0.0; phis.len()];
+    let mut evals = 0u32;
+    for &v in data {
+        truth.insert(v, 1);
+        live.push_back(v);
+        if live.len() > window {
+            truth.remove(live.pop_front().unwrap(), 1).unwrap();
+        }
+        if let Some(ans) = policy.push(v) {
+            evals += 1;
+            for (j, &phi) in phis.iter().enumerate() {
+                let exact = truth.quantile(phi).unwrap() as f64;
+                sums[j] += ((ans[j] as f64 - exact) / exact).abs() * 100.0;
+            }
+        }
+    }
+    (sums.iter().map(|s| s / evals as f64).collect(), evals)
+}
+
+#[test]
+fn qlove_meets_the_five_percent_target_on_netmon() {
+    // The paper's headline: "average relative value error for different
+    // quantiles falls below 5%" — checked at a scaled-down Table 1
+    // shape (window 16K, period 2K, same N/P = 8) with Table 3's
+    // half-budget few-k fractions. (The automatic E4 budget sizes the
+    // top-k pool to exactly N(1−φ); at this tiny scale — 16 tail
+    // elements — Poisson spread across sub-windows makes that minimum
+    // budget fragile, so the explicit fraction is the fair test.)
+    use qlove::core::FewKConfig;
+    let (window, period) = (16_000, 2_000);
+    let data = NetMonGen::generate(42, 200_000);
+    let cfg = QloveConfig::new(&PHIS, window, period)
+        .fewk(Some(FewKConfig::with_fractions(0.5, 0.5)));
+    let mut q = Qlove::new(cfg);
+    let (errs, evals) = avg_errors(&mut q, &data, window);
+    assert!(evals > 50);
+    for (j, &phi) in PHIS.iter().enumerate() {
+        assert!(errs[j] < 5.0, "phi={phi}: avg error {}%", errs[j]);
+    }
+}
+
+#[test]
+fn default_fewk_improves_on_pure_level2_at_small_periods() {
+    // The automatic budget must still help when statistical
+    // inefficiency bites (P(1−φ) = 1 ≪ Ts here).
+    let (window, period) = (16_000, 1_000);
+    let data = NetMonGen::generate(42, 200_000);
+    let mut with = Qlove::new(QloveConfig::new(&PHIS, window, period));
+    let mut without = Qlove::new(QloveConfig::without_fewk(&PHIS, window, period));
+    let (errs_with, _) = avg_errors(&mut with, &data, window);
+    let (errs_without, _) = avg_errors(&mut without, &data, window);
+    assert!(
+        errs_with[3] < errs_without[3],
+        "few-k should improve Q0.999: {:.2}% vs {:.2}%",
+        errs_with[3],
+        errs_without[3]
+    );
+}
+
+#[test]
+fn exact_policy_is_actually_exact() {
+    let (window, period) = (8_000, 1_000);
+    let data = NetMonGen::generate(7, 60_000);
+    let mut e = ExactPolicy::new(&PHIS, window, period);
+    let (errs, evals) = avg_errors(&mut e, &data, window);
+    assert!(evals > 20);
+    for err in errs {
+        assert_eq!(err, 0.0);
+    }
+}
+
+#[test]
+fn qlove_space_is_a_fraction_of_exact() {
+    let (window, period) = (32_000, 4_000);
+    let data = NetMonGen::generate(3, 64_000);
+    let mut q = Qlove::new(QloveConfig::new(&PHIS, window, period));
+    let mut e = ExactPolicy::new(&PHIS, window, period);
+    for &v in &data {
+        q.push(v);
+        e.push(v);
+    }
+    let (qs, es) = (q.space_variables(), e.space_variables());
+    assert!(
+        qs * 5 < es,
+        "QLOVE {qs} variables should be ≥5× below Exact {es}"
+    );
+}
+
+#[test]
+fn qlove_and_exact_share_the_evaluation_schedule() {
+    let (window, period) = (10_000, 2_500);
+    let data = NetMonGen::generate(9, 40_000);
+    let mut q = Qlove::new(QloveConfig::new(&[0.5], window, period));
+    let mut e = ExactPolicy::new(&[0.5], window, period);
+    for (i, &v) in data.iter().enumerate() {
+        assert_eq!(
+            q.push(v).is_some(),
+            e.push(v).is_some(),
+            "schedules diverged at event {i}"
+        );
+    }
+}
+
+#[test]
+fn quantization_never_moves_answers_more_than_one_percent() {
+    let (window, period) = (8_000, 2_000);
+    let data = NetMonGen::generate(11, 80_000);
+    let mut raw = Qlove::new(QloveConfig::without_fewk(&PHIS, window, period).quantize(None));
+    let mut quant = Qlove::new(QloveConfig::without_fewk(&PHIS, window, period));
+    for &v in &data {
+        let (a, b) = (raw.push(v), quant.push(v));
+        if let (Some(a), Some(b)) = (a, b) {
+            for j in 0..PHIS.len() {
+                let rel = ((a[j] as f64 - b[j] as f64) / a[j] as f64).abs();
+                assert!(rel < 0.011, "quantization moved Q{} by {rel}", PHIS[j]);
+            }
+        }
+    }
+}
+
+#[test]
+fn detailed_answers_expose_bounds_and_sources() {
+    let (window, period) = (16_000, 2_000);
+    let mut q = Qlove::new(QloveConfig::new(&PHIS, window, period));
+    let mut saw = false;
+    for v in NetMonGen::new(13).take(40_000) {
+        if let Some(ans) = q.push_detailed(v) {
+            saw = true;
+            assert_eq!(ans.values.len(), PHIS.len());
+            assert_eq!(ans.sources.len(), PHIS.len());
+            assert_eq!(ans.bounds.len(), PHIS.len());
+            // Median bound must be computable on dense telemetry.
+            assert!(ans.bounds[0].is_some());
+        }
+    }
+    assert!(saw);
+}

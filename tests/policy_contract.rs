@@ -1,0 +1,111 @@
+//! Contract tests every `QuantilePolicy` in the workspace must satisfy:
+//! identical evaluation schedules, in-range and φ-monotone answers,
+//! deterministic replay, and honest space accounting.
+
+use qlove::core::{Qlove, QloveConfig};
+use qlove::sketches::{AmPolicy, CmqsPolicy, ExactPolicy, MomentPolicy, RandomPolicy};
+use qlove::stream::QuantilePolicy;
+use qlove::workloads::NetMonGen;
+
+const PHIS: [f64; 4] = [0.5, 0.9, 0.99, 0.999];
+const WINDOW: usize = 8_000;
+const PERIOD: usize = 1_000;
+const EVENTS: usize = 40_000;
+
+fn all_policies() -> Vec<Box<dyn QuantilePolicy>> {
+    vec![
+        Box::new(Qlove::new(QloveConfig::new(&PHIS, WINDOW, PERIOD))),
+        Box::new(ExactPolicy::new(&PHIS, WINDOW, PERIOD)),
+        Box::new(CmqsPolicy::new(&PHIS, WINDOW, PERIOD, 0.02)),
+        Box::new(AmPolicy::new(&PHIS, WINDOW, PERIOD, 0.02)),
+        Box::new(RandomPolicy::with_reservoir(&PHIS, WINDOW, PERIOD, 200, 5)),
+        Box::new(MomentPolicy::new(&PHIS, WINDOW, PERIOD, 10)),
+    ]
+}
+
+fn data() -> Vec<u64> {
+    NetMonGen::generate(17, EVENTS)
+}
+
+#[test]
+fn every_policy_emits_on_the_same_schedule() {
+    let data = data();
+    let mut schedules: Vec<Vec<usize>> = Vec::new();
+    for mut p in all_policies() {
+        let mut emits = Vec::new();
+        for (i, &v) in data.iter().enumerate() {
+            if p.push(v).is_some() {
+                emits.push(i);
+            }
+        }
+        schedules.push(emits);
+    }
+    for (i, s) in schedules.iter().enumerate().skip(1) {
+        assert_eq!(s, &schedules[0], "policy #{i} schedule diverged");
+    }
+    assert_eq!(schedules[0].len(), (EVENTS - WINDOW) / PERIOD + 1);
+}
+
+#[test]
+fn answers_stay_within_the_window_value_range() {
+    let data = data();
+    let (global_min, global_max) = (
+        *data.iter().min().unwrap(),
+        *data.iter().max().unwrap(),
+    );
+    for mut p in all_policies() {
+        let name = p.name();
+        for &v in &data {
+            if let Some(ans) = p.push(v) {
+                for &a in &ans {
+                    // Moment reconstructs a smooth density, so give it
+                    // the global range rather than the live window's.
+                    assert!(
+                        a >= global_min.saturating_sub(1) && a <= global_max + 1,
+                        "{name}: answer {a} outside [{global_min}, {global_max}]"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn answers_are_monotone_in_phi() {
+    let data = data();
+    for mut p in all_policies() {
+        let name = p.name();
+        for &v in &data {
+            if let Some(ans) = p.push(v) {
+                for w in ans.windows(2) {
+                    assert!(w[0] <= w[1], "{name}: non-monotone answers {ans:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn policies_replay_deterministically() {
+    let data = data();
+    let run = |mut p: Box<dyn QuantilePolicy>| -> Vec<Vec<u64>> {
+        data.iter().filter_map(|&v| p.push(v)).collect()
+    };
+    for (a, b) in all_policies().into_iter().zip(all_policies()) {
+        let name = a.name();
+        assert_eq!(run(a), run(b), "{name} is not deterministic");
+    }
+}
+
+#[test]
+fn space_accounting_is_positive_and_policy_named() {
+    let data = data();
+    for mut p in all_policies() {
+        for &v in &data[..WINDOW] {
+            p.push(v);
+        }
+        assert!(p.space_variables() > 0, "{}: zero space", p.name());
+        assert!(!p.name().is_empty());
+        assert_eq!(p.phis().len(), PHIS.len());
+    }
+}

@@ -1,0 +1,149 @@
+//! Failure-injection and pathological-input tests: telemetry pipelines
+//! feed operators whatever production produces — constant streams,
+//! zeros, saturated counters, step changes — and none of it may panic
+//! or produce out-of-domain answers.
+
+use qlove::core::{FewKConfig, Qlove, QloveConfig};
+use qlove::sketches::{
+    AmPolicy, CkmsPolicy, CmqsPolicy, DdSketchPolicy, ExactPolicy, KllPolicy, MomentPolicy,
+    RandomPolicy, TDigestPolicy,
+};
+use qlove::stream::QuantilePolicy;
+
+const PHIS: [f64; 4] = [0.5, 0.9, 0.99, 0.999];
+const WINDOW: usize = 4_000;
+const PERIOD: usize = 500;
+
+fn all_policies() -> Vec<Box<dyn QuantilePolicy>> {
+    vec![
+        Box::new(Qlove::new(QloveConfig::new(&PHIS, WINDOW, PERIOD))),
+        Box::new(ExactPolicy::new(&PHIS, WINDOW, PERIOD)),
+        Box::new(CmqsPolicy::new(&PHIS, WINDOW, PERIOD, 0.05)),
+        Box::new(AmPolicy::new(&PHIS, WINDOW, PERIOD, 0.05)),
+        Box::new(RandomPolicy::with_reservoir(&PHIS, WINDOW, PERIOD, 100, 1)),
+        Box::new(MomentPolicy::new(&PHIS, WINDOW, PERIOD, 8)),
+        Box::new(DdSketchPolicy::new(&PHIS, WINDOW, PERIOD, 0.01)),
+        Box::new(KllPolicy::new(&PHIS, WINDOW, PERIOD, 100, 2)),
+        Box::new(CkmsPolicy::new(&PHIS, WINDOW, PERIOD, 0.05)),
+        Box::new(TDigestPolicy::new(&PHIS, WINDOW, PERIOD, 150.0)),
+    ]
+}
+
+fn drive_all(data: &[u64]) {
+    for mut p in all_policies() {
+        let name = p.name();
+        for &v in data {
+            if let Some(ans) = p.push(v) {
+                assert_eq!(ans.len(), PHIS.len(), "{name}");
+                for w in ans.windows(2) {
+                    assert!(w[0] <= w[1], "{name}: non-monotone {ans:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn constant_stream_answers_the_constant() {
+    let data = vec![7_777u64; 20_000];
+    for mut p in all_policies() {
+        let name = p.name();
+        let mut saw = false;
+        for &v in &data {
+            if let Some(ans) = p.push(v) {
+                saw = true;
+                for &a in &ans {
+                    // Bucketed sketches (DDSketch, Moment) answer within
+                    // their relative tolerance; everyone else exactly.
+                    let rel = (a as f64 - 7_777.0).abs() / 7_777.0;
+                    assert!(rel < 0.02, "{name}: {a} for a constant stream");
+                }
+            }
+        }
+        assert!(saw, "{name} never evaluated");
+    }
+}
+
+#[test]
+fn all_zeros_stream_is_survivable() {
+    drive_all(&vec![0u64; 20_000]);
+}
+
+#[test]
+fn saturated_counters_do_not_overflow() {
+    // Values near u64::MAX exercise sum/rank arithmetic. (Moment and
+    // DDSketch go through ln(1+v) and are safe by construction; QLOVE's
+    // Level-2 sums are u128.)
+    let data: Vec<u64> = (0..20_000u64)
+        .map(|i| u64::MAX / 2 + (i * 2654435761) % 1_000_000)
+        .collect();
+    drive_all(&data);
+}
+
+#[test]
+fn step_change_is_tracked_within_a_window() {
+    // Regime change: values jump 10× mid-stream; once the window is
+    // fully past the step, every policy must answer in the new regime.
+    let mut data = vec![1_000u64; 30_000];
+    for v in data.iter_mut().skip(15_000) {
+        *v = 10_000;
+    }
+    for mut p in all_policies() {
+        let name = p.name();
+        let mut last = None;
+        for &v in &data {
+            if let Some(ans) = p.push(v) {
+                last = Some(ans);
+            }
+        }
+        let last = last.expect("evaluated");
+        let rel = (last[0] as f64 - 10_000.0).abs() / 10_000.0;
+        assert!(rel < 0.05, "{name}: median {} after step", last[0]);
+    }
+}
+
+#[test]
+fn alternating_extremes_stay_in_range() {
+    let data: Vec<u64> = (0..20_000u64)
+        .map(|i| if i % 2 == 0 { 1 } else { 1_000_000_000 })
+        .collect();
+    for mut p in all_policies() {
+        let name = p.name();
+        for &v in &data {
+            if let Some(ans) = p.push(v) {
+                // Median of the alternation is one of the two modes (any
+                // in-between interpolation still lies in range).
+                assert!(
+                    ans[0] >= 1 && ans[0] <= 1_000_000_001,
+                    "{name}: median {} out of range",
+                    ans[0]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn qlove_extreme_fewk_configurations_are_safe() {
+    // Fraction 1.0 with every quantile eligible, and fraction ~0 with
+    // sample-k only: both ends of the budget space.
+    for fewk in [
+        FewKConfig::with_fractions(1.0, 1.0),
+        FewKConfig::with_fractions(0.0, 0.001),
+    ] {
+        let cfg = QloveConfig::new(&[0.99, 0.999], WINDOW, PERIOD).fewk(Some(fewk));
+        let mut q = Qlove::new(cfg);
+        for v in qlove::workloads::NetMonGen::new(3).take(20_000) {
+            if let Some(ans) = q.push(v) {
+                assert!(ans[0] <= ans[1]);
+            }
+        }
+    }
+}
+
+#[test]
+fn single_element_window_works() {
+    let mut q = Qlove::new(QloveConfig::without_fewk(&[0.5], 1, 1));
+    assert_eq!(q.push(42), Some(vec![42]));
+    assert_eq!(q.push(7), Some(vec![7]));
+}

@@ -1,0 +1,63 @@
+//! Criterion micro-benchmark for the batched ingestion fast path:
+//! per-element `push` versus `push_batch` at several batch sizes, on a
+//! quantized Normal stream and a heavy-tailed Pareto stream.
+//!
+//! Run with `cargo bench -p qlove-bench --bench ingest`. The
+//! `bench_ingest` binary emits the same comparison as
+//! `BENCH_ingest.json` for cross-PR tracking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qlove_core::{Qlove, QloveConfig};
+use qlove_workloads::{NormalGen, ParetoGen};
+
+const WINDOW: usize = 100_000;
+const PERIOD: usize = 10_000;
+const EVENTS: usize = 300_000;
+const PHIS: [f64; 4] = [0.5, 0.9, 0.99, 0.999];
+const BATCH_SIZES: [usize; 3] = [64, 1024, 4096];
+
+fn config() -> QloveConfig {
+    QloveConfig::new(&PHIS, WINDOW, PERIOD)
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let datasets: [(&str, Vec<u64>); 2] = [
+        ("normal", NormalGen::generate(7, EVENTS)),
+        ("pareto", ParetoGen::generate(7, EVENTS)),
+    ];
+    for (name, data) in &datasets {
+        let mut group = c.benchmark_group(format!("ingest_{name}"));
+        group.throughput(Throughput::Elements(EVENTS as u64));
+        group.sample_size(10);
+
+        group.bench_with_input(BenchmarkId::from_parameter("push"), data, |b, data| {
+            b.iter(|| {
+                let mut q = Qlove::new(config());
+                let mut emitted = 0usize;
+                for &v in data {
+                    if q.push_detailed(v).is_some() {
+                        emitted += 1;
+                    }
+                }
+                emitted
+            });
+        });
+
+        for &batch in &BATCH_SIZES {
+            group.bench_with_input(BenchmarkId::new("push_batch", batch), data, |b, data| {
+                b.iter(|| {
+                    let mut q = Qlove::new(config());
+                    let mut out = Vec::new();
+                    for chunk in data.chunks(batch) {
+                        q.push_batch_into(chunk, &mut out);
+                    }
+                    out.len()
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

@@ -23,24 +23,19 @@ fn bench_operator_quantization(c: &mut Criterion) {
         ("normal", NormalGen::generate(5, EVENTS)),
     ] {
         for (mode, digits) in [("quantized3", Some(3)), ("raw", None)] {
-            group.bench_with_input(
-                BenchmarkId::new(dataset, mode),
-                &data,
-                |b, data| {
-                    b.iter(|| {
-                        let cfg = QloveConfig::without_fewk(&phis, WINDOW, PERIOD)
-                            .quantize(digits);
-                        let mut q = Qlove::new(cfg);
-                        let mut out = 0usize;
-                        for &v in data {
-                            if q.push(v).is_some() {
-                                out += 1;
-                            }
+            group.bench_with_input(BenchmarkId::new(dataset, mode), &data, |b, data| {
+                b.iter(|| {
+                    let cfg = QloveConfig::without_fewk(&phis, WINDOW, PERIOD).quantize(digits);
+                    let mut q = Qlove::new(cfg);
+                    let mut out = 0usize;
+                    for &v in data {
+                        if q.push(v).is_some() {
+                            out += 1;
                         }
-                        out
-                    });
-                },
-            );
+                    }
+                    out
+                });
+            });
         }
     }
     group.finish();
@@ -56,5 +51,9 @@ fn bench_quantize_primitive(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_operator_quantization, bench_quantize_primitive);
+criterion_group!(
+    benches,
+    bench_operator_quantization,
+    bench_quantize_primitive
+);
 criterion_main!(benches);

@@ -21,39 +21,30 @@ fn bench_scalability(c: &mut Criterion) {
         let events = window * 2 + 100_000;
         let data = NormalGen::generate(33, events);
         group.throughput(Throughput::Elements(events as u64));
-        group.bench_with_input(
-            BenchmarkId::new("qlove", window),
-            &data,
-            |b, data| {
-                b.iter(|| {
-                    let mut q =
-                        Qlove::new(QloveConfig::without_fewk(&phis, window, PERIOD));
-                    let mut out = 0usize;
-                    for &v in data {
-                        if q.push(v).is_some() {
-                            out += 1;
-                        }
+        group.bench_with_input(BenchmarkId::new("qlove", window), &data, |b, data| {
+            b.iter(|| {
+                let mut q = Qlove::new(QloveConfig::without_fewk(&phis, window, PERIOD));
+                let mut out = 0usize;
+                for &v in data {
+                    if q.push(v).is_some() {
+                        out += 1;
                     }
-                    out
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("exact", window),
-            &data,
-            |b, data| {
-                b.iter(|| {
-                    let mut e = ExactPolicy::new(&phis, window, PERIOD);
-                    let mut out = 0usize;
-                    for &v in data {
-                        if e.push(v).is_some() {
-                            out += 1;
-                        }
+                }
+                out
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("exact", window), &data, |b, data| {
+            b.iter(|| {
+                let mut e = ExactPolicy::new(&phis, window, PERIOD);
+                let mut out = 0usize;
+                for &v in data {
+                    if e.push(v).is_some() {
+                        out += 1;
                     }
-                    out
-                });
-            },
-        );
+                }
+                out
+            });
+        });
     }
     group.finish();
 }

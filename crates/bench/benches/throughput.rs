@@ -15,7 +15,9 @@ const WINDOW: usize = 100_000;
 const PERIOD: usize = 1_000;
 const EVENTS: usize = 300_000;
 
-fn policies() -> Vec<(&'static str, Box<dyn FnMut() -> Box<dyn QuantilePolicy>>)> {
+type PolicyFactory = Box<dyn FnMut() -> Box<dyn QuantilePolicy>>;
+
+fn policies() -> Vec<(&'static str, PolicyFactory)> {
     let phis = &QMONITOR_PHIS;
     vec![
         (

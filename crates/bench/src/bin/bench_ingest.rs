@@ -1,0 +1,136 @@
+//! `bench_ingest` — record batched-vs-per-element ingestion throughput
+//! as `BENCH_ingest.json`, so the perf trajectory is tracked across PRs.
+//!
+//! ```text
+//! bench_ingest [--events N] [--out PATH]
+//! ```
+//!
+//! Measures single-thread elements/second for `push` and for
+//! `push_batch` at batch sizes 64/1024/4096 over the quantized Normal
+//! and Pareto streams (paper-default QLOVE configuration, 100K/10K
+//! window), and records the headline ratio
+//! `push_batch(4096) / push` on the Normal stream.
+
+use qlove_bench::{measure_throughput, measure_throughput_batched};
+use qlove_core::{Qlove, QloveConfig};
+use qlove_workloads::{NormalGen, ParetoGen};
+use std::fmt::Write as _;
+
+const WINDOW: usize = 100_000;
+const PERIOD: usize = 10_000;
+const PHIS: [f64; 4] = [0.5, 0.9, 0.99, 0.999];
+const BATCH_SIZES: [usize; 3] = [64, 1024, 4096];
+
+struct Row {
+    dataset: &'static str,
+    mode: &'static str,
+    batch: usize,
+    melems_per_sec: f64,
+}
+
+fn parse_args() -> Result<(usize, String), String> {
+    let mut events = 2_000_000usize;
+    let mut out = "BENCH_ingest.json".to_string();
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        if matches!(argv[i].as_str(), "--help" | "-h") {
+            println!("usage: bench_ingest [--events N] [--out PATH]");
+            std::process::exit(0);
+        }
+        if !matches!(argv[i].as_str(), "--events" | "--out") {
+            return Err(format!("unknown flag {}", argv[i]));
+        }
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("{} needs a value", argv[i]))?;
+        match argv[i].as_str() {
+            "--events" => events = value.parse().map_err(|e| format!("{e}"))?,
+            _ => out = value.clone(),
+        }
+        i += 2;
+    }
+    Ok((events, out))
+}
+
+fn measure(dataset: &'static str, data: &[u64], rows: &mut Vec<Row>) {
+    let cfg = QloveConfig::new(&PHIS, WINDOW, PERIOD);
+    let mut per_element = Qlove::new(cfg.clone());
+    let rate = measure_throughput(&mut per_element, data);
+    eprintln!("{dataset:>7} push              {rate:8.2} Melem/s");
+    rows.push(Row {
+        dataset,
+        mode: "push",
+        batch: 1,
+        melems_per_sec: rate,
+    });
+    for &batch in &BATCH_SIZES {
+        let mut op = Qlove::new(cfg.clone());
+        let rate = measure_throughput_batched(&mut op, data, batch);
+        eprintln!("{dataset:>7} push_batch({batch:>4}) {rate:8.2} Melem/s");
+        rows.push(Row {
+            dataset,
+            mode: "push_batch",
+            batch,
+            melems_per_sec: rate,
+        });
+    }
+}
+
+fn rate_of(rows: &[Row], dataset: &str, mode: &str, batch: usize) -> f64 {
+    rows.iter()
+        .find(|r| r.dataset == dataset && r.mode == mode && r.batch == batch)
+        .map(|r| r.melems_per_sec)
+        .unwrap_or(f64::NAN)
+}
+
+fn main() {
+    let (events, out_path) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench_ingest: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut rows = Vec::new();
+    measure("normal", &NormalGen::generate(7, events), &mut rows);
+    measure("pareto", &ParetoGen::generate(7, events), &mut rows);
+
+    let speedup =
+        rate_of(&rows, "normal", "push_batch", 4096) / rate_of(&rows, "normal", "push", 1);
+    eprintln!("normal push_batch(4096) / push speedup: {speedup:.2}x");
+
+    // Hand-rolled JSON: the workspace deliberately has no serde.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"experiment\": \"ingest\",");
+    let _ = writeln!(json, "  \"window\": {WINDOW},");
+    let _ = writeln!(json, "  \"period\": {PERIOD},");
+    let _ = writeln!(json, "  \"events\": {events},");
+    let _ = writeln!(
+        json,
+        "  \"phis\": [{}],",
+        PHIS.map(|p| p.to_string()).join(", ")
+    );
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"dataset\": \"{}\", \"mode\": \"{}\", \"batch\": {}, \"melems_per_sec\": {:.3}}}{comma}",
+            r.dataset, r.mode, r.batch, r.melems_per_sec
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"speedup_normal_push_batch_4096_vs_push\": {speedup:.3}"
+    );
+    json.push_str("}\n");
+
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("bench_ingest: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

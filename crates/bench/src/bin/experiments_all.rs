@@ -11,10 +11,19 @@ fn main() {
     print!("{}", qlove_bench::experiments::table4::run(events));
     print!("{}", qlove_bench::experiments::table5::run(events));
     print!("{}", qlove_bench::experiments::fig4::run(events));
-    print!("{}", qlove_bench::experiments::fig5::run(events.max(2_000_000)));
+    print!(
+        "{}",
+        qlove_bench::experiments::fig5::run(events.max(2_000_000))
+    );
     print!("{}", qlove_bench::experiments::pareto_skew::run(events));
-    print!("{}", qlove_bench::experiments::redundancy::run(events.min(1_000_000)));
+    print!(
+        "{}",
+        qlove_bench::experiments::redundancy::run(events.min(1_000_000))
+    );
     print!("{}", qlove_bench::experiments::fewk_throughput::run(events));
-    print!("{}", qlove_bench::experiments::theorem1::run(events.min(600_000)));
+    print!(
+        "{}",
+        qlove_bench::experiments::theorem1::run(events.min(600_000))
+    );
     print!("{}", qlove_bench::experiments::extended::run(events));
 }

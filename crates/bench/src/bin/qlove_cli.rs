@@ -8,10 +8,21 @@
 //!                           --phis 0.5,0.99,0.999 --policy qlove
 //! # or replay a generated trace:
 //! qlove_cli --demo netmon --events 500000
+//! # batched ingestion (same answers, much faster on high-rate input):
+//! qlove_cli --demo netmon --events 5000000 --batch 4096
 //! ```
 //!
 //! Policies: `qlove` (default), `exact`, `cmqs`, `am`, `random`,
 //! `moment`, `ddsketch`, `kll`, `ckms`, `tdigest`.
+//!
+//! `--batch N` feeds input through the policy's batched ingestion path
+//! (`QuantilePolicy::push_batch`) in N-element slices. Answers are
+//! identical to per-element feeding; the printed event numbers are
+//! derived from the window schedule (first evaluation at `window`
+//! elements, then every `period`), which every bundled policy follows.
+//! The trailing `space` column is sampled after the whole batch is
+//! ingested (mid-sub-window fill), so it can differ from a `--batch 1`
+//! run of the same input — compare the answer columns, not `space`.
 
 use qlove_core::{Qlove, QloveConfig};
 use qlove_sketches::{
@@ -28,6 +39,7 @@ struct Args {
     policy: String,
     demo: Option<String>,
     events: usize,
+    batch: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
         policy: "qlove".into(),
         demo: None,
         events: 1_000_000,
+        batch: 1,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -51,6 +64,12 @@ fn parse_args() -> Result<Args, String> {
             "--window" => args.window = need_value(i)?.parse().map_err(|e| format!("{e}"))?,
             "--period" => args.period = need_value(i)?.parse().map_err(|e| format!("{e}"))?,
             "--events" => args.events = need_value(i)?.parse().map_err(|e| format!("{e}"))?,
+            "--batch" => {
+                args.batch = need_value(i)?.parse().map_err(|e| format!("{e}"))?;
+                if args.batch == 0 {
+                    return Err("--batch must be positive".into());
+                }
+            }
             "--policy" => args.policy = need_value(i)?.to_string(),
             "--demo" => args.demo = Some(need_value(i)?.to_string()),
             "--phis" => {
@@ -63,7 +82,7 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: qlove_cli [--window N] [--period K] [--phis a,b,c] \
                      [--policy qlove|exact|cmqs|am|random|moment|ddsketch|kll|ckms|tdigest] \
-                     [--demo netmon|search|normal|uniform|pareto --events N]"
+                     [--demo netmon|search|normal|uniform|pareto --events N] [--batch N]"
                 );
                 std::process::exit(0);
             }
@@ -111,27 +130,44 @@ fn run() -> Result<(), String> {
     let header: Vec<String> = args.phis.iter().map(|p| format!("Q{p}")).collect();
     writeln!(out, "# event\t{}\tspace", header.join("\t")).map_err(|e| e.to_string())?;
 
-    let mut feed = |i: usize, v: u64, policy: &mut Box<dyn QuantilePolicy>| {
+    // Evaluation counter for batched mode: every bundled policy follows
+    // the window schedule (first answer at `window` elements, then one
+    // per `period`), so answer k lands on event `window + k·period`.
+    let mut evals = 0usize;
+    let print_answer = |out: &mut dyn Write, event: usize, ans: &[u64], space: usize| {
+        let cells: Vec<String> = ans.iter().map(u64::to_string).collect();
+        let _ = writeln!(out, "{event}\t{}\t{space}", cells.join("\t"));
+    };
+    let feed = |i: usize, v: u64, policy: &mut Box<dyn QuantilePolicy>, out: &mut dyn Write| {
         if let Some(ans) = policy.push(v) {
-            let cells: Vec<String> = ans.iter().map(u64::to_string).collect();
-            let _ = writeln!(
-                out,
-                "{}\t{}\t{}",
-                i + 1,
-                cells.join("\t"),
-                policy.space_variables()
-            );
+            print_answer(out, i + 1, &ans, policy.space_variables());
         }
     };
+    let mut feed_batch =
+        |chunk: &[u64], policy: &mut Box<dyn QuantilePolicy>, out: &mut dyn Write| {
+            for ans in policy.push_batch(chunk) {
+                let event = args.window + evals * args.period;
+                evals += 1;
+                print_answer(out, event, &ans, policy.space_variables());
+            }
+        };
 
     match &args.demo {
         Some(name) => {
-            for (i, v) in demo_values(name, args.events)?.into_iter().enumerate() {
-                feed(i, v, &mut policy);
+            let values = demo_values(name, args.events)?;
+            if args.batch > 1 {
+                for chunk in values.chunks(args.batch) {
+                    feed_batch(chunk, &mut policy, &mut out);
+                }
+            } else {
+                for (i, v) in values.into_iter().enumerate() {
+                    feed(i, v, &mut policy, &mut out);
+                }
             }
         }
         None => {
             let stdin = std::io::stdin();
+            let mut buf: Vec<u64> = Vec::with_capacity(args.batch);
             for (i, line) in stdin.lock().lines().enumerate() {
                 let line = line.map_err(|e| e.to_string())?;
                 let t = line.trim();
@@ -141,7 +177,18 @@ fn run() -> Result<(), String> {
                 let v: u64 = t
                     .parse()
                     .map_err(|_| format!("line {}: not a non-negative integer: {t}", i + 1))?;
-                feed(i, v, &mut policy);
+                if args.batch > 1 {
+                    buf.push(v);
+                    if buf.len() == args.batch {
+                        feed_batch(&buf, &mut policy, &mut out);
+                        buf.clear();
+                    }
+                } else {
+                    feed(i, v, &mut policy, &mut out);
+                }
+            }
+            if !buf.is_empty() {
+                feed_batch(&buf, &mut policy, &mut out);
             }
         }
     }

@@ -24,7 +24,8 @@ pub fn run(events: usize) -> String {
     let phis = &QMONITOR_PHIS;
     let data = super::netmon(events.max(w * 2));
 
-    let make: Vec<(&str, Box<dyn Fn() -> Box<dyn QuantilePolicy>>)> = vec![
+    type Factory = Box<dyn Fn() -> Box<dyn QuantilePolicy>>;
+    let make: Vec<(&str, Factory)> = vec![
         (
             "QLOVE",
             Box::new(move || Box::new(Qlove::new(QloveConfig::new(phis, w, p)))),
@@ -56,7 +57,13 @@ pub fn run(events: usize) -> String {
         ),
     );
     let mut t = Table::new([
-        "policy", "val%(.5)", "val%(.9)", "val%(.99)", "val%(.999)", "space", "M ev/s",
+        "policy",
+        "val%(.5)",
+        "val%(.9)",
+        "val%(.99)",
+        "val%(.999)",
+        "space",
+        "M ev/s",
     ]);
     for (name, factory) in &make {
         let mut policy = factory();

@@ -64,5 +64,9 @@ pub fn run(events: usize) -> String {
 /// The window sizes the sweep covers for a given event budget (used by
 /// tests to know what to expect).
 pub fn windows_for(events: usize) -> Vec<usize> {
-    WINDOWS.iter().copied().filter(|w| w * 2 <= events).collect()
+    WINDOWS
+        .iter()
+        .copied()
+        .filter(|w| w * 2 <= events)
+        .collect()
 }

@@ -20,8 +20,10 @@ use qlove_workloads::SearchGen;
 pub fn run(events: usize) -> String {
     let events = events.max(400_000);
     let phis = [0.5, 0.9, 0.99, 0.999];
-    let queries: [(&str, usize, usize); 2] =
-        [("tumbling 1K", 1_000, 1_000), ("sliding 100K/1K", 100_000, 1_000)];
+    let queries: [(&str, usize, usize); 2] = [
+        ("tumbling 1K", 1_000, 1_000),
+        ("sliding 100K/1K", 100_000, 1_000),
+    ];
 
     let mut out = super::header(
         "§5.4 data redundancy — low-precision (drop 2 digits) speedup",
@@ -30,7 +32,14 @@ pub fn run(events: usize) -> String {
              (NetMon/Search), 3.7–4.6× sliding"
         ),
     );
-    let mut t = Table::new(["dataset", "query", "policy", "orig M ev/s", "lowprec M ev/s", "gain"]);
+    let mut t = Table::new([
+        "dataset",
+        "query",
+        "policy",
+        "orig M ev/s",
+        "lowprec M ev/s",
+        "gain",
+    ]);
     for dataset in ["NetMon", "Search"] {
         let original: Vec<u64> = match dataset {
             "NetMon" => super::netmon(events),

@@ -48,8 +48,16 @@ pub fn run(events: usize) -> String {
         ),
     );
     let mut t = Table::new([
-        "policy", "e'(.5)", "e'(.9)", "e'(.99)", "e'(.999)", "val%(.5)", "val%(.9)",
-        "val%(.99)", "val%(.999)", "space",
+        "policy",
+        "e'(.5)",
+        "e'(.9)",
+        "e'(.99)",
+        "e'(.999)",
+        "val%(.5)",
+        "val%(.9)",
+        "val%(.99)",
+        "val%(.999)",
+        "space",
     ]);
     for policy in policies.iter_mut() {
         let name = policy.name();
@@ -70,7 +78,14 @@ pub fn run(events: usize) -> String {
     out.push_str(&t.render());
 
     out.push_str("\nPaper (value error %, observed space) for shape comparison:\n");
-    let mut pt = Table::new(["policy", "val%(.5)", "val%(.9)", "val%(.99)", "val%(.999)", "space"]);
+    let mut pt = Table::new([
+        "policy",
+        "val%(.5)",
+        "val%(.9)",
+        "val%(.99)",
+        "val%(.999)",
+        "space",
+    ]);
     for (name, errs, space) in PAPER {
         pt.row([
             name.to_string(),

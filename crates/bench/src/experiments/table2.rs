@@ -42,10 +42,23 @@ pub fn run_matrix(events: usize) -> (String, Vec<Vec<f64>>) {
 
     let mut out = super::header(
         "Table 2 — QLOVE value error without few-k vs period size",
-        &format!("NetMon ({} events), window {w}, periods 64K → 1K", data.len()),
+        &format!(
+            "NetMon ({} events), window {w}, periods 64K → 1K",
+            data.len()
+        ),
     );
     let mut t = Table::new([
-        "quantile", "64K", "32K", "16K", "8K", "4K", "2K", "1K", " ", "paper@16K", "paper@1K",
+        "quantile",
+        "64K",
+        "32K",
+        "16K",
+        "8K",
+        "4K",
+        "2K",
+        "1K",
+        " ",
+        "paper@16K",
+        "paper@1K",
     ]);
     for (qi, &phi) in phis.iter().enumerate() {
         let mut row: Vec<String> = vec![format!("{phi}")];

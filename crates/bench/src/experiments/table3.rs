@@ -30,7 +30,9 @@ pub fn run(events: usize) -> String {
             tail_need(w, phi)
         ),
     );
-    let mut t = Table::new(["fraction", "8K", "4K", "2K", "1K", " ", "paper@8K", "paper@1K"]);
+    let mut t = Table::new([
+        "fraction", "8K", "4K", "2K", "1K", " ", "paper@8K", "paper@1K",
+    ]);
     for (fi, &fraction) in TABLE3_FRACTIONS.iter().enumerate() {
         let mut row: Vec<String> = vec![format!("{fraction}")];
         for &period in &TABLE3_PERIODS {
@@ -39,7 +41,10 @@ pub fn run(events: usize) -> String {
             let mut q = Qlove::new(cfg);
             let r = measure_accuracy(&mut q, &data, w);
             let cache = ((tail_need(w, phi) as f64 * fraction).ceil() as usize) * (w / period);
-            row.push(format!("{} ({cache})", f(r.per_phi[0].avg_value_err_pct, 2)));
+            row.push(format!(
+                "{} ({cache})",
+                f(r.per_phi[0].avg_value_err_pct, 2)
+            ));
         }
         row.push(String::new());
         row.push(f(PAPER[fi][0], 2));

@@ -28,7 +28,14 @@ pub fn run(events: usize) -> String {
         &format!("marginal N(1M, 50K²), window {w}, period {p}, {events} events per ψ"),
     );
     let mut t = Table::new([
-        "psi", "Q0.5", "Q0.9", "Q0.99", " ", "paper Q0.5", "paper Q0.9", "paper Q0.99",
+        "psi",
+        "Q0.5",
+        "Q0.9",
+        "Q0.99",
+        " ",
+        "paper Q0.5",
+        "paper Q0.9",
+        "paper Q0.99",
     ]);
     for (pi, &psi) in TABLE5_PSIS.iter().enumerate() {
         let data = Ar1Gen::generate(77, psi, events);

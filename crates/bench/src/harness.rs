@@ -95,8 +95,16 @@ pub fn measure_accuracy(
         .enumerate()
         .map(|(j, &phi)| PhiAccuracy {
             phi,
-            avg_value_err_pct: if evals > 0 { sum_val[j] / evals as f64 } else { f64::NAN },
-            avg_rank_err: if evals > 0 { sum_rank[j] / evals as f64 } else { f64::NAN },
+            avg_value_err_pct: if evals > 0 {
+                sum_val[j] / evals as f64
+            } else {
+                f64::NAN
+            },
+            avg_rank_err: if evals > 0 {
+                sum_rank[j] / evals as f64
+            } else {
+                f64::NAN
+            },
             max_value_err_pct: max_val[j],
         })
         .collect();
@@ -121,6 +129,27 @@ pub fn measure_throughput(policy: &mut dyn QuantilePolicy, data: &[u64]) -> f64 
     }
     let secs = start.elapsed().as_secs_f64();
     // Keep `emitted` observable so the whole loop cannot be optimized out.
+    std::hint::black_box(emitted);
+    data.len() as f64 / secs / 1e6
+}
+
+/// Single-thread throughput of the **batched** ingestion path: feed the
+/// dataset in `batch`-element slices through
+/// [`QuantilePolicy::push_batch`] and divide. Comparable head-to-head
+/// with [`measure_throughput`] — same policy contract, same schedule,
+/// identical answers — so the ratio isolates the batching win.
+pub fn measure_throughput_batched(
+    policy: &mut dyn QuantilePolicy,
+    data: &[u64],
+    batch: usize,
+) -> f64 {
+    assert!(batch > 0, "batch size must be positive");
+    let start = Instant::now();
+    let mut emitted = 0usize;
+    for chunk in data.chunks(batch) {
+        emitted += policy.push_batch(chunk).len();
+    }
+    let secs = start.elapsed().as_secs_f64();
     std::hint::black_box(emitted);
     data.len() as f64 / secs / 1e6
 }

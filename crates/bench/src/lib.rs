@@ -27,4 +27,6 @@ pub mod experiments;
 pub mod harness;
 pub mod table;
 
-pub use harness::{measure_accuracy, measure_throughput, AccuracyReport, PhiAccuracy};
+pub use harness::{
+    measure_accuracy, measure_throughput, measure_throughput_batched, AccuracyReport, PhiAccuracy,
+};

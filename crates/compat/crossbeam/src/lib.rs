@@ -1,0 +1,92 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the bounded-channel subset the workspace uses
+//! (`crossbeam::channel::bounded`, `Sender::send`, `Receiver::iter`),
+//! implemented over `std::sync::mpsc::sync_channel`. Semantics match
+//! what the executors rely on: `send` blocks while the channel is full,
+//! and the receiver's iterator ends when every sender is dropped.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Multi-producer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone;
+    /// carries the unsent message.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// The sending half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message, blocking while the channel is at capacity.
+        /// Errors only when the receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    /// The receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocking iterator over received messages; ends when all
+        /// senders are dropped.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter(self.0.iter())
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T>(mpsc::Iter<'a, T>);
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.0.next()
+        }
+    }
+
+    /// Create a bounded channel with the given capacity.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn roundtrip_and_close() {
+            let (tx, rx) = bounded::<u32>(2);
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    for v in 0..10 {
+                        tx.send(v).unwrap();
+                    }
+                });
+                let got: Vec<u32> = rx.iter().collect();
+                assert_eq!(got, (0..10).collect::<Vec<_>>());
+            });
+        }
+
+        #[test]
+        fn send_fails_after_receiver_drop() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Test-runner plumbing: configuration, case errors, deterministic RNG.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Per-test configuration. Only the `cases` knob is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property this many times.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A failed property case (from `prop_assert!` or an explicit
+/// [`TestCaseError::fail`]).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Fail the current case with a message.
+    pub fn fail<M: fmt::Display>(message: M) -> Self {
+        Self {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The RNG driving generation: deterministic per test name, so every
+/// failure reproduces by rerunning the same test binary.
+pub type TestRng = SmallRng;
+
+/// Extension hook used by the [`crate::proptest!`] expansion.
+pub trait DeterministicSeed: Sized {
+    /// Seed from a test's name (FNV-1a hashed).
+    fn deterministic(name: &str) -> Self;
+}
+
+impl DeterministicSeed for SmallRng {
+    fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        SmallRng::seed_from_u64(h)
+    }
+}

@@ -204,8 +204,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "topk_fraction")]
     fn validate_rejects_bad_fraction() {
-        let c = QloveConfig::new(&[0.5], 1000, 100)
-            .fewk(Some(FewKConfig::with_fractions(1.5, 0.0)));
+        let c =
+            QloveConfig::new(&[0.5], 1000, 100).fewk(Some(FewKConfig::with_fractions(1.5, 0.0)));
         c.validate();
     }
 }

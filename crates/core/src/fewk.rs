@@ -45,11 +45,7 @@ impl TailBudget {
         let exact_need = tail_need(window, phi);
         let kt = ((exact_need as f64 * topk_fraction).ceil() as usize).min(period);
         let ks = ((exact_need as f64 * samplek_fraction).ceil() as usize).min(period);
-        Self {
-            exact_need,
-            kt,
-            ks,
-        }
+        Self { exact_need, kt, ks }
     }
 
     /// Effective sample-k rate `α = ks / N(1−φ)` (§4.2).
@@ -74,19 +70,24 @@ impl TailBudget {
 /// at most `ks` samples. "For i = 2, we select all even ranked values" —
 /// so sampling starts at rank `i`, not rank 1.
 pub fn interval_sample(tail: &[u64], ks: usize) -> Vec<u64> {
+    let mut out = Vec::new();
+    interval_sample_into(tail, ks, &mut out);
+    out
+}
+
+/// [`interval_sample`] into a caller-owned buffer (cleared first), so
+/// sub-window boundaries can recycle the per-φ sample vectors.
+pub fn interval_sample_into(tail: &[u64], ks: usize, out: &mut Vec<u64>) {
+    out.clear();
     if ks == 0 || tail.is_empty() {
-        return Vec::new();
+        return;
     }
     if ks >= tail.len() {
-        return tail.to_vec();
+        out.extend_from_slice(tail);
+        return;
     }
     let i = tail.len().div_ceil(ks);
-    tail.iter()
-        .skip(i - 1)
-        .step_by(i)
-        .copied()
-        .take(ks)
-        .collect()
+    out.extend(tail.iter().skip(i - 1).step_by(i).copied().take(ks));
 }
 
 /// Select the `rank`-th largest element (1-indexed) across several
@@ -208,7 +209,7 @@ mod tests {
     #[test]
     fn interval_sampling_picks_every_ith() {
         let tail: Vec<u64> = (1..=10).rev().collect(); // 10, 9, …, 1
-        // ks = 5 → i = 2 → "all even ranked values": ranks 2,4,6,8,10.
+                                                       // ks = 5 → i = 2 → "all even ranked values": ranks 2,4,6,8,10.
         assert_eq!(interval_sample(&tail, 5), vec![9, 7, 5, 3, 1]);
     }
 
@@ -244,8 +245,8 @@ mod tests {
         let mut subs = vec![vec![1u64; 10]; 10];
         let mut next_big = 100u64;
         for (sub, &count) in spread.iter().enumerate() {
-            for slot in 0..count {
-                subs[sub][slot] = next_big;
+            for slot in subs[sub].iter_mut().take(count) {
+                *slot = next_big;
                 next_big -= 1;
             }
         }

@@ -4,7 +4,7 @@
 use crate::bounds::bound_from_tree;
 use crate::burst::is_bursty;
 use crate::config::QloveConfig;
-use crate::fewk::{interval_sample, merge_sample_k, merge_top_k, tail_need, TailBudget};
+use crate::fewk::{interval_sample_into, merge_sample_k, merge_top_k, tail_need, TailBudget};
 use qlove_rbtree::FreqTree;
 use qlove_stats::error_bound::CltBound;
 use qlove_stream::QuantilePolicy;
@@ -23,7 +23,7 @@ pub enum AnswerSource {
 }
 
 /// One evaluation's full output.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QloveAnswer {
     /// Estimated quantile values, one per configured φ, in input order.
     pub values: Vec<u64>,
@@ -40,6 +40,11 @@ pub struct QloveAnswer {
 /// Everything retained about a completed sub-window: its exact
 /// quantiles (the Level-1 summary `s_i`), the few-k tail caches, and
 /// the density-based error-bound inputs.
+///
+/// Summaries are pooled: when the Level-2 ring rolls, the expired
+/// summary's allocations are recycled into the next boundary's summary
+/// (see [`Qlove::complete_subwindow`]), so steady-state boundary work
+/// performs no heap allocation for these vectors.
 #[derive(Debug, Clone)]
 struct SubWindowSummary {
     /// Exact φ-quantiles of the sub-window, one per configured φ.
@@ -55,6 +60,21 @@ struct SubWindowSummary {
     bursty: Vec<bool>,
     /// Per-φ Theorem-1 bounds estimated from this sub-window's density.
     bounds: Vec<Option<CltBound>>,
+}
+
+impl SubWindowSummary {
+    /// Empty summary shaped for `l` quantiles (inner vectors are filled
+    /// at the boundary; outer per-φ vectors are allocated once and kept
+    /// for the summary's pooled lifetime).
+    fn with_phis(l: usize) -> Self {
+        Self {
+            quantiles: Vec::with_capacity(l),
+            topk: vec![Vec::new(); l],
+            samples: vec![Vec::new(); l],
+            bursty: Vec::with_capacity(l),
+            bounds: Vec::with_capacity(l),
+        }
+    }
 }
 
 /// The QLOVE operator. See the crate docs for the architecture and
@@ -76,6 +96,16 @@ pub struct Qlove {
     /// Running Σ of sub-window quantiles per φ (u128: immune to overflow
     /// even for Pareto-scale values).
     sums: Vec<u128>,
+    // ---- reusable scratch (keeps boundaries allocation-free) ----
+    /// Recycled summary from the last ring expiry; the next boundary
+    /// reuses its vectors instead of allocating.
+    spare_summary: Option<SubWindowSummary>,
+    /// Quantized copy of the current [`Qlove::push_batch`] chunk.
+    batch_scratch: Vec<u64>,
+    /// Descending tail snapshot taken at each sub-window boundary.
+    tail_scratch: Vec<u64>,
+    /// Pooled burst-detector reference samples.
+    pooled_scratch: Vec<u64>,
 }
 
 impl Qlove {
@@ -112,14 +142,23 @@ impl Qlove {
             .max()
             .unwrap_or(0);
         let l = config.phis.len();
+        // Pre-size the Level-1 arena: a sub-window holds at most `period`
+        // unique values (far fewer once quantization collapses the
+        // domain); cap the eager reservation so huge-period configs do
+        // not front-load memory they may never touch.
+        let arena_capacity = config.period.min(1 << 16);
         Self {
             n_sub,
             budgets,
             max_tail,
-            tree: FreqTree::new(),
+            tree: FreqTree::with_capacity(arena_capacity),
             filled: 0,
             summaries: VecDeque::with_capacity(n_sub + 1),
             sums: vec![0; l],
+            spare_summary: None,
+            batch_scratch: Vec::new(),
+            tail_scratch: Vec::with_capacity(max_tail),
+            pooled_scratch: Vec::new(),
             config,
         }
     }
@@ -150,34 +189,102 @@ impl Qlove {
         Some(self.evaluate())
     }
 
+    /// Feed a whole batch of elements in stream order; returns one
+    /// [`QloveAnswer`] per evaluation boundary the batch crosses (in
+    /// order — possibly none, possibly several for batches spanning
+    /// multiple periods).
+    ///
+    /// # Contract: bit-identical to per-element ingestion
+    ///
+    /// `push_batch(values)` emits exactly the answers that
+    /// `values.iter().filter_map(|&v| op.push_detailed(v))` would —
+    /// bit for bit. Two properties make that hold:
+    ///
+    /// * **Boundary splitting.** The batch is split at every sub-window
+    ///   boundary (`period − pending()` elements into the batch, then
+    ///   every `period`), so summaries cover exactly the same element
+    ///   ranges as per-element feeding, and evaluations fire at the
+    ///   same stream positions.
+    /// * **Order-independence inside a sub-window.** Level-1 state is a
+    ///   frequency multiset; within one sub-window, insertion order
+    ///   cannot affect quantiles, tail snapshots, or anything else read
+    ///   at the boundary.
+    ///
+    /// The speedup comes from quantizing the chunk in one pass, sorting
+    /// it, and bulk-inserting `(key, run-length)` pairs — one tree
+    /// descent per *unique* quantized key instead of one per element
+    /// ([`FreqTree::insert_batch`]).
+    pub fn push_batch(&mut self, values: &[u64]) -> Vec<QloveAnswer> {
+        let mut out = Vec::new();
+        self.push_batch_into(values, &mut out);
+        out
+    }
+
+    /// [`Qlove::push_batch`] appending into a caller-owned buffer, for
+    /// callers that drain answers incrementally and want to keep the
+    /// ingest loop allocation-free.
+    pub fn push_batch_into(&mut self, values: &[u64], out: &mut Vec<QloveAnswer>) {
+        let mut rest = values;
+        while !rest.is_empty() {
+            let room = self.config.period - self.filled;
+            let (chunk, tail) = rest.split_at(room.min(rest.len()));
+            rest = tail;
+            self.ingest_chunk(chunk);
+            if self.filled == self.config.period {
+                self.filled = 0;
+                self.complete_subwindow();
+                if self.summaries.len() >= self.n_sub {
+                    out.push(self.evaluate());
+                }
+            }
+        }
+    }
+
+    /// Quantize `chunk` in one pass into the batch scratch buffer and
+    /// bulk-insert it. `chunk` must not cross a sub-window boundary.
+    fn ingest_chunk(&mut self, chunk: &[u64]) {
+        debug_assert!(self.filled + chunk.len() <= self.config.period);
+        let mut buf = std::mem::take(&mut self.batch_scratch);
+        buf.clear();
+        match self.config.sig_digits {
+            Some(d) => buf.extend(chunk.iter().map(|&v| quantize_sig_digits(v, d))),
+            None => buf.extend_from_slice(chunk),
+        }
+        self.tree.insert_batch(&mut buf);
+        self.batch_scratch = buf;
+        self.filled += chunk.len();
+    }
+
     /// Level-1 boundary work: summarize the in-flight tree, snapshot the
     /// tail caches, roll the Level-2 ring, discard the raw data.
+    ///
+    /// Allocation-free in steady state: the summary expired from the
+    /// ring is recycled for the next boundary, the tail snapshot and
+    /// burst pool live in scratch buffers, and the tree keeps its arena
+    /// across [`FreqTree::clear`].
     fn complete_subwindow(&mut self) {
         let phis = &self.config.phis;
-        let quantiles = self
-            .tree
-            .quantiles(phis)
-            .expect("sub-window contains `period` > 0 elements");
+        let l = phis.len();
+        let mut summary = self
+            .spare_summary
+            .take()
+            .unwrap_or_else(|| SubWindowSummary::with_phis(l));
+
+        let filled = self.tree.quantiles_into(phis, &mut summary.quantiles);
+        assert!(filled, "sub-window contains `period` > 0 elements");
 
         // One descending tail snapshot serves every φ's caches.
-        let tail = if self.max_tail > 0 {
-            self.tree.top_k(self.max_tail)
-        } else {
-            Vec::new()
-        };
-        let mut topk = Vec::with_capacity(phis.len());
-        let mut samples = Vec::with_capacity(phis.len());
-        for budget in &self.budgets {
-            match budget {
-                Some(b) => {
-                    let need = b.exact_need.min(tail.len());
-                    topk.push(tail[..b.kt.min(need)].to_vec());
-                    samples.push(interval_sample(&tail[..need], b.ks));
-                }
-                None => {
-                    topk.push(Vec::new());
-                    samples.push(Vec::new());
-                }
+        self.tree.top_k_into(self.max_tail, &mut self.tail_scratch);
+        let tail = &self.tail_scratch;
+        for (i, budget) in self.budgets.iter().enumerate() {
+            let topk = &mut summary.topk[i];
+            let samples = &mut summary.samples[i];
+            topk.clear();
+            samples.clear();
+            if let Some(b) = budget {
+                let need = b.exact_need.min(tail.len());
+                topk.extend_from_slice(&tail[..b.kt.min(need)]);
+                interval_sample_into(&tail[..need], b.ks, samples);
             }
         }
 
@@ -192,61 +299,66 @@ impl Qlove {
         // flag influences up to n_sub evaluations, so the per-test level
         // is α / (4·n_sub) to keep the configured α as the per-
         // evaluation false-positive budget.
-        let bursty: Vec<bool> = match (self.config.fewk.as_ref(), self.summaries.back()) {
+        summary.bursty.clear();
+        match (self.config.fewk.as_ref(), self.summaries.back()) {
             (Some(fk), Some(prev)) => {
                 let alpha = fk.burst_alpha / (4.0 * self.n_sub as f64);
-                (0..phis.len())
-                    .map(|i| {
-                        if self.budgets[i].is_none() {
-                            return false;
+                for i in 0..l {
+                    if self.budgets[i].is_none() {
+                        summary.bursty.push(false);
+                        continue;
+                    }
+                    if is_bursty(&summary.samples[i], &prev.samples[i], alpha) {
+                        summary.bursty.push(true);
+                        continue;
+                    }
+                    // Pooled fallback only where the single-window
+                    // comparison is underpowered (small per-φ samples),
+                    // and capped: ranking thousands of pooled values at
+                    // every boundary would erase the throughput
+                    // advantage QLOVE exists for.
+                    if summary.samples[i].len() >= 32 {
+                        summary.bursty.push(false);
+                        continue;
+                    }
+                    self.pooled_scratch.clear();
+                    for s in self.summaries.iter().rev() {
+                        self.pooled_scratch.extend_from_slice(&s.samples[i]);
+                        if self.pooled_scratch.len() >= 1024 {
+                            break;
                         }
-                        if is_bursty(&samples[i], &prev.samples[i], alpha) {
-                            return true;
-                        }
-                        // Pooled fallback only where the single-window
-                        // comparison is underpowered (small per-φ
-                        // samples), and capped: ranking thousands of
-                        // pooled values at every boundary would erase
-                        // the throughput advantage QLOVE exists for.
-                        if samples[i].len() >= 32 {
-                            return false;
-                        }
-                        let mut pooled: Vec<u64> = Vec::with_capacity(1024);
-                        for s in self.summaries.iter().rev() {
-                            pooled.extend_from_slice(&s.samples[i]);
-                            if pooled.len() >= 1024 {
-                                break;
-                            }
-                        }
-                        is_bursty(&samples[i], &pooled, alpha)
-                    })
-                    .collect()
+                    }
+                    summary.bursty.push(is_bursty(
+                        &summary.samples[i],
+                        &self.pooled_scratch,
+                        alpha,
+                    ));
+                }
             }
-            _ => vec![false; phis.len()],
-        };
+            _ => summary.bursty.extend(std::iter::repeat_n(false, l)),
+        }
 
         // Theorem-1 bounds from this sub-window's empirical density.
         let alpha = 0.05;
-        let bounds = phis
-            .iter()
-            .map(|&phi| bound_from_tree(&self.tree, phi, self.n_sub, self.config.period, alpha))
-            .collect();
+        summary.bounds.clear();
+        summary.bounds.extend(
+            phis.iter().map(|&phi| {
+                bound_from_tree(&self.tree, phi, self.n_sub, self.config.period, alpha)
+            }),
+        );
 
-        for (s, &q) in self.sums.iter_mut().zip(&quantiles) {
+        for (s, &q) in self.sums.iter_mut().zip(&summary.quantiles) {
             *s += q as u128;
         }
-        self.summaries.push_back(SubWindowSummary {
-            quantiles,
-            topk,
-            samples,
-            bursty,
-            bounds,
-        });
+        self.summaries.push_back(summary);
         if self.summaries.len() > self.n_sub {
             let old = self.summaries.pop_front().expect("len > n_sub ≥ 1");
             for (s, &q) in self.sums.iter_mut().zip(&old.quantiles) {
                 *s -= q as u128;
             }
+            // Recycle the expired summary's allocations for the next
+            // boundary.
+            self.spare_summary = Some(old);
         }
         // Tumbling reset: all raw values discarded, arena kept.
         self.tree.clear();
@@ -260,6 +372,17 @@ impl Qlove {
         let mut values = Vec::with_capacity(l);
         let mut sources = Vec::with_capacity(l);
         let mut any_burst = false;
+        // One merge-view buffer serves both few-k pipelines across every
+        // φ of this evaluation (instead of a fresh Vec per merge).
+        let mut views: Vec<&[u64]> = Vec::with_capacity(self.summaries.len());
+
+        // Bursty traffic is a property of the *stream*, not of one
+        // quantile: a burst detected at any tail quantile sweeps the
+        // reference ranks of every high quantile (§5.3's Q0.99 example),
+        // so the flag is shared across few-k-eligible φs and persists
+        // until the bursty sub-window expires. Computed once per
+        // evaluation — it does not depend on φ.
+        let bursty = self.summaries.iter().any(|s| s.bursty.iter().any(|&b| b));
 
         for (i, &phi) in self.config.phis.iter().enumerate() {
             let level2 = (self.sums[i] as f64 / self.n_sub as f64).round() as u64;
@@ -269,24 +392,14 @@ impl Qlove {
                 continue;
             };
             let fk = self.config.fewk.as_ref().expect("budget implies fewk");
-
-            // Bursty traffic is a property of the *stream*, not of one
-            // quantile: a burst detected at any tail quantile sweeps the
-            // reference ranks of every high quantile (§5.3's Q0.99
-            // example), so the flag is shared across few-k-eligible φs
-            // and persists until the bursty sub-window expires.
-            let bursty = self
-                .summaries
-                .iter()
-                .any(|s| s.bursty.iter().any(|&b| b));
             any_burst |= bursty;
 
             // `exact_need` is the φ-quantile's rank from the top under
             // the paper's ⌈φN⌉ convention (see `fewk::tail_need`) — the
             // rank both merges answer at.
             if bursty {
-                let views: Vec<&[u64]> =
-                    self.summaries.iter().map(|s| s.samples[i].as_slice()).collect();
+                views.clear();
+                views.extend(self.summaries.iter().map(|s| s.samples[i].as_slice()));
                 if let Some(v) = merge_sample_k(&views, budget.exact_need, budget.exact_need) {
                     values.push(v);
                     sources.push(AnswerSource::SampleK);
@@ -294,8 +407,8 @@ impl Qlove {
                 }
             }
             if TailBudget::statistically_inefficient(self.config.period, phi, fk.ts) {
-                let views: Vec<&[u64]> =
-                    self.summaries.iter().map(|s| s.topk[i].as_slice()).collect();
+                views.clear();
+                views.extend(self.summaries.iter().map(|s| s.topk[i].as_slice()));
                 if let Some(v) = merge_top_k(&views, budget.exact_need) {
                     values.push(v);
                     sources.push(AnswerSource::TopK);
@@ -328,6 +441,15 @@ impl Qlove {
 impl QuantilePolicy for Qlove {
     fn push(&mut self, value: u64) -> Option<Vec<u64>> {
         self.push_detailed(value).map(|a| a.values)
+    }
+
+    fn push_batch(&mut self, values: &[u64]) -> Vec<Vec<u64>> {
+        // The batched fast path (values-only projection of the detailed
+        // answers); overrides the trait's per-element fallback.
+        Qlove::push_batch(self, values)
+            .into_iter()
+            .map(|a| a.values)
+            .collect()
     }
 
     fn phis(&self) -> &[f64] {
@@ -577,11 +699,7 @@ mod tests {
 
     #[test]
     fn answers_are_monotone_in_phi_for_level2() {
-        let mut q = Qlove::new(QloveConfig::without_fewk(
-            &[0.1, 0.5, 0.9, 0.99],
-            4000,
-            500,
-        ));
+        let mut q = Qlove::new(QloveConfig::without_fewk(&[0.1, 0.5, 0.9, 0.99], 4000, 500));
         for v in normal_stream(23, 20_000) {
             if let Some(ans) = q.push(v) {
                 for w in ans.windows(2) {
@@ -589,6 +707,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn push_batch_matches_push_detailed_across_batch_sizes() {
+        let data = normal_stream(29, 30_000);
+        for cfg in [
+            QloveConfig::new(&[0.5, 0.9, 0.99, 0.999], 8_000, 1_000),
+            QloveConfig::without_fewk(&[0.5, 0.999], 8_000, 1_000),
+            QloveConfig::new(&[0.5], 4_000, 1_000).quantize(None),
+        ] {
+            let mut reference = Qlove::new(cfg.clone());
+            let want: Vec<QloveAnswer> = data
+                .iter()
+                .filter_map(|&v| reference.push_detailed(v))
+                .collect();
+            // 1 = degenerate batches; 999/1000/1001 straddle the period;
+            // 4096 spans several sub-windows.
+            for batch in [1usize, 64, 999, 1_000, 1_001, 4_096] {
+                let mut op = Qlove::new(cfg.clone());
+                let mut got = Vec::new();
+                for chunk in data.chunks(batch) {
+                    op.push_batch_into(chunk, &mut got);
+                }
+                assert_eq!(got, want, "batch size {batch}");
+                assert_eq!(op.pending(), reference.pending(), "batch size {batch}");
+                assert_eq!(op.live_subwindows(), reference.live_subwindows());
+            }
+        }
+    }
+
+    #[test]
+    fn push_batch_mid_subwindow_state_is_consistent() {
+        let mut q = Qlove::new(QloveConfig::new(&[0.5], 2_000, 500));
+        assert!(q.push_batch(&[]).is_empty());
+        assert_eq!(q.pending(), 0);
+        q.push_batch(&normal_stream(31, 750));
+        assert_eq!(q.pending(), 250);
+        assert_eq!(q.live_subwindows(), 1);
+        // Finish the window: 1250 more → 4 sub-windows → first answer.
+        let answers = q.push_batch(&normal_stream(37, 1_250));
+        assert_eq!(answers.len(), 1);
+        assert_eq!(q.pending(), 0);
     }
 
     #[test]

@@ -150,6 +150,27 @@ proptest! {
         }
     }
 
+    /// insert_batch (sort + run-length + one descent per unique key) is
+    /// observationally identical to per-element insertion.
+    #[test]
+    fn insert_batch_equals_per_element(keys in proptest::collection::vec(0u64..512, 0..300)) {
+        let mut batched: FreqTree<u64> = FreqTree::new();
+        let mut buf = keys.clone();
+        batched.insert_batch(&mut buf);
+        batched.validate().map_err(TestCaseError::fail)?;
+
+        let mut reference: FreqTree<u64> = FreqTree::new();
+        for &k in &keys {
+            reference.insert(k, 1);
+        }
+        prop_assert_eq!(batched.total(), reference.total());
+        prop_assert_eq!(batched.unique_len(), reference.unique_len());
+        prop_assert_eq!(
+            batched.iter().collect::<Vec<_>>(),
+            reference.iter().collect::<Vec<_>>()
+        );
+    }
+
     /// top_k returns the k largest elements with multiplicity, descending.
     #[test]
     fn top_k_matches_sorted_tail(

@@ -288,6 +288,33 @@ impl<K: Ord + Copy + Default> FreqTree<K> {
         }
     }
 
+    /// Bulk-insert a batch of keys: sorts the slice in place, collapses
+    /// it into `(key, run-length)` runs, and performs **one tree descent
+    /// per unique key** instead of one per element.
+    ///
+    /// This is the batched-ingestion primitive behind
+    /// `Qlove::push_batch`: quantization shrinks the key domain so far
+    /// (§3.1: three significant digits) that a 4096-element sub-window
+    /// batch typically collapses to a few hundred runs, replacing
+    /// thousands of `O(log u)` descents with a sort of a small, mostly
+    /// cache-resident buffer plus a few hundred descents.
+    ///
+    /// Equivalent to `for &k in batch { self.insert(k, 1) }` in final
+    /// tree state (a multiset is insertion-order-independent).
+    pub fn insert_batch(&mut self, batch: &mut [K]) {
+        batch.sort_unstable();
+        self.extend_counts(RunLengths::new(batch));
+    }
+
+    /// Add many `(key, frequency)` pairs — one [`FreqTree::insert`]
+    /// descent per pair. Zero frequencies are skipped; duplicate keys
+    /// accumulate.
+    pub fn extend_counts<I: IntoIterator<Item = (K, u64)>>(&mut self, runs: I) {
+        for (key, freq) in runs {
+            self.insert(key, freq);
+        }
+    }
+
     fn insert_fixup(&mut self, mut z: Idx) {
         while self.n(self.n(z).parent).red {
             let zp = self.n(z).parent;
@@ -581,8 +608,18 @@ impl<K: Ord + Copy + Default> FreqTree<K> {
     /// Algorithm 1's `ComputeResult`. `phis` need not be sorted; results
     /// are returned in the caller's order. `None` on an empty tree.
     pub fn quantiles(&self, phis: &[f64]) -> Option<Vec<K>> {
+        let mut out = Vec::with_capacity(phis.len());
+        self.quantiles_into(phis, &mut out).then_some(out)
+    }
+
+    /// [`FreqTree::quantiles`] into a caller-owned buffer (cleared
+    /// first), so sub-window boundaries can recycle one allocation per
+    /// ring slot. Returns `false` — leaving `out` empty — exactly when
+    /// [`FreqTree::quantiles`] would return `None`.
+    pub fn quantiles_into(&self, phis: &[f64], out: &mut Vec<K>) -> bool {
+        out.clear();
         if self.total == 0 || phis.is_empty() {
-            return if phis.is_empty() { Some(vec![]) } else { None };
+            return phis.is_empty();
         }
         // Sort the requested ranks but remember the original positions.
         let mut order: Vec<usize> = (0..phis.len()).collect();
@@ -592,7 +629,9 @@ impl<K: Ord + Copy + Default> FreqTree<K> {
             .map(|&i| ((phis[i] * self.total as f64).ceil() as u64).clamp(1, self.total))
             .collect();
 
-        let mut results: Vec<Option<K>> = vec![None; phis.len()];
+        // `K::Default` as a placeholder; every slot is overwritten
+        // because each rank is clamped to [1, total].
+        out.resize(phis.len(), K::default());
         let mut next = 0usize; // index into `ranks`/`order`
         let mut running = 0u64;
 
@@ -607,7 +646,7 @@ impl<K: Ord + Copy + Default> FreqTree<K> {
             let node = stack.pop().expect("loop guard ensures non-empty");
             running += self.n(node).count;
             while next < ranks.len() && running >= ranks[next] {
-                results[order[next]] = Some(self.n(node).key);
+                out[order[next]] = self.n(node).key;
                 next += 1;
                 if next == ranks.len() {
                     break 'outer;
@@ -615,7 +654,8 @@ impl<K: Ord + Copy + Default> FreqTree<K> {
             }
             cur = self.n(node).right;
         }
-        Some(results.into_iter().map(|r| r.expect("rank ≤ total")).collect())
+        debug_assert_eq!(next, ranks.len(), "every clamped rank is reachable");
+        true
     }
 
     /// Smallest key, `None` when empty.
@@ -644,8 +684,16 @@ impl<K: Ord + Copy + Default> FreqTree<K> {
     /// merging to snapshot a sub-window's tail.
     pub fn top_k(&self, k: usize) -> Vec<K> {
         let mut out = Vec::with_capacity(k);
+        self.top_k_into(k, &mut out);
+        out
+    }
+
+    /// [`FreqTree::top_k`] into a caller-owned buffer (cleared first) so
+    /// steady-state sub-window boundaries reuse one allocation.
+    pub fn top_k_into(&self, k: usize, out: &mut Vec<K>) {
+        out.clear();
         if k == 0 {
-            return out;
+            return;
         }
         let mut stack: Vec<Idx> = Vec::new();
         let mut cur = self.root;
@@ -662,11 +710,10 @@ impl<K: Ord + Copy + Default> FreqTree<K> {
                 c -= 1;
             }
             if out.len() == k {
-                return out;
+                return;
             }
             cur = self.n(node).left;
         }
-        out
     }
 
     /// Borrowed in-order iterator over `(key, frequency)` pairs.
@@ -708,10 +755,16 @@ impl<K: Ord + Copy + Default> FreqTree<K> {
         let mut unique = 0usize;
         let (total, _) = self.validate_node(self.root, None, None, &mut unique)?;
         if total != self.total {
-            return Err(format!("total mismatch: cached {} vs walked {total}", self.total));
+            return Err(format!(
+                "total mismatch: cached {} vs walked {total}",
+                self.total
+            ));
         }
         if unique != self.unique {
-            return Err(format!("unique mismatch: cached {} vs walked {unique}", self.unique));
+            return Err(format!(
+                "unique mismatch: cached {} vs walked {unique}",
+                self.unique
+            ));
         }
         Ok(())
     }
@@ -758,7 +811,10 @@ impl<K: Ord + Copy + Default> FreqTree<K> {
         }
         let sum = lsum + rsum + node.count;
         if sum != node.subtree {
-            return Err(format!("subtree sum mismatch: stored {} vs walked {sum}", node.subtree));
+            return Err(format!(
+                "subtree sum mismatch: stored {} vs walked {sum}",
+                node.subtree
+            ));
         }
         Ok((sum, lbh + usize::from(!node.red)))
     }
@@ -770,6 +826,33 @@ impl<K: Ord + Copy + Default + fmt::Debug> fmt::Debug for FreqTree<K> {
             .field("total", &self.total)
             .field("unique", &self.unique)
             .finish()
+    }
+}
+
+/// Iterator over maximal `(key, run-length)` runs of a sorted slice —
+/// the compressed form [`FreqTree::insert_batch`] feeds to
+/// [`FreqTree::extend_counts`].
+struct RunLengths<'a, K> {
+    slice: &'a [K],
+}
+
+impl<'a, K> RunLengths<'a, K> {
+    fn new(sorted: &'a [K]) -> Self {
+        Self { slice: sorted }
+    }
+}
+
+impl<K: PartialEq + Copy> Iterator for RunLengths<'_, K> {
+    type Item = (K, u64);
+
+    fn next(&mut self) -> Option<(K, u64)> {
+        let first = *self.slice.first()?;
+        let mut n = 1;
+        while n < self.slice.len() && self.slice[n] == first {
+            n += 1;
+        }
+        self.slice = &self.slice[n..];
+        Some((first, n as u64))
     }
 }
 
@@ -933,6 +1016,76 @@ mod tests {
         assert_eq!(t.top_k(3), vec![50, 50, 9]);
         assert_eq!(t.top_k(0), Vec::<u64>::new());
         assert_eq!(t.top_k(10), vec![50, 50, 9, 1]); // k > total
+    }
+
+    #[test]
+    fn insert_batch_matches_per_element() {
+        let data: Vec<u64> = (0..5000u64).map(|i| (i * 7919) % 97).collect();
+        let mut per_element = FreqTree::new();
+        for &v in &data {
+            per_element.insert(v, 1);
+        }
+        let mut batched = FreqTree::new();
+        let mut buf = data.clone();
+        batched.insert_batch(&mut buf);
+        batched.validate().unwrap();
+        assert_eq!(
+            batched.iter().collect::<Vec<_>>(),
+            per_element.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(batched.total(), per_element.total());
+    }
+
+    #[test]
+    fn insert_batch_empty_and_single() {
+        let mut t = FreqTree::new();
+        t.insert_batch(&mut []);
+        assert!(t.is_empty());
+        t.insert_batch(&mut [42u64]);
+        assert_eq!(t.count_of(42), 1);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn extend_counts_accumulates_and_skips_zero() {
+        let mut t = FreqTree::new();
+        t.extend_counts([(5u64, 2), (3, 0), (5, 1), (9, 4)]);
+        assert_eq!(t.count_of(5), 3);
+        assert_eq!(t.count_of(3), 0);
+        assert_eq!(t.count_of(9), 4);
+        assert_eq!(t.unique_len(), 2);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn top_k_into_reuses_buffer() {
+        let mut t = FreqTree::new();
+        t.insert(1u64, 1);
+        t.insert(50, 2);
+        t.insert(9, 1);
+        let mut buf = vec![99u64; 8]; // stale contents must be cleared
+        t.top_k_into(3, &mut buf);
+        assert_eq!(buf, vec![50, 50, 9]);
+        t.top_k_into(0, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn quantiles_into_matches_quantiles() {
+        let mut t = FreqTree::new();
+        for v in [5u64, 9, 9, 1, 14, 2, 2, 2, 30, 7] {
+            t.insert(v, 1);
+        }
+        let phis = [0.999, 0.5, 0.9, 0.1];
+        let mut buf = vec![77u64; 2];
+        assert!(t.quantiles_into(&phis, &mut buf));
+        assert_eq!(Some(buf.clone()), t.quantiles(&phis));
+        // Empty tree: signalled by `false`, buffer left empty.
+        let empty: FreqTree<u64> = FreqTree::new();
+        assert!(!empty.quantiles_into(&[0.5], &mut buf));
+        assert!(buf.is_empty());
+        assert!(empty.quantiles_into(&[], &mut buf));
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -109,11 +109,7 @@ impl AmPolicy {
         let ws = self.window_start();
         for (l, level) in self.levels.iter_mut().enumerate() {
             let span = 1u64 << l;
-            while level
-                .blocks
-                .front()
-                .is_some_and(|b| b.start + span <= ws)
-            {
+            while level.blocks.front().is_some_and(|b| b.start + span <= ws) {
                 level.blocks.pop_front();
             }
         }
@@ -161,10 +157,8 @@ impl QuantilePolicy for AmPolicy {
             return None;
         }
         let cover = self.cover();
-        let mut union: Vec<(u64, u64)> = cover
-            .iter()
-            .flat_map(|b| b.pairs.iter().copied())
-            .collect();
+        let mut union: Vec<(u64, u64)> =
+            cover.iter().flat_map(|b| b.pairs.iter().copied()).collect();
         let total: u64 = union.iter().map(|p| p.1).sum();
         let out = self
             .phis
@@ -202,7 +196,9 @@ mod tests {
     use qlove_stats::{quantile_rank, rank_of_value};
 
     fn stream(n: usize) -> Vec<u64> {
-        (0..n as u64).map(|i| (i * 2654435761) % 1_000_003).collect()
+        (0..n as u64)
+            .map(|i| (i * 2654435761) % 1_000_003)
+            .collect()
     }
 
     #[test]
@@ -251,11 +247,7 @@ mod tests {
 
     fn cover_span(p: &AmPolicy, target: &Block) -> u64 {
         for (l, level) in p.levels.iter().enumerate() {
-            if level
-                .blocks
-                .iter()
-                .any(|b| std::ptr::eq(b, target))
-            {
+            if level.blocks.iter().any(|b| std::ptr::eq(b, target)) {
                 return 1u64 << l;
             }
         }

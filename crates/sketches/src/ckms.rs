@@ -205,8 +205,7 @@ impl QuantilePolicy for CkmsPolicy {
     }
 
     fn space_variables(&self) -> usize {
-        self.completed.iter().map(|p| p.len() * 2).sum::<usize>()
-            + self.inflight.space_variables()
+        self.completed.iter().map(|p| p.len() * 2).sum::<usize>() + self.inflight.space_variables()
     }
 
     fn name(&self) -> &'static str {
@@ -228,7 +227,9 @@ mod tests {
     fn high_quantiles_are_sharply_resolved() {
         let eps = 0.05;
         let mut s = CkmsSketch::new(eps);
-        let mut data: Vec<u64> = (0..50_000u64).map(|i| (i * 2654435761) % 1_000_003).collect();
+        let mut data: Vec<u64> = (0..50_000u64)
+            .map(|i| (i * 2654435761) % 1_000_003)
+            .collect();
         for &v in &data {
             s.insert(v);
         }

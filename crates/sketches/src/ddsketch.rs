@@ -137,7 +137,10 @@ impl DdSketch {
                 return Some(self.bucket_value(idx));
             }
         }
-        self.buckets.keys().next_back().map(|&i| self.bucket_value(i))
+        self.buckets
+            .keys()
+            .next_back()
+            .map(|&i| self.bucket_value(i))
     }
 
     /// Stored scalars: 2 per bucket plus counters.

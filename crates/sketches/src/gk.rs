@@ -38,10 +38,7 @@ impl GkSketch {
     /// # Panics
     /// Panics unless `0 < epsilon < 1`.
     pub fn new(epsilon: f64) -> Self {
-        assert!(
-            epsilon > 0.0 && epsilon < 1.0,
-            "epsilon must lie in (0, 1)"
-        );
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0, 1)");
         Self {
             epsilon,
             tuples: Vec::new(),
@@ -131,9 +128,7 @@ impl GkSketch {
             // errors of a few 1e-4 at Q0.999, i.e. tens of ranks — far
             // tighter than the uniform εn bound, far looser than exact).
             let from_top = self.n.saturating_sub(rmin);
-            let threshold = uniform
-                .min((0.25 * from_top as f64).floor() as u64)
-                .max(1);
+            let threshold = uniform.min((0.25 * from_top as f64).floor() as u64).max(1);
             let out_len = out.len();
             let last = out.last_mut().expect("seeded with protected head");
             let mergeable = out_len > protect // keep the protected head intact
@@ -338,7 +333,7 @@ impl QuantilePolicy for GkTumblingPolicy {
 /// weighted-percentile estimate, which removes the systematic half-gap
 /// bias a pure right-edge walk would carry (each of `N/P` summaries
 /// would otherwise undercount by ~half its rank gap).
-pub(crate) fn query_weighted_union(pairs: &mut Vec<(u64, u64)>, r: u64) -> Option<u64> {
+pub(crate) fn query_weighted_union(pairs: &mut [(u64, u64)], r: u64) -> Option<u64> {
     if pairs.is_empty() {
         return None;
     }

@@ -194,8 +194,7 @@ impl QuantilePolicy for KllPolicy {
     }
 
     fn space_variables(&self) -> usize {
-        self.completed.iter().map(|p| p.len() * 2).sum::<usize>()
-            + self.inflight.space_variables()
+        self.completed.iter().map(|p| p.len() * 2).sum::<usize>() + self.inflight.space_variables()
     }
 
     fn name(&self) -> &'static str {
@@ -226,7 +225,9 @@ mod tests {
     #[test]
     fn rank_error_small_with_reasonable_k() {
         let mut s = KllSketch::new(200, 7);
-        let mut data: Vec<u64> = (0..100_000u64).map(|i| (i * 2654435761) % 1_000_003).collect();
+        let mut data: Vec<u64> = (0..100_000u64)
+            .map(|i| (i * 2654435761) % 1_000_003)
+            .collect();
         for &v in &data {
             s.insert(v);
         }

@@ -16,7 +16,7 @@
 //!   2016): per-sub-window reservoirs merged at query time, probabilistic
 //!   rank guarantees.
 //! * [`moment`] — the Moment sketch (Gan et al., VLDB 2018): power sums
-//!   + maximum-entropy inversion on a Chebyshev basis, with the
+//!   plus maximum-entropy inversion on a Chebyshev basis, with the
 //!   log-transform variant for heavy-tailed telemetry.
 //!
 //! Three **extended baselines** beyond the paper's evaluation round out
@@ -46,8 +46,8 @@ pub mod gk;
 pub mod kll;
 pub mod moment;
 pub mod random;
-pub mod tdigest;
 mod subwindows;
+pub mod tdigest;
 
 pub use am::AmPolicy;
 pub use ckms::{CkmsPolicy, CkmsSketch};

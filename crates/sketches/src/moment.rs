@@ -129,7 +129,11 @@ impl MomentSketch {
                 let target = phi.clamp(0.0, 1.0) * total;
                 let cell = cdf.partition_point(|&c| c < target).clamp(1, GRID);
                 let (c0, c1) = (cdf[cell - 1], cdf[cell]);
-                let frac = if c1 > c0 { (target - c0) / (c1 - c0) } else { 0.5 };
+                let frac = if c1 > c0 {
+                    (target - c0) / (c1 - c0)
+                } else {
+                    0.5
+                };
                 let s = -1.0 + (cell as f64 - 1.0 + frac) * ds;
                 let x = (s + 1.0) / 2.0 * span + self.min;
                 (x.exp() - 1.0).round().max(0.0) as u64
@@ -190,6 +194,7 @@ impl MomentSketch {
             }
             for j in 0..=k {
                 g[j] -= eta[j];
+                #[allow(clippy::needless_range_loop)] // mirror copy across the diagonal
                 for l in 0..j {
                     h[j][l] = h[l][j];
                 }
@@ -211,11 +216,7 @@ impl MomentSketch {
                     .map(|(l, s)| l - scale * s)
                     .collect();
                 let max_exp = (0..GRID)
-                    .map(|i| {
-                        (0..=k)
-                            .map(|j| cand[j] * t[j][i])
-                            .sum::<f64>()
-                    })
+                    .map(|i| (0..=k).map(|j| cand[j] * t[j][i]).sum::<f64>())
                     .fold(f64::NEG_INFINITY, f64::max);
                 if max_exp < 300.0 {
                     lambda = cand;
@@ -246,8 +247,7 @@ impl MomentSketch {
         for (m, sm) in s_moments.iter_mut().enumerate() {
             let mut acc = 0.0;
             for i in 0..=m {
-                acc += binom(m, i) * a.powi(i as i32) * b.powi((m - i) as i32)
-                    * (self.sums[i] / n);
+                acc += binom(m, i) * a.powi(i as i32) * b.powi((m - i) as i32) * (self.sums[i] / n);
             }
             *sm = acc;
         }
@@ -304,6 +304,7 @@ fn solve_linear(a: &mut [Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
         // Eliminate.
         for row in col + 1..n {
             let f = a[row][col] / a[col][col];
+            #[allow(clippy::needless_range_loop)] // simultaneous read of a[col] and write of a[row]
             for c in col..n {
                 a[row][c] -= f * a[col][c];
             }

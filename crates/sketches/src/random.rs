@@ -134,7 +134,9 @@ mod tests {
     use qlove_stats::{quantile_rank, rank_of_value};
 
     fn stream(n: usize) -> Vec<u64> {
-        (0..n as u64).map(|i| (i * 2654435761) % 1_000_003).collect()
+        (0..n as u64)
+            .map(|i| (i * 2654435761) % 1_000_003)
+            .collect()
     }
 
     #[test]

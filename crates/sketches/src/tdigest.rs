@@ -105,7 +105,10 @@ impl TDigest {
         let mut staged: Vec<Centroid> = self
             .buffer
             .drain(..)
-            .map(|v| Centroid { mean: v, weight: 1.0 })
+            .map(|v| Centroid {
+                mean: v,
+                weight: 1.0,
+            })
             .collect();
         staged.append(&mut self.centroids);
         staged.sort_by(|a, b| a.mean.partial_cmp(&b.mean).expect("no NaN inputs"));
@@ -173,7 +176,11 @@ impl TDigest {
                     let p = &self.centroids[i - 1];
                     (p.mean, acc - p.weight / 2.0)
                 };
-                let frac = if mid > q0 { (target - q0) / (mid - q0) } else { 1.0 };
+                let frac = if mid > q0 {
+                    (target - q0) / (mid - q0)
+                } else {
+                    1.0
+                };
                 let v = m0 + (c.mean - m0) * frac.clamp(0.0, 1.0);
                 return Some(v.round().max(0.0) as u64);
             }
@@ -288,7 +295,9 @@ mod tests {
     #[test]
     fn uniform_quantiles_accurate() {
         let mut d = TDigest::new(200.0);
-        let mut data: Vec<u64> = (0..100_000u64).map(|i| (i * 2654435761) % 1_000_003).collect();
+        let mut data: Vec<u64> = (0..100_000u64)
+            .map(|i| (i * 2654435761) % 1_000_003)
+            .collect();
         for &v in &data {
             d.insert(v);
         }

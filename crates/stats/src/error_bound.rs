@@ -51,13 +51,13 @@ pub fn clt_error_bound(
     density_at_quantile: f64,
     alpha: f64,
 ) -> Option<CltBound> {
-    if !(0.0 < phi && phi < 1.0) || !(0.0 < alpha && alpha < 1.0) {
+    if phi.is_nan() || alpha.is_nan() || phi <= 0.0 || phi >= 1.0 || alpha <= 0.0 || alpha >= 1.0 {
         return None;
     }
     if n_subwindows == 0 || m_per_subwindow == 0 {
         return None;
     }
-    if !(density_at_quantile > 0.0) || !density_at_quantile.is_finite() {
+    if !density_at_quantile.is_finite() || density_at_quantile <= 0.0 {
         return None;
     }
     // Upper α/2 quantile: Φ⁻¹(1 − α/2).

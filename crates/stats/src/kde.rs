@@ -34,7 +34,7 @@ impl Kde {
         let q3 = describe::quantile_sorted(&sorted, 0.75);
         let iqr = q3 - q1;
         let spread = if iqr > 0.0 { sd.min(iqr / 1.34) } else { sd };
-        if !(spread > 0.0) {
+        if spread.is_nan() || spread <= 0.0 {
             return None;
         }
         let n = sample.len() as f64;
@@ -47,7 +47,7 @@ impl Kde {
 
     /// Build with an explicit bandwidth (must be positive and finite).
     pub fn with_bandwidth(sample: &[f64], bandwidth: f64) -> Option<Self> {
-        if sample.is_empty() || !(bandwidth > 0.0) || !bandwidth.is_finite() {
+        if sample.is_empty() || !bandwidth.is_finite() || bandwidth <= 0.0 {
             return None;
         }
         let mut sorted = sample.to_vec();

@@ -50,8 +50,7 @@ pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
     if x == 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     // Use the symmetry that converges fastest.
     if x < (a + 1.0) / (a + b + 2.0) {
@@ -62,9 +61,7 @@ pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
 }
 
 fn ln_gamma_symmetric(a: f64, b: f64, x: f64) -> f64 {
-    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b)
-        + b * (1.0 - x).ln()
-        + a * x.ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + b * (1.0 - x).ln() + a * x.ln();
     ln_front.exp() * beta_cf(b, a, 1.0 - x) / b
 }
 
@@ -166,14 +163,17 @@ pub fn welch_t(a: &[f64], b: &[f64], alternative: Alternative) -> Option<WelchRe
     if se2 <= 0.0 {
         // Degenerate: identical constants on both sides, or exact tie.
         return Some(WelchResult {
-            t: if ma == mb { 0.0 } else { f64::INFINITY * (ma - mb).signum() },
+            t: if ma == mb {
+                0.0
+            } else {
+                f64::INFINITY * (ma - mb).signum()
+            },
             df: na + nb - 2.0,
             p_value: if ma > mb { 0.0 } else { 1.0 },
         });
     }
     let t = (ma - mb) / se2.sqrt();
-    let df = se2 * se2
-        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let df = se2 * se2 / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
     let p_greater = 1.0 - t_cdf(t, df);
     let p_value = match alternative {
         Alternative::Greater => p_greater,

@@ -32,6 +32,20 @@ pub trait IncrementalAggregate {
     /// `Accumulate: (S, E) => S` — fold one arriving event into the state.
     fn accumulate(&self, state: &mut Self::State, input: &Self::Input);
 
+    /// Fold a whole batch of arriving events into the state.
+    ///
+    /// The default loops [`IncrementalAggregate::accumulate`]; operators
+    /// with a cheaper bulk path override it (e.g. the exact quantile
+    /// operator sorts the batch and inserts run-lengths, one tree
+    /// descent per unique value). Overrides must leave the state exactly
+    /// as the per-element loop would — the window executors rely on
+    /// this when they split batches at evaluation boundaries.
+    fn accumulate_batch(&self, state: &mut Self::State, inputs: &[Self::Input]) {
+        for input in inputs {
+            self.accumulate(state, input);
+        }
+    }
+
     /// `Deaccumulate: (S, E) => S` — remove one expiring event.
     fn deaccumulate(&self, state: &mut Self::State, input: &Self::Input) {
         let _ = (state, input);

@@ -31,9 +31,7 @@ impl<V> Event<V> {
 
 /// Wrap an iterator of plain values into events with sequential
 /// timestamps starting at 0 — the shape every harness source uses.
-pub fn sequence<V, I: IntoIterator<Item = V>>(
-    values: I,
-) -> impl Iterator<Item = Event<V>> {
+pub fn sequence<V, I: IntoIterator<Item = V>>(values: I) -> impl Iterator<Item = Event<V>> {
     values
         .into_iter()
         .enumerate()

@@ -153,7 +153,9 @@ impl ExactQuantileOp {
             phis.iter().all(|p| (0.0..=1.0).contains(p)),
             "quantile fractions must lie in [0, 1]"
         );
-        Self { phis: phis.to_vec() }
+        Self {
+            phis: phis.to_vec(),
+        }
     }
 
     /// The configured quantile fractions.
@@ -172,6 +174,12 @@ impl IncrementalAggregate for ExactQuantileOp {
     }
     fn accumulate(&self, state: &mut FreqTree<u64>, input: &u64) {
         state.insert(*input, 1);
+    }
+    fn accumulate_batch(&self, state: &mut FreqTree<u64>, inputs: &[u64]) {
+        // Sort + run-length: one tree descent per unique value. The
+        // state is a multiset, so this matches per-element insertion.
+        let mut buf = inputs.to_vec();
+        state.insert_batch(&mut buf);
     }
     fn deaccumulate(&self, state: &mut FreqTree<u64>, input: &u64) {
         state

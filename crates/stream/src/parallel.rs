@@ -16,8 +16,11 @@ use std::sync::Arc;
 use std::thread;
 
 /// Batch size used on the channel: amortizes per-message synchronization,
-/// keeping the channel out of the measured operator cost.
-const BATCH: usize = 4096;
+/// keeping the channel out of the measured operator cost. The consumer
+/// feeds each batch straight into the executor's batched ingestion path
+/// ([`SlidingWindow::push_batch`]), so the batching survives end to end
+/// instead of being undone element by element at the consumer.
+pub const BATCH: usize = 4096;
 
 /// Run `op` over `values` on a dedicated consumer thread while the
 /// producer thread generates input, returning all emitted window results.
@@ -39,9 +42,12 @@ where
             for v in values {
                 batch.push(v);
                 if batch.len() == BATCH
-                    && tx.send(std::mem::replace(&mut batch, Vec::with_capacity(BATCH))).is_err() {
-                        return;
-                    }
+                    && tx
+                        .send(std::mem::replace(&mut batch, Vec::with_capacity(BATCH)))
+                        .is_err()
+                {
+                    return;
+                }
             }
             if !batch.is_empty() {
                 let _ = tx.send(batch);
@@ -50,11 +56,7 @@ where
         let mut window = SlidingWindow::new(op, spec);
         let mut out = Vec::new();
         for batch in rx.iter() {
-            for v in batch {
-                if let Some(r) = window.push(v) {
-                    out.push(r);
-                }
-            }
+            window.push_batch(&batch, &mut out);
         }
         out
     })
@@ -80,8 +82,7 @@ where
     F: Fn() -> A + Sync,
 {
     assert!(shards > 0, "need at least one shard");
-    let results: Vec<Mutex<Vec<A::Output>>> =
-        (0..shards).map(|_| Mutex::new(Vec::new())).collect();
+    let results: Vec<Mutex<Vec<A::Output>>> = (0..shards).map(|_| Mutex::new(Vec::new())).collect();
     let results = Arc::new(results);
     thread::scope(|scope| {
         for shard in 0..shards {
@@ -90,10 +91,18 @@ where
             scope.spawn(move || {
                 let mut window = SlidingWindow::new(make_op(), spec);
                 let mut local = Vec::new();
+                // Re-batch the strided slice so each worker also rides
+                // the batched ingestion path.
+                let mut batch: Vec<A::Input> = Vec::with_capacity(BATCH);
                 for v in values.iter().skip(shard).step_by(shards) {
-                    if let Some(r) = window.push(v.clone()) {
-                        local.push(r);
+                    batch.push(v.clone());
+                    if batch.len() == BATCH {
+                        window.push_batch(&batch, &mut local);
+                        batch.clear();
                     }
+                }
+                if !batch.is_empty() {
+                    window.push_batch(&batch, &mut local);
                 }
                 *results[shard].lock() = local;
             });
@@ -120,6 +129,45 @@ mod tests {
         let seq: Vec<_> = data.iter().filter_map(|&v| seq_window.push(v)).collect();
         assert_eq!(par, seq);
         assert_eq!(par.len(), 9);
+    }
+
+    #[test]
+    fn pipelined_batch_consumption_matches_sequential_per_element() {
+        // The consumer feeds whole channel batches through push_batch;
+        // results must equal the sequential per-element executor even
+        // when the stream length is not a multiple of the channel batch
+        // (forcing a short trailing batch) and the window boundary falls
+        // mid-batch.
+        let n = BATCH * 3 + 1234;
+        let data: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % 9973).collect();
+        let spec = WindowSpec::sliding(5000, 1250);
+        let par = run_pipelined(ExactQuantileOp::new(&[0.5, 0.999]), spec, data.clone());
+        let mut seq = SlidingWindow::new(ExactQuantileOp::new(&[0.5, 0.999]), spec);
+        let want: Vec<_> = data.iter().filter_map(|&v| seq.push(v)).collect();
+        assert_eq!(par, want);
+        assert!(!par.is_empty());
+    }
+
+    #[test]
+    fn sharded_batching_matches_unbatched_stride() {
+        // Each worker re-batches its strided slice; results must equal a
+        // plain per-element walk of the same stride.
+        let data: Vec<u64> = (0..3 * BATCH as u64 + 777)
+            .map(|i| (i * 31) % 1009)
+            .collect();
+        let spec = WindowSpec::sliding(1000, 250);
+        let shards = 3;
+        let out = run_sharded(|| ExactQuantileOp::new(&[0.5]), spec, &data, shards);
+        for (shard, results) in out.iter().enumerate() {
+            let mut w = SlidingWindow::new(ExactQuantileOp::new(&[0.5]), spec);
+            let want: Vec<_> = data
+                .iter()
+                .skip(shard)
+                .step_by(shards)
+                .filter_map(|&v| w.push(v))
+                .collect();
+            assert_eq!(results, &want, "shard {shard}");
+        }
     }
 
     #[test]

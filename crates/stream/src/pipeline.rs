@@ -24,6 +24,24 @@
 //!     .collect();
 //! assert!(!results.is_empty());
 //! ```
+//!
+//! # Batched execution
+//!
+//! The pipeline's window stages are backed by the same executors as
+//! everything else ([`SlidingWindow`], [`TumblingWindow`]), which also
+//! expose a batched ingestion path (`push_batch`). Its contract: a
+//! batch is **split at every evaluation boundary**, each span between
+//! boundaries is folded with
+//! [`crate::aggregate::IncrementalAggregate::accumulate_batch`], and
+//! the emitted results equal the per-element path answer-for-answer —
+//! provided the operator's accumulate/deaccumulate are
+//! order-insensitive between boundaries (true of every multiset- or
+//! sum-like operator here). The pipelined executor
+//! ([`crate::parallel::run_pipelined`]) ships 4096-element batches over
+//! its channel and feeds them straight into that path, so batching
+//! survives end to end instead of being undone at the consumer; the
+//! sharded executor ([`crate::parallel::run_sharded`]) re-batches each
+//! worker's stride the same way.
 
 use crate::aggregate::IncrementalAggregate;
 use crate::event::Event;
@@ -53,10 +71,7 @@ impl<V, I: Iterator<Item = Event<V>>> Pipeline<I> {
     }
 
     /// `Select`: transform payloads.
-    pub fn map<U, F: FnMut(V) -> U>(
-        self,
-        mut f: F,
-    ) -> Pipeline<impl Iterator<Item = Event<U>>> {
+    pub fn map<U, F: FnMut(V) -> U>(self, mut f: F) -> Pipeline<impl Iterator<Item = Event<U>>> {
         Pipeline {
             source: self.source.map(move |e| e.map(&mut f)),
         }

@@ -14,6 +14,20 @@ pub trait QuantilePolicy {
     /// element lands on an evaluation boundary with a full window.
     fn push(&mut self, value: u64) -> Option<Vec<u64>>;
 
+    /// Feed a batch of elements in stream order, returning every answer
+    /// emitted inside the batch, in emission order (possibly none,
+    /// possibly several when the batch spans multiple periods).
+    ///
+    /// The default delegates to [`QuantilePolicy::push`] element by
+    /// element, so every policy supports batching out of the box.
+    /// Implementations may override it with a faster ingestion path
+    /// (QLOVE does — see `qlove_core::Qlove::push_batch`); overrides
+    /// must emit exactly the answers the per-element loop would, in the
+    /// same order, bit for bit.
+    fn push_batch(&mut self, values: &[u64]) -> Vec<Vec<u64>> {
+        values.iter().filter_map(|&v| self.push(v)).collect()
+    }
+
     /// The quantile fractions this policy answers.
     fn phis(&self) -> &[f64];
 
@@ -37,7 +51,9 @@ mod tests {
     impl QuantilePolicy for Dummy {
         fn push(&mut self, value: u64) -> Option<Vec<u64>> {
             self.seen += 1;
-            self.seen.is_multiple_of(4).then(|| vec![value; self.phis.len()])
+            self.seen
+                .is_multiple_of(4)
+                .then(|| vec![value; self.phis.len()])
         }
         fn phis(&self) -> &[f64] {
             &self.phis
@@ -48,6 +64,26 @@ mod tests {
         fn name(&self) -> &'static str {
             "dummy"
         }
+    }
+
+    #[test]
+    fn default_push_batch_equals_per_element_loop() {
+        let mut batched = Dummy {
+            phis: vec![0.5],
+            seen: 0,
+        };
+        let mut reference = Dummy {
+            phis: vec![0.5],
+            seen: 0,
+        };
+        let data: Vec<u64> = (0..37).collect();
+        let mut got = Vec::new();
+        for chunk in data.chunks(5) {
+            got.extend(batched.push_batch(chunk));
+        }
+        let want: Vec<Vec<u64>> = data.iter().filter_map(|&v| reference.push(v)).collect();
+        assert_eq!(got, want);
+        assert_eq!(batched.seen, reference.seen);
     }
 
     #[test]

@@ -146,11 +146,7 @@ where
     }
 
     fn expire_older_than(&mut self, cutoff: u64) {
-        while self
-            .live
-            .front()
-            .is_some_and(|e| e.timestamp <= cutoff)
-        {
+        while self.live.front().is_some_and(|e| e.timestamp <= cutoff) {
             let e = self.live.pop_front().expect("front checked");
             self.op.deaccumulate(&mut self.state, &e.value);
         }

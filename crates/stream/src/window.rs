@@ -88,6 +88,29 @@ impl<A: IncrementalAggregate> TumblingWindow<A> {
         }
     }
 
+    /// Feed a batch of events in stream order, appending one result per
+    /// window the batch closes.
+    ///
+    /// Batches are split at window boundaries and each full span is
+    /// folded with [`IncrementalAggregate::accumulate_batch`], so
+    /// results are identical to calling [`TumblingWindow::push`] per
+    /// element (given a law-abiding `accumulate_batch`).
+    pub fn push_batch(&mut self, inputs: &[A::Input], out: &mut Vec<A::Output>) {
+        let mut rest = inputs;
+        while !rest.is_empty() {
+            let room = self.size - self.filled;
+            let (chunk, tail) = rest.split_at(room.min(rest.len()));
+            rest = tail;
+            self.op.accumulate_batch(&mut self.state, chunk);
+            self.filled += chunk.len();
+            if self.filled == self.size {
+                out.push(self.op.compute_result(&self.state));
+                self.state = self.op.initial_state();
+                self.filled = 0;
+            }
+        }
+    }
+
     /// Events accumulated into the currently open window.
     pub fn pending(&self) -> usize {
         self.filled
@@ -172,6 +195,62 @@ where
             Some(self.op.compute_result(&self.state))
         } else {
             None
+        }
+    }
+
+    /// Feed a batch of events in stream order, appending one result per
+    /// evaluation boundary the batch crosses.
+    ///
+    /// The batch is split at evaluation boundaries; between boundaries
+    /// the arriving span is folded with
+    /// [`IncrementalAggregate::accumulate_batch`] and the expiring span
+    /// deaccumulated, so the state observed at each boundary equals the
+    /// per-element path's. This requires the operator's
+    /// accumulate/deaccumulate to be order-insensitive between
+    /// boundaries (true of every multiset/sum-like operator in this
+    /// workspace); order-sensitive operators must stick to
+    /// [`SlidingWindow::push`].
+    pub fn push_batch(&mut self, inputs: &[A::Input], out: &mut Vec<A::Output>) {
+        if self.spec.is_tumbling() {
+            // Cheap tumbling path: no retention, no deaccumulation.
+            let mut rest = inputs;
+            while !rest.is_empty() {
+                let room = self.spec.period - self.since_eval;
+                let (chunk, tail) = rest.split_at(room.min(rest.len()));
+                rest = tail;
+                self.op.accumulate_batch(&mut self.state, chunk);
+                self.since_eval += chunk.len();
+                if self.since_eval == self.spec.period {
+                    out.push(self.op.compute_result(&self.state));
+                    self.state = self.op.initial_state();
+                    self.since_eval = 0;
+                }
+            }
+            return;
+        }
+        let mut rest = inputs;
+        while !rest.is_empty() {
+            // Elements until the next possible evaluation: the window
+            // first filling to `size` (at which point `since_eval ≥
+            // period` necessarily holds), then every `period`.
+            let until_eval = if self.live.len() < self.spec.size {
+                self.spec.size - self.live.len()
+            } else {
+                self.spec.period - self.since_eval
+            };
+            let (chunk, tail) = rest.split_at(until_eval.min(rest.len()));
+            rest = tail;
+            self.op.accumulate_batch(&mut self.state, chunk);
+            self.since_eval += chunk.len();
+            self.live.extend(chunk.iter().cloned());
+            while self.live.len() > self.spec.size {
+                let expired = self.live.pop_front().expect("len > size ≥ 1");
+                self.op.deaccumulate(&mut self.state, &expired);
+            }
+            if self.live.len() == self.spec.size && self.since_eval >= self.spec.period {
+                self.since_eval = 0;
+                out.push(self.op.compute_result(&self.state));
+            }
         }
     }
 
@@ -308,6 +387,66 @@ mod tests {
         for i in 0..16 {
             assert_eq!(s.push(i as f64), t.push(i as f64));
         }
+    }
+
+    #[test]
+    fn tumbling_push_batch_matches_push() {
+        let data: Vec<f64> = (0..103).map(f64::from).collect();
+        for split in [1usize, 3, 4, 7, 50, 200] {
+            let mut batched = TumblingWindow::new(MeanOp, 4);
+            let mut out = Vec::new();
+            for chunk in data.chunks(split) {
+                batched.push_batch(chunk, &mut out);
+            }
+            let mut reference = TumblingWindow::new(MeanOp, 4);
+            let want: Vec<_> = data.iter().filter_map(|&v| reference.push(v)).collect();
+            assert_eq!(out, want, "split {split}");
+            assert_eq!(batched.pending(), reference.pending());
+        }
+    }
+
+    #[test]
+    fn sliding_push_batch_matches_push_all_splits() {
+        let data: Vec<u64> = (0..500u64).map(|i| (i * 37) % 101).collect();
+        let spec = WindowSpec::sliding(50, 10);
+        for split in [1usize, 7, 10, 49, 50, 64, 500] {
+            let op = ExactQuantileOp::new(&[0.5, 0.9]);
+            let mut batched = SlidingWindow::new(op, spec);
+            let mut out = Vec::new();
+            for chunk in data.chunks(split) {
+                batched.push_batch(chunk, &mut out);
+            }
+            let mut reference = SlidingWindow::new(ExactQuantileOp::new(&[0.5, 0.9]), spec);
+            let want: Vec<_> = data.iter().filter_map(|&v| reference.push(v)).collect();
+            assert_eq!(out, want, "split {split}");
+            assert_eq!(batched.len(), reference.len());
+        }
+    }
+
+    #[test]
+    fn push_and_push_batch_interleave() {
+        // Mixing entry points mid-window must preserve the schedule.
+        let spec = WindowSpec::sliding(20, 5);
+        let mut mixed = SlidingWindow::new(ExactQuantileOp::new(&[1.0]), spec);
+        let mut reference = SlidingWindow::new(ExactQuantileOp::new(&[1.0]), spec);
+        let data: Vec<u64> = (0..200u64).map(|i| (i * 13) % 47).collect();
+        let mut got = Vec::new();
+        let mut iter = data.chunks(7);
+        let mut flip = false;
+        for chunk in iter.by_ref() {
+            if flip {
+                mixed.push_batch(chunk, &mut got);
+            } else {
+                for &v in chunk {
+                    if let Some(r) = mixed.push(v) {
+                        got.push(r);
+                    }
+                }
+            }
+            flip = !flip;
+        }
+        let want: Vec<_> = data.iter().filter_map(|&v| reference.push(v)).collect();
+        assert_eq!(got, want);
     }
 
     struct NoDeacc;

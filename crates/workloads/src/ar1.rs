@@ -131,9 +131,6 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        assert_eq!(
-            Ar1Gen::generate(5, 0.4, 100),
-            Ar1Gen::generate(5, 0.4, 100)
-        );
+        assert_eq!(Ar1Gen::generate(5, 0.4, 100), Ar1Gen::generate(5, 0.4, 100));
     }
 }

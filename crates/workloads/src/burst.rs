@@ -46,7 +46,7 @@ pub fn inject_burst(data: &mut [u64], window: usize, period: usize, phi: f64, fa
         scratch.clear();
         scratch.extend(chunk.iter().copied().zip(0..));
         // Top `boost_count` positions by value.
-        scratch.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        scratch.sort_unstable_by_key(|p| std::cmp::Reverse(p.0));
         for &(_, pos) in scratch.iter().take(boost_count) {
             chunk[pos] = chunk[pos].saturating_mul(factor);
         }

@@ -4,9 +4,8 @@
 //! snapshot on disk lets (a) a run be replayed bit-identically across
 //! machines/versions and (b) externally captured telemetry be fed to the
 //! same harness. The format is deliberately trivial: a magic header, a
-//! UTF-8 name, and little-endian `u64` values, assembled with `bytes`.
+//! UTF-8 name, and little-endian `u64` values.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fs;
 use std::io;
 use std::path::Path;
@@ -34,49 +33,57 @@ impl Dataset {
     }
 
     /// Serialize into the QLVD byte format.
-    pub fn to_bytes(&self) -> Bytes {
-        let mut buf =
-            BytesMut::with_capacity(4 + 4 + 4 + self.name.len() + 8 + self.values.len() * 8);
-        buf.put_slice(MAGIC);
-        buf.put_u32_le(VERSION);
-        buf.put_u32_le(self.name.len() as u32);
-        buf.put_slice(self.name.as_bytes());
-        buf.put_u64_le(self.values.len() as u64);
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(4 + 4 + 4 + self.name.len() + 8 + self.values.len() * 8);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&(self.name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(self.name.as_bytes());
+        buf.extend_from_slice(&(self.values.len() as u64).to_le_bytes());
         for &v in &self.values {
-            buf.put_u64_le(v);
+            buf.extend_from_slice(&v.to_le_bytes());
         }
-        buf.freeze()
+        buf
     }
 
     /// Parse the QLVD byte format.
     pub fn from_bytes(mut data: &[u8]) -> io::Result<Self> {
         let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
-        if data.remaining() < 12 {
-            return Err(bad("truncated header"));
+        fn take<'a>(data: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+            if data.len() < n {
+                return None;
+            }
+            let (head, rest) = data.split_at(n);
+            *data = rest;
+            Some(head)
         }
-        let mut magic = [0u8; 4];
-        data.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
+        fn take_u32(data: &mut &[u8]) -> Option<u32> {
+            take(data, 4).map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        }
+        fn take_u64(data: &mut &[u8]) -> Option<u64> {
+            take(data, 8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        }
+
+        let magic = take(&mut data, 4).ok_or_else(|| bad("truncated header"))?;
+        if magic != MAGIC {
             return Err(bad("not a QLVD dataset file"));
         }
-        let version = data.get_u32_le();
+        let version = take_u32(&mut data).ok_or_else(|| bad("truncated header"))?;
         if version != VERSION {
             return Err(bad("unsupported QLVD version"));
         }
-        let name_len = data.get_u32_le() as usize;
-        if data.remaining() < name_len + 8 {
-            return Err(bad("truncated name"));
-        }
-        let name = String::from_utf8(data.copy_to_bytes(name_len).to_vec())
-            .map_err(|_| bad("dataset name is not UTF-8"))?;
-        let count = data.get_u64_le() as usize;
-        if data.remaining() != count * 8 {
+        let name_len = take_u32(&mut data).ok_or_else(|| bad("truncated header"))? as usize;
+        let name_bytes = take(&mut data, name_len).ok_or_else(|| bad("truncated name"))?;
+        let name =
+            String::from_utf8(name_bytes.to_vec()).map_err(|_| bad("dataset name is not UTF-8"))?;
+        let count = take_u64(&mut data).ok_or_else(|| bad("truncated value count"))? as usize;
+        if data.len() != count * 8 {
             return Err(bad("value payload length mismatch"));
         }
-        let mut values = Vec::with_capacity(count);
-        for _ in 0..count {
-            values.push(data.get_u64_le());
-        }
+        let values = data
+            .chunks_exact(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+            .collect();
         Ok(Self { name, values })
     }
 

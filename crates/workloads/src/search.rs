@@ -90,11 +90,8 @@ mod tests {
     #[test]
     fn sla_hits_are_a_visible_minority() {
         let s = sorted_sample(300_000);
-        let capped = s
-            .iter()
-            .filter(|&&v| v >= SLA_US - SLA_JITTER)
-            .count() as f64
-            / s.len() as f64;
+        let capped =
+            s.iter().filter(|&&v| v >= SLA_US - SLA_JITTER).count() as f64 / s.len() as f64;
         assert!(capped > 0.001, "cap mass too small: {capped}");
         assert!(capped < 0.2, "cap mass too large: {capped}");
     }

@@ -105,7 +105,10 @@ impl ParetoGen {
 
     /// Custom scale/shape.
     pub fn new(seed: u64, xm: f64, alpha: f64) -> Self {
-        assert!(xm > 0.0 && alpha > 0.0, "Pareto parameters must be positive");
+        assert!(
+            xm > 0.0 && alpha > 0.0,
+            "Pareto parameters must be positive"
+        );
         Self {
             rng: SmallRng::seed_from_u64(seed),
             xm,

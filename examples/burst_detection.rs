@@ -21,8 +21,14 @@ fn main() {
     let mut q = Qlove::new(QloveConfig::new(&[phi], window, period).fewk(Some(fewk)));
 
     println!("burst detection — window {window}, period {period}, Q{phi}");
-    println!("bursts: top N(1−φ) of every {}th sub-window ×10\n", window / period);
-    println!("{:>6}  {:>10}  {:>9}  pipeline", "eval", "Q0.999", "bursty?");
+    println!(
+        "bursts: top N(1−φ) of every {}th sub-window ×10\n",
+        window / period
+    );
+    println!(
+        "{:>6}  {:>10}  {:>9}  pipeline",
+        "eval", "Q0.999", "bursty?"
+    );
 
     let mut eval = 0;
     let mut source_counts = [0u32; 3];

@@ -23,7 +23,10 @@ fn main() {
     let mut monitor = Qlove::new(config);
 
     println!("QLOVE quickstart — window {window}, period {period}");
-    println!("{:>10}  {:>8}  {:>8}  {:>8}  {:>8}  space", "event#", "Q0.5", "Q0.9", "Q0.99", "Q0.999");
+    println!(
+        "{:>10}  {:>8}  {:>8}  {:>8}  {:>8}  space",
+        "event#", "Q0.5", "Q0.9", "Q0.99", "Q0.999"
+    );
 
     for (i, latency_us) in NetMonGen::new(7).take(400_000).enumerate() {
         if let Some(q) = monitor.push(latency_us) {

@@ -23,7 +23,10 @@ fn main() {
     let mut window = TimeSlidingWindow::new(ExactQuantileOp::new(&[0.5, 0.99]), spec);
 
     println!("time windows — size 10 min, period 1 min (event time)\n");
-    println!("{:>8}  {:>9}  {:>8}  {:>8}", "minute", "events", "Q0.5", "Q0.99");
+    println!(
+        "{:>8}  {:>9}  {:>8}  {:>8}",
+        "minute", "events", "Q0.5", "Q0.99"
+    );
 
     let mut clock: u64 = 0;
     let values = NetMonGen::generate(2025, 400_000);

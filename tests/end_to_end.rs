@@ -47,8 +47,8 @@ fn qlove_meets_the_five_percent_target_on_netmon() {
     use qlove::core::FewKConfig;
     let (window, period) = (16_000, 2_000);
     let data = NetMonGen::generate(42, 200_000);
-    let cfg = QloveConfig::new(&PHIS, window, period)
-        .fewk(Some(FewKConfig::with_fractions(0.5, 0.5)));
+    let cfg =
+        QloveConfig::new(&PHIS, window, period).fewk(Some(FewKConfig::with_fractions(0.5, 0.5)));
     let mut q = Qlove::new(cfg);
     let (errs, evals) = avg_errors(&mut q, &data, window);
     assert!(evals > 50);

@@ -46,8 +46,8 @@ fn qlove_beats_rank_bounded_baselines_at_the_tail() {
     // (The automatic E4 budget sizes the pool to exactly the tail
     // requirement — 17 elements here — which is fragile under Poisson
     // clustering at toy scales; see QloveConfig docs.)
-    let cfg = QloveConfig::new(&phis, window, period)
-        .fewk(Some(FewKConfig::with_fractions(0.5, 0.0)));
+    let cfg =
+        QloveConfig::new(&phis, window, period).fewk(Some(FewKConfig::with_fractions(0.5, 0.0)));
     let mut qlove = Qlove::new(cfg);
     let q_err = avg_error(&mut qlove, &data, window, 1);
 
@@ -94,8 +94,8 @@ fn topk_merging_repairs_small_period_tails() {
     let mut without = Qlove::new(QloveConfig::without_fewk(&[phi], window, period));
     let before = avg_error(&mut without, &data, window, 0);
 
-    let cfg = QloveConfig::new(&[phi], window, period)
-        .fewk(Some(FewKConfig::with_fractions(0.5, 0.0)));
+    let cfg =
+        QloveConfig::new(&[phi], window, period).fewk(Some(FewKConfig::with_fractions(0.5, 0.0)));
     let mut with = Qlove::new(cfg);
     let after = avg_error(&mut with, &data, window, 0);
 
@@ -115,8 +115,8 @@ fn samplek_merging_repairs_bursts() {
     let mut without = Qlove::new(QloveConfig::without_fewk(&[phi], window, period));
     let before = avg_error(&mut without, &data, window, 0);
 
-    let cfg = QloveConfig::new(&[phi], window, period)
-        .fewk(Some(FewKConfig::with_fractions(0.0, 0.5)));
+    let cfg =
+        QloveConfig::new(&[phi], window, period).fewk(Some(FewKConfig::with_fractions(0.0, 0.5)));
     let mut with = Qlove::new(cfg);
     let after = avg_error(&mut with, &data, window, 0);
 
@@ -148,7 +148,9 @@ fn qlove_outruns_exact_on_sliding_windows() {
         }
         start.elapsed().as_secs_f64()
     };
-    let t_qlove = time(Box::new(Qlove::new(QloveConfig::new(&phis, window, period))));
+    let t_qlove = time(Box::new(Qlove::new(QloveConfig::new(
+        &phis, window, period,
+    ))));
     let t_exact = time(Box::new(ExactPolicy::new(&phis, window, period)));
     assert!(
         t_qlove < t_exact,
@@ -167,8 +169,8 @@ fn pareto_skew_widens_the_gap() {
     // Half-budget top-k (Table 3's configuration): the α = 1 Pareto tail
     // is so heavy that sampling-based repair is noise, which is the
     // paper's own observation about Q0.999 needing higher rates.
-    let cfg = QloveConfig::new(&phis, window, period)
-        .fewk(Some(FewKConfig::with_fractions(0.5, 0.0)));
+    let cfg =
+        QloveConfig::new(&phis, window, period).fewk(Some(FewKConfig::with_fractions(0.5, 0.0)));
     let mut qlove = Qlove::new(cfg);
     let q = avg_error(&mut qlove, &data, window, 0);
     let mut random = RandomPolicy::with_reservoir(&phis, window, period, 150, 3);

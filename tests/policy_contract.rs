@@ -49,10 +49,7 @@ fn every_policy_emits_on_the_same_schedule() {
 #[test]
 fn answers_stay_within_the_window_value_range() {
     let data = data();
-    let (global_min, global_max) = (
-        *data.iter().min().unwrap(),
-        *data.iter().max().unwrap(),
-    );
+    let (global_min, global_max) = (*data.iter().min().unwrap(), *data.iter().max().unwrap());
     for mut p in all_policies() {
         let name = p.name();
         for &v in &data {

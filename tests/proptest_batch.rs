@@ -1,0 +1,153 @@
+//! Property tests for the batched ingestion fast path: `push_batch`
+//! must be **bit-identical** to per-element `push`, for every policy
+//! surface it is threaded through — the QLOVE operator (detailed
+//! answers: values, provenance, bounds, burst flags), the
+//! `QuantilePolicy` trait (values), and the window executors.
+
+use proptest::prelude::*;
+use qlove::core::{Qlove, QloveAnswer, QloveConfig};
+use qlove::stream::ops::ExactQuantileOp;
+use qlove::stream::{QuantilePolicy, SlidingWindow, WindowSpec};
+
+/// Telemetry-shaped values: a dense body plus an occasional heavy tail.
+fn telemetry_stream() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            8 => 100u64..2_000,
+            1 => 2_000u64..100_000,
+        ],
+        2_000..6_000,
+    )
+}
+
+/// Arbitrary batch lengths, deliberately straddling the period (500 in
+/// the configs below): single elements, sub-period slices, exact
+/// periods, and multi-period batches all occur.
+fn batch_lengths() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(
+        prop_oneof![
+            2 => 1usize..16,
+            3 => 16usize..499,
+            2 => Just(500usize),
+            2 => 501usize..2_000,
+        ],
+        1..12,
+    )
+}
+
+/// Feed `data` through a fresh operator per-element, collecting the
+/// detailed answers.
+fn run_per_element(cfg: &QloveConfig, data: &[u64]) -> Vec<QloveAnswer> {
+    let mut op = Qlove::new(cfg.clone());
+    data.iter().filter_map(|&v| op.push_detailed(v)).collect()
+}
+
+/// Feed `data` through a fresh operator in batches whose lengths cycle
+/// through `lens`, collecting the detailed answers.
+fn run_batched(cfg: &QloveConfig, data: &[u64], lens: &[usize]) -> Vec<QloveAnswer> {
+    let mut op = Qlove::new(cfg.clone());
+    let mut out = Vec::new();
+    let mut rest = data;
+    let mut i = 0;
+    while !rest.is_empty() {
+        let take = lens[i % lens.len()].min(rest.len());
+        let (chunk, tail) = rest.split_at(take);
+        rest = tail;
+        op.push_batch_into(chunk, &mut out);
+        i += 1;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Full detailed-answer equality with few-k + quantization on (the
+    /// paper-default configuration).
+    #[test]
+    fn push_batch_equals_push_default_config(
+        data in telemetry_stream(),
+        lens in batch_lengths(),
+    ) {
+        let cfg = QloveConfig::new(&[0.5, 0.9, 0.99, 0.999], 4_000, 500);
+        prop_assert_eq!(run_batched(&cfg, &data, &lens), run_per_element(&cfg, &data));
+    }
+
+    /// Same with few-k off (pure §3 Level-2 pipeline).
+    #[test]
+    fn push_batch_equals_push_without_fewk(
+        data in telemetry_stream(),
+        lens in batch_lengths(),
+    ) {
+        let cfg = QloveConfig::without_fewk(&[0.5, 0.99], 4_000, 500);
+        prop_assert_eq!(run_batched(&cfg, &data, &lens), run_per_element(&cfg, &data));
+    }
+
+    /// Same with quantization off — the batch path must not quantize
+    /// when the per-element path would not.
+    #[test]
+    fn push_batch_equals_push_unquantized(
+        data in telemetry_stream(),
+        lens in batch_lengths(),
+    ) {
+        let cfg = QloveConfig::new(&[0.5, 0.999], 2_000, 500).quantize(None);
+        prop_assert_eq!(run_batched(&cfg, &data, &lens), run_per_element(&cfg, &data));
+    }
+
+    /// One giant batch (the whole stream at once) still splits at every
+    /// sub-window boundary internally.
+    #[test]
+    fn single_batch_covers_many_periods(data in telemetry_stream()) {
+        let cfg = QloveConfig::new(&[0.5, 0.999], 3_000, 500);
+        let mut op = Qlove::new(cfg.clone());
+        let batched = op.push_batch(&data);
+        prop_assert_eq!(batched, run_per_element(&cfg, &data));
+    }
+
+    /// The trait-level batch entry point (values only) agrees with the
+    /// trait-level per-element loop for QLOVE *and* for a policy that
+    /// relies on the default fallback implementation.
+    #[test]
+    fn trait_push_batch_matches_push(data in telemetry_stream(), split in 1usize..1_500) {
+        let cfg = QloveConfig::new(&[0.5, 0.99], 2_000, 500);
+        let mut batched: Box<dyn QuantilePolicy> = Box::new(Qlove::new(cfg.clone()));
+        let mut per_element: Box<dyn QuantilePolicy> = Box::new(Qlove::new(cfg));
+        let mut got = Vec::new();
+        for chunk in data.chunks(split) {
+            got.extend(batched.push_batch(chunk));
+        }
+        let want: Vec<Vec<u64>> = data.iter().filter_map(|&v| per_element.push(v)).collect();
+        prop_assert_eq!(got, want);
+
+        let mut exact = qlove::sketches::ExactPolicy::new(&[0.5, 0.99], 1_000, 250);
+        let mut exact_ref = qlove::sketches::ExactPolicy::new(&[0.5, 0.99], 1_000, 250);
+        let mut got = Vec::new();
+        for chunk in data.chunks(split) {
+            got.extend(exact.push_batch(chunk)); // default fallback impl
+        }
+        let want: Vec<Vec<u64>> =
+            data.iter().filter_map(|&v| exact_ref.push(v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The sliding-window executor's batch path equals its per-element
+    /// path for the exact-quantile operator, across arbitrary splits.
+    #[test]
+    fn sliding_executor_batch_equals_push(
+        data in telemetry_stream(),
+        split in 1usize..1_500,
+    ) {
+        for spec in [WindowSpec::sliding(900, 300), WindowSpec::tumbling(400)] {
+            let op = ExactQuantileOp::new(&[0.5, 0.9, 1.0]);
+            let mut batched = SlidingWindow::new(op.clone(), spec);
+            let mut out = Vec::new();
+            for chunk in data.chunks(split) {
+                batched.push_batch(chunk, &mut out);
+            }
+            let mut reference = SlidingWindow::new(op, spec);
+            let want: Vec<Vec<u64>> =
+                data.iter().filter_map(|&v| reference.push(v)).collect();
+            prop_assert_eq!(&out, &want, "spec {:?}", spec);
+        }
+    }
+}

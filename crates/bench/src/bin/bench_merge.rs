@@ -1,0 +1,237 @@
+//! `bench_merge` — record the cost of mergeable-summary distributed
+//! execution as `BENCH_merge.json`, so the merge path's perf trajectory
+//! is tracked across PRs alongside `BENCH_ingest.json`.
+//!
+//! ```text
+//! bench_merge [--events N] [--shards a,b,c] [--out PATH] [--smoke]
+//! ```
+//!
+//! Measures, over the quantized Normal stream with the paper-default
+//! QLOVE configuration (100K/10K window):
+//!
+//! * single-instance batched ingestion throughput (the baseline the
+//!   distributed executor must amortize against);
+//! * `run_distributed` end-to-end throughput per shard count, verifying
+//!   on the way that the merged answers are bit-identical to the
+//!   sequential run;
+//! * the isolated coordinator merge cost per sub-window boundary
+//!   (pre-extracted shard summaries, timed merge loop only);
+//! * summary codec compactness (bytes per shipped summary vs the raw
+//!   16-bytes-per-pair encoding).
+//!
+//! `--smoke` shrinks the run for CI (fewer events, fewer shard counts)
+//! while keeping every measurement present in the artifact.
+
+use qlove_core::{Qlove, QloveAnswer, QloveConfig, QloveShard, QloveSummary};
+use qlove_stream::run_distributed;
+use qlove_workloads::NormalGen;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const WINDOW: usize = 100_000;
+const PERIOD: usize = 10_000;
+const PHIS: [f64; 4] = [0.5, 0.9, 0.99, 0.999];
+
+struct Args {
+    events: usize,
+    shards: Vec<usize>,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        events: 2_000_000,
+        shards: vec![2, 4, 8],
+        out: "BENCH_merge.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--help" | "-h" => {
+                println!("usage: bench_merge [--events N] [--shards a,b,c] [--out PATH] [--smoke]");
+                std::process::exit(0);
+            }
+            "--smoke" => {
+                args.events = 300_000;
+                args.shards = vec![2, 4];
+                i += 1;
+                continue;
+            }
+            flag @ ("--events" | "--shards" | "--out") => {
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{flag} needs a value"))?;
+                match flag {
+                    "--events" => args.events = value.parse().map_err(|e| format!("{e}"))?,
+                    "--shards" => {
+                        args.shards = value
+                            .split(',')
+                            .map(|s| s.trim().parse::<usize>().map_err(|e| format!("{e}")))
+                            .collect::<Result<_, _>>()?;
+                        if args.shards.contains(&0) {
+                            return Err("shard counts must be positive".into());
+                        }
+                    }
+                    _ => args.out = value.clone(),
+                }
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.events < WINDOW + PERIOD {
+        return Err(format!("need at least {} events", WINDOW + PERIOD));
+    }
+    Ok(args)
+}
+
+/// Deal `data` round-robin into `shards` accumulators, extracting one
+/// summary group per sub-window boundary (full boundaries only).
+fn deal_summaries(cfg: &QloveConfig, data: &[u64], shards: usize) -> Vec<Vec<QloveSummary>> {
+    let mut workers: Vec<QloveShard> = (0..shards).map(|_| QloveShard::new(cfg)).collect();
+    let mut groups = Vec::with_capacity(data.len() / cfg.period);
+    for sub in data.chunks_exact(cfg.period) {
+        for (i, &v) in sub.iter().enumerate() {
+            workers[i % shards].push(v);
+        }
+        groups.push(workers.iter_mut().map(QloveShard::take_summary).collect());
+    }
+    groups
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_merge: {e}");
+            std::process::exit(1);
+        }
+    };
+    let cfg = QloveConfig::new(&PHIS, WINDOW, PERIOD);
+    let data = NormalGen::generate(7, args.events);
+
+    // Baseline: single-instance batched ingestion.
+    let mut single = Qlove::new(cfg.clone());
+    let mut seq_answers: Vec<QloveAnswer> = Vec::new();
+    let start = Instant::now();
+    for chunk in data.chunks(4096) {
+        single.push_batch_into(chunk, &mut seq_answers);
+    }
+    let seq_rate = args.events as f64 / start.elapsed().as_secs_f64() / 1e6;
+    eprintln!("sequential push_batch(4096)      {seq_rate:8.2} Melem/s");
+
+    // Distributed end-to-end, checking bit-identity with the baseline.
+    let mut dist_rows: Vec<(usize, f64, bool)> = Vec::new();
+    for &shards in &args.shards {
+        let mut coordinator = Qlove::new(cfg.clone());
+        let start = Instant::now();
+        let answers = run_distributed(
+            || QloveShard::new(&cfg),
+            &mut coordinator,
+            cfg.period,
+            &data,
+            shards,
+        );
+        let rate = args.events as f64 / start.elapsed().as_secs_f64() / 1e6;
+        let matches = answers == seq_answers;
+        eprintln!(
+            "run_distributed({shards} shards)       {rate:8.2} Melem/s  answers_match={matches}"
+        );
+        dist_rows.push((shards, rate, matches));
+    }
+
+    // Isolated merge cost per sub-window boundary.
+    let mut merge_rows: Vec<(usize, f64, f64)> = Vec::new();
+    for &shards in &args.shards {
+        let groups = deal_summaries(&cfg, &data, shards);
+        let boundaries = groups.len();
+        let mut coordinator = Qlove::new(cfg.clone());
+        let start = Instant::now();
+        for group in &groups {
+            for summary in group {
+                std::hint::black_box(coordinator.merge(summary));
+            }
+        }
+        let total_ns = start.elapsed().as_nanos() as f64;
+        let per_boundary = total_ns / boundaries as f64;
+        let per_summary = per_boundary / shards as f64;
+        eprintln!(
+            "merge cost ({shards} shards)           {per_boundary:10.0} ns/boundary \
+             ({per_summary:.0} ns/summary)"
+        );
+        merge_rows.push((shards, per_boundary, per_summary));
+    }
+
+    // Codec compactness over a representative dealing (4 shards or the
+    // largest configured count below that).
+    let codec_shards = args.shards.iter().copied().find(|&s| s >= 4).unwrap_or(1);
+    let groups = deal_summaries(&cfg, &data, codec_shards);
+    let (mut bytes, mut pairs, mut n) = (0usize, 0usize, 0usize);
+    for group in &groups {
+        for summary in group {
+            bytes += summary.to_bytes().len();
+            pairs += summary.counts().len();
+            n += 1;
+        }
+    }
+    let avg_bytes = bytes as f64 / n as f64;
+    let avg_pairs = pairs as f64 / n as f64;
+    let raw_bytes = avg_pairs * 16.0;
+    eprintln!(
+        "codec ({codec_shards} shards)              {avg_bytes:8.1} B/summary vs \
+         {raw_bytes:.1} B raw ({avg_pairs:.0} pairs)"
+    );
+
+    // Hand-rolled JSON: the workspace deliberately has no serde.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"experiment\": \"merge\",");
+    let _ = writeln!(json, "  \"window\": {WINDOW},");
+    let _ = writeln!(json, "  \"period\": {PERIOD},");
+    let _ = writeln!(json, "  \"events\": {},", args.events);
+    let _ = writeln!(
+        json,
+        "  \"phis\": [{}],",
+        PHIS.map(|p| p.to_string()).join(", ")
+    );
+    let _ = writeln!(json, "  \"results\": [");
+    let _ = writeln!(
+        json,
+        "    {{\"mode\": \"sequential\", \"shards\": 1, \"melems_per_sec\": {seq_rate:.3}}},"
+    );
+    for (i, (shards, rate, matches)) in dist_rows.iter().enumerate() {
+        let comma = if i + 1 < dist_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"mode\": \"distributed\", \"shards\": {shards}, \"melems_per_sec\": \
+             {rate:.3}, \"answers_match_sequential\": {matches}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"merge_cost_per_boundary\": [");
+    for (i, (shards, per_boundary, per_summary)) in merge_rows.iter().enumerate() {
+        let comma = if i + 1 < merge_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"shards\": {shards}, \"ns_per_boundary\": {per_boundary:.0}, \
+             \"ns_per_summary\": {per_summary:.0}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"codec\": {{\"shards\": {codec_shards}, \"avg_bytes_per_summary\": {avg_bytes:.1}, \
+         \"avg_pairs_per_summary\": {avg_pairs:.1}, \"raw_bytes_per_summary\": {raw_bytes:.1}}}"
+    );
+    json.push_str("}\n");
+
+    if dist_rows.iter().any(|&(_, _, m)| !m) {
+        eprintln!("bench_merge: distributed answers diverged from sequential");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&args.out, json) {
+        eprintln!("bench_merge: cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", args.out);
+}

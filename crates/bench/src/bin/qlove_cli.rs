@@ -23,12 +23,20 @@
 //! The trailing `space` column is sampled after the whole batch is
 //! ingested (mid-sub-window fill), so it can differ from a `--batch 1`
 //! run of the same input — compare the answer columns, not `space`.
+//!
+//! `--distributed N` (QLOVE only) answers **one logical window** from N
+//! ingestion shards: values are dealt round-robin to shard accumulators,
+//! sub-window summaries are merged by a coordinator, and the printed
+//! answers are bit-identical to a single-instance run of the same
+//! stream. The `space` column shows the coordinator's footprint after
+//! the run.
 
-use qlove_core::{Qlove, QloveConfig};
+use qlove_core::{Qlove, QloveConfig, QloveShard};
 use qlove_sketches::{
     AmPolicy, CkmsPolicy, CmqsPolicy, DdSketchPolicy, ExactPolicy, KllPolicy, MomentPolicy,
     RandomPolicy, TDigestPolicy,
 };
+use qlove_stream::run_distributed;
 use qlove_stream::QuantilePolicy;
 use std::io::{BufRead, Write};
 
@@ -40,6 +48,7 @@ struct Args {
     demo: Option<String>,
     events: usize,
     batch: usize,
+    distributed: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
         demo: None,
         events: 1_000_000,
         batch: 1,
+        distributed: 0,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -70,6 +80,12 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--batch must be positive".into());
                 }
             }
+            "--distributed" => {
+                args.distributed = need_value(i)?.parse().map_err(|e| format!("{e}"))?;
+                if args.distributed == 0 {
+                    return Err("--distributed needs at least one shard".into());
+                }
+            }
             "--policy" => args.policy = need_value(i)?.to_string(),
             "--demo" => args.demo = Some(need_value(i)?.to_string()),
             "--phis" => {
@@ -82,7 +98,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: qlove_cli [--window N] [--period K] [--phis a,b,c] \
                      [--policy qlove|exact|cmqs|am|random|moment|ddsketch|kll|ckms|tdigest] \
-                     [--demo netmon|search|normal|uniform|pareto --events N] [--batch N]"
+                     [--demo netmon|search|normal|uniform|pareto --events N] [--batch N] \
+                     [--distributed N]"
                 );
                 std::process::exit(0);
             }
@@ -121,8 +138,72 @@ fn demo_values(name: &str, n: usize) -> Result<Vec<u64>, String> {
     })
 }
 
+/// Parse one stdin line: `Ok(None)` for blank/comment lines, the value
+/// otherwise. `line_no` is 1-based, for error messages only. The single
+/// source of truth for what qlove_cli accepts as input, shared by every
+/// stdin mode.
+fn parse_value(line: &str, line_no: usize) -> Result<Option<u64>, String> {
+    let t = line.trim();
+    if t.is_empty() || t.starts_with('#') {
+        return Ok(None);
+    }
+    t.parse()
+        .map(Some)
+        .map_err(|_| format!("line {line_no}: not a non-negative integer: {t}"))
+}
+
+fn read_stdin_values() -> Result<Vec<u64>, String> {
+    let stdin = std::io::stdin();
+    let mut values = Vec::new();
+    for (i, line) in stdin.lock().lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        if let Some(v) = parse_value(&line, i + 1)? {
+            values.push(v);
+        }
+    }
+    Ok(values)
+}
+
+/// One logical window over N ingestion shards: deal, merge, print.
+fn run_distributed_mode(args: &Args) -> Result<(), String> {
+    if args.policy != "qlove" {
+        return Err("--distributed is only supported for the qlove policy".into());
+    }
+    if args.batch > 1 {
+        return Err("--distributed batches internally; drop --batch".into());
+    }
+    let values = match &args.demo {
+        Some(name) => demo_values(name, args.events)?,
+        None => read_stdin_values()?,
+    };
+    let cfg = QloveConfig::new(&args.phis, args.window, args.period);
+    let mut coordinator = Qlove::new(cfg.clone());
+    let answers = run_distributed(
+        || QloveShard::new(&cfg),
+        &mut coordinator,
+        cfg.period,
+        &values,
+        args.distributed,
+    );
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let header: Vec<String> = args.phis.iter().map(|p| format!("Q{p}")).collect();
+    writeln!(out, "# event\t{}\tspace", header.join("\t")).map_err(|e| e.to_string())?;
+    let space = coordinator.space_variables();
+    for (k, ans) in answers.iter().enumerate() {
+        let event = args.window + k * args.period;
+        let cells: Vec<String> = ans.values.iter().map(u64::to_string).collect();
+        let _ = writeln!(out, "{event}\t{}\t{space}", cells.join("\t"));
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    if args.distributed > 0 {
+        return run_distributed_mode(&args);
+    }
     let mut policy = make_policy(&args)?;
 
     let stdout = std::io::stdout();
@@ -168,15 +249,16 @@ fn run() -> Result<(), String> {
         None => {
             let stdin = std::io::stdin();
             let mut buf: Vec<u64> = Vec::with_capacity(args.batch);
+            // Event numbers count fed *values*, not input lines, so
+            // skipped comment/blank lines leave the schedule (and the
+            // agreement with batch mode's window-derived numbering)
+            // intact.
+            let mut fed = 0usize;
             for (i, line) in stdin.lock().lines().enumerate() {
                 let line = line.map_err(|e| e.to_string())?;
-                let t = line.trim();
-                if t.is_empty() || t.starts_with('#') {
+                let Some(v) = parse_value(&line, i + 1)? else {
                     continue;
-                }
-                let v: u64 = t
-                    .parse()
-                    .map_err(|_| format!("line {}: not a non-negative integer: {t}", i + 1))?;
+                };
                 if args.batch > 1 {
                     buf.push(v);
                     if buf.len() == args.batch {
@@ -184,7 +266,8 @@ fn run() -> Result<(), String> {
                         buf.clear();
                     }
                 } else {
-                    feed(i, v, &mut policy, &mut out);
+                    feed(fed, v, &mut policy, &mut out);
+                    fed += 1;
                 }
             }
             if !buf.is_empty() {

@@ -18,6 +18,11 @@ pub mod channel {
     #[derive(Debug)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Receiver::recv`] when every sender is gone
+    /// and the channel is drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
     /// The sending half of a bounded channel.
     #[derive(Debug)]
     pub struct Sender<T>(mpsc::SyncSender<T>);
@@ -45,6 +50,12 @@ pub mod channel {
         /// senders are dropped.
         pub fn iter(&self) -> Iter<'_, T> {
             Iter(self.0.iter())
+        }
+
+        /// Receive one message, blocking until one is available. Errors
+        /// only when every sender is dropped and the channel is empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
         }
     }
 
@@ -87,6 +98,15 @@ pub mod channel {
             let (tx, rx) = bounded::<u32>(1);
             drop(rx);
             assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn recv_returns_messages_then_errors_on_close() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv(), Ok(7));
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
         }
     }
 }

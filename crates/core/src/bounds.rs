@@ -12,6 +12,13 @@
 //! — the probability mass `2h` between two empirical quantiles divided
 //! by the value distance between them. This only has to be right to a
 //! small factor: it scales a confidence interval, not the answer.
+//!
+//! Distributed note: the `n·m` accounting (n sub-windows of m elements)
+//! survives distributed execution unchanged — a sub-window assembled by
+//! merging shard summaries (`FreqTree::merge_from` under
+//! `Qlove::merge`) holds exactly the same `m = period` elements as the
+//! single-instance sub-window, and the density is estimated from the
+//! merged tree, so the reported bound is the per-instance bound.
 
 use qlove_rbtree::FreqTree;
 use qlove_stats::error_bound::{clt_error_bound, CltBound};
@@ -108,6 +115,37 @@ mod tests {
         let many = bound_from_tree(&t, 0.5, 32, 10_000, 0.05).unwrap();
         assert!(many.half_width < few.half_width);
         assert!((few.half_width / many.half_width - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_is_invariant_under_tree_merge() {
+        // Build one sub-window two ways: a single tree over the whole
+        // stream, and a merge of three disjoint shard trees. The density
+        // estimate — and therefore the Theorem-1 bound — must coincide.
+        let data: Vec<u64> = (0..9_000u64).map(|i| (i * 7919) % 4096).collect();
+        let mut single = FreqTree::new();
+        let mut shards = [FreqTree::new(), FreqTree::new(), FreqTree::new()];
+        for (i, &v) in data.iter().enumerate() {
+            single.insert(v, 1);
+            shards[i % 3].insert(v, 1);
+        }
+        let mut merged = FreqTree::new();
+        for shard in &shards {
+            merged.merge_from(shard);
+        }
+        for &phi in &[0.5, 0.9, 0.99] {
+            assert_eq!(
+                density_at_quantile(&merged, phi),
+                density_at_quantile(&single, phi),
+                "phi = {phi}"
+            );
+            let a = bound_from_tree(&merged, phi, 8, data.len(), 0.05);
+            let b = bound_from_tree(&single, phi, 8, data.len(), 0.05);
+            assert_eq!(a.is_some(), b.is_some());
+            if let (Some(a), Some(b)) = (a, b) {
+                assert_eq!(a.half_width.to_bits(), b.half_width.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -3,6 +3,14 @@
 //! Pure functions, deliberately separated from the operator so that the
 //! budget arithmetic, the interval sampler, and both merge rules can be
 //! unit-tested against the paper's worked examples (E1–E4 of Figure 3).
+//!
+//! Distributed note: the per-sub-window views these merges consume are
+//! snapshotted *after* Level-1 state is assembled, so under distributed
+//! execution (`Qlove::merge` folding shard summaries into one logical
+//! sub-window) the tail caches — and therefore every view passed to
+//! [`merge_top_k`] / [`merge_sample_k`] — are identical to the
+//! single-instance ones. Nothing in this module needs to know how many
+//! shards fed a sub-window.
 
 /// Whole-window tail requirement: the rank-from-the-top that the
 /// φ-quantile refers to under the paper's ⌈φN⌉ convention, i.e.

@@ -27,6 +27,12 @@
 //! * **Error bounds** — each evaluation can report the Theorem-1
 //!   confidence interval ([`bounds`]), estimated from the freshest
 //!   sub-window's empirical density.
+//! * **Mergeable summaries** (§7's distributed extension) — Level-1
+//!   sub-window state snapshots as a [`QloveSummary`] multiset that
+//!   shards ([`QloveShard`]) extract, ship (compact QLVS wire form),
+//!   and a coordinator folds back with [`Qlove::merge`], making one
+//!   logical window answerable from N ingestion shards with answers
+//!   bit-identical to a single instance.
 //!
 //! The operator implements [`qlove_stream::QuantilePolicy`], so it plugs
 //! into the same harness as every baseline in `qlove-sketches`.
@@ -56,4 +62,4 @@ pub mod fewk;
 pub mod operator;
 
 pub use config::{FewKConfig, QloveConfig};
-pub use operator::{AnswerSource, Qlove, QloveAnswer};
+pub use operator::{AnswerSource, Qlove, QloveAnswer, QloveShard, QloveSummary};

@@ -7,7 +7,8 @@ use crate::config::QloveConfig;
 use crate::fewk::{interval_sample_into, merge_sample_k, merge_top_k, tail_need, TailBudget};
 use qlove_rbtree::FreqTree;
 use qlove_stats::error_bound::CltBound;
-use qlove_stream::QuantilePolicy;
+use qlove_stream::{QuantilePolicy, ShardAccumulator, SummaryMerge};
+use qlove_workloads::io::{decode_summary, summary_to_bytes};
 use qlove_workloads::transform::quantize_sig_digits;
 use std::collections::VecDeque;
 
@@ -74,6 +75,151 @@ impl SubWindowSummary {
             bursty: Vec::with_capacity(l),
             bounds: Vec::with_capacity(l),
         }
+    }
+}
+
+/// A mergeable, shippable snapshot of (part of) one Level-1 sub-window:
+/// the `(quantized value, frequency)` multiset accumulated since the
+/// last sub-window boundary.
+///
+/// This is the unit of state exchange in distributed execution (§7's
+/// extension): N ingestion shards each accumulate a slice of a logical
+/// sub-window, extract their partial state as a `QloveSummary`
+/// ([`QloveShard::take_summary`] / [`Qlove::take_summary`]), ship it
+/// (optionally via the compact [`QloveSummary::to_bytes`] wire form),
+/// and a coordinator folds the summaries back together with
+/// [`Qlove::merge`]. Because the summary is a frequency multiset —
+/// exactly what Level 1 stores — merging K shard summaries reconstructs
+/// the sub-window a single instance would have built from the undealt
+/// stream, element for element; everything derived at the boundary
+/// (exact quantiles, few-k tail caches, burst flags, Theorem-1 bounds)
+/// then comes out bit-identical.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QloveSummary {
+    /// `(value, frequency)` pairs, strictly ascending by value.
+    counts: Vec<(u64, u64)>,
+    /// Total element count (Σ frequencies).
+    total: u64,
+}
+
+impl QloveSummary {
+    /// Build from strictly-ascending `(value, frequency)` pairs.
+    /// Returns `None` when keys are not strictly ascending, a frequency
+    /// is zero, or the total overflows `u64`.
+    pub fn from_counts(counts: Vec<(u64, u64)>) -> Option<Self> {
+        let mut total = 0u64;
+        let mut prev: Option<u64> = None;
+        for &(key, freq) in &counts {
+            if freq == 0 || prev.is_some_and(|p| key <= p) {
+                return None;
+            }
+            total = total.checked_add(freq)?;
+            prev = Some(key);
+        }
+        Some(Self { counts, total })
+    }
+
+    /// The `(value, frequency)` pairs, ascending by value.
+    pub fn counts(&self) -> &[(u64, u64)] {
+        &self.counts
+    }
+
+    /// Total number of elements the summary stands for.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` when the summary covers no elements.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Encode into the compact QLVS wire form
+    /// (`qlove_workloads::io::encode_summary`): delta-varint pairs, a
+    /// few bytes per unique value on quantized telemetry.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        summary_to_bytes(&self.counts)
+    }
+
+    /// Decode a QLVS frame produced by [`QloveSummary::to_bytes`].
+    /// Malformed input surfaces as `InvalidData` — never a panic.
+    pub fn from_bytes(bytes: &[u8]) -> std::io::Result<Self> {
+        let counts = decode_summary(bytes)?;
+        Self::from_counts(counts).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "summary total overflows u64",
+            )
+        })
+    }
+}
+
+/// The shard half of distributed QLOVE: Level-1 accumulation only
+/// (quantization + the frequency tree), with no Level-2 ring, no tail
+/// caches, and no boundary logic — those all live in the coordinating
+/// [`Qlove`] instance that merges this shard's summaries.
+///
+/// The executor (`qlove_stream::parallel::run_distributed`) owns the
+/// boundary schedule: it calls [`QloveShard::take_summary`] at every
+/// logical sub-window boundary, so the shard itself never completes a
+/// sub-window.
+#[derive(Debug)]
+pub struct QloveShard {
+    tree: FreqTree<u64>,
+    sig_digits: Option<u32>,
+    /// Quantized copy of the current batch (recycled across batches).
+    scratch: Vec<u64>,
+}
+
+impl QloveShard {
+    /// Build a shard for `config` — only the quantization setting and
+    /// the period (arena pre-size) are used, but taking the whole
+    /// config guarantees shard and coordinator agree on them.
+    pub fn new(config: &QloveConfig) -> Self {
+        config.validate();
+        Self {
+            tree: FreqTree::with_capacity(config.period.min(1 << 16)),
+            sig_digits: config.sig_digits,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Accumulate one element.
+    pub fn push(&mut self, value: u64) {
+        let v = match self.sig_digits {
+            Some(d) => quantize_sig_digits(value, d),
+            None => value,
+        };
+        self.tree.insert(v, 1);
+    }
+
+    /// Accumulate a batch through the bulk-insert path (quantize in one
+    /// pass, sort, one tree descent per unique key).
+    pub fn push_batch(&mut self, values: &[u64]) {
+        let mut buf = std::mem::take(&mut self.scratch);
+        buf.clear();
+        match self.sig_digits {
+            Some(d) => buf.extend(values.iter().map(|&v| quantize_sig_digits(v, d))),
+            None => buf.extend_from_slice(values),
+        }
+        self.tree.insert_batch(&mut buf);
+        self.scratch = buf;
+    }
+
+    /// Elements accumulated since the last [`QloveShard::take_summary`].
+    pub fn pending(&self) -> usize {
+        self.tree.total() as usize
+    }
+
+    /// Snapshot the accumulated state as a mergeable summary and reset
+    /// (the arena is kept, so steady-state boundaries reuse it).
+    pub fn take_summary(&mut self) -> QloveSummary {
+        let summary = QloveSummary {
+            counts: self.tree.iter().collect(),
+            total: self.tree.total(),
+        };
+        self.tree.clear();
+        summary
     }
 }
 
@@ -427,6 +573,67 @@ impl Qlove {
         }
     }
 
+    /// Non-destructive snapshot of the in-flight (partial) sub-window as
+    /// a mergeable [`QloveSummary`].
+    pub fn summary(&self) -> QloveSummary {
+        debug_assert_eq!(self.tree.total() as usize, self.filled);
+        QloveSummary {
+            counts: self.tree.iter().collect(),
+            total: self.tree.total(),
+        }
+    }
+
+    /// Snapshot the in-flight sub-window as a mergeable summary **and
+    /// reset it** — the shard side of a sub-window exchange, or a
+    /// checkpoint extraction. The arena is kept for reuse.
+    pub fn take_summary(&mut self) -> QloveSummary {
+        let summary = self.summary();
+        self.tree.clear();
+        self.filled = 0;
+        summary
+    }
+
+    /// Merge a summary into the in-flight sub-window — the coordinator
+    /// side of distributed execution, and the restore side of a
+    /// checkpoint (merging into a fresh instance reinstates the
+    /// extracted state exactly).
+    ///
+    /// Returns the evaluation answer when the merge completes a
+    /// sub-window on a full window, exactly like
+    /// [`Qlove::push_detailed`] at a boundary. Because Level-1 state is
+    /// a multiset, merging K shard summaries covering one sub-window
+    /// produces answers **bit-identical** to a single instance
+    /// ingesting the interleaved stream: the merged tree is the same
+    /// tree, so the Level-2 quantile sums, the few-k tail caches and
+    /// merge views, the burst flags, and the Theorem-1 bound accounting
+    /// (a merged sub-window holds exactly `period` elements, the `m` the
+    /// bound formula assumes) all coincide.
+    ///
+    /// Summary values must already be quantized the way this instance
+    /// quantizes — true for summaries extracted from a [`QloveShard`] or
+    /// [`Qlove`] sharing this configuration; they are folded in as-is.
+    ///
+    /// # Panics
+    /// Panics when the summary does not fit in the current sub-window:
+    /// summaries are exchanged at sub-window granularity and must never
+    /// straddle a boundary.
+    pub fn merge(&mut self, other: &QloveSummary) -> Option<QloveAnswer> {
+        let room = self.config.period - self.filled;
+        assert!(
+            other.total as usize <= room,
+            "summary of {} elements crosses a sub-window boundary ({room} elements of room)",
+            other.total
+        );
+        self.tree.extend_counts(other.counts.iter().copied());
+        self.filled += other.total as usize;
+        if self.filled < self.config.period {
+            return None;
+        }
+        self.filled = 0;
+        self.complete_subwindow();
+        (self.summaries.len() >= self.n_sub).then(|| self.evaluate())
+    }
+
     /// Elements accumulated into the in-flight sub-window.
     pub fn pending(&self) -> usize {
         self.filled
@@ -435,6 +642,28 @@ impl Qlove {
     /// Completed sub-window summaries currently live.
     pub fn live_subwindows(&self) -> usize {
         self.summaries.len()
+    }
+}
+
+impl ShardAccumulator for QloveShard {
+    type Input = u64;
+    type Summary = QloveSummary;
+
+    fn ingest_batch(&mut self, values: &[u64]) {
+        self.push_batch(values);
+    }
+
+    fn take_summary(&mut self) -> QloveSummary {
+        QloveShard::take_summary(self)
+    }
+}
+
+impl SummaryMerge for Qlove {
+    type Summary = QloveSummary;
+    type Output = QloveAnswer;
+
+    fn merge_summary(&mut self, summary: &QloveSummary) -> Option<QloveAnswer> {
+        self.merge(summary)
     }
 }
 
@@ -749,6 +978,146 @@ mod tests {
         let answers = q.push_batch(&normal_stream(37, 1_250));
         assert_eq!(answers.len(), 1);
         assert_eq!(q.pending(), 0);
+    }
+
+    /// Deal `data` round-robin across `shards` [`QloveShard`]s with
+    /// summary exchange at every logical sub-window boundary, merging
+    /// into a coordinator — the distributed execution in miniature
+    /// (single-threaded, deterministic).
+    fn run_dealt(cfg: &QloveConfig, data: &[u64], shards: usize) -> (Vec<QloveAnswer>, Qlove) {
+        let mut workers: Vec<QloveShard> = (0..shards).map(|_| QloveShard::new(cfg)).collect();
+        let mut coordinator = Qlove::new(cfg.clone());
+        let mut answers = Vec::new();
+        for (i, &v) in data.iter().enumerate() {
+            workers[i % shards].push(v);
+            if (i + 1) % cfg.period == 0 {
+                for w in workers.iter_mut() {
+                    if let Some(ans) = coordinator.merge(&w.take_summary()) {
+                        answers.push(ans);
+                    }
+                }
+            }
+        }
+        // Trailing partial sub-window: merge what the shards hold.
+        for w in workers.iter_mut() {
+            let s = w.take_summary();
+            if !s.is_empty() {
+                assert!(coordinator.merge(&s).is_none(), "partial cannot evaluate");
+            }
+        }
+        (answers, coordinator)
+    }
+
+    #[test]
+    fn merged_shards_are_bit_identical_to_single_instance() {
+        let data = normal_stream(41, 12_500); // trailing partial sub-window
+        for cfg in [
+            QloveConfig::new(&[0.5, 0.9, 0.99, 0.999], 4_000, 500),
+            QloveConfig::without_fewk(&[0.5, 0.999], 4_000, 1_000),
+            QloveConfig::new(&[0.5], 2_000, 500).quantize(None),
+        ] {
+            let mut single = Qlove::new(cfg.clone());
+            let want: Vec<QloveAnswer> = data
+                .iter()
+                .filter_map(|&v| single.push_detailed(v))
+                .collect();
+            for shards in [1usize, 2, 4, 7] {
+                let (got, coordinator) = run_dealt(&cfg, &data, shards);
+                assert_eq!(got, want, "shards {shards}");
+                assert_eq!(coordinator.pending(), single.pending(), "shards {shards}");
+                assert_eq!(coordinator.live_subwindows(), single.live_subwindows());
+            }
+        }
+    }
+
+    #[test]
+    fn take_summary_and_merge_restore_a_checkpoint() {
+        let cfg = QloveConfig::new(&[0.5, 0.99], 2_000, 500);
+        let data = normal_stream(43, 1_750); // 3 full sub-windows + 250 in flight
+        let mut original = Qlove::new(cfg.clone());
+        for &v in &data {
+            original.push_detailed(v);
+        }
+        assert_eq!(original.pending(), 250);
+        // Checkpoint the in-flight state, ship it through bytes, restore
+        // into a fresh sub-window of the same instance.
+        let checkpoint = original.take_summary();
+        assert_eq!(original.pending(), 0);
+        let wire = checkpoint.to_bytes();
+        let restored = QloveSummary::from_bytes(&wire).unwrap();
+        assert_eq!(restored, checkpoint);
+        assert!(original.merge(&restored).is_none());
+        assert_eq!(original.pending(), 250);
+        // The restored instance continues exactly like an untouched one.
+        let mut untouched = Qlove::new(cfg);
+        for &v in &data {
+            untouched.push_detailed(v);
+        }
+        let tail = normal_stream(47, 4_000);
+        let a: Vec<QloveAnswer> = tail
+            .iter()
+            .filter_map(|&v| original.push_detailed(v))
+            .collect();
+        let b: Vec<QloveAnswer> = tail
+            .iter()
+            .filter_map(|&v| untouched.push_detailed(v))
+            .collect();
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn summary_is_nondestructive_and_quantized() {
+        let cfg = QloveConfig::new(&[0.5], 1_000, 1_000); // 3 sig digits
+        let mut op = Qlove::new(cfg);
+        op.push_detailed(123_456);
+        op.push_detailed(123_456);
+        op.push_detailed(7);
+        let s = op.summary();
+        assert_eq!(op.pending(), 3); // untouched
+        assert_eq!(s.total(), 3);
+        // 123456 quantized to 3 significant digits.
+        assert_eq!(s.counts(), &[(7, 1), (123_000, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses a sub-window boundary")]
+    fn merge_rejects_boundary_straddling_summaries() {
+        let cfg = QloveConfig::new(&[0.5], 1_000, 500);
+        let mut shard = QloveShard::new(&cfg);
+        for v in 0..501u64 {
+            shard.push(v);
+        }
+        let mut coordinator = Qlove::new(cfg);
+        coordinator.merge(&shard.take_summary());
+    }
+
+    #[test]
+    fn summary_from_counts_validates() {
+        assert!(QloveSummary::from_counts(vec![(1, 1), (2, 3)]).is_some());
+        assert!(QloveSummary::from_counts(vec![]).is_some());
+        // Out of order, duplicate, zero frequency, total overflow.
+        assert!(QloveSummary::from_counts(vec![(2, 1), (1, 1)]).is_none());
+        assert!(QloveSummary::from_counts(vec![(1, 1), (1, 1)]).is_none());
+        assert!(QloveSummary::from_counts(vec![(1, 0)]).is_none());
+        assert!(QloveSummary::from_counts(vec![(1, u64::MAX), (2, 1)]).is_none());
+    }
+
+    #[test]
+    fn shard_batch_and_per_element_agree() {
+        let cfg = QloveConfig::new(&[0.5, 0.999], 8_000, 1_000);
+        let data = normal_stream(53, 900);
+        let mut a = QloveShard::new(&cfg);
+        let mut b = QloveShard::new(&cfg);
+        for &v in &data {
+            a.push(v);
+        }
+        for chunk in data.chunks(128) {
+            b.push_batch(chunk);
+        }
+        assert_eq!(a.pending(), b.pending());
+        assert_eq!(a.take_summary(), b.take_summary());
+        assert_eq!(a.pending(), 0);
     }
 
     #[test]

@@ -171,6 +171,35 @@ proptest! {
         );
     }
 
+    /// merge_from is a multiset union: merging K trees built from K
+    /// slices of a stream equals one tree built from the whole stream,
+    /// and the result keeps every invariant.
+    #[test]
+    fn merge_from_equals_union(
+        keys in proptest::collection::vec(0u64..512, 0..300),
+        parts in 1usize..6,
+    ) {
+        let mut single: FreqTree<u64> = FreqTree::new();
+        for &k in &keys {
+            single.insert(k, 1);
+        }
+        // Deal round-robin into `parts` trees, then fold them together.
+        let mut shards: Vec<FreqTree<u64>> = (0..parts).map(|_| FreqTree::new()).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            shards[i % parts].insert(k, 1);
+        }
+        let mut merged = shards.remove(0);
+        for shard in &shards {
+            merged.merge_from(shard);
+        }
+        merged.validate().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(merged.total(), single.total());
+        prop_assert_eq!(
+            merged.iter().collect::<Vec<_>>(),
+            single.iter().collect::<Vec<_>>()
+        );
+    }
+
     /// top_k returns the k largest elements with multiplicity, descending.
     #[test]
     fn top_k_matches_sorted_tail(

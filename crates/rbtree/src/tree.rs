@@ -315,6 +315,32 @@ impl<K: Ord + Copy + Default> FreqTree<K> {
         }
     }
 
+    /// Multiset union: fold every `(key, frequency)` run of `other` into
+    /// this tree — the distributed sub-window merge primitive.
+    ///
+    /// This rides the same machinery as [`FreqTree::insert_batch`] after
+    /// its sort (the source tree's in-order walk already yields runs in
+    /// key order), so the cost is **one descent per unique key of
+    /// `other`**: `O(u_other · log(u_self + u_other))`, with the only
+    /// allocation being a single up-front arena reservation. Keys shared
+    /// by both trees take the cheap counter-bump path.
+    ///
+    /// Equivalent in final state to inserting `other`'s expanded
+    /// multiset element by element (insertion order cannot matter in a
+    /// multiset).
+    pub fn merge_from(&mut self, other: &FreqTree<K>) {
+        // Worst case (disjoint key sets) every unique key of `other`
+        // needs a fresh arena slot.
+        self.arena.reserve(other.unique);
+        self.extend_counts(other.iter());
+    }
+
+    /// Consuming counterpart of [`FreqTree::merge_from`]: drain this
+    /// tree into `target`, leaving the union there.
+    pub fn merge_into(self, target: &mut FreqTree<K>) {
+        target.merge_from(&self);
+    }
+
     fn insert_fixup(&mut self, mut z: Idx) {
         while self.n(self.n(z).parent).red {
             let zp = self.n(z).parent;
@@ -1055,6 +1081,81 @@ mod tests {
         assert_eq!(t.count_of(9), 4);
         assert_eq!(t.unique_len(), 2);
         t.validate().unwrap();
+    }
+
+    #[test]
+    fn merge_from_unions_multisets() {
+        let mut a = FreqTree::new();
+        a.extend_counts([(1u64, 2), (5, 1), (9, 3)]);
+        let mut b = FreqTree::new();
+        b.extend_counts([(0u64, 1), (5, 4), (12, 2)]);
+        a.merge_from(&b);
+        a.validate().unwrap();
+        assert_eq!(
+            a.iter().collect::<Vec<_>>(),
+            vec![(0, 1), (1, 2), (5, 5), (9, 3), (12, 2)]
+        );
+        assert_eq!(a.total(), 13);
+        assert_eq!(a.unique_len(), 5);
+        // The source is untouched.
+        assert_eq!(b.total(), 7);
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn merge_from_empty_and_into_empty() {
+        let mut a = FreqTree::new();
+        a.insert(3u64, 2);
+        let empty = FreqTree::new();
+        a.merge_from(&empty);
+        assert_eq!(a.total(), 2);
+        let mut target = FreqTree::new();
+        a.merge_from(&target); // no-op
+        target.merge_from(&a); // union into empty = copy
+        assert_eq!(target.iter().collect::<Vec<_>>(), vec![(3, 2)]);
+        target.validate().unwrap();
+    }
+
+    #[test]
+    fn merge_into_consumes_and_matches_merge_from() {
+        let mut x = FreqTree::new();
+        x.extend_counts([(2u64, 1), (4, 4)]);
+        let mut y = FreqTree::new();
+        y.extend_counts([(4u64, 1), (8, 2)]);
+        let mut want = x.clone();
+        want.merge_from(&y);
+        y.merge_into(&mut x);
+        assert_eq!(
+            x.iter().collect::<Vec<_>>(),
+            want.iter().collect::<Vec<_>>()
+        );
+        x.validate().unwrap();
+    }
+
+    #[test]
+    fn merge_equals_interleaved_inserts() {
+        // Union of two trees must equal one tree fed the concatenated
+        // element stream — the property the distributed window rests on.
+        let stream_a: Vec<u64> = (0..2000u64).map(|i| (i * 7919) % 257).collect();
+        let stream_b: Vec<u64> = (0..1500u64).map(|i| (i * 104729) % 257).collect();
+        let mut ta = FreqTree::new();
+        let mut tb = FreqTree::new();
+        let mut single = FreqTree::new();
+        for &v in &stream_a {
+            ta.insert(v, 1);
+            single.insert(v, 1);
+        }
+        for &v in &stream_b {
+            tb.insert(v, 1);
+            single.insert(v, 1);
+        }
+        ta.merge_from(&tb);
+        ta.validate().unwrap();
+        assert_eq!(
+            ta.iter().collect::<Vec<_>>(),
+            single.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(ta.quantiles(&[0.5, 0.99]), single.quantiles(&[0.5, 0.99]));
     }
 
     #[test]

@@ -16,9 +16,12 @@
 //! * a small LINQ-flavoured [`pipeline`] layer so the paper's query
 //!   `Stream.Window(size, period).Where(pred).Aggregate(quantiles)`
 //!   (§5.1, `Qmonitor`) can be written almost verbatim in Rust;
-//! * a [`parallel`] module (crossbeam channel + worker) that overlaps
-//!   event generation with operator execution, used by the throughput
-//!   harness to avoid measuring the generator.
+//! * a [`parallel`] module (crossbeam channel + workers): pipelined
+//!   execution that overlaps event generation with operator execution,
+//!   per-shard independent windows ([`parallel::run_sharded`]), and a
+//!   true distributed executor ([`parallel::run_distributed`]) that
+//!   answers one logical window from N ingestion shards by merging
+//!   sub-window summaries (§7's distributed-computing extension).
 //!
 //! Window-size/period semantics follow the paper: a query over windows of
 //! `N` elements evaluated every `K` insertions; tumbling means `N == K`.
@@ -37,6 +40,7 @@ pub mod window;
 
 pub use aggregate::IncrementalAggregate;
 pub use event::Event;
+pub use parallel::{run_distributed, run_pipelined, run_sharded, ShardAccumulator, SummaryMerge};
 pub use pipeline::Pipeline;
 pub use policy::QuantilePolicy;
 pub use time_window::{TimeSlidingWindow, TimeWindowSpec, TimedResult};

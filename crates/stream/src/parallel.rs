@@ -1,12 +1,20 @@
-//! Pipelined (producer/consumer) execution.
+//! Pipelined, sharded, and distributed execution.
 //!
 //! The paper measures single-thread operator throughput; to do the same
 //! without the workload generator polluting the measurement, the harness
 //! runs generation on one thread and the operator on another, connected
-//! by a bounded crossbeam channel. This module packages that pattern and
-//! also offers a sharded executor (one operator instance per worker, as a
-//! distributed deployment would run QLOVE per ingestion shard — §7 notes
-//! the design extends to distributed computing).
+//! by a bounded crossbeam channel ([`run_pipelined`]). Two multi-worker
+//! executors build on that substrate, covering the two deployment shapes
+//! §7's "extends to distributed computing" remark implies:
+//!
+//! * [`run_sharded`] — **independent windows**: one operator instance
+//!   per worker, each answering its own slice of traffic (per-pipeline
+//!   monitoring). Answers are per-shard; nothing is merged.
+//! * [`run_distributed`] — **one logical window**: values are dealt
+//!   round-robin across shard accumulators, shards surrender mergeable
+//!   summaries at every sub-window boundary, and a coordinator folds
+//!   them into a single logical window whose answers equal a
+//!   single-instance run over the undealt stream.
 
 use crate::aggregate::IncrementalAggregate;
 use crate::window::{SlidingWindow, WindowSpec};
@@ -63,12 +71,14 @@ where
 }
 
 /// Shard `values` round-robin across `shards` worker threads, each
-/// running an independent sliding-window instance of the operator built
-/// by `make_op`; returns each shard's emitted results.
+/// running an **independent** sliding-window instance of the operator
+/// built by `make_op`; returns each shard's emitted results.
 ///
-/// This models per-shard quantile monitoring (each ingestion pipeline
-/// watches its own slice of traffic); it is *not* a distributed merge of
-/// one logical window.
+/// This models per-shard quantile monitoring: each ingestion pipeline
+/// watches its own slice of traffic and answers for that slice only.
+/// For one logical window answered collectively from every shard's
+/// data — the distributed merge of sub-window summaries — use
+/// [`run_distributed`].
 pub fn run_sharded<A, F>(
     make_op: F,
     spec: WindowSpec,
@@ -113,6 +123,133 @@ where
         .into_iter()
         .map(Mutex::into_inner)
         .collect()
+}
+
+/// The shard half of a distributed one-logical-window execution: a
+/// boundary-free accumulator over one shard's slice of the stream that
+/// periodically surrenders its in-flight state as a mergeable summary.
+///
+/// Implementations must be order-insensitive within a sub-window (a
+/// multiset-like state), because the executor deals elements round-robin
+/// and shards ingest their slices concurrently. Every summary covers
+/// exactly the elements ingested since the previous `take_summary`.
+pub trait ShardAccumulator {
+    /// Element type ingested.
+    type Input;
+    /// The mergeable state snapshot shipped to the coordinator.
+    type Summary: Send;
+    /// Fold a batch of this shard's elements into the in-flight state.
+    /// The executor guarantees batches never straddle a logical
+    /// sub-window boundary.
+    fn ingest_batch(&mut self, values: &[Self::Input]);
+    /// Snapshot the in-flight state as a summary and reset it.
+    fn take_summary(&mut self) -> Self::Summary;
+}
+
+/// The coordinator half of a distributed one-logical-window execution:
+/// merges shard summaries into one logical window and emits an answer
+/// whenever a merge completes an evaluation.
+pub trait SummaryMerge {
+    /// Summary type accepted (the shards' [`ShardAccumulator::Summary`]).
+    type Summary;
+    /// Window evaluation output.
+    type Output;
+    /// Merge one shard's summary into the logical window. Returns
+    /// `Some` when this merge closed a sub-window that produced an
+    /// evaluation (at most the final summary of each boundary group
+    /// does).
+    fn merge_summary(&mut self, summary: &Self::Summary) -> Option<Self::Output>;
+}
+
+/// Answer **one logical window** from `shards` ingestion shards.
+///
+/// Values are dealt round-robin (element `i` to shard `i % shards`, the
+/// arrival-order interleaving a distributed ingestion tier produces);
+/// each shard accumulates its slice through the batched path and, at
+/// every logical sub-window boundary (each `period` elements of the
+/// *logical* stream), ships a summary of its partial sub-window to the
+/// coordinator. The coordinator merges each boundary's summaries — in
+/// stream order across boundaries — and returns the emitted answers.
+///
+/// Because shard state is a multiset union, the merged sub-window is
+/// element-for-element the one a single instance would have built from
+/// the undealt stream, so the answers (and the coordinator's trailing
+/// in-flight state) match a sequential run exactly. A trailing partial
+/// sub-window is shipped and merged too, leaving it pending in the
+/// coordinator rather than dropped.
+///
+/// # Panics
+/// Panics when `shards == 0` or `period == 0`.
+pub fn run_distributed<S, C, F>(
+    make_shard: F,
+    coordinator: &mut C,
+    period: usize,
+    values: &[S::Input],
+    shards: usize,
+) -> Vec<C::Output>
+where
+    S: ShardAccumulator,
+    S::Input: Clone + Sync,
+    S::Summary: Send,
+    C: SummaryMerge<Summary = S::Summary>,
+    F: Fn() -> S + Sync,
+{
+    assert!(shards > 0, "need at least one shard");
+    assert!(period > 0, "need a positive sub-window period");
+    // One bounded channel per shard: each shard sends its summaries in
+    // boundary order, so the k-th message on shard i's channel *is*
+    // boundary k — no tagging or reorder buffering needed — and the
+    // per-channel capacity is real backpressure (a fast shard can run
+    // at most `capacity` boundaries ahead of the coordinator, keeping
+    // in-flight summary memory bounded no matter how skewed the shard
+    // scheduling gets).
+    let boundaries = values.len().div_ceil(period);
+    thread::scope(|scope| {
+        let mut receivers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = channel::bounded::<S::Summary>(4);
+            receivers.push(rx);
+            let make_shard = &make_shard;
+            scope.spawn(move || {
+                let mut op = make_shard();
+                let mut batch: Vec<S::Input> = Vec::with_capacity(BATCH.min(period));
+                for (w, sub) in values.chunks(period).enumerate() {
+                    // This shard's elements of sub-window `w`: global
+                    // indices ≡ shard (mod shards), re-batched so each
+                    // worker rides the batched ingestion path.
+                    let start = w * period;
+                    let first = (shard + shards - start % shards) % shards;
+                    for v in sub.iter().skip(first).step_by(shards) {
+                        batch.push(v.clone());
+                        if batch.len() == BATCH {
+                            op.ingest_batch(&batch);
+                            batch.clear();
+                        }
+                    }
+                    if !batch.is_empty() {
+                        op.ingest_batch(&batch);
+                        batch.clear();
+                    }
+                    if tx.send(op.take_summary()).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        // The coordinator runs on the calling thread, merging each
+        // boundary's summaries in shard order. (Any order would produce
+        // the same multiset; shard order makes runs reproducible.)
+        let mut out = Vec::new();
+        for _ in 0..boundaries {
+            for rx in &receivers {
+                let summary = rx.recv().expect("shard thread ended early");
+                if let Some(answer) = coordinator.merge_summary(&summary) {
+                    out.push(answer);
+                }
+            }
+        }
+        out
+    })
 }
 
 #[cfg(test)]
@@ -195,5 +332,125 @@ mod tests {
     fn sharded_rejects_zero_shards() {
         let data: Vec<f64> = vec![];
         run_sharded(|| CountOp, WindowSpec::tumbling(1), &data, 0);
+    }
+
+    // ---- run_distributed over a toy mergeable operator -------------------
+
+    /// Shard half of a distributed windowed sum: accumulates a partial
+    /// sub-window `(sum, count)`.
+    #[derive(Default)]
+    struct SumShard {
+        sum: u64,
+        n: usize,
+    }
+
+    impl ShardAccumulator for SumShard {
+        type Input = u64;
+        type Summary = (u64, usize);
+        fn ingest_batch(&mut self, values: &[u64]) {
+            self.sum += values.iter().sum::<u64>();
+            self.n += values.len();
+        }
+        fn take_summary(&mut self) -> (u64, usize) {
+            let s = (self.sum, self.n);
+            self.sum = 0;
+            self.n = 0;
+            s
+        }
+    }
+
+    /// Coordinator half: a sliding window of `n_sub` sub-window sums,
+    /// emitting the window total at each completed sub-window once full.
+    struct SumCoordinator {
+        period: usize,
+        n_sub: usize,
+        filled: usize,
+        current: u64,
+        ring: std::collections::VecDeque<u64>,
+    }
+
+    impl SumCoordinator {
+        fn new(period: usize, n_sub: usize) -> Self {
+            Self {
+                period,
+                n_sub,
+                filled: 0,
+                current: 0,
+                ring: Default::default(),
+            }
+        }
+    }
+
+    impl SummaryMerge for SumCoordinator {
+        type Summary = (u64, usize);
+        type Output = u64;
+        fn merge_summary(&mut self, &(sum, n): &(u64, usize)) -> Option<u64> {
+            self.current += sum;
+            self.filled += n;
+            assert!(self.filled <= self.period, "summary crossed a boundary");
+            if self.filled < self.period {
+                return None;
+            }
+            self.filled = 0;
+            self.ring.push_back(self.current);
+            self.current = 0;
+            if self.ring.len() > self.n_sub {
+                self.ring.pop_front();
+            }
+            (self.ring.len() == self.n_sub).then(|| self.ring.iter().sum())
+        }
+    }
+
+    /// Sequential reference: window sums of the undealt stream.
+    fn sequential_window_sums(data: &[u64], period: usize, n_sub: usize) -> Vec<u64> {
+        let window = period * n_sub;
+        (0..(data.len().saturating_sub(window - 1)))
+            .filter(|i| i % period == 0)
+            .map(|i| data[i..i + window].iter().sum())
+            .collect()
+    }
+
+    #[test]
+    fn distributed_matches_sequential_window_sums() {
+        let (period, n_sub) = (500, 4);
+        // Lengths straddling BATCH multiples, period multiples, and a
+        // trailing partial sub-window.
+        for len in [0usize, 499, 2_000, 2_001, BATCH * 2 + 777, 3 * BATCH] {
+            let data: Vec<u64> = (0..len as u64).map(|i| (i * 2654435761) % 10_007).collect();
+            let want = sequential_window_sums(&data, period, n_sub);
+            for shards in [1usize, 2, 3, 7] {
+                let mut coord = SumCoordinator::new(period, n_sub);
+                let got = run_distributed(SumShard::default, &mut coord, period, &data, shards);
+                assert_eq!(got, want, "len {len} shards {shards}");
+                // The trailing partial sub-window is merged, not dropped.
+                assert_eq!(coord.filled, len % period, "len {len} shards {shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_more_shards_than_period_elements() {
+        // Shards that receive no element of some sub-window must still
+        // ship (empty) summaries so boundary groups complete.
+        let data: Vec<u64> = (0..30u64).collect();
+        let mut coord = SumCoordinator::new(10, 2);
+        let got = run_distributed(SumShard::default, &mut coord, 10, &data, 16);
+        assert_eq!(got, sequential_window_sums(&data, 10, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn distributed_rejects_zero_shards() {
+        let data: Vec<u64> = vec![];
+        let mut coord = SumCoordinator::new(10, 2);
+        run_distributed(SumShard::default, &mut coord, 10, &data, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sub-window period")]
+    fn distributed_rejects_zero_period() {
+        let data: Vec<u64> = vec![1];
+        let mut coord = SumCoordinator::new(10, 2);
+        run_distributed(SumShard::default, &mut coord, 0, &data, 2);
     }
 }

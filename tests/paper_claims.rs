@@ -4,10 +4,10 @@
 //! breaks, some table or figure would no longer have the published
 //! shape.
 
-use qlove::core::{FewKConfig, Qlove, QloveConfig};
+use qlove::core::{FewKConfig, Qlove, QloveAnswer, QloveConfig, QloveShard};
 use qlove::rbtree::FreqTree;
 use qlove::sketches::{CmqsPolicy, ExactPolicy, RandomPolicy};
-use qlove::stream::QuantilePolicy;
+use qlove::stream::{run_distributed, QuantilePolicy};
 use qlove::workloads::{burst::inject_burst, NetMonGen, ParetoGen};
 use std::collections::VecDeque;
 use std::time::Instant;
@@ -156,6 +156,65 @@ fn qlove_outruns_exact_on_sliding_windows() {
         t_qlove < t_exact,
         "QLOVE {t_qlove:.3}s should beat Exact {t_exact:.3}s on a sliding window"
     );
+}
+
+/// §7's distributed extension must not cost accuracy: answering one
+/// logical window from N ingestion shards via mergeable summaries keeps
+/// the error within the paper's per-instance bound for the Table-1
+/// window shape. The merged answers are in fact bit-identical to the
+/// single-instance answers, so the merged error *equals* the
+/// per-instance error; both facts are asserted, for both Table-1
+/// quantile regimes (median via Level 2, Q0.999 via half-budget top-k).
+#[test]
+fn merged_window_error_stays_within_per_instance_bound() {
+    let (window, period) = (16_000, 2_000);
+    let phis = [0.5, 0.999];
+    let data = NetMonGen::generate(42, 120_000);
+    let cfg =
+        QloveConfig::new(&phis, window, period).fewk(Some(FewKConfig::with_fractions(0.5, 0.0)));
+
+    // Per-instance reference answers and error.
+    let mut single = Qlove::new(cfg.clone());
+    let reference: Vec<QloveAnswer> = data
+        .iter()
+        .filter_map(|&v| single.push_detailed(v))
+        .collect();
+    let avg_err = |answers: &[QloveAnswer], phi_idx: usize| -> f64 {
+        let mut sum = 0.0;
+        for (k, ans) in answers.iter().enumerate() {
+            let end = window + k * period;
+            let mut win: Vec<u64> = data[end - window..end].to_vec();
+            win.sort_unstable();
+            let exact = qlove::stats::quantile_sorted(&win, phis[phi_idx]) as f64;
+            sum += ((ans.values[phi_idx] as f64 - exact) / exact).abs() * 100.0;
+        }
+        sum / answers.len() as f64
+    };
+    let instance_med = avg_err(&reference, 0);
+    let instance_tail = avg_err(&reference, 1);
+
+    for shards in [2usize, 4] {
+        let mut coordinator = Qlove::new(cfg.clone());
+        let merged = run_distributed(
+            || QloveShard::new(&cfg),
+            &mut coordinator,
+            period,
+            &data,
+            shards,
+        );
+        assert_eq!(merged, reference, "{shards} shards: answers diverged");
+        let merged_med = avg_err(&merged, 0);
+        let merged_tail = avg_err(&merged, 1);
+        assert!(
+            merged_med <= instance_med + 1e-12 && merged_tail <= instance_tail + 1e-12,
+            "{shards} shards: merged error {merged_med:.3}%/{merged_tail:.3}% exceeds \
+             per-instance {instance_med:.3}%/{instance_tail:.3}%"
+        );
+        // And the per-instance bound itself has the Table-1 shape:
+        // sub-1% median, low-single-digit repaired tail.
+        assert!(merged_med < 1.0, "median error {merged_med:.3}%");
+        assert!(merged_tail < 3.0, "Q0.999 error {merged_tail:.3}%");
+    }
 }
 
 /// §5.4 shape: on Pareto data the tail gap between QLOVE and the

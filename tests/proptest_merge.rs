@@ -1,0 +1,127 @@
+//! Property tests for mergeable summaries: merging K sharded summaries
+//! must be equivalent to a single instance ingesting the interleaved
+//! stream, across random window specs, shard counts, and workloads.
+//!
+//! The property asserted is *bit-identity* of the full detailed answers
+//! (values, provenance, bounds, burst flags) — strictly stronger than
+//! the rank-error equivalence the distributed design needs: equal
+//! answers have equal rank error against any ground truth. It holds
+//! because a merged sub-window is the same frequency multiset a single
+//! instance would build, and everything QLOVE derives at a boundary is
+//! a function of that multiset plus ring history.
+
+use proptest::prelude::*;
+use qlove::core::{Qlove, QloveAnswer, QloveConfig, QloveShard, QloveSummary};
+use qlove::stream::run_distributed;
+use qlove::workloads::{Ar1Gen, NormalGen, ParetoGen};
+
+/// Random window shapes: 2–5 sub-windows of 100–600 elements.
+fn window_specs() -> impl Strategy<Value = (usize, usize)> {
+    (2usize..=5, 100usize..=600).prop_map(|(n_sub, period)| (n_sub * period, period))
+}
+
+/// The paper's workload families, deterministic per seed.
+fn workloads() -> impl Strategy<Value = Vec<u64>> {
+    (0u8..3, any::<u64>(), 4_000usize..9_000).prop_map(|(kind, seed, n)| match kind {
+        0 => NormalGen::generate(seed, n),
+        1 => ParetoGen::generate(seed, n),
+        _ => Ar1Gen::generate(seed, 0.7, n),
+    })
+}
+
+fn sequential(cfg: &QloveConfig, data: &[u64]) -> Vec<QloveAnswer> {
+    let mut op = Qlove::new(cfg.clone());
+    data.iter().filter_map(|&v| op.push_detailed(v)).collect()
+}
+
+/// Single-threaded distributed simulation: deal round-robin, exchange
+/// summaries at every sub-window boundary, merge in shard order.
+fn dealt(cfg: &QloveConfig, data: &[u64], shards: usize) -> Vec<QloveAnswer> {
+    let mut workers: Vec<QloveShard> = (0..shards).map(|_| QloveShard::new(cfg)).collect();
+    let mut coordinator = Qlove::new(cfg.clone());
+    let mut out = Vec::new();
+    for (i, &v) in data.iter().enumerate() {
+        workers[i % shards].push(v);
+        if (i + 1) % cfg.period == 0 {
+            for w in workers.iter_mut() {
+                out.extend(coordinator.merge(&w.take_summary()));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// K-shard summary merging equals the single-instance run, for the
+    /// paper-default configuration (quantization + few-k on).
+    #[test]
+    fn sharded_summaries_merge_to_single_instance_answers(
+        spec in window_specs(),
+        data in workloads(),
+        shards in 1usize..=6,
+    ) {
+        let (window, period) = spec;
+        let cfg = QloveConfig::new(&[0.5, 0.9, 0.99, 0.999], window, period);
+        prop_assert_eq!(dealt(&cfg, &data, shards), sequential(&cfg, &data));
+    }
+
+    /// Same through the threaded executor (round-robin dealing, channel
+    /// exchange, out-of-order boundary arrival) — and with few-k off,
+    /// covering the pure §3 pipeline.
+    #[test]
+    fn run_distributed_matches_single_instance(
+        spec in window_specs(),
+        data in workloads(),
+        shards in 1usize..=6,
+        fewk in any::<bool>(),
+    ) {
+        let (window, period) = spec;
+        let phis = [0.5, 0.99, 0.999];
+        let cfg = if fewk {
+            QloveConfig::new(&phis, window, period)
+        } else {
+            QloveConfig::without_fewk(&phis, window, period)
+        };
+        let mut coordinator = Qlove::new(cfg.clone());
+        let got = run_distributed(
+            || QloveShard::new(&cfg),
+            &mut coordinator,
+            cfg.period,
+            &data,
+            shards,
+        );
+        let mut single = Qlove::new(cfg.clone());
+        let want: Vec<QloveAnswer> =
+            data.iter().filter_map(|&v| single.push_detailed(v)).collect();
+        prop_assert_eq!(got, want);
+        // The trailing partial sub-window is merged, not dropped.
+        prop_assert_eq!(coordinator.pending(), single.pending());
+    }
+
+    /// Summaries survive the wire: encode → decode before every merge
+    /// changes nothing.
+    #[test]
+    fn summaries_roundtrip_through_codec_mid_merge(
+        data in workloads(),
+        shards in 2usize..=5,
+    ) {
+        let cfg = QloveConfig::new(&[0.5, 0.999], 1_500, 500);
+        let mut workers: Vec<QloveShard> =
+            (0..shards).map(|_| QloveShard::new(&cfg)).collect();
+        let mut coordinator = Qlove::new(cfg.clone());
+        let mut got = Vec::new();
+        for (i, &v) in data.iter().enumerate() {
+            workers[i % shards].push(v);
+            if (i + 1) % cfg.period == 0 {
+                for w in workers.iter_mut() {
+                    let wire = w.take_summary().to_bytes();
+                    let summary = QloveSummary::from_bytes(&wire).unwrap();
+                    got.extend(coordinator.merge(&summary));
+                }
+            }
+        }
+        prop_assert_eq!(got, sequential(&cfg, &data));
+    }
+}

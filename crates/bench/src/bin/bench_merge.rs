@@ -1,13 +1,15 @@
 //! `bench_merge` — record the cost of mergeable-summary distributed
-//! execution as `BENCH_merge.json`, so the merge path's perf trajectory
-//! is tracked across PRs alongside `BENCH_ingest.json`.
+//! execution per Level-1 store backend as `BENCH_merge.json`, so the
+//! merge path's perf trajectory is tracked across PRs alongside
+//! `BENCH_ingest.json`.
 //!
 //! ```text
 //! bench_merge [--events N] [--shards a,b,c] [--out PATH] [--smoke]
 //! ```
 //!
 //! Measures, over the quantized Normal stream with the paper-default
-//! QLOVE configuration (100K/10K window):
+//! QLOVE configuration (100K/10K window), for **both** backends (tree
+//! and dense):
 //!
 //! * single-instance batched ingestion throughput (the baseline the
 //!   distributed executor must amortize against);
@@ -15,14 +17,37 @@
 //!   on the way that the merged answers are bit-identical to the
 //!   sequential run;
 //! * the isolated coordinator merge cost per sub-window boundary
-//!   (pre-extracted shard summaries, timed merge loop only);
+//!   (pre-extracted shard summaries, timed merge loop only) — this
+//!   includes the boundary *completion* work (exact quantiles, tail
+//!   snapshot, burst test, bounds), which is backend-independent and
+//!   dominates at high shard counts;
+//! * the isolated **fold** cost per summary — a fresh Level-1 store
+//!   per boundary folding each shard summary in, which is the
+//!   primitive the backend actually changes (one tree descent per
+//!   unique key vs one array add per pair). Measured on the Normal
+//!   stream *and* the Pareto stream: quantized Normal summaries hold
+//!   ~150 unique pairs (a small, cache-resident tree — its best
+//!   case), while Pareto's heavy tail spreads across decades and
+//!   makes tree descents pay, which is where the slice-fold win
+//!   compounds;
 //! * summary codec compactness (bytes per shipped summary vs the raw
-//!   16-bytes-per-pair encoding).
+//!   16-bytes-per-pair encoding; backend-neutral, measured once).
+//!
+//! Headline ratios: fold cost per summary, tree over dense (the win of
+//! folding sorted pairs into a flat array instead of one tree descent
+//! per unique key), and dense-backend distributed throughput at 4
+//! shards over both its own sequential run and the tree sequential
+//! baseline. The artifact records `host_cpus`: on a single-CPU host
+//! distributed execution serializes onto one core and can at best tie
+//! sequential ingest (it is the same work plus dealing overhead), so
+//! the tree-baseline ratio is the meaningful cross-PR trajectory there,
+//! while the own-sequential ratio becomes meaningful on multi-core
+//! hosts where shard ingest overlaps coordinator merging.
 //!
 //! `--smoke` shrinks the run for CI (fewer events, fewer shard counts)
 //! while keeping every measurement present in the artifact.
 
-use qlove_core::{Qlove, QloveAnswer, QloveConfig, QloveShard, QloveSummary};
+use qlove_core::{Backend, Qlove, QloveAnswer, QloveConfig, QloveShard, QloveSummary};
 use qlove_stream::run_distributed;
 use qlove_workloads::NormalGen;
 use std::fmt::Write as _;
@@ -31,6 +56,7 @@ use std::time::Instant;
 const WINDOW: usize = 100_000;
 const PERIOD: usize = 10_000;
 const PHIS: [f64; 4] = [0.5, 0.9, 0.99, 0.999];
+const BACKENDS: [(Backend, &str); 2] = [(Backend::Tree, "tree"), (Backend::Dense, "dense")];
 
 struct Args {
     events: usize,
@@ -100,16 +126,70 @@ fn deal_summaries(cfg: &QloveConfig, data: &[u64], shards: usize) -> Vec<Vec<Qlo
     groups
 }
 
-fn main() {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("bench_merge: {e}");
-            std::process::exit(1);
-        }
-    };
+struct BackendReport {
+    name: &'static str,
+    seq_rate: f64,
+    /// Per shard count: (shards, Melem/s, answers match sequential).
+    dist_rows: Vec<(usize, f64, bool)>,
+    /// Per shard count: (shards, ns/boundary, ns/summary).
+    merge_rows: Vec<(usize, f64, f64)>,
+}
+
+/// Pure fold cost: (dataset, backend, ns/summary, avg pairs/summary).
+struct FoldRow {
+    dataset: &'static str,
+    backend: &'static str,
+    ns_per_summary: f64,
+    avg_pairs: f64,
+}
+
+/// Store-level fold measurement: a fresh Level-1 store per boundary,
+/// each of the boundary group's summaries folded in through
+/// `FreqStoreImpl::merge_sorted_counts` — exactly the coordinator's
+/// state-combining step, with no boundary-completion work attached.
+fn measure_folds(dataset: &'static str, data: &[u64], shards: usize, out: &mut Vec<FoldRow>) {
+    use qlove_freqstore::{FreqStore, FreqStoreImpl};
     let cfg = QloveConfig::new(&PHIS, WINDOW, PERIOD);
-    let data = NormalGen::generate(7, args.events);
+    let groups = deal_summaries(&cfg, data, shards);
+    let n: usize = groups.iter().map(Vec::len).sum();
+    let pairs: usize = groups
+        .iter()
+        .flat_map(|g| g.iter().map(|s| s.counts().len()))
+        .sum();
+    let avg_pairs = pairs as f64 / n as f64;
+    for (name, mut store) in [
+        ("tree", FreqStoreImpl::tree(1 << 14)),
+        ("dense", FreqStoreImpl::dense(3)),
+    ] {
+        let start = Instant::now();
+        for group in &groups {
+            store.clear();
+            for summary in group {
+                store.merge_sorted_counts(summary.counts());
+            }
+            std::hint::black_box(store.total());
+        }
+        let ns_per_summary = start.elapsed().as_nanos() as f64 / n as f64;
+        eprintln!(
+            "{dataset:>7} {name:>5} fold                  {ns_per_summary:8.0} ns/summary \
+             ({avg_pairs:.0} pairs)"
+        );
+        out.push(FoldRow {
+            dataset,
+            backend: name,
+            ns_per_summary,
+            avg_pairs,
+        });
+    }
+}
+
+fn measure_backend(
+    backend: Backend,
+    name: &'static str,
+    data: &[u64],
+    shards_list: &[usize],
+) -> BackendReport {
+    let cfg = QloveConfig::new(&PHIS, WINDOW, PERIOD).backend(backend);
 
     // Baseline: single-instance batched ingestion.
     let mut single = Qlove::new(cfg.clone());
@@ -118,33 +198,34 @@ fn main() {
     for chunk in data.chunks(4096) {
         single.push_batch_into(chunk, &mut seq_answers);
     }
-    let seq_rate = args.events as f64 / start.elapsed().as_secs_f64() / 1e6;
-    eprintln!("sequential push_batch(4096)      {seq_rate:8.2} Melem/s");
+    let seq_rate = data.len() as f64 / start.elapsed().as_secs_f64() / 1e6;
+    eprintln!("{name:>5} sequential push_batch(4096)      {seq_rate:8.2} Melem/s");
 
     // Distributed end-to-end, checking bit-identity with the baseline.
     let mut dist_rows: Vec<(usize, f64, bool)> = Vec::new();
-    for &shards in &args.shards {
+    for &shards in shards_list {
         let mut coordinator = Qlove::new(cfg.clone());
         let start = Instant::now();
         let answers = run_distributed(
             || QloveShard::new(&cfg),
             &mut coordinator,
             cfg.period,
-            &data,
+            data,
             shards,
         );
-        let rate = args.events as f64 / start.elapsed().as_secs_f64() / 1e6;
+        let rate = data.len() as f64 / start.elapsed().as_secs_f64() / 1e6;
         let matches = answers == seq_answers;
         eprintln!(
-            "run_distributed({shards} shards)       {rate:8.2} Melem/s  answers_match={matches}"
+            "{name:>5} run_distributed({shards} shards)       {rate:8.2} Melem/s  \
+             answers_match={matches}"
         );
         dist_rows.push((shards, rate, matches));
     }
 
     // Isolated merge cost per sub-window boundary.
     let mut merge_rows: Vec<(usize, f64, f64)> = Vec::new();
-    for &shards in &args.shards {
-        let groups = deal_summaries(&cfg, &data, shards);
+    for &shards in shards_list {
+        let groups = deal_summaries(&cfg, data, shards);
         let boundaries = groups.len();
         let mut coordinator = Qlove::new(cfg.clone());
         let start = Instant::now();
@@ -157,16 +238,49 @@ fn main() {
         let per_boundary = total_ns / boundaries as f64;
         let per_summary = per_boundary / shards as f64;
         eprintln!(
-            "merge cost ({shards} shards)           {per_boundary:10.0} ns/boundary \
+            "{name:>5} merge cost ({shards} shards)           {per_boundary:10.0} ns/boundary \
              ({per_summary:.0} ns/summary)"
         );
         merge_rows.push((shards, per_boundary, per_summary));
     }
 
+    BackendReport {
+        name,
+        seq_rate,
+        dist_rows,
+        merge_rows,
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_merge: {e}");
+            std::process::exit(1);
+        }
+    };
+    let data = NormalGen::generate(7, args.events);
+
+    let reports: Vec<BackendReport> = BACKENDS
+        .iter()
+        .map(|&(backend, name)| measure_backend(backend, name, &data, &args.shards))
+        .collect();
+
+    // Store-level fold cost on both workload families, at the 4-shard
+    // (or closest configured) dealing.
+    let fold_shards = args.shards.iter().copied().find(|&s| s >= 4).unwrap_or(1);
+    let mut fold_rows: Vec<FoldRow> = Vec::new();
+    measure_folds("normal", &data, fold_shards, &mut fold_rows);
+    let pareto = qlove_workloads::ParetoGen::generate(7, args.events);
+    measure_folds("pareto", &pareto, fold_shards, &mut fold_rows);
+
     // Codec compactness over a representative dealing (4 shards or the
-    // largest configured count below that).
+    // largest configured count below that). Summaries are backend-
+    // neutral sorted pairs, so one backend suffices.
     let codec_shards = args.shards.iter().copied().find(|&s| s >= 4).unwrap_or(1);
-    let groups = deal_summaries(&cfg, &data, codec_shards);
+    let codec_cfg = QloveConfig::new(&PHIS, WINDOW, PERIOD);
+    let groups = deal_summaries(&codec_cfg, &data, codec_shards);
     let (mut bytes, mut pairs, mut n) = (0usize, 0usize, 0usize);
     for group in &groups {
         for summary in group {
@@ -183,6 +297,35 @@ fn main() {
          {raw_bytes:.1} B raw ({avg_pairs:.0} pairs)"
     );
 
+    // Headline ratios at the 4-shard (or closest) configuration.
+    let tree = &reports[0];
+    let dense = &reports[1];
+    let fold_of = |dataset: &str, backend: &str| {
+        fold_rows
+            .iter()
+            .find(|r| r.dataset == dataset && r.backend == backend)
+            .map(|r| r.ns_per_summary)
+            .unwrap_or(f64::NAN)
+    };
+    let fold_speedup_normal = fold_of("normal", "tree") / fold_of("normal", "dense");
+    let fold_speedup_pareto = fold_of("pareto", "tree") / fold_of("pareto", "dense");
+    let dense_dist4 = dense
+        .dist_rows
+        .iter()
+        .find(|r| r.0 == 4)
+        .or(dense.dist_rows.last())
+        .map(|r| r.1)
+        .unwrap_or(f64::NAN);
+    let dist_over_seq = dense_dist4 / dense.seq_rate;
+    let dist_over_tree_seq = dense_dist4 / tree.seq_rate;
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("fold ns/summary tree / dense (normal):     {fold_speedup_normal:.2}x");
+    eprintln!("fold ns/summary tree / dense (pareto):     {fold_speedup_pareto:.2}x");
+    eprintln!("dense distributed(4) / dense sequential:   {dist_over_seq:.2}x");
+    eprintln!("dense distributed(4) / tree sequential:    {dist_over_tree_seq:.2}x  (host_cpus={host_cpus})");
+
     // Hand-rolled JSON: the workspace deliberately has no serde.
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"experiment\": \"merge\",");
@@ -195,37 +338,78 @@ fn main() {
         PHIS.map(|p| p.to_string()).join(", ")
     );
     let _ = writeln!(json, "  \"results\": [");
-    let _ = writeln!(
-        json,
-        "    {{\"mode\": \"sequential\", \"shards\": 1, \"melems_per_sec\": {seq_rate:.3}}},"
-    );
-    for (i, (shards, rate, matches)) in dist_rows.iter().enumerate() {
-        let comma = if i + 1 < dist_rows.len() { "," } else { "" };
+    for (bi, report) in reports.iter().enumerate() {
+        let name = report.name;
         let _ = writeln!(
             json,
-            "    {{\"mode\": \"distributed\", \"shards\": {shards}, \"melems_per_sec\": \
-             {rate:.3}, \"answers_match_sequential\": {matches}}}{comma}"
+            "    {{\"backend\": \"{name}\", \"mode\": \"sequential\", \"shards\": 1, \
+             \"melems_per_sec\": {:.3}}},",
+            report.seq_rate
         );
+        for (i, (shards, rate, matches)) in report.dist_rows.iter().enumerate() {
+            let last = bi + 1 == reports.len() && i + 1 == report.dist_rows.len();
+            let comma = if last { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "    {{\"backend\": \"{name}\", \"mode\": \"distributed\", \"shards\": {shards}, \
+                 \"melems_per_sec\": {rate:.3}, \"answers_match_sequential\": {matches}}}{comma}"
+            );
+        }
     }
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"merge_cost_per_boundary\": [");
-    for (i, (shards, per_boundary, per_summary)) in merge_rows.iter().enumerate() {
-        let comma = if i + 1 < merge_rows.len() { "," } else { "" };
+    for (bi, report) in reports.iter().enumerate() {
+        for (i, (shards, per_boundary, per_summary)) in report.merge_rows.iter().enumerate() {
+            let last = bi + 1 == reports.len() && i + 1 == report.merge_rows.len();
+            let comma = if last { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "    {{\"backend\": \"{}\", \"shards\": {shards}, \"ns_per_boundary\": \
+                 {per_boundary:.0}, \"ns_per_summary\": {per_summary:.0}}}{comma}",
+                report.name
+            );
+        }
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"fold_ns_per_summary\": [");
+    for (i, row) in fold_rows.iter().enumerate() {
+        let comma = if i + 1 < fold_rows.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "    {{\"shards\": {shards}, \"ns_per_boundary\": {per_boundary:.0}, \
-             \"ns_per_summary\": {per_summary:.0}}}{comma}"
+            "    {{\"dataset\": \"{}\", \"backend\": \"{}\", \"ns_per_summary\": {:.0}, \
+             \"avg_pairs_per_summary\": {:.1}}}{comma}",
+            row.dataset, row.backend, row.ns_per_summary, row.avg_pairs
         );
     }
     let _ = writeln!(json, "  ],");
     let _ = writeln!(
         json,
         "  \"codec\": {{\"shards\": {codec_shards}, \"avg_bytes_per_summary\": {avg_bytes:.1}, \
-         \"avg_pairs_per_summary\": {avg_pairs:.1}, \"raw_bytes_per_summary\": {raw_bytes:.1}}}"
+         \"avg_pairs_per_summary\": {avg_pairs:.1}, \"raw_bytes_per_summary\": {raw_bytes:.1}}},"
+    );
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(
+        json,
+        "  \"fold_tree_over_dense_normal\": {fold_speedup_normal:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"fold_tree_over_dense_pareto\": {fold_speedup_pareto:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"dense_distributed4_over_dense_sequential\": {dist_over_seq:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"dense_distributed4_over_tree_sequential\": {dist_over_tree_seq:.3}"
     );
     json.push_str("}\n");
 
-    if dist_rows.iter().any(|&(_, _, m)| !m) {
+    if reports
+        .iter()
+        .any(|r| r.dist_rows.iter().any(|&(_, _, m)| !m))
+    {
         eprintln!("bench_merge: distributed answers diverged from sequential");
         std::process::exit(1);
     }

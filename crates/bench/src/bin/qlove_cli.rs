@@ -30,8 +30,15 @@
 //! answers are bit-identical to a single-instance run of the same
 //! stream. The `space` column shows the coordinator's footprint after
 //! the run.
+//!
+//! `--backend {tree,dense,auto}` (QLOVE only) pins the Level-1
+//! frequency-store backend: the red-black tree, the flat direct-indexed
+//! dense store (requires quantization, which the CLI's default config
+//! has on), or automatic selection (default — dense under the paper's
+//! 3-digit quantization). Answers are bit-identical either way; only
+//! throughput and memory change.
 
-use qlove_core::{Qlove, QloveConfig, QloveShard};
+use qlove_core::{Backend, Qlove, QloveConfig, QloveShard};
 use qlove_sketches::{
     AmPolicy, CkmsPolicy, CmqsPolicy, DdSketchPolicy, ExactPolicy, KllPolicy, MomentPolicy,
     RandomPolicy, TDigestPolicy,
@@ -49,6 +56,7 @@ struct Args {
     events: usize,
     batch: usize,
     distributed: usize,
+    backend: Backend,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -61,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
         events: 1_000_000,
         batch: 1,
         distributed: 0,
+        backend: Backend::Auto,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -87,6 +96,14 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--policy" => args.policy = need_value(i)?.to_string(),
+            "--backend" => {
+                args.backend = match need_value(i)? {
+                    "auto" => Backend::Auto,
+                    "tree" => Backend::Tree,
+                    "dense" => Backend::Dense,
+                    other => return Err(format!("unknown backend {other} (tree|dense|auto)")),
+                };
+            }
             "--demo" => args.demo = Some(need_value(i)?.to_string()),
             "--phis" => {
                 args.phis = need_value(i)?
@@ -99,7 +116,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: qlove_cli [--window N] [--period K] [--phis a,b,c] \
                      [--policy qlove|exact|cmqs|am|random|moment|ddsketch|kll|ckms|tdigest] \
                      [--demo netmon|search|normal|uniform|pareto --events N] [--batch N] \
-                     [--distributed N]"
+                     [--distributed N] [--backend tree|dense|auto]"
                 );
                 std::process::exit(0);
             }
@@ -112,8 +129,11 @@ fn parse_args() -> Result<Args, String> {
 
 fn make_policy(a: &Args) -> Result<Box<dyn QuantilePolicy>, String> {
     let (phis, w, p) = (&a.phis[..], a.window, a.period);
+    if a.backend != Backend::Auto && a.policy != "qlove" {
+        return Err("--backend only applies to the qlove policy".into());
+    }
     Ok(match a.policy.as_str() {
-        "qlove" => Box::new(Qlove::new(QloveConfig::new(phis, w, p))),
+        "qlove" => Box::new(Qlove::new(QloveConfig::new(phis, w, p).backend(a.backend))),
         "exact" => Box::new(ExactPolicy::new(phis, w, p)),
         "cmqs" => Box::new(CmqsPolicy::new(phis, w, p, 0.02)),
         "am" => Box::new(AmPolicy::new(phis, w, p, 0.02)),
@@ -176,7 +196,7 @@ fn run_distributed_mode(args: &Args) -> Result<(), String> {
         Some(name) => demo_values(name, args.events)?,
         None => read_stdin_values()?,
     };
-    let cfg = QloveConfig::new(&args.phis, args.window, args.period);
+    let cfg = QloveConfig::new(&args.phis, args.window, args.period).backend(args.backend);
     let mut coordinator = Qlove::new(cfg.clone());
     let answers = run_distributed(
         || QloveShard::new(&cfg),

@@ -20,25 +20,30 @@
 //! single-instance sub-window, and the density is estimated from the
 //! merged tree, so the reported bound is the per-instance bound.
 
-use qlove_rbtree::FreqTree;
+use qlove_freqstore::FreqStore;
 use qlove_stats::error_bound::{clt_error_bound, CltBound};
 
-/// Density estimate `f(p_φ)` from a frequency tree via symmetric finite
-/// differences with half-width `h = min(0.05, φ/2, (1−φ)/2)`.
+/// Density estimate `f(p_φ)` from a frequency store via symmetric
+/// finite differences with half-width `h = min(0.05, φ/2, (1−φ)/2)`.
 ///
-/// Returns `None` when the tree is empty, the quantile is degenerate, or
-/// the two flanking quantiles coincide (point mass → the CLT bound does
-/// not apply; the answer there is exact anyway).
-pub fn density_at_quantile(tree: &FreqTree<u64>, phi: f64) -> Option<f64> {
-    if tree.is_empty() || !(0.0 < phi && phi < 1.0) {
+/// Generic over the Level-1 backend ([`FreqStore`]): both the red-black
+/// tree and the dense direct-indexed store answer the two flanking
+/// quantiles under the same rank convention, so the estimate — and the
+/// bound built on it — is backend-independent bit for bit.
+///
+/// Returns `None` when the store is empty, the quantile is degenerate,
+/// or the two flanking quantiles coincide (point mass → the CLT bound
+/// does not apply; the answer there is exact anyway).
+pub fn density_at_quantile<S: FreqStore>(store: &S, phi: f64) -> Option<f64> {
+    if store.is_empty() || !(0.0 < phi && phi < 1.0) {
         return None;
     }
     let h = (0.05f64).min(phi / 2.0).min((1.0 - phi) / 2.0);
     if h <= 0.0 {
         return None;
     }
-    let lo = tree.quantile(phi - h)? as f64;
-    let hi = tree.quantile(phi + h)? as f64;
+    let lo = store.quantile(phi - h)? as f64;
+    let hi = store.quantile(phi + h)? as f64;
     if hi <= lo {
         return None;
     }
@@ -46,21 +51,22 @@ pub fn density_at_quantile(tree: &FreqTree<u64>, phi: f64) -> Option<f64> {
 }
 
 /// Theorem-1 bound for a window of `n_subwindows × m_per_subwindow`
-/// points whose freshest sub-window is summarized by `tree`.
-pub fn bound_from_tree(
-    tree: &FreqTree<u64>,
+/// points whose freshest sub-window is summarized by `store`.
+pub fn bound_from_store<S: FreqStore>(
+    store: &S,
     phi: f64,
     n_subwindows: usize,
     m_per_subwindow: usize,
     alpha: f64,
 ) -> Option<CltBound> {
-    let f = density_at_quantile(tree, phi)?;
+    let f = density_at_quantile(store, phi)?;
     clt_error_bound(phi, n_subwindows, m_per_subwindow, f, alpha)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qlove_freqstore::{DenseFreqStore, FreqTree};
 
     fn uniform_tree(n: u64) -> FreqTree<u64> {
         let mut t = FreqTree::new();
@@ -111,8 +117,8 @@ mod tests {
     #[test]
     fn bound_shrinks_with_more_subwindows() {
         let t = uniform_tree(10_000);
-        let few = bound_from_tree(&t, 0.5, 2, 10_000, 0.05).unwrap();
-        let many = bound_from_tree(&t, 0.5, 32, 10_000, 0.05).unwrap();
+        let few = bound_from_store(&t, 0.5, 2, 10_000, 0.05).unwrap();
+        let many = bound_from_store(&t, 0.5, 32, 10_000, 0.05).unwrap();
         assert!(many.half_width < few.half_width);
         assert!((few.half_width / many.half_width - 4.0).abs() < 1e-9);
     }
@@ -139,8 +145,8 @@ mod tests {
                 density_at_quantile(&single, phi),
                 "phi = {phi}"
             );
-            let a = bound_from_tree(&merged, phi, 8, data.len(), 0.05);
-            let b = bound_from_tree(&single, phi, 8, data.len(), 0.05);
+            let a = bound_from_store(&merged, phi, 8, data.len(), 0.05);
+            let b = bound_from_store(&single, phi, 8, data.len(), 0.05);
             assert_eq!(a.is_some(), b.is_some());
             if let (Some(a), Some(b)) = (a, b) {
                 assert_eq!(a.half_width.to_bits(), b.half_width.to_bits());
@@ -149,11 +155,37 @@ mod tests {
     }
 
     #[test]
+    fn bounds_agree_across_backends() {
+        // The same quantized multiset in a tree and a dense store must
+        // yield bit-identical density estimates and bounds.
+        let mut tree = FreqTree::new();
+        let mut dense = DenseFreqStore::new(3);
+        for v in (0..12_000u64).map(|i| (i * 2654435761) % 100_000) {
+            let q = dense.quantize(v);
+            FreqStore::insert(&mut tree, q, 1);
+            dense.insert(q, 1);
+        }
+        for &phi in &[0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(
+                density_at_quantile(&tree, phi),
+                density_at_quantile(&dense, phi),
+                "phi = {phi}"
+            );
+            let a = bound_from_store(&tree, phi, 10, 12_000, 0.05);
+            let b = bound_from_store(&dense, phi, 10, 12_000, 0.05);
+            assert_eq!(
+                a.map(|x| x.half_width.to_bits()),
+                b.map(|x| x.half_width.to_bits())
+            );
+        }
+    }
+
+    #[test]
     fn bound_matches_manual_computation() {
         // Uniform 0..10_000, φ=0.5, f=1e-4, n=8, m=10_000:
         // eb = 2·1.96·0.5/(√80000·1e-4) ≈ 69.3.
         let t = uniform_tree(10_000);
-        let b = bound_from_tree(&t, 0.5, 8, 10_000, 0.05).unwrap();
+        let b = bound_from_store(&t, 0.5, 8, 10_000, 0.05).unwrap();
         assert!(
             (b.half_width - 69.3).abs() / 69.3 < 0.15,
             "half width {}",

@@ -78,6 +78,42 @@ impl FewKConfig {
     }
 }
 
+/// Which Level-1 frequency-store implementation backs sub-window state.
+///
+/// Level-1 state is a frequency multiset; two structurally different
+/// stores implement it with identical semantics (answers are
+/// bit-identical either way — locked by `tests/proptest_backend.rs`):
+///
+/// * **Tree** — the arena red-black tree (`qlove_rbtree::FreqTree`):
+///   `O(log u)` operations, memory proportional to unique keys, works
+///   for any key domain. The right choice when quantization is off.
+/// * **Dense** — the flat direct-indexed array
+///   (`qlove_freqstore::DenseFreqStore`): `O(1)` inserts, prefix-scan
+///   quantiles, slice-add merges, but memory proportional to the
+///   *quantized domain* (≤ 130 KB at 3 significant digits) regardless
+///   of occupancy. Only meaningful when quantization bounds the domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Pick automatically: dense when quantization is on with at most
+    /// [`Backend::AUTO_DENSE_MAX_DIGITS`] significant digits (the
+    /// paper's 3-digit default qualifies), tree otherwise.
+    #[default]
+    Auto,
+    /// Always the red-black tree.
+    Tree,
+    /// Always the flat dense store; requires quantization (validation
+    /// rejects the combination with `sig_digits: None`).
+    Dense,
+}
+
+impl Backend {
+    /// Largest significant-digit setting for which `Auto` chooses the
+    /// dense store. At 4 digits the index domain is 154 000 slots
+    /// (~1.2 MB); beyond that the flat array stops being obviously
+    /// cheap and the choice must be explicit.
+    pub const AUTO_DENSE_MAX_DIGITS: u32 = 4;
+}
+
 /// Full QLOVE operator configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QloveConfig {
@@ -94,6 +130,8 @@ pub struct QloveConfig {
     /// Few-k merging setup; `None` runs the pure §3 algorithm (how §5.2
     /// evaluates before §5.3 switches few-k on).
     pub fewk: Option<FewKConfig>,
+    /// Level-1 frequency-store backend selection.
+    pub backend: Backend,
 }
 
 impl QloveConfig {
@@ -106,6 +144,7 @@ impl QloveConfig {
             period,
             sig_digits: Some(3),
             fewk: Some(FewKConfig::auto(window, period, false)),
+            backend: Backend::Auto,
         }
     }
 
@@ -129,6 +168,23 @@ impl QloveConfig {
         self
     }
 
+    /// Builder-style: pin the Level-1 store backend (default
+    /// [`Backend::Auto`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The backend [`Backend::Auto`] resolves to under this
+    /// configuration — never `Auto` itself.
+    pub fn resolved_backend(&self) -> Backend {
+        match (self.backend, self.sig_digits) {
+            (Backend::Auto, Some(d)) if d <= Backend::AUTO_DENSE_MAX_DIGITS => Backend::Dense,
+            (Backend::Auto, _) => Backend::Tree,
+            (explicit, _) => explicit,
+        }
+    }
+
     /// Number of sub-windows `n = N/P`.
     pub fn subwindows(&self) -> usize {
         self.window / self.period
@@ -150,6 +206,16 @@ impl QloveConfig {
         );
         if let Some(d) = self.sig_digits {
             assert!(d > 0, "need at least one significant digit");
+        }
+        if self.backend == Backend::Dense {
+            let digits = self
+                .sig_digits
+                .expect("dense backend requires quantization (sig_digits)");
+            assert!(
+                digits <= qlove_freqstore::DenseFreqStore::MAX_SIG_DIGITS,
+                "dense backend supports at most {} significant digits",
+                qlove_freqstore::DenseFreqStore::MAX_SIG_DIGITS
+            );
         }
         if let Some(f) = &self.fewk {
             f.validate();
@@ -187,6 +253,49 @@ mod tests {
             .fewk(Some(FewKConfig::with_fractions(0.1, 0.5)));
         assert_eq!(c.sig_digits, None);
         assert_eq!(c.fewk.unwrap().topk_fraction, 0.1);
+    }
+
+    #[test]
+    fn auto_backend_follows_quantization() {
+        let c = QloveConfig::new(&[0.5], 1000, 100);
+        assert_eq!(c.backend, Backend::Auto);
+        assert_eq!(c.resolved_backend(), Backend::Dense);
+        assert_eq!(c.clone().quantize(None).resolved_backend(), Backend::Tree);
+        // Auto falls back to the tree when the quantized domain is wide.
+        assert_eq!(
+            c.clone().quantize(Some(5)).resolved_backend(),
+            Backend::Tree
+        );
+        assert_eq!(
+            c.clone().quantize(Some(4)).resolved_backend(),
+            Backend::Dense
+        );
+        // Explicit choices always win.
+        assert_eq!(
+            c.clone().backend(Backend::Tree).resolved_backend(),
+            Backend::Tree
+        );
+        let d = c.quantize(Some(5)).backend(Backend::Dense);
+        assert_eq!(d.resolved_backend(), Backend::Dense);
+        d.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "dense backend requires quantization")]
+    fn validate_rejects_dense_without_quantization() {
+        QloveConfig::new(&[0.5], 1000, 100)
+            .quantize(None)
+            .backend(Backend::Dense)
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 6 significant digits")]
+    fn validate_rejects_dense_with_wide_domain() {
+        QloveConfig::new(&[0.5], 1000, 100)
+            .quantize(Some(9))
+            .backend(Backend::Dense)
+            .validate();
     }
 
     #[test]

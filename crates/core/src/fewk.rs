@@ -98,28 +98,61 @@ pub fn interval_sample_into(tail: &[u64], ks: usize, out: &mut Vec<u64>) {
     out.extend(tail.iter().skip(i - 1).step_by(i).copied().take(ks));
 }
 
+/// One descending slice in the k-way merge heap, ordered by its head
+/// value only. Ties compare `Equal`, which is fine for a heap: among
+/// equal heads any pop order yields the same *value* sequence, and the
+/// merges below only ever return values.
+struct Cursor<'a> {
+    head: u64,
+    rest: &'a [u64],
+}
+
+impl PartialEq for Cursor<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.head == other.head
+    }
+}
+impl Eq for Cursor<'_> {}
+impl PartialOrd for Cursor<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Cursor<'_> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.head.cmp(&other.head)
+    }
+}
+
 /// Select the `rank`-th largest element (1-indexed) across several
 /// descending-sorted slices via a k-way heap walk: `O(rank · log v)`
 /// instead of sorting the whole pool. This runs at every evaluation, so
 /// it is the few-k throughput hot spot whose cost §5.3 measures.
+///
+/// Views arrive as an iterator of slices, so callers (the operator's
+/// evaluation loop, once per φ per boundary) stream their per-sub-window
+/// caches straight into the heap instead of materializing a boundary
+/// group `Vec<&[u64]>` first.
+///
 /// Returns the smallest available element when the pool is shorter than
 /// `rank`, `None` on an empty pool.
-fn select_rank_desc(views: &[&[u64]], rank: usize) -> Option<u64> {
+fn select_rank_desc<'a, I>(views: I, rank: usize) -> Option<u64>
+where
+    I: IntoIterator<Item = &'a [u64]>,
+{
     use std::collections::BinaryHeap;
-    let mut heap: BinaryHeap<(u64, usize, usize)> = views
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| !s.is_empty())
-        .map(|(vi, s)| (s[0], vi, 0))
+    let mut heap: BinaryHeap<Cursor<'a>> = views
+        .into_iter()
+        .filter_map(|s| s.split_first().map(|(&head, rest)| Cursor { head, rest }))
         .collect();
     let mut last = None;
     for _ in 0..rank {
-        let Some((v, vi, pos)) = heap.pop() else {
+        let Some(Cursor { head, rest }) = heap.pop() else {
             return last; // pool exhausted: smallest pooled value
         };
-        last = Some(v);
-        if pos + 1 < views[vi].len() {
-            heap.push((views[vi][pos + 1], vi, pos + 1));
+        last = Some(head);
+        if let Some((&next, rest)) = rest.split_first() {
+            heap.push(Cursor { head: next, rest });
         }
     }
     last
@@ -132,7 +165,10 @@ fn select_rank_desc(views: &[&[u64]], rank: usize) -> Option<u64> {
 /// When the merged pool is smaller than that rank (budget fraction
 /// below `P/N`), the smallest pooled value is the best available
 /// approximation.
-pub fn merge_top_k(per_subwindow: &[&[u64]], rank_from_top: usize) -> Option<u64> {
+pub fn merge_top_k<'a, I>(per_subwindow: I, rank_from_top: usize) -> Option<u64>
+where
+    I: IntoIterator<Item = &'a [u64]>,
+{
     if rank_from_top == 0 {
         return None;
     }
@@ -149,21 +185,32 @@ pub fn merge_top_k(per_subwindow: &[&[u64]], rank_from_top: usize) -> Option<u64
 /// rather than the configured `α = ks/N(1−φ)`: with tiny tails the
 /// interval sampler can return fewer than `ks` samples, and a configured
 /// rate would then point past the shifted mass.
-pub fn merge_sample_k(
-    per_subwindow: &[&[u64]],
+///
+/// The view iterator must be `Clone` (it is walked twice: once to count
+/// the realized rate, once to merge) — slice iterators and `map`s over
+/// them are.
+pub fn merge_sample_k<'a, I>(
+    per_subwindow: I,
     represented: usize,
     rank_from_top: usize,
-) -> Option<u64> {
-    if rank_from_top == 0 || represented == 0 || per_subwindow.is_empty() {
+) -> Option<u64>
+where
+    I: IntoIterator<Item = &'a [u64]>,
+    I::IntoIter: Clone,
+{
+    if rank_from_top == 0 || represented == 0 {
         return None;
     }
-    let total: usize = per_subwindow.iter().map(|s| s.len()).sum();
-    if total == 0 {
+    let views = per_subwindow.into_iter();
+    let (count, total) = views
+        .clone()
+        .fold((0usize, 0usize), |(n, t), s| (n + 1, t + s.len()));
+    if count == 0 || total == 0 {
         return None;
     }
-    let rate = total as f64 / (per_subwindow.len() * represented) as f64;
+    let rate = total as f64 / (count * represented) as f64;
     let rank = ((rate * rank_from_top as f64).ceil() as usize).max(1);
-    select_rank_desc(per_subwindow, rank)
+    select_rank_desc(views, rank)
 }
 
 #[cfg(test)]
@@ -270,11 +317,11 @@ mod tests {
         // 10th largest = 91) is recovered.
         let subs = figure3_subwindows(&[10, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
         let views: Vec<&[u64]> = subs.iter().map(|s| &s[..10]).collect();
-        assert_eq!(merge_top_k(&views, 10), Some(91));
+        assert_eq!(merge_top_k(views.iter().copied(), 10), Some(91));
         // With kt = 1 (taking each sub-window's single largest), the
         // merged pool misses 9 of the top-10: answer collapses to filler.
         let views1: Vec<&[u64]> = subs.iter().map(|s| &s[..1]).collect();
-        assert_eq!(merge_top_k(&views1, 10), Some(1));
+        assert_eq!(merge_top_k(views1.iter().copied(), 10), Some(1));
     }
 
     #[test]
@@ -282,7 +329,7 @@ mod tests {
         // E4: one top value per sub-window — kt = 1 is exact.
         let subs = figure3_subwindows(&[1; 10]);
         let views: Vec<&[u64]> = subs.iter().map(|s| &s[..1]).collect();
-        assert_eq!(merge_top_k(&views, 10), Some(91));
+        assert_eq!(merge_top_k(views.iter().copied(), 10), Some(91));
     }
 
     #[test]
@@ -291,17 +338,17 @@ mod tests {
         // kt = 1 not.
         let subs = figure3_subwindows(&[2, 2, 2, 2, 2, 0, 0, 0, 0, 0]);
         let v2: Vec<&[u64]> = subs.iter().map(|s| &s[..2]).collect();
-        assert_eq!(merge_top_k(&v2, 10), Some(91));
+        assert_eq!(merge_top_k(v2.iter().copied(), 10), Some(91));
         let v1: Vec<&[u64]> = subs.iter().map(|s| &s[..1]).collect();
-        assert_ne!(merge_top_k(&v1, 10), Some(91));
+        assert_ne!(merge_top_k(v1.iter().copied(), 10), Some(91));
     }
 
     #[test]
     fn merge_top_k_empty_inputs() {
-        assert_eq!(merge_top_k(&[], 10), None);
+        assert_eq!(merge_top_k(std::iter::empty(), 10), None);
         let empty: &[u64] = &[];
-        assert_eq!(merge_top_k(&[empty], 10), None);
-        assert_eq!(merge_top_k(&[&[5u64][..]], 0), None);
+        assert_eq!(merge_top_k([empty].into_iter(), 10), None);
+        assert_eq!(merge_top_k([&[5u64][..]].into_iter(), 0), None);
     }
 
     // ---- sample-k merging --------------------------------------------------
@@ -316,7 +363,7 @@ mod tests {
         let samples: Vec<Vec<u64>> = tails.iter().map(|t| interval_sample(t, 4)).collect();
         let views: Vec<&[u64]> = samples.iter().map(|s| &s[..]).collect();
         // Each view's 4 samples represent that sub-window's 8-rank tail.
-        let ans = merge_sample_k(&views, 8, 32).unwrap();
+        let ans = merge_sample_k(views.iter().copied(), 8, 32).unwrap();
         // The exact 32nd largest across sub-windows is 1000−31 = 969;
         // interval sampling lands within a couple of ranks.
         assert!((969i64 - ans as i64).abs() <= 8, "got {ans}");
@@ -337,7 +384,7 @@ mod tests {
         // Window exact need 32: true 32nd largest over the 4 sub-windows
         // is burst_tail[31] = 9690 (the burst dominates the top-32).
         let _ = alpha; // configured rate documented above; merge uses realized
-        let ans = merge_sample_k(&views, 32, 32).unwrap();
+        let ans = merge_sample_k(views.iter().copied(), 32, 32).unwrap();
         assert!(
             (9_690i64 - ans as i64).abs() <= 40,
             "burst quantile {ans} should be ≈ 9690"
@@ -346,8 +393,8 @@ mod tests {
 
     #[test]
     fn sample_k_degenerate_inputs() {
-        assert_eq!(merge_sample_k(&[], 8, 10), None);
-        assert_eq!(merge_sample_k(&[&[1u64][..]], 0, 10), None);
-        assert_eq!(merge_sample_k(&[&[1u64][..]], 8, 0), None);
+        assert_eq!(merge_sample_k(std::iter::empty(), 8, 10), None);
+        assert_eq!(merge_sample_k([&[1u64][..]].into_iter(), 0, 10), None);
+        assert_eq!(merge_sample_k([&[1u64][..]].into_iter(), 8, 0), None);
     }
 }

@@ -10,10 +10,15 @@
 //! Architecture (papers' §3–§4), all implemented here:
 //!
 //! * **Level 1** — each sub-window (aligned with the window period) keeps
-//!   in-flight data as a frequency-compressed red-black tree
-//!   ([`qlove_rbtree::FreqTree`]), optionally quantized to 3 significant
-//!   digits, and computes its *exact* quantiles in one in-order pass at
-//!   the sub-window boundary (Algorithm 1).
+//!   in-flight data as a frequency multiset, optionally quantized to 3
+//!   significant digits, and computes its *exact* quantiles in one
+//!   sorted pass at the sub-window boundary (Algorithm 1). The multiset
+//!   is stored in a pluggable backend ([`config::Backend`]): the
+//!   red-black [`qlove_rbtree::FreqTree`] for unbounded domains, or the
+//!   flat direct-indexed [`qlove_freqstore::DenseFreqStore`] when
+//!   quantization bounds the domain (the default under the paper's
+//!   3-digit setting — O(1) inserts, prefix-scan quantiles, slice-add
+//!   merges). Answers are bit-identical across backends.
 //! * **Level 2** — the window answer for each quantile is the *mean* of
 //!   the sub-window quantiles (justified by the CLT, Theorem 1), kept
 //!   incrementally as `l` running `{sum, count}` pairs with O(1)
@@ -61,5 +66,5 @@ pub mod config;
 pub mod fewk;
 pub mod operator;
 
-pub use config::{FewKConfig, QloveConfig};
+pub use config::{Backend, FewKConfig, QloveConfig};
 pub use operator::{AnswerSource, Qlove, QloveAnswer, QloveShard, QloveSummary};

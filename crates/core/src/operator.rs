@@ -1,16 +1,61 @@
 //! The QLOVE operator: two-level hierarchical quantile processing
 //! (Figure 2) with few-k tail repair (§4) and Theorem-1 error bounds.
 
-use crate::bounds::bound_from_tree;
+use crate::bounds::bound_from_store;
 use crate::burst::is_bursty;
-use crate::config::QloveConfig;
+use crate::config::{Backend, QloveConfig};
 use crate::fewk::{interval_sample_into, merge_sample_k, merge_top_k, tail_need, TailBudget};
-use qlove_rbtree::FreqTree;
+use qlove_freqstore::{FreqStore, FreqStoreImpl};
 use qlove_stats::error_bound::CltBound;
 use qlove_stream::{QuantilePolicy, ShardAccumulator, SummaryMerge};
 use qlove_workloads::io::{decode_summary, summary_to_bytes};
 use qlove_workloads::transform::quantize_sig_digits;
 use std::collections::VecDeque;
+
+/// Build the Level-1 store [`QloveConfig::resolved_backend`] asks for.
+///
+/// Tree arenas are pre-sized for the sub-window (a sub-window holds at
+/// most `period` unique values — far fewer once quantization collapses
+/// the domain), capped so huge-period configs do not front-load memory.
+/// The dense store sizes itself from the quantized domain and grows
+/// lazily toward its fixed bound.
+fn make_store(config: &QloveConfig) -> FreqStoreImpl {
+    match config.resolved_backend() {
+        Backend::Dense => FreqStoreImpl::dense(
+            config
+                .sig_digits
+                .expect("validated: dense backend requires quantization"),
+        ),
+        _ => FreqStoreImpl::tree(config.period.min(1 << 16)),
+    }
+}
+
+/// Quantize and bulk-insert one sub-window chunk into a store — the
+/// shared batched-ingestion path of [`Qlove`] and [`QloveShard`].
+///
+/// The tree path quantizes into `scratch` and rides
+/// `FreqTree::insert_batch` (sort + one descent per unique key). The
+/// dense path feeds the raw chunk straight in: direct indexing
+/// quantizes as a side effect of encoding, so the quantize copy *and*
+/// the sort disappear.
+fn ingest_chunk_into(
+    store: &mut FreqStoreImpl,
+    chunk: &[u64],
+    sig_digits: Option<u32>,
+    scratch: &mut Vec<u64>,
+) {
+    match store {
+        FreqStoreImpl::Dense(dense) => dense.insert_slice(chunk),
+        FreqStoreImpl::Tree(tree) => {
+            scratch.clear();
+            match sig_digits {
+                Some(d) => scratch.extend(chunk.iter().map(|&v| quantize_sig_digits(v, d))),
+                None => scratch.extend_from_slice(chunk),
+            }
+            tree.insert_batch(scratch);
+        }
+    }
+}
 
 /// Which pipeline produced a quantile answer (§4.3's runtime selection).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,7 +200,7 @@ impl QloveSummary {
 }
 
 /// The shard half of distributed QLOVE: Level-1 accumulation only
-/// (quantization + the frequency tree), with no Level-2 ring, no tail
+/// (quantization + the frequency store), with no Level-2 ring, no tail
 /// caches, and no boundary logic — those all live in the coordinating
 /// [`Qlove`] instance that merges this shard's summaries.
 ///
@@ -165,20 +210,21 @@ impl QloveSummary {
 /// sub-window.
 #[derive(Debug)]
 pub struct QloveShard {
-    tree: FreqTree<u64>,
+    store: FreqStoreImpl,
     sig_digits: Option<u32>,
-    /// Quantized copy of the current batch (recycled across batches).
+    /// Quantized copy of the current batch (recycled across batches;
+    /// unused by the dense backend, which quantizes while encoding).
     scratch: Vec<u64>,
 }
 
 impl QloveShard {
-    /// Build a shard for `config` — only the quantization setting and
-    /// the period (arena pre-size) are used, but taking the whole
-    /// config guarantees shard and coordinator agree on them.
+    /// Build a shard for `config` — only the quantization setting, the
+    /// backend, and the period (arena pre-size) are used, but taking
+    /// the whole config guarantees shard and coordinator agree on them.
     pub fn new(config: &QloveConfig) -> Self {
         config.validate();
         Self {
-            tree: FreqTree::with_capacity(config.period.min(1 << 16)),
+            store: make_store(config),
             sig_digits: config.sig_digits,
             scratch: Vec::new(),
         }
@@ -190,35 +236,32 @@ impl QloveShard {
             Some(d) => quantize_sig_digits(value, d),
             None => value,
         };
-        self.tree.insert(v, 1);
+        self.store.insert(v, 1);
     }
 
-    /// Accumulate a batch through the bulk-insert path (quantize in one
-    /// pass, sort, one tree descent per unique key).
+    /// Accumulate a batch through the backend's bulk-insert path (see
+    /// [`Qlove::push_batch`] for the per-backend mechanics).
     pub fn push_batch(&mut self, values: &[u64]) {
         let mut buf = std::mem::take(&mut self.scratch);
-        buf.clear();
-        match self.sig_digits {
-            Some(d) => buf.extend(values.iter().map(|&v| quantize_sig_digits(v, d))),
-            None => buf.extend_from_slice(values),
-        }
-        self.tree.insert_batch(&mut buf);
+        ingest_chunk_into(&mut self.store, values, self.sig_digits, &mut buf);
         self.scratch = buf;
     }
 
     /// Elements accumulated since the last [`QloveShard::take_summary`].
     pub fn pending(&self) -> usize {
-        self.tree.total() as usize
+        self.store.total() as usize
     }
 
     /// Snapshot the accumulated state as a mergeable summary and reset
-    /// (the arena is kept, so steady-state boundaries reuse it).
+    /// (allocations are kept, so steady-state boundaries reuse them).
     pub fn take_summary(&mut self) -> QloveSummary {
+        let mut counts = Vec::with_capacity(self.store.unique_len());
+        self.store.counts_into(&mut counts);
         let summary = QloveSummary {
-            counts: self.tree.iter().collect(),
-            total: self.tree.total(),
+            counts,
+            total: self.store.total(),
         };
-        self.tree.clear();
+        self.store.clear();
         summary
     }
 }
@@ -235,7 +278,10 @@ pub struct Qlove {
     /// Largest per-sub-window tail snapshot needed across φs.
     max_tail: usize,
     // ---- Level 1 state ----
-    tree: FreqTree<u64>,
+    /// The in-flight sub-window multiset, in the backend the
+    /// configuration selected (tree for unbounded domains, dense
+    /// direct-indexed array for quantized ones).
+    store: FreqStoreImpl,
     filled: usize,
     // ---- Level 2 state ----
     summaries: VecDeque<SubWindowSummary>,
@@ -288,16 +334,11 @@ impl Qlove {
             .max()
             .unwrap_or(0);
         let l = config.phis.len();
-        // Pre-size the Level-1 arena: a sub-window holds at most `period`
-        // unique values (far fewer once quantization collapses the
-        // domain); cap the eager reservation so huge-period configs do
-        // not front-load memory they may never touch.
-        let arena_capacity = config.period.min(1 << 16);
         Self {
             n_sub,
             budgets,
             max_tail,
-            tree: FreqTree::with_capacity(arena_capacity),
+            store: make_store(&config),
             filled: 0,
             summaries: VecDeque::with_capacity(n_sub + 1),
             sums: vec![0; l],
@@ -322,7 +363,7 @@ impl Qlove {
             Some(d) => quantize_sig_digits(value, d),
             None => value,
         };
-        self.tree.insert(v, 1);
+        self.store.insert(v, 1);
         self.filled += 1;
         if self.filled < self.config.period {
             return None;
@@ -386,28 +427,23 @@ impl Qlove {
         }
     }
 
-    /// Quantize `chunk` in one pass into the batch scratch buffer and
-    /// bulk-insert it. `chunk` must not cross a sub-window boundary.
+    /// Quantize and bulk-insert `chunk` through the backend's batched
+    /// path. `chunk` must not cross a sub-window boundary.
     fn ingest_chunk(&mut self, chunk: &[u64]) {
         debug_assert!(self.filled + chunk.len() <= self.config.period);
         let mut buf = std::mem::take(&mut self.batch_scratch);
-        buf.clear();
-        match self.config.sig_digits {
-            Some(d) => buf.extend(chunk.iter().map(|&v| quantize_sig_digits(v, d))),
-            None => buf.extend_from_slice(chunk),
-        }
-        self.tree.insert_batch(&mut buf);
+        ingest_chunk_into(&mut self.store, chunk, self.config.sig_digits, &mut buf);
         self.batch_scratch = buf;
         self.filled += chunk.len();
     }
 
-    /// Level-1 boundary work: summarize the in-flight tree, snapshot the
-    /// tail caches, roll the Level-2 ring, discard the raw data.
+    /// Level-1 boundary work: summarize the in-flight store, snapshot
+    /// the tail caches, roll the Level-2 ring, discard the raw data.
     ///
     /// Allocation-free in steady state: the summary expired from the
     /// ring is recycled for the next boundary, the tail snapshot and
-    /// burst pool live in scratch buffers, and the tree keeps its arena
-    /// across [`FreqTree::clear`].
+    /// burst pool live in scratch buffers, and the store keeps its
+    /// allocations across [`FreqStore::clear`].
     fn complete_subwindow(&mut self) {
         let phis = &self.config.phis;
         let l = phis.len();
@@ -416,11 +452,11 @@ impl Qlove {
             .take()
             .unwrap_or_else(|| SubWindowSummary::with_phis(l));
 
-        let filled = self.tree.quantiles_into(phis, &mut summary.quantiles);
+        let filled = self.store.quantiles_into(phis, &mut summary.quantiles);
         assert!(filled, "sub-window contains `period` > 0 elements");
 
         // One descending tail snapshot serves every φ's caches.
-        self.tree.top_k_into(self.max_tail, &mut self.tail_scratch);
+        self.store.top_k_into(self.max_tail, &mut self.tail_scratch);
         let tail = &self.tail_scratch;
         for (i, budget) in self.budgets.iter().enumerate() {
             let topk = &mut summary.topk[i];
@@ -489,7 +525,7 @@ impl Qlove {
         summary.bounds.clear();
         summary.bounds.extend(
             phis.iter().map(|&phi| {
-                bound_from_tree(&self.tree, phi, self.n_sub, self.config.period, alpha)
+                bound_from_store(&self.store, phi, self.n_sub, self.config.period, alpha)
             }),
         );
 
@@ -506,8 +542,8 @@ impl Qlove {
             // boundary.
             self.spare_summary = Some(old);
         }
-        // Tumbling reset: all raw values discarded, arena kept.
-        self.tree.clear();
+        // Tumbling reset: all raw values discarded, allocations kept.
+        self.store.clear();
     }
 
     /// Level-2 aggregation plus §4.3's per-quantile outcome selection.
@@ -518,9 +554,6 @@ impl Qlove {
         let mut values = Vec::with_capacity(l);
         let mut sources = Vec::with_capacity(l);
         let mut any_burst = false;
-        // One merge-view buffer serves both few-k pipelines across every
-        // φ of this evaluation (instead of a fresh Vec per merge).
-        let mut views: Vec<&[u64]> = Vec::with_capacity(self.summaries.len());
 
         // Bursty traffic is a property of the *stream*, not of one
         // quantile: a burst detected at any tail quantile sweeps the
@@ -542,20 +575,25 @@ impl Qlove {
 
             // `exact_need` is the φ-quantile's rank from the top under
             // the paper's ⌈φN⌉ convention (see `fewk::tail_need`) — the
-            // rank both merges answer at.
+            // rank both merges answer at. The per-sub-window cache views
+            // stream straight into the merges' k-way heaps; no boundary
+            // group is materialized per evaluation.
             if bursty {
-                views.clear();
-                views.extend(self.summaries.iter().map(|s| s.samples[i].as_slice()));
-                if let Some(v) = merge_sample_k(&views, budget.exact_need, budget.exact_need) {
+                if let Some(v) = merge_sample_k(
+                    self.summaries.iter().map(|s| s.samples[i].as_slice()),
+                    budget.exact_need,
+                    budget.exact_need,
+                ) {
                     values.push(v);
                     sources.push(AnswerSource::SampleK);
                     continue;
                 }
             }
             if TailBudget::statistically_inefficient(self.config.period, phi, fk.ts) {
-                views.clear();
-                views.extend(self.summaries.iter().map(|s| s.topk[i].as_slice()));
-                if let Some(v) = merge_top_k(&views, budget.exact_need) {
+                if let Some(v) = merge_top_k(
+                    self.summaries.iter().map(|s| s.topk[i].as_slice()),
+                    budget.exact_need,
+                ) {
                     values.push(v);
                     sources.push(AnswerSource::TopK);
                     continue;
@@ -576,19 +614,21 @@ impl Qlove {
     /// Non-destructive snapshot of the in-flight (partial) sub-window as
     /// a mergeable [`QloveSummary`].
     pub fn summary(&self) -> QloveSummary {
-        debug_assert_eq!(self.tree.total() as usize, self.filled);
+        debug_assert_eq!(self.store.total() as usize, self.filled);
+        let mut counts = Vec::with_capacity(self.store.unique_len());
+        self.store.counts_into(&mut counts);
         QloveSummary {
-            counts: self.tree.iter().collect(),
-            total: self.tree.total(),
+            counts,
+            total: self.store.total(),
         }
     }
 
     /// Snapshot the in-flight sub-window as a mergeable summary **and
     /// reset it** — the shard side of a sub-window exchange, or a
-    /// checkpoint extraction. The arena is kept for reuse.
+    /// checkpoint extraction. Store allocations are kept for reuse.
     pub fn take_summary(&mut self) -> QloveSummary {
         let summary = self.summary();
-        self.tree.clear();
+        self.store.clear();
         self.filled = 0;
         summary
     }
@@ -624,7 +664,7 @@ impl Qlove {
             "summary of {} elements crosses a sub-window boundary ({room} elements of room)",
             other.total
         );
-        self.tree.extend_counts(other.counts.iter().copied());
+        self.store.merge_sorted_counts(&other.counts);
         self.filled += other.total as usize;
         if self.filled < self.config.period {
             return None;
@@ -696,8 +736,10 @@ impl QuantilePolicy for Qlove {
                     + s.samples.iter().map(Vec::len).sum::<usize>()
             })
             .sum();
-        // In-flight tree stores {value, count} pairs; plus l running sums.
-        summaries + self.tree.unique_len() * 2 + l
+        // In-flight store holds {value, count} pairs (the dense backend
+        // stores them positionally, but the live information content is
+        // the same); plus l running sums.
+        summaries + self.store.unique_len() * 2 + l
     }
 
     fn name(&self) -> &'static str {
@@ -1118,6 +1160,65 @@ mod tests {
         assert_eq!(a.pending(), b.pending());
         assert_eq!(a.take_summary(), b.take_summary());
         assert_eq!(a.pending(), 0);
+    }
+
+    #[test]
+    fn default_config_selects_dense_and_unquantized_selects_tree() {
+        let dense = Qlove::new(QloveConfig::new(&[0.5], 1_000, 100));
+        assert!(matches!(dense.store, FreqStoreImpl::Dense(_)));
+        let tree = Qlove::new(QloveConfig::new(&[0.5], 1_000, 100).quantize(None));
+        assert!(matches!(tree.store, FreqStoreImpl::Tree(_)));
+        let pinned = Qlove::new(QloveConfig::new(&[0.5], 1_000, 100).backend(Backend::Tree));
+        assert!(matches!(pinned.store, FreqStoreImpl::Tree(_)));
+    }
+
+    #[test]
+    fn backends_produce_bit_identical_answers() {
+        // The backend-equivalence contract at the operator level, for
+        // per-element, batched, and shard-merged ingestion alike. The
+        // full random-spec sweep lives in tests/proptest_backend.rs.
+        let data = normal_stream(61, 30_000);
+        let base = QloveConfig::new(&[0.5, 0.9, 0.99, 0.999], 8_000, 1_000);
+        let cfg_tree = base.clone().backend(Backend::Tree);
+        let cfg_dense = base.backend(Backend::Dense);
+
+        let mut tree = Qlove::new(cfg_tree.clone());
+        let want: Vec<QloveAnswer> = data.iter().filter_map(|&v| tree.push_detailed(v)).collect();
+        assert!(!want.is_empty());
+
+        let mut dense = Qlove::new(cfg_dense.clone());
+        let got: Vec<QloveAnswer> = data
+            .iter()
+            .filter_map(|&v| dense.push_detailed(v))
+            .collect();
+        assert_eq!(got, want, "per-element");
+        assert_eq!(dense.pending(), tree.pending());
+        assert_eq!(dense.summary(), tree.summary());
+        assert_eq!(dense.space_variables(), tree.space_variables());
+
+        let mut batched = Qlove::new(cfg_dense.clone());
+        let mut got_batched = Vec::new();
+        for chunk in data.chunks(4_096) {
+            batched.push_batch_into(chunk, &mut got_batched);
+        }
+        assert_eq!(got_batched, want, "batched");
+
+        let (got_dealt, _) = run_dealt(&cfg_dense, &data, 4);
+        assert_eq!(got_dealt, want, "dealt dense shards");
+        // Tree shards merged by a dense coordinator (and vice versa)
+        // still agree: the summary wire format is backend-neutral.
+        let mut workers: Vec<QloveShard> = (0..3).map(|_| QloveShard::new(&cfg_tree)).collect();
+        let mut coordinator = Qlove::new(cfg_dense);
+        let mut mixed = Vec::new();
+        for (i, &v) in data.iter().enumerate() {
+            workers[i % 3].push(v);
+            if (i + 1) % 1_000 == 0 {
+                for w in workers.iter_mut() {
+                    mixed.extend(coordinator.merge(&w.take_summary()));
+                }
+            }
+        }
+        assert_eq!(mixed, want, "mixed-backend shards");
     }
 
     #[test]

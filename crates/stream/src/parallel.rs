@@ -15,6 +15,16 @@
 //!   summaries at every sub-window boundary, and a coordinator folds
 //!   them into a single logical window whose answers equal a
 //!   single-instance run over the undealt stream.
+//!
+//! Both executors are agnostic to how an operator stores its state:
+//! QLOVE's Level-1 backend (red-black tree, or the dense direct-indexed
+//! store `qlove_freqstore` enables for quantized domains) rides along
+//! inside the operator the `make_op`/`make_shard` closures construct,
+//! so the same executor serves either backend — only the cost of
+//! [`SummaryMerge::merge_summary`] changes (per-key tree descents vs
+//! array adds). Summaries themselves are backend-neutral sorted
+//! `(value, frequency)` multisets, so shards and the coordinator may
+//! even run different backends.
 
 use crate::aggregate::IncrementalAggregate;
 use crate::window::{SlidingWindow, WindowSpec};

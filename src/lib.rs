@@ -14,10 +14,14 @@
 //!   NetMon/Search traces plus the synthetic Normal/Uniform/Pareto/AR(1).
 //! * [`stats`] — statistical substrate (normal distribution, Mann-Whitney
 //!   U, KDE, Theorem-1 error bound, histograms).
+//! * [`freqstore`] — pluggable Level-1 frequency-store backends: the
+//!   `FreqStore` trait, the flat `DenseFreqStore` for quantized
+//!   domains, and runtime backend dispatch.
 //! * [`rbtree`] — the order-statistic frequency red-black tree backing
 //!   Level-1 state and the Exact baseline.
 
 pub use qlove_core as core;
+pub use qlove_freqstore as freqstore;
 pub use qlove_rbtree as rbtree;
 pub use qlove_sketches as sketches;
 pub use qlove_stats as stats;

@@ -15,7 +15,7 @@
 //!   which must agree with each other exactly) within the configured
 //!   per-φ relative-error bounds.
 
-use qlove::core::{AnswerSource, FewKConfig, Qlove, QloveAnswer, QloveConfig, QloveShard};
+use qlove::core::{AnswerSource, Backend, FewKConfig, Qlove, QloveAnswer, QloveConfig, QloveShard};
 use qlove::stream::ops::ExactQuantileOp;
 use qlove::stream::parallel::BATCH;
 use qlove::stream::{run_distributed, run_pipelined, SlidingWindow, WindowSpec};
@@ -31,10 +31,15 @@ const EPS_PCT: [f64; 3] = [2.5, 2.5, 5.0];
 
 /// Table-3 half-budget top-k configuration: at this window shape
 /// `P(1−φ) = 1 < Ts`, so Q0.999 exercises the top-k pipeline and the
-/// differential covers non-Level2 provenance.
-fn config() -> QloveConfig {
-    QloveConfig::new(&PHIS, WINDOW, PERIOD).fewk(Some(FewKConfig::with_fractions(0.5, 0.0)))
+/// differential covers non-Level2 provenance. Parameterized over the
+/// Level-1 store backend: every differential below must hold for both.
+fn config_for(backend: Backend) -> QloveConfig {
+    QloveConfig::new(&PHIS, WINDOW, PERIOD)
+        .fewk(Some(FewKConfig::with_fractions(0.5, 0.0)))
+        .backend(backend)
 }
+
+const BACKENDS: [Backend; 2] = [Backend::Tree, Backend::Dense];
 
 fn sequential_qlove(cfg: &QloveConfig, data: &[u64]) -> (Vec<QloveAnswer>, Qlove) {
     let mut op = Qlove::new(cfg.clone());
@@ -64,8 +69,8 @@ fn exact_sequential(data: &[u64]) -> Vec<Vec<u64>> {
 
 #[test]
 fn distributed_is_bit_identical_to_sequential_qlove() {
-    let cfg = config();
-    for seed in [1u64, 2, 3] {
+    for (backend, seed) in BACKENDS.iter().flat_map(|&b| [1u64, 2, 3].map(|s| (b, s))) {
+        let cfg = config_for(backend);
         // Not a multiple of BATCH (4096), and PERIOD does not divide
         // BATCH — every sub-window boundary falls mid-batch, and the
         // final batch is short. A trailing partial sub-window is left
@@ -76,11 +81,11 @@ fn distributed_is_bit_identical_to_sequential_qlove() {
         assert!(want.len() >= 5, "seed {seed}: too few evaluations");
         for shards in [1usize, 2, 4, 5] {
             let (got, coordinator) = distributed_qlove(&cfg, &data, shards);
-            assert_eq!(got, want, "seed {seed} shards {shards}");
+            assert_eq!(got, want, "{backend:?} seed {seed} shards {shards}");
             assert_eq!(
                 coordinator.pending(),
                 single.pending(),
-                "seed {seed} shards {shards}: trailing partial sub-window"
+                "{backend:?} seed {seed} shards {shards}: trailing partial sub-window"
             );
             assert_eq!(coordinator.pending(), n % PERIOD);
         }
@@ -89,20 +94,23 @@ fn distributed_is_bit_identical_to_sequential_qlove() {
 
 #[test]
 fn distributed_provenance_is_preserved_and_exercised() {
-    let cfg = config();
-    let data = NormalGen::generate(5, 2 * BATCH + 7_777);
-    let (want, _) = sequential_qlove(&cfg, &data);
-    let (got, _) = distributed_qlove(&cfg, &data, 4);
-    let seq_sources: Vec<_> = want.iter().flat_map(|a| a.sources.clone()).collect();
-    let dist_sources: Vec<_> = got.iter().flat_map(|a| a.sources.clone()).collect();
-    assert_eq!(dist_sources, seq_sources);
-    // The differential is only meaningful if it covers a repaired
-    // pipeline, not just Level 2: Q0.999 must route through top-k here.
-    assert!(
-        dist_sources.contains(&AnswerSource::TopK),
-        "top-k provenance never appeared"
-    );
-    assert!(dist_sources.contains(&AnswerSource::Level2));
+    for backend in BACKENDS {
+        let cfg = config_for(backend);
+        let data = NormalGen::generate(5, 2 * BATCH + 7_777);
+        let (want, _) = sequential_qlove(&cfg, &data);
+        let (got, _) = distributed_qlove(&cfg, &data, 4);
+        let seq_sources: Vec<_> = want.iter().flat_map(|a| a.sources.clone()).collect();
+        let dist_sources: Vec<_> = got.iter().flat_map(|a| a.sources.clone()).collect();
+        assert_eq!(dist_sources, seq_sources, "{backend:?}");
+        // The differential is only meaningful if it covers a repaired
+        // pipeline, not just Level 2: Q0.999 must route through top-k
+        // here.
+        assert!(
+            dist_sources.contains(&AnswerSource::TopK),
+            "{backend:?}: top-k provenance never appeared"
+        );
+        assert!(dist_sources.contains(&AnswerSource::Level2), "{backend:?}");
+    }
 }
 
 #[test]
@@ -117,19 +125,22 @@ fn pipelined_and_sequential_exact_agree_and_anchor_the_epsilon_layer() {
         let exact = exact_sequential(&data);
         assert_eq!(pipelined, exact, "seed {seed}: exact executors diverged");
 
-        // Distributed QLOVE tracks them within the configured ε per φ.
-        let cfg = config();
-        let (answers, _) = distributed_qlove(&cfg, &data, 4);
-        assert_eq!(answers.len(), exact.len(), "seed {seed}: schedule drift");
-        for (eval, (got, truth)) in answers.iter().zip(&exact).enumerate() {
-            for (i, (&approx, &exact_v)) in got.values.iter().zip(truth).enumerate() {
-                let rel = ((approx as f64 - exact_v as f64) / exact_v as f64).abs() * 100.0;
-                assert!(
-                    rel <= EPS_PCT[i],
-                    "seed {seed} eval {eval} phi {}: {rel:.2}% > {}%",
-                    PHIS[i],
-                    EPS_PCT[i]
-                );
+        // Distributed QLOVE tracks them within the configured ε per φ,
+        // whichever backend holds Level-1 state.
+        for backend in BACKENDS {
+            let cfg = config_for(backend);
+            let (answers, _) = distributed_qlove(&cfg, &data, 4);
+            assert_eq!(answers.len(), exact.len(), "seed {seed}: schedule drift");
+            for (eval, (got, truth)) in answers.iter().zip(&exact).enumerate() {
+                for (i, (&approx, &exact_v)) in got.values.iter().zip(truth).enumerate() {
+                    let rel = ((approx as f64 - exact_v as f64) / exact_v as f64).abs() * 100.0;
+                    assert!(
+                        rel <= EPS_PCT[i],
+                        "{backend:?} seed {seed} eval {eval} phi {}: {rel:.2}% > {}%",
+                        PHIS[i],
+                        EPS_PCT[i]
+                    );
+                }
             }
         }
     }
@@ -137,16 +148,30 @@ fn pipelined_and_sequential_exact_agree_and_anchor_the_epsilon_layer() {
 
 #[test]
 fn distributed_edge_shapes() {
-    let cfg = config();
-    // Stream shorter than the window: no answers anywhere, pending
-    // state still mirrored.
-    let short = NormalGen::generate(21, WINDOW - 500);
-    let (want, single) = sequential_qlove(&cfg, &short);
-    assert!(want.is_empty());
-    let (got, coordinator) = distributed_qlove(&cfg, &short, 3);
-    assert!(got.is_empty());
-    assert_eq!(coordinator.pending(), single.pending());
-    assert_eq!(coordinator.live_subwindows(), single.live_subwindows());
+    for backend in BACKENDS {
+        let cfg = config_for(backend);
+        // Stream shorter than the window: no answers anywhere, pending
+        // state still mirrored.
+        let short = NormalGen::generate(21, WINDOW - 500);
+        let (want, single) = sequential_qlove(&cfg, &short);
+        assert!(want.is_empty());
+        let (got, coordinator) = distributed_qlove(&cfg, &short, 3);
+        assert!(got.is_empty());
+        assert_eq!(coordinator.pending(), single.pending());
+        assert_eq!(coordinator.live_subwindows(), single.live_subwindows());
+
+        // Empty stream.
+        let mut coordinator = Qlove::new(cfg.clone());
+        let got = run_distributed(
+            || QloveShard::new(&cfg),
+            &mut coordinator,
+            cfg.period,
+            &[],
+            4,
+        );
+        assert!(got.is_empty());
+        assert_eq!(coordinator.pending(), 0);
+    }
 
     // More shards than elements per sub-window slice is still exact.
     let tiny_cfg = QloveConfig::new(&[0.5], 40, 10);
@@ -165,16 +190,4 @@ fn distributed_edge_shapes() {
         16,
     );
     assert_eq!(got, want);
-
-    // Empty stream.
-    let mut coordinator = Qlove::new(cfg.clone());
-    let got = run_distributed(
-        || QloveShard::new(&cfg),
-        &mut coordinator,
-        cfg.period,
-        &[],
-        4,
-    );
-    assert!(got.is_empty());
-    assert_eq!(coordinator.pending(), 0);
 }

@@ -1,0 +1,156 @@
+//! Backend-equivalence property tests: the tree and dense Level-1
+//! frequency stores must produce **bit-identical** `QloveAnswer`s —
+//! values, `AnswerSource` provenance, Theorem-1 bounds, burst flags —
+//! across random window specs, shard counts, and workload families,
+//! for sequential, batched, and distributed (summary-merging)
+//! execution, including summaries that round-trip the QLVS wire form
+//! mid-merge.
+//!
+//! This is the contract that makes the backend a pure performance
+//! knob: `Backend::Dense` may only ever change throughput and memory,
+//! never an answer. It holds because both stores implement the same
+//! multiset semantics (same rank convention, same sorted iteration)
+//! over the same quantized key domain.
+
+use proptest::prelude::*;
+use qlove::core::{Backend, Qlove, QloveAnswer, QloveConfig, QloveShard, QloveSummary};
+use qlove::stream::run_distributed;
+use qlove::workloads::{Ar1Gen, NormalGen, ParetoGen};
+
+/// Random window shapes: 2–5 sub-windows of 100–600 elements.
+fn window_specs() -> impl Strategy<Value = (usize, usize)> {
+    (2usize..=5, 100usize..=600).prop_map(|(n_sub, period)| (n_sub * period, period))
+}
+
+/// The paper's workload families, deterministic per seed.
+fn workloads() -> impl Strategy<Value = Vec<u64>> {
+    (0u8..3, any::<u64>(), 4_000usize..9_000).prop_map(|(kind, seed, n)| match kind {
+        0 => NormalGen::generate(seed, n),
+        1 => ParetoGen::generate(seed, n),
+        _ => Ar1Gen::generate(seed, 0.7, n),
+    })
+}
+
+fn sequential(cfg: &QloveConfig, data: &[u64]) -> (Vec<QloveAnswer>, Qlove) {
+    let mut op = Qlove::new(cfg.clone());
+    let answers = data.iter().filter_map(|&v| op.push_detailed(v)).collect();
+    (answers, op)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sequential and batched ingestion: dense answers equal tree
+    /// answers bit for bit, with and without few-k, and the residual
+    /// in-flight state (pending fill, extractable summary) matches too.
+    #[test]
+    fn backends_agree_sequentially_and_batched(
+        spec in window_specs(),
+        data in workloads(),
+        fewk in any::<bool>(),
+        batch in 1usize..=4096,
+    ) {
+        let (window, period) = spec;
+        let phis = [0.5, 0.9, 0.99, 0.999];
+        let base = if fewk {
+            QloveConfig::new(&phis, window, period)
+        } else {
+            QloveConfig::without_fewk(&phis, window, period)
+        };
+        let (want, tree_op) = sequential(&base.clone().backend(Backend::Tree), &data);
+        let (got, dense_op) = sequential(&base.clone().backend(Backend::Dense), &data);
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(dense_op.pending(), tree_op.pending());
+        prop_assert_eq!(dense_op.live_subwindows(), tree_op.live_subwindows());
+        prop_assert_eq!(dense_op.summary(), tree_op.summary());
+
+        let mut batched = Qlove::new(base.backend(Backend::Dense));
+        let mut got_batched = Vec::new();
+        for chunk in data.chunks(batch) {
+            batched.push_batch_into(chunk, &mut got_batched);
+        }
+        prop_assert_eq!(got_batched, want);
+    }
+
+    /// Distributed execution with mid-merge wire round-trips: K dense
+    /// shards merged by a dense coordinator equal the sequential tree
+    /// run, and so does every mixed pairing (tree shards feeding a
+    /// dense coordinator and vice versa — summaries are backend-
+    /// neutral `(value, frequency)` multisets).
+    #[test]
+    fn backends_agree_under_distributed_merge(
+        spec in window_specs(),
+        data in workloads(),
+        shards in 1usize..=6,
+        mix in 0u8..4,
+    ) {
+        let (window, period) = spec;
+        let base = QloveConfig::new(&[0.5, 0.99, 0.999], window, period);
+        let (want, _) = sequential(&base.clone().backend(Backend::Tree), &data);
+
+        let (shard_backend, coord_backend) = match mix {
+            0 => (Backend::Dense, Backend::Dense),
+            1 => (Backend::Tree, Backend::Dense),
+            2 => (Backend::Dense, Backend::Tree),
+            _ => (Backend::Tree, Backend::Tree),
+        };
+        let shard_cfg = base.clone().backend(shard_backend);
+        let mut workers: Vec<QloveShard> =
+            (0..shards).map(|_| QloveShard::new(&shard_cfg)).collect();
+        let mut coordinator = Qlove::new(base.backend(coord_backend));
+        let mut got = Vec::new();
+        for (i, &v) in data.iter().enumerate() {
+            workers[i % shards].push(v);
+            if (i + 1) % period == 0 {
+                for w in workers.iter_mut() {
+                    let wire = w.take_summary().to_bytes();
+                    let summary = QloveSummary::from_bytes(&wire).unwrap();
+                    got.extend(coordinator.merge(&summary));
+                }
+            }
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    /// The threaded executor under the dense backend matches the
+    /// sequential tree run — backend equivalence composes with the
+    /// channel exchange and out-of-order shard scheduling.
+    #[test]
+    fn run_distributed_dense_matches_sequential_tree(
+        spec in window_specs(),
+        data in workloads(),
+        shards in 1usize..=6,
+    ) {
+        let (window, period) = spec;
+        let base = QloveConfig::new(&[0.5, 0.999], window, period);
+        let (want, single) = sequential(&base.clone().backend(Backend::Tree), &data);
+        let dense = base.backend(Backend::Dense);
+        let mut coordinator = Qlove::new(dense.clone());
+        let got = run_distributed(
+            || QloveShard::new(&dense),
+            &mut coordinator,
+            period,
+            &data,
+            shards,
+        );
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(coordinator.pending(), single.pending());
+    }
+}
+
+/// Wire-level determinism: both backends serialize identical summaries
+/// to identical bytes (the codec sees only sorted `(value, frequency)`
+/// pairs, which the backends produce identically).
+#[test]
+fn summaries_serialize_identically_across_backends() {
+    let data = NormalGen::generate(97, 1_700);
+    let base = QloveConfig::new(&[0.5, 0.999], 2_000, 500);
+    let mut tree = Qlove::new(base.clone().backend(Backend::Tree));
+    let mut dense = Qlove::new(base.backend(Backend::Dense));
+    for &v in &data {
+        tree.push_detailed(v);
+        dense.push_detailed(v);
+    }
+    assert_eq!(tree.pending(), 200);
+    assert_eq!(tree.summary().to_bytes(), dense.summary().to_bytes());
+}

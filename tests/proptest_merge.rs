@@ -11,13 +11,19 @@
 //! a function of that multiset plus ring history.
 
 use proptest::prelude::*;
-use qlove::core::{Qlove, QloveAnswer, QloveConfig, QloveShard, QloveSummary};
+use qlove::core::{Backend, Qlove, QloveAnswer, QloveConfig, QloveShard, QloveSummary};
 use qlove::stream::run_distributed;
 use qlove::workloads::{Ar1Gen, NormalGen, ParetoGen};
 
 /// Random window shapes: 2–5 sub-windows of 100–600 elements.
 fn window_specs() -> impl Strategy<Value = (usize, usize)> {
     (2usize..=5, 100usize..=600).prop_map(|(n_sub, period)| (n_sub * period, period))
+}
+
+/// Both Level-1 store backends — every merge property must hold for
+/// each (backend equivalence itself is tests/proptest_backend.rs).
+fn backends() -> impl Strategy<Value = Backend> {
+    prop_oneof![Just(Backend::Tree), Just(Backend::Dense)]
 }
 
 /// The paper's workload families, deterministic per seed.
@@ -61,9 +67,10 @@ proptest! {
         spec in window_specs(),
         data in workloads(),
         shards in 1usize..=6,
+        backend in backends(),
     ) {
         let (window, period) = spec;
-        let cfg = QloveConfig::new(&[0.5, 0.9, 0.99, 0.999], window, period);
+        let cfg = QloveConfig::new(&[0.5, 0.9, 0.99, 0.999], window, period).backend(backend);
         prop_assert_eq!(dealt(&cfg, &data, shards), sequential(&cfg, &data));
     }
 
@@ -76,6 +83,7 @@ proptest! {
         data in workloads(),
         shards in 1usize..=6,
         fewk in any::<bool>(),
+        backend in backends(),
     ) {
         let (window, period) = spec;
         let phis = [0.5, 0.99, 0.999];
@@ -83,7 +91,8 @@ proptest! {
             QloveConfig::new(&phis, window, period)
         } else {
             QloveConfig::without_fewk(&phis, window, period)
-        };
+        }
+        .backend(backend);
         let mut coordinator = Qlove::new(cfg.clone());
         let got = run_distributed(
             || QloveShard::new(&cfg),
@@ -106,8 +115,9 @@ proptest! {
     fn summaries_roundtrip_through_codec_mid_merge(
         data in workloads(),
         shards in 2usize..=5,
+        backend in backends(),
     ) {
-        let cfg = QloveConfig::new(&[0.5, 0.999], 1_500, 500);
+        let cfg = QloveConfig::new(&[0.5, 0.999], 1_500, 500).backend(backend);
         let mut workers: Vec<QloveShard> =
             (0..shards).map(|_| QloveShard::new(&cfg)).collect();
         let mut coordinator = Qlove::new(cfg.clone());

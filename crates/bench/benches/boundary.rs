@@ -1,0 +1,84 @@
+//! Boundary burst-detector ablation: reference vs cached detector at
+//! 250 / 1000 / 4000 tail samples per side.
+//!
+//! The boundary-completion hot path used to pay, per boundary and per
+//! φ, a pooled `O(k log k)` sort, two fresh `ln` passes, and four
+//! allocations inside `is_bursty`. The reworked path caches each
+//! sub-window's comparison-ready `TailStats` once (reverse-copy of the
+//! already-descending samples + one `ln` pass + moment reduction) and
+//! decides via a linear merge and an `O(1)` Welch t. Three rows per
+//! size:
+//!
+//! * `reference` — the stateless `is_bursty` (what every boundary paid
+//!   before);
+//! * `cached` — `is_bursty_stats` over prebuilt stats (what a boundary
+//!   pays now: the stats of both sides already live in the summary
+//!   ring);
+//! * `rebuild+cached` — one `TailStats::rebuild` plus the decision (the
+//!   total per-sub-window cost including the once-per-lifetime cache
+//!   build, i.e. the honest amortized comparison).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qlove_core::burst::{is_bursty, is_bursty_stats, TailStats};
+
+const SIZES: [usize; 3] = [250, 1000, 4000];
+/// The operator's corrected level at default α = 0.05 and 10
+/// sub-windows: α / (4·n_sub).
+const ALPHA: f64 = 0.05 / 40.0;
+
+/// Descending tail samples with realistic spread and ties (quantized
+/// telemetry collapses values onto a coarse grid).
+fn tail(seed: u64, n: usize) -> Vec<u64> {
+    let mut v: Vec<u64> = (0..n as u64)
+        .map(|i| {
+            let r = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i.wrapping_mul(1442695040888963407));
+            10_000 + (r % 500) * 10
+        })
+        .collect();
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    v
+}
+
+fn bench_detector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("burst_detector");
+    group.sample_size(20);
+    for &n in &SIZES {
+        let cur = tail(7, n);
+        let prev = tail(11, n);
+        group.throughput(Throughput::Elements(2 * n as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("reference", n),
+            &(&cur, &prev),
+            |b, (cur, prev)| b.iter(|| is_bursty(black_box(cur), black_box(prev), ALPHA)),
+        );
+
+        let mut sc = TailStats::new();
+        let mut sp = TailStats::new();
+        sc.rebuild(&cur);
+        sp.rebuild(&prev);
+        group.bench_with_input(BenchmarkId::new("cached", n), &(&sc, &sp), |b, (sc, sp)| {
+            b.iter(|| is_bursty_stats(black_box(sc), black_box(sp), ALPHA))
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("rebuild+cached", n),
+            &(&cur, &prev),
+            |b, (cur, prev)| {
+                let mut fresh = TailStats::new();
+                let mut other = TailStats::new();
+                other.rebuild(prev);
+                b.iter(|| {
+                    fresh.rebuild(black_box(cur));
+                    is_bursty_stats(&fresh, &other, ALPHA)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detector);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! `bench_gate` — fail CI on perf regressions between a committed
+//! `BENCH_*.json` baseline and a freshly measured artifact.
+//!
+//! ```text
+//! bench_gate --baseline PATH --fresh PATH [--tolerance 0.25]
+//! ```
+//!
+//! Exit status: `0` when every metric present in both artifacts is
+//! within the tolerance band (throughput may not drop, costs may not
+//! rise, by more than the tolerance — improvements always pass), `1`
+//! on any regression, `2` on usage/parse errors. The comparison logic
+//! lives in `qlove_bench::gate` (unit-tested, including the
+//! degraded-artifact failure cases); this binary is only argument
+//! parsing and reporting.
+
+use qlove_bench::gate::{compare, extract_metrics, parse_json};
+
+struct Args {
+    baseline: String,
+    fresh: String,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline = None;
+    let mut fresh = None;
+    let mut tolerance = 0.25f64;
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--help" | "-h" => {
+                println!("usage: bench_gate --baseline PATH --fresh PATH [--tolerance 0.25]");
+                std::process::exit(0);
+            }
+            flag @ ("--baseline" | "--fresh" | "--tolerance") => {
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{flag} needs a value"))?;
+                match flag {
+                    "--baseline" => baseline = Some(value.clone()),
+                    "--fresh" => fresh = Some(value.clone()),
+                    _ => {
+                        tolerance = value.parse().map_err(|e| format!("bad tolerance: {e}"))?;
+                        if !(0.0..1.0).contains(&tolerance) {
+                            return Err("tolerance must lie in [0, 1)".into());
+                        }
+                    }
+                }
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        baseline: baseline.ok_or("--baseline is required")?,
+        fresh: fresh.ok_or("--fresh is required")?,
+        tolerance,
+    })
+}
+
+fn load_metrics(path: &str) -> Result<Vec<qlove_bench::gate::Metric>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let metrics = extract_metrics(&doc);
+    if metrics.is_empty() {
+        return Err(format!("{path}: no gateable metrics found"));
+    }
+    Ok(metrics)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (baseline, fresh) = match (load_metrics(&args.baseline), load_metrics(&args.fresh)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for err in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("bench_gate: {err}");
+            }
+            std::process::exit(2);
+        }
+    };
+    let report = compare(&baseline, &fresh, args.tolerance);
+    eprintln!(
+        "bench_gate: {} vs {} (tolerance ±{:.0}%)",
+        args.baseline,
+        args.fresh,
+        args.tolerance * 100.0
+    );
+    eprint!("{report}");
+    // A gate that compares nothing gates nothing: a renamed section,
+    // backend label, or key field would otherwise turn the job green
+    // forever. Treat zero overlap as a configuration error, not a pass.
+    if report.compared.is_empty() {
+        eprintln!(
+            "bench_gate: no metric names overlap between baseline and fresh artifacts — \
+             refresh the committed baseline to match the current bench output"
+        );
+        std::process::exit(2);
+    }
+    let regressions = report.regressions().count();
+    if regressions > 0 {
+        eprintln!("bench_gate: {regressions} metric(s) regressed beyond tolerance");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "bench_gate: {} metric(s) within tolerance",
+        report.compared.len()
+    );
+}

@@ -21,6 +21,12 @@
 //!   includes the boundary *completion* work (exact quantiles, tail
 //!   snapshot, burst test, bounds), which is backend-independent and
 //!   dominates at high shard counts;
+//! * the isolated **boundary completion** cost (`boundary_cost_us`):
+//!   single-shard dealing driven through `Qlove::merge`, few-k on and
+//!   off per backend. The on/off gap is essentially the burst
+//!   detector, and this is the metric the CI perf gate holds to the
+//!   committed baseline (the detector's allocation-free rework cut it
+//!   severalfold — see README "Performance");
 //! * the isolated **fold** cost per summary — a fresh Level-1 store
 //!   per boundary folding each shard summary in, which is the
 //!   primitive the backend actually changes (one tree descent per
@@ -79,7 +85,11 @@ fn parse_args() -> Result<Args, String> {
                 std::process::exit(0);
             }
             "--smoke" => {
-                args.events = 300_000;
+                // 600K events = 60 timed boundaries per measurement:
+                // enough to keep the per-boundary cost rows' run-to-run
+                // noise well inside the perf gate's ±25% band (at 300K
+                // the 30-boundary loops brushed against it).
+                args.events = 600_000;
                 args.shards = vec![2, 4];
                 i += 1;
                 continue;
@@ -112,6 +122,37 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// How many times each per-boundary cost loop is repeated; the
+/// **minimum** total is reported. Per-boundary loops are short
+/// (milliseconds), so on a busy single-CPU host a single pass can
+/// absorb a scheduling hiccup worth >25% — enough to trip the CI perf
+/// gate on unchanged code. The minimum of several passes approximates
+/// the uncontended cost; passes are nearly free next to the dealing
+/// setup they reuse.
+const COST_PASSES: usize = 5;
+
+/// Repeats for the whole-stream throughput measurements (sequential and
+/// distributed); the **maximum** rate is reported, for the same
+/// anti-noise reason — the fastest pass is the least-contended one.
+const RATE_PASSES: usize = 3;
+
+/// Best-of-[`COST_PASSES`] total nanoseconds for merging every boundary
+/// group into a fresh coordinator.
+fn best_of_passes(cfg: &QloveConfig, groups: &[Vec<QloveSummary>]) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..COST_PASSES {
+        let mut coordinator = Qlove::new(cfg.clone());
+        let start = Instant::now();
+        for group in groups {
+            for summary in group {
+                std::hint::black_box(coordinator.merge(summary));
+            }
+        }
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
 /// Deal `data` round-robin into `shards` accumulators, extracting one
 /// summary group per sub-window boundary (full boundaries only).
 fn deal_summaries(cfg: &QloveConfig, data: &[u64], shards: usize) -> Vec<Vec<QloveSummary>> {
@@ -133,6 +174,44 @@ struct BackendReport {
     dist_rows: Vec<(usize, f64, bool)>,
     /// Per shard count: (shards, ns/boundary, ns/summary).
     merge_rows: Vec<(usize, f64, f64)>,
+}
+
+/// Isolated boundary-completion cost, few-k on/off per backend.
+struct BoundaryRow {
+    backend: &'static str,
+    fewk: bool,
+    us_per_boundary: f64,
+}
+
+/// Boundary-completion cost in isolation: one full-sub-window summary
+/// per boundary (single-shard dealing, so the backend fold is one
+/// sorted-pair merge) driven through `Qlove::merge`, with few-k on and
+/// off. The few-k-on/off gap is almost entirely the burst detector —
+/// the coordinator's serial fraction at N shards, and the number the
+/// allocation-free detector rework is accountable for across PRs.
+fn measure_boundary_cost(data: &[u64], out: &mut Vec<BoundaryRow>) {
+    for (backend, name) in BACKENDS {
+        for fewk in [true, false] {
+            let base = if fewk {
+                QloveConfig::new(&PHIS, WINDOW, PERIOD)
+            } else {
+                QloveConfig::without_fewk(&PHIS, WINDOW, PERIOD)
+            };
+            let cfg = base.backend(backend);
+            let groups = deal_summaries(&cfg, data, 1);
+            let best_ns = best_of_passes(&cfg, &groups);
+            let us_per_boundary = best_ns / groups.len() as f64 / 1e3;
+            let label = if fewk { "on " } else { "off" };
+            eprintln!(
+                "{name:>5} boundary completion (few-k {label})  {us_per_boundary:8.1} µs/boundary"
+            );
+            out.push(BoundaryRow {
+                backend: name,
+                fewk,
+                us_per_boundary,
+            });
+        }
+    }
 }
 
 /// Pure fold cost: (dataset, backend, ns/summary, avg pairs/summary).
@@ -191,30 +270,40 @@ fn measure_backend(
 ) -> BackendReport {
     let cfg = QloveConfig::new(&PHIS, WINDOW, PERIOD).backend(backend);
 
-    // Baseline: single-instance batched ingestion.
-    let mut single = Qlove::new(cfg.clone());
+    // Baseline: single-instance batched ingestion (best of
+    // RATE_PASSES — the fastest pass is the least-contended one).
+    let mut seq_rate = 0.0f64;
     let mut seq_answers: Vec<QloveAnswer> = Vec::new();
-    let start = Instant::now();
-    for chunk in data.chunks(4096) {
-        single.push_batch_into(chunk, &mut seq_answers);
+    for _ in 0..RATE_PASSES {
+        let mut single = Qlove::new(cfg.clone());
+        seq_answers.clear();
+        let start = Instant::now();
+        for chunk in data.chunks(4096) {
+            single.push_batch_into(chunk, &mut seq_answers);
+        }
+        seq_rate = seq_rate.max(data.len() as f64 / start.elapsed().as_secs_f64() / 1e6);
     }
-    let seq_rate = data.len() as f64 / start.elapsed().as_secs_f64() / 1e6;
     eprintln!("{name:>5} sequential push_batch(4096)      {seq_rate:8.2} Melem/s");
 
-    // Distributed end-to-end, checking bit-identity with the baseline.
+    // Distributed end-to-end, checking bit-identity with the baseline
+    // on every pass.
     let mut dist_rows: Vec<(usize, f64, bool)> = Vec::new();
     for &shards in shards_list {
-        let mut coordinator = Qlove::new(cfg.clone());
-        let start = Instant::now();
-        let answers = run_distributed(
-            || QloveShard::new(&cfg),
-            &mut coordinator,
-            cfg.period,
-            data,
-            shards,
-        );
-        let rate = data.len() as f64 / start.elapsed().as_secs_f64() / 1e6;
-        let matches = answers == seq_answers;
+        let mut rate = 0.0f64;
+        let mut matches = true;
+        for _ in 0..RATE_PASSES {
+            let mut coordinator = Qlove::new(cfg.clone());
+            let start = Instant::now();
+            let answers = run_distributed(
+                || QloveShard::new(&cfg),
+                &mut coordinator,
+                cfg.period,
+                data,
+                shards,
+            );
+            rate = rate.max(data.len() as f64 / start.elapsed().as_secs_f64() / 1e6);
+            matches &= answers == seq_answers;
+        }
         eprintln!(
             "{name:>5} run_distributed({shards} shards)       {rate:8.2} Melem/s  \
              answers_match={matches}"
@@ -222,19 +311,13 @@ fn measure_backend(
         dist_rows.push((shards, rate, matches));
     }
 
-    // Isolated merge cost per sub-window boundary.
+    // Isolated merge cost per sub-window boundary (best of a few
+    // passes — see COST_PASSES).
     let mut merge_rows: Vec<(usize, f64, f64)> = Vec::new();
     for &shards in shards_list {
         let groups = deal_summaries(&cfg, data, shards);
         let boundaries = groups.len();
-        let mut coordinator = Qlove::new(cfg.clone());
-        let start = Instant::now();
-        for group in &groups {
-            for summary in group {
-                std::hint::black_box(coordinator.merge(summary));
-            }
-        }
-        let total_ns = start.elapsed().as_nanos() as f64;
+        let total_ns = best_of_passes(&cfg, &groups);
         let per_boundary = total_ns / boundaries as f64;
         let per_summary = per_boundary / shards as f64;
         eprintln!(
@@ -266,6 +349,10 @@ fn main() {
         .iter()
         .map(|&(backend, name)| measure_backend(backend, name, &data, &args.shards))
         .collect();
+
+    // Isolated boundary-completion cost (few-k on/off, both backends).
+    let mut boundary_rows: Vec<BoundaryRow> = Vec::new();
+    measure_boundary_cost(&data, &mut boundary_rows);
 
     // Store-level fold cost on both workload families, at the 4-shard
     // (or closest configured) dealing.
@@ -369,6 +456,16 @@ fn main() {
                 report.name
             );
         }
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"boundary_cost_us\": [");
+    for (i, row) in boundary_rows.iter().enumerate() {
+        let comma = if i + 1 < boundary_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"backend\": \"{}\", \"fewk\": {}, \"us_per_boundary\": {:.2}}}{comma}",
+            row.backend, row.fewk, row.us_per_boundary
+        );
     }
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"fold_ns_per_summary\": [");

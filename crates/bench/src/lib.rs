@@ -18,12 +18,16 @@
 //! * [`configs`] — the paper's standard experiment configurations
 //!   (Table 1's 16K/128K query, Figure 4's 1K/100K query, …) so
 //!   binaries and tests agree on parameters.
+//! * [`gate`] — the perf-regression gate: parse `BENCH_*.json`
+//!   artifacts and compare a fresh run against the committed baseline
+//!   (the tested core of the `bench_gate` binary CI runs).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod configs;
 pub mod experiments;
+pub mod gate;
 pub mod harness;
 pub mod table;
 

@@ -17,16 +17,44 @@
 //!
 //! Either test firing at the (caller-corrected) significance level marks
 //! the sub-window as bursty.
+//!
+//! # Two entry points, one decision
+//!
+//! [`is_bursty`] is the stateless reference form: it takes raw `u64`
+//! samples, converts, log-transforms, sorts, and tests — simple, but at
+//! ~1000 tail samples per boundary the sort and the four temporary
+//! vectors dominated the operator's boundary-completion cost. The
+//! operator instead caches each sub-window's comparison-ready form once
+//! in a [`TailStats`] (the values pre-sorted for a merge-based
+//! Mann-Whitney, the log moments pre-reduced for Welch) and decides via
+//! [`is_bursty_stats`] — allocation-free, sort-free, and **decision-
+//! identical bit for bit** (the underlying statistics are equal to the
+//! last bit; locked by `tests/proptest_burst.rs`).
+//!
+//! # Numeric edges (`u64` domain)
+//!
+//! Both tests are total over the whole `u64` range: `v as f64` and
+//! `ln(1 + v as f64)` are finite for every `u64` including `u64::MAX`
+//! (≈ 1.8·10¹⁹ — far inside f64 range), so the detector never sees a
+//! NaN or infinity from its own transforms. What *does* saturate is
+//! f64 resolution: above 2⁵³, distinct counts can collapse to the same
+//! f64 and are then treated as exact ties — midranks in the U test,
+//! identical points (zero variance in the limit) in the log-space t
+//! test. The detector therefore degrades toward "no evidence" at the
+//! top of the range instead of misfiring; `tests/proptest_burst.rs`
+//! pins this saturating behavior at `u64::MAX` together with the
+//! empty/`MIN_SAMPLES` interplay.
 
-use qlove_stats::mannwhitney::{mann_whitney_u, Alternative};
-use qlove_stats::student::welch_t;
+use qlove_stats::mannwhitney::{mann_whitney_u, mann_whitney_u_sorted, Alternative};
+use qlove_stats::student::{welch_t, welch_t_from_moments, SampleMoments};
 
 /// Minimum per-side sample count; below this the detector abstains
 /// (reports "no burst") — tail samples of extreme quantiles can be a
 /// handful of values, and decisions on 1–2 points are noise.
-const MIN_SAMPLES: usize = 3;
+pub const MIN_SAMPLES: usize = 3;
 
-/// Stateless burst decision between two tail samples.
+/// Stateless burst decision between two tail samples — the reference
+/// implementation.
 ///
 /// `current` and `previous` are the interval samples of the two tails
 /// being compared (any order within each slice). Returns `true` when
@@ -34,6 +62,12 @@ const MIN_SAMPLES: usize = 3;
 /// either test. Callers are responsible for multiple-testing correction
 /// (the operator divides its configured level by the number of tests ×
 /// the persistence horizon).
+///
+/// This form re-derives everything from the raw samples on every call
+/// (one sort, two `ln` passes, four temporary vectors). Boundary-rate
+/// callers should build [`TailStats`] once per sub-window and use
+/// [`is_bursty_stats`], which reproduces these decisions exactly
+/// without any of that per-call work.
 pub fn is_bursty(current: &[u64], previous: &[u64], alpha: f64) -> bool {
     if current.len() < MIN_SAMPLES || previous.len() < MIN_SAMPLES {
         return false;
@@ -50,6 +84,126 @@ pub fn is_bursty(current: &[u64], previous: &[u64], alpha: f64) -> bool {
     if let Some(r) = welch_t(&la, &lb, Alternative::Greater) {
         if r.significant_at(alpha) {
             return true;
+        }
+    }
+    false
+}
+
+/// Cached, comparison-ready form of one tail sample: the f64
+/// conversions sorted ascending (feeding the merge-based
+/// [`mann_whitney_u_sorted`]) and the `ln(1+v)` transforms with their
+/// reduced moments (feeding [`welch_t_from_moments`]).
+///
+/// Built once per sub-window at the boundary ([`TailStats::rebuild`])
+/// and reused by every comparison the sub-window participates in while
+/// it stays inside the window — so the log transform runs once per
+/// sample per window *lifetime* instead of once per boundary, and
+/// because the sub-window's interval samples already arrive descending-
+/// sorted, the ascending copy is a reverse iteration, not a sort.
+///
+/// All buffers are retained across [`TailStats::rebuild`] /
+/// [`TailStats::clear`], so a recycled ring of these (the operator's
+/// pooled `SubWindowSummary`s) keeps steady-state burst detection
+/// entirely allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct TailStats {
+    /// Sample values as f64, ascending.
+    asc: Vec<f64>,
+    /// `ln(1 + v)` per sample, kept in the original (descending-value)
+    /// sample order so pooled references rebuilt from several cached
+    /// tails reproduce the reference implementation's accumulation
+    /// order exactly.
+    logs: Vec<f64>,
+    /// Moments of `logs` (`None` below two samples).
+    moments: Option<SampleMoments>,
+}
+
+impl TailStats {
+    /// Empty stats (no allocation until first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached samples.
+    pub fn len(&self) -> usize {
+        self.asc.len()
+    }
+
+    /// `true` when no samples are cached.
+    pub fn is_empty(&self) -> bool {
+        self.asc.is_empty()
+    }
+
+    /// The cached values, ascending.
+    pub fn ascending(&self) -> &[f64] {
+        &self.asc
+    }
+
+    /// Rebuild from a sub-window's tail samples in **descending** order
+    /// (the order `fewk::interval_sample_into` emits). Buffers are
+    /// reused; no allocation in steady state.
+    pub fn rebuild(&mut self, samples_desc: &[u64]) {
+        debug_assert!(
+            samples_desc.windows(2).all(|w| w[0] >= w[1]),
+            "TailStats::rebuild requires descending-sorted samples"
+        );
+        self.asc.clear();
+        self.asc
+            .extend(samples_desc.iter().rev().map(|&v| v as f64));
+        self.logs.clear();
+        self.logs
+            .extend(samples_desc.iter().map(|&v| (1.0 + v as f64).ln()));
+        self.moments = SampleMoments::describe(&self.logs);
+    }
+
+    /// Reset to empty, keeping buffers — the starting point for pooled-
+    /// reference assembly via [`TailStats::absorb`].
+    pub fn clear(&mut self) {
+        self.asc.clear();
+        self.logs.clear();
+        self.moments = None;
+    }
+
+    /// Append another cached tail's samples (pooled-reference assembly;
+    /// the operator absorbs live sub-windows newest-first). Leaves the
+    /// value buffer unsorted and the moments stale until
+    /// [`TailStats::finish_pooled`] runs.
+    pub fn absorb(&mut self, other: &TailStats) {
+        self.asc.extend_from_slice(&other.asc);
+        self.logs.extend_from_slice(&other.logs);
+    }
+
+    /// Sort the pooled values and reduce the pooled moments, making the
+    /// stats comparison-ready. Only pooled references pay this sort —
+    /// and only on the under-powered fallback path, over a capped pool.
+    pub fn finish_pooled(&mut self) {
+        self.asc
+            .sort_unstable_by(|x, y| x.partial_cmp(y).expect("NaN in pooled tail"));
+        self.moments = SampleMoments::describe(&self.logs);
+    }
+}
+
+/// [`is_bursty`] over cached tails — the allocation-free, sort-free
+/// boundary hot path.
+///
+/// Decisions are identical to [`is_bursty`] on the same samples, bit
+/// for bit: the merge-based U statistic and the moments-based Welch t
+/// reproduce the reference statistics exactly (see `qlove_stats`), and
+/// the abstention guard is the same [`MIN_SAMPLES`].
+pub fn is_bursty_stats(current: &TailStats, previous: &TailStats, alpha: f64) -> bool {
+    if current.len() < MIN_SAMPLES || previous.len() < MIN_SAMPLES {
+        return false;
+    }
+    if let Some(r) = mann_whitney_u_sorted(&current.asc, &previous.asc, Alternative::Greater) {
+        if r.significant_at(alpha) {
+            return true;
+        }
+    }
+    if let (Some(ma), Some(mb)) = (current.moments, previous.moments) {
+        if let Some(r) = welch_t_from_moments(ma, mb, Alternative::Greater) {
+            if r.significant_at(alpha) {
+                return true;
+            }
         }
     }
     false
@@ -136,5 +290,107 @@ mod tests {
             }
         }
         assert!(fired <= 2, "false positives: {fired}/100");
+    }
+
+    // ---- cached (TailStats) path ------------------------------------------
+
+    fn desc(mut v: Vec<u64>) -> Vec<u64> {
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+
+    fn stats_of(samples_desc: &[u64]) -> TailStats {
+        let mut s = TailStats::new();
+        s.rebuild(samples_desc);
+        s
+    }
+
+    /// The cached path must reproduce the reference decision on this
+    /// pair at several significance levels.
+    fn assert_cached_matches(cur: &[u64], prev: &[u64]) {
+        let sc = stats_of(cur);
+        let sp = stats_of(prev);
+        for alpha in [0.05, 0.01, 0.001, 1e-6] {
+            assert_eq!(
+                is_bursty_stats(&sc, &sp, alpha),
+                is_bursty(cur, prev, alpha),
+                "cur={cur:?} prev={prev:?} alpha={alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_path_matches_reference_decisions() {
+        let prev = desc((1_000..1_030).collect());
+        let burst = desc(prev.iter().map(|v| v * 10).collect());
+        assert_cached_matches(&burst, &prev);
+        assert_cached_matches(&prev, &burst);
+        assert_cached_matches(&prev, &prev);
+        let flat = desc((100..130).collect());
+        let drift = desc((102..132).collect());
+        assert_cached_matches(&drift, &flat);
+        assert_cached_matches(&[500; 20], &[500; 20]);
+        assert_cached_matches(&[], &[]);
+        assert_cached_matches(&[9, 8], &[3, 2, 1]);
+    }
+
+    #[test]
+    fn cached_path_is_built_from_descending_samples() {
+        let s = stats_of(&[50, 40, 30]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.ascending(), &[30.0, 40.0, 50.0]);
+    }
+
+    #[test]
+    fn pooled_assembly_matches_reference_on_concatenation() {
+        // Newest-first absorption of three cached tails must decide
+        // exactly like the reference fed the same concatenated pool.
+        let runs: [Vec<u64>; 3] = [
+            desc((200..216).collect()),
+            desc((180..196).collect()),
+            desc((210..226).collect()),
+        ];
+        let cur = desc((2_000..2_016).collect());
+        let mut pool_stats = TailStats::new();
+        let mut pool_raw: Vec<u64> = Vec::new();
+        for run in &runs {
+            pool_stats.absorb(&stats_of(run));
+            pool_raw.extend_from_slice(run);
+        }
+        pool_stats.finish_pooled();
+        for alpha in [0.05, 0.001] {
+            assert_eq!(
+                is_bursty_stats(&stats_of(&cur), &pool_stats, alpha),
+                is_bursty(&cur, &pool_raw, alpha)
+            );
+        }
+    }
+
+    #[test]
+    fn u64_max_saturates_to_ties_not_bursts() {
+        // u64::MAX and its neighbours collapse to one f64: the detector
+        // sees exact ties on both tests and reports no evidence — the
+        // documented saturating behavior at the top of the range.
+        assert_eq!(u64::MAX as f64, (u64::MAX - 1) as f64);
+        let cur = [u64::MAX, u64::MAX - 1, u64::MAX - 2];
+        let prev = [u64::MAX - 1, u64::MAX - 2, u64::MAX - 3];
+        assert!(!is_bursty(&cur, &prev, 0.05));
+        assert_cached_matches(&cur, &prev);
+        // A shift that survives the f64 rounding is still caught.
+        let low: Vec<u64> = (0..8).map(|i| u64::MAX / 1_000 + i).collect();
+        let high: Vec<u64> = low.iter().map(|v| v * 100).collect();
+        assert!(is_bursty(&desc(high.clone()), &desc(low.clone()), 0.01));
+        assert_cached_matches(&desc(high), &desc(low));
+    }
+
+    #[test]
+    fn clear_and_reuse_keeps_no_stale_state() {
+        let mut s = stats_of(&[100, 50, 10]);
+        s.clear();
+        assert!(s.is_empty());
+        s.rebuild(&[7, 6, 5, 4]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.ascending(), &[4.0, 5.0, 6.0, 7.0]);
     }
 }

@@ -21,6 +21,12 @@ pub struct FewKConfig {
     /// a quantile when `P(1−φ) < Ts`. Paper sets 10 (§4.3).
     pub ts: f64,
     /// Significance level of the Mann-Whitney burst detector (§4.3).
+    /// The operator Bonferroni-corrects this per boundary (÷ 4·n_sub:
+    /// two reference comparisons × two tests, persisting over n_sub
+    /// evaluations); the detection itself runs on cached per-sub-window
+    /// tail stats, so its boundary cost is linear in the sample budget
+    /// `ks` — raising `samplek_fraction` no longer buys an
+    /// `O(ks log ks)` re-sort per boundary.
     pub burst_alpha: f64,
     /// Few-k applies only to quantiles at or above this fraction — the
     /// paper's "high quantiles" (its examples are Q0.99 and Q0.999;

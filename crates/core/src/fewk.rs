@@ -77,6 +77,13 @@ impl TailBudget {
 /// `N(1−φ)` largest values, descending), `i = ⌈|tail| / ks⌉`, yielding
 /// at most `ks` samples. "For i = 2, we select all even ranked values" —
 /// so sampling starts at rank `i`, not rank 1.
+///
+/// **Sortedness contract:** because the input tail is descending and
+/// sampling is a strided subsequence, the output is descending too.
+/// Downstream consumers lean on this — the k-way merge cursors of
+/// [`merge_sample_k`] and, since the cached-detector rework, the burst
+/// detector's `TailStats`, which reverse-copies the samples instead of
+/// sorting them. Don't break it.
 pub fn interval_sample(tail: &[u64], ks: usize) -> Vec<u64> {
     let mut out = Vec::new();
     interval_sample_into(tail, ks, &mut out);
@@ -84,9 +91,14 @@ pub fn interval_sample(tail: &[u64], ks: usize) -> Vec<u64> {
 }
 
 /// [`interval_sample`] into a caller-owned buffer (cleared first), so
-/// sub-window boundaries can recycle the per-φ sample vectors.
+/// sub-window boundaries can recycle the per-φ sample vectors. The same
+/// sortedness contract applies: descending in, descending out.
 pub fn interval_sample_into(tail: &[u64], ks: usize, out: &mut Vec<u64>) {
     out.clear();
+    debug_assert!(
+        tail.windows(2).all(|w| w[0] >= w[1]),
+        "interval sampling requires a descending tail snapshot"
+    );
     if ks == 0 || tail.is_empty() {
         return;
     }

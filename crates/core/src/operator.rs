@@ -2,7 +2,7 @@
 //! (Figure 2) with few-k tail repair (§4) and Theorem-1 error bounds.
 
 use crate::bounds::bound_from_store;
-use crate::burst::is_bursty;
+use crate::burst::{is_bursty_stats, TailStats};
 use crate::config::{Backend, QloveConfig};
 use crate::fewk::{interval_sample_into, merge_sample_k, merge_top_k, tail_need, TailBudget};
 use qlove_freqstore::{FreqStore, FreqStoreImpl};
@@ -104,6 +104,14 @@ struct SubWindowSummary {
     /// keeps influencing evaluations for as long as its sub-window stays
     /// inside the window.
     bursty: Vec<bool>,
+    /// Per-φ cached detector inputs derived from `samples`: values
+    /// pre-sorted for the merge-based Mann-Whitney, log transforms and
+    /// their moments pre-reduced for Welch's t. Computed once here and
+    /// reused by every boundary comparison this sub-window participates
+    /// in, so the detector's sort and `ln` passes leave the boundary hot
+    /// path (not counted by `space_variables`: a derived cache of the
+    /// already-counted samples, like the tail scratch).
+    tails: Vec<TailStats>,
     /// Per-φ Theorem-1 bounds estimated from this sub-window's density.
     bounds: Vec<Option<CltBound>>,
 }
@@ -118,6 +126,7 @@ impl SubWindowSummary {
             topk: vec![Vec::new(); l],
             samples: vec![Vec::new(); l],
             bursty: Vec::with_capacity(l),
+            tails: vec![TailStats::new(); l],
             bounds: Vec::with_capacity(l),
         }
     }
@@ -296,9 +305,22 @@ pub struct Qlove {
     batch_scratch: Vec<u64>,
     /// Descending tail snapshot taken at each sub-window boundary.
     tail_scratch: Vec<u64>,
-    /// Pooled burst-detector reference samples.
-    pooled_scratch: Vec<u64>,
+    /// Pooled burst-detector reference, assembled from the live
+    /// sub-windows' cached [`TailStats`] on the under-powered fallback
+    /// path (buffers recycled across boundaries).
+    pooled_stats: TailStats,
 }
+
+/// Per-φ sample count at or above which the single-sub-window burst
+/// comparison is considered adequately powered and the pooled fallback
+/// is skipped (see [`Qlove::complete_subwindow`]).
+const POOLED_FALLBACK_MAX_SAMPLES: usize = 32;
+
+/// Cap on pooled burst-reference size: absorption of live sub-windows
+/// (newest first) stops once the pool reaches this many samples —
+/// ranking thousands of pooled values at every boundary would erase the
+/// throughput advantage QLOVE exists for.
+const POOLED_REFERENCE_CAP: usize = 1024;
 
 impl Qlove {
     /// Build the operator; panics on invalid configuration (see
@@ -345,7 +367,7 @@ impl Qlove {
             spare_summary: None,
             batch_scratch: Vec::new(),
             tail_scratch: Vec::with_capacity(max_tail),
-            pooled_scratch: Vec::new(),
+            pooled_stats: TailStats::new(),
             config,
         }
     }
@@ -455,7 +477,10 @@ impl Qlove {
         let filled = self.store.quantiles_into(phis, &mut summary.quantiles);
         assert!(filled, "sub-window contains `period` > 0 elements");
 
-        // One descending tail snapshot serves every φ's caches.
+        // One descending tail snapshot serves every φ's caches. The
+        // snapshot (and therefore each φ's interval samples) is
+        // descending-sorted, which is what lets the detector cache
+        // below reverse-copy instead of sort.
         self.store.top_k_into(self.max_tail, &mut self.tail_scratch);
         let tail = &self.tail_scratch;
         for (i, budget) in self.budgets.iter().enumerate() {
@@ -469,12 +494,25 @@ impl Qlove {
                 interval_sample_into(&tail[..need], b.ks, samples);
             }
         }
+        // Cache the comparison-ready detector form of each φ's samples
+        // (values pre-sorted, log moments pre-reduced) once per
+        // sub-window: every later boundary this sub-window is compared
+        // at — as the adjacent-former reference or inside a pooled
+        // reference — reuses it instead of re-sorting and re-`ln`ing.
+        if self.config.fewk.is_some() {
+            for i in 0..l {
+                summary.tails[i].rebuild(&summary.samples[i]);
+            }
+        }
 
         // Burst flags (§4.3): is this sub-window's tail stochastically
         // larger than recent history? Tested against the adjacent former
         // sub-window (the paper's description) and, for statistical
         // power when per-φ samples are few, against the pooled samples
         // of all live sub-windows — either firing marks the burst.
+        // Decisions ride the cached `TailStats` (allocation-free,
+        // sort-free) and are bit-identical to the reference
+        // `burst::is_bursty` on the same samples.
         //
         // Significance is Bonferroni-corrected: each boundary runs 2
         // reference comparisons (× 2 tests inside the detector) and a
@@ -490,29 +528,28 @@ impl Qlove {
                         summary.bursty.push(false);
                         continue;
                     }
-                    if is_bursty(&summary.samples[i], &prev.samples[i], alpha) {
+                    if is_bursty_stats(&summary.tails[i], &prev.tails[i], alpha) {
                         summary.bursty.push(true);
                         continue;
                     }
                     // Pooled fallback only where the single-window
                     // comparison is underpowered (small per-φ samples),
-                    // and capped: ranking thousands of pooled values at
-                    // every boundary would erase the throughput
-                    // advantage QLOVE exists for.
-                    if summary.samples[i].len() >= 32 {
+                    // and capped at POOLED_REFERENCE_CAP samples.
+                    if summary.samples[i].len() >= POOLED_FALLBACK_MAX_SAMPLES {
                         summary.bursty.push(false);
                         continue;
                     }
-                    self.pooled_scratch.clear();
+                    self.pooled_stats.clear();
                     for s in self.summaries.iter().rev() {
-                        self.pooled_scratch.extend_from_slice(&s.samples[i]);
-                        if self.pooled_scratch.len() >= 1024 {
+                        self.pooled_stats.absorb(&s.tails[i]);
+                        if self.pooled_stats.len() >= POOLED_REFERENCE_CAP {
                             break;
                         }
                     }
-                    summary.bursty.push(is_bursty(
-                        &summary.samples[i],
-                        &self.pooled_scratch,
+                    self.pooled_stats.finish_pooled();
+                    summary.bursty.push(is_bursty_stats(
+                        &summary.tails[i],
+                        &self.pooled_stats,
                         alpha,
                     ));
                 }

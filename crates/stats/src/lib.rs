@@ -40,6 +40,6 @@ pub use describe::{
 pub use error_bound::{clt_error_bound, CltBound};
 pub use histogram::Histogram;
 pub use kde::Kde;
-pub use mannwhitney::{mann_whitney_u, Alternative, MannWhitneyResult};
+pub use mannwhitney::{mann_whitney_u, mann_whitney_u_sorted, Alternative, MannWhitneyResult};
 pub use normal::{cdf as norm_cdf, erf, erfc, inv_cdf as norm_inv_cdf, pdf as norm_pdf};
-pub use student::{t_cdf, welch_t, WelchResult};
+pub use student::{t_cdf, welch_t, welch_t_from_moments, SampleMoments, WelchResult};

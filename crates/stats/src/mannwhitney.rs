@@ -40,50 +40,116 @@ impl MannWhitneyResult {
     }
 }
 
-/// Mann-Whitney U test of samples `a` against `b`.
+/// Mann-Whitney U test of samples `a` against `b` (any order).
 ///
 /// Returns `None` when either sample is empty (the burst detector treats
 /// this as "no evidence of a burst"). Sample sizes ≥ 8 per side make the
 /// normal approximation accurate to well under the 5% level the burst
 /// detector operates at.
+///
+/// This entry point sorts working copies of both samples and delegates
+/// to [`mann_whitney_u_sorted`]; callers whose samples are already
+/// sorted (QLOVE's tail caches arrive descending from the sub-window
+/// snapshot) should call the sorted entry point directly and skip both
+/// the copies and the sort.
 pub fn mann_whitney_u(a: &[f64], b: &[f64], alternative: Alternative) -> Option<MannWhitneyResult> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let order = |x: &f64, y: &f64| x.partial_cmp(y).expect("NaN in Mann-Whitney input");
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_unstable_by(order);
+    sb.sort_unstable_by(order);
+    mann_whitney_u_sorted(&sa, &sb, alternative)
+}
+
+/// Mann-Whitney U test of two **ascending-sorted** samples.
+///
+/// The U statistic and tie correction come from a single linear merge of
+/// the two slices: no pooled concatenation, no re-sort, no rank vectors,
+/// and no heap allocation. This is the burst detector's per-boundary
+/// fast path — with `k` tail samples per side the old pooled-sort
+/// formulation paid `O(k log k)` plus four allocations per call, while
+/// the merge is `O(k)` flat.
+///
+/// Results are **bit-identical** to [`mann_whitney_u`] on the same
+/// multisets: the merge visits the same tie groups in the same ascending
+/// order and performs the same sequence of midrank additions, so `u`,
+/// `z`, and `p_value` match to the last bit (locked by
+/// `tests/proptest_burst.rs` against a frozen copy of the pooled-sort
+/// implementation).
+///
+/// # Panics
+/// Panics when an input contains NaN (like the sorting entry point); a
+/// slice that is not actually ascending yields an unspecified (but
+/// finite and non-panicking) statistic in release builds and trips a
+/// debug assertion in debug builds.
+pub fn mann_whitney_u_sorted(
+    a: &[f64],
+    b: &[f64],
+    alternative: Alternative,
+) -> Option<MannWhitneyResult> {
     let n1 = a.len();
     let n2 = b.len();
     if n1 == 0 || n2 == 0 {
         return None;
     }
-
-    // Pool, remember origin, and rank with midranks for ties.
-    let mut pooled: Vec<(f64, bool)> = a
-        .iter()
-        .map(|&v| (v, true))
-        .chain(b.iter().map(|&v| (v, false)))
-        .collect();
-    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("NaN in Mann-Whitney input"));
-
-    let n = pooled.len();
-    let mut rank_sum_a = 0.0f64;
-    let mut tie_term = 0.0f64; // Σ (t³ − t) over tie groups
-    let mut i = 0;
-    while i < n {
-        let mut j = i + 1;
-        while j < n && pooled[j].0 == pooled[i].0 {
-            j += 1;
-        }
-        let group = (j - i) as f64;
-        // Midrank of the tie group spanning 1-indexed ranks (i+1)..=j.
-        let midrank = (i + 1 + j) as f64 / 2.0;
-        for item in &pooled[i..j] {
-            if item.1 {
-                rank_sum_a += midrank;
-            }
-        }
-        if group > 1.0 {
-            tie_term += group * group * group - group;
-        }
-        i = j;
+    // NaN-tolerant order check so NaN inputs reach the dedicated
+    // "NaN in Mann-Whitney input" panic below rather than tripping this
+    // assertion with a misleading message.
+    #[cfg(debug_assertions)]
+    {
+        let ascending = |s: &[f64]| {
+            s.windows(2)
+                .all(|w| w[0] <= w[1] || w[0].is_nan() || w[1].is_nan())
+        };
+        debug_assert!(
+            ascending(a) && ascending(b),
+            "mann_whitney_u_sorted requires ascending-sorted inputs"
+        );
     }
 
+    let mut rank_sum_a = 0.0f64;
+    let mut tie_term = 0.0f64; // Σ (t³ − t) over tie groups
+    let (mut ia, mut ib) = (0usize, 0usize);
+    let mut consumed = 0usize; // elements ranked before the current group
+    while ia < n1 || ib < n2 {
+        let value = match (a.get(ia), b.get(ib)) {
+            (Some(&x), Some(&y)) => x.min(y),
+            (Some(&x), None) => x,
+            (None, Some(&y)) => y,
+            (None, None) => unreachable!("loop condition"),
+        };
+        let a_start = ia;
+        while ia < n1 && a[ia] == value {
+            ia += 1;
+        }
+        let b_start = ib;
+        while ib < n2 && b[ib] == value {
+            ib += 1;
+        }
+        let in_a = ia - a_start;
+        let group = in_a + (ib - b_start);
+        // A NaN head never equals anything, including itself.
+        assert!(group > 0, "NaN in Mann-Whitney input");
+        // Midrank of the tie group spanning 1-indexed ranks
+        // (consumed+1)..=(consumed+group).
+        let midrank = (consumed + 1 + consumed + group) as f64 / 2.0;
+        // One addition per a-element (not `in_a as f64 * midrank`):
+        // floating-point accumulation must mirror the pooled-rank walk
+        // exactly for bit-identical statistics.
+        for _ in 0..in_a {
+            rank_sum_a += midrank;
+        }
+        let g = group as f64;
+        if g > 1.0 {
+            tie_term += g * g * g - g;
+        }
+        consumed += group;
+    }
+
+    let n = n1 + n2;
     let n1f = n1 as f64;
     let n2f = n2 as f64;
     let u1 = rank_sum_a - n1f * (n1f + 1.0) / 2.0;
@@ -198,5 +264,66 @@ mod tests {
         let r = mann_whitney_u(&a, &b, Alternative::Greater).unwrap();
         // a is slightly larger but far from significant.
         assert!(r.p_value > 0.2 && r.p_value < 0.8, "p = {}", r.p_value);
+    }
+
+    // ---- sorted (merge-based) entry point ---------------------------------
+
+    /// Sort both sides ascending, run both entry points, demand exact
+    /// (bit-level) agreement on every field.
+    fn assert_sorted_matches(a: &[f64], b: &[f64]) {
+        let order = |x: &f64, y: &f64| x.partial_cmp(y).unwrap();
+        let mut sa = a.to_vec();
+        let mut sb = b.to_vec();
+        sa.sort_unstable_by(order);
+        sb.sort_unstable_by(order);
+        for alt in [
+            Alternative::Greater,
+            Alternative::Less,
+            Alternative::TwoSided,
+        ] {
+            let base = mann_whitney_u(a, b, alt).unwrap();
+            let fast = mann_whitney_u_sorted(&sa, &sb, alt).unwrap();
+            assert!(base.u == fast.u, "u: {} vs {}", base.u, fast.u);
+            assert!(base.z == fast.z, "z: {} vs {}", base.z, fast.z);
+            assert!(
+                base.p_value == fast.p_value,
+                "p: {} vs {}",
+                base.p_value,
+                fast.p_value
+            );
+        }
+    }
+
+    #[test]
+    fn sorted_agrees_with_unsorted_bit_for_bit() {
+        assert_sorted_matches(&[1.0, 2.0, 3.0, 4.0, 5.0], &[3.0, 4.0, 5.0, 6.0, 7.0]);
+        // Heavy ties, including cross-sample groups.
+        assert_sorted_matches(&[1.0, 1.0, 1.0, 2.0, 2.0], &[1.0, 1.0, 2.0, 2.0, 2.0]);
+        // All-equal pool (zero variance branch).
+        assert_sorted_matches(&[7.0; 6], &[7.0; 9]);
+        // Disjoint ranges, both directions.
+        assert_sorted_matches(&[100.0, 101.0, 102.0], &[1.0, 2.0, 3.0]);
+        assert_sorted_matches(&[1.0, 2.0, 3.0], &[100.0, 101.0, 102.0]);
+        // Asymmetric sizes.
+        let long: Vec<f64> = (0..200).map(|i| (i % 17) as f64).collect();
+        assert_sorted_matches(&long, &[4.0, 9.0, 13.0]);
+    }
+
+    #[test]
+    fn sorted_empty_samples_yield_none() {
+        assert!(mann_whitney_u_sorted(&[], &[1.0], Alternative::Greater).is_none());
+        assert!(mann_whitney_u_sorted(&[1.0], &[], Alternative::Greater).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN in Mann-Whitney input")]
+    fn sorted_panics_on_nan() {
+        mann_whitney_u_sorted(&[1.0, f64::NAN], &[1.0, 2.0], Alternative::Greater);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN in Mann-Whitney input")]
+    fn unsorted_panics_on_nan() {
+        mann_whitney_u(&[1.0, f64::NAN], &[1.0, 2.0], Alternative::Greater);
     }
 }

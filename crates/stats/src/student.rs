@@ -146,19 +146,85 @@ impl WelchResult {
     }
 }
 
+/// Precomputed sample moments consumed by [`welch_t_from_moments`]:
+/// observation count, arithmetic mean, and unbiased sample variance.
+///
+/// Build with [`SampleMoments::describe`] (or fill the fields from any
+/// cache that used the same `describe` routines) — QLOVE's burst
+/// detector computes these once per sub-window over the log-transformed
+/// tail samples and reuses them for every boundary comparison the
+/// sub-window participates in, so the `ln` pass and both moment passes
+/// leave the per-boundary hot path entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleMoments {
+    /// Number of observations the moments summarize.
+    pub n: usize,
+    /// Arithmetic mean ([`crate::describe::mean`]).
+    pub mean: f64,
+    /// Unbiased sample variance ([`crate::describe::variance`]).
+    pub variance: f64,
+}
+
+impl SampleMoments {
+    /// Moments of `data` via the same `describe` routines [`welch_t`]
+    /// uses internally, so a test fed cached moments is bit-identical
+    /// to one fed the raw slice. `None` below two observations (no
+    /// unbiased variance).
+    pub fn describe(data: &[f64]) -> Option<Self> {
+        if data.len() < 2 {
+            return None;
+        }
+        Some(Self {
+            n: data.len(),
+            mean: crate::describe::mean(data)?,
+            variance: crate::describe::variance(data)?,
+        })
+    }
+}
+
 /// Welch's unequal-variance t-test of `a` against `b`.
 ///
-/// Returns `None` when either side has fewer than two observations or
-/// both sides have zero variance with equal means.
+/// Returns `None` when either side has fewer than two observations.
+/// Computes both sides' moments and delegates to
+/// [`welch_t_from_moments`]; callers that already hold
+/// [`SampleMoments`] should call that entry point directly — it is
+/// allocation-free and `O(1)`.
 pub fn welch_t(a: &[f64], b: &[f64], alternative: Alternative) -> Option<WelchResult> {
-    if a.len() < 2 || b.len() < 2 {
+    welch_t_from_moments(
+        SampleMoments::describe(a)?,
+        SampleMoments::describe(b)?,
+        alternative,
+    )
+}
+
+/// Welch's t-test from precomputed moments — the `O(1)` core of
+/// [`welch_t`], bit-identical to it when the moments come from
+/// [`SampleMoments::describe`] on the same data.
+///
+/// Returns `None` when either side has fewer than two observations.
+///
+/// # Degenerate inputs (zero pooled variance)
+///
+/// When `se2 ≤ 0` (identical constants on both sides, or an exact
+/// tie), the saturated result (`t = ±∞` on a mean gap, `p ∈ {0, 1}`)
+/// is oriented for [`Alternative::Greater`] **regardless of the
+/// requested alternative** — `p = 0` iff `mean_a > mean_b`. This quirk
+/// is inherited verbatim from the original `welch_t` and kept for the
+/// burst detector's bit-identity contract (the detector only ever asks
+/// `Greater`); treat `Less`/`TwoSided` p-values as unreliable on
+/// degenerate inputs until a deliberate behavior change unfreezes
+/// them.
+pub fn welch_t_from_moments(
+    a: SampleMoments,
+    b: SampleMoments,
+    alternative: Alternative,
+) -> Option<WelchResult> {
+    if a.n < 2 || b.n < 2 {
         return None;
     }
-    let ma = crate::describe::mean(a)?;
-    let mb = crate::describe::mean(b)?;
-    let va = crate::describe::variance(a)?;
-    let vb = crate::describe::variance(b)?;
-    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let (ma, mb) = (a.mean, b.mean);
+    let (va, vb) = (a.variance, b.variance);
+    let (na, nb) = (a.n as f64, b.n as f64);
     let se2 = va / na + vb / nb;
     if se2 <= 0.0 {
         // Degenerate: identical constants on both sides, or exact tie.
@@ -263,6 +329,42 @@ mod tests {
         close(r.t, -2.0, 1e-9);
         close(r.df, 8.0, 1e-9);
         close(r.p_value, 0.0805, 2e-3);
+    }
+
+    #[test]
+    fn moments_entry_point_is_bit_identical() {
+        let a: Vec<f64> = (0..40).map(|i| ((i * 37) % 11) as f64 + 0.25).collect();
+        let b: Vec<f64> = (0..25).map(|i| ((i * 53) % 13) as f64).collect();
+        let ma = SampleMoments::describe(&a).unwrap();
+        let mb = SampleMoments::describe(&b).unwrap();
+        for alt in [
+            Alternative::Greater,
+            Alternative::Less,
+            Alternative::TwoSided,
+        ] {
+            let slow = welch_t(&a, &b, alt).unwrap();
+            let fast = welch_t_from_moments(ma, mb, alt).unwrap();
+            assert!(slow.t == fast.t, "t: {} vs {}", slow.t, fast.t);
+            assert!(slow.df == fast.df);
+            assert!(slow.p_value == fast.p_value);
+        }
+    }
+
+    #[test]
+    fn moments_describe_edge_cases() {
+        assert!(SampleMoments::describe(&[]).is_none());
+        assert!(SampleMoments::describe(&[1.0]).is_none());
+        let m = SampleMoments::describe(&[1.0, 3.0]).unwrap();
+        assert_eq!(m.n, 2);
+        assert!((m.mean - 2.0).abs() < 1e-12);
+        assert!((m.variance - 2.0).abs() < 1e-12);
+        // Sub-minimum moments are rejected by the test itself too.
+        let tiny = SampleMoments {
+            n: 1,
+            mean: 0.0,
+            variance: 0.0,
+        };
+        assert!(welch_t_from_moments(tiny, m, Alternative::Greater).is_none());
     }
 
     #[test]

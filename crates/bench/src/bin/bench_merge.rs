@@ -4,7 +4,7 @@
 //! `BENCH_ingest.json`.
 //!
 //! ```text
-//! bench_merge [--events N] [--shards a,b,c] [--out PATH] [--smoke]
+//! bench_merge [--events N] [--shards a,b,c] [--transport a,b,c] [--out PATH] [--smoke]
 //! ```
 //!
 //! Measures, over the quantized Normal stream with the paper-default
@@ -37,7 +37,18 @@
 //!   makes tree descents pay, which is where the slice-fold win
 //!   compounds;
 //! * summary codec compactness (bytes per shipped summary vs the raw
-//!   16-bytes-per-pair encoding; backend-neutral, measured once).
+//!   16-bytes-per-pair encoding; backend-neutral, measured once);
+//! * the **transport dimension** (`--transport {inproc,uds,tcp}`,
+//!   dense backend): end-to-end distributed throughput per transport —
+//!   the in-process thread executor vs real socket sessions against
+//!   in-process worker threads speaking the full QLVT framed protocol
+//!   over Unix-domain socketpairs and TCP loopback — plus the
+//!   pipelined coordinator's overlap (µs of merge per boundary hidden
+//!   behind shard ingest, and the hidden fraction of total merge
+//!   time). Throughput rows are gated by CI; the overlap rows are
+//!   recorded but ungated — overlap needs real parallelism, so on a
+//!   1-CPU runner it sits at ~0 and its run-to-run noise is
+//!   meaningless to gate (see `gate.rs`).
 //!
 //! Headline ratios: fold cost per summary, tree over dense (the win of
 //! folding sorted pairs into a flat array instead of one tree descent
@@ -54,7 +65,7 @@
 //! while keeping every measurement present in the artifact.
 
 use qlove_core::{Backend, Qlove, QloveAnswer, QloveConfig, QloveShard, QloveSummary};
-use qlove_stream::run_distributed;
+use qlove_stream::{run_distributed, run_distributed_with_stats, PipelineStats};
 use qlove_workloads::NormalGen;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -67,13 +78,27 @@ const BACKENDS: [(Backend, &str); 2] = [(Backend::Tree, "tree"), (Backend::Dense
 struct Args {
     events: usize,
     shards: Vec<usize>,
+    transports: Vec<String>,
     out: String,
+}
+
+const ALL_TRANSPORTS: [&str; 3] = ["inproc", "uds", "tcp"];
+
+/// Transports measured when `--transport` is not given: everything the
+/// target supports (Unix-domain socketpairs need a unix target).
+fn default_transports() -> Vec<String> {
+    ALL_TRANSPORTS
+        .iter()
+        .filter(|&&t| cfg!(unix) || t != "uds")
+        .map(|&t| t.to_string())
+        .collect()
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         events: 2_000_000,
         shards: vec![2, 4, 8],
+        transports: default_transports(),
         out: "BENCH_merge.json".to_string(),
     };
     let argv: Vec<String> = std::env::args().collect();
@@ -81,7 +106,10 @@ fn parse_args() -> Result<Args, String> {
     while i < argv.len() {
         match argv[i].as_str() {
             "--help" | "-h" => {
-                println!("usage: bench_merge [--events N] [--shards a,b,c] [--out PATH] [--smoke]");
+                println!(
+                    "usage: bench_merge [--events N] [--shards a,b,c] \
+                     [--transport inproc,uds,tcp] [--out PATH] [--smoke]"
+                );
                 std::process::exit(0);
             }
             "--smoke" => {
@@ -94,7 +122,7 @@ fn parse_args() -> Result<Args, String> {
                 i += 1;
                 continue;
             }
-            flag @ ("--events" | "--shards" | "--out") => {
+            flag @ ("--events" | "--shards" | "--transport" | "--out") => {
                 let value = argv
                     .get(i + 1)
                     .ok_or_else(|| format!("{flag} needs a value"))?;
@@ -107,6 +135,22 @@ fn parse_args() -> Result<Args, String> {
                             .collect::<Result<_, _>>()?;
                         if args.shards.contains(&0) {
                             return Err("shard counts must be positive".into());
+                        }
+                    }
+                    "--transport" => {
+                        args.transports = value
+                            .split(',')
+                            .map(|s| s.trim().to_string())
+                            .collect::<Vec<_>>();
+                        if let Some(bad) = args
+                            .transports
+                            .iter()
+                            .find(|t| !ALL_TRANSPORTS.contains(&t.as_str()))
+                        {
+                            return Err(format!("unknown transport {bad} (inproc|uds|tcp)"));
+                        }
+                        if !cfg!(unix) && args.transports.iter().any(|t| t == "uds") {
+                            return Err("uds transport needs a unix target".into());
                         }
                     }
                     _ => args.out = value.clone(),
@@ -262,6 +306,117 @@ fn measure_folds(dataset: &'static str, data: &[u64], shards: usize, out: &mut V
     }
 }
 
+/// One transport-dimension measurement: end-to-end distributed rate
+/// over a given transport plus the pipelined coordinator's overlap.
+struct TransportRow {
+    transport: String,
+    shards: usize,
+    rate: f64,
+    overlap_us_per_boundary: f64,
+    merge_hidden_pct: f64,
+    matches: bool,
+}
+
+/// Run one socket-distributed pass against in-process worker threads
+/// speaking the full QLVT framed protocol. `uds` uses socketpairs,
+/// `tcp` a loopback listener — real sockets and real frame
+/// encode/decode either way, isolating the wire cost without the
+/// child-process spawn noise (the cross-process differential lives in
+/// `tests/transport_differential.rs`).
+fn socket_pass(
+    cfg: &QloveConfig,
+    data: &[u64],
+    shards: usize,
+    family: &str,
+) -> (Vec<QloveAnswer>, PipelineStats) {
+    use qlove_transport::{serve_stream, Conn, Endpoint, Listener};
+    std::thread::scope(|scope| {
+        let mut conns = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            match family {
+                #[cfg(unix)]
+                "uds" => {
+                    let (ours, theirs) = std::os::unix::net::UnixStream::pair()
+                        .expect("socketpair for uds transport");
+                    conns.push(Conn::Unix(ours));
+                    scope.spawn(move || serve_stream(Conn::Unix(theirs)));
+                }
+                "tcp" => {
+                    let listener = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".into()))
+                        .expect("bind loopback listener");
+                    let endpoint = listener.local_endpoint().expect("resolve port");
+                    scope.spawn(move || {
+                        let conn = listener.accept().expect("accept worker conn");
+                        serve_stream(conn)
+                    });
+                    conns.push(Conn::connect(&endpoint).expect("connect to worker thread"));
+                }
+                other => panic!("unsupported transport family {other}"),
+            }
+        }
+        let mut coordinator = Qlove::new(cfg.clone());
+        let run = qlove_transport::run_over_sockets(cfg, &mut coordinator, conns, data)
+            .expect("socket-distributed pass");
+        (run.answers, run.stats)
+    })
+}
+
+/// Measure the transport dimension on the dense backend (the backend
+/// dimension is covered by the main distributed rows; sockets change
+/// the wire, not the store).
+fn measure_transports(
+    data: &[u64],
+    shards_list: &[usize],
+    transports: &[String],
+    seq_answers: &[QloveAnswer],
+    out: &mut Vec<TransportRow>,
+) {
+    let cfg = QloveConfig::new(&PHIS, WINDOW, PERIOD).backend(Backend::Dense);
+    for transport in transports {
+        for &shards in shards_list {
+            let mut rate = 0.0f64;
+            let mut best_stats = PipelineStats::default();
+            let mut matches = true;
+            for _ in 0..RATE_PASSES {
+                let start = Instant::now();
+                let (answers, stats) = match transport.as_str() {
+                    "inproc" => {
+                        let mut coordinator = Qlove::new(cfg.clone());
+                        run_distributed_with_stats(
+                            || QloveShard::new(&cfg),
+                            &mut coordinator,
+                            cfg.period,
+                            data,
+                            shards,
+                        )
+                    }
+                    family => socket_pass(&cfg, data, shards, family),
+                };
+                let pass_rate = data.len() as f64 / start.elapsed().as_secs_f64() / 1e6;
+                if pass_rate > rate {
+                    rate = pass_rate;
+                    best_stats = stats;
+                }
+                matches &= answers == seq_answers;
+            }
+            eprintln!(
+                "{transport:>6} distributed({shards} shards)     {rate:8.2} Melem/s  \
+                 overlap {:7.1} µs/boundary ({:3.0}% of merge hidden)  answers_match={matches}",
+                best_stats.overlap_us_per_boundary(),
+                best_stats.merge_hidden_fraction() * 100.0,
+            );
+            out.push(TransportRow {
+                transport: transport.clone(),
+                shards,
+                rate,
+                overlap_us_per_boundary: best_stats.overlap_us_per_boundary(),
+                merge_hidden_pct: best_stats.merge_hidden_fraction() * 100.0,
+                matches,
+            });
+        }
+    }
+}
+
 fn measure_backend(
     backend: Backend,
     name: &'static str,
@@ -349,6 +504,25 @@ fn main() {
         .iter()
         .map(|&(backend, name)| measure_backend(backend, name, &data, &args.shards))
         .collect();
+
+    // Transport dimension (dense backend): in-process pipelined
+    // executor vs socket sessions, with coordinator-overlap metrics.
+    let mut transport_rows: Vec<TransportRow> = Vec::new();
+    if !args.transports.is_empty() {
+        let dense_cfg = QloveConfig::new(&PHIS, WINDOW, PERIOD).backend(Backend::Dense);
+        let mut single = Qlove::new(dense_cfg);
+        let mut dense_seq: Vec<QloveAnswer> = Vec::new();
+        for chunk in data.chunks(4096) {
+            single.push_batch_into(chunk, &mut dense_seq);
+        }
+        measure_transports(
+            &data,
+            &args.shards,
+            &args.transports,
+            &dense_seq,
+            &mut transport_rows,
+        );
+    }
 
     // Isolated boundary-completion cost (few-k on/off, both backends).
     let mut boundary_rows: Vec<BoundaryRow> = Vec::new();
@@ -458,6 +632,27 @@ fn main() {
         }
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"transport\": [");
+    for (i, row) in transport_rows.iter().enumerate() {
+        let comma = if i + 1 < transport_rows.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"transport\": \"{}\", \"shards\": {}, \"melems_per_sec\": {:.3}, \
+             \"overlap_us_per_boundary\": {:.2}, \"merge_hidden_pct\": {:.1}, \
+             \"answers_match_sequential\": {}}}{comma}",
+            row.transport,
+            row.shards,
+            row.rate,
+            row.overlap_us_per_boundary,
+            row.merge_hidden_pct,
+            row.matches
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"boundary_cost_us\": [");
     for (i, row) in boundary_rows.iter().enumerate() {
         let comma = if i + 1 < boundary_rows.len() { "," } else { "" };
@@ -506,6 +701,7 @@ fn main() {
     if reports
         .iter()
         .any(|r| r.dist_rows.iter().any(|&(_, _, m)| !m))
+        || transport_rows.iter().any(|r| !r.matches)
     {
         eprintln!("bench_merge: distributed answers diverged from sequential");
         std::process::exit(1);

@@ -37,6 +37,25 @@
 //! has on), or automatic selection (default — dense under the paper's
 //! 3-digit quantization). Answers are bit-identical either way; only
 //! throughput and memory change.
+//!
+//! **Multi-process deployment** (QLOVE only; endpoints are
+//! `tcp:HOST:PORT`, bare `HOST:PORT`, or `unix:/path.sock`):
+//!
+//! ```text
+//! # terminal 1 and 2: one worker process each
+//! qlove_cli --worker unix:/tmp/q1.sock
+//! qlove_cli --worker unix:/tmp/q2.sock
+//! # terminal 3: coordinate one logical window across both
+//! qlove_cli --coordinate unix:/tmp/q1.sock,unix:/tmp/q2.sock \
+//!           --demo netmon --events 500000
+//! ```
+//!
+//! `--worker` serves exactly one session (shard or full-operator — the
+//! coordinator's config decides) and exits with it. `--coordinate`
+//! deals the stream to the workers, pipelines summary merging against
+//! their ingest, and prints answers bit-identical to a single-process
+//! run. `--connect ADDR` instead streams the input to one remote
+//! full-operator worker and prints the answers it sends back.
 
 use qlove_core::{Backend, Qlove, QloveConfig, QloveShard};
 use qlove_sketches::{
@@ -57,6 +76,9 @@ struct Args {
     batch: usize,
     distributed: usize,
     backend: Backend,
+    worker: Option<String>,
+    coordinate: Vec<String>,
+    connect: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -70,6 +92,9 @@ fn parse_args() -> Result<Args, String> {
         batch: 1,
         distributed: 0,
         backend: Backend::Auto,
+        worker: None,
+        coordinate: Vec::new(),
+        connect: None,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -105,6 +130,18 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--demo" => args.demo = Some(need_value(i)?.to_string()),
+            "--worker" => args.worker = Some(need_value(i)?.to_string()),
+            "--connect" => args.connect = Some(need_value(i)?.to_string()),
+            "--coordinate" => {
+                args.coordinate = need_value(i)?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if args.coordinate.is_empty() {
+                    return Err("--coordinate needs at least one worker endpoint".into());
+                }
+            }
             "--phis" => {
                 args.phis = need_value(i)?
                     .split(',')
@@ -116,7 +153,8 @@ fn parse_args() -> Result<Args, String> {
                     "usage: qlove_cli [--window N] [--period K] [--phis a,b,c] \
                      [--policy qlove|exact|cmqs|am|random|moment|ddsketch|kll|ckms|tdigest] \
                      [--demo netmon|search|normal|uniform|pareto --events N] [--batch N] \
-                     [--distributed N] [--backend tree|dense|auto]"
+                     [--distributed N] [--backend tree|dense|auto] \
+                     [--worker ENDPOINT | --coordinate EP1,EP2,... | --connect ENDPOINT]"
                 );
                 std::process::exit(0);
             }
@@ -184,6 +222,109 @@ fn read_stdin_values() -> Result<Vec<u64>, String> {
     Ok(values)
 }
 
+/// Print the standard answer table for a finished run.
+fn print_answers(
+    phis: &[f64],
+    window: usize,
+    period: usize,
+    answers: &[qlove_core::QloveAnswer],
+    space: usize,
+) -> Result<(), String> {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let header: Vec<String> = phis.iter().map(|p| format!("Q{p}")).collect();
+    writeln!(out, "# event\t{}\tspace", header.join("\t")).map_err(|e| e.to_string())?;
+    for (k, ans) in answers.iter().enumerate() {
+        let event = window + k * period;
+        let cells: Vec<String> = ans.values.iter().map(u64::to_string).collect();
+        let _ = writeln!(out, "{event}\t{}\t{space}", cells.join("\t"));
+    }
+    Ok(())
+}
+
+/// `--worker ENDPOINT`: serve one distributed session, then exit.
+fn run_worker_mode(args: &Args, spec: &str) -> Result<(), String> {
+    if args.policy != "qlove" {
+        return Err("--worker is only supported for the qlove policy".into());
+    }
+    let endpoint = qlove_transport::Endpoint::parse(spec).map_err(|e| e.to_string())?;
+    let server = qlove_transport::WorkerServer::bind(&endpoint).map_err(|e| e.to_string())?;
+    let actual = server.local_endpoint().map_err(|e| e.to_string())?;
+    eprintln!("qlove_cli: worker listening on {actual}");
+    let report = server.serve_one().map_err(|e| e.to_string())?;
+    eprintln!(
+        "qlove_cli: session done ({:?} mode, {} events in, {} responses out)",
+        report.mode, report.events, report.responses
+    );
+    Ok(())
+}
+
+/// `--coordinate EP1,EP2,...`: one logical window over worker
+/// processes, dealt over sockets, merged with the pipelined
+/// coordinator; answers are bit-identical to a single-process run.
+fn run_coordinate_mode(args: &Args) -> Result<(), String> {
+    if args.policy != "qlove" {
+        return Err("--coordinate is only supported for the qlove policy".into());
+    }
+    if args.batch > 1 {
+        return Err("--coordinate batches internally; drop --batch".into());
+    }
+    let values = match &args.demo {
+        Some(name) => demo_values(name, args.events)?,
+        None => read_stdin_values()?,
+    };
+    let cfg = QloveConfig::new(&args.phis, args.window, args.period).backend(args.backend);
+    let mut conns = Vec::with_capacity(args.coordinate.len());
+    for spec in &args.coordinate {
+        let endpoint = qlove_transport::Endpoint::parse(spec).map_err(|e| e.to_string())?;
+        let conn =
+            qlove_transport::Conn::connect_retry(&endpoint, std::time::Duration::from_secs(10))
+                .map_err(|e| e.to_string())?;
+        conns.push(conn);
+    }
+    let mut coordinator = Qlove::new(cfg.clone());
+    let run = qlove_transport::run_over_sockets(&cfg, &mut coordinator, conns, &values)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "qlove_cli: merged {} boundaries from {} workers ({:.1} µs merge overlap/boundary, {:.0}% \
+         of merge hidden behind ingest)",
+        run.stats.boundaries,
+        args.coordinate.len(),
+        run.stats.overlap_us_per_boundary(),
+        run.stats.merge_hidden_fraction() * 100.0
+    );
+    print_answers(
+        &args.phis,
+        args.window,
+        args.period,
+        &run.answers,
+        coordinator.space_variables(),
+    )
+}
+
+/// `--connect ENDPOINT`: stream the input to one remote full-operator
+/// worker and print the answers it sends back.
+fn run_connect_mode(args: &Args, spec: &str) -> Result<(), String> {
+    if args.policy != "qlove" {
+        return Err("--connect is only supported for the qlove policy".into());
+    }
+    if args.batch > 1 {
+        return Err("--connect batches internally; drop --batch".into());
+    }
+    let values = match &args.demo {
+        Some(name) => demo_values(name, args.events)?,
+        None => read_stdin_values()?,
+    };
+    let cfg = QloveConfig::new(&args.phis, args.window, args.period).backend(args.backend);
+    let endpoint = qlove_transport::Endpoint::parse(spec).map_err(|e| e.to_string())?;
+    let conn = qlove_transport::Conn::connect_retry(&endpoint, std::time::Duration::from_secs(10))
+        .map_err(|e| e.to_string())?;
+    let answers =
+        qlove_transport::run_remote_operator(&cfg, conn, &values).map_err(|e| e.to_string())?;
+    // The operator state lives in the worker; no local footprint.
+    print_answers(&args.phis, args.window, args.period, &answers, 0)
+}
+
 /// One logical window over N ingestion shards: deal, merge, print.
 fn run_distributed_mode(args: &Args) -> Result<(), String> {
     if args.policy != "qlove" {
@@ -205,22 +346,32 @@ fn run_distributed_mode(args: &Args) -> Result<(), String> {
         &values,
         args.distributed,
     );
-
-    let stdout = std::io::stdout();
-    let mut out = stdout.lock();
-    let header: Vec<String> = args.phis.iter().map(|p| format!("Q{p}")).collect();
-    writeln!(out, "# event\t{}\tspace", header.join("\t")).map_err(|e| e.to_string())?;
-    let space = coordinator.space_variables();
-    for (k, ans) in answers.iter().enumerate() {
-        let event = args.window + k * args.period;
-        let cells: Vec<String> = ans.values.iter().map(u64::to_string).collect();
-        let _ = writeln!(out, "{event}\t{}\t{space}", cells.join("\t"));
-    }
-    Ok(())
+    print_answers(
+        &args.phis,
+        args.window,
+        args.period,
+        &answers,
+        coordinator.space_variables(),
+    )
 }
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    let socket_modes = usize::from(args.worker.is_some())
+        + usize::from(!args.coordinate.is_empty())
+        + usize::from(args.connect.is_some());
+    if socket_modes > 1 || (socket_modes == 1 && args.distributed > 0) {
+        return Err("pick one of --worker, --coordinate, --connect, --distributed".into());
+    }
+    if let Some(spec) = &args.worker {
+        return run_worker_mode(&args, spec);
+    }
+    if !args.coordinate.is_empty() {
+        return run_coordinate_mode(&args);
+    }
+    if let Some(spec) = &args.connect {
+        return run_connect_mode(&args, spec);
+    }
     if args.distributed > 0 {
         return run_distributed_mode(&args);
     }

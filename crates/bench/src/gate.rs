@@ -270,7 +270,9 @@ fn row_key(row: &Json, fields: &[&str]) -> String {
 /// * `results[]` → `melems_per_sec` (higher is better), keyed by the
 ///   row's dataset/backend/mode/batch/shards fields;
 /// * `merge_cost_per_boundary[]` → `ns_per_boundary` (lower is better);
-/// * `boundary_cost_us[]` → `us_per_boundary` (lower is better).
+/// * `boundary_cost_us[]` → `us_per_boundary` (lower is better);
+/// * `transport[]` → `melems_per_sec` (higher is better), keyed by
+///   transport family and shard count.
 ///
 /// Derived headline ratios and the codec section are deliberately not
 /// gated: they re-derive from the gated rows, and double-counting them
@@ -278,14 +280,17 @@ fn row_key(row: &Json, fields: &[&str]) -> String {
 /// in the artifact but not gated either — a sub-2 µs store-level
 /// microbenchmark whose run-to-run noise on 1-CPU runners exceeds the
 /// tolerance band, and whose work is already inside the gated boundary
-/// rows.
+/// rows. The transport rows' `overlap_us_per_boundary` is likewise
+/// recorded but ungated: overlap only exists with real parallelism, so
+/// on the 1-CPU CI runner it reads ~0 µs and gating it would be pure
+/// noise (the throughput row of the same run *is* gated).
 pub fn extract_metrics(doc: &Json) -> Vec<Metric> {
     let experiment = doc
         .get("experiment")
         .and_then(Json::as_str)
         .unwrap_or("unknown");
     let mut out = Vec::new();
-    let sections: [(&str, &str, Direction, &[&str]); 3] = [
+    let sections: [(&str, &str, Direction, &[&str]); 4] = [
         (
             "results",
             "melems_per_sec",
@@ -303,6 +308,12 @@ pub fn extract_metrics(doc: &Json) -> Vec<Metric> {
             "us_per_boundary",
             Direction::LowerIsBetter,
             &["backend", "fewk"],
+        ),
+        (
+            "transport",
+            "melems_per_sec",
+            Direction::HigherIsBetter,
+            &["transport", "shards"],
         ),
     ];
     for (section, value_field, direction, key_fields) in sections {
@@ -442,6 +453,9 @@ mod tests {
       "boundary_cost_us": [
         {"backend": "dense", "fewk": true, "us_per_boundary": 52.0},
         {"backend": "dense", "fewk": false, "us_per_boundary": 4.2}
+      ],
+      "transport": [
+        {"transport": "uds", "shards": 4, "melems_per_sec": 18.0, "overlap_us_per_boundary": 0.0, "merge_hidden_pct": 0.0, "answers_match_sequential": true}
       ]
     }"#;
 
@@ -503,7 +517,7 @@ mod tests {
     #[test]
     fn metrics_carry_names_and_directions() {
         let metrics = extract_metrics(&parse_json(BASELINE).unwrap());
-        assert_eq!(metrics.len(), 5);
+        assert_eq!(metrics.len(), 6);
         let tput = metrics
             .iter()
             .find(|m| m.name == "merge/results/backend=tree/mode=sequential/shards=1")
@@ -522,7 +536,7 @@ mod tests {
     fn identical_artifacts_pass() {
         let report = gate(BASELINE, BASELINE);
         assert!(report.passed());
-        assert_eq!(report.compared.len(), 5);
+        assert_eq!(report.compared.len(), 6);
         assert!(report.only_fresh.is_empty());
         assert!(report.only_baseline.is_empty());
     }
@@ -575,7 +589,7 @@ mod tests {
         let report = gate(BASELINE, fresh);
         assert!(report.passed());
         assert_eq!(report.compared.len(), 1);
-        assert_eq!(report.only_baseline.len(), 4);
+        assert_eq!(report.only_baseline.len(), 5);
         assert_eq!(
             report.only_fresh,
             ["merge/results/backend=dense/mode=distributed/shards=16"]

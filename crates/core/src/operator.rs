@@ -8,7 +8,7 @@ use crate::fewk::{interval_sample_into, merge_sample_k, merge_top_k, tail_need, 
 use qlove_freqstore::{FreqStore, FreqStoreImpl};
 use qlove_stats::error_bound::CltBound;
 use qlove_stream::{QuantilePolicy, ShardAccumulator, SummaryMerge};
-use qlove_workloads::io::{decode_summary, summary_to_bytes};
+use qlove_wire::{decode_summary, summary_to_bytes};
 use qlove_workloads::transform::quantize_sig_digits;
 use std::collections::VecDeque;
 
@@ -189,7 +189,7 @@ impl QloveSummary {
     }
 
     /// Encode into the compact QLVS wire form
-    /// (`qlove_workloads::io::encode_summary`): delta-varint pairs, a
+    /// (`qlove_wire::encode_summary`): delta-varint pairs, a
     /// few bytes per unique value on quantized telemetry.
     pub fn to_bytes(&self) -> Vec<u8> {
         summary_to_bytes(&self.counts)

@@ -40,7 +40,10 @@ pub mod window;
 
 pub use aggregate::IncrementalAggregate;
 pub use event::Event;
-pub use parallel::{run_distributed, run_pipelined, run_sharded, ShardAccumulator, SummaryMerge};
+pub use parallel::{
+    coordinate_pipelined, run_distributed, run_distributed_with_stats, run_pipelined, run_sharded,
+    PipelineStats, ShardAccumulator, SummaryMerge,
+};
 pub use pipeline::Pipeline;
 pub use policy::QuantilePolicy;
 pub use time_window::{TimeSlidingWindow, TimeWindowSpec, TimedResult};

@@ -14,7 +14,11 @@
 //!   round-robin across shard accumulators, shards surrender mergeable
 //!   summaries at every sub-window boundary, and a coordinator folds
 //!   them into a single logical window whose answers equal a
-//!   single-instance run over the undealt stream.
+//!   single-instance run over the undealt stream. Its merge loop is the
+//!   shared double-buffered core [`coordinate_pipelined`], which also
+//!   drives the multi-process socket transport (`qlove_transport`):
+//!   boundary *b* merges on a dedicated thread while shards ingest
+//!   toward boundary *b+1*.
 //!
 //! Both executors are agnostic to how an operator stores its state:
 //! QLOVE's Level-1 backend (red-black tree, or the dense direct-indexed
@@ -32,6 +36,7 @@ use crossbeam::channel;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
 /// Batch size used on the channel: amortizes per-message synchronization,
 /// keeping the channel out of the measured operator cost. The consumer
@@ -171,6 +176,149 @@ pub trait SummaryMerge {
     fn merge_summary(&mut self, summary: &Self::Summary) -> Option<Self::Output>;
 }
 
+/// Timing breakdown of a pipelined coordinator run
+/// ([`coordinate_pipelined`]): how much merge work was hidden behind
+/// summary collection (and, through collection's blocking reads, behind
+/// shard ingest).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineStats {
+    /// Boundary groups that went through the merger.
+    pub boundaries: usize,
+    /// Total time the merger thread spent merging summaries.
+    pub merge_ns: u128,
+    /// Total time the collector spent assembling boundary groups —
+    /// including blocking on shard channels or sockets, which is
+    /// exactly the ingest time merging should hide behind.
+    pub collect_ns: u128,
+    /// Wall-clock time of the whole coordinate loop.
+    pub wall_ns: u128,
+}
+
+impl PipelineStats {
+    /// Merge time that ran concurrently with collection: the busy time
+    /// the two pipeline stages spent beyond the wall clock. Zero when
+    /// the host serializes them (e.g. a 1-CPU runner) — overlap needs
+    /// real parallelism to exist.
+    pub fn overlap_ns(&self) -> u128 {
+        (self.merge_ns + self.collect_ns).saturating_sub(self.wall_ns)
+    }
+
+    /// [`PipelineStats::overlap_ns`] per boundary, in microseconds.
+    pub fn overlap_us_per_boundary(&self) -> f64 {
+        if self.boundaries == 0 {
+            return 0.0;
+        }
+        self.overlap_ns() as f64 / self.boundaries as f64 / 1e3
+    }
+
+    /// Fraction of total merge time hidden behind collection, in
+    /// `[0, 1]`. `0.0` when no merging happened.
+    pub fn merge_hidden_fraction(&self) -> f64 {
+        if self.merge_ns == 0 {
+            return 0.0;
+        }
+        (self.overlap_ns() as f64 / self.merge_ns as f64).min(1.0)
+    }
+}
+
+/// Drive a [`SummaryMerge`] coordinator over `boundaries` boundary
+/// groups with a **double-buffered merge pipeline**: the caller's
+/// `collect` closure assembles boundary group *b+1* while a dedicated
+/// merger thread folds group *b* into the coordinator.
+///
+/// This is the shared coordinator core of every distributed backend:
+/// the in-process thread executor ([`run_distributed`]) collects from
+/// per-shard channels, and the multi-process socket transport
+/// (`qlove_transport`) collects by reading summary frames — both hand
+/// complete groups to the same merger loop here. Two group buffers
+/// rotate through a recycle channel, so steady-state collection
+/// allocates nothing and the collector can run at most one full group
+/// ahead of the merger (bounded in-flight memory, real backpressure).
+///
+/// `collect` is called once per boundary, in stream order, with a
+/// cleared buffer to fill with that boundary's summaries (in shard
+/// order — any order yields the same multiset, shard order keeps runs
+/// reproducible). Returning `Err` stops the pipeline: the merger
+/// finishes the groups already handed over, then the error is
+/// propagated with the answers produced so far discarded.
+///
+/// Returns the merged answers in stream order plus a [`PipelineStats`]
+/// recording how much merge time the pipelining hid.
+pub fn coordinate_pipelined<C, E, F>(
+    coordinator: &mut C,
+    boundaries: usize,
+    mut collect: F,
+) -> Result<(Vec<C::Output>, PipelineStats), E>
+where
+    C: SummaryMerge + Send,
+    C::Summary: Send,
+    C::Output: Send,
+    F: FnMut(usize, &mut Vec<C::Summary>) -> Result<(), E>,
+{
+    let wall_start = Instant::now();
+    let (answers, merge_ns, collect_ns) = thread::scope(|scope| {
+        // Group channel capacity 1 + two recycled buffers = double
+        // buffering: one group being merged, one in flight or being
+        // collected.
+        let (group_tx, group_rx) = channel::bounded::<Vec<C::Summary>>(1);
+        let (recycle_tx, recycle_rx) = channel::bounded::<Vec<C::Summary>>(2);
+        for _ in 0..2 {
+            assert!(
+                recycle_tx.send(Vec::new()).is_ok(),
+                "seeding empty group buffers"
+            );
+        }
+        let merger = scope.spawn(move || {
+            let mut answers = Vec::new();
+            let mut merge_ns = 0u128;
+            for group in group_rx.iter() {
+                let start = Instant::now();
+                for summary in &group {
+                    if let Some(answer) = coordinator.merge_summary(summary) {
+                        answers.push(answer);
+                    }
+                }
+                merge_ns += start.elapsed().as_nanos();
+                // The collector may already be gone (error path); the
+                // buffer is simply dropped then.
+                let _ = recycle_tx.send(group);
+            }
+            (answers, merge_ns)
+        });
+        let mut collect_ns = 0u128;
+        let mut failed: Option<E> = None;
+        for boundary in 0..boundaries {
+            let mut group = recycle_rx.recv().expect("merger recycles group buffers");
+            group.clear();
+            let start = Instant::now();
+            let result = collect(boundary, &mut group);
+            collect_ns += start.elapsed().as_nanos();
+            match result {
+                Ok(()) => assert!(group_tx.send(group).is_ok(), "merger outlives collector"),
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        drop(group_tx);
+        let (answers, merge_ns) = merger.join().expect("merger thread panicked");
+        match failed {
+            Some(e) => Err(e),
+            None => Ok((answers, merge_ns, collect_ns)),
+        }
+    })?;
+    Ok((
+        answers,
+        PipelineStats {
+            boundaries,
+            merge_ns,
+            collect_ns,
+            wall_ns: wall_start.elapsed().as_nanos(),
+        },
+    ))
+}
+
 /// Answer **one logical window** from `shards` ingestion shards.
 ///
 /// Values are dealt round-robin (element `i` to shard `i % shards`, the
@@ -180,6 +328,9 @@ pub trait SummaryMerge {
 /// *logical* stream), ships a summary of its partial sub-window to the
 /// coordinator. The coordinator merges each boundary's summaries — in
 /// stream order across boundaries — and returns the emitted answers.
+/// Merging is pipelined through [`coordinate_pipelined`]: boundary
+/// *b*'s group merges on a dedicated thread while the shards ingest
+/// toward (and the collector assembles) boundary *b+1*.
 ///
 /// Because shard state is a multiset union, the merged sub-window is
 /// element-for-element the one a single instance would have built from
@@ -201,7 +352,28 @@ where
     S: ShardAccumulator,
     S::Input: Clone + Sync,
     S::Summary: Send,
-    C: SummaryMerge<Summary = S::Summary>,
+    C: SummaryMerge<Summary = S::Summary> + Send,
+    C::Output: Send,
+    F: Fn() -> S + Sync,
+{
+    run_distributed_with_stats(make_shard, coordinator, period, values, shards).0
+}
+
+/// [`run_distributed`], additionally reporting the coordinator's
+/// [`PipelineStats`] (how much merge time overlapped shard ingest).
+pub fn run_distributed_with_stats<S, C, F>(
+    make_shard: F,
+    coordinator: &mut C,
+    period: usize,
+    values: &[S::Input],
+    shards: usize,
+) -> (Vec<C::Output>, PipelineStats)
+where
+    S: ShardAccumulator,
+    S::Input: Clone + Sync,
+    S::Summary: Send,
+    C: SummaryMerge<Summary = S::Summary> + Send,
+    C::Output: Send,
     F: Fn() -> S + Sync,
 {
     assert!(shards > 0, "need at least one shard");
@@ -246,19 +418,18 @@ where
                 }
             });
         }
-        // The coordinator runs on the calling thread, merging each
-        // boundary's summaries in shard order. (Any order would produce
-        // the same multiset; shard order makes runs reproducible.)
-        let mut out = Vec::new();
-        for _ in 0..boundaries {
+        // Collect each boundary's summaries in shard order; the shared
+        // pipelined core merges group b while the shards ingest toward
+        // b+1. (Any group order would produce the same multiset; shard
+        // order makes runs reproducible.)
+        let collect = |_boundary: usize, group: &mut Vec<S::Summary>| {
             for rx in &receivers {
-                let summary = rx.recv().expect("shard thread ended early");
-                if let Some(answer) = coordinator.merge_summary(&summary) {
-                    out.push(answer);
-                }
+                group.push(rx.recv().expect("shard thread ended early"));
             }
-        }
-        out
+            Ok::<(), std::convert::Infallible>(())
+        };
+        let Ok(result) = coordinate_pipelined(coordinator, boundaries, collect);
+        result
     })
 }
 
@@ -446,6 +617,80 @@ mod tests {
         let mut coord = SumCoordinator::new(10, 2);
         let got = run_distributed(SumShard::default, &mut coord, 10, &data, 16);
         assert_eq!(got, sequential_window_sums(&data, 10, 2));
+    }
+
+    #[test]
+    fn distributed_stats_cover_every_boundary() {
+        let (period, n_sub) = (100, 3);
+        let data: Vec<u64> = (0..1050u64).collect();
+        let mut coord = SumCoordinator::new(period, n_sub);
+        let (got, stats) =
+            run_distributed_with_stats(SumShard::default, &mut coord, period, &data, 3);
+        assert_eq!(got, sequential_window_sums(&data, period, n_sub));
+        // 10 full boundaries + the trailing partial sub-window.
+        assert_eq!(stats.boundaries, 11);
+        assert!(stats.merge_ns > 0);
+        assert!(stats.collect_ns > 0);
+        assert!(stats.wall_ns >= stats.merge_ns.max(stats.collect_ns));
+        // Overlap is bounded by the merge time it hides.
+        assert!(stats.overlap_ns() <= stats.merge_ns + stats.collect_ns);
+        assert!((0.0..=1.0).contains(&stats.merge_hidden_fraction()));
+    }
+
+    #[test]
+    fn coordinate_pipelined_matches_serial_merge_order() {
+        // The pipelined core must merge groups in stream order and
+        // summaries in the order the collector pushed them, exactly
+        // like the old boundary-synchronous loop.
+        let groups: Vec<Vec<(u64, usize)>> = (0..20u64)
+            .map(|b| (0..4u64).map(|s| (b * 10 + s, 25usize)).collect())
+            .collect();
+        let mut serial = SumCoordinator::new(100, 2);
+        let want: Vec<u64> = groups
+            .iter()
+            .flatten()
+            .filter_map(|s| serial.merge_summary(s))
+            .collect();
+        let mut pipelined = SumCoordinator::new(100, 2);
+        let (got, stats) = coordinate_pipelined(&mut pipelined, groups.len(), |b, group| {
+            group.extend(groups[b].iter().copied());
+            Ok::<(), std::convert::Infallible>(())
+        })
+        .unwrap();
+        assert_eq!(got, want);
+        assert_eq!(stats.boundaries, groups.len());
+        assert_eq!(pipelined.filled, serial.filled);
+        assert_eq!(pipelined.ring, serial.ring);
+    }
+
+    #[test]
+    fn coordinate_pipelined_zero_boundaries() {
+        let mut coord = SumCoordinator::new(10, 2);
+        let (out, stats) =
+            coordinate_pipelined(&mut coord, 0, |_, _| Ok::<(), std::convert::Infallible>(()))
+                .unwrap();
+        assert!(out.is_empty());
+        assert_eq!(stats.boundaries, 0);
+        assert_eq!(stats.overlap_us_per_boundary(), 0.0);
+    }
+
+    #[test]
+    fn coordinate_pipelined_propagates_collect_errors() {
+        // A collector failure (e.g. a worker socket dying) must surface
+        // as the error, not hang or panic, and must leave the
+        // already-handed-over groups merged.
+        let mut coord = SumCoordinator::new(100, 2);
+        let err = coordinate_pipelined(&mut coord, 10, |b, group| {
+            if b == 3 {
+                return Err("worker died");
+            }
+            group.push((1, 100));
+            Ok(())
+        })
+        .unwrap_err();
+        assert_eq!(err, "worker died");
+        // Groups 0..3 were collected and merged before the failure.
+        assert_eq!(coord.ring.len(), 2);
     }
 
     #[test]

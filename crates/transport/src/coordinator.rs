@@ -1,0 +1,268 @@
+//! The coordinator side of a multi-process distributed run: deal the
+//! stream to worker processes over sockets, collect per-boundary QLVS
+//! summaries, and merge them through the shared double-buffered
+//! pipeline — so merging boundary *b* overlaps the workers ingesting
+//! toward boundary *b+1*.
+//!
+//! Three threads cooperate, connected only by sockets and the pipeline
+//! channel, with no stage ever waiting on a stage downstream of it:
+//!
+//! ```text
+//! dealer ──EventBatch/Boundary──▶ workers ──BoundarySummary──▶ collector
+//!    (writes, runs ahead)          (ingest)    (reads, groups)     │
+//!                                                         group b  ▼
+//!                                               merger ◀── double buffer
+//!                                          (Qlove::merge, emits answers)
+//! ```
+//!
+//! Backpressure is physical: the dealer runs ahead of the workers only
+//! as far as the socket buffers allow, the workers run ahead of the
+//! collector only until their write of a summary blocks, and the
+//! collector runs ahead of the merger by at most one full boundary
+//! group (the double buffer). Memory stays bounded end to end.
+
+use crate::net::Conn;
+use crate::proto::{Frame, FrameReader, FrameWriter, Role, WorkerMode, PROTOCOL_VERSION};
+use qlove_core::{Qlove, QloveAnswer, QloveConfig, QloveSummary};
+use qlove_stream::parallel::BATCH;
+use qlove_stream::{coordinate_pipelined, PipelineStats};
+use std::io::{self, BufReader};
+use std::thread;
+
+/// Result of a socket-distributed run.
+#[derive(Debug)]
+pub struct DistributedRun {
+    /// The merged window evaluations, bit-identical to a
+    /// single-instance run over the undealt stream.
+    pub answers: Vec<QloveAnswer>,
+    /// Pipeline timing: how much merge time was hidden behind worker
+    /// ingest.
+    pub stats: PipelineStats,
+}
+
+fn protocol(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Handshake one worker connection: hello exchange + config.
+fn handshake(
+    conn: Conn,
+    config: &QloveConfig,
+    mode: WorkerMode,
+) -> io::Result<(FrameReader<BufReader<Conn>>, FrameWriter<Conn>)> {
+    let read_half = conn.try_clone()?;
+    let mut reader = FrameReader::new(BufReader::new(read_half));
+    let mut writer = FrameWriter::new(conn);
+    writer.write_frame(&Frame::Hello {
+        version: PROTOCOL_VERSION,
+        role: Role::Coordinator,
+    })?;
+    writer.flush()?;
+    match reader.read_frame()? {
+        Frame::Hello {
+            version: PROTOCOL_VERSION,
+            role: Role::Worker,
+        } => {}
+        Frame::Hello { version, .. } if version != PROTOCOL_VERSION => {
+            return Err(protocol(format!(
+                "worker speaks protocol v{version}, coordinator speaks v{PROTOCOL_VERSION}"
+            )));
+        }
+        other => return Err(protocol(format!("expected worker hello, got {other:?}"))),
+    }
+    writer.write_frame(&Frame::Config {
+        config: config.clone(),
+        mode,
+    })?;
+    writer.flush()?;
+    Ok((reader, writer))
+}
+
+/// Answer **one logical window** from worker processes reached over
+/// `conns` (one connection per shard, TCP or Unix-domain).
+///
+/// Dealing replicates the in-process executor exactly — element `i` of
+/// the logical stream goes to shard `i % shards`, batches never
+/// straddle a sub-window boundary — so the merged answers (and the
+/// coordinator's trailing partial sub-window) are **bit-identical** to
+/// a single-instance run and to the thread-backend `run_distributed`.
+/// A trailing partial sub-window is shipped and merged too, leaving it
+/// pending in `coordinator` rather than dropped.
+///
+/// The returned [`PipelineStats`] measure the double-buffered overlap:
+/// merge time for boundary *b* that ran while the collector was
+/// blocked reading boundary *b+1* (i.e. while workers were still
+/// ingesting).
+///
+/// Sequence violations from a worker (out-of-order boundaries, totals
+/// that do not add up to the dealt elements, malformed frames) and
+/// worker deaths surface as errors; the remaining connections are shut
+/// down so no thread is left blocked.
+///
+/// # Panics
+/// Panics when `conns` is empty or `config.period` is 0 (the same
+/// contract as `run_distributed`).
+pub fn run_over_sockets(
+    config: &QloveConfig,
+    coordinator: &mut Qlove,
+    conns: Vec<Conn>,
+    values: &[u64],
+) -> io::Result<DistributedRun> {
+    let shards = conns.len();
+    assert!(shards > 0, "need at least one shard");
+    let period = config.period;
+    assert!(period > 0, "need a positive sub-window period");
+    let boundaries = values.len().div_ceil(period);
+
+    // Split each connection: the dealer owns the write halves, the
+    // collector the read halves, and a third set of handles exists
+    // only to shut the sockets down on the error path (unblocking
+    // whichever thread is stuck on a dead peer).
+    let mut readers = Vec::with_capacity(shards);
+    let mut writers = Vec::with_capacity(shards);
+    let mut breakers = Vec::with_capacity(shards);
+    for conn in conns {
+        breakers.push(conn.try_clone()?);
+        let (reader, writer) = handshake(conn, config, WorkerMode::Shard)?;
+        readers.push(reader);
+        writers.push(writer);
+    }
+
+    let (answers, stats) = thread::scope(|scope| -> io::Result<_> {
+        let dealer = scope.spawn(move || -> io::Result<()> {
+            let mut bufs: Vec<Vec<u64>> = (0..shards)
+                .map(|_| Vec::with_capacity(BATCH.min(period)))
+                .collect();
+            for (b, chunk) in values.chunks(period).enumerate() {
+                let start = b * period;
+                for (i, &v) in chunk.iter().enumerate() {
+                    let shard = (start + i) % shards;
+                    bufs[shard].push(v);
+                    if bufs[shard].len() == BATCH {
+                        writers[shard]
+                            .write_frame(&Frame::EventBatch(std::mem::take(&mut bufs[shard])))?;
+                        bufs[shard].reserve(BATCH.min(period));
+                    }
+                }
+                for (shard, writer) in writers.iter_mut().enumerate() {
+                    if !bufs[shard].is_empty() {
+                        writer.write_frame(&Frame::EventBatch(std::mem::take(&mut bufs[shard])))?;
+                    }
+                    writer.write_frame(&Frame::Boundary { boundary: b as u64 })?;
+                    writer.flush()?;
+                }
+            }
+            for writer in writers.iter_mut() {
+                writer.write_frame(&Frame::Shutdown)?;
+                writer.flush()?;
+            }
+            Ok(())
+        });
+
+        // Collector + double-buffered merger (the shared pipelined
+        // coordinator core).
+        let collect = |b: usize, group: &mut Vec<QloveSummary>| -> io::Result<()> {
+            let mut total = 0u64;
+            for reader in readers.iter_mut() {
+                match reader.read_frame()? {
+                    Frame::BoundarySummary { boundary, summary } if boundary == b as u64 => {
+                        total += summary.total();
+                        group.push(summary);
+                    }
+                    other => {
+                        return Err(protocol(format!(
+                            "expected summary for boundary {b}, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            // The group must stand for exactly the elements dealt into
+            // this boundary — anything else would poison (or panic)
+            // the merge.
+            let expected = (values.len() - b * period).min(period) as u64;
+            if total != expected {
+                return Err(protocol(format!(
+                    "boundary {b}: summaries cover {total} elements, dealt {expected}"
+                )));
+            }
+            Ok(())
+        };
+        let merged = coordinate_pipelined(coordinator, boundaries, collect);
+
+        // Confirm every worker acknowledged shutdown before declaring
+        // the run clean (they exit right after).
+        let finished = merged.and_then(|ok| {
+            for reader in readers.iter_mut() {
+                match reader.read_frame()? {
+                    Frame::Shutdown => {}
+                    other => return Err(protocol(format!("expected shutdown ack, got {other:?}"))),
+                }
+            }
+            Ok(ok)
+        });
+        if finished.is_err() {
+            // Unblock the dealer (and any wedged worker) before
+            // joining.
+            for conn in &breakers {
+                let _ = conn.shutdown();
+            }
+        }
+        let dealt = dealer.join().expect("dealer thread panicked");
+        let (answers, stats) = finished?;
+        dealt?;
+        Ok((answers, stats))
+    })?;
+    Ok(DistributedRun { answers, stats })
+}
+
+/// Stream `values` to a single remote **full operator** and collect its
+/// evaluations — the offload deployment where the ingest process keeps
+/// no operator state at all.
+///
+/// Answers come back as [`Frame::Answer`] frames and are returned in
+/// evaluation order; they are bit-identical to running the operator
+/// locally (locked by the transport differential test). The write side
+/// runs on its own thread so a slow operator can never deadlock the
+/// answer stream against the event stream.
+pub fn run_remote_operator(
+    config: &QloveConfig,
+    conn: Conn,
+    values: &[u64],
+) -> io::Result<Vec<QloveAnswer>> {
+    let breaker = conn.try_clone()?;
+    let (mut reader, mut writer) = handshake(conn, config, WorkerMode::Operator)?;
+    thread::scope(|scope| -> io::Result<Vec<QloveAnswer>> {
+        let feeder = scope.spawn(move || -> io::Result<()> {
+            for chunk in values.chunks(BATCH) {
+                writer.write_frame(&Frame::EventBatch(chunk.to_vec()))?;
+            }
+            writer.write_frame(&Frame::Shutdown)?;
+            writer.flush()?;
+            Ok(())
+        });
+        let mut answers = Vec::new();
+        let collected = loop {
+            match reader.read_frame() {
+                Ok(Frame::Answer { boundary, answer }) => {
+                    if boundary != answers.len() as u64 {
+                        break Err(protocol(format!(
+                            "answer {boundary} out of order (expected {})",
+                            answers.len()
+                        )));
+                    }
+                    answers.push(answer);
+                }
+                Ok(Frame::Shutdown) => break Ok(()),
+                Ok(other) => break Err(protocol(format!("unexpected frame {other:?}"))),
+                Err(e) => break Err(e),
+            }
+        };
+        if collected.is_err() {
+            let _ = breaker.shutdown();
+        }
+        let fed = feeder.join().expect("feeder thread panicked");
+        collected?;
+        fed?;
+        Ok(answers)
+    })
+}

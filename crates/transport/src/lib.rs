@@ -1,0 +1,246 @@
+//! # qlove-transport — the multi-process distributed runtime
+//!
+//! Runs one logical QLOVE window across N **worker processes** connected
+//! by TCP or Unix-domain sockets, answering bit-identically to a
+//! single-instance run — the "multi-process shards exchanging QLVS
+//! frames over sockets" extension the merge design record called for.
+//! Three layers, each usable on its own:
+//!
+//! * [`proto`] — the framed QLVT wire protocol: length-prefixed,
+//!   versioned frames carrying the QLVS summary codec plus control
+//!   messages (`Hello`/`Config`, `EventBatch`, `Boundary`,
+//!   `BoundarySummary`, `Answer`, `Shutdown`). Strict decoding:
+//!   malformed input errors, never panics.
+//! * [`worker`] — the worker runtime: wraps a `QloveShard` (shard mode)
+//!   or a full `Qlove` operator (operator mode) behind a socket,
+//!   ingesting dealt event batches and shipping summaries or answers.
+//! * [`coordinator`] — the pipelined coordinator: deals the stream,
+//!   collects each boundary's summary group, and merges it through the
+//!   double-buffered core shared with the in-process thread executor
+//!   (`qlove_stream::coordinate_pipelined`) — merging boundary *b*
+//!   overlaps the workers ingesting toward boundary *b+1*.
+//!
+//! [`net`] holds the socket plumbing (endpoints, listeners, duplex
+//! connections over TCP/UDS).
+//!
+//! The invariant carried over from the thread executor is
+//! non-negotiable: socket-distributed answers — values, provenance,
+//! bounds, burst flags — are **bit-identical** to a single-instance
+//! run (locked by `tests/transport_differential.rs`, which spawns real
+//! worker child processes over both socket families).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod net;
+pub mod proto;
+pub mod worker;
+
+pub use coordinator::{run_over_sockets, run_remote_operator, DistributedRun};
+pub use net::{Conn, Endpoint, Listener};
+pub use proto::{Frame, FrameReader, FrameWriter, Role, WorkerMode, PROTOCOL_VERSION};
+pub use worker::{serve_stream, SessionReport, WorkerServer};
+
+#[cfg(test)]
+mod tests {
+    //! In-process loopback sessions: worker threads speaking the real
+    //! socket protocol. The cross-*process* differential lives in the
+    //! workspace-level `tests/transport_differential.rs`.
+
+    use super::*;
+    use qlove_core::{Qlove, QloveAnswer, QloveConfig};
+    use std::time::Duration;
+
+    fn config() -> QloveConfig {
+        QloveConfig::new(&[0.5, 0.99], 4_000, 500)
+    }
+
+    fn sequential(cfg: &QloveConfig, data: &[u64]) -> Vec<QloveAnswer> {
+        let mut op = Qlove::new(cfg.clone());
+        data.iter().filter_map(|&v| op.push_detailed(v)).collect()
+    }
+
+    /// Spawn `n` worker threads on loopback TCP, returning connected
+    /// conns (in shard order) and the join handles.
+    fn tcp_workers(
+        n: usize,
+    ) -> (
+        Vec<Conn>,
+        Vec<std::thread::JoinHandle<std::io::Result<SessionReport>>>,
+    ) {
+        let mut conns = Vec::new();
+        let mut joins = Vec::new();
+        for _ in 0..n {
+            let server = WorkerServer::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+            let endpoint = server.local_endpoint().unwrap();
+            joins.push(std::thread::spawn(move || server.serve_one()));
+            conns.push(Conn::connect_retry(&endpoint, Duration::from_secs(5)).unwrap());
+        }
+        (conns, joins)
+    }
+
+    #[test]
+    fn loopback_shard_session_is_bit_identical() {
+        let cfg = config();
+        let data: Vec<u64> = (0..10_250u64).map(|i| (i * 2654435761) % 9_973).collect();
+        let want = sequential(&cfg, &data);
+        assert!(!want.is_empty());
+        for shards in [1usize, 3] {
+            let (conns, joins) = tcp_workers(shards);
+            let mut coordinator = Qlove::new(cfg.clone());
+            let run = run_over_sockets(&cfg, &mut coordinator, conns, &data).unwrap();
+            assert_eq!(run.answers, want, "{shards} shards");
+            assert_eq!(run.stats.boundaries, data.len().div_ceil(cfg.period));
+            // Trailing partial sub-window mirrored, not dropped.
+            assert_eq!(coordinator.pending(), data.len() % cfg.period);
+            for join in joins {
+                let report = join.join().unwrap().unwrap();
+                assert_eq!(report.mode, WorkerMode::Shard);
+                assert_eq!(report.responses, run.stats.boundaries as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn loopback_remote_operator_is_bit_identical() {
+        let cfg = config();
+        let data: Vec<u64> = (0..9_111u64).map(|i| (i * 7919) % 4_999).collect();
+        let want = sequential(&cfg, &data);
+        let (mut conns, joins) = tcp_workers(1);
+        let answers = run_remote_operator(&cfg, conns.pop().unwrap(), &data).unwrap();
+        assert_eq!(answers, want);
+        let report = joins.into_iter().next().unwrap().join().unwrap().unwrap();
+        assert_eq!(report.mode, WorkerMode::Operator);
+        assert_eq!(report.responses, want.len() as u64);
+        assert_eq!(report.events, data.len() as u64);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn loopback_unix_socketpair_session() {
+        use std::os::unix::net::UnixStream;
+        let cfg = config();
+        let data: Vec<u64> = (0..6_000u64).map(|i| (i * 31) % 1_009).collect();
+        let want = sequential(&cfg, &data);
+        let shards = 2;
+        let mut conns = Vec::new();
+        let mut joins = Vec::new();
+        for _ in 0..shards {
+            let (ours, theirs) = UnixStream::pair().unwrap();
+            conns.push(Conn::Unix(ours));
+            joins.push(std::thread::spawn(move || serve_stream(Conn::Unix(theirs))));
+        }
+        let mut coordinator = Qlove::new(cfg.clone());
+        let run = run_over_sockets(&cfg, &mut coordinator, conns, &data).unwrap();
+        assert_eq!(run.answers, want);
+        for join in joins {
+            join.join().unwrap().unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_stream_session_shuts_down_cleanly() {
+        let cfg = config();
+        let (conns, joins) = tcp_workers(2);
+        let mut coordinator = Qlove::new(cfg.clone());
+        let run = run_over_sockets(&cfg, &mut coordinator, conns, &[]).unwrap();
+        assert!(run.answers.is_empty());
+        assert_eq!(run.stats.boundaries, 0);
+        assert_eq!(coordinator.pending(), 0);
+        for join in joins {
+            let report = join.join().unwrap().unwrap();
+            assert_eq!(report.responses, 0);
+            assert_eq!(report.events, 0);
+        }
+    }
+
+    #[test]
+    fn worker_rejects_garbage_instead_of_panicking() {
+        use std::io::Write as _;
+        let server = WorkerServer::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        let endpoint = server.local_endpoint().unwrap();
+        let join = std::thread::spawn(move || server.serve_one());
+        let mut conn = Conn::connect_retry(&endpoint, Duration::from_secs(5)).unwrap();
+        conn.write_all(b"not a frame at all, definitely garbage......")
+            .unwrap();
+        let _ = conn.shutdown();
+        // The worker must return an error (not hang, not panic).
+        assert!(join.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn coordinator_rejects_protocol_violations() {
+        // A "worker" that replies with the wrong role.
+        let server = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        let endpoint = server.local_endpoint().unwrap();
+        let join = std::thread::spawn(move || {
+            let conn = server.accept().unwrap();
+            let read_half = conn.try_clone().unwrap();
+            let mut reader = FrameReader::new(std::io::BufReader::new(read_half));
+            let mut writer = FrameWriter::new(conn);
+            let _ = reader.read_frame(); // coordinator hello
+            writer
+                .write_frame(&Frame::Hello {
+                    version: PROTOCOL_VERSION,
+                    role: Role::Coordinator, // wrong role
+                })
+                .unwrap();
+            writer.flush().unwrap();
+        });
+        let cfg = config();
+        let conn = Conn::connect_retry(&endpoint, Duration::from_secs(5)).unwrap();
+        let mut coordinator = Qlove::new(cfg.clone());
+        let err = run_over_sockets(&cfg, &mut coordinator, vec![conn], &[1, 2, 3]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn coordinator_survives_worker_death_mid_stream() {
+        // A worker that handshakes, then dies after the first summary:
+        // the coordinator must error out (not hang) and the dealer must
+        // be unblocked by the socket shutdown.
+        let server = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        let endpoint = server.local_endpoint().unwrap();
+        let join = std::thread::spawn(move || {
+            let conn = server.accept().unwrap();
+            let read_half = conn.try_clone().unwrap();
+            let mut reader = FrameReader::new(std::io::BufReader::new(read_half));
+            let mut writer = FrameWriter::new(conn);
+            let _ = reader.read_frame(); // hello
+            writer
+                .write_frame(&Frame::Hello {
+                    version: PROTOCOL_VERSION,
+                    role: Role::Worker,
+                })
+                .unwrap();
+            writer.flush().unwrap();
+            let _ = reader.read_frame(); // config
+                                         // Ingest until the first boundary, answer it, then vanish.
+            loop {
+                match reader.read_frame().unwrap() {
+                    Frame::Boundary { boundary } => {
+                        writer
+                            .write_frame(&Frame::BoundarySummary {
+                                boundary,
+                                summary: qlove_core::QloveSummary::from_counts(vec![(1, 500)])
+                                    .unwrap(),
+                            })
+                            .unwrap();
+                        writer.flush().unwrap();
+                        return; // connection drops here
+                    }
+                    _ => continue,
+                }
+            }
+        });
+        let cfg = config();
+        let data: Vec<u64> = vec![1; 20 * cfg.period];
+        let conn = Conn::connect_retry(&endpoint, Duration::from_secs(5)).unwrap();
+        let mut coordinator = Qlove::new(cfg.clone());
+        let err = run_over_sockets(&cfg, &mut coordinator, vec![conn], &data);
+        assert!(err.is_err());
+        join.join().unwrap();
+    }
+}

@@ -1,0 +1,308 @@
+//! Socket plumbing shared by workers and coordinators: endpoint
+//! addressing, listeners, and a duplex connection type that abstracts
+//! over TCP and Unix-domain sockets.
+//!
+//! Endpoints are spelled `tcp:HOST:PORT` (bare `HOST:PORT` also parses
+//! as TCP) or `unix:/path/to.sock`. TCP connections set `TCP_NODELAY`:
+//! boundary frames are small and latency-sensitive, and the batched
+//! event frames are already large enough to fill segments.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// A worker address: TCP host:port or a Unix-domain socket path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// TCP `host:port`.
+    Tcp(String),
+    /// Unix-domain socket path (Unix targets only).
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parse `tcp:HOST:PORT`, bare `HOST:PORT`, or `unix:PATH`.
+    pub fn parse(spec: &str) -> io::Result<Self> {
+        if let Some(path) = spec.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                if path.is_empty() {
+                    return Err(bad_spec(spec, "empty unix socket path"));
+                }
+                return Ok(Endpoint::Unix(PathBuf::from(path)));
+            }
+            #[cfg(not(unix))]
+            {
+                return Err(bad_spec(spec, "unix sockets unsupported on this target"));
+            }
+        }
+        let addr = spec.strip_prefix("tcp:").unwrap_or(spec);
+        if addr.rsplit_once(':').is_none_or(|(host, port)| {
+            host.is_empty() || port.is_empty() || port.parse::<u16>().is_err()
+        }) {
+            return Err(bad_spec(spec, "expected tcp:HOST:PORT or unix:PATH"));
+        }
+        Ok(Endpoint::Tcp(addr.to_string()))
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+fn bad_spec(spec: &str, why: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidInput,
+        format!("bad endpoint {spec:?}: {why}"),
+    )
+}
+
+/// A bound worker listener. Dropping a Unix listener removes its socket
+/// file.
+#[derive(Debug)]
+pub enum Listener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener.
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Bind to `endpoint`. A TCP port of 0 picks a free port (read the
+    /// chosen one back with [`Listener::local_endpoint`]); a stale Unix
+    /// socket file left by a killed worker is removed first.
+    pub fn bind(endpoint: &Endpoint) -> io::Result<Self> {
+        match endpoint {
+            Endpoint::Tcp(addr) => Ok(Listener::Tcp(TcpListener::bind(addr)?)),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                Ok(Listener::Unix(UnixListener::bind(path)?))
+            }
+        }
+    }
+
+    /// The endpoint this listener is actually bound to (resolves TCP
+    /// port 0 to the kernel-chosen port).
+    pub fn local_endpoint(&self) -> io::Result<Endpoint> {
+        match self {
+            Listener::Tcp(l) => Ok(Endpoint::Tcp(l.local_addr()?.to_string())),
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let addr = l.local_addr()?;
+                let path = addr
+                    .as_pathname()
+                    .ok_or_else(|| io::Error::other("unnamed unix listener"))?;
+                Ok(Endpoint::Unix(path.to_path_buf()))
+            }
+        }
+    }
+
+    /// Accept one connection.
+    pub fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nodelay(true)?;
+                Ok(Conn::Tcp(stream))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                Ok(Conn::Unix(stream))
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Unix(l) = self {
+            if let Ok(addr) = l.local_addr() {
+                if let Some(path) = addr.as_pathname() {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+        }
+    }
+}
+
+/// A duplex byte stream to a peer, over TCP or a Unix-domain socket.
+///
+/// [`Conn::try_clone`] yields an independently usable handle to the
+/// same socket, which is how the coordinator splits each worker
+/// connection into a dealer-owned write half and a collector-owned
+/// read half.
+#[derive(Debug)]
+pub enum Conn {
+    /// TCP stream.
+    Tcp(TcpStream),
+    /// Unix-domain stream.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    /// Connect to `endpoint` once.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Self> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true)?;
+                Ok(Conn::Tcp(stream))
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => Ok(Conn::Unix(UnixStream::connect(path)?)),
+        }
+    }
+
+    /// Connect to `endpoint`, retrying until `timeout` elapses — the
+    /// normal way for a coordinator to reach workers that are still
+    /// starting up.
+    pub fn connect_retry(endpoint: &Endpoint, timeout: Duration) -> io::Result<Self> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Self::connect(endpoint) {
+                Ok(conn) => return Ok(conn),
+                Err(e) if Instant::now() >= deadline => {
+                    return Err(io::Error::new(
+                        e.kind(),
+                        format!("connecting to {endpoint} timed out: {e}"),
+                    ));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    /// A second handle to the same socket.
+    pub fn try_clone(&self) -> io::Result<Self> {
+        match self {
+            Conn::Tcp(s) => Ok(Conn::Tcp(s.try_clone()?)),
+            #[cfg(unix)]
+            Conn::Unix(s) => Ok(Conn::Unix(s.try_clone()?)),
+        }
+    }
+
+    /// Shut down both directions — unblocks any thread blocked on this
+    /// socket (the coordinator's error path uses this to free a dealer
+    /// stuck writing to a wedged worker).
+    pub fn shutdown(&self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.shutdown(Shutdown::Both),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.shutdown(Shutdown::Both),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parse_and_display_roundtrip() {
+        let tcp = Endpoint::parse("127.0.0.1:9000").unwrap();
+        assert_eq!(tcp, Endpoint::Tcp("127.0.0.1:9000".into()));
+        assert_eq!(tcp.to_string(), "tcp:127.0.0.1:9000");
+        assert_eq!(
+            Endpoint::parse("tcp:localhost:80").unwrap().to_string(),
+            "tcp:localhost:80"
+        );
+        #[cfg(unix)]
+        {
+            let unix = Endpoint::parse("unix:/tmp/w.sock").unwrap();
+            assert_eq!(unix.to_string(), "unix:/tmp/w.sock");
+            assert_eq!(Endpoint::parse(&unix.to_string()).unwrap(), unix);
+        }
+    }
+
+    #[test]
+    fn endpoint_parse_rejects_garbage() {
+        for bad in [
+            "",
+            "unix:",
+            "nohost",
+            "host:",
+            ":80",
+            "host:notaport",
+            "tcp:host",
+        ] {
+            assert!(Endpoint::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn tcp_listener_resolves_port_zero() {
+        let listener = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        let ep = listener.local_endpoint().unwrap();
+        let Endpoint::Tcp(addr) = &ep else {
+            panic!("expected tcp endpoint")
+        };
+        assert!(!addr.ends_with(":0"), "port 0 must resolve, got {addr}");
+        // And the resolved endpoint is connectable.
+        let _conn = Conn::connect(&ep).unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_listener_cleans_up_socket_file() {
+        let path = std::env::temp_dir().join(format!("qlove-net-test-{}.sock", std::process::id()));
+        let ep = Endpoint::Unix(path.clone());
+        {
+            let listener = Listener::bind(&ep).unwrap();
+            assert!(path.exists());
+            let _conn = Conn::connect_retry(&ep, Duration::from_secs(1)).unwrap();
+            let _accepted = listener.accept().unwrap();
+        }
+        assert!(
+            !path.exists(),
+            "dropping the listener must remove the socket file"
+        );
+        // Re-binding over a stale file (simulated) also works.
+        std::fs::write(&path, b"stale").unwrap();
+        let _listener = Listener::bind(&ep).unwrap();
+    }
+}

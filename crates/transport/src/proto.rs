@@ -1,0 +1,919 @@
+//! The framed QLVT wire protocol: length-prefixed, versioned frames
+//! carrying the QLVS summary codec plus the control messages a
+//! distributed session needs.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! ┌────────────┬──────────┬──────────────────────┐
+//! │ length u32 │ type  u8 │ payload (length B)   │  little-endian
+//! └────────────┴──────────┴──────────────────────┘
+//! ```
+//!
+//! | type | frame             | payload                                          |
+//! |------|-------------------|--------------------------------------------------|
+//! | 1    | `Hello`           | magic `"QLVT"`, version u8, role u8              |
+//! | 2    | `Config`          | operator config + worker mode (varints/f64 bits) |
+//! | 3    | `EventBatch`      | varint count, then each value as a varint        |
+//! | 4    | `Boundary`        | varint boundary index                            |
+//! | 5    | `BoundarySummary` | varint boundary index, then one QLVS frame       |
+//! | 6    | `Answer`          | varint eval index, then an encoded `QloveAnswer` |
+//! | 7    | `Shutdown`        | empty                                            |
+//!
+//! ## Decode contract
+//!
+//! Mirrors the QLVS fuzz contract from `qlove_wire`: malformed input of
+//! any shape — truncated frames, unknown types, corrupt counts,
+//! non-canonical payloads, trailing bytes — surfaces as an
+//! `InvalidData`/`UnexpectedEof` error, **never** a panic. Declared
+//! lengths are capped ([`MAX_FRAME_LEN`]) and counts are checked
+//! against the bytes actually present before any allocation, so a
+//! hostile peer cannot trigger an OOM. Decoded configs are fully
+//! validated here (the checks `QloveConfig::validate` would assert) so
+//! a worker can construct an operator from a wire config without
+//! risking a panic on malicious input.
+
+use qlove_core::{AnswerSource, Backend, FewKConfig, QloveAnswer, QloveConfig, QloveSummary};
+use qlove_stats::error_bound::CltBound;
+use qlove_wire::{read_uvarint, write_uvarint};
+use std::io::{self, Read, Write};
+
+/// Connection magic carried by every [`Frame::Hello`].
+pub const PROTOCOL_MAGIC: &[u8; 4] = b"QLVT";
+/// Current protocol version.
+pub const PROTOCOL_VERSION: u8 = 1;
+/// Hard cap on a frame's declared payload length. An `EventBatch` of
+/// the executor's batch size costs at most ~41 KB; 16 MiB leaves room
+/// for huge unquantized summaries while bounding what a corrupt length
+/// can make the reader allocate.
+pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+/// Which side of a session a peer is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Deals events, collects summaries, merges.
+    Coordinator,
+    /// Ingests dealt events, ships summaries (or answers).
+    Worker,
+}
+
+/// What a worker process runs behind the socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerMode {
+    /// A `QloveShard`: Level-1 accumulation only; ships a
+    /// [`Frame::BoundarySummary`] for every [`Frame::Boundary`].
+    Shard,
+    /// A full `Qlove` operator: self-schedules boundaries and streams
+    /// every evaluation back as a [`Frame::Answer`].
+    Operator,
+}
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Session opener, sent by both sides: protocol magic + version +
+    /// the sender's role.
+    Hello {
+        /// Protocol version the sender speaks.
+        version: u8,
+        /// The sender's role.
+        role: Role,
+    },
+    /// Coordinator → worker: the operator configuration and the mode to
+    /// run in. Sent once, immediately after the hello exchange.
+    Config {
+        /// Full operator configuration (shard and coordinator must
+        /// agree on quantization, backend, and the window schedule).
+        config: QloveConfig,
+        /// What to run behind the socket.
+        mode: WorkerMode,
+    },
+    /// Coordinator → worker: a batch of dealt telemetry values. Batches
+    /// never straddle a sub-window boundary in shard mode.
+    EventBatch(Vec<u64>),
+    /// Coordinator → worker (shard mode): the logical stream reached
+    /// sub-window boundary `boundary`; snapshot and ship the partial
+    /// sub-window now.
+    Boundary {
+        /// 0-based boundary index, for sequence checking.
+        boundary: u64,
+    },
+    /// Worker → coordinator (shard mode): the partial sub-window
+    /// accumulated since the previous boundary, as a QLVS multiset.
+    BoundarySummary {
+        /// Which boundary this summary closes (must match the
+        /// triggering [`Frame::Boundary`]).
+        boundary: u64,
+        /// The shard's partial sub-window.
+        summary: QloveSummary,
+    },
+    /// Worker → coordinator (operator mode): one window evaluation.
+    Answer {
+        /// 0-based evaluation index, for sequence checking.
+        boundary: u64,
+        /// The evaluation, bit-identical to a local run.
+        answer: QloveAnswer,
+    },
+    /// Session end. The coordinator sends it when the stream is
+    /// exhausted; the worker acknowledges with its own `Shutdown` and
+    /// exits.
+    Shutdown,
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 1,
+            Frame::Config { .. } => 2,
+            Frame::EventBatch(_) => 3,
+            Frame::Boundary { .. } => 4,
+            Frame::BoundarySummary { .. } => 5,
+            Frame::Answer { .. } => 6,
+            Frame::Shutdown => 7,
+        }
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+// ---- payload primitives ---------------------------------------------------
+
+fn write_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_f64(data: &mut &[u8]) -> io::Result<f64> {
+    let Some((bytes, rest)) = data.split_first_chunk::<8>() else {
+        return Err(bad("truncated f64"));
+    };
+    *data = rest;
+    Ok(f64::from_le_bytes(*bytes))
+}
+
+fn read_varint(data: &mut &[u8], what: &str) -> io::Result<u64> {
+    read_uvarint(data).ok_or_else(|| bad(format!("truncated {what}")))
+}
+
+/// Read a count that prefixes per-item payload of at least
+/// `min_item_bytes` bytes: rejects counts the remaining payload cannot
+/// possibly hold, before any allocation.
+fn read_count(data: &mut &[u8], min_item_bytes: usize, what: &str) -> io::Result<usize> {
+    let count = read_varint(data, what)?;
+    if count > (data.len() / min_item_bytes.max(1)) as u64 {
+        return Err(bad(format!("{what} exceeds payload")));
+    }
+    Ok(count as usize)
+}
+
+// ---- config codec ---------------------------------------------------------
+
+fn encode_config(buf: &mut Vec<u8>, config: &QloveConfig, mode: WorkerMode) {
+    buf.push(match mode {
+        WorkerMode::Shard => 0,
+        WorkerMode::Operator => 1,
+    });
+    write_uvarint(buf, config.window as u64);
+    write_uvarint(buf, config.period as u64);
+    // Option<u32> as a biased varint: 0 = None, d+1 = Some(d).
+    write_uvarint(buf, config.sig_digits.map_or(0, |d| u64::from(d) + 1));
+    buf.push(match config.backend {
+        Backend::Auto => 0,
+        Backend::Tree => 1,
+        Backend::Dense => 2,
+    });
+    match &config.fewk {
+        None => buf.push(0),
+        Some(f) => {
+            buf.push(1);
+            write_f64(buf, f.topk_fraction);
+            write_f64(buf, f.samplek_fraction);
+            write_f64(buf, f.ts);
+            write_f64(buf, f.burst_alpha);
+            write_f64(buf, f.min_phi);
+        }
+    }
+    write_uvarint(buf, config.phis.len() as u64);
+    for &phi in &config.phis {
+        write_f64(buf, phi);
+    }
+}
+
+/// Decode and validate a wire config. Performs every check
+/// `QloveConfig::validate` asserts, as *errors*: the returned config is
+/// guaranteed to construct an operator without panicking.
+fn decode_config(data: &mut &[u8]) -> io::Result<(QloveConfig, WorkerMode)> {
+    let mode = match data.split_first() {
+        Some((&0, rest)) => {
+            *data = rest;
+            WorkerMode::Shard
+        }
+        Some((&1, rest)) => {
+            *data = rest;
+            WorkerMode::Operator
+        }
+        Some((&m, _)) => return Err(bad(format!("unknown worker mode {m}"))),
+        None => return Err(bad("truncated config")),
+    };
+    let window = read_varint(data, "config window")?;
+    let period = read_varint(data, "config period")?;
+    if period == 0 || window < period || window % period != 0 || window > usize::MAX as u64 {
+        return Err(bad("config window must be a positive multiple of period"));
+    }
+    let sig_digits = match read_varint(data, "config sig_digits")? {
+        0 => None,
+        biased => {
+            let d = biased - 1;
+            if d == 0 || d > u64::from(u32::MAX) {
+                return Err(bad("config sig_digits out of range"));
+            }
+            Some(d as u32)
+        }
+    };
+    let backend = match data.split_first() {
+        Some((&0, rest)) => {
+            *data = rest;
+            Backend::Auto
+        }
+        Some((&1, rest)) => {
+            *data = rest;
+            Backend::Tree
+        }
+        Some((&2, rest)) => {
+            *data = rest;
+            Backend::Dense
+        }
+        Some((&b, _)) => return Err(bad(format!("unknown backend {b}"))),
+        None => return Err(bad("truncated config")),
+    };
+    if backend == Backend::Dense {
+        match sig_digits {
+            Some(d) if d <= qlove_freqstore::DenseFreqStore::MAX_SIG_DIGITS => {}
+            _ => return Err(bad("dense backend requires narrow quantization")),
+        }
+    }
+    let fewk = match data.split_first() {
+        Some((&0, rest)) => {
+            *data = rest;
+            None
+        }
+        Some((&1, rest)) => {
+            *data = rest;
+            let topk_fraction = read_f64(data)?;
+            let samplek_fraction = read_f64(data)?;
+            let ts = read_f64(data)?;
+            let burst_alpha = read_f64(data)?;
+            let min_phi = read_f64(data)?;
+            // NaN fails every range check below (each comparison is
+            // written positively, so an incomparable value reads as
+            // out-of-range), which means a corrupt bit pattern cannot
+            // smuggle a panic into validate().
+            let in_range = (0.0..=1.0).contains(&topk_fraction)
+                && (0.0..=1.0).contains(&samplek_fraction)
+                && ts >= 0.0
+                && burst_alpha > 0.0
+                && burst_alpha < 1.0
+                && (0.5..=1.0).contains(&min_phi);
+            if !in_range {
+                return Err(bad("config few-k parameters out of range"));
+            }
+            Some(FewKConfig {
+                topk_fraction,
+                samplek_fraction,
+                ts,
+                burst_alpha,
+                min_phi,
+            })
+        }
+        Some((&f, _)) => return Err(bad(format!("unknown few-k tag {f}"))),
+        None => return Err(bad("truncated config")),
+    };
+    let phi_count = read_count(data, 8, "config phi count")?;
+    if phi_count == 0 {
+        return Err(bad("config needs at least one quantile"));
+    }
+    let mut phis = Vec::with_capacity(phi_count);
+    for _ in 0..phi_count {
+        let phi = read_f64(data)?;
+        if !(0.0..=1.0).contains(&phi) {
+            return Err(bad("config quantile fraction out of [0, 1]"));
+        }
+        phis.push(phi);
+    }
+    let config = QloveConfig {
+        phis,
+        window: window as usize,
+        period: period as usize,
+        sig_digits,
+        fewk,
+        backend,
+    };
+    Ok((config, mode))
+}
+
+// ---- answer codec ---------------------------------------------------------
+
+fn encode_answer(buf: &mut Vec<u8>, answer: &QloveAnswer) {
+    debug_assert_eq!(answer.values.len(), answer.sources.len());
+    debug_assert_eq!(answer.values.len(), answer.bounds.len());
+    write_uvarint(buf, answer.values.len() as u64);
+    for &v in &answer.values {
+        write_uvarint(buf, v);
+    }
+    for source in &answer.sources {
+        buf.push(match source {
+            AnswerSource::Level2 => 0,
+            AnswerSource::TopK => 1,
+            AnswerSource::SampleK => 2,
+        });
+    }
+    for bound in &answer.bounds {
+        match bound {
+            None => buf.push(0),
+            Some(b) => {
+                buf.push(1);
+                write_f64(buf, b.half_width);
+                write_f64(buf, b.confidence);
+            }
+        }
+    }
+    buf.push(u8::from(answer.bursty));
+}
+
+fn decode_answer(data: &mut &[u8]) -> io::Result<QloveAnswer> {
+    let l = read_count(data, 1, "answer quantile count")?;
+    let mut values = Vec::with_capacity(l);
+    for _ in 0..l {
+        values.push(read_varint(data, "answer value")?);
+    }
+    let mut sources = Vec::with_capacity(l);
+    for _ in 0..l {
+        sources.push(match data.split_first() {
+            Some((&0, rest)) => {
+                *data = rest;
+                AnswerSource::Level2
+            }
+            Some((&1, rest)) => {
+                *data = rest;
+                AnswerSource::TopK
+            }
+            Some((&2, rest)) => {
+                *data = rest;
+                AnswerSource::SampleK
+            }
+            Some((&s, _)) => return Err(bad(format!("unknown answer source {s}"))),
+            None => return Err(bad("truncated answer sources")),
+        });
+    }
+    let mut bounds = Vec::with_capacity(l);
+    for _ in 0..l {
+        bounds.push(match data.split_first() {
+            Some((&0, rest)) => {
+                *data = rest;
+                None
+            }
+            Some((&1, rest)) => {
+                *data = rest;
+                let half_width = read_f64(data)?;
+                let confidence = read_f64(data)?;
+                Some(CltBound {
+                    half_width,
+                    confidence,
+                })
+            }
+            Some((&t, _)) => return Err(bad(format!("unknown bound tag {t}"))),
+            None => return Err(bad("truncated answer bounds")),
+        });
+    }
+    let bursty = match data.split_first() {
+        Some((&0, rest)) => {
+            *data = rest;
+            false
+        }
+        Some((&1, rest)) => {
+            *data = rest;
+            true
+        }
+        Some((&b, _)) => return Err(bad(format!("bad bursty flag {b}"))),
+        None => return Err(bad("truncated answer flag")),
+    };
+    Ok(QloveAnswer {
+        values,
+        sources,
+        bounds,
+        bursty,
+    })
+}
+
+// ---- frame codec ----------------------------------------------------------
+
+/// Encode `frame`'s payload into `buf` (appended, not cleared). The
+/// length/type header is the [`FrameWriter`]'s job.
+fn encode_payload(buf: &mut Vec<u8>, frame: &Frame) {
+    match frame {
+        Frame::Hello { version, role } => {
+            buf.extend_from_slice(PROTOCOL_MAGIC);
+            buf.push(*version);
+            buf.push(match role {
+                Role::Coordinator => 0,
+                Role::Worker => 1,
+            });
+        }
+        Frame::Config { config, mode } => encode_config(buf, config, *mode),
+        Frame::EventBatch(values) => {
+            write_uvarint(buf, values.len() as u64);
+            for &v in values {
+                write_uvarint(buf, v);
+            }
+        }
+        Frame::Boundary { boundary } => write_uvarint(buf, *boundary),
+        Frame::BoundarySummary { boundary, summary } => {
+            write_uvarint(buf, *boundary);
+            qlove_wire::encode_summary(summary.counts(), buf);
+        }
+        Frame::Answer { boundary, answer } => {
+            write_uvarint(buf, *boundary);
+            encode_answer(buf, answer);
+        }
+        Frame::Shutdown => {}
+    }
+}
+
+/// Decode one frame from its type byte and payload. Every malformed
+/// input returns an error; nothing panics. Exposed so fuzz tests (and
+/// alternative readers) can drive the decoder directly.
+pub fn decode_frame(frame_type: u8, mut payload: &[u8]) -> io::Result<Frame> {
+    let data = &mut payload;
+    let frame = match frame_type {
+        1 => {
+            let Some((magic, rest)) = data.split_first_chunk::<4>() else {
+                return Err(bad("truncated hello"));
+            };
+            *data = rest;
+            if magic != PROTOCOL_MAGIC {
+                return Err(bad("not a QLVT hello"));
+            }
+            let (version, role) = match *data {
+                [version, role_byte] => (
+                    *version,
+                    match role_byte {
+                        0 => Role::Coordinator,
+                        1 => Role::Worker,
+                        other => return Err(bad(format!("unknown role {other}"))),
+                    },
+                ),
+                _ => return Err(bad("malformed hello")),
+            };
+            *data = &[];
+            Frame::Hello { version, role }
+        }
+        2 => {
+            let (config, mode) = decode_config(data)?;
+            Frame::Config { config, mode }
+        }
+        3 => {
+            let count = read_count(data, 1, "event batch count")?;
+            let mut values = Vec::with_capacity(count);
+            for _ in 0..count {
+                values.push(read_varint(data, "event value")?);
+            }
+            Frame::EventBatch(values)
+        }
+        4 => Frame::Boundary {
+            boundary: read_varint(data, "boundary index")?,
+        },
+        5 => {
+            let boundary = read_varint(data, "boundary index")?;
+            let summary = QloveSummary::from_bytes(data)?;
+            *data = &[];
+            Frame::BoundarySummary { boundary, summary }
+        }
+        6 => {
+            let boundary = read_varint(data, "answer index")?;
+            let answer = decode_answer(data)?;
+            Frame::Answer { boundary, answer }
+        }
+        7 => Frame::Shutdown,
+        other => return Err(bad(format!("unknown frame type {other}"))),
+    };
+    if !data.is_empty() {
+        return Err(bad("trailing bytes after frame payload"));
+    }
+    Ok(frame)
+}
+
+/// Writes frames to a byte sink, one `write_all` per frame (header and
+/// payload are assembled in a reusable buffer first, so a frame is a
+/// single syscall on a socket).
+#[derive(Debug)]
+pub struct FrameWriter<W> {
+    inner: W,
+    buf: Vec<u8>,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Wrap a sink.
+    pub fn new(inner: W) -> Self {
+        Self {
+            inner,
+            buf: Vec::with_capacity(1024),
+        }
+    }
+
+    /// Encode and send one frame. A frame whose payload exceeds
+    /// [`MAX_FRAME_LEN`] (e.g. a summary of an unquantized
+    /// multi-million-unique sub-window) errors **at the sender**
+    /// instead of being shipped for the peer to reject — and can never
+    /// wrap the u32 length prefix and desynchronize the stream.
+    pub fn write_frame(&mut self, frame: &Frame) -> io::Result<()> {
+        self.buf.clear();
+        self.buf.extend_from_slice(&[0u8; 5]);
+        encode_payload(&mut self.buf, frame);
+        let payload_len = self.buf.len() - 5;
+        if payload_len > MAX_FRAME_LEN {
+            return Err(bad(format!(
+                "refusing to send oversized frame ({payload_len} B > {MAX_FRAME_LEN} B cap)"
+            )));
+        }
+        self.buf[..4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+        self.buf[4] = frame.type_byte();
+        self.inner.write_all(&self.buf)
+    }
+
+    /// Flush the underlying sink.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Reads frames from a byte source with strict validation.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wrap a source. Sources doing small reads (sockets) should be
+    /// wrapped in a `BufReader` first.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Read the next frame. EOF — even a clean one between frames —
+    /// is an `UnexpectedEof` error; use [`FrameReader::try_read_frame`]
+    /// where a peer is allowed to close the connection.
+    pub fn read_frame(&mut self) -> io::Result<Frame> {
+        self.try_read_frame()?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed mid-session"))
+    }
+
+    /// Read the next frame, or `None` if the source is cleanly at EOF
+    /// (closed exactly on a frame boundary). EOF *inside* a frame is
+    /// still an error.
+    pub fn try_read_frame(&mut self) -> io::Result<Option<Frame>> {
+        let mut header = [0u8; 5];
+        let mut filled = 0usize;
+        while filled < header.len() {
+            match self.inner.read(&mut header[filled..]) {
+                Ok(0) if filled == 0 => return Ok(None),
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "truncated frame header",
+                    ))
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(bad(format!("frame length {len} exceeds cap")));
+        }
+        self.buf.resize(len, 0);
+        self.inner.read_exact(&mut self.buf)?;
+        decode_frame(header[4], &self.buf).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: &Frame) -> Frame {
+        let mut bytes = Vec::new();
+        FrameWriter::new(&mut bytes).write_frame(frame).unwrap();
+        let mut reader = FrameReader::new(bytes.as_slice());
+        let got = reader.read_frame().unwrap();
+        assert!(reader.try_read_frame().unwrap().is_none(), "leftover bytes");
+        got
+    }
+
+    fn sample_config() -> QloveConfig {
+        QloveConfig::new(&[0.5, 0.99, 0.999], 8_000, 1_000)
+    }
+
+    fn sample_answer() -> QloveAnswer {
+        QloveAnswer {
+            values: vec![42, 0, u64::MAX],
+            sources: vec![
+                AnswerSource::Level2,
+                AnswerSource::TopK,
+                AnswerSource::SampleK,
+            ],
+            bounds: vec![
+                None,
+                Some(CltBound {
+                    half_width: 1.25e-3,
+                    confidence: 0.95,
+                }),
+                Some(CltBound {
+                    half_width: f64::MIN_POSITIVE,
+                    confidence: 0.9999999,
+                }),
+            ],
+            bursty: true,
+        }
+    }
+
+    #[test]
+    fn all_frames_roundtrip() {
+        let summary = QloveSummary::from_counts(vec![(3, 2), (70, 1), (u64::MAX, 9)]).unwrap();
+        let frames = [
+            Frame::Hello {
+                version: PROTOCOL_VERSION,
+                role: Role::Coordinator,
+            },
+            Frame::Hello {
+                version: PROTOCOL_VERSION,
+                role: Role::Worker,
+            },
+            Frame::Config {
+                config: sample_config(),
+                mode: WorkerMode::Shard,
+            },
+            Frame::Config {
+                config: QloveConfig::without_fewk(&[0.5], 100, 10)
+                    .quantize(None)
+                    .backend(Backend::Tree),
+                mode: WorkerMode::Operator,
+            },
+            Frame::EventBatch(vec![]),
+            Frame::EventBatch(vec![0, 1, 127, 128, 1_000_000, u64::MAX]),
+            Frame::Boundary { boundary: 0 },
+            Frame::Boundary { boundary: u64::MAX },
+            Frame::BoundarySummary {
+                boundary: 17,
+                summary: QloveSummary::from_counts(vec![]).unwrap(),
+            },
+            Frame::BoundarySummary {
+                boundary: 18,
+                summary,
+            },
+            Frame::Answer {
+                boundary: 3,
+                answer: sample_answer(),
+            },
+            Frame::Shutdown,
+        ];
+        for frame in &frames {
+            assert_eq!(&roundtrip(frame), frame, "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn answer_roundtrip_is_bitwise_on_bounds() {
+        // f64 payloads travel as raw bits: equality must be exact, not
+        // approximate, for the bit-identity invariant to survive the
+        // wire.
+        let answer = sample_answer();
+        let Frame::Answer { answer: got, .. } = roundtrip(&Frame::Answer {
+            boundary: 0,
+            answer: answer.clone(),
+        }) else {
+            panic!("wrong frame kind")
+        };
+        for (a, b) in answer.bounds.iter().zip(&got.bounds) {
+            match (a, b) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.half_width.to_bits(), y.half_width.to_bits());
+                    assert_eq!(x.confidence.to_bits(), y.confidence.to_bits());
+                }
+                _ => panic!("bound presence diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn decoded_config_always_survives_validate() {
+        // The decoder promises: whatever it returns, validate() cannot
+        // panic. Spot-check the interesting configs.
+        for (config, mode) in [
+            (sample_config(), WorkerMode::Shard),
+            (
+                QloveConfig::new(&[0.999], 40, 10).backend(Backend::Dense),
+                WorkerMode::Operator,
+            ),
+            (
+                QloveConfig::without_fewk(&[0.0, 1.0], 7, 7).quantize(Some(9)),
+                WorkerMode::Shard,
+            ),
+        ] {
+            let Frame::Config {
+                config: got,
+                mode: got_mode,
+            } = roundtrip(&Frame::Config {
+                config: config.clone(),
+                mode,
+            })
+            else {
+                panic!("wrong frame kind")
+            };
+            got.validate();
+            assert_eq!(got, config);
+            assert_eq!(got_mode, mode);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_configs() {
+        // Hand-built config payloads that parse structurally but fail
+        // the semantic checks validate() would panic on.
+        let check = |mutate: &dyn Fn(&mut Vec<u8>)| {
+            let mut payload = Vec::new();
+            encode_config(&mut payload, &sample_config(), WorkerMode::Shard);
+            mutate(&mut payload);
+            assert!(decode_frame(2, &payload).is_err());
+        };
+        // Unknown mode byte.
+        check(&|p| p[0] = 9);
+        // Window not a multiple of period: rewrite the two varints.
+        let mut payload = vec![0u8];
+        write_uvarint(&mut payload, 1000);
+        write_uvarint(&mut payload, 300);
+        assert!(decode_frame(2, &payload).is_err());
+        // Dense backend without quantization.
+        let cfg = QloveConfig::new(&[0.5], 100, 10); // auto backend, sig 3
+        let mut payload = Vec::new();
+        encode_config(&mut payload, &cfg, WorkerMode::Shard);
+        // sig_digits varint is at offset 1 (mode) + 2 varints; patch
+        // the encoded bytes by re-encoding instead of guessing offsets.
+        let mut bad_cfg = cfg.clone();
+        bad_cfg.sig_digits = None;
+        bad_cfg.backend = Backend::Dense;
+        let mut payload = Vec::new();
+        encode_config(&mut payload, &bad_cfg, WorkerMode::Shard);
+        assert!(decode_frame(2, &payload).is_err());
+        // NaN few-k fraction.
+        let mut bad_cfg = cfg.clone();
+        bad_cfg.fewk = Some(FewKConfig {
+            topk_fraction: f64::NAN,
+            ..FewKConfig::auto(100, 10, false)
+        });
+        let mut payload = Vec::new();
+        encode_config(&mut payload, &bad_cfg, WorkerMode::Shard);
+        assert!(decode_frame(2, &payload).is_err());
+        // Out-of-range phi.
+        let mut bad_cfg = cfg;
+        bad_cfg.phis = vec![1.5];
+        let mut payload = Vec::new();
+        encode_config(&mut payload, &bad_cfg, WorkerMode::Shard);
+        assert!(decode_frame(2, &payload).is_err());
+        // Empty phis.
+        let mut payload = Vec::new();
+        encode_config(
+            &mut payload,
+            &QloveConfig::new(&[0.5], 100, 10),
+            WorkerMode::Shard,
+        );
+        // Truncate the phi list: drop the final f64 and shrink count.
+        payload.truncate(payload.len() - 8);
+        *payload.last_mut().unwrap() = 0; // phi count 0 (last varint byte)
+        assert!(decode_frame(2, &payload).is_err());
+    }
+
+    #[test]
+    fn rejects_structural_corruption() {
+        // Unknown frame type.
+        assert!(decode_frame(0, &[]).is_err());
+        assert!(decode_frame(8, &[]).is_err());
+        assert!(decode_frame(255, &[1, 2, 3]).is_err());
+        // Bad hello: wrong magic, wrong length, unknown role.
+        assert!(decode_frame(1, b"NOPE\x01\x00").is_err());
+        assert!(decode_frame(1, b"QLVT\x01").is_err());
+        assert!(decode_frame(1, b"QLVT\x01\x09").is_err());
+        assert!(decode_frame(1, b"QLVT\x01\x00\x00").is_err());
+        // Event batch whose count exceeds the payload.
+        let mut payload = Vec::new();
+        write_uvarint(&mut payload, u64::MAX);
+        assert!(decode_frame(3, &payload).is_err());
+        // Trailing garbage after a valid boundary index.
+        let mut payload = Vec::new();
+        write_uvarint(&mut payload, 4);
+        payload.push(0);
+        assert!(decode_frame(4, &payload).is_err());
+        // Summary frame with corrupt QLVS payload.
+        let mut payload = Vec::new();
+        write_uvarint(&mut payload, 0);
+        payload.extend_from_slice(b"QLVX");
+        assert!(decode_frame(5, &payload).is_err());
+        // Answer with an unknown source byte.
+        let mut payload = Vec::new();
+        write_uvarint(&mut payload, 0); // eval index
+        write_uvarint(&mut payload, 1); // l = 1
+        write_uvarint(&mut payload, 10); // value
+        payload.push(7); // bad source
+        payload.push(0); // bound tag
+        payload.push(0); // bursty
+        assert!(decode_frame(6, &payload).is_err());
+        // Shutdown with a payload.
+        assert!(decode_frame(7, &[0]).is_err());
+    }
+
+    #[test]
+    fn reader_rejects_truncation_everywhere() {
+        let mut bytes = Vec::new();
+        let mut writer = FrameWriter::new(&mut bytes);
+        writer
+            .write_frame(&Frame::Config {
+                config: sample_config(),
+                mode: WorkerMode::Shard,
+            })
+            .unwrap();
+        writer
+            .write_frame(&Frame::EventBatch(vec![1, 2, 3]))
+            .unwrap();
+        // Any cut that is not exactly a frame boundary must error; a
+        // cut on the boundary yields the first frame then clean EOF.
+        let first_frame_len = {
+            let mut only = Vec::new();
+            FrameWriter::new(&mut only)
+                .write_frame(&Frame::Config {
+                    config: sample_config(),
+                    mode: WorkerMode::Shard,
+                })
+                .unwrap();
+            only.len()
+        };
+        for cut in 1..bytes.len() {
+            let mut reader = FrameReader::new(&bytes[..cut]);
+            let mut result = Ok(());
+            loop {
+                match reader.try_read_frame() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break,
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                }
+            }
+            if cut == first_frame_len {
+                assert!(result.is_ok(), "cut on frame boundary is clean EOF");
+            } else {
+                assert!(result.is_err(), "cut at {cut} should fail");
+            }
+        }
+    }
+
+    #[test]
+    fn reader_rejects_oversized_declared_length() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        bytes.push(3);
+        let err = FrameReader::new(bytes.as_slice()).read_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn decode_never_panics_on_noise() {
+        // The QLVS fuzz loop, extended to the framed decoder: byte soup
+        // through every frame type, and through the stream reader with
+        // a plausible header.
+        let mut state = 0xA24BAED4963EE407u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 56) as u8
+        };
+        for len in 0..96usize {
+            let noise: Vec<u8> = (0..len).map(|_| next()).collect();
+            for frame_type in 0..=16u8 {
+                let _ = decode_frame(frame_type, &noise); // must return
+            }
+            // Streamed: random header + noise payload.
+            let mut stream = Vec::with_capacity(len + 5);
+            stream.extend_from_slice(&(len as u32).to_le_bytes());
+            stream.push(next() % 9);
+            stream.extend_from_slice(&noise);
+            let mut reader = FrameReader::new(stream.as_slice());
+            while let Ok(Some(_)) = reader.try_read_frame() {}
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! The worker runtime: one process (or thread) serving one distributed
+//! session over a socket.
+//!
+//! A worker binds an endpoint, accepts a single coordinator connection,
+//! and then does exactly what the coordinator's `Config` frame asks:
+//!
+//! * **Shard mode** — wraps a [`QloveShard`] (Level-1 accumulation
+//!   only). `EventBatch` frames are ingested through the batched path;
+//!   every `Boundary` frame snapshots the partial sub-window and ships
+//!   it back as a `BoundarySummary` QLVS frame.
+//! * **Operator mode** — wraps a full [`Qlove`] operator. `EventBatch`
+//!   frames stream through `push_batch_into`; every produced evaluation
+//!   is shipped back as an `Answer` frame, bit-identical to a local
+//!   run.
+//!
+//! Either way the session ends with a `Shutdown` exchange: the
+//! coordinator sends one when the stream is exhausted, the worker
+//! acknowledges with its own and returns. A coordinator that simply
+//! disappears (crash, kill) surfaces as an I/O error and the worker
+//! still returns promptly — workers never outlive their session, which
+//! is what keeps CI free of leaked processes.
+//!
+//! Protocol violations (frames out of order, wrong role, version skew,
+//! malformed payloads) are `InvalidData` errors, never panics.
+
+use crate::net::{Conn, Endpoint, Listener};
+use crate::proto::{Frame, FrameReader, FrameWriter, Role, WorkerMode, PROTOCOL_VERSION};
+use qlove_core::{Qlove, QloveAnswer, QloveShard};
+use std::io::{self, BufReader};
+
+/// What a completed session looked like, for logging and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionReport {
+    /// Mode the coordinator asked for.
+    pub mode: WorkerMode,
+    /// Boundary summaries shipped (shard mode) or answers streamed
+    /// (operator mode).
+    pub responses: u64,
+    /// Telemetry values ingested.
+    pub events: u64,
+}
+
+fn protocol(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Serve one full session on an established connection. Returns once
+/// the coordinator shuts the session down (or errors out).
+pub fn serve_stream(conn: Conn) -> io::Result<SessionReport> {
+    let read_half = conn.try_clone()?;
+    let mut reader = FrameReader::new(BufReader::new(read_half));
+    let mut writer = FrameWriter::new(conn);
+
+    // Handshake: coordinator hello in, worker hello out.
+    match reader.read_frame()? {
+        Frame::Hello {
+            version: PROTOCOL_VERSION,
+            role: Role::Coordinator,
+        } => {}
+        Frame::Hello { version, .. } if version != PROTOCOL_VERSION => {
+            return Err(protocol(format!(
+                "coordinator speaks protocol v{version}, worker speaks v{PROTOCOL_VERSION}"
+            )));
+        }
+        other => {
+            return Err(protocol(format!(
+                "expected coordinator hello, got {other:?}"
+            )))
+        }
+    }
+    writer.write_frame(&Frame::Hello {
+        version: PROTOCOL_VERSION,
+        role: Role::Worker,
+    })?;
+    writer.flush()?;
+
+    // Session config. The decoder has already validated it, so
+    // constructing the operator cannot panic.
+    let (config, mode) = match reader.read_frame()? {
+        Frame::Config { config, mode } => (config, mode),
+        other => return Err(protocol(format!("expected config, got {other:?}"))),
+    };
+
+    match mode {
+        WorkerMode::Shard => serve_shard(&mut reader, &mut writer, &config),
+        WorkerMode::Operator => serve_operator(&mut reader, &mut writer, &config),
+    }
+}
+
+fn serve_shard<R: io::Read, W: io::Write>(
+    reader: &mut FrameReader<R>,
+    writer: &mut FrameWriter<W>,
+    config: &qlove_core::QloveConfig,
+) -> io::Result<SessionReport> {
+    let mut shard = QloveShard::new(config);
+    let mut boundaries = 0u64;
+    let mut events = 0u64;
+    loop {
+        match reader.read_frame()? {
+            Frame::EventBatch(values) => {
+                events += values.len() as u64;
+                shard.push_batch(&values);
+            }
+            Frame::Boundary { boundary } => {
+                if boundary != boundaries {
+                    return Err(protocol(format!(
+                        "boundary {boundary} out of order (expected {boundaries})"
+                    )));
+                }
+                writer.write_frame(&Frame::BoundarySummary {
+                    boundary,
+                    summary: shard.take_summary(),
+                })?;
+                writer.flush()?;
+                boundaries += 1;
+            }
+            Frame::Shutdown => {
+                writer.write_frame(&Frame::Shutdown)?;
+                writer.flush()?;
+                return Ok(SessionReport {
+                    mode: WorkerMode::Shard,
+                    responses: boundaries,
+                    events,
+                });
+            }
+            other => {
+                return Err(protocol(format!(
+                    "unexpected frame in shard mode: {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+fn serve_operator<R: io::Read, W: io::Write>(
+    reader: &mut FrameReader<R>,
+    writer: &mut FrameWriter<W>,
+    config: &qlove_core::QloveConfig,
+) -> io::Result<SessionReport> {
+    let mut op = Qlove::new(config.clone());
+    let mut answers: Vec<QloveAnswer> = Vec::new();
+    let mut produced = 0u64;
+    let mut events = 0u64;
+    loop {
+        match reader.read_frame()? {
+            Frame::EventBatch(values) => {
+                events += values.len() as u64;
+                answers.clear();
+                op.push_batch_into(&values, &mut answers);
+                for answer in &answers {
+                    writer.write_frame(&Frame::Answer {
+                        boundary: produced,
+                        answer: answer.clone(),
+                    })?;
+                    produced += 1;
+                }
+                if !answers.is_empty() {
+                    writer.flush()?;
+                }
+            }
+            Frame::Shutdown => {
+                writer.write_frame(&Frame::Shutdown)?;
+                writer.flush()?;
+                return Ok(SessionReport {
+                    mode: WorkerMode::Operator,
+                    responses: produced,
+                    events,
+                });
+            }
+            other => {
+                return Err(protocol(format!(
+                    "unexpected frame in operator mode: {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+/// A bound worker endpoint, ready to serve sessions.
+#[derive(Debug)]
+pub struct WorkerServer {
+    listener: Listener,
+}
+
+impl WorkerServer {
+    /// Bind `endpoint` (TCP port 0 picks a free port).
+    pub fn bind(endpoint: &Endpoint) -> io::Result<Self> {
+        Ok(Self {
+            listener: Listener::bind(endpoint)?,
+        })
+    }
+
+    /// The endpoint actually bound — announce this to coordinators.
+    pub fn local_endpoint(&self) -> io::Result<Endpoint> {
+        self.listener.local_endpoint()
+    }
+
+    /// Accept one coordinator connection and serve it to completion.
+    pub fn serve_one(&self) -> io::Result<SessionReport> {
+        serve_stream(self.listener.accept()?)
+    }
+}

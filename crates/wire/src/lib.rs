@@ -1,0 +1,332 @@
+//! # qlove-wire — varint primitives and the QLVS summary codec
+//!
+//! The lowest layer of QLOVE's wire formats, shared by everything that
+//! ships bytes: the dataset snapshot format (`qlove_workloads::io`),
+//! the checkpoint/shipping form of sub-window summaries
+//! (`qlove_core::QloveSummary::to_bytes`), and the framed socket
+//! transport (`qlove_transport::proto`). Std-only, no dependencies —
+//! this crate sits below both `workloads` and `transport` so neither
+//! has to depend on the other to share the codec.
+//!
+//! The summary codec ([`encode_summary`]/[`decode_summary`]) is the
+//! QLVS frame: a shard's partial sub-window state is a sorted
+//! `(value, frequency)` multiset, which delta-varint encoding shrinks
+//! to a few bytes per unique value on quantized telemetry.
+//!
+//! Decode contract (fuzz-tested here and relied on by the transport):
+//! malformed input of any shape — truncation, bad magic, corrupt
+//! counts, overflowing varints — surfaces as an `InvalidData` error,
+//! never a panic and never an attacker-sized allocation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io;
+
+/// Summary-frame magic: "QLVS" + a one-byte format version.
+pub const SUMMARY_MAGIC: &[u8; 4] = b"QLVS";
+/// Current QLVS format version byte.
+pub const SUMMARY_VERSION: u8 = 1;
+
+// ---- varint primitives ----------------------------------------------------
+
+/// Append `value` to `buf` as an unsigned LEB128 varint (7 payload bits
+/// per byte, high bit = continuation): 1 byte for values < 128, at most
+/// 10 bytes for `u64::MAX`.
+pub fn write_uvarint(buf: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Read one LEB128 varint from the front of `data`, advancing the
+/// slice. Returns `None` on truncation or a value overflowing `u64`.
+pub fn read_uvarint(data: &mut &[u8]) -> Option<u64> {
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = data.split_first()?;
+        *data = rest;
+        let payload = (byte & 0x7f) as u64;
+        // The 10th byte carries bit 63 only; anything above overflows.
+        if shift == 63 && payload > 1 {
+            return None;
+        }
+        out |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Some(out);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+// ---- summary codec --------------------------------------------------------
+
+/// Encode a sorted `(value, frequency)` summary into `buf` (appended,
+/// not cleared).
+///
+/// Layout: `"QLVS"`, one version byte, varint pair count, then per pair
+/// a varint key delta (the first key raw; each subsequent key as
+/// `key − previous_key`, necessarily ≥ 1) and a varint frequency
+/// (necessarily ≥ 1). Ascending keys make the deltas small, so the
+/// quantized domains QLOVE works over compress to 2–4 bytes per unique
+/// value instead of the 16 a raw pair costs.
+///
+/// # Panics
+/// Debug-asserts that keys are strictly ascending and frequencies are
+/// nonzero — the invariants every in-order tree walk provides.
+pub fn encode_summary(counts: &[(u64, u64)], buf: &mut Vec<u8>) {
+    buf.extend_from_slice(SUMMARY_MAGIC);
+    buf.push(SUMMARY_VERSION);
+    write_uvarint(buf, counts.len() as u64);
+    let mut prev = 0u64;
+    for (i, &(key, freq)) in counts.iter().enumerate() {
+        debug_assert!(i == 0 || key > prev, "summary keys must be ascending");
+        debug_assert!(freq > 0, "summary frequencies must be nonzero");
+        let delta = if i == 0 { key } else { key - prev };
+        write_uvarint(buf, delta);
+        write_uvarint(buf, freq);
+        prev = key;
+    }
+}
+
+/// [`encode_summary`] into a fresh buffer.
+pub fn summary_to_bytes(counts: &[(u64, u64)]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + counts.len() * 4);
+    encode_summary(counts, &mut buf);
+    buf
+}
+
+/// Decode a summary frame produced by [`encode_summary`] back into
+/// strictly-ascending `(value, frequency)` pairs.
+///
+/// Never panics on malformed input: truncation, a wrong magic/version,
+/// a zero frequency, a zero key delta (out-of-order keys), key
+/// overflow, or trailing bytes all surface as `InvalidData` errors. The
+/// declared pair count does not pre-size allocations beyond a small
+/// cap, so a corrupt length cannot trigger an OOM before the payload
+/// check fails.
+pub fn decode_summary(mut data: &[u8]) -> io::Result<Vec<(u64, u64)>> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let Some((magic, rest)) = data.split_first_chunk::<4>() else {
+        return Err(bad("truncated summary header"));
+    };
+    data = rest;
+    if magic != SUMMARY_MAGIC {
+        return Err(bad("not a QLVS summary frame"));
+    }
+    let Some((&version, rest)) = data.split_first() else {
+        return Err(bad("truncated summary header"));
+    };
+    data = rest;
+    if version != SUMMARY_VERSION {
+        return Err(bad("unsupported QLVS version"));
+    }
+    let count = read_uvarint(&mut data).ok_or_else(|| bad("truncated pair count"))? as usize;
+    // Each pair costs ≥ 2 bytes on the wire; reject impossible counts
+    // before allocating for them.
+    if count > data.len() / 2 {
+        return Err(bad("pair count exceeds payload"));
+    }
+    let mut counts = Vec::with_capacity(count);
+    let mut prev = 0u64;
+    for i in 0..count {
+        let delta = read_uvarint(&mut data).ok_or_else(|| bad("truncated key delta"))?;
+        let freq = read_uvarint(&mut data).ok_or_else(|| bad("truncated frequency"))?;
+        if i > 0 && delta == 0 {
+            return Err(bad("summary keys out of order"));
+        }
+        if freq == 0 {
+            return Err(bad("zero frequency in summary"));
+        }
+        let key = if i == 0 {
+            delta
+        } else {
+            prev.checked_add(delta)
+                .ok_or_else(|| bad("summary key overflows u64"))?
+        };
+        counts.push((key, freq));
+        prev = key;
+    }
+    if !data.is_empty() {
+        return Err(bad("trailing bytes after summary payload"));
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // ---- varint ----------------------------------------------------------
+
+    #[test]
+    fn uvarint_roundtrip_across_magnitudes() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            assert!(buf.len() <= 10);
+            let mut slice = buf.as_slice();
+            assert_eq!(read_uvarint(&mut slice), Some(v), "value {v}");
+            assert!(slice.is_empty(), "value {v} left bytes behind");
+        }
+    }
+
+    #[test]
+    fn uvarint_rejects_truncation_and_overflow() {
+        let mut empty: &[u8] = &[];
+        assert_eq!(read_uvarint(&mut empty), None);
+        // Dangling continuation bit.
+        let mut dangling: &[u8] = &[0x80];
+        assert_eq!(read_uvarint(&mut dangling), None);
+        // 10 continuation bytes followed by a large 11th: > 64 bits.
+        let mut too_long: &[u8] = &[0x80; 11];
+        assert_eq!(read_uvarint(&mut too_long), None);
+        // Bit 64 set in the 10th byte.
+        let mut overflow: &[u8] = &[0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02];
+        assert_eq!(read_uvarint(&mut overflow), None);
+    }
+
+    // ---- summary codec ---------------------------------------------------
+
+    #[test]
+    fn summary_roundtrip() {
+        let counts = vec![
+            (0u64, 1u64),
+            (3, 2),
+            (798, 1000),
+            (74_265, 1),
+            (u64::MAX, 7),
+        ];
+        let bytes = summary_to_bytes(&counts);
+        assert_eq!(decode_summary(&bytes).unwrap(), counts);
+    }
+
+    #[test]
+    fn summary_roundtrip_empty() {
+        let bytes = summary_to_bytes(&[]);
+        assert_eq!(decode_summary(&bytes).unwrap(), Vec::<(u64, u64)>::new());
+    }
+
+    #[test]
+    fn summary_is_compact_on_quantized_domains() {
+        // Quantized telemetry: dense small keys with fat frequencies.
+        let counts: Vec<(u64, u64)> = (0..500u64).map(|i| (700 + i * 3, 20 + i % 9)).collect();
+        let bytes = summary_to_bytes(&counts);
+        // Raw encoding would cost 16 bytes per pair; delta-varint should
+        // land in low single digits.
+        assert!(
+            bytes.len() < counts.len() * 4,
+            "{} bytes for {} pairs",
+            bytes.len(),
+            counts.len()
+        );
+    }
+
+    #[test]
+    fn summary_rejects_bad_magic_and_version() {
+        let mut bytes = summary_to_bytes(&[(1, 1)]);
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(decode_summary(&wrong_magic).is_err());
+        bytes[4] = 99; // version byte
+        assert!(decode_summary(&bytes).is_err());
+        assert!(decode_summary(b"QLV").is_err());
+    }
+
+    #[test]
+    fn summary_rejects_truncation_everywhere() {
+        let counts: Vec<(u64, u64)> = (0..40u64).map(|i| (i * 1000, i + 1)).collect();
+        let bytes = summary_to_bytes(&counts);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_summary(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_rejects_semantic_corruption() {
+        // Zero frequency.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"QLVS");
+        buf.push(1);
+        write_uvarint(&mut buf, 1);
+        write_uvarint(&mut buf, 5); // key
+        write_uvarint(&mut buf, 0); // freq 0
+        assert!(decode_summary(&buf).is_err());
+
+        // Zero delta on a non-first pair (duplicate / out-of-order key).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"QLVS");
+        buf.push(1);
+        write_uvarint(&mut buf, 2);
+        write_uvarint(&mut buf, 5);
+        write_uvarint(&mut buf, 1);
+        write_uvarint(&mut buf, 0); // delta 0
+        write_uvarint(&mut buf, 1);
+        assert!(decode_summary(&buf).is_err());
+
+        // Key overflow: first key u64::MAX then any positive delta.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"QLVS");
+        buf.push(1);
+        write_uvarint(&mut buf, 2);
+        write_uvarint(&mut buf, u64::MAX);
+        write_uvarint(&mut buf, 1);
+        write_uvarint(&mut buf, 1); // overflows
+        write_uvarint(&mut buf, 1);
+        assert!(decode_summary(&buf).is_err());
+
+        // Trailing garbage.
+        let mut bytes = summary_to_bytes(&[(1, 1)]);
+        bytes.push(0);
+        assert!(decode_summary(&bytes).is_err());
+
+        // Absurd pair count with a tiny payload must fail fast, not
+        // allocate.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"QLVS");
+        buf.push(1);
+        write_uvarint(&mut buf, u64::MAX);
+        assert!(decode_summary(&buf).is_err());
+    }
+
+    #[test]
+    fn summary_decode_never_panics_on_noise() {
+        // Deterministic pseudo-random byte soup, with and without a
+        // valid-looking header.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for len in 0..64usize {
+            let mut noise = Vec::with_capacity(len + 5);
+            noise.extend_from_slice(b"QLVS\x01");
+            for _ in 0..len {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                noise.push((state >> 56) as u8);
+            }
+            let _ = decode_summary(&noise); // must return, not panic
+            let _ = decode_summary(&noise[5..]);
+        }
+    }
+}

@@ -19,6 +19,10 @@
 //!   domains, and runtime backend dispatch.
 //! * [`rbtree`] — the order-statistic frequency red-black tree backing
 //!   Level-1 state and the Exact baseline.
+//! * [`transport`] — the multi-process distributed runtime: framed
+//!   QLVT socket protocol, worker runtime, pipelined coordinator.
+//! * [`wire`] — varint primitives and the QLVS summary codec shared by
+//!   snapshot IO and the transport.
 
 pub use qlove_core as core;
 pub use qlove_freqstore as freqstore;
@@ -26,4 +30,6 @@ pub use qlove_rbtree as rbtree;
 pub use qlove_sketches as sketches;
 pub use qlove_stats as stats;
 pub use qlove_stream as stream;
+pub use qlove_transport as transport;
+pub use qlove_wire as wire;
 pub use qlove_workloads as workloads;

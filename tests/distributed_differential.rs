@@ -18,7 +18,10 @@
 use qlove::core::{AnswerSource, Backend, FewKConfig, Qlove, QloveAnswer, QloveConfig, QloveShard};
 use qlove::stream::ops::ExactQuantileOp;
 use qlove::stream::parallel::BATCH;
-use qlove::stream::{run_distributed, run_pipelined, SlidingWindow, WindowSpec};
+use qlove::stream::{
+    run_distributed, run_distributed_with_stats, run_pipelined, ShardAccumulator, SlidingWindow,
+    SummaryMerge, WindowSpec,
+};
 use qlove::workloads::NormalGen;
 
 const WINDOW: usize = 8_000;
@@ -142,6 +145,105 @@ fn pipelined_and_sequential_exact_agree_and_anchor_the_epsilon_layer() {
                     );
                 }
             }
+        }
+    }
+}
+
+/// Frozen verbatim copy of the pre-pipelining `run_distributed`
+/// coordinator loop: boundary-synchronous, merging each group on the
+/// collecting thread before receiving the next (channels via
+/// `std::sync::mpsc::sync_channel`, the same primitive the crossbeam
+/// shim wraps). The double-buffered refactor must stay bit-identical
+/// to this executor, not just to the sequential operator.
+fn frozen_run_distributed<S, C, F>(
+    make_shard: F,
+    coordinator: &mut C,
+    period: usize,
+    values: &[S::Input],
+    shards: usize,
+) -> Vec<C::Output>
+where
+    S: ShardAccumulator,
+    S::Input: Clone + Sync,
+    S::Summary: Send,
+    C: SummaryMerge<Summary = S::Summary>,
+    F: Fn() -> S + Sync,
+{
+    assert!(shards > 0, "need at least one shard");
+    assert!(period > 0, "need a positive sub-window period");
+    let boundaries = values.len().div_ceil(period);
+    std::thread::scope(|scope| {
+        let mut receivers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<S::Summary>(4);
+            receivers.push(rx);
+            let make_shard = &make_shard;
+            scope.spawn(move || {
+                let mut op = make_shard();
+                let mut batch: Vec<S::Input> = Vec::with_capacity(BATCH.min(period));
+                for (w, sub) in values.chunks(period).enumerate() {
+                    let start = w * period;
+                    let first = (shard + shards - start % shards) % shards;
+                    for v in sub.iter().skip(first).step_by(shards) {
+                        batch.push(v.clone());
+                        if batch.len() == BATCH {
+                            op.ingest_batch(&batch);
+                            batch.clear();
+                        }
+                    }
+                    if !batch.is_empty() {
+                        op.ingest_batch(&batch);
+                        batch.clear();
+                    }
+                    if tx.send(op.take_summary()).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        let mut out = Vec::new();
+        for _ in 0..boundaries {
+            for rx in &receivers {
+                let summary = rx.recv().expect("shard thread ended early");
+                if let Some(answer) = coordinator.merge_summary(&summary) {
+                    out.push(answer);
+                }
+            }
+        }
+        out
+    })
+}
+
+#[test]
+fn pipelined_executor_is_bit_identical_to_frozen_boundary_synchronous() {
+    // The double-buffered coordinator refactor vs the frozen pre-PR
+    // executor: answers, trailing pending state, and stats shape.
+    for backend in BACKENDS {
+        let cfg = config_for(backend);
+        let n = 2 * BATCH + 3_333;
+        let data = NormalGen::generate(17, n);
+        for shards in [1usize, 3, 5] {
+            let mut frozen_coord = Qlove::new(cfg.clone());
+            let want = frozen_run_distributed(
+                || QloveShard::new(&cfg),
+                &mut frozen_coord,
+                cfg.period,
+                &data,
+                shards,
+            );
+            assert!(!want.is_empty());
+            let mut coord = Qlove::new(cfg.clone());
+            let (got, stats) = run_distributed_with_stats(
+                || QloveShard::new(&cfg),
+                &mut coord,
+                cfg.period,
+                &data,
+                shards,
+            );
+            assert_eq!(got, want, "{backend:?} shards {shards}");
+            assert_eq!(coord.pending(), frozen_coord.pending());
+            assert_eq!(stats.boundaries, n.div_ceil(cfg.period));
+            assert!(stats.merge_ns > 0);
         }
     }
 }

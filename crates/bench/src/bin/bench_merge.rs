@@ -68,7 +68,7 @@ use qlove_core::{Backend, Qlove, QloveAnswer, QloveConfig, QloveShard, QloveSumm
 use qlove_stream::{run_distributed, run_distributed_with_stats, PipelineStats};
 use qlove_workloads::NormalGen;
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const WINDOW: usize = 100_000;
 const PERIOD: usize = 10_000;
@@ -417,6 +417,123 @@ fn measure_transports(
     }
 }
 
+/// One supervised-recovery measurement: a worker crashes mid-stream,
+/// the supervisor detects, restores, and replays; these are the
+/// per-phase costs it reported. Report-only — the perf gate reads
+/// none of this (recovery is off the failure-free hot path).
+struct RecoveryRow {
+    pass: usize,
+    detect_us: u64,
+    restore_us: u64,
+    replay_us: u64,
+    replayed_frames: usize,
+    matches: bool,
+}
+
+/// Measure recovery-time components with a deterministic in-process
+/// failure: an honest worker thread (real `QloveShard`, real
+/// summaries) serves until `die_after` boundary answers, then drops
+/// its socket. The supervisor restores a fresh `serve_stream` worker
+/// from the boundary checkpoint and replays the unacknowledged ring.
+/// A Unix socketpair keeps the crash deterministic (buffered frames
+/// then clean EOF); on non-unix hosts the section is empty.
+#[allow(unused_variables)]
+fn measure_recovery(data: &[u64], passes: usize, out: &mut Vec<RecoveryRow>) {
+    #[cfg(unix)]
+    {
+        use qlove_transport::{
+            run_supervised, serve_stream, Conn, Frame, FrameReader, FrameWriter, RecoveryPolicy,
+            Role, PROTOCOL_VERSION,
+        };
+        let cfg = QloveConfig::new(&PHIS, WINDOW, PERIOD).backend(Backend::Dense);
+        // Recovery cost is dominated by the unacked tail, not stream
+        // length; a couple of windows keeps this pass quick.
+        let data = &data[..data.len().min(2 * WINDOW)];
+        let mut single = Qlove::new(cfg.clone());
+        let mut seq: Vec<QloveAnswer> = Vec::new();
+        for chunk in data.chunks(4096) {
+            single.push_batch_into(chunk, &mut seq);
+        }
+        let policy = RecoveryPolicy {
+            max_restarts: 3,
+            backoff: Duration::from_millis(1),
+            deadline: Duration::from_secs(30),
+            heartbeat: None, // EOF detection needs no probes
+        };
+        for pass in 0..passes {
+            let (ours, theirs) = std::os::unix::net::UnixStream::pair().expect("socketpair");
+            let worker_cfg = cfg.clone();
+            let dying = std::thread::spawn(move || -> std::io::Result<()> {
+                let conn = Conn::Unix(theirs);
+                let read_half = conn.try_clone()?;
+                let mut reader = FrameReader::new(std::io::BufReader::new(read_half));
+                let mut writer = FrameWriter::new(conn);
+                reader.read_frame()?; // coordinator hello
+                writer.write_frame(&Frame::Hello {
+                    version: PROTOCOL_VERSION,
+                    role: Role::Worker,
+                })?;
+                writer.flush()?;
+                reader.read_frame()?; // config
+                let mut shard = QloveShard::new(&worker_cfg);
+                let mut answered = 0u64;
+                loop {
+                    match reader.read_frame()? {
+                        Frame::EventBatch(values) => shard.push_batch(&values),
+                        Frame::Boundary { boundary } => {
+                            writer.write_frame(&Frame::BoundarySummary {
+                                boundary,
+                                summary: shard.take_summary(),
+                            })?;
+                            writer.flush()?;
+                            answered += 1;
+                            if answered == 3 {
+                                return Ok(()); // crash mid-stream
+                            }
+                        }
+                        _ => continue,
+                    }
+                }
+            });
+            let mut replacements = Vec::new();
+            let respawn = |_shard: usize| {
+                let (ours, theirs) = std::os::unix::net::UnixStream::pair()?;
+                replacements.push(std::thread::spawn(move || serve_stream(Conn::Unix(theirs))));
+                Ok(Conn::Unix(ours))
+            };
+            let mut coordinator = Qlove::new(cfg.clone());
+            let run = run_supervised(
+                &cfg,
+                &mut coordinator,
+                vec![Conn::Unix(ours)],
+                data,
+                &policy,
+                respawn,
+            )
+            .expect("supervised recovery pass");
+            let matches = run.answers == seq;
+            let f = *run.failures.first().expect("one injected failure");
+            eprintln!(
+                "recovery pass {pass}: detect {:6} µs  restore {:6} µs  replay {:6} µs \
+                 ({} frames)  answers_match={matches}",
+                f.detect_us, f.restore_us, f.replay_us, f.replayed_frames
+            );
+            out.push(RecoveryRow {
+                pass,
+                detect_us: f.detect_us,
+                restore_us: f.restore_us,
+                replay_us: f.replay_us,
+                replayed_frames: f.replayed_frames,
+                matches,
+            });
+            dying.join().expect("dying worker panicked").ok();
+            for join in replacements {
+                join.join().expect("replacement worker panicked").ok();
+            }
+        }
+    }
+}
+
 fn measure_backend(
     backend: Backend,
     name: &'static str,
@@ -523,6 +640,12 @@ fn main() {
             &mut transport_rows,
         );
     }
+
+    // Supervised-recovery phase costs with an injected worker crash.
+    // Report-only: the perf gate never reads this section, because
+    // recovery is off the failure-free hot path by construction.
+    let mut recovery_rows: Vec<RecoveryRow> = Vec::new();
+    measure_recovery(&data, 3, &mut recovery_rows);
 
     // Isolated boundary-completion cost (few-k on/off, both backends).
     let mut boundary_rows: Vec<BoundaryRow> = Vec::new();
@@ -653,6 +776,22 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"recovery\": [");
+    for (i, row) in recovery_rows.iter().enumerate() {
+        let comma = if i + 1 < recovery_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"pass\": {}, \"detect_us\": {}, \"restore_us\": {}, \"replay_us\": {}, \
+             \"replayed_frames\": {}, \"answers_match_sequential\": {}}}{comma}",
+            row.pass,
+            row.detect_us,
+            row.restore_us,
+            row.replay_us,
+            row.replayed_frames,
+            row.matches
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"boundary_cost_us\": [");
     for (i, row) in boundary_rows.iter().enumerate() {
         let comma = if i + 1 < boundary_rows.len() { "," } else { "" };
@@ -702,6 +841,7 @@ fn main() {
         .iter()
         .any(|r| r.dist_rows.iter().any(|&(_, _, m)| !m))
         || transport_rows.iter().any(|r| !r.matches)
+        || recovery_rows.iter().any(|r| !r.matches)
     {
         eprintln!("bench_merge: distributed answers diverged from sequential");
         std::process::exit(1);

@@ -56,6 +56,15 @@
 //! their ingest, and prints answers bit-identical to a single-process
 //! run. `--connect ADDR` instead streams the input to one remote
 //! full-operator worker and prints the answers it sends back.
+//!
+//! `--max-restarts N` and `--heartbeat-ms MS` enable worker
+//! supervision in `--coordinate` mode: crashed or hung shards are
+//! reconnected at the same endpoint (up to N times per shard, with
+//! MS-millisecond heartbeat probes), restored from their boundary
+//! checkpoint, and replayed from the coordinator's bounded replay
+//! ring — answers stay bit-identical. In `--connect` mode the flags
+//! only add hang *detection* (the remote operator owns the full
+//! window state, so its crash is unrecoverable by design).
 
 use qlove_core::{Backend, Qlove, QloveConfig, QloveShard};
 use qlove_sketches::{
@@ -79,6 +88,8 @@ struct Args {
     worker: Option<String>,
     coordinate: Vec<String>,
     connect: Option<String>,
+    max_restarts: u32,
+    heartbeat_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -95,6 +106,8 @@ fn parse_args() -> Result<Args, String> {
         worker: None,
         coordinate: Vec::new(),
         connect: None,
+        max_restarts: 0,
+        heartbeat_ms: 0,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -129,6 +142,12 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown backend {other} (tree|dense|auto)")),
                 };
             }
+            "--max-restarts" => {
+                args.max_restarts = need_value(i)?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--heartbeat-ms" => {
+                args.heartbeat_ms = need_value(i)?.parse().map_err(|e| format!("{e}"))?;
+            }
             "--demo" => args.demo = Some(need_value(i)?.to_string()),
             "--worker" => args.worker = Some(need_value(i)?.to_string()),
             "--connect" => args.connect = Some(need_value(i)?.to_string()),
@@ -154,7 +173,8 @@ fn parse_args() -> Result<Args, String> {
                      [--policy qlove|exact|cmqs|am|random|moment|ddsketch|kll|ckms|tdigest] \
                      [--demo netmon|search|normal|uniform|pareto --events N] [--batch N] \
                      [--distributed N] [--backend tree|dense|auto] \
-                     [--worker ENDPOINT | --coordinate EP1,EP2,... | --connect ENDPOINT]"
+                     [--worker ENDPOINT | --coordinate EP1,EP2,... | --connect ENDPOINT] \
+                     [--max-restarts N] [--heartbeat-ms MS]"
                 );
                 std::process::exit(0);
             }
@@ -259,9 +279,26 @@ fn run_worker_mode(args: &Args, spec: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Translate the `--max-restarts`/`--heartbeat-ms` flags into a
+/// supervision policy. Both zero (the default) means disabled —
+/// failures abort the run, exactly as before the flags existed.
+fn recovery_policy(args: &Args) -> qlove_transport::RecoveryPolicy {
+    if args.max_restarts == 0 && args.heartbeat_ms == 0 {
+        return qlove_transport::RecoveryPolicy::disabled();
+    }
+    let mut policy = qlove_transport::RecoveryPolicy::supervised();
+    policy.max_restarts = args.max_restarts;
+    policy.heartbeat =
+        (args.heartbeat_ms > 0).then(|| std::time::Duration::from_millis(args.heartbeat_ms));
+    policy
+}
+
 /// `--coordinate EP1,EP2,...`: one logical window over worker
 /// processes, dealt over sockets, merged with the pipelined
 /// coordinator; answers are bit-identical to a single-process run.
+/// With `--max-restarts`/`--heartbeat-ms`, failed workers are
+/// reconnected at the same endpoint and replayed from the last
+/// acknowledged boundary.
 fn run_coordinate_mode(args: &Args) -> Result<(), String> {
     if args.policy != "qlove" {
         return Err("--coordinate is only supported for the qlove policy".into());
@@ -274,17 +311,46 @@ fn run_coordinate_mode(args: &Args) -> Result<(), String> {
         None => read_stdin_values()?,
     };
     let cfg = QloveConfig::new(&args.phis, args.window, args.period).backend(args.backend);
+    let mut endpoints = Vec::with_capacity(args.coordinate.len());
     let mut conns = Vec::with_capacity(args.coordinate.len());
     for spec in &args.coordinate {
         let endpoint = qlove_transport::Endpoint::parse(spec).map_err(|e| e.to_string())?;
         let conn =
             qlove_transport::Conn::connect_retry(&endpoint, std::time::Duration::from_secs(10))
                 .map_err(|e| e.to_string())?;
+        endpoints.push(endpoint);
         conns.push(conn);
     }
     let mut coordinator = Qlove::new(cfg.clone());
-    let run = qlove_transport::run_over_sockets(&cfg, &mut coordinator, conns, &values)
-        .map_err(|e| e.to_string())?;
+    // Recovery reconnects to the same endpoint: a worker restarted by
+    // an external supervisor (systemd, a shell loop) re-binds it and
+    // the coordinator replays the unacknowledged tail.
+    let respawn = |shard: usize| {
+        qlove_transport::Conn::connect_retry(&endpoints[shard], std::time::Duration::from_secs(5))
+    };
+    let run = qlove_transport::run_supervised(
+        &cfg,
+        &mut coordinator,
+        conns,
+        &values,
+        &recovery_policy(args),
+        respawn,
+    )
+    .map_err(|e| e.to_string())?;
+    for f in &run.failures {
+        eprintln!(
+            "qlove_cli: shard {} {:?} at boundary {} ({}): detect {} µs, restore {} µs, \
+             replay {} µs over {} frames",
+            f.shard,
+            f.kind,
+            f.boundary,
+            if f.recovered { "recovered" } else { "gave up" },
+            f.detect_us,
+            f.restore_us,
+            f.replay_us,
+            f.replayed_frames
+        );
+    }
     eprintln!(
         "qlove_cli: merged {} boundaries from {} workers ({:.1} µs merge overlap/boundary, {:.0}% \
          of merge hidden behind ingest)",
@@ -319,8 +385,16 @@ fn run_connect_mode(args: &Args, spec: &str) -> Result<(), String> {
     let endpoint = qlove_transport::Endpoint::parse(spec).map_err(|e| e.to_string())?;
     let conn = qlove_transport::Conn::connect_retry(&endpoint, std::time::Duration::from_secs(10))
         .map_err(|e| e.to_string())?;
-    let answers =
-        qlove_transport::run_remote_operator(&cfg, conn, &values).map_err(|e| e.to_string())?;
+    // The remote operator holds the full window state, so a crash is
+    // unrecoverable; the policy only adds heartbeat-based detection of
+    // hung workers instead of blocking forever.
+    let answers = qlove_transport::run_remote_operator_with_policy(
+        &cfg,
+        conn,
+        &values,
+        &recovery_policy(args),
+    )
+    .map_err(|e| e.to_string())?;
     // The operator state lives in the worker; no local footprint.
     print_answers(&args.phis, args.window, args.period, &answers, 0)
 }
@@ -362,6 +436,12 @@ fn run() -> Result<(), String> {
         + usize::from(args.connect.is_some());
     if socket_modes > 1 || (socket_modes == 1 && args.distributed > 0) {
         return Err("pick one of --worker, --coordinate, --connect, --distributed".into());
+    }
+    if (args.max_restarts > 0 || args.heartbeat_ms > 0)
+        && args.coordinate.is_empty()
+        && args.connect.is_none()
+    {
+        return Err("--max-restarts/--heartbeat-ms only apply to --coordinate or --connect".into());
     }
     if let Some(spec) = &args.worker {
         return run_worker_mode(&args, spec);

@@ -283,7 +283,11 @@ fn row_key(row: &Json, fields: &[&str]) -> String {
 /// rows. The transport rows' `overlap_us_per_boundary` is likewise
 /// recorded but ungated: overlap only exists with real parallelism, so
 /// on the 1-CPU CI runner it reads ~0 µs and gating it would be pure
-/// noise (the throughput row of the same run *is* gated).
+/// noise (the throughput row of the same run *is* gated). The
+/// `recovery` section (supervised-recovery detect/restore/replay
+/// costs from an injected worker crash) is report-only by the same
+/// design: recovery is off the failure-free hot path, so its timings
+/// must never wedge a perf gate that exists to protect that path.
 pub fn extract_metrics(doc: &Json) -> Vec<Metric> {
     let experiment = doc
         .get("experiment")
@@ -612,6 +616,26 @@ mod tests {
         let metrics = extract_metrics(&parse_json(with_fold).unwrap());
         assert_eq!(metrics.len(), 1);
         assert!(metrics[0].name.starts_with("merge/boundary_cost_us"));
+    }
+
+    #[test]
+    fn recovery_rows_are_recorded_but_not_gated() {
+        // Supervised-recovery timings ride in the artifact for
+        // observability, but recovery is off the failure-free hot
+        // path: the gate must not read the section, so a slow (or
+        // fast) recovery can never flip the perf verdict.
+        let with_recovery = r#"{
+          "experiment": "merge",
+          "recovery": [
+            {"pass": 0, "detect_us": 120, "restore_us": 800, "replay_us": 300, "replayed_frames": 12, "answers_match_sequential": true}
+          ],
+          "transport": [
+            {"transport": "uds", "shards": 4, "melems_per_sec": 18.0, "answers_match_sequential": true}
+          ]
+        }"#;
+        let metrics = extract_metrics(&parse_json(with_recovery).unwrap());
+        assert_eq!(metrics.len(), 1);
+        assert!(metrics[0].name.starts_with("merge/transport"));
     }
 
     #[test]

@@ -261,6 +261,27 @@ impl QloveShard {
         self.store.total() as usize
     }
 
+    /// Restore a checkpoint into a mid-stream shard: merge the
+    /// summary's (already quantized) counts into the frequency store,
+    /// on top of whatever is currently accumulated.
+    ///
+    /// This is the worker half of crash recovery: a replacement shard
+    /// is seeded with the checkpoint its predecessor had at its last
+    /// acknowledged boundary, then the coordinator replays the
+    /// unacknowledged tail of the dealt stream. Because shard state is
+    /// a frequency multiset, `restore` + replay rebuilds exactly the
+    /// state the lost shard held — the next
+    /// [`QloveShard::take_summary`] is bit-identical to what an
+    /// undisturbed shard would have produced.
+    ///
+    /// The checkpoint's values must already be quantized under the same
+    /// config (true for any summary produced by
+    /// [`QloveShard::take_summary`]), mirroring the contract of
+    /// [`Qlove::merge`].
+    pub fn restore(&mut self, checkpoint: &QloveSummary) {
+        self.store.merge_sorted_counts(checkpoint.counts());
+    }
+
     /// Snapshot the accumulated state as a mergeable summary and reset
     /// (allocations are kept, so steady-state boundaries reuse them).
     pub fn take_summary(&mut self) -> QloveSummary {
@@ -1197,6 +1218,48 @@ mod tests {
         assert_eq!(a.pending(), b.pending());
         assert_eq!(a.take_summary(), b.take_summary());
         assert_eq!(a.pending(), 0);
+    }
+
+    #[test]
+    fn shard_restore_rebuilds_lost_state_exactly() {
+        // The recovery identity: checkpoint at a cut point + replay of
+        // the tail must equal the undisturbed shard, mid-sub-window,
+        // for both backends.
+        for backend in [Backend::Tree, Backend::Dense] {
+            let cfg = QloveConfig::new(&[0.5, 0.999], 8_000, 1_000).backend(backend);
+            let data = normal_stream(71, 700);
+            let cut = 311;
+            let mut undisturbed = QloveShard::new(&cfg);
+            undisturbed.push_batch(&data);
+
+            // Original shard dies at `cut`; its checkpoint is whatever
+            // it had accumulated (here extracted via take_summary, the
+            // same multiset a coordinator-side checkpoint would hold).
+            let mut original = QloveShard::new(&cfg);
+            original.push_batch(&data[..cut]);
+            let checkpoint = original.take_summary();
+
+            let mut replacement = QloveShard::new(&cfg);
+            replacement.restore(&checkpoint);
+            assert_eq!(replacement.pending(), cut);
+            replacement.push_batch(&data[cut..]);
+            assert_eq!(replacement.pending(), undisturbed.pending());
+            assert_eq!(
+                replacement.take_summary(),
+                undisturbed.take_summary(),
+                "{backend:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_restore_of_empty_checkpoint_is_identity() {
+        let cfg = QloveConfig::new(&[0.5], 1_000, 500);
+        let mut shard = QloveShard::new(&cfg);
+        shard.push(42);
+        shard.restore(&QloveSummary::default());
+        assert_eq!(shard.pending(), 1);
+        assert_eq!(shard.take_summary().counts(), &[(42, 1)]);
     }
 
     #[test]

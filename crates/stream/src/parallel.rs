@@ -288,13 +288,22 @@ where
         let mut collect_ns = 0u128;
         let mut failed: Option<E> = None;
         for boundary in 0..boundaries {
-            let mut group = recycle_rx.recv().expect("merger recycles group buffers");
+            // A closed channel here means the merger thread died; fall
+            // through to the join below, which re-raises the merger's
+            // actual panic payload instead of a channel artifact.
+            let Ok(mut group) = recycle_rx.recv() else {
+                break;
+            };
             group.clear();
             let start = Instant::now();
             let result = collect(boundary, &mut group);
             collect_ns += start.elapsed().as_nanos();
             match result {
-                Ok(()) => assert!(group_tx.send(group).is_ok(), "merger outlives collector"),
+                Ok(()) => {
+                    if group_tx.send(group).is_err() {
+                        break;
+                    }
+                }
                 Err(e) => {
                     failed = Some(e);
                     break;
@@ -302,7 +311,10 @@ where
             }
         }
         drop(group_tx);
-        let (answers, merge_ns) = merger.join().expect("merger thread panicked");
+        let (answers, merge_ns) = match merger.join() {
+            Ok(out) => out,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
         match failed {
             Some(e) => Err(e),
             None => Ok((answers, merge_ns, collect_ns)),

@@ -16,18 +16,202 @@
 //! ```
 //!
 //! Backpressure is physical: the dealer runs ahead of the workers only
-//! as far as the socket buffers allow, the workers run ahead of the
-//! collector only until their write of a summary blocks, and the
-//! collector runs ahead of the merger by at most one full boundary
-//! group (the double buffer). Memory stays bounded end to end.
+//! as far as the socket buffers (and the bounded replay ring) allow,
+//! the workers run ahead of the collector only until their write of a
+//! summary blocks, and the collector runs ahead of the merger by at
+//! most one full boundary group (the double buffer). Memory stays
+//! bounded end to end.
+//!
+//! # Fault tolerance
+//!
+//! [`run_supervised`] adds exact-replay worker recovery on top of the
+//! same pipeline. Every frame dealt to a shard is retained in a bounded
+//! **replay ring** ([`MAX_RING_BOUNDARIES`] sub-windows deep) and
+//! pruned as soon as the collector merges the matching
+//! `BoundarySummary` — the acknowledgement that the worker's effect on
+//! the answer stream is durable. Because a [`qlove_core::QloveShard`]
+//! resets at every boundary, the state lost with a dead worker is
+//! exactly the unacknowledged ring tail: recovery respawns a worker
+//! (caller-provided closure), sends a [`Frame::Restore`] naming the
+//! last acknowledged boundary, replays the tail, and resumes — the
+//! merged answers are **bit-identical** to an undisturbed run.
+//!
+//! Detection is two-sided. A dead worker surfaces as an EOF/reset on
+//! either socket half. A *hung* worker (e.g. `SIGSTOP`) is caught by
+//! the heartbeat deadline: when a collector read times out it writes a
+//! [`Frame::Heartbeat`] probe; a live worker echoes it, a frozen one
+//! stays silent through the second timeout and is declared stalled.
+//! A spurious stall verdict (worker merely slow) is *safe*: the old
+//! socket is fully shut down before the replacement is handshaked, so
+//! the straggler can never write into the recovered stream, and replay
+//! recomputes identical summaries anyway.
 
 use crate::net::Conn;
 use crate::proto::{Frame, FrameReader, FrameWriter, Role, WorkerMode, PROTOCOL_VERSION};
 use qlove_core::{Qlove, QloveAnswer, QloveConfig, QloveSummary};
 use qlove_stream::parallel::BATCH;
 use qlove_stream::{coordinate_pipelined, PipelineStats};
+use std::collections::VecDeque;
+use std::fmt;
 use std::io::{self, BufReader};
+use std::sync::{Condvar, Mutex};
 use std::thread;
+use std::time::{Duration, Instant};
+
+/// How many dealt-but-unacknowledged sub-windows the replay ring holds
+/// per shard before the dealer waits for the collector to catch up.
+///
+/// This bounds both recovery replay volume and coordinator memory: at
+/// most this many boundaries' worth of `EventBatch` frames are retained
+/// per shard at any moment.
+pub const MAX_RING_BOUNDARIES: usize = 8;
+
+/// When and how hard the coordinator fights to keep a run alive.
+///
+/// [`RecoveryPolicy::disabled`] (also the `Default`) reproduces the
+/// fail-fast behavior of the unsupervised runtime exactly: no socket
+/// deadlines, no heartbeats, any worker failure ends the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Per-shard restart budget for the whole run. `0` disables
+    /// recovery (failures are terminal, the respawn hook is never
+    /// called).
+    pub max_restarts: u32,
+    /// Pause between consecutive restart attempts of the same shard.
+    pub backoff: Duration,
+    /// Ceiling for one whole recovery (respawn + handshake + restore +
+    /// replay, across attempts). Also used as the socket write deadline
+    /// so the dealer can never block forever on a frozen peer.
+    pub deadline: Duration,
+    /// Collector read deadline. After one silent interval the worker is
+    /// probed with a heartbeat; silence through a second interval means
+    /// the worker is declared stalled. `None` disables hang detection —
+    /// only crashes (EOF/reset) are caught.
+    pub heartbeat: Option<Duration>,
+}
+
+impl RecoveryPolicy {
+    /// No supervision: identical behavior to the unsupervised runtime.
+    pub fn disabled() -> Self {
+        Self {
+            max_restarts: 0,
+            backoff: Duration::ZERO,
+            deadline: Duration::ZERO,
+            heartbeat: None,
+        }
+    }
+
+    /// Reasonable production defaults: 3 restarts per shard, 50 ms
+    /// backoff, 10 s recovery deadline, 500 ms heartbeat.
+    pub fn supervised() -> Self {
+        Self {
+            max_restarts: 3,
+            backoff: Duration::from_millis(50),
+            deadline: Duration::from_secs(10),
+            heartbeat: Some(Duration::from_millis(500)),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.max_restarts > 0
+    }
+
+    /// Arm the socket deadlines this policy calls for. Timeouts are a
+    /// property of the underlying socket, so one call here covers every
+    /// `try_clone` handle (collector reads *and* dealer writes).
+    fn arm(&self, conn: &Conn) -> io::Result<()> {
+        if let Some(hb) = self.heartbeat {
+            conn.set_read_timeout(Some(hb))?;
+        }
+        if (self.enabled() || self.heartbeat.is_some()) && self.deadline > Duration::ZERO {
+            conn.set_write_timeout(Some(self.deadline))?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// How a worker failure manifested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The socket died: EOF, reset, or a failed write — the worker
+    /// process is gone (or unreachable, which must be treated the same).
+    Crash,
+    /// The worker is silent but the socket is open: no summary and no
+    /// heartbeat echo within two read deadlines (e.g. `SIGSTOP`).
+    Stall,
+}
+
+/// One worker failure and what recovery did about it, reported in
+/// [`DistributedRun::failures`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureEvent {
+    /// Which shard failed.
+    pub shard: usize,
+    /// The boundary the replacement was restored to (= boundaries
+    /// already acknowledged by the collector when the failure hit).
+    pub boundary: u64,
+    /// Crash or stall.
+    pub kind: FailureKind,
+    /// Cumulative restarts consumed by this shard after this event.
+    pub restarts: u32,
+    /// Silence observed between first suspicion and the verdict, µs.
+    pub detect_us: u64,
+    /// Respawn + handshake + `Restore` frame, µs.
+    pub restore_us: u64,
+    /// Replaying the unacknowledged ring tail, µs.
+    pub replay_us: u64,
+    /// Frames replayed from the ring.
+    pub replayed_frames: usize,
+    /// `false` when the restart budget or deadline ran out and the run
+    /// failed.
+    pub recovered: bool,
+}
+
+/// A coordinator-side pipeline thread (dealer/feeder) died by panic;
+/// carried inside `io::Error::other` so callers get the payload instead
+/// of a coordinator panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransportError {
+    /// Which thread panicked (`"dealer"` or `"feeder"`).
+    pub thread: &'static str,
+    /// The stringified panic payload.
+    pub panic: String,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} thread panicked: {}", self.thread, self.panic)
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Join a pipeline thread, converting a panic into a structured
+/// [`TransportError`] instead of re-panicking the coordinator.
+fn join_io<T>(
+    handle: thread::ScopedJoinHandle<'_, io::Result<T>>,
+    thread: &'static str,
+) -> io::Result<T> {
+    match handle.join() {
+        Ok(result) => result,
+        Err(payload) => {
+            let panic = match payload.downcast::<String>() {
+                Ok(s) => *s,
+                Err(payload) => match payload.downcast::<&'static str>() {
+                    Ok(s) => (*s).to_string(),
+                    Err(_) => "opaque panic payload".to_string(),
+                },
+            };
+            Err(io::Error::other(TransportError { thread, panic }))
+        }
+    }
+}
 
 /// Result of a socket-distributed run.
 #[derive(Debug)]
@@ -38,10 +222,21 @@ pub struct DistributedRun {
     /// Pipeline timing: how much merge time was hidden behind worker
     /// ingest.
     pub stats: PipelineStats,
+    /// Worker failures detected during the run and how recovery went
+    /// (always empty under [`RecoveryPolicy::disabled`], which turns
+    /// failures into errors instead).
+    pub failures: Vec<FailureEvent>,
 }
 
 fn protocol(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 /// Handshake one worker connection: hello exchange + config.
@@ -78,8 +273,354 @@ fn handshake(
     Ok((reader, writer))
 }
 
+/// Everything the dealer and the collector share about one shard: the
+/// replay ring (source of truth for unacknowledged frames) and the
+/// current write half, if the shard has a live one.
+struct ShardState {
+    /// Whether dealt frames are retained for replay. `false` when the
+    /// policy cannot restart workers (`max_restarts == 0`): replay can
+    /// never happen, so the dealer writes straight through and the
+    /// failure-free hot path pays nothing for the ring.
+    retain: bool,
+    /// Dealt frames not yet covered by a boundary acknowledgement, in
+    /// deal order. On recovery this is exactly what gets replayed.
+    ring: VecDeque<Frame>,
+    /// `Boundary` frames currently in the ring — the dealer's run-ahead
+    /// budget.
+    ring_boundaries: usize,
+    /// Boundaries acknowledged so far (== the boundary index a
+    /// replacement worker must be restored to).
+    acked: u64,
+    /// Live write half. `None` while the shard is down: the dealer
+    /// keeps ringing frames and the collector's recovery replays them.
+    writer: Option<FrameWriter<Conn>>,
+    /// Terminal-failure flag: wake and stop everyone.
+    failed: bool,
+}
+
+struct ShardLink {
+    state: Mutex<ShardState>,
+    cv: Condvar,
+}
+
+impl ShardLink {
+    fn new(writer: FrameWriter<Conn>, retain: bool) -> Self {
+        Self {
+            state: Mutex::new(ShardState {
+                retain,
+                ring: VecDeque::new(),
+                ring_boundaries: 0,
+                acked: 0,
+                writer: Some(writer),
+                failed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Dealer path: retain `frame` in the replay ring (when the policy
+    /// can restart workers), then push it down the socket. A failed or
+    /// timed-out write *parks* the link (drops the writer) instead of
+    /// erroring — the collector notices the dead peer and either
+    /// recovers (replaying the ring) or ends the run. Blocks while the
+    /// ring is at its boundary bound; without retention the frame is
+    /// written straight through and backpressure stays purely physical
+    /// (socket buffers), exactly the pre-supervision hot path.
+    fn deal(&self, frame: Frame) -> io::Result<()> {
+        let mut st = self.state.lock().expect("shard link poisoned");
+        let is_boundary = matches!(frame, Frame::Boundary { .. });
+        if is_boundary {
+            while st.ring_boundaries >= MAX_RING_BOUNDARIES && !st.failed {
+                st = self.cv.wait(st).expect("shard link poisoned");
+            }
+        }
+        if st.failed {
+            return Err(io::Error::other("distributed run aborted"));
+        }
+        let flush = is_boundary || matches!(frame, Frame::Shutdown);
+        let st = &mut *st;
+        let frame = if st.retain {
+            st.ring.push_back(frame);
+            if is_boundary {
+                st.ring_boundaries += 1;
+            }
+            st.ring.back().expect("frame was just pushed")
+        } else {
+            &frame
+        };
+        if let Some(writer) = st.writer.as_mut() {
+            let sent =
+                writer
+                    .write_frame(frame)
+                    .and_then(|()| if flush { writer.flush() } else { Ok(()) });
+            if sent.is_err() {
+                st.writer = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Collector ack: boundary `b` is merged — prune the ring through
+    /// its `Boundary` frame and wake a dealer waiting on ring space.
+    fn ack(&self, b: u64) {
+        let mut st = self.state.lock().expect("shard link poisoned");
+        st.acked = b + 1;
+        while let Some(frame) = st.ring.pop_front() {
+            if matches!(frame, Frame::Boundary { boundary } if boundary == b) {
+                st.ring_boundaries -= 1;
+                break;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    fn acked(&self) -> u64 {
+        self.state.lock().expect("shard link poisoned").acked
+    }
+
+    /// Ask the worker for a heartbeat echo. Fails when the link is
+    /// parked or the write side is dead — i.e. the worker crashed.
+    fn probe(&self) -> io::Result<()> {
+        let mut st = self.state.lock().expect("shard link poisoned");
+        let st = &mut *st;
+        match st.writer.as_mut() {
+            Some(writer) => {
+                let sent = writer
+                    .write_frame(&Frame::Heartbeat)
+                    .and_then(|()| writer.flush());
+                if sent.is_err() {
+                    st.writer = None;
+                }
+                sent
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "shard link is down",
+            )),
+        }
+    }
+
+    /// Recovery: restore a fresh worker to the last acknowledged
+    /// boundary and replay the unacknowledged tail, then install its
+    /// write half. Returns `(restored boundary, frames replayed)`.
+    fn reinstall(&self, mut writer: FrameWriter<Conn>) -> io::Result<(u64, usize)> {
+        let mut st = self.state.lock().expect("shard link poisoned");
+        writer.write_frame(&Frame::Restore {
+            boundary: st.acked,
+            checkpoint: QloveSummary::default(),
+        })?;
+        for frame in &st.ring {
+            writer.write_frame(frame)?;
+        }
+        writer.flush()?;
+        let replayed = st.ring.len();
+        st.writer = Some(writer);
+        Ok((st.acked, replayed))
+    }
+
+    fn fail(&self) {
+        let mut st = self.state.lock().expect("shard link poisoned");
+        st.failed = true;
+        st.writer = None;
+        self.cv.notify_all();
+    }
+}
+
+/// The collector's view of the whole worker fleet plus the recovery
+/// machinery. Lives on the calling thread; only the [`ShardLink`]s are
+/// shared with the dealer.
+struct Supervisor<'a, F> {
+    config: &'a QloveConfig,
+    policy: &'a RecoveryPolicy,
+    links: &'a [ShardLink],
+    readers: Vec<FrameReader<BufReader<Conn>>>,
+    breakers: Vec<Conn>,
+    respawn: F,
+    restarts: Vec<u32>,
+    failures: Vec<FailureEvent>,
+}
+
+impl<F: FnMut(usize) -> io::Result<Conn>> Supervisor<'_, F> {
+    /// Read one frame from `shard`, probing through read deadlines.
+    /// `Err` carries the failure verdict, the silence observed before
+    /// it (µs), and the underlying error.
+    fn read_with_probe(&mut self, shard: usize) -> Result<Frame, (FailureKind, u64, io::Error)> {
+        let mut silent_since: Option<Instant> = None;
+        let mut probed = false;
+        loop {
+            match self.readers[shard].read_frame() {
+                // A heartbeat echo is proof of life, not progress;
+                // reset the probe and keep waiting for the summary.
+                Ok(Frame::Heartbeat) => {
+                    silent_since = None;
+                    probed = false;
+                }
+                Ok(frame) => return Ok(frame),
+                Err(e) if is_timeout(&e) => {
+                    let since = *silent_since.get_or_insert_with(Instant::now);
+                    if probed {
+                        return Err((FailureKind::Stall, since.elapsed().as_micros() as u64, e));
+                    }
+                    if self.links[shard].probe().is_err() {
+                        return Err((FailureKind::Crash, since.elapsed().as_micros() as u64, e));
+                    }
+                    probed = true;
+                }
+                Err(e) => {
+                    let detect_us = silent_since
+                        .map(|s| s.elapsed().as_micros() as u64)
+                        .unwrap_or(0);
+                    return Err((FailureKind::Crash, detect_us, e));
+                }
+            }
+        }
+    }
+
+    /// One restart attempt: respawn, arm deadlines, handshake, restore
+    /// + replay, swap the read half in. Timings in µs.
+    fn try_restart(&mut self, shard: usize) -> io::Result<(u64, usize, u64, u64)> {
+        let restore_start = Instant::now();
+        let conn = (self.respawn)(shard)?;
+        self.policy.arm(&conn)?;
+        let breaker = conn.try_clone()?;
+        let (reader, writer) = handshake(conn, self.config, WorkerMode::Shard)?;
+        let restore_us = restore_start.elapsed().as_micros() as u64;
+        let replay_start = Instant::now();
+        let (boundary, replayed) = self.links[shard].reinstall(writer)?;
+        let replay_us = replay_start.elapsed().as_micros() as u64;
+        self.readers[shard] = reader;
+        self.breakers[shard] = breaker;
+        Ok((boundary, replayed, restore_us, replay_us))
+    }
+
+    /// Drive recovery of `shard` to completion or declare the run dead.
+    /// On success the shard has a live, restored worker and the caller
+    /// retries its read.
+    fn recover(
+        &mut self,
+        shard: usize,
+        kind: FailureKind,
+        detect_us: u64,
+        cause: io::Error,
+    ) -> io::Result<()> {
+        // Sever the old socket before anything else: a stalled worker
+        // that wakes up later must find its stream dead, never the
+        // recovered one.
+        let _ = self.breakers[shard].shutdown();
+
+        let mut event = FailureEvent {
+            shard,
+            boundary: self.links[shard].acked(),
+            kind,
+            restarts: self.restarts[shard],
+            detect_us,
+            restore_us: 0,
+            replay_us: 0,
+            replayed_frames: 0,
+            recovered: false,
+        };
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        while self.restarts[shard] < self.policy.max_restarts
+            && started.elapsed() <= self.policy.deadline
+        {
+            if attempt > 0 {
+                thread::sleep(self.policy.backoff);
+            }
+            attempt += 1;
+            self.restarts[shard] += 1;
+            event.restarts = self.restarts[shard];
+            match self.try_restart(shard) {
+                Ok((boundary, replayed, restore_us, replay_us)) => {
+                    event.boundary = boundary;
+                    event.replayed_frames = replayed;
+                    event.restore_us = restore_us;
+                    event.replay_us = replay_us;
+                    event.recovered = true;
+                    self.failures.push(event);
+                    return Ok(());
+                }
+                Err(_retry) => continue,
+            }
+        }
+        self.failures.push(event);
+        Err(cause)
+    }
+
+    /// Read (recovering as needed) until `shard` delivers its summary
+    /// for boundary `b`, then acknowledge it — pruning the replay ring.
+    fn expect_summary(&mut self, shard: usize, b: usize) -> io::Result<QloveSummary> {
+        loop {
+            match self.read_with_probe(shard) {
+                Ok(Frame::BoundarySummary { boundary, summary }) if boundary == b as u64 => {
+                    self.links[shard].ack(b as u64);
+                    return Ok(summary);
+                }
+                Ok(other) => {
+                    return Err(protocol(format!(
+                        "expected summary for boundary {b}, got {other:?}"
+                    )))
+                }
+                Err((kind, detect_us, cause)) => self.recover(shard, kind, detect_us, cause)?,
+            }
+        }
+    }
+
+    /// Read (recovering as needed) until `shard` acknowledges shutdown.
+    /// Covers a worker dying *after* its last summary — the replay ring
+    /// tail is just the `Shutdown` frame then.
+    fn expect_shutdown_ack(&mut self, shard: usize) -> io::Result<()> {
+        loop {
+            match self.read_with_probe(shard) {
+                Ok(Frame::Shutdown) => return Ok(()),
+                Ok(other) => return Err(protocol(format!("expected shutdown ack, got {other:?}"))),
+                Err((kind, detect_us, cause)) => self.recover(shard, kind, detect_us, cause)?,
+            }
+        }
+    }
+
+    /// Terminal: stop every thread that could still be blocked — sever
+    /// all sockets, fail all links.
+    fn fail_all(&mut self) {
+        for conn in &self.breakers {
+            let _ = conn.shutdown();
+        }
+        for link in self.links {
+            link.fail();
+        }
+    }
+}
+
 /// Answer **one logical window** from worker processes reached over
-/// `conns` (one connection per shard, TCP or Unix-domain).
+/// `conns` (one connection per shard, TCP or Unix-domain), with no
+/// supervision: any worker failure ends the run with an error.
+///
+/// Equivalent to [`run_supervised`] under [`RecoveryPolicy::disabled`];
+/// see there for the full contract.
+pub fn run_over_sockets(
+    config: &QloveConfig,
+    coordinator: &mut Qlove,
+    conns: Vec<Conn>,
+    values: &[u64],
+) -> io::Result<DistributedRun> {
+    run_supervised(
+        config,
+        coordinator,
+        conns,
+        values,
+        &RecoveryPolicy::disabled(),
+        |shard| {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!("no respawn hook for shard {shard}: supervision disabled"),
+            ))
+        },
+    )
+}
+
+/// Answer **one logical window** from worker processes reached over
+/// `conns` (one connection per shard, TCP or Unix-domain), restarting
+/// failed workers according to `policy`.
 ///
 /// Dealing replicates the in-process executor exactly — element `i` of
 /// the logical stream goes to shard `i % shards`, batches never
@@ -89,46 +630,68 @@ fn handshake(
 /// A trailing partial sub-window is shipped and merged too, leaving it
 /// pending in `coordinator` rather than dropped.
 ///
-/// The returned [`PipelineStats`] measure the double-buffered overlap:
-/// merge time for boundary *b* that ran while the collector was
-/// blocked reading boundary *b+1* (i.e. while workers were still
-/// ingesting).
+/// When a worker crashes or stalls mid-run, `respawn(shard)` is called
+/// to produce a replacement connection (typically: spawn a process,
+/// `Conn::connect_retry` to it); the replacement is restored to the
+/// shard's last acknowledged boundary and fed the unacknowledged frame
+/// tail from the replay ring, preserving bit-identity through the
+/// failure. Each recovery is reported as a [`FailureEvent`] in
+/// [`DistributedRun::failures`]. When the policy's restart budget or
+/// deadline is exhausted, the run fails with the underlying error.
 ///
 /// Sequence violations from a worker (out-of-order boundaries, totals
-/// that do not add up to the dealt elements, malformed frames) and
-/// worker deaths surface as errors; the remaining connections are shut
+/// that do not add up to the dealt elements, malformed frames) are not
+/// recoverable — they surface as errors and all connections are shut
 /// down so no thread is left blocked.
 ///
 /// # Panics
 /// Panics when `conns` is empty or `config.period` is 0 (the same
 /// contract as `run_distributed`).
-pub fn run_over_sockets(
+pub fn run_supervised<F>(
     config: &QloveConfig,
     coordinator: &mut Qlove,
     conns: Vec<Conn>,
     values: &[u64],
-) -> io::Result<DistributedRun> {
+    policy: &RecoveryPolicy,
+    respawn: F,
+) -> io::Result<DistributedRun>
+where
+    F: FnMut(usize) -> io::Result<Conn>,
+{
     let shards = conns.len();
     assert!(shards > 0, "need at least one shard");
     let period = config.period;
     assert!(period > 0, "need a positive sub-window period");
     let boundaries = values.len().div_ceil(period);
 
-    // Split each connection: the dealer owns the write halves, the
-    // collector the read halves, and a third set of handles exists
-    // only to shut the sockets down on the error path (unblocking
-    // whichever thread is stuck on a dead peer).
+    // Per shard: the collector owns the read half, the shared link owns
+    // the write half (dealer writes through it, recovery replaces it),
+    // and a breaker handle exists only to sever the socket — unblocking
+    // whichever thread is stuck on a dead or frozen peer.
     let mut readers = Vec::with_capacity(shards);
-    let mut writers = Vec::with_capacity(shards);
     let mut breakers = Vec::with_capacity(shards);
+    let mut links = Vec::with_capacity(shards);
     for conn in conns {
+        policy.arm(&conn)?;
         breakers.push(conn.try_clone()?);
         let (reader, writer) = handshake(conn, config, WorkerMode::Shard)?;
         readers.push(reader);
-        writers.push(writer);
+        links.push(ShardLink::new(writer, policy.enabled()));
     }
 
-    let (answers, stats) = thread::scope(|scope| -> io::Result<_> {
+    let mut supervisor = Supervisor {
+        config,
+        policy,
+        links: &links,
+        readers,
+        breakers,
+        respawn,
+        restarts: vec![0; shards],
+        failures: Vec::new(),
+    };
+
+    let (answers, stats, failures) = thread::scope(|scope| -> io::Result<_> {
+        let links_ref = &links;
         let dealer = scope.spawn(move || -> io::Result<()> {
             let mut bufs: Vec<Vec<u64>> = (0..shards)
                 .map(|_| Vec::with_capacity(BATCH.min(period)))
@@ -139,22 +702,20 @@ pub fn run_over_sockets(
                     let shard = (start + i) % shards;
                     bufs[shard].push(v);
                     if bufs[shard].len() == BATCH {
-                        writers[shard]
-                            .write_frame(&Frame::EventBatch(std::mem::take(&mut bufs[shard])))?;
+                        links_ref[shard]
+                            .deal(Frame::EventBatch(std::mem::take(&mut bufs[shard])))?;
                         bufs[shard].reserve(BATCH.min(period));
                     }
                 }
-                for (shard, writer) in writers.iter_mut().enumerate() {
+                for (shard, link) in links_ref.iter().enumerate() {
                     if !bufs[shard].is_empty() {
-                        writer.write_frame(&Frame::EventBatch(std::mem::take(&mut bufs[shard])))?;
+                        link.deal(Frame::EventBatch(std::mem::take(&mut bufs[shard])))?;
                     }
-                    writer.write_frame(&Frame::Boundary { boundary: b as u64 })?;
-                    writer.flush()?;
+                    link.deal(Frame::Boundary { boundary: b as u64 })?;
                 }
             }
-            for writer in writers.iter_mut() {
-                writer.write_frame(&Frame::Shutdown)?;
-                writer.flush()?;
+            for link in links_ref.iter() {
+                link.deal(Frame::Shutdown)?;
             }
             Ok(())
         });
@@ -163,18 +724,10 @@ pub fn run_over_sockets(
         // coordinator core).
         let collect = |b: usize, group: &mut Vec<QloveSummary>| -> io::Result<()> {
             let mut total = 0u64;
-            for reader in readers.iter_mut() {
-                match reader.read_frame()? {
-                    Frame::BoundarySummary { boundary, summary } if boundary == b as u64 => {
-                        total += summary.total();
-                        group.push(summary);
-                    }
-                    other => {
-                        return Err(protocol(format!(
-                            "expected summary for boundary {b}, got {other:?}"
-                        )))
-                    }
-                }
+            for shard in 0..shards {
+                let summary = supervisor.expect_summary(shard, b)?;
+                total += summary.total();
+                group.push(summary);
             }
             // The group must stand for exactly the elements dealt into
             // this boundary — anything else would poison (or panic)
@@ -192,27 +745,26 @@ pub fn run_over_sockets(
         // Confirm every worker acknowledged shutdown before declaring
         // the run clean (they exit right after).
         let finished = merged.and_then(|ok| {
-            for reader in readers.iter_mut() {
-                match reader.read_frame()? {
-                    Frame::Shutdown => {}
-                    other => return Err(protocol(format!("expected shutdown ack, got {other:?}"))),
-                }
+            for shard in 0..shards {
+                supervisor.expect_shutdown_ack(shard)?;
             }
             Ok(ok)
         });
         if finished.is_err() {
             // Unblock the dealer (and any wedged worker) before
             // joining.
-            for conn in &breakers {
-                let _ = conn.shutdown();
-            }
+            supervisor.fail_all();
         }
-        let dealt = dealer.join().expect("dealer thread panicked");
+        let dealt = join_io(dealer, "dealer");
         let (answers, stats) = finished?;
         dealt?;
-        Ok((answers, stats))
+        Ok((answers, stats, supervisor.failures))
     })?;
-    Ok(DistributedRun { answers, stats })
+    Ok(DistributedRun {
+        answers,
+        stats,
+        failures,
+    })
 }
 
 /// Stream `values` to a single remote **full operator** and collect its
@@ -229,21 +781,47 @@ pub fn run_remote_operator(
     conn: Conn,
     values: &[u64],
 ) -> io::Result<Vec<QloveAnswer>> {
+    run_remote_operator_with_policy(config, conn, values, &RecoveryPolicy::disabled())
+}
+
+/// [`run_remote_operator`] with hang *detection* (not recovery).
+///
+/// A remote operator holds the full window state, which the ingest side
+/// deliberately does not mirror — so a dead operator cannot be rebuilt
+/// by replay and recovery is impossible by design. What `policy` adds
+/// here is detection: with a heartbeat deadline set, a crashed or
+/// frozen operator turns into a prompt `TimedOut`/`BrokenPipe` error
+/// instead of blocking the caller forever. `max_restarts`, `backoff`,
+/// and the respawn machinery do not apply.
+pub fn run_remote_operator_with_policy(
+    config: &QloveConfig,
+    conn: Conn,
+    values: &[u64],
+    policy: &RecoveryPolicy,
+) -> io::Result<Vec<QloveAnswer>> {
+    policy.arm(&conn)?;
     let breaker = conn.try_clone()?;
-    let (mut reader, mut writer) = handshake(conn, config, WorkerMode::Operator)?;
+    let (mut reader, writer) = handshake(conn, config, WorkerMode::Operator)?;
+    // The feeder and the collector's heartbeat probes share the write
+    // half; the mutex is uncontended except while a probe is in flight.
+    let writer = Mutex::new(writer);
     thread::scope(|scope| -> io::Result<Vec<QloveAnswer>> {
-        let feeder = scope.spawn(move || -> io::Result<()> {
+        let feeder = scope.spawn(|| -> io::Result<()> {
             for chunk in values.chunks(BATCH) {
+                let mut writer = writer.lock().expect("writer lock poisoned");
                 writer.write_frame(&Frame::EventBatch(chunk.to_vec()))?;
             }
+            let mut writer = writer.lock().expect("writer lock poisoned");
             writer.write_frame(&Frame::Shutdown)?;
             writer.flush()?;
             Ok(())
         });
         let mut answers = Vec::new();
+        let mut probed = false;
         let collected = loop {
             match reader.read_frame() {
                 Ok(Frame::Answer { boundary, answer }) => {
+                    probed = false;
                     if boundary != answers.len() as u64 {
                         break Err(protocol(format!(
                             "answer {boundary} out of order (expected {})",
@@ -252,17 +830,102 @@ pub fn run_remote_operator(
                     }
                     answers.push(answer);
                 }
+                Ok(Frame::Heartbeat) => probed = false,
                 Ok(Frame::Shutdown) => break Ok(()),
                 Ok(other) => break Err(protocol(format!("unexpected frame {other:?}"))),
+                Err(e) if is_timeout(&e) && !probed => {
+                    let mut writer = writer.lock().expect("writer lock poisoned");
+                    let sent = writer
+                        .write_frame(&Frame::Heartbeat)
+                        .and_then(|()| writer.flush());
+                    drop(writer);
+                    if let Err(probe_err) = sent {
+                        break Err(probe_err);
+                    }
+                    probed = true;
+                }
+                Err(e) if is_timeout(&e) => {
+                    break Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "remote operator stalled: no answer or heartbeat echo through two read deadlines",
+                    ));
+                }
                 Err(e) => break Err(e),
             }
         };
         if collected.is_err() {
             let _ = breaker.shutdown();
         }
-        let fed = feeder.join().expect("feeder thread panicked");
+        let fed = join_io(feeder, "feeder");
         collected?;
         fed?;
         Ok(answers)
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_io_structures_panic_payloads() {
+        // String payloads (the common `panic!("{x}")` case), &'static
+        // str payloads, and anything else must all surface as a
+        // TransportError naming the thread -- never re-panic.
+        let err = thread::scope(|scope| {
+            let h = scope.spawn(|| -> io::Result<()> { panic!("{}", "formatted failure") });
+            join_io(h, "dealer").unwrap_err()
+        });
+        let te = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<TransportError>())
+            .expect("structured TransportError");
+        assert_eq!(te.thread, "dealer");
+        assert_eq!(te.panic, "formatted failure");
+        assert_eq!(te.to_string(), "dealer thread panicked: formatted failure");
+
+        let err = thread::scope(|scope| {
+            let h = scope.spawn(|| -> io::Result<()> { panic!("static failure") });
+            join_io(h, "feeder").unwrap_err()
+        });
+        let te = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<TransportError>())
+            .expect("structured TransportError");
+        assert_eq!(te.thread, "feeder");
+        assert_eq!(te.panic, "static failure");
+
+        let err = thread::scope(|scope| {
+            let h = scope.spawn(|| -> io::Result<()> { std::panic::panic_any(42u32) });
+            join_io(h, "merger").unwrap_err()
+        });
+        let te = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<TransportError>())
+            .expect("structured TransportError");
+        assert_eq!(te.panic, "opaque panic payload");
+    }
+
+    #[test]
+    fn join_io_passes_results_through() {
+        let ok = thread::scope(|scope| {
+            let h = scope.spawn(|| -> io::Result<u64> { Ok(7) });
+            join_io(h, "dealer")
+        });
+        assert_eq!(ok.unwrap(), 7);
+        let err = thread::scope(|scope| {
+            let h = scope.spawn(|| -> io::Result<u64> { Err(io::Error::other("boom")) });
+            join_io(h, "dealer").unwrap_err()
+        });
+        assert_eq!(err.to_string(), "boom");
+    }
+
+    #[test]
+    fn disabled_policy_is_the_default_and_inert() {
+        let policy = RecoveryPolicy::default();
+        assert_eq!(policy.max_restarts, 0);
+        assert_eq!(policy.heartbeat, None);
+        assert!(!policy.enabled());
+        assert!(RecoveryPolicy::supervised().enabled());
+    }
 }

@@ -9,8 +9,8 @@
 //! * [`proto`] — the framed QLVT wire protocol: length-prefixed,
 //!   versioned frames carrying the QLVS summary codec plus control
 //!   messages (`Hello`/`Config`, `EventBatch`, `Boundary`,
-//!   `BoundarySummary`, `Answer`, `Shutdown`). Strict decoding:
-//!   malformed input errors, never panics.
+//!   `BoundarySummary`, `Answer`, `Shutdown`, `Heartbeat`, `Restore`).
+//!   Strict decoding: malformed input errors, never panics.
 //! * [`worker`] — the worker runtime: wraps a `QloveShard` (shard mode)
 //!   or a full `Qlove` operator (operator mode) behind a socket,
 //!   ingesting dealt event batches and shipping summaries or answers.
@@ -18,7 +18,10 @@
 //!   collects each boundary's summary group, and merges it through the
 //!   double-buffered core shared with the in-process thread executor
 //!   (`qlove_stream::coordinate_pipelined`) — merging boundary *b*
-//!   overlaps the workers ingesting toward boundary *b+1*.
+//!   overlaps the workers ingesting toward boundary *b+1*. Under a
+//!   [`RecoveryPolicy`], `run_supervised` adds worker supervision:
+//!   heartbeat failure detection, checkpoint restore, and exact replay
+//!   from a bounded per-shard ring of unacknowledged frames.
 //!
 //! [`net`] holds the socket plumbing (endpoints, listeners, duplex
 //! connections over TCP/UDS).
@@ -37,7 +40,10 @@ pub mod net;
 pub mod proto;
 pub mod worker;
 
-pub use coordinator::{run_over_sockets, run_remote_operator, DistributedRun};
+pub use coordinator::{
+    run_over_sockets, run_remote_operator, run_remote_operator_with_policy, run_supervised,
+    DistributedRun, FailureEvent, FailureKind, RecoveryPolicy, TransportError, MAX_RING_BOUNDARIES,
+};
 pub use net::{Conn, Endpoint, Listener};
 pub use proto::{Frame, FrameReader, FrameWriter, Role, WorkerMode, PROTOCOL_VERSION};
 pub use worker::{serve_stream, SessionReport, WorkerServer};
@@ -50,6 +56,7 @@ mod tests {
 
     use super::*;
     use qlove_core::{Qlove, QloveAnswer, QloveConfig};
+    use std::io;
     use std::time::Duration;
 
     fn config() -> QloveConfig {
@@ -61,23 +68,29 @@ mod tests {
         data.iter().filter_map(|&v| op.push_detailed(v)).collect()
     }
 
+    type WorkerJoin = std::thread::JoinHandle<io::Result<SessionReport>>;
+
+    /// Spawn one worker thread on loopback TCP and connect to it. An
+    /// unreachable worker is an error, not a panic.
+    fn tcp_worker() -> io::Result<(Conn, WorkerJoin)> {
+        let server = WorkerServer::bind(&Endpoint::Tcp("127.0.0.1:0".into()))?;
+        let endpoint = server.local_endpoint()?;
+        let join = std::thread::spawn(move || server.serve_one());
+        let conn = Conn::connect_retry(&endpoint, Duration::from_secs(5))?;
+        Ok((conn, join))
+    }
+
     /// Spawn `n` worker threads on loopback TCP, returning connected
     /// conns (in shard order) and the join handles.
-    fn tcp_workers(
-        n: usize,
-    ) -> (
-        Vec<Conn>,
-        Vec<std::thread::JoinHandle<std::io::Result<SessionReport>>>,
-    ) {
+    fn tcp_workers(n: usize) -> io::Result<(Vec<Conn>, Vec<WorkerJoin>)> {
         let mut conns = Vec::new();
         let mut joins = Vec::new();
         for _ in 0..n {
-            let server = WorkerServer::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
-            let endpoint = server.local_endpoint().unwrap();
-            joins.push(std::thread::spawn(move || server.serve_one()));
-            conns.push(Conn::connect_retry(&endpoint, Duration::from_secs(5)).unwrap());
+            let (conn, join) = tcp_worker()?;
+            conns.push(conn);
+            joins.push(join);
         }
-        (conns, joins)
+        Ok((conns, joins))
     }
 
     #[test]
@@ -87,7 +100,7 @@ mod tests {
         let want = sequential(&cfg, &data);
         assert!(!want.is_empty());
         for shards in [1usize, 3] {
-            let (conns, joins) = tcp_workers(shards);
+            let (conns, joins) = tcp_workers(shards).unwrap();
             let mut coordinator = Qlove::new(cfg.clone());
             let run = run_over_sockets(&cfg, &mut coordinator, conns, &data).unwrap();
             assert_eq!(run.answers, want, "{shards} shards");
@@ -107,7 +120,7 @@ mod tests {
         let cfg = config();
         let data: Vec<u64> = (0..9_111u64).map(|i| (i * 7919) % 4_999).collect();
         let want = sequential(&cfg, &data);
-        let (mut conns, joins) = tcp_workers(1);
+        let (mut conns, joins) = tcp_workers(1).unwrap();
         let answers = run_remote_operator(&cfg, conns.pop().unwrap(), &data).unwrap();
         assert_eq!(answers, want);
         let report = joins.into_iter().next().unwrap().join().unwrap().unwrap();
@@ -142,7 +155,7 @@ mod tests {
     #[test]
     fn empty_stream_session_shuts_down_cleanly() {
         let cfg = config();
-        let (conns, joins) = tcp_workers(2);
+        let (conns, joins) = tcp_workers(2).unwrap();
         let mut coordinator = Qlove::new(cfg.clone());
         let run = run_over_sockets(&cfg, &mut coordinator, conns, &[]).unwrap();
         assert!(run.answers.is_empty());
@@ -156,21 +169,21 @@ mod tests {
     }
 
     #[test]
-    fn worker_rejects_garbage_instead_of_panicking() {
+    fn worker_rejects_garbage_instead_of_panicking() -> io::Result<()> {
         use std::io::Write as _;
-        let server = WorkerServer::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
-        let endpoint = server.local_endpoint().unwrap();
+        let server = WorkerServer::bind(&Endpoint::Tcp("127.0.0.1:0".into()))?;
+        let endpoint = server.local_endpoint()?;
         let join = std::thread::spawn(move || server.serve_one());
-        let mut conn = Conn::connect_retry(&endpoint, Duration::from_secs(5)).unwrap();
-        conn.write_all(b"not a frame at all, definitely garbage......")
-            .unwrap();
+        let mut conn = Conn::connect_retry(&endpoint, Duration::from_secs(5))?;
+        conn.write_all(b"not a frame at all, definitely garbage......")?;
         let _ = conn.shutdown();
         // The worker must return an error (not hang, not panic).
         assert!(join.join().unwrap().is_err());
+        Ok(())
     }
 
     #[test]
-    fn coordinator_rejects_protocol_violations() {
+    fn coordinator_rejects_protocol_violations() -> io::Result<()> {
         // A "worker" that replies with the wrong role.
         let server = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
         let endpoint = server.local_endpoint().unwrap();
@@ -189,18 +202,20 @@ mod tests {
             writer.flush().unwrap();
         });
         let cfg = config();
-        let conn = Conn::connect_retry(&endpoint, Duration::from_secs(5)).unwrap();
+        let conn = Conn::connect_retry(&endpoint, Duration::from_secs(5))?;
         let mut coordinator = Qlove::new(cfg.clone());
         let err = run_over_sockets(&cfg, &mut coordinator, vec![conn], &[1, 2, 3]).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         join.join().unwrap();
+        Ok(())
     }
 
     #[test]
-    fn coordinator_survives_worker_death_mid_stream() {
+    fn coordinator_survives_worker_death_mid_stream() -> io::Result<()> {
         // A worker that handshakes, then dies after the first summary:
-        // the coordinator must error out (not hang) and the dealer must
-        // be unblocked by the socket shutdown.
+        // without a recovery policy the coordinator must error out (not
+        // hang) and the dealer must be unblocked by the socket
+        // shutdown.
         let server = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
         let endpoint = server.local_endpoint().unwrap();
         let join = std::thread::spawn(move || {
@@ -237,10 +252,206 @@ mod tests {
         });
         let cfg = config();
         let data: Vec<u64> = vec![1; 20 * cfg.period];
-        let conn = Conn::connect_retry(&endpoint, Duration::from_secs(5)).unwrap();
+        let conn = Conn::connect_retry(&endpoint, Duration::from_secs(5))?;
         let mut coordinator = Qlove::new(cfg.clone());
         let err = run_over_sockets(&cfg, &mut coordinator, vec![conn], &data);
         assert!(err.is_err());
         join.join().unwrap();
+        Ok(())
+    }
+
+    /// Recovery policy used by the supervision tests: fast heartbeats,
+    /// a couple of restarts, generous overall deadline.
+    fn test_policy() -> RecoveryPolicy {
+        RecoveryPolicy {
+            max_restarts: 2,
+            backoff: Duration::from_millis(10),
+            deadline: Duration::from_secs(20),
+            heartbeat: Some(Duration::from_millis(75)),
+        }
+    }
+
+    /// Respawn hook: spawn a fresh real worker thread and connect.
+    /// Join handles accumulate in `joins` so the test can reap them.
+    fn thread_respawn(joins: &mut Vec<WorkerJoin>) -> impl FnMut(usize) -> io::Result<Conn> + '_ {
+        move |_shard| {
+            let (conn, join) = tcp_worker()?;
+            joins.push(join);
+            Ok(conn)
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn supervised_run_recovers_from_worker_crash() -> io::Result<()> {
+        // First worker serves shard 0 honestly -- real QloveShard, real
+        // summaries -- but drops the connection right after answering
+        // boundary 0. The replacement must be restored to boundary 1,
+        // replayed the unacknowledged tail, and the merged answers must
+        // be bit-identical to a sequential run. (A Unix socketpair
+        // keeps this deterministic: buffered frames survive the peer's
+        // close and are followed by a clean EOF, where TCP may reset
+        // and discard them.)
+        use std::os::unix::net::UnixStream;
+        let (ours, theirs) = UnixStream::pair()?;
+        let cfg = config();
+        let worker_cfg = cfg.clone();
+        let dying = std::thread::spawn(move || -> io::Result<()> {
+            let conn = Conn::Unix(theirs);
+            let read_half = conn.try_clone()?;
+            let mut reader = FrameReader::new(std::io::BufReader::new(read_half));
+            let mut writer = FrameWriter::new(conn);
+            reader.read_frame()?; // coordinator hello
+            writer.write_frame(&Frame::Hello {
+                version: PROTOCOL_VERSION,
+                role: Role::Worker,
+            })?;
+            writer.flush()?;
+            reader.read_frame()?; // config
+            let mut shard = qlove_core::QloveShard::new(&worker_cfg);
+            loop {
+                match reader.read_frame()? {
+                    Frame::EventBatch(values) => shard.push_batch(&values),
+                    Frame::Boundary { boundary } => {
+                        writer.write_frame(&Frame::BoundarySummary {
+                            boundary,
+                            summary: shard.take_summary(),
+                        })?;
+                        writer.flush()?;
+                        return Ok(()); // connection drops after boundary 0
+                    }
+                    _ => continue,
+                }
+            }
+        });
+
+        let data: Vec<u64> = (0..10_250u64).map(|i| (i * 2654435761) % 9_973).collect();
+        let want = sequential(&cfg, &data);
+        let mut coordinator = Qlove::new(cfg.clone());
+        let mut joins = Vec::new();
+        let run = run_supervised(
+            &cfg,
+            &mut coordinator,
+            vec![Conn::Unix(ours)],
+            &data,
+            &test_policy(),
+            thread_respawn(&mut joins),
+        )?;
+        assert_eq!(run.answers, want);
+        assert_eq!(run.failures.len(), 1);
+        let failure = run.failures[0];
+        assert_eq!(failure.shard, 0);
+        assert_eq!(failure.boundary, 1);
+        assert_eq!(failure.kind, FailureKind::Crash);
+        assert!(failure.recovered);
+        assert!(failure.replayed_frames > 0);
+        dying.join().unwrap().unwrap();
+        for join in joins {
+            join.join().unwrap()?;
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn supervised_run_recovers_from_stalled_worker() -> io::Result<()> {
+        // A worker that handshakes, then silently swallows every frame
+        // without ever answering -- alive at the socket level, dead at
+        // the protocol level. The heartbeat probe goes unanswered, the
+        // stall is declared, and a real replacement finishes the run.
+        let server = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".into()))?;
+        let endpoint = server.local_endpoint()?;
+        let frozen = std::thread::spawn(move || -> io::Result<()> {
+            let conn = server.accept()?;
+            let read_half = conn.try_clone()?;
+            let mut reader = FrameReader::new(std::io::BufReader::new(read_half));
+            let mut writer = FrameWriter::new(conn);
+            reader.read_frame()?; // coordinator hello
+            writer.write_frame(&Frame::Hello {
+                version: PROTOCOL_VERSION,
+                role: Role::Worker,
+            })?;
+            writer.flush()?;
+            // Swallow frames (config included) until the coordinator
+            // severs the socket during recovery.
+            while reader.read_frame().is_ok() {}
+            Ok(())
+        });
+
+        let cfg = config();
+        let data: Vec<u64> = (0..6_000u64).map(|i| (i * 7919) % 4_999).collect();
+        let want = sequential(&cfg, &data);
+        let conn = Conn::connect_retry(&endpoint, Duration::from_secs(5))?;
+        let mut coordinator = Qlove::new(cfg.clone());
+        let mut joins = Vec::new();
+        let run = run_supervised(
+            &cfg,
+            &mut coordinator,
+            vec![conn],
+            &data,
+            &test_policy(),
+            thread_respawn(&mut joins),
+        )?;
+        assert_eq!(run.answers, want);
+        assert_eq!(run.failures.len(), 1);
+        let failure = run.failures[0];
+        assert_eq!(failure.kind, FailureKind::Stall);
+        assert_eq!(failure.boundary, 0);
+        assert!(failure.recovered);
+        frozen.join().unwrap().unwrap();
+        for join in joins {
+            join.join().unwrap()?;
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn supervision_gives_up_after_restart_budget() -> io::Result<()> {
+        // Every respawn hands back a worker that stalls immediately:
+        // after `max_restarts` attempts the run must fail with an error
+        // instead of looping, and the failure log must show the budget
+        // exhausted without recovery.
+        fn stalled_worker() -> io::Result<(Conn, std::thread::JoinHandle<()>)> {
+            let server = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".into()))?;
+            let endpoint = server.local_endpoint()?;
+            let join = std::thread::spawn(move || {
+                let Ok(conn) = server.accept() else { return };
+                let Ok(read_half) = conn.try_clone() else {
+                    return;
+                };
+                let mut reader = FrameReader::new(std::io::BufReader::new(read_half));
+                let mut writer = FrameWriter::new(conn);
+                let _ = reader.read_frame();
+                let _ = writer.write_frame(&Frame::Hello {
+                    version: PROTOCOL_VERSION,
+                    role: Role::Worker,
+                });
+                let _ = writer.flush();
+                while reader.read_frame().is_ok() {}
+            });
+            let conn = Conn::connect_retry(&endpoint, Duration::from_secs(5))?;
+            Ok((conn, join))
+        }
+
+        let cfg = config();
+        let data: Vec<u64> = (0..3_000u64).collect();
+        let (conn, first) = stalled_worker()?;
+        let mut joins = vec![first];
+        let policy = RecoveryPolicy {
+            max_restarts: 2,
+            backoff: Duration::from_millis(5),
+            deadline: Duration::from_secs(20),
+            heartbeat: Some(Duration::from_millis(50)),
+        };
+        let mut coordinator = Qlove::new(cfg.clone());
+        let result = run_supervised(&cfg, &mut coordinator, vec![conn], &data, &policy, |_s| {
+            let (conn, join) = stalled_worker()?;
+            joins.push(join);
+            Ok(conn)
+        });
+        assert!(result.is_err());
+        for join in joins {
+            join.join().unwrap();
+        }
+        Ok(())
     }
 }

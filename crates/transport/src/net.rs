@@ -198,6 +198,34 @@ impl Conn {
         }
     }
 
+    /// Set a deadline on blocking reads: a read that makes no progress
+    /// for `timeout` returns `WouldBlock`/`TimedOut` instead of
+    /// blocking forever. `None` restores indefinite blocking.
+    ///
+    /// The deadline is a property of the underlying socket, so it is
+    /// shared with every [`Conn::try_clone`] handle — the coordinator
+    /// relies on this to bound both the collector's summary reads and
+    /// the dealer's writes with one setup call per worker.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(timeout),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// Set a deadline on blocking writes, mirroring
+    /// [`Conn::set_read_timeout`]: a write stalled on a full socket
+    /// buffer (the signature of a frozen peer) errors after `timeout`
+    /// instead of wedging the writer thread.
+    pub fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_write_timeout(timeout),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_write_timeout(timeout),
+        }
+    }
+
     /// Shut down both directions — unblocks any thread blocked on this
     /// socket (the coordinator's error path uses this to free a dealer
     /// stuck writing to a wedged worker).
@@ -284,6 +312,28 @@ mod tests {
         assert!(!addr.ends_with(":0"), "port 0 must resolve, got {addr}");
         // And the resolved endpoint is connectable.
         let _conn = Conn::connect(&ep).unwrap();
+    }
+
+    #[test]
+    fn read_timeout_unblocks_a_silent_peer() {
+        let listener = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        let ep = listener.local_endpoint().unwrap();
+        let mut conn = Conn::connect(&ep).unwrap();
+        let _peer = listener.accept().unwrap(); // never writes
+        conn.set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let start = Instant::now();
+        let err = conn.read(&mut [0u8; 8]).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "expected a timeout kind, got {err:?}"
+        );
+        assert!(start.elapsed() < Duration::from_secs(5), "must not block");
+        // Clearing the deadline restores a usable connection.
+        conn.set_read_timeout(None).unwrap();
     }
 
     #[cfg(unix)]

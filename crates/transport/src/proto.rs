@@ -19,6 +19,8 @@
 //! | 5    | `BoundarySummary` | varint boundary index, then one QLVS frame       |
 //! | 6    | `Answer`          | varint eval index, then an encoded `QloveAnswer` |
 //! | 7    | `Shutdown`        | empty                                            |
+//! | 8    | `Heartbeat`       | empty                                            |
+//! | 9    | `Restore`         | varint boundary index, then one QLVS checkpoint  |
 //!
 //! ## Decode contract
 //!
@@ -118,6 +120,33 @@ pub enum Frame {
     /// exhausted; the worker acknowledges with its own `Shutdown` and
     /// exits.
     Shutdown,
+    /// Liveness probe, either direction. A worker that receives one
+    /// echoes a `Heartbeat` of its own immediately — the coordinator's
+    /// failure detector counts any frame as progress, so an echo
+    /// arriving within the probe deadline proves the worker's event
+    /// loop is alive even when no summaries are due.
+    Heartbeat,
+    /// Coordinator → worker (shard mode): resume a recovered shard.
+    /// Legal only as the first frame after `Config`: the worker sets
+    /// its boundary counter to `boundary` (the next boundary it should
+    /// expect) and merges `checkpoint` into its fresh store as
+    /// mid-sub-window state. The coordinator then replays the
+    /// unacknowledged tail of dealt frames, which rebuilds the rest of
+    /// the shard's state exactly (multiset accumulation is
+    /// order-insensitive), so recovered answers stay bit-identical.
+    ///
+    /// With boundary-grained acknowledgement the checkpoint at the last
+    /// acked boundary is the empty multiset (shard state resets at
+    /// every `take_summary`); the field exists — and the worker honors
+    /// arbitrary checkpoints — so finer-grained checkpointing (e.g.
+    /// live resharding) can restore mid-sub-window state over the same
+    /// frame.
+    Restore {
+        /// Next boundary index the recovered worker should expect.
+        boundary: u64,
+        /// Mid-sub-window state to merge into the fresh shard, as QLVS.
+        checkpoint: QloveSummary,
+    },
 }
 
 impl Frame {
@@ -130,6 +159,8 @@ impl Frame {
             Frame::BoundarySummary { .. } => 5,
             Frame::Answer { .. } => 6,
             Frame::Shutdown => 7,
+            Frame::Heartbeat => 8,
+            Frame::Restore { .. } => 9,
         }
     }
 }
@@ -437,6 +468,14 @@ fn encode_payload(buf: &mut Vec<u8>, frame: &Frame) {
             encode_answer(buf, answer);
         }
         Frame::Shutdown => {}
+        Frame::Heartbeat => {}
+        Frame::Restore {
+            boundary,
+            checkpoint,
+        } => {
+            write_uvarint(buf, *boundary);
+            qlove_wire::encode_summary(checkpoint.counts(), buf);
+        }
     }
 }
 
@@ -495,6 +534,16 @@ pub fn decode_frame(frame_type: u8, mut payload: &[u8]) -> io::Result<Frame> {
             Frame::Answer { boundary, answer }
         }
         7 => Frame::Shutdown,
+        8 => Frame::Heartbeat,
+        9 => {
+            let boundary = read_varint(data, "restore boundary index")?;
+            let checkpoint = QloveSummary::from_bytes(data)?;
+            *data = &[];
+            Frame::Restore {
+                boundary,
+                checkpoint,
+            }
+        }
         other => return Err(bad(format!("unknown frame type {other}"))),
     };
     if !data.is_empty() {
@@ -548,10 +597,21 @@ impl<W: Write> FrameWriter<W> {
 }
 
 /// Reads frames from a byte source with strict validation.
+///
+/// The reader is **resumable across read timeouts**: when the source
+/// returns `WouldBlock`/`TimedOut` (a socket with a read deadline set),
+/// partial header/payload progress is kept and the next call continues
+/// exactly where the timed-out one stopped — the coordinator's
+/// heartbeat probing depends on being able to time out mid-frame
+/// without desynchronizing the stream.
 #[derive(Debug)]
 pub struct FrameReader<R> {
     inner: R,
     buf: Vec<u8>,
+    /// Partial-frame progress, kept across timed-out reads.
+    header: [u8; 5],
+    header_filled: usize,
+    payload_filled: usize,
 }
 
 impl<R: Read> FrameReader<R> {
@@ -561,6 +621,9 @@ impl<R: Read> FrameReader<R> {
         Self {
             inner,
             buf: Vec::new(),
+            header: [0u8; 5],
+            header_filled: 0,
+            payload_filled: 0,
         }
     }
 
@@ -574,31 +637,48 @@ impl<R: Read> FrameReader<R> {
 
     /// Read the next frame, or `None` if the source is cleanly at EOF
     /// (closed exactly on a frame boundary). EOF *inside* a frame is
-    /// still an error.
+    /// still an error. A `WouldBlock`/`TimedOut` error from the source
+    /// is returned as-is and leaves the reader resumable (see the type
+    /// docs); every other error abandons the stream.
     pub fn try_read_frame(&mut self) -> io::Result<Option<Frame>> {
-        let mut header = [0u8; 5];
-        let mut filled = 0usize;
-        while filled < header.len() {
-            match self.inner.read(&mut header[filled..]) {
-                Ok(0) if filled == 0 => return Ok(None),
+        while self.header_filled < self.header.len() {
+            match self.inner.read(&mut self.header[self.header_filled..]) {
+                Ok(0) if self.header_filled == 0 => return Ok(None),
                 Ok(0) => {
                     return Err(io::Error::new(
                         io::ErrorKind::UnexpectedEof,
                         "truncated frame header",
                     ))
                 }
-                Ok(n) => filled += n,
+                Ok(n) => self.header_filled += n,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
             }
         }
-        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+        let len = u32::from_le_bytes(self.header[..4].try_into().expect("4 bytes")) as usize;
         if len > MAX_FRAME_LEN {
             return Err(bad(format!("frame length {len} exceeds cap")));
         }
+        // On first entry for this frame `payload_filled` is 0 and this
+        // sizes the buffer; on re-entry after a timeout the length is
+        // unchanged, the resize is a no-op, and filling resumes.
         self.buf.resize(len, 0);
-        self.inner.read_exact(&mut self.buf)?;
-        decode_frame(header[4], &self.buf).map(Some)
+        while self.payload_filled < len {
+            match self.inner.read(&mut self.buf[self.payload_filled..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "truncated frame payload",
+                    ))
+                }
+                Ok(n) => self.payload_filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.header_filled = 0;
+        self.payload_filled = 0;
+        decode_frame(self.header[4], &self.buf).map(Some)
     }
 }
 
@@ -681,6 +761,15 @@ mod tests {
                 answer: sample_answer(),
             },
             Frame::Shutdown,
+            Frame::Heartbeat,
+            Frame::Restore {
+                boundary: 0,
+                checkpoint: QloveSummary::from_counts(vec![]).unwrap(),
+            },
+            Frame::Restore {
+                boundary: u64::MAX,
+                checkpoint: QloveSummary::from_counts(vec![(3, 2), (9, 1), (u64::MAX, 4)]).unwrap(),
+            },
         ];
         for frame in &frames {
             assert_eq!(&roundtrip(frame), frame, "{frame:?}");
@@ -803,7 +892,7 @@ mod tests {
     fn rejects_structural_corruption() {
         // Unknown frame type.
         assert!(decode_frame(0, &[]).is_err());
-        assert!(decode_frame(8, &[]).is_err());
+        assert!(decode_frame(10, &[]).is_err());
         assert!(decode_frame(255, &[1, 2, 3]).is_err());
         // Bad hello: wrong magic, wrong length, unknown role.
         assert!(decode_frame(1, b"NOPE\x01\x00").is_err());
@@ -835,33 +924,67 @@ mod tests {
         assert!(decode_frame(6, &payload).is_err());
         // Shutdown with a payload.
         assert!(decode_frame(7, &[0]).is_err());
+        // Heartbeat with a payload.
+        assert!(decode_frame(8, &[0]).is_err());
+        // Restore: truncated boundary varint, corrupt QLVS checkpoint,
+        // and trailing bytes after a valid checkpoint.
+        assert!(decode_frame(9, &[]).is_err());
+        assert!(decode_frame(9, &[0x80]).is_err());
+        let mut payload = Vec::new();
+        write_uvarint(&mut payload, 3);
+        payload.extend_from_slice(b"QLVX");
+        assert!(decode_frame(9, &payload).is_err());
+        let mut payload = Vec::new();
+        write_uvarint(&mut payload, 3);
+        qlove_wire::encode_summary(&[(1, 2)], &mut payload);
+        assert!(decode_frame(9, &payload).is_ok());
+        payload.push(0);
+        assert!(decode_frame(9, &payload).is_err());
+        // A restore checkpoint claiming far more pairs than the payload
+        // holds must be rejected before any allocation (the QLVS
+        // decoder's count-vs-bytes check, reached through frame 9).
+        let mut payload = Vec::new();
+        write_uvarint(&mut payload, 0);
+        let mut qlvs = Vec::new();
+        qlove_wire::encode_summary(&[(1, 1)], &mut qlvs);
+        // Blow up the declared pair count (varint right after the QLVS
+        // magic + version header) while keeping the payload tiny.
+        let header = 5;
+        qlvs.truncate(header);
+        write_uvarint(&mut qlvs, u64::MAX);
+        payload.extend_from_slice(&qlvs);
+        assert!(decode_frame(9, &payload).is_err());
     }
 
     #[test]
     fn reader_rejects_truncation_everywhere() {
-        let mut bytes = Vec::new();
-        let mut writer = FrameWriter::new(&mut bytes);
-        writer
-            .write_frame(&Frame::Config {
+        // Any cut that is not exactly a frame boundary must error; a
+        // cut on a boundary yields the preceding frames then clean EOF.
+        let frames = [
+            Frame::Config {
                 config: sample_config(),
                 mode: WorkerMode::Shard,
-            })
-            .unwrap();
-        writer
-            .write_frame(&Frame::EventBatch(vec![1, 2, 3]))
-            .unwrap();
-        // Any cut that is not exactly a frame boundary must error; a
-        // cut on the boundary yields the first frame then clean EOF.
-        let first_frame_len = {
+            },
+            Frame::Restore {
+                boundary: 7,
+                checkpoint: QloveSummary::from_counts(vec![(1, 2), (300, 1)]).unwrap(),
+            },
+            Frame::EventBatch(vec![1, 2, 3]),
+            Frame::Heartbeat,
+        ];
+        let mut bytes = Vec::new();
+        let mut clean_cuts = vec![0usize];
+        {
+            let mut writer = FrameWriter::new(&mut bytes);
+            for frame in &frames {
+                writer.write_frame(frame).unwrap();
+            }
+        }
+        for frame in &frames {
             let mut only = Vec::new();
-            FrameWriter::new(&mut only)
-                .write_frame(&Frame::Config {
-                    config: sample_config(),
-                    mode: WorkerMode::Shard,
-                })
-                .unwrap();
-            only.len()
-        };
+            FrameWriter::new(&mut only).write_frame(frame).unwrap();
+            clean_cuts.push(clean_cuts.last().unwrap() + only.len());
+        }
         for cut in 1..bytes.len() {
             let mut reader = FrameReader::new(&bytes[..cut]);
             let mut result = Ok(());
@@ -875,12 +998,70 @@ mod tests {
                     }
                 }
             }
-            if cut == first_frame_len {
+            if clean_cuts.contains(&cut) {
                 assert!(result.is_ok(), "cut on frame boundary is clean EOF");
             } else {
                 assert!(result.is_err(), "cut at {cut} should fail");
             }
         }
+    }
+
+    /// A source that interleaves `WouldBlock` timeouts between every
+    /// delivered byte — the worst case a socket read deadline can
+    /// produce. The reader must resume mid-frame and still decode the
+    /// stream exactly.
+    #[test]
+    fn reader_resumes_across_read_timeouts() {
+        struct Choppy<'a> {
+            data: &'a [u8],
+            pos: usize,
+            deliver_next: bool,
+        }
+        impl io::Read for Choppy<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.pos == self.data.len() {
+                    return Ok(0);
+                }
+                if !self.deliver_next {
+                    self.deliver_next = true;
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "deadline"));
+                }
+                self.deliver_next = false;
+                buf[0] = self.data[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        let frames = [
+            Frame::Heartbeat,
+            Frame::BoundarySummary {
+                boundary: 5,
+                summary: QloveSummary::from_counts(vec![(2, 9), (40, 1)]).unwrap(),
+            },
+            Frame::Shutdown,
+        ];
+        let mut bytes = Vec::new();
+        {
+            let mut writer = FrameWriter::new(&mut bytes);
+            for frame in &frames {
+                writer.write_frame(frame).unwrap();
+            }
+        }
+        let mut reader = FrameReader::new(Choppy {
+            data: &bytes,
+            pos: 0,
+            deliver_next: false,
+        });
+        let mut got = Vec::new();
+        loop {
+            match reader.try_read_frame() {
+                Ok(Some(frame)) => got.push(frame),
+                Ok(None) => break,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(got, frames);
     }
 
     #[test]
@@ -910,7 +1091,7 @@ mod tests {
             // Streamed: random header + noise payload.
             let mut stream = Vec::with_capacity(len + 5);
             stream.extend_from_slice(&(len as u32).to_le_bytes());
-            stream.push(next() % 9);
+            stream.push(next() % 11);
             stream.extend_from_slice(&noise);
             let mut reader = FrameReader::new(stream.as_slice());
             while let Ok(Some(_)) = reader.try_read_frame() {}

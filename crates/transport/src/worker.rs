@@ -95,13 +95,19 @@ fn serve_shard<R: io::Read, W: io::Write>(
     let mut shard = QloveShard::new(config);
     let mut boundaries = 0u64;
     let mut events = 0u64;
+    // A `Restore` is legal only before any stream traffic: recovery
+    // sessions send it immediately after `Config`, and accepting one
+    // mid-stream would let a buggy coordinator corrupt shard state.
+    let mut virgin = true;
     loop {
         match reader.read_frame()? {
             Frame::EventBatch(values) => {
+                virgin = false;
                 events += values.len() as u64;
                 shard.push_batch(&values);
             }
             Frame::Boundary { boundary } => {
+                virgin = false;
                 if boundary != boundaries {
                     return Err(protocol(format!(
                         "boundary {boundary} out of order (expected {boundaries})"
@@ -113,6 +119,23 @@ fn serve_shard<R: io::Read, W: io::Write>(
                 })?;
                 writer.flush()?;
                 boundaries += 1;
+            }
+            Frame::Heartbeat => {
+                writer.write_frame(&Frame::Heartbeat)?;
+                writer.flush()?;
+            }
+            Frame::Restore {
+                boundary,
+                checkpoint,
+            } => {
+                if !virgin {
+                    return Err(protocol(format!(
+                        "restore to boundary {boundary} after session traffic"
+                    )));
+                }
+                virgin = false;
+                boundaries = boundary;
+                shard.restore(&checkpoint);
             }
             Frame::Shutdown => {
                 writer.write_frame(&Frame::Shutdown)?;
@@ -157,6 +180,10 @@ fn serve_operator<R: io::Read, W: io::Write>(
                 if !answers.is_empty() {
                     writer.flush()?;
                 }
+            }
+            Frame::Heartbeat => {
+                writer.write_frame(&Frame::Heartbeat)?;
+                writer.flush()?;
             }
             Frame::Shutdown => {
                 writer.write_frame(&Frame::Shutdown)?;

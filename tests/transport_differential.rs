@@ -17,7 +17,10 @@
 
 use qlove::core::{AnswerSource, Backend, FewKConfig, Qlove, QloveAnswer, QloveConfig};
 use qlove::stream::parallel::BATCH;
-use qlove::transport::{run_over_sockets, run_remote_operator, Conn, Endpoint, WorkerServer};
+use qlove::transport::{
+    run_over_sockets, run_remote_operator, run_supervised, Conn, Endpoint, FailureEvent,
+    FailureKind, RecoveryPolicy, WorkerServer,
+};
 use qlove::workloads::NormalGen;
 use std::io::{BufRead, BufReader, Write};
 use std::process::{Child, Command, Stdio};
@@ -119,6 +122,14 @@ impl WorkerProc {
 
     fn connect(&self) -> Conn {
         Conn::connect_retry(&self.endpoint, Duration::from_secs(10)).expect("connect to worker")
+    }
+
+    /// Send an arbitrary signal to the child (`"KILL"`, `"STOP"`, ...)
+    /// via the system `kill` — std only speaks SIGKILL itself.
+    fn signal(&self, sig: &str) {
+        let _ = Command::new("kill")
+            .args([&format!("-{sig}"), &self.child.id().to_string()])
+            .status();
     }
 
     /// Wait for the child to exit cleanly and return its outcome line
@@ -278,6 +289,154 @@ fn worker_process_rejects_garbage_without_hanging() {
         outcome.starts_with(ERROR_PREFIX),
         "expected a decode error, got: {outcome}"
     );
+}
+
+// ---- chaos differentials --------------------------------------------------
+
+/// Stream length for the chaos runs: big enough that a signal a few
+/// milliseconds in reliably lands mid-stream, small enough for CI.
+const CHAOS_N: usize = 1_000_000;
+
+fn chaos_policy() -> RecoveryPolicy {
+    RecoveryPolicy {
+        max_restarts: 5,
+        backoff: Duration::from_millis(20),
+        deadline: Duration::from_secs(30),
+        heartbeat: Some(Duration::from_millis(250)),
+    }
+}
+
+/// A randomized-but-bounded delay, reseeded from the clock per call so
+/// repeated CI runs sample different kill points.
+fn jitter_ms(lo: u64, hi: u64) -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after epoch")
+        .subsec_nanos() as u64;
+    lo + nanos % (hi - lo + 1)
+}
+
+/// One supervised run over two real worker child processes where a
+/// saboteur thread signals shard 0's child `delay_ms` in. Asserts the
+/// answers are bit-identical to sequential no matter where the signal
+/// landed, and that every detected failure recovered; returns the
+/// failure log so callers can assert on what was (or wasn't) detected.
+fn chaos_run(
+    backend: Backend,
+    family: &str,
+    tag: &str,
+    sig: &str,
+    delay_ms: u64,
+) -> Vec<FailureEvent> {
+    let cfg = config_for(backend);
+    let data = NormalGen::generate(21, CHAOS_N);
+    let (want, single) = sequential_qlove(&cfg, &data);
+    let mut fleet = spawn_fleet(&endpoint_specs(2, family, tag));
+    let conns: Vec<Conn> = fleet.iter().map(WorkerProc::connect).collect();
+    let victim = fleet.remove(0);
+
+    let sabotage_sig = sig.to_string();
+    let saboteur = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(delay_ms));
+        victim.signal(&sabotage_sig);
+        victim // keep the handle alive; the caller reaps it
+    });
+
+    let mut respawned: Vec<WorkerProc> = Vec::new();
+    let mut counter = 0usize;
+    let family_owned = family.to_string();
+    let tag_owned = tag.to_string();
+    let mut coordinator = Qlove::new(cfg.clone());
+    let result = run_supervised(
+        &cfg,
+        &mut coordinator,
+        conns,
+        &data,
+        &chaos_policy(),
+        |_shard| {
+            counter += 1;
+            let spec = endpoint_specs(1, &family_owned, &format!("{tag_owned}-r{counter}"))
+                .pop()
+                .expect("one spec");
+            let replacement = WorkerProc::spawn(&spec);
+            let conn = replacement.connect();
+            respawned.push(replacement);
+            Ok(conn)
+        },
+    );
+    // Reap the signalled child (kill+wait in Drop handles every state,
+    // stopped processes included) before judging the run.
+    drop(saboteur.join().expect("saboteur thread"));
+    let run = result.expect("supervised run must survive the chaos");
+    assert_eq!(run.answers, want, "{backend:?} {family} sig {sig}");
+    assert_eq!(
+        coordinator.pending(),
+        single.pending(),
+        "{backend:?} {family} sig {sig}: trailing partial sub-window"
+    );
+    for event in &run.failures {
+        assert!(
+            event.recovered,
+            "{backend:?} {family} sig {sig}: unrecovered {event:?}"
+        );
+    }
+    // Survivors and replacements are dropped (killed+reaped) here; a
+    // spurious stall verdict may have severed any of them mid-session,
+    // so their exit status is deliberately not asserted.
+    run.failures
+}
+
+#[test]
+fn chaos_kill9_mid_stream_recovers_bit_identically() {
+    // The acceptance matrix: both socket families x both Level-1
+    // backends, SIGKILL at a randomized point. The retry loop guards
+    // against the rare run that finishes before the signal lands — the
+    // bit-identity assert inside chaos_run holds on every attempt.
+    for (backend, family) in [
+        (Backend::Tree, "uds"),
+        (Backend::Dense, "uds"),
+        (Backend::Tree, "tcp"),
+        (Backend::Dense, "tcp"),
+    ] {
+        let mut delay = jitter_ms(3, 15);
+        let mut hit = false;
+        for attempt in 0..3 {
+            let tag = format!("k9-{backend:?}-{attempt}").to_lowercase();
+            if !chaos_run(backend, family, &tag, "KILL", delay).is_empty() {
+                hit = true;
+                break;
+            }
+            delay = (delay / 2).max(1);
+        }
+        assert!(
+            hit,
+            "{backend:?} {family}: kill -9 never landed mid-stream in 3 attempts"
+        );
+    }
+}
+
+#[test]
+fn chaos_sigstop_hung_worker_is_detected_and_recovered() {
+    // A stopped child keeps its sockets open, so only the heartbeat
+    // deadline can unmask it: the failure must surface as a stall (not
+    // a crash) and recovery must still end bit-identically.
+    for (backend, family) in [(Backend::Tree, "uds"), (Backend::Dense, "tcp")] {
+        let mut delay = jitter_ms(3, 15);
+        let mut stalled = false;
+        for attempt in 0..3 {
+            let tag = format!("stop-{backend:?}-{attempt}").to_lowercase();
+            let failures = chaos_run(backend, family, &tag, "STOP", delay);
+            if failures.iter().any(|f| f.kind == FailureKind::Stall) {
+                stalled = true;
+                break;
+            }
+            delay = (delay / 2).max(1);
+        }
+        assert!(
+            stalled,
+            "{backend:?} {family}: SIGSTOP never surfaced as a stall in 3 attempts"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,347 @@
+//! Deterministic recovery differentials for the supervised socket
+//! runtime: a frame-counting proxy sits between the coordinator and a
+//! real in-process worker and severs both connections after exactly N
+//! coordinator→worker frames — so worker "crashes" can be injected at
+//! **every position** of a small stream, not just wherever a signal
+//! happens to land. The oracle is the standing invariant: whatever the
+//! cut position, the supervised run must produce answers bit-identical
+//! to a sequential single-instance run.
+//!
+//! Covered edge shapes (per ISSUE 6): failure on the first/last frame
+//! of a boundary, failure mid-boundary with multiple `EventBatch`
+//! frames in flight, failure during the final partial sub-window, a
+//! zero-length replay tail (death between the last acknowledgement and
+//! the shutdown ack), and two back-to-back failures of the same shard.
+//! The cross-*process* chaos differential (real `kill -9`, `SIGSTOP`)
+//! lives in `tests/transport_differential.rs`.
+#![cfg(unix)]
+
+use proptest::prelude::*;
+use qlove::core::{Backend, FewKConfig, Qlove, QloveAnswer, QloveConfig};
+use qlove::stream::parallel::BATCH;
+use qlove::transport::{
+    run_supervised, serve_stream, Conn, DistributedRun, FailureKind, RecoveryPolicy, SessionReport,
+};
+use std::io::{self, Read, Write};
+use std::net::Shutdown;
+use std::os::unix::net::UnixStream;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn config_for(backend: Backend, window: usize, period: usize) -> QloveConfig {
+    QloveConfig::new(&[0.5, 0.9], window, period)
+        .fewk(Some(FewKConfig::with_fractions(0.5, 0.0)))
+        .backend(backend)
+}
+
+fn sequential(cfg: &QloveConfig, data: &[u64]) -> (Vec<QloveAnswer>, Qlove) {
+    let mut op = Qlove::new(cfg.clone());
+    let answers = data.iter().filter_map(|&v| op.push_detailed(v)).collect();
+    (answers, op)
+}
+
+/// A quick deterministic value stream (quantized, like telemetry).
+fn stream(seed: u64, n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| (i.wrapping_mul(2654435761).wrapping_add(seed * 7919)) % 997)
+        .collect()
+}
+
+/// Threads backing one (possibly proxied) worker; joined after the run
+/// so tests never leak. Session/pump errors on a deliberately severed
+/// connection are expected and ignored.
+enum WorkerHandle {
+    Direct(JoinHandle<io::Result<SessionReport>>),
+    Proxied(Vec<JoinHandle<()>>),
+}
+
+impl WorkerHandle {
+    fn join(self, severed: bool) {
+        match self {
+            WorkerHandle::Direct(h) => {
+                let report = h.join().expect("worker thread panicked");
+                if !severed {
+                    report.expect("direct worker session failed");
+                }
+            }
+            WorkerHandle::Proxied(hs) => {
+                for h in hs {
+                    h.join().expect("proxy thread panicked");
+                }
+            }
+        }
+    }
+}
+
+/// A real in-process worker on a Unix socketpair, no proxy.
+fn direct_worker() -> io::Result<(Conn, WorkerHandle)> {
+    let (ours, theirs) = UnixStream::pair()?;
+    let join = std::thread::spawn(move || serve_stream(Conn::Unix(theirs)));
+    Ok((Conn::Unix(ours), WorkerHandle::Direct(join)))
+}
+
+/// Number of handshake frames (hello + config) the coordinator sends
+/// before stream traffic; the proxy always lets these through so a cut
+/// is a *worker* failure, never a failed connection attempt.
+const HANDSHAKE_FRAMES: usize = 2;
+
+/// A real in-process worker behind a frame-counting proxy that severs
+/// both connections after `cut_after` post-handshake
+/// coordinator→worker frames (`None` = never).
+fn proxied_worker(cut_after: Option<usize>) -> io::Result<(Conn, WorkerHandle)> {
+    let (coord_side, proxy_coord) = UnixStream::pair()?;
+    let (proxy_work, worker_side) = UnixStream::pair()?;
+
+    let worker = std::thread::spawn(move || {
+        // A severed session errors by design; the differential assert
+        // is on the coordinator side.
+        let _ = serve_stream(Conn::Unix(worker_side));
+    });
+
+    // worker→coordinator: dumb byte pump.
+    let mut pump_read = proxy_work.try_clone()?;
+    let mut pump_write = proxy_coord.try_clone()?;
+    let pump = std::thread::spawn(move || {
+        let mut buf = [0u8; 8192];
+        loop {
+            match pump_read.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    if pump_write.write_all(&buf[..n]).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        let _ = pump_write.shutdown(Shutdown::Both);
+    });
+
+    // coordinator→worker: frame-by-frame forwarder with the cut. QLVT
+    // framing: 4-byte LE payload length + 1 type byte + payload.
+    let mut chop_read = proxy_coord;
+    let mut chop_write = proxy_work;
+    let allowed = cut_after.map(|c| c + HANDSHAKE_FRAMES);
+    let chopper = std::thread::spawn(move || {
+        let mut forwarded = 0usize;
+        let mut header = [0u8; 5];
+        let mut payload = Vec::new();
+        loop {
+            if Some(forwarded) == allowed {
+                // The injected failure: sever both directions of both
+                // sockets, abruptly, exactly here.
+                let _ = chop_read.shutdown(Shutdown::Both);
+                let _ = chop_write.shutdown(Shutdown::Both);
+                break;
+            }
+            if chop_read.read_exact(&mut header).is_err() {
+                let _ = chop_write.shutdown(Shutdown::Both);
+                break;
+            }
+            let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+            payload.resize(len, 0);
+            if chop_read.read_exact(&mut payload).is_err()
+                || chop_write.write_all(&header).is_err()
+                || chop_write.write_all(&payload).is_err()
+            {
+                let _ = chop_write.shutdown(Shutdown::Both);
+                break;
+            }
+            forwarded += 1;
+        }
+    });
+
+    Ok((
+        Conn::Unix(coord_side),
+        WorkerHandle::Proxied(vec![worker, pump, chopper]),
+    ))
+}
+
+fn test_policy(restarts: u32) -> RecoveryPolicy {
+    RecoveryPolicy {
+        max_restarts: restarts,
+        backoff: Duration::from_millis(1),
+        deadline: Duration::from_secs(30),
+        // EOF detection needs no heartbeat, and a deterministic frame
+        // cut needs no probes muddying the frame counts.
+        heartbeat: None,
+    }
+}
+
+/// Run a supervised distributed window where shard 0's workers are cut
+/// after the positions in `cuts` (first cut on the initial worker, the
+/// rest on successive replacements; replacements beyond the list are
+/// uncut). Panics unless the run succeeds; returns it for asserts.
+fn run_with_cuts(cfg: &QloveConfig, data: &[u64], shards: usize, cuts: &[usize]) -> DistributedRun {
+    let mut handles: Vec<(WorkerHandle, bool)> = Vec::new();
+    let mut cut_iter = cuts.iter().copied();
+    let mut conns = Vec::new();
+    for shard in 0..shards {
+        let cut = if shard == 0 { cut_iter.next() } else { None };
+        let (conn, handle, severed) = match cut {
+            Some(cut) => {
+                let (conn, handle) = proxied_worker(Some(cut)).expect("spawn proxied worker");
+                (conn, handle, true)
+            }
+            None => {
+                let (conn, handle) = direct_worker().expect("spawn direct worker");
+                (conn, handle, false)
+            }
+        };
+        conns.push(conn);
+        handles.push((handle, severed));
+    }
+
+    let mut coordinator = Qlove::new(cfg.clone());
+    let run = run_supervised(
+        cfg,
+        &mut coordinator,
+        conns,
+        data,
+        &test_policy(cuts.len() as u32 + 2),
+        |_shard| match cut_iter.next() {
+            Some(cut) => {
+                let (conn, handle) = proxied_worker(Some(cut))?;
+                handles.push((handle, true));
+                Ok(conn)
+            }
+            None => {
+                let (conn, handle) = direct_worker()?;
+                handles.push((handle, false));
+                Ok(conn)
+            }
+        },
+    )
+    .expect("supervised run must recover");
+
+    let (want, single) = sequential(cfg, data);
+    assert_eq!(run.answers, want, "answers must be bit-identical");
+    assert_eq!(
+        coordinator.pending(),
+        single.pending(),
+        "trailing partial sub-window must match"
+    );
+    for event in &run.failures {
+        assert_eq!(event.shard, 0, "only shard 0 is ever cut");
+        assert_eq!(event.kind, FailureKind::Crash);
+        assert!(event.recovered, "every injected failure must recover");
+    }
+    for (handle, severed) in handles {
+        handle.join(severed);
+    }
+    run
+}
+
+// ---- exhaustive sweep ------------------------------------------------------
+
+#[test]
+fn recovery_is_bit_identical_at_every_cut_position() {
+    // Small stream, small period: shard 0 sees one EventBatch + one
+    // Boundary per sub-window plus the final Shutdown, so sweeping the
+    // cut across 2*boundaries+1 frames hits every edge: first/last
+    // frame of a boundary, the final partial sub-window, and the
+    // zero-length replay tail (cut between the last summary ack and
+    // the shutdown ack).
+    let window = 400;
+    let period = 50;
+    let data = stream(3, 430); // 9 boundaries, last one partial
+    let boundaries = data.len().div_ceil(period);
+    for backend in [Backend::Tree, Backend::Dense] {
+        let cfg = config_for(backend, window, period);
+        for cut in 0..=(2 * boundaries + 1) {
+            let run = run_with_cuts(&cfg, &data, 2, &[cut]);
+            assert!(
+                run.failures.len() <= 1,
+                "{backend:?} cut {cut}: one cut, at most one failure"
+            );
+            if cut < 2 * boundaries + 1 {
+                assert_eq!(
+                    run.failures.len(),
+                    1,
+                    "{backend:?} cut {cut}: a cut before the last frame must surface"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn recovery_replays_multi_batch_boundaries() {
+    // period/shards > BATCH: each sub-window reaches shard 0 as
+    // several EventBatch frames, so cuts land *inside* a boundary's
+    // batch train and replay must reconstruct the straddled batches
+    // exactly.
+    let period = BATCH + 500;
+    let window = 2 * period;
+    let data = stream(11, 2 * period + period / 2);
+    let cfg = config_for(Backend::Dense, window, period);
+    for cut in [0, 1, 2, 3, 4, 6] {
+        let run = run_with_cuts(&cfg, &data, 1, &[cut]);
+        assert_eq!(run.failures.len(), 1, "cut {cut}");
+        assert!(run.failures[0].replayed_frames >= 1, "cut {cut}");
+    }
+}
+
+#[test]
+fn same_shard_survives_two_back_to_back_failures() {
+    let cfg = config_for(Backend::Tree, 400, 50);
+    let data = stream(7, 430);
+    // Second cut at 0: the replacement is severed around the Restore
+    // frame — failure during recovery of a failure. Depending on
+    // whether the replay got buffered before the sever, that surfaces
+    // as a second FailureEvent or as a second restart attempt folded
+    // into the first; either way both restarts must be consumed and
+    // the answers must come out identical.
+    for cuts in [[5usize, 0], [3, 3], [8, 2]] {
+        let run = run_with_cuts(&cfg, &data, 2, &cuts);
+        assert!(
+            (1..=2).contains(&run.failures.len()),
+            "cuts {cuts:?}: got {:?}",
+            run.failures
+        );
+        assert_eq!(
+            run.failures.last().unwrap().restarts,
+            2,
+            "cuts {cuts:?}: both cuts must consume a restart"
+        );
+        if let [first, second] = run.failures[..] {
+            assert!(
+                second.boundary >= first.boundary,
+                "cuts {cuts:?}: recovery must never move backwards"
+            );
+        }
+    }
+}
+
+#[test]
+fn uncut_supervised_run_reports_no_failures() {
+    let cfg = config_for(Backend::Dense, 400, 50);
+    let data = stream(5, 430);
+    let run = run_with_cuts(&cfg, &data, 2, &[]);
+    assert!(run.failures.is_empty());
+}
+
+// ---- property sweep --------------------------------------------------------
+
+fn cut_list() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..24, 1..3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn supervised_recovery_matches_sequential(
+        cuts in cut_list(),
+        seed in 0u64..1_000,
+        n in 150usize..600,
+        shards in 1usize..=3,
+        dense in any::<bool>(),
+    ) {
+        let backend = if dense { Backend::Dense } else { Backend::Tree };
+        let cfg = config_for(backend, 400, 50);
+        let data = stream(seed, n);
+        // run_with_cuts asserts bit-identity and recovery internally.
+        let run = run_with_cuts(&cfg, &data, shards, &cuts);
+        prop_assert!(run.failures.len() <= cuts.len());
+    }
+}

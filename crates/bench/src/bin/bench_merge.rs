@@ -48,7 +48,14 @@
 //!   time). Throughput rows are gated by CI; the overlap rows are
 //!   recorded but ungated — overlap needs real parallelism, so on a
 //!   1-CPU runner it sits at ~0 and its run-to-run noise is
-//!   meaningless to gate (see `gate.rs`).
+//!   meaningless to gate (see `gate.rs`);
+//! * the **sessions/process scaling curve** (`sessions` section): S ∈
+//!   {1, 4, 16, 64} independent windows multiplexed over ONE worker
+//!   connection via the v2 multi-session server, with aggregate
+//!   throughput and wall-µs per session — bit-checked per session and
+//!   recorded report-only (a 1-CPU host measures fairness, not
+//!   speedup; single-session socket throughput stays gated via the
+//!   `transport` rows).
 //!
 //! Headline ratios: fold cost per summary, tree over dense (the win of
 //! folding sorted pairs into a flat array instead of one tree descent
@@ -417,6 +424,109 @@ fn measure_transports(
     }
 }
 
+/// One sessions/process scaling measurement: S independent windows
+/// multiplexed over ONE worker connection (the v2 multi-session
+/// server), with the whole stream split into S contiguous slices.
+/// Report-only — on a 1-CPU host the curve mostly measures scheduling
+/// fairness, not parallel speedup, so CI records it without gating
+/// (single-session transport throughput stays gated via the
+/// `transport` section).
+struct SessionsRow {
+    sessions: usize,
+    rate: f64,
+    us_per_session: f64,
+    matches: bool,
+}
+
+/// Window schedule for the multi-session scaling curve: small enough
+/// that 64 sessions each still evaluate several windows over a smoke
+/// slice of the stream.
+const SESS_WINDOW: usize = 4_000;
+const SESS_PERIOD: usize = 500;
+
+/// Measure the sessions/process scaling curve: one in-process worker
+/// thread serving S multiplexed sessions, each an independent QLOVE
+/// window over its own slice of the stream, bit-checked per session
+/// against its own sequential run.
+fn measure_sessions(data: &[u64], out: &mut Vec<SessionsRow>) {
+    use qlove_transport::{run_sessions, serve_stream, Conn, SessionSpec, WorkerMode};
+    let cfg = QloveConfig::new(&PHIS, SESS_WINDOW, SESS_PERIOD);
+    for &sessions in &[1usize, 4, 16, 64] {
+        let slice = data.len() / sessions;
+        if slice < SESS_WINDOW {
+            eprintln!("sessions/process {sessions:3}: stream too short, skipped");
+            continue;
+        }
+        let specs: Vec<SessionSpec> = (0..sessions)
+            .map(|s| SessionSpec {
+                config: cfg.clone(),
+                mode: WorkerMode::Shard,
+                values: data[s * slice..(s + 1) * slice].to_vec(),
+            })
+            .collect();
+        let seq: Vec<Vec<QloveAnswer>> = specs
+            .iter()
+            .map(|spec| {
+                let mut op = Qlove::new(spec.config.clone());
+                let mut answers = Vec::new();
+                for chunk in spec.values.chunks(4096) {
+                    op.push_batch_into(chunk, &mut answers);
+                }
+                answers
+            })
+            .collect();
+        let mut rate = 0.0f64;
+        let mut best_us = f64::INFINITY;
+        let mut matches = true;
+        for _ in 0..RATE_PASSES {
+            let (outcomes, wall) = std::thread::scope(|scope| {
+                #[cfg(unix)]
+                let conn = {
+                    let (ours, theirs) =
+                        std::os::unix::net::UnixStream::pair().expect("socketpair for sessions");
+                    scope.spawn(move || serve_stream(Conn::Unix(theirs)));
+                    Conn::Unix(ours)
+                };
+                #[cfg(not(unix))]
+                let conn = {
+                    use qlove_transport::{Endpoint, Listener};
+                    let listener = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".into()))
+                        .expect("bind loopback listener");
+                    let endpoint = listener.local_endpoint().expect("resolve port");
+                    scope.spawn(move || {
+                        let conn = listener.accept().expect("accept worker conn");
+                        serve_stream(conn)
+                    });
+                    Conn::connect(&endpoint).expect("connect to worker thread")
+                };
+                let start = Instant::now();
+                let outcomes = run_sessions(conn, &specs).expect("multi-session pass");
+                (outcomes, start.elapsed())
+            });
+            let pass_rate = (slice * sessions) as f64 / wall.as_secs_f64() / 1e6;
+            if pass_rate > rate {
+                rate = pass_rate;
+                best_us = wall.as_micros() as f64;
+            }
+            matches &= outcomes
+                .iter()
+                .zip(&seq)
+                .all(|(outcome, want)| &outcome.answers == want);
+        }
+        let us_per_session = best_us / sessions as f64;
+        eprintln!(
+            "sessions/process {sessions:3}            {rate:8.2} Melem/s  \
+             {us_per_session:9.1} µs/session  answers_match={matches}"
+        );
+        out.push(SessionsRow {
+            sessions,
+            rate,
+            us_per_session,
+            matches,
+        });
+    }
+}
+
 /// One supervised-recovery measurement: a worker crashes mid-stream,
 /// the supervisor detects, restores, and replays; these are the
 /// per-phase costs it reported. Report-only — the perf gate reads
@@ -474,14 +584,15 @@ fn measure_recovery(data: &[u64], passes: usize, out: &mut Vec<RecoveryRow>) {
                     role: Role::Worker,
                 })?;
                 writer.flush()?;
-                reader.read_frame()?; // config
+                reader.read_frame()?; // open session
                 let mut shard = QloveShard::new(&worker_cfg);
                 let mut answered = 0u64;
                 loop {
                     match reader.read_frame()? {
-                        Frame::EventBatch(values) => shard.push_batch(&values),
-                        Frame::Boundary { boundary } => {
+                        Frame::EventBatch { values, .. } => shard.push_batch(&values),
+                        Frame::Boundary { session, boundary } => {
                             writer.write_frame(&Frame::BoundarySummary {
+                                session,
                                 boundary,
                                 summary: shard.take_summary(),
                             })?;
@@ -641,6 +752,11 @@ fn main() {
         );
     }
 
+    // Sessions/process scaling curve: S windows multiplexed over one
+    // worker connection. Report-only (see `SessionsRow`).
+    let mut sessions_rows: Vec<SessionsRow> = Vec::new();
+    measure_sessions(&data, &mut sessions_rows);
+
     // Supervised-recovery phase costs with an injected worker crash.
     // Report-only: the perf gate never reads this section, because
     // recovery is off the failure-free hot path by construction.
@@ -776,6 +892,17 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"sessions\": [");
+    for (i, row) in sessions_rows.iter().enumerate() {
+        let comma = if i + 1 < sessions_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"sessions\": {}, \"melems_per_sec\": {:.3}, \"us_per_session\": {:.1}, \
+             \"answers_match_sequential\": {}}}{comma}",
+            row.sessions, row.rate, row.us_per_session, row.matches
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"recovery\": [");
     for (i, row) in recovery_rows.iter().enumerate() {
         let comma = if i + 1 < recovery_rows.len() { "," } else { "" };
@@ -841,6 +968,7 @@ fn main() {
         .iter()
         .any(|r| r.dist_rows.iter().any(|&(_, _, m)| !m))
         || transport_rows.iter().any(|r| !r.matches)
+        || sessions_rows.iter().any(|r| !r.matches)
         || recovery_rows.iter().any(|r| !r.matches)
     {
         eprintln!("bench_merge: distributed answers diverged from sequential");

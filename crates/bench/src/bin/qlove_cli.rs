@@ -50,12 +50,22 @@
 //!           --demo netmon --events 500000
 //! ```
 //!
-//! `--worker` serves exactly one session (shard or full-operator — the
-//! coordinator's config decides) and exits with it. `--coordinate`
+//! `--worker` is a multi-session server: it serves every session the
+//! coordinator opens on the connection — each with its own config,
+//! backend, and mode (shard or full-operator) — and exits with the
+//! *connection*, not with any one session. `--coordinate`
 //! deals the stream to the workers, pipelines summary merging against
 //! their ingest, and prints answers bit-identical to a single-process
 //! run. `--connect ADDR` instead streams the input to one remote
 //! full-operator worker and prints the answers it sends back.
+//!
+//! `--connect ADDR --sessions N` exercises the multi-session side of
+//! that server: the input is split into N contiguous slices and each
+//! becomes an independent shard-mode session — N whole windows through
+//! ONE worker process over one connection, answers per session
+//! bit-identical to N separate runs. With supervision flags set, a
+//! dead worker is respawned at the same endpoint and every unfinished
+//! session is individually restored to its own acknowledged boundary.
 //!
 //! `--max-restarts N` and `--heartbeat-ms MS` enable worker
 //! supervision in `--coordinate` mode: crashed or hung shards are
@@ -88,6 +98,7 @@ struct Args {
     worker: Option<String>,
     coordinate: Vec<String>,
     connect: Option<String>,
+    sessions: usize,
     max_restarts: u32,
     heartbeat_ms: u64,
 }
@@ -106,6 +117,7 @@ fn parse_args() -> Result<Args, String> {
         worker: None,
         coordinate: Vec::new(),
         connect: None,
+        sessions: 1,
         max_restarts: 0,
         heartbeat_ms: 0,
     };
@@ -142,6 +154,12 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown backend {other} (tree|dense|auto)")),
                 };
             }
+            "--sessions" => {
+                args.sessions = need_value(i)?.parse().map_err(|e| format!("{e}"))?;
+                if args.sessions == 0 {
+                    return Err("--sessions needs at least one session".into());
+                }
+            }
             "--max-restarts" => {
                 args.max_restarts = need_value(i)?.parse().map_err(|e| format!("{e}"))?;
             }
@@ -174,7 +192,7 @@ fn parse_args() -> Result<Args, String> {
                      [--demo netmon|search|normal|uniform|pareto --events N] [--batch N] \
                      [--distributed N] [--backend tree|dense|auto] \
                      [--worker ENDPOINT | --coordinate EP1,EP2,... | --connect ENDPOINT] \
-                     [--max-restarts N] [--heartbeat-ms MS]"
+                     [--sessions N] [--max-restarts N] [--heartbeat-ms MS]"
                 );
                 std::process::exit(0);
             }
@@ -262,7 +280,8 @@ fn print_answers(
     Ok(())
 }
 
-/// `--worker ENDPOINT`: serve one distributed session, then exit.
+/// `--worker ENDPOINT`: serve every session a coordinator multiplexes
+/// over one connection, then exit with that connection.
 fn run_worker_mode(args: &Args, spec: &str) -> Result<(), String> {
     if args.policy != "qlove" {
         return Err("--worker is only supported for the qlove policy".into());
@@ -272,9 +291,17 @@ fn run_worker_mode(args: &Args, spec: &str) -> Result<(), String> {
     let actual = server.local_endpoint().map_err(|e| e.to_string())?;
     eprintln!("qlove_cli: worker listening on {actual}");
     let report = server.serve_one().map_err(|e| e.to_string())?;
+    for s in &report.sessions {
+        eprintln!(
+            "qlove_cli: session {} done ({:?} mode, {} events in, {} responses out)",
+            s.session, s.mode, s.events, s.responses
+        );
+    }
     eprintln!(
-        "qlove_cli: session done ({:?} mode, {} events in, {} responses out)",
-        report.mode, report.events, report.responses
+        "qlove_cli: connection done ({} sessions, {} events in, {} responses out)",
+        report.sessions_served(),
+        report.events(),
+        report.responses()
     );
     Ok(())
 }
@@ -369,7 +396,9 @@ fn run_coordinate_mode(args: &Args) -> Result<(), String> {
 }
 
 /// `--connect ENDPOINT`: stream the input to one remote full-operator
-/// worker and print the answers it sends back.
+/// worker and print the answers it sends back. With `--sessions N`,
+/// split the input into N independent shard-mode sessions instead and
+/// multiplex all of them over the one connection.
 fn run_connect_mode(args: &Args, spec: &str) -> Result<(), String> {
     if args.policy != "qlove" {
         return Err("--connect is only supported for the qlove policy".into());
@@ -385,6 +414,9 @@ fn run_connect_mode(args: &Args, spec: &str) -> Result<(), String> {
     let endpoint = qlove_transport::Endpoint::parse(spec).map_err(|e| e.to_string())?;
     let conn = qlove_transport::Conn::connect_retry(&endpoint, std::time::Duration::from_secs(10))
         .map_err(|e| e.to_string())?;
+    if args.sessions > 1 {
+        return run_sessions_mode(args, &cfg, endpoint, conn, values);
+    }
     // The remote operator holds the full window state, so a crash is
     // unrecoverable; the policy only adds heartbeat-based detection of
     // hung workers instead of blocking forever.
@@ -397,6 +429,62 @@ fn run_connect_mode(args: &Args, spec: &str) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
     // The operator state lives in the worker; no local footprint.
     print_answers(&args.phis, args.window, args.period, &answers, 0)
+}
+
+/// `--connect --sessions N`: N independent whole windows through one
+/// worker process — the input split into N contiguous slices, each its
+/// own shard-mode session on the shared connection. With supervision
+/// enabled, a dead worker is reconnected at the same endpoint and each
+/// unfinished session is restored to its own acknowledged boundary.
+fn run_sessions_mode(
+    args: &Args,
+    cfg: &QloveConfig,
+    endpoint: qlove_transport::Endpoint,
+    conn: qlove_transport::Conn,
+    values: Vec<u64>,
+) -> Result<(), String> {
+    let n = args.sessions;
+    let slice = values.len() / n;
+    if slice == 0 {
+        return Err(format!("--sessions {n} needs at least {n} input values"));
+    }
+    let specs: Vec<qlove_transport::SessionSpec> = (0..n)
+        .map(|s| qlove_transport::SessionSpec {
+            config: cfg.clone(),
+            mode: qlove_transport::WorkerMode::Shard,
+            values: values[s * slice..(s + 1) * slice].to_vec(),
+        })
+        .collect();
+    let policy = recovery_policy(args);
+    let outcomes = if policy.enabled() {
+        let respawn =
+            || qlove_transport::Conn::connect_retry(&endpoint, std::time::Duration::from_secs(5));
+        let run = qlove_transport::run_sessions_supervised(conn, &specs, &policy, respawn)
+            .map_err(|e| e.to_string())?;
+        for f in &run.failures {
+            eprintln!(
+                "qlove_cli: session {} {:?} at boundary {} ({}): detect {} µs, restore {} µs, \
+                 replay {} µs over {} frames",
+                f.shard,
+                f.kind,
+                f.boundary,
+                if f.recovered { "recovered" } else { "gave up" },
+                f.detect_us,
+                f.restore_us,
+                f.replay_us,
+                f.replayed_frames
+            );
+        }
+        run.outcomes
+    } else {
+        qlove_transport::run_sessions(conn, &specs).map_err(|e| e.to_string())?
+    };
+    for (s, outcome) in outcomes.iter().enumerate() {
+        println!("# session {s} ({} boundaries merged)", outcome.boundaries);
+        // The merge state lived only for the run; no footprint to report.
+        print_answers(&args.phis, args.window, args.period, &outcome.answers, 0)?;
+    }
+    Ok(())
 }
 
 /// One logical window over N ingestion shards: deal, merge, print.
@@ -442,6 +530,9 @@ fn run() -> Result<(), String> {
         && args.connect.is_none()
     {
         return Err("--max-restarts/--heartbeat-ms only apply to --coordinate or --connect".into());
+    }
+    if args.sessions > 1 && args.connect.is_none() {
+        return Err("--sessions only applies to --connect".into());
     }
     if let Some(spec) = &args.worker {
         return run_worker_mode(&args, spec);

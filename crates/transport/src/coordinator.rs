@@ -112,14 +112,21 @@ impl RecoveryPolicy {
         }
     }
 
-    fn enabled(&self) -> bool {
+    /// Whether this policy supervises at all: `false` means failures
+    /// abort the run exactly as if no policy were involved.
+    pub fn enabled(&self) -> bool {
         self.max_restarts > 0
     }
 
     /// Arm the socket deadlines this policy calls for. Timeouts are a
     /// property of the underlying socket, so one call here covers every
     /// `try_clone` handle (collector reads *and* dealer writes).
-    fn arm(&self, conn: &Conn) -> io::Result<()> {
+    ///
+    /// On a multi-session connection the deadlines are necessarily
+    /// shared by every session multiplexed over the socket: one slow
+    /// session cannot get a private, longer deadline — the probe
+    /// machinery tells a slow *worker* from a dead one instead.
+    pub(crate) fn arm(&self, conn: &Conn) -> io::Result<()> {
         if let Some(hb) = self.heartbeat {
             conn.set_read_timeout(Some(hb))?;
         }
@@ -194,7 +201,7 @@ impl std::error::Error for TransportError {}
 
 /// Join a pipeline thread, converting a panic into a structured
 /// [`TransportError`] instead of re-panicking the coordinator.
-fn join_io<T>(
+pub(crate) fn join_io<T>(
     handle: thread::ScopedJoinHandle<'_, io::Result<T>>,
     thread: &'static str,
 ) -> io::Result<T> {
@@ -232,18 +239,17 @@ fn protocol(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-fn is_timeout(e: &io::Error) -> bool {
+pub(crate) fn is_timeout(e: &io::Error) -> bool {
     matches!(
         e.kind(),
         io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
     )
 }
 
-/// Handshake one worker connection: hello exchange + config.
-fn handshake(
+/// Connection-level handshake: hello exchange only. Sessions are
+/// opened separately (a v2 connection can hold many).
+pub(crate) fn hello_handshake(
     conn: Conn,
-    config: &QloveConfig,
-    mode: WorkerMode,
 ) -> io::Result<(FrameReader<BufReader<Conn>>, FrameWriter<Conn>)> {
     let read_half = conn.try_clone()?;
     let mut reader = FrameReader::new(BufReader::new(read_half));
@@ -265,7 +271,20 @@ fn handshake(
         }
         other => return Err(protocol(format!("expected worker hello, got {other:?}"))),
     }
-    writer.write_frame(&Frame::Config {
+    Ok((reader, writer))
+}
+
+/// Handshake one worker connection and open a single session on it:
+/// hello exchange + `OpenSession`.
+fn handshake(
+    conn: Conn,
+    session: u64,
+    config: &QloveConfig,
+    mode: WorkerMode,
+) -> io::Result<(FrameReader<BufReader<Conn>>, FrameWriter<Conn>)> {
+    let (reader, mut writer) = hello_handshake(conn)?;
+    writer.write_frame(&Frame::OpenSession {
+        session,
         config: config.clone(),
         mode,
     })?;
@@ -277,6 +296,9 @@ fn handshake(
 /// replay ring (source of truth for unacknowledged frames) and the
 /// current write half, if the shard has a live one.
 struct ShardState {
+    /// Wire session ID this shard's frames are scoped to (the shard
+    /// index: each per-shard connection carries exactly one session).
+    session: u64,
     /// Whether dealt frames are retained for replay. `false` when the
     /// policy cannot restart workers (`max_restarts == 0`): replay can
     /// never happen, so the dealer writes straight through and the
@@ -304,9 +326,10 @@ struct ShardLink {
 }
 
 impl ShardLink {
-    fn new(writer: FrameWriter<Conn>, retain: bool) -> Self {
+    fn new(session: u64, writer: FrameWriter<Conn>, retain: bool) -> Self {
         Self {
             state: Mutex::new(ShardState {
+                session,
                 retain,
                 ring: VecDeque::new(),
                 ring_boundaries: 0,
@@ -366,7 +389,7 @@ impl ShardLink {
         let mut st = self.state.lock().expect("shard link poisoned");
         st.acked = b + 1;
         while let Some(frame) = st.ring.pop_front() {
-            if matches!(frame, Frame::Boundary { boundary } if boundary == b) {
+            if matches!(frame, Frame::Boundary { boundary, .. } if boundary == b) {
                 st.ring_boundaries -= 1;
                 break;
             }
@@ -383,10 +406,11 @@ impl ShardLink {
     fn probe(&self) -> io::Result<()> {
         let mut st = self.state.lock().expect("shard link poisoned");
         let st = &mut *st;
+        let session = st.session;
         match st.writer.as_mut() {
             Some(writer) => {
                 let sent = writer
-                    .write_frame(&Frame::Heartbeat)
+                    .write_frame(&Frame::Heartbeat { session })
                     .and_then(|()| writer.flush());
                 if sent.is_err() {
                     st.writer = None;
@@ -406,6 +430,7 @@ impl ShardLink {
     fn reinstall(&self, mut writer: FrameWriter<Conn>) -> io::Result<(u64, usize)> {
         let mut st = self.state.lock().expect("shard link poisoned");
         writer.write_frame(&Frame::Restore {
+            session: st.session,
             boundary: st.acked,
             checkpoint: QloveSummary::default(),
         })?;
@@ -451,7 +476,7 @@ impl<F: FnMut(usize) -> io::Result<Conn>> Supervisor<'_, F> {
             match self.readers[shard].read_frame() {
                 // A heartbeat echo is proof of life, not progress;
                 // reset the probe and keep waiting for the summary.
-                Ok(Frame::Heartbeat) => {
+                Ok(Frame::Heartbeat { .. }) => {
                     silent_since = None;
                     probed = false;
                 }
@@ -483,7 +508,7 @@ impl<F: FnMut(usize) -> io::Result<Conn>> Supervisor<'_, F> {
         let conn = (self.respawn)(shard)?;
         self.policy.arm(&conn)?;
         let breaker = conn.try_clone()?;
-        let (reader, writer) = handshake(conn, self.config, WorkerMode::Shard)?;
+        let (reader, writer) = handshake(conn, shard as u64, self.config, WorkerMode::Shard)?;
         let restore_us = restore_start.elapsed().as_micros() as u64;
         let replay_start = Instant::now();
         let (boundary, replayed) = self.links[shard].reinstall(writer)?;
@@ -552,7 +577,11 @@ impl<F: FnMut(usize) -> io::Result<Conn>> Supervisor<'_, F> {
     fn expect_summary(&mut self, shard: usize, b: usize) -> io::Result<QloveSummary> {
         loop {
             match self.read_with_probe(shard) {
-                Ok(Frame::BoundarySummary { boundary, summary }) if boundary == b as u64 => {
+                Ok(Frame::BoundarySummary {
+                    session,
+                    boundary,
+                    summary,
+                }) if session == shard as u64 && boundary == b as u64 => {
                     self.links[shard].ack(b as u64);
                     return Ok(summary);
                 }
@@ -671,12 +700,12 @@ where
     let mut readers = Vec::with_capacity(shards);
     let mut breakers = Vec::with_capacity(shards);
     let mut links = Vec::with_capacity(shards);
-    for conn in conns {
+    for (shard, conn) in conns.into_iter().enumerate() {
         policy.arm(&conn)?;
         breakers.push(conn.try_clone()?);
-        let (reader, writer) = handshake(conn, config, WorkerMode::Shard)?;
+        let (reader, writer) = handshake(conn, shard as u64, config, WorkerMode::Shard)?;
         readers.push(reader);
-        links.push(ShardLink::new(writer, policy.enabled()));
+        links.push(ShardLink::new(shard as u64, writer, policy.enabled()));
     }
 
     let mut supervisor = Supervisor {
@@ -702,16 +731,24 @@ where
                     let shard = (start + i) % shards;
                     bufs[shard].push(v);
                     if bufs[shard].len() == BATCH {
-                        links_ref[shard]
-                            .deal(Frame::EventBatch(std::mem::take(&mut bufs[shard])))?;
+                        links_ref[shard].deal(Frame::EventBatch {
+                            session: shard as u64,
+                            values: std::mem::take(&mut bufs[shard]),
+                        })?;
                         bufs[shard].reserve(BATCH.min(period));
                     }
                 }
                 for (shard, link) in links_ref.iter().enumerate() {
                     if !bufs[shard].is_empty() {
-                        link.deal(Frame::EventBatch(std::mem::take(&mut bufs[shard])))?;
+                        link.deal(Frame::EventBatch {
+                            session: shard as u64,
+                            values: std::mem::take(&mut bufs[shard]),
+                        })?;
                     }
-                    link.deal(Frame::Boundary { boundary: b as u64 })?;
+                    link.deal(Frame::Boundary {
+                        session: shard as u64,
+                        boundary: b as u64,
+                    })?;
                 }
             }
             for link in links_ref.iter() {
@@ -801,7 +838,9 @@ pub fn run_remote_operator_with_policy(
 ) -> io::Result<Vec<QloveAnswer>> {
     policy.arm(&conn)?;
     let breaker = conn.try_clone()?;
-    let (mut reader, writer) = handshake(conn, config, WorkerMode::Operator)?;
+    // The remote operator is the connection's only session: id 0.
+    const SESSION: u64 = 0;
+    let (mut reader, writer) = handshake(conn, SESSION, config, WorkerMode::Operator)?;
     // The feeder and the collector's heartbeat probes share the write
     // half; the mutex is uncontended except while a probe is in flight.
     let writer = Mutex::new(writer);
@@ -809,7 +848,10 @@ pub fn run_remote_operator_with_policy(
         let feeder = scope.spawn(|| -> io::Result<()> {
             for chunk in values.chunks(BATCH) {
                 let mut writer = writer.lock().expect("writer lock poisoned");
-                writer.write_frame(&Frame::EventBatch(chunk.to_vec()))?;
+                writer.write_frame(&Frame::EventBatch {
+                    session: SESSION,
+                    values: chunk.to_vec(),
+                })?;
             }
             let mut writer = writer.lock().expect("writer lock poisoned");
             writer.write_frame(&Frame::Shutdown)?;
@@ -820,7 +862,11 @@ pub fn run_remote_operator_with_policy(
         let mut probed = false;
         let collected = loop {
             match reader.read_frame() {
-                Ok(Frame::Answer { boundary, answer }) => {
+                Ok(Frame::Answer {
+                    session: SESSION,
+                    boundary,
+                    answer,
+                }) => {
                     probed = false;
                     if boundary != answers.len() as u64 {
                         break Err(protocol(format!(
@@ -830,13 +876,13 @@ pub fn run_remote_operator_with_policy(
                     }
                     answers.push(answer);
                 }
-                Ok(Frame::Heartbeat) => probed = false,
+                Ok(Frame::Heartbeat { .. }) => probed = false,
                 Ok(Frame::Shutdown) => break Ok(()),
                 Ok(other) => break Err(protocol(format!("unexpected frame {other:?}"))),
                 Err(e) if is_timeout(&e) && !probed => {
                     let mut writer = writer.lock().expect("writer lock poisoned");
                     let sent = writer
-                        .write_frame(&Frame::Heartbeat)
+                        .write_frame(&Frame::Heartbeat { session: SESSION })
                         .and_then(|()| writer.flush());
                     drop(writer);
                     if let Err(probe_err) = sent {

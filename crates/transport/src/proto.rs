@@ -10,17 +10,24 @@
 //! └────────────┴──────────┴──────────────────────┘
 //! ```
 //!
-//! | type | frame             | payload                                          |
-//! |------|-------------------|--------------------------------------------------|
-//! | 1    | `Hello`           | magic `"QLVT"`, version u8, role u8              |
-//! | 2    | `Config`          | operator config + worker mode (varints/f64 bits) |
-//! | 3    | `EventBatch`      | varint count, then each value as a varint        |
-//! | 4    | `Boundary`        | varint boundary index                            |
-//! | 5    | `BoundarySummary` | varint boundary index, then one QLVS frame       |
-//! | 6    | `Answer`          | varint eval index, then an encoded `QloveAnswer` |
-//! | 7    | `Shutdown`        | empty                                            |
-//! | 8    | `Heartbeat`       | empty                                            |
-//! | 9    | `Restore`         | varint boundary index, then one QLVS checkpoint  |
+//! | type | frame             | payload                                              |
+//! |------|-------------------|------------------------------------------------------|
+//! | 1    | `Hello`           | magic `"QLVT"`, version u8, role u8                  |
+//! | 2    | `OpenSession`     | varint session id, config + mode (varints/f64 bits)  |
+//! | 3    | `EventBatch`      | varint session id, varint count, then value varints  |
+//! | 4    | `Boundary`        | varint session id, varint boundary index             |
+//! | 5    | `BoundarySummary` | varint session id, varint boundary, one QLVS frame   |
+//! | 6    | `Answer`          | varint session id, varint eval index, `QloveAnswer`  |
+//! | 7    | `Shutdown`        | empty                                                |
+//! | 8    | `Heartbeat`       | varint session id                                    |
+//! | 9    | `Restore`         | varint session id, varint boundary, QLVS checkpoint  |
+//! | 10   | `CloseSession`    | varint session id                                    |
+//!
+//! Since protocol v2 a single connection multiplexes many independent
+//! sessions: every post-handshake frame except `Shutdown` leads with a
+//! varint session ID, sessions are opened with `OpenSession` (each with
+//! its own config, backend, and mode) and retired with a `CloseSession`
+//! exchange, while `Hello` and `Shutdown` stay connection-level.
 //!
 //! ## Decode contract
 //!
@@ -42,8 +49,10 @@ use std::io::{self, Read, Write};
 
 /// Connection magic carried by every [`Frame::Hello`].
 pub const PROTOCOL_MAGIC: &[u8; 4] = b"QLVT";
-/// Current protocol version.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Current protocol version. v2 made every post-handshake frame
+/// session-scoped (multi-session connections); v1 peers are rejected at
+/// the hello exchange.
+pub const PROTOCOL_VERSION: u8 = 2;
 /// Hard cap on a frame's declared payload length. An `EventBatch` of
 /// the executor's batch size costs at most ~41 KB; 16 MiB leaves room
 /// for huge unquantized summaries while bounding what a corrupt length
@@ -81,28 +90,43 @@ pub enum Frame {
         /// The sender's role.
         role: Role,
     },
-    /// Coordinator → worker: the operator configuration and the mode to
-    /// run in. Sent once, immediately after the hello exchange.
-    Config {
+    /// Coordinator → worker: open an independent session on this
+    /// connection, with its own configuration, backend, and mode. A
+    /// connection can hold any number of concurrent sessions; opening a
+    /// session ID that is already open is a protocol error.
+    OpenSession {
+        /// Connection-unique session ID carried by every frame of this
+        /// session.
+        session: u64,
         /// Full operator configuration (shard and coordinator must
         /// agree on quantization, backend, and the window schedule).
         config: QloveConfig,
-        /// What to run behind the socket.
+        /// What to run behind the socket for this session.
         mode: WorkerMode,
     },
-    /// Coordinator → worker: a batch of dealt telemetry values. Batches
-    /// never straddle a sub-window boundary in shard mode.
-    EventBatch(Vec<u64>),
-    /// Coordinator → worker (shard mode): the logical stream reached
-    /// sub-window boundary `boundary`; snapshot and ship the partial
-    /// sub-window now.
+    /// Coordinator → worker: a batch of dealt telemetry values for one
+    /// session. Batches never straddle a sub-window boundary in shard
+    /// mode.
+    EventBatch {
+        /// Which session these values belong to.
+        session: u64,
+        /// The dealt values.
+        values: Vec<u64>,
+    },
+    /// Coordinator → worker (shard mode): the session's logical stream
+    /// reached sub-window boundary `boundary`; snapshot and ship the
+    /// partial sub-window now.
     Boundary {
+        /// Which session reached the boundary.
+        session: u64,
         /// 0-based boundary index, for sequence checking.
         boundary: u64,
     },
     /// Worker → coordinator (shard mode): the partial sub-window
     /// accumulated since the previous boundary, as a QLVS multiset.
     BoundarySummary {
+        /// Which session this summary belongs to.
+        session: u64,
         /// Which boundary this summary closes (must match the
         /// triggering [`Frame::Boundary`]).
         boundary: u64,
@@ -111,29 +135,40 @@ pub enum Frame {
     },
     /// Worker → coordinator (operator mode): one window evaluation.
     Answer {
+        /// Which session produced the evaluation.
+        session: u64,
         /// 0-based evaluation index, for sequence checking.
         boundary: u64,
         /// The evaluation, bit-identical to a local run.
         answer: QloveAnswer,
     },
-    /// Session end. The coordinator sends it when the stream is
-    /// exhausted; the worker acknowledges with its own `Shutdown` and
-    /// exits.
+    /// Connection end. The coordinator sends it when every stream is
+    /// exhausted; the worker drains all remaining sessions,
+    /// acknowledges with its own `Shutdown`, and returns. Sessions
+    /// still open are finalized implicitly.
     Shutdown,
     /// Liveness probe, either direction. A worker that receives one
-    /// echoes a `Heartbeat` of its own immediately — the coordinator's
-    /// failure detector counts any frame as progress, so an echo
-    /// arriving within the probe deadline proves the worker's event
-    /// loop is alive even when no summaries are due.
-    Heartbeat,
-    /// Coordinator → worker (shard mode): resume a recovered shard.
-    /// Legal only as the first frame after `Config`: the worker sets
-    /// its boundary counter to `boundary` (the next boundary it should
-    /// expect) and merges `checkpoint` into its fresh store as
-    /// mid-sub-window state. The coordinator then replays the
-    /// unacknowledged tail of dealt frames, which rebuilds the rest of
-    /// the shard's state exactly (multiset accumulation is
-    /// order-insensitive), so recovered answers stay bit-identical.
+    /// echoes a `Heartbeat` with the same session ID immediately — the
+    /// coordinator's failure detector counts any frame as progress, so
+    /// an echo arriving within the probe deadline proves the worker's
+    /// event loop is alive even when no summaries are due. Because it
+    /// probes the shared event loop, the echo does not require the
+    /// session to exist (recovery may probe before reopening).
+    Heartbeat {
+        /// Session the prober is waiting on (informational; echoed
+        /// verbatim).
+        session: u64,
+    },
+    /// Coordinator → worker (shard mode): resume a recovered session.
+    /// Legal only as the first frame of a session after its
+    /// `OpenSession`: the worker sets that session's boundary counter
+    /// to `boundary` (the next boundary it should expect) and merges
+    /// `checkpoint` into its fresh store as mid-sub-window state. The
+    /// coordinator then replays the unacknowledged tail of dealt
+    /// frames, which rebuilds the rest of the session's state exactly
+    /// (multiset accumulation is order-insensitive), so recovered
+    /// answers stay bit-identical. Only the failed session is restored;
+    /// other sessions on a shared connection are untouched.
     ///
     /// With boundary-grained acknowledgement the checkpoint at the last
     /// acked boundary is the empty multiset (shard state resets at
@@ -142,10 +177,21 @@ pub enum Frame {
     /// live resharding) can restore mid-sub-window state over the same
     /// frame.
     Restore {
-        /// Next boundary index the recovered worker should expect.
+        /// Which session to restore.
+        session: u64,
+        /// Next boundary index the recovered session should expect.
         boundary: u64,
         /// Mid-sub-window state to merge into the fresh shard, as QLVS.
         checkpoint: QloveSummary,
+    },
+    /// Session end, both directions. The coordinator sends one when a
+    /// session's stream is exhausted; the worker drains that session's
+    /// pending input, ships any responses still due, acknowledges with
+    /// its own `CloseSession`, and frees the slot — while every other
+    /// session on the connection keeps running.
+    CloseSession {
+        /// Which session to retire.
+        session: u64,
     },
 }
 
@@ -153,14 +199,15 @@ impl Frame {
     fn type_byte(&self) -> u8 {
         match self {
             Frame::Hello { .. } => 1,
-            Frame::Config { .. } => 2,
-            Frame::EventBatch(_) => 3,
+            Frame::OpenSession { .. } => 2,
+            Frame::EventBatch { .. } => 3,
             Frame::Boundary { .. } => 4,
             Frame::BoundarySummary { .. } => 5,
             Frame::Answer { .. } => 6,
             Frame::Shutdown => 7,
-            Frame::Heartbeat => 8,
+            Frame::Heartbeat { .. } => 8,
             Frame::Restore { .. } => 9,
+            Frame::CloseSession { .. } => 10,
         }
     }
 }
@@ -195,7 +242,10 @@ fn read_count(data: &mut &[u8], min_item_bytes: usize, what: &str) -> io::Result
     if count > (data.len() / min_item_bytes.max(1)) as u64 {
         return Err(bad(format!("{what} exceeds payload")));
     }
-    Ok(count as usize)
+    // The bound above already caps `count` by the payload length, but a
+    // checked conversion keeps the no-narrowing contract explicit (and
+    // airtight if the bound ever changes) on 16/32-bit targets.
+    usize::try_from(count).map_err(|_| bad(format!("{what} overflows usize")))
 }
 
 // ---- config codec ---------------------------------------------------------
@@ -247,20 +297,19 @@ fn decode_config(data: &mut &[u8]) -> io::Result<(QloveConfig, WorkerMode)> {
         Some((&m, _)) => return Err(bad(format!("unknown worker mode {m}"))),
         None => return Err(bad("truncated config")),
     };
-    let window = read_varint(data, "config window")?;
-    let period = read_varint(data, "config period")?;
-    if period == 0 || window < period || window % period != 0 || window > usize::MAX as u64 {
+    let raw_window = read_varint(data, "config window")?;
+    let raw_period = read_varint(data, "config period")?;
+    if raw_period == 0 || raw_window < raw_period || raw_window % raw_period != 0 {
         return Err(bad("config window must be a positive multiple of period"));
     }
+    let window = usize::try_from(raw_window).map_err(|_| bad("config window overflows usize"))?;
+    let period = usize::try_from(raw_period).map_err(|_| bad("config period overflows usize"))?;
     let sig_digits = match read_varint(data, "config sig_digits")? {
         0 => None,
-        biased => {
-            let d = biased - 1;
-            if d == 0 || d > u64::from(u32::MAX) {
-                return Err(bad("config sig_digits out of range"));
-            }
-            Some(d as u32)
-        }
+        biased => match u32::try_from(biased - 1) {
+            Ok(d) if d > 0 => Some(d),
+            _ => return Err(bad("config sig_digits out of range")),
+        },
     };
     let backend = match data.split_first() {
         Some((&0, rest)) => {
@@ -334,8 +383,8 @@ fn decode_config(data: &mut &[u8]) -> io::Result<(QloveConfig, WorkerMode)> {
     }
     let config = QloveConfig {
         phis,
-        window: window as usize,
-        period: period as usize,
+        window,
+        period,
         sig_digits,
         fewk,
         backend,
@@ -451,31 +500,55 @@ fn encode_payload(buf: &mut Vec<u8>, frame: &Frame) {
                 Role::Worker => 1,
             });
         }
-        Frame::Config { config, mode } => encode_config(buf, config, *mode),
-        Frame::EventBatch(values) => {
+        Frame::OpenSession {
+            session,
+            config,
+            mode,
+        } => {
+            write_uvarint(buf, *session);
+            encode_config(buf, config, *mode);
+        }
+        Frame::EventBatch { session, values } => {
+            write_uvarint(buf, *session);
             write_uvarint(buf, values.len() as u64);
             for &v in values {
                 write_uvarint(buf, v);
             }
         }
-        Frame::Boundary { boundary } => write_uvarint(buf, *boundary),
-        Frame::BoundarySummary { boundary, summary } => {
+        Frame::Boundary { session, boundary } => {
+            write_uvarint(buf, *session);
+            write_uvarint(buf, *boundary);
+        }
+        Frame::BoundarySummary {
+            session,
+            boundary,
+            summary,
+        } => {
+            write_uvarint(buf, *session);
             write_uvarint(buf, *boundary);
             qlove_wire::encode_summary(summary.counts(), buf);
         }
-        Frame::Answer { boundary, answer } => {
+        Frame::Answer {
+            session,
+            boundary,
+            answer,
+        } => {
+            write_uvarint(buf, *session);
             write_uvarint(buf, *boundary);
             encode_answer(buf, answer);
         }
         Frame::Shutdown => {}
-        Frame::Heartbeat => {}
+        Frame::Heartbeat { session } => write_uvarint(buf, *session),
         Frame::Restore {
+            session,
             boundary,
             checkpoint,
         } => {
+            write_uvarint(buf, *session);
             write_uvarint(buf, *boundary);
             qlove_wire::encode_summary(checkpoint.counts(), buf);
         }
+        Frame::CloseSession { session } => write_uvarint(buf, *session),
     }
 }
 
@@ -508,42 +581,66 @@ pub fn decode_frame(frame_type: u8, mut payload: &[u8]) -> io::Result<Frame> {
             Frame::Hello { version, role }
         }
         2 => {
+            let session = read_varint(data, "session id")?;
             let (config, mode) = decode_config(data)?;
-            Frame::Config { config, mode }
+            Frame::OpenSession {
+                session,
+                config,
+                mode,
+            }
         }
         3 => {
+            let session = read_varint(data, "session id")?;
             let count = read_count(data, 1, "event batch count")?;
             let mut values = Vec::with_capacity(count);
             for _ in 0..count {
                 values.push(read_varint(data, "event value")?);
             }
-            Frame::EventBatch(values)
+            Frame::EventBatch { session, values }
         }
         4 => Frame::Boundary {
+            session: read_varint(data, "session id")?,
             boundary: read_varint(data, "boundary index")?,
         },
         5 => {
+            let session = read_varint(data, "session id")?;
             let boundary = read_varint(data, "boundary index")?;
             let summary = QloveSummary::from_bytes(data)?;
             *data = &[];
-            Frame::BoundarySummary { boundary, summary }
+            Frame::BoundarySummary {
+                session,
+                boundary,
+                summary,
+            }
         }
         6 => {
+            let session = read_varint(data, "session id")?;
             let boundary = read_varint(data, "answer index")?;
             let answer = decode_answer(data)?;
-            Frame::Answer { boundary, answer }
+            Frame::Answer {
+                session,
+                boundary,
+                answer,
+            }
         }
         7 => Frame::Shutdown,
-        8 => Frame::Heartbeat,
+        8 => Frame::Heartbeat {
+            session: read_varint(data, "session id")?,
+        },
         9 => {
+            let session = read_varint(data, "session id")?;
             let boundary = read_varint(data, "restore boundary index")?;
             let checkpoint = QloveSummary::from_bytes(data)?;
             *data = &[];
             Frame::Restore {
+                session,
                 boundary,
                 checkpoint,
             }
         }
+        10 => Frame::CloseSession {
+            session: read_varint(data, "session id")?,
+        },
         other => return Err(bad(format!("unknown frame type {other}"))),
     };
     if !data.is_empty() {
@@ -734,42 +831,64 @@ mod tests {
                 version: PROTOCOL_VERSION,
                 role: Role::Worker,
             },
-            Frame::Config {
+            Frame::OpenSession {
+                session: 0,
                 config: sample_config(),
                 mode: WorkerMode::Shard,
             },
-            Frame::Config {
+            Frame::OpenSession {
+                session: u64::MAX,
                 config: QloveConfig::without_fewk(&[0.5], 100, 10)
                     .quantize(None)
                     .backend(Backend::Tree),
                 mode: WorkerMode::Operator,
             },
-            Frame::EventBatch(vec![]),
-            Frame::EventBatch(vec![0, 1, 127, 128, 1_000_000, u64::MAX]),
-            Frame::Boundary { boundary: 0 },
-            Frame::Boundary { boundary: u64::MAX },
+            Frame::EventBatch {
+                session: 0,
+                values: vec![],
+            },
+            Frame::EventBatch {
+                session: 1_000,
+                values: vec![0, 1, 127, 128, 1_000_000, u64::MAX],
+            },
+            Frame::Boundary {
+                session: 0,
+                boundary: 0,
+            },
+            Frame::Boundary {
+                session: u64::MAX,
+                boundary: u64::MAX,
+            },
             Frame::BoundarySummary {
+                session: 7,
                 boundary: 17,
                 summary: QloveSummary::from_counts(vec![]).unwrap(),
             },
             Frame::BoundarySummary {
+                session: 0,
                 boundary: 18,
                 summary,
             },
             Frame::Answer {
+                session: 63,
                 boundary: 3,
                 answer: sample_answer(),
             },
             Frame::Shutdown,
-            Frame::Heartbeat,
+            Frame::Heartbeat { session: 0 },
+            Frame::Heartbeat { session: u64::MAX },
             Frame::Restore {
+                session: 0,
                 boundary: 0,
                 checkpoint: QloveSummary::from_counts(vec![]).unwrap(),
             },
             Frame::Restore {
+                session: 129,
                 boundary: u64::MAX,
                 checkpoint: QloveSummary::from_counts(vec![(3, 2), (9, 1), (u64::MAX, 4)]).unwrap(),
             },
+            Frame::CloseSession { session: 0 },
+            Frame::CloseSession { session: u64::MAX },
         ];
         for frame in &frames {
             assert_eq!(&roundtrip(frame), frame, "{frame:?}");
@@ -783,6 +902,7 @@ mod tests {
         // wire.
         let answer = sample_answer();
         let Frame::Answer { answer: got, .. } = roundtrip(&Frame::Answer {
+            session: 5,
             boundary: 0,
             answer: answer.clone(),
         }) else {
@@ -815,10 +935,12 @@ mod tests {
                 WorkerMode::Shard,
             ),
         ] {
-            let Frame::Config {
+            let Frame::OpenSession {
                 config: got,
                 mode: got_mode,
-            } = roundtrip(&Frame::Config {
+                ..
+            } = roundtrip(&Frame::OpenSession {
+                session: 2,
                 config: config.clone(),
                 mode,
             })
@@ -831,68 +953,143 @@ mod tests {
         }
     }
 
+    /// Build an `OpenSession` payload (session 0) around a raw config
+    /// encoding, for hand-corruption.
+    fn open_payload(config: &QloveConfig, mode: WorkerMode) -> Vec<u8> {
+        let mut payload = Vec::new();
+        write_uvarint(&mut payload, 0); // session id
+        encode_config(&mut payload, config, mode);
+        payload
+    }
+
     #[test]
     fn rejects_malformed_configs() {
         // Hand-built config payloads that parse structurally but fail
-        // the semantic checks validate() would panic on.
+        // the semantic checks validate() would panic on. Offset 1 skips
+        // the session varint (one byte for session 0).
         let check = |mutate: &dyn Fn(&mut Vec<u8>)| {
-            let mut payload = Vec::new();
-            encode_config(&mut payload, &sample_config(), WorkerMode::Shard);
+            let mut payload = open_payload(&sample_config(), WorkerMode::Shard);
             mutate(&mut payload);
             assert!(decode_frame(2, &payload).is_err());
         };
         // Unknown mode byte.
-        check(&|p| p[0] = 9);
+        check(&|p| p[1] = 9);
         // Window not a multiple of period: rewrite the two varints.
-        let mut payload = vec![0u8];
+        let mut payload = vec![0u8, 0u8]; // session 0, shard mode
         write_uvarint(&mut payload, 1000);
         write_uvarint(&mut payload, 300);
         assert!(decode_frame(2, &payload).is_err());
         // Dense backend without quantization.
         let cfg = QloveConfig::new(&[0.5], 100, 10); // auto backend, sig 3
-        let mut payload = Vec::new();
-        encode_config(&mut payload, &cfg, WorkerMode::Shard);
-        // sig_digits varint is at offset 1 (mode) + 2 varints; patch
-        // the encoded bytes by re-encoding instead of guessing offsets.
         let mut bad_cfg = cfg.clone();
         bad_cfg.sig_digits = None;
         bad_cfg.backend = Backend::Dense;
-        let mut payload = Vec::new();
-        encode_config(&mut payload, &bad_cfg, WorkerMode::Shard);
-        assert!(decode_frame(2, &payload).is_err());
+        assert!(decode_frame(2, &open_payload(&bad_cfg, WorkerMode::Shard)).is_err());
         // NaN few-k fraction.
         let mut bad_cfg = cfg.clone();
         bad_cfg.fewk = Some(FewKConfig {
             topk_fraction: f64::NAN,
             ..FewKConfig::auto(100, 10, false)
         });
-        let mut payload = Vec::new();
-        encode_config(&mut payload, &bad_cfg, WorkerMode::Shard);
-        assert!(decode_frame(2, &payload).is_err());
+        assert!(decode_frame(2, &open_payload(&bad_cfg, WorkerMode::Shard)).is_err());
         // Out-of-range phi.
         let mut bad_cfg = cfg;
         bad_cfg.phis = vec![1.5];
-        let mut payload = Vec::new();
-        encode_config(&mut payload, &bad_cfg, WorkerMode::Shard);
-        assert!(decode_frame(2, &payload).is_err());
+        assert!(decode_frame(2, &open_payload(&bad_cfg, WorkerMode::Shard)).is_err());
         // Empty phis.
-        let mut payload = Vec::new();
-        encode_config(
-            &mut payload,
-            &QloveConfig::new(&[0.5], 100, 10),
-            WorkerMode::Shard,
-        );
+        let mut payload = open_payload(&QloveConfig::new(&[0.5], 100, 10), WorkerMode::Shard);
         // Truncate the phi list: drop the final f64 and shrink count.
         payload.truncate(payload.len() - 8);
         *payload.last_mut().unwrap() = 0; // phi count 0 (last varint byte)
         assert!(decode_frame(2, &payload).is_err());
     }
 
+    /// Satellite of the no-narrowing contract: varint values straddling
+    /// the `u32`/`usize` boundaries must surface as `InvalidData`, not
+    /// wrap on a cast (a 32-bit worker decoding `window = 2^32 + 100`
+    /// as `100` would silently compute wrong answers).
+    #[test]
+    fn rejects_boundary_value_payloads() {
+        let err_kind = |payload: &[u8], ty: u8| {
+            let err = decode_frame(ty, payload).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "type {ty}");
+        };
+        // Config with window/period just past u64 representability of
+        // a valid pair: u64::MAX window with period 1 passes the
+        // multiple-of check, so it must die on the usize conversion
+        // (64-bit: never; the shape check still rejects the others) or
+        // the later validation. Exercise the extremes explicitly.
+        for (window, period) in [
+            (u64::MAX, 1u64),
+            (u64::MAX - 1, 2),
+            (1u64 << 63, 1u64 << 62),
+            (u64::from(u32::MAX) + 1, 1),
+        ] {
+            let mut payload = vec![0u8, 0u8]; // session 0, shard mode
+            write_uvarint(&mut payload, window);
+            write_uvarint(&mut payload, period);
+            write_uvarint(&mut payload, 0); // sig_digits: none
+            payload.push(0); // backend auto
+            payload.push(0); // no few-k
+            write_uvarint(&mut payload, 1); // one phi
+            payload.extend_from_slice(&0.5f64.to_le_bytes());
+            // On 64-bit hosts these configs parse numerically but are
+            // absurd; they must decode to an error or a config that
+            // survives validate() — never a wrapped cast. All listed
+            // windows exceed what a phi payload this small could ever
+            // legitimately accompany, but the decoder has no way to
+            // know that; what it must guarantee is no narrowing.
+            match decode_frame(2, &payload) {
+                Ok(Frame::OpenSession { config, .. }) => {
+                    assert_eq!(config.window as u64, window, "no silent narrowing");
+                    config.validate();
+                }
+                Ok(other) => panic!("unexpected frame {other:?}"),
+                Err(e) => assert_eq!(e.kind(), io::ErrorKind::InvalidData),
+            }
+        }
+        // sig_digits biased varint at u32::MAX + 2 → d = u32::MAX + 1:
+        // must be rejected by the checked u32 conversion.
+        let mut payload = vec![0u8, 0u8];
+        write_uvarint(&mut payload, 100);
+        write_uvarint(&mut payload, 10);
+        write_uvarint(&mut payload, u64::from(u32::MAX) + 2);
+        err_kind(&payload, 2);
+        // Same at u64::MAX (biased): d = u64::MAX - 1 overflows u32.
+        let mut payload = vec![0u8, 0u8];
+        write_uvarint(&mut payload, 100);
+        write_uvarint(&mut payload, 10);
+        write_uvarint(&mut payload, u64::MAX);
+        err_kind(&payload, 2);
+        // Event batch counts at the integer extremes: all exceed the
+        // bytes present and must be rejected before allocation.
+        for count in [
+            u64::from(u32::MAX),
+            u64::from(u32::MAX) + 1,
+            usize::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut payload = Vec::new();
+            write_uvarint(&mut payload, 0); // session
+            write_uvarint(&mut payload, count);
+            err_kind(&payload, 3);
+        }
+        // Answer quantile count at the extremes, through frame 6.
+        for count in [u64::from(u32::MAX) + 1, u64::MAX] {
+            let mut payload = Vec::new();
+            write_uvarint(&mut payload, 0); // session
+            write_uvarint(&mut payload, 0); // eval index
+            write_uvarint(&mut payload, count);
+            err_kind(&payload, 6);
+        }
+    }
+
     #[test]
     fn rejects_structural_corruption() {
-        // Unknown frame type.
+        // Unknown frame type (10 became CloseSession in v2; 11 is the
+        // first unassigned type).
         assert!(decode_frame(0, &[]).is_err());
-        assert!(decode_frame(10, &[]).is_err());
+        assert!(decode_frame(11, &[]).is_err());
         assert!(decode_frame(255, &[1, 2, 3]).is_err());
         // Bad hello: wrong magic, wrong length, unknown role.
         assert!(decode_frame(1, b"NOPE\x01\x00").is_err());
@@ -901,20 +1098,30 @@ mod tests {
         assert!(decode_frame(1, b"QLVT\x01\x00\x00").is_err());
         // Event batch whose count exceeds the payload.
         let mut payload = Vec::new();
+        write_uvarint(&mut payload, 0); // session
         write_uvarint(&mut payload, u64::MAX);
         assert!(decode_frame(3, &payload).is_err());
-        // Trailing garbage after a valid boundary index.
+        // Event batch with no session id at all.
+        assert!(decode_frame(3, &[]).is_err());
+        // Trailing garbage after a valid session + boundary index.
         let mut payload = Vec::new();
+        write_uvarint(&mut payload, 0);
         write_uvarint(&mut payload, 4);
         payload.push(0);
         assert!(decode_frame(4, &payload).is_err());
+        // Boundary missing its boundary index (session only).
+        let mut payload = Vec::new();
+        write_uvarint(&mut payload, 4);
+        assert!(decode_frame(4, &payload).is_err());
         // Summary frame with corrupt QLVS payload.
         let mut payload = Vec::new();
-        write_uvarint(&mut payload, 0);
+        write_uvarint(&mut payload, 0); // session
+        write_uvarint(&mut payload, 0); // boundary
         payload.extend_from_slice(b"QLVX");
         assert!(decode_frame(5, &payload).is_err());
         // Answer with an unknown source byte.
         let mut payload = Vec::new();
+        write_uvarint(&mut payload, 0); // session
         write_uvarint(&mut payload, 0); // eval index
         write_uvarint(&mut payload, 1); // l = 1
         write_uvarint(&mut payload, 10); // value
@@ -924,17 +1131,29 @@ mod tests {
         assert!(decode_frame(6, &payload).is_err());
         // Shutdown with a payload.
         assert!(decode_frame(7, &[0]).is_err());
-        // Heartbeat with a payload.
-        assert!(decode_frame(8, &[0]).is_err());
-        // Restore: truncated boundary varint, corrupt QLVS checkpoint,
-        // and trailing bytes after a valid checkpoint.
+        // Heartbeat: missing session id, truncated varint, trailing
+        // bytes after a valid session id.
+        assert!(decode_frame(8, &[]).is_err());
+        assert!(decode_frame(8, &[0x80]).is_err());
+        assert!(decode_frame(8, &[0]).is_ok());
+        assert!(decode_frame(8, &[0, 0]).is_err());
+        // CloseSession: same shape contract as heartbeat.
+        assert!(decode_frame(10, &[]).is_err());
+        assert!(decode_frame(10, &[0x80]).is_err());
+        assert!(decode_frame(10, &[7]).is_ok());
+        assert!(decode_frame(10, &[7, 7]).is_err());
+        // Restore: truncated varints, corrupt QLVS checkpoint, and
+        // trailing bytes after a valid checkpoint.
         assert!(decode_frame(9, &[]).is_err());
         assert!(decode_frame(9, &[0x80]).is_err());
+        assert!(decode_frame(9, &[0, 0x80]).is_err());
         let mut payload = Vec::new();
-        write_uvarint(&mut payload, 3);
+        write_uvarint(&mut payload, 0); // session
+        write_uvarint(&mut payload, 3); // boundary
         payload.extend_from_slice(b"QLVX");
         assert!(decode_frame(9, &payload).is_err());
         let mut payload = Vec::new();
+        write_uvarint(&mut payload, 0);
         write_uvarint(&mut payload, 3);
         qlove_wire::encode_summary(&[(1, 2)], &mut payload);
         assert!(decode_frame(9, &payload).is_ok());
@@ -944,7 +1163,8 @@ mod tests {
         // holds must be rejected before any allocation (the QLVS
         // decoder's count-vs-bytes check, reached through frame 9).
         let mut payload = Vec::new();
-        write_uvarint(&mut payload, 0);
+        write_uvarint(&mut payload, 0); // session
+        write_uvarint(&mut payload, 0); // boundary
         let mut qlvs = Vec::new();
         qlove_wire::encode_summary(&[(1, 1)], &mut qlvs);
         // Blow up the declared pair count (varint right after the QLVS
@@ -961,16 +1181,22 @@ mod tests {
         // Any cut that is not exactly a frame boundary must error; a
         // cut on a boundary yields the preceding frames then clean EOF.
         let frames = [
-            Frame::Config {
+            Frame::OpenSession {
+                session: 3,
                 config: sample_config(),
                 mode: WorkerMode::Shard,
             },
             Frame::Restore {
+                session: 3,
                 boundary: 7,
                 checkpoint: QloveSummary::from_counts(vec![(1, 2), (300, 1)]).unwrap(),
             },
-            Frame::EventBatch(vec![1, 2, 3]),
-            Frame::Heartbeat,
+            Frame::EventBatch {
+                session: 3,
+                values: vec![1, 2, 3],
+            },
+            Frame::CloseSession { session: 3 },
+            Frame::Heartbeat { session: 0 },
         ];
         let mut bytes = Vec::new();
         let mut clean_cuts = vec![0usize];
@@ -1033,8 +1259,9 @@ mod tests {
             }
         }
         let frames = [
-            Frame::Heartbeat,
+            Frame::Heartbeat { session: 9 },
             Frame::BoundarySummary {
+                session: 9,
                 boundary: 5,
                 summary: QloveSummary::from_counts(vec![(2, 9), (40, 1)]).unwrap(),
             },
@@ -1091,7 +1318,7 @@ mod tests {
             // Streamed: random header + noise payload.
             let mut stream = Vec::with_capacity(len + 5);
             stream.extend_from_slice(&(len as u32).to_le_bytes());
-            stream.push(next() % 11);
+            stream.push(next() % 12);
             stream.extend_from_slice(&noise);
             let mut reader = FrameReader::new(stream.as_slice());
             while let Ok(Some(_)) = reader.try_read_frame() {}

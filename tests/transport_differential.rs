@@ -10,16 +10,23 @@
 //! The worker harness: [`worker_child_entry`] is an ordinary test that
 //! no-ops in a normal run, but when `QLOVE_TRANSPORT_WORKER` is set it
 //! becomes the child's main: bind the endpoint, announce the resolved
-//! address on stdout, serve exactly one session, report, exit. The
-//! parent spawns `current_exe() --exact worker_child_entry` per worker
-//! — no extra binaries, and the children die with their session (or
-//! with the parent's `Drop`, so CI can never leak processes).
+//! address on stdout, serve every session on one connection, report,
+//! exit. The parent spawns `current_exe() --exact worker_child_entry`
+//! per worker — no extra binaries, and the children die with their
+//! connection (or with the parent's `Drop`, so CI can never leak
+//! processes).
+//!
+//! The multi-session differentials point the same harness at the v2
+//! multiplexed client: 64 interleaved sessions with mixed backends and
+//! modes over ONE child process, bit-identical per session — including
+//! a `kill -9` mid-run with per-session `Restore` recovery.
 
 use qlove::core::{AnswerSource, Backend, FewKConfig, Qlove, QloveAnswer, QloveConfig};
 use qlove::stream::parallel::BATCH;
 use qlove::transport::{
-    run_over_sockets, run_remote_operator, run_supervised, Conn, Endpoint, FailureEvent,
-    FailureKind, RecoveryPolicy, WorkerServer,
+    run_over_sockets, run_remote_operator, run_sessions, run_sessions_supervised, run_supervised,
+    Conn, Endpoint, FailureEvent, FailureKind, RecoveryPolicy, SessionSpec, WorkerMode,
+    WorkerServer,
 };
 use qlove::workloads::NormalGen;
 use std::io::{BufRead, BufReader, Write};
@@ -70,8 +77,10 @@ fn worker_child_entry() {
         .expect("announce listening endpoint");
     match server.serve_one() {
         Ok(report) => println!(
-            "{DONE_PREFIX} responses={} events={}",
-            report.responses, report.events
+            "{DONE_PREFIX} sessions={} responses={} events={}",
+            report.sessions_served(),
+            report.responses(),
+            report.events()
         ),
         Err(e) => println!("{ERROR_PREFIX} {e}"),
     }
@@ -289,6 +298,110 @@ fn worker_process_rejects_garbage_without_hanging() {
         outcome.starts_with(ERROR_PREFIX),
         "expected a decode error, got: {outcome}"
     );
+}
+
+// ---- multi-session differentials ------------------------------------------
+
+/// `n` fully independent session specs: varied window schedules, mixed
+/// tree/dense backends, varied stream lengths (so sessions finish at
+/// different times), and — unless `shard_only` — mixed shard/operator
+/// modes in the same process.
+fn session_specs(n: usize, shard_only: bool) -> Vec<SessionSpec> {
+    (0..n)
+        .map(|s| {
+            let period = 250 + 50 * (s % 2);
+            let window = period * (6 + s % 3);
+            let backend = if s % 2 == 0 {
+                Backend::Tree
+            } else {
+                Backend::Dense
+            };
+            let mode = if !shard_only && s % 4 == 3 {
+                WorkerMode::Operator
+            } else {
+                WorkerMode::Shard
+            };
+            SessionSpec {
+                config: QloveConfig::new(&PHIS, window, period).backend(backend),
+                mode,
+                values: NormalGen::generate(100 + s as u64, 3_000 + s * 17),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn multi_session_one_process_is_bit_identical() {
+    // The acceptance bar: ONE worker child process serves 64
+    // interleaved sessions — mixed backends, mixed shard/operator
+    // modes, distinct window schedules — and every session's answers
+    // (values, provenance, bounds, trailing partials) are bit-identical
+    // to its own sequential single-instance run.
+    let specs = session_specs(64, false);
+    let worker = WorkerProc::spawn("tcp:127.0.0.1:0");
+    let outcomes = run_sessions(worker.connect(), &specs).expect("multi-session run");
+    assert_eq!(outcomes.len(), specs.len());
+    for (s, (spec, outcome)) in specs.iter().zip(&outcomes).enumerate() {
+        let (want, single) = sequential_qlove(&spec.config, &spec.values);
+        assert!(!want.is_empty(), "session {s}: degenerate spec");
+        assert_eq!(outcome.answers, want, "session {s} ({:?})", spec.mode);
+        if spec.mode == WorkerMode::Shard {
+            assert_eq!(
+                outcome.pending,
+                single.pending(),
+                "session {s}: trailing partial sub-window"
+            );
+        }
+    }
+    let outcome = worker.join();
+    assert!(outcome.contains("sessions=64"), "{outcome}");
+}
+
+#[test]
+fn multi_session_kill_recovers_every_session() {
+    // kill -9 the child mid-run: the replacement process must re-host
+    // every unfinished session, each restored to its own acknowledged
+    // boundary, and all 64 answer streams must still come out
+    // bit-identical. The retry loop guards against the rare run that
+    // finishes before the signal lands — bit-identity is asserted on
+    // every attempt regardless.
+    let specs = session_specs(64, true);
+    let seq: Vec<Vec<QloveAnswer>> = specs
+        .iter()
+        .map(|spec| sequential_qlove(&spec.config, &spec.values).0)
+        .collect();
+    let mut delay = jitter_ms(3, 15);
+    let mut hit = false;
+    for attempt in 0..3 {
+        let victim = WorkerProc::spawn("tcp:127.0.0.1:0");
+        let conn = victim.connect();
+        let saboteur = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(delay));
+            victim.signal("KILL");
+            victim // keep the handle alive; the caller reaps it
+        });
+        let mut respawned: Vec<WorkerProc> = Vec::new();
+        let result = run_sessions_supervised(conn, &specs, &chaos_policy(), || {
+            let replacement = WorkerProc::spawn("tcp:127.0.0.1:0");
+            let conn = replacement.connect();
+            respawned.push(replacement);
+            Ok(conn)
+        });
+        drop(saboteur.join().expect("saboteur thread"));
+        let run = result.expect("supervised multi-session run must survive the kill");
+        for (s, (want, outcome)) in seq.iter().zip(&run.outcomes).enumerate() {
+            assert_eq!(&outcome.answers, want, "attempt {attempt} session {s}");
+        }
+        for event in &run.failures {
+            assert!(event.recovered, "attempt {attempt}: unrecovered {event:?}");
+        }
+        if !run.failures.is_empty() {
+            hit = true;
+            break;
+        }
+        delay = (delay / 2).max(1);
+    }
+    assert!(hit, "kill -9 never landed mid-run in 3 attempts");
 }
 
 // ---- chaos differentials --------------------------------------------------

@@ -20,7 +20,7 @@ use proptest::prelude::*;
 use qlove::core::{Backend, FewKConfig, Qlove, QloveAnswer, QloveConfig};
 use qlove::stream::parallel::BATCH;
 use qlove::transport::{
-    run_supervised, serve_stream, Conn, DistributedRun, FailureKind, RecoveryPolicy, SessionReport,
+    run_supervised, serve_stream, Conn, DistributedRun, FailureKind, RecoveryPolicy, ServeReport,
 };
 use std::io::{self, Read, Write};
 use std::net::Shutdown;
@@ -51,7 +51,7 @@ fn stream(seed: u64, n: usize) -> Vec<u64> {
 /// so tests never leak. Session/pump errors on a deliberately severed
 /// connection are expected and ignored.
 enum WorkerHandle {
-    Direct(JoinHandle<io::Result<SessionReport>>),
+    Direct(JoinHandle<io::Result<ServeReport>>),
     Proxied(Vec<JoinHandle<()>>),
 }
 

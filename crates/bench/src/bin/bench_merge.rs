@@ -569,6 +569,7 @@ fn measure_recovery(data: &[u64], passes: usize, out: &mut Vec<RecoveryRow>) {
             backoff: Duration::from_millis(1),
             deadline: Duration::from_secs(30),
             heartbeat: None, // EOF detection needs no probes
+            jitter: 0,
         };
         for pass in 0..passes {
             let (ours, theirs) = std::os::unix::net::UnixStream::pair().expect("socketpair");
@@ -594,6 +595,7 @@ fn measure_recovery(data: &[u64], passes: usize, out: &mut Vec<RecoveryRow>) {
                             writer.write_frame(&Frame::BoundarySummary {
                                 session,
                                 boundary,
+                                epoch: 0,
                                 summary: shard.take_summary(),
                             })?;
                             writer.flush()?;
@@ -640,6 +642,152 @@ fn measure_recovery(data: &[u64], passes: usize, out: &mut Vec<RecoveryRow>) {
             dying.join().expect("dying worker panicked").ok();
             for join in replacements {
                 join.join().expect("replacement worker panicked").ok();
+            }
+        }
+    }
+}
+
+/// One live-reshard measurement (report-only, like `recovery`): the
+/// dealer's ingest pause, the swap's control-frame and checkpoint
+/// footprint, and — on the kill pass — the frames replayed to carry
+/// the in-flight swap through a worker crash.
+struct ReshardRow {
+    pass: &'static str,
+    pause_us: u64,
+    paused_subwindows: u64,
+    swap_frames: usize,
+    checkpoint_bytes: usize,
+    replayed_frames: usize,
+    matches: bool,
+}
+
+/// Measure live-resharding costs over real in-process socket workers:
+/// a split (fresh worker joins mid-window), a merge (worker retired
+/// mid-window), and a split with the parent connection severed
+/// mid-swap so recovery must replay the reshard itself. Unix-only,
+/// like `measure_recovery`; report-only for the perf gate.
+#[allow(unused_variables)]
+fn measure_reshard(data: &[u64], out: &mut Vec<ReshardRow>) {
+    #[cfg(unix)]
+    {
+        use qlove_stream::parallel::{ReshardPlan, ReshardSpec};
+        use qlove_transport::{
+            interpose, run_resharded, serve_stream, Conn, CutAfter, RecoveryPolicy,
+        };
+        use std::sync::Mutex;
+
+        let cfg = QloveConfig::new(&PHIS, WINDOW, PERIOD).backend(Backend::Dense);
+        // Swap cost is per-event-independent; two windows suffice.
+        let data = &data[..data.len().min(2 * WINDOW)];
+        let span = data.iter().copied().max().unwrap_or(1) + 1;
+        let mut single = Qlove::new(cfg.clone());
+        let mut seq: Vec<QloveAnswer> = Vec::new();
+        for chunk in data.chunks(4096) {
+            single.push_batch_into(chunk, &mut seq);
+        }
+        let policy = RecoveryPolicy {
+            max_restarts: 3,
+            backoff: Duration::from_millis(1),
+            deadline: Duration::from_secs(30),
+            heartbeat: None, // EOF detection needs no probes
+            jitter: 0,
+        };
+        // Initial fleet splits [0, span) in half; the split pass cuts
+        // slot 0 again at the quarter point.
+        let passes: [(&'static str, ReshardSpec, Option<u64>); 3] = [
+            (
+                "split",
+                ReshardSpec {
+                    boundary: 3,
+                    plan: ReshardPlan::Split {
+                        slot: 0,
+                        pivot: span / 4,
+                    },
+                },
+                None,
+            ),
+            (
+                "merge",
+                ReshardSpec {
+                    boundary: 3,
+                    plan: ReshardPlan::Merge { left: 0 },
+                },
+                None,
+            ),
+            // Sever the fresh connection the split brings up after 3
+            // frames (Hello, OpenSession, Restore — the Reshard frame
+            // dies), so recovery has to replay the in-flight swap.
+            (
+                "split+kill",
+                ReshardSpec {
+                    boundary: 3,
+                    plan: ReshardPlan::Split {
+                        slot: 0,
+                        pivot: span / 4,
+                    },
+                },
+                Some(3),
+            ),
+        ];
+        for (pass, spec, cut) in passes {
+            let proxies = Mutex::new(Vec::new());
+            let workers = Mutex::new(Vec::new());
+            let spawn = |cut: Option<u64>| -> std::io::Result<Conn> {
+                let (ours, theirs) = std::os::unix::net::UnixStream::pair()?;
+                workers
+                    .lock()
+                    .unwrap()
+                    .push(std::thread::spawn(move || serve_stream(Conn::Unix(theirs))));
+                match cut {
+                    None => Ok(Conn::Unix(ours)),
+                    Some(cut) => {
+                        let (conn, proxy) = interpose(Conn::Unix(ours), CutAfter(cut))?;
+                        proxies.lock().unwrap().push(proxy);
+                        Ok(conn)
+                    }
+                }
+            };
+            let conns = vec![
+                spawn(None).expect("spawn shard 0"),
+                spawn(None).expect("spawn shard 1"),
+            ];
+            // Only the first bring-up of the fresh connection is cut;
+            // every replacement afterwards is healthy.
+            let fresh_cut = Mutex::new(cut);
+            let mut coordinator = Qlove::new(cfg.clone());
+            let run = run_resharded(
+                &cfg,
+                &mut coordinator,
+                conns,
+                data,
+                span,
+                std::slice::from_ref(&spec),
+                &policy,
+                |_conn| spawn(fresh_cut.lock().unwrap().take()),
+            )
+            .expect("resharded bench pass");
+            let matches = run.answers == seq;
+            let e = *run.events.first().expect("one executed reshard");
+            let replayed: usize = run.failures.iter().map(|f| f.replayed_frames).sum();
+            eprintln!(
+                "reshard {pass:>10}: pause {:6} µs ({} sub-window gap)  {} swap frames  \
+                 {:4} checkpoint B  {replayed:4} replayed frames  answers_match={matches}",
+                e.pause_us, e.paused_subwindows, e.swap_frames, e.checkpoint_bytes
+            );
+            out.push(ReshardRow {
+                pass,
+                pause_us: e.pause_us,
+                paused_subwindows: e.paused_subwindows,
+                swap_frames: e.swap_frames,
+                checkpoint_bytes: e.checkpoint_bytes,
+                replayed_frames: replayed,
+                matches,
+            });
+            for join in workers.into_inner().unwrap() {
+                join.join().expect("worker thread panicked").ok();
+            }
+            for proxy in proxies.into_inner().unwrap() {
+                proxy.join();
             }
         }
     }
@@ -762,6 +910,12 @@ fn main() {
     // recovery is off the failure-free hot path by construction.
     let mut recovery_rows: Vec<RecoveryRow> = Vec::new();
     measure_recovery(&data, 3, &mut recovery_rows);
+
+    // Live-resharding swap costs (split / merge / split under a
+    // mid-swap crash). Report-only, like `recovery`: the swap is off
+    // the steady-state hot path, so the gate never reads the section.
+    let mut reshard_rows: Vec<ReshardRow> = Vec::new();
+    measure_reshard(&data, &mut reshard_rows);
 
     // Isolated boundary-completion cost (few-k on/off, both backends).
     let mut boundary_rows: Vec<BoundaryRow> = Vec::new();
@@ -919,6 +1073,24 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"reshard\": [");
+    for (i, row) in reshard_rows.iter().enumerate() {
+        let comma = if i + 1 < reshard_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"pass\": \"{}\", \"pause_us\": {}, \"paused_subwindows\": {}, \
+             \"swap_frames\": {}, \"checkpoint_bytes\": {}, \"replayed_frames\": {}, \
+             \"answers_match_sequential\": {}}}{comma}",
+            row.pass,
+            row.pause_us,
+            row.paused_subwindows,
+            row.swap_frames,
+            row.checkpoint_bytes,
+            row.replayed_frames,
+            row.matches
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"boundary_cost_us\": [");
     for (i, row) in boundary_rows.iter().enumerate() {
         let comma = if i + 1 < boundary_rows.len() { "," } else { "" };
@@ -970,6 +1142,7 @@ fn main() {
         || transport_rows.iter().any(|r| !r.matches)
         || sessions_rows.iter().any(|r| !r.matches)
         || recovery_rows.iter().any(|r| !r.matches)
+        || reshard_rows.iter().any(|r| !r.matches)
     {
         eprintln!("bench_merge: distributed answers diverged from sequential");
         std::process::exit(1);

@@ -75,6 +75,31 @@
 //! ring — answers stay bit-identical. In `--connect` mode the flags
 //! only add hang *detection* (the remote operator owns the full
 //! window state, so its crash is unrecoverable by design).
+//!
+//! **Live resharding** (QLOVE only): `--reshard-at B:split:SLOT:PIVOT`
+//! or `--reshard-at B:merge:LEFT` (repeatable, ascending boundaries)
+//! changes the shard set **mid-window** at sub-window boundary B,
+//! with answers still bit-identical to a single-instance run:
+//!
+//! ```text
+//! # three workers: two initial shards + one spare for the split
+//! qlove_cli --coordinate unix:/tmp/q1.sock,unix:/tmp/q2.sock,unix:/tmp/q3.sock \
+//!           --shards 2 --reshard-at 4:split:1:700000 --reshard-at 9:merge:0 \
+//!           --demo netmon --events 500000
+//! ```
+//!
+//! A split retires slot SLOT and opens two successors around value
+//! PIVOT — the high half on the next spare endpoint from the
+//! `--coordinate` list; a merge fuses slot LEFT with its range
+//! neighbour and shuts the freed worker down. `--reshard-auto N`
+//! instead derives the schedule from measured load (split a shard
+//! whose sub-window load exceeds N, re-merge when it cools).
+//! `--shards K` sets the initial fleet to the first K endpoints (with
+//! `--reshard-at` it defaults to every endpoint not needed as a split
+//! spare); `--span S` bounds the value key-range that is partitioned
+//! (default 1000000 — routing never affects answers, only balance).
+//! Both flags also work with the in-process `--distributed N`
+//! executor, which reshards local accumulators instead of sockets.
 
 use qlove_core::{Backend, Qlove, QloveConfig, QloveShard};
 use qlove_sketches::{
@@ -101,6 +126,10 @@ struct Args {
     sessions: usize,
     max_restarts: u32,
     heartbeat_ms: u64,
+    reshard_at: Vec<String>,
+    reshard_auto: usize,
+    shards: usize,
+    span: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -120,6 +149,10 @@ fn parse_args() -> Result<Args, String> {
         sessions: 1,
         max_restarts: 0,
         heartbeat_ms: 0,
+        reshard_at: Vec::new(),
+        reshard_auto: 0,
+        shards: 0,
+        span: 1_000_000,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -166,6 +199,20 @@ fn parse_args() -> Result<Args, String> {
             "--heartbeat-ms" => {
                 args.heartbeat_ms = need_value(i)?.parse().map_err(|e| format!("{e}"))?;
             }
+            "--reshard-at" => args.reshard_at.push(need_value(i)?.to_string()),
+            "--reshard-auto" => {
+                args.reshard_auto = need_value(i)?.parse().map_err(|e| format!("{e}"))?;
+                if args.reshard_auto == 0 {
+                    return Err("--reshard-auto needs a positive load threshold".into());
+                }
+            }
+            "--shards" => {
+                args.shards = need_value(i)?.parse().map_err(|e| format!("{e}"))?;
+                if args.shards == 0 {
+                    return Err("--shards needs at least one shard".into());
+                }
+            }
+            "--span" => args.span = need_value(i)?.parse().map_err(|e| format!("{e}"))?,
             "--demo" => args.demo = Some(need_value(i)?.to_string()),
             "--worker" => args.worker = Some(need_value(i)?.to_string()),
             "--connect" => args.connect = Some(need_value(i)?.to_string()),
@@ -192,7 +239,9 @@ fn parse_args() -> Result<Args, String> {
                      [--demo netmon|search|normal|uniform|pareto --events N] [--batch N] \
                      [--distributed N] [--backend tree|dense|auto] \
                      [--worker ENDPOINT | --coordinate EP1,EP2,... | --connect ENDPOINT] \
-                     [--sessions N] [--max-restarts N] [--heartbeat-ms MS]"
+                     [--sessions N] [--max-restarts N] [--heartbeat-ms MS] \
+                     [--reshard-at B:split:SLOT:PIVOT | B:merge:LEFT]... \
+                     [--reshard-auto LOAD] [--shards K] [--span S]"
                 );
                 std::process::exit(0);
             }
@@ -320,6 +369,150 @@ fn recovery_policy(args: &Args) -> qlove_transport::RecoveryPolicy {
     policy
 }
 
+/// Parse one `--reshard-at` spec: `B:split:SLOT:PIVOT` or
+/// `B:merge:LEFT`.
+fn parse_reshard_spec(raw: &str) -> Result<qlove_stream::parallel::ReshardSpec, String> {
+    use qlove_stream::parallel::{ReshardPlan, ReshardSpec};
+    let bad = || {
+        format!("bad --reshard-at spec {raw:?}: expected BOUNDARY:split:SLOT:PIVOT or BOUNDARY:merge:LEFT")
+    };
+    let parts: Vec<&str> = raw.split(':').collect();
+    let parse = |s: &str| s.parse::<u64>().map_err(|_| bad());
+    match parts.as_slice() {
+        [b, "split", slot, pivot] => Ok(ReshardSpec {
+            boundary: parse(b)?,
+            plan: ReshardPlan::Split {
+                slot: parse(slot)? as usize,
+                pivot: parse(pivot)?,
+            },
+        }),
+        [b, "merge", left] => Ok(ReshardSpec {
+            boundary: parse(b)?,
+            plan: ReshardPlan::Merge {
+                left: parse(left)? as usize,
+            },
+        }),
+        _ => Err(bad()),
+    }
+}
+
+/// Resolve the reshard schedule for `shards` initial shards: explicit
+/// `--reshard-at` specs, or a load-derived plan under `--reshard-auto`.
+fn reshard_schedule(
+    args: &Args,
+    values: &[u64],
+    shards: usize,
+) -> Result<Vec<qlove_stream::parallel::ReshardSpec>, String> {
+    if args.reshard_auto > 0 {
+        if !args.reshard_at.is_empty() {
+            return Err("pick one of --reshard-at / --reshard-auto".into());
+        }
+        let specs = qlove_stream::parallel::plan_reshards(
+            values,
+            args.period,
+            shards,
+            args.span,
+            args.reshard_auto,
+            8,
+        )?;
+        eprintln!(
+            "qlove_cli: --reshard-auto {} planned {} reshard(s)",
+            args.reshard_auto,
+            specs.len()
+        );
+        return Ok(specs);
+    }
+    args.reshard_at
+        .iter()
+        .map(|s| parse_reshard_spec(s))
+        .collect()
+}
+
+fn count_splits(specs: &[qlove_stream::parallel::ReshardSpec]) -> usize {
+    specs
+        .iter()
+        .filter(|s| matches!(s.plan, qlove_stream::parallel::ReshardPlan::Split { .. }))
+        .count()
+}
+
+/// `--coordinate` with resharding: the first `shards` endpoints are the
+/// initial fleet; each split consumes the next spare endpoint from the
+/// list for its fresh worker. Recovery reconnects whichever endpoint
+/// the failed connection index maps to.
+fn run_coordinate_resharded(
+    args: &Args,
+    cfg: &QloveConfig,
+    values: &[u64],
+    endpoints: &[qlove_transport::Endpoint],
+    conns: Vec<qlove_transport::Conn>,
+) -> Result<(), String> {
+    let shards = conns.len();
+    let specs = reshard_schedule(args, values, shards)?;
+    let needed = shards + count_splits(&specs);
+    if endpoints.len() < needed {
+        return Err(format!(
+            "reshard schedule needs {needed} worker endpoints ({shards} initial + {} split \
+             spare(s)), got {}",
+            needed - shards,
+            endpoints.len()
+        ));
+    }
+    let mut coordinator = Qlove::new(cfg.clone());
+    let connect = |conn: usize| {
+        qlove_transport::Conn::connect_retry(&endpoints[conn], std::time::Duration::from_secs(5))
+    };
+    let run = qlove_transport::run_resharded(
+        cfg,
+        &mut coordinator,
+        conns,
+        values,
+        args.span,
+        &specs,
+        &recovery_policy(args),
+        connect,
+    )
+    .map_err(|e| e.to_string())?;
+    for f in &run.failures {
+        eprintln!(
+            "qlove_cli: connection {} {:?} at boundary {} ({}): detect {} µs, restore {} µs, \
+             replayed {} frames",
+            f.shard,
+            f.kind,
+            f.boundary,
+            if f.recovered { "recovered" } else { "gave up" },
+            f.detect_us,
+            f.restore_us,
+            f.replayed_frames
+        );
+    }
+    for e in &run.events {
+        eprintln!(
+            "qlove_cli: reshard at boundary {} (epoch {}): {:?} — paused {} µs \
+             ({} sub-window gap), {} swap frames, {} checkpoint bytes",
+            e.boundary,
+            e.epoch,
+            e.plan,
+            e.pause_us,
+            e.paused_subwindows,
+            e.swap_frames,
+            e.checkpoint_bytes
+        );
+    }
+    eprintln!(
+        "qlove_cli: merged {} boundaries across {} reshard(s) ({:.1} µs merge overlap/boundary)",
+        run.stats.boundaries,
+        run.events.len(),
+        run.stats.overlap_us_per_boundary()
+    );
+    print_answers(
+        &args.phis,
+        args.window,
+        args.period,
+        &run.answers,
+        coordinator.space_variables(),
+    )
+}
+
 /// `--coordinate EP1,EP2,...`: one logical window over worker
 /// processes, dealt over sockets, merged with the pipelined
 /// coordinator; answers are bit-identical to a single-process run.
@@ -339,14 +532,55 @@ fn run_coordinate_mode(args: &Args) -> Result<(), String> {
     };
     let cfg = QloveConfig::new(&args.phis, args.window, args.period).backend(args.backend);
     let mut endpoints = Vec::with_capacity(args.coordinate.len());
-    let mut conns = Vec::with_capacity(args.coordinate.len());
     for spec in &args.coordinate {
-        let endpoint = qlove_transport::Endpoint::parse(spec).map_err(|e| e.to_string())?;
-        let conn =
-            qlove_transport::Conn::connect_retry(&endpoint, std::time::Duration::from_secs(10))
-                .map_err(|e| e.to_string())?;
-        endpoints.push(endpoint);
-        conns.push(conn);
+        endpoints.push(qlove_transport::Endpoint::parse(spec).map_err(|e| e.to_string())?);
+    }
+    // With resharding, only the initial fleet connects now; the spare
+    // endpoints are consumed lazily when a split brings a worker up.
+    let resharding = !args.reshard_at.is_empty() || args.reshard_auto > 0;
+    let fleet = if !resharding {
+        endpoints.len()
+    } else if args.shards > 0 {
+        args.shards
+    } else if args.reshard_auto > 0 {
+        return Err(
+            "--reshard-auto with --coordinate needs --shards K (initial fleet size; the \
+             remaining endpoints are spares for splits)"
+                .into(),
+        );
+    } else {
+        let specs: Vec<_> = args
+            .reshard_at
+            .iter()
+            .map(|s| parse_reshard_spec(s))
+            .collect::<Result<_, _>>()?;
+        match endpoints.len().checked_sub(count_splits(&specs)) {
+            Some(fleet) if fleet > 0 => fleet,
+            _ => {
+                return Err(format!(
+                    "the reshard schedule has {} split(s) but --coordinate lists only {} \
+                     endpoint(s); each split needs a spare endpoint beyond the initial fleet",
+                    count_splits(&specs),
+                    endpoints.len()
+                ))
+            }
+        }
+    };
+    if fleet > endpoints.len() {
+        return Err(format!(
+            "--shards {fleet} exceeds the {} endpoints in --coordinate",
+            endpoints.len()
+        ));
+    }
+    let mut conns = Vec::with_capacity(fleet);
+    for endpoint in &endpoints[..fleet] {
+        conns.push(
+            qlove_transport::Conn::connect_retry(endpoint, std::time::Duration::from_secs(10))
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    if resharding {
+        return run_coordinate_resharded(args, &cfg, &values, &endpoints, conns);
     }
     let mut coordinator = Qlove::new(cfg.clone());
     // Recovery reconnects to the same endpoint: a worker restarted by
@@ -501,6 +735,29 @@ fn run_distributed_mode(args: &Args) -> Result<(), String> {
     };
     let cfg = QloveConfig::new(&args.phis, args.window, args.period).backend(args.backend);
     let mut coordinator = Qlove::new(cfg.clone());
+    if !args.reshard_at.is_empty() || args.reshard_auto > 0 {
+        let specs = reshard_schedule(args, &values, args.distributed)?;
+        let answers = qlove_stream::parallel::run_resharded(
+            || QloveShard::new(&cfg),
+            &mut coordinator,
+            cfg.period,
+            &values,
+            args.distributed,
+            args.span,
+            &specs,
+        )?;
+        eprintln!(
+            "qlove_cli: in-process resharded run applied {} reshard(s)",
+            specs.len()
+        );
+        return print_answers(
+            &args.phis,
+            args.window,
+            args.period,
+            &answers,
+            coordinator.space_variables(),
+        );
+    }
     let answers = run_distributed(
         || QloveShard::new(&cfg),
         &mut coordinator,
@@ -533,6 +790,15 @@ fn run() -> Result<(), String> {
     }
     if args.sessions > 1 && args.connect.is_none() {
         return Err("--sessions only applies to --connect".into());
+    }
+    if (!args.reshard_at.is_empty() || args.reshard_auto > 0)
+        && args.coordinate.is_empty()
+        && args.distributed == 0
+    {
+        return Err("--reshard-at/--reshard-auto apply to --coordinate or --distributed".into());
+    }
+    if args.shards > 0 && args.coordinate.is_empty() {
+        return Err("--shards only applies to --coordinate with resharding".into());
     }
     if let Some(spec) = &args.worker {
         return run_worker_mode(&args, spec);
@@ -624,5 +890,39 @@ fn main() {
     if let Err(e) = run() {
         eprintln!("qlove_cli: {e}");
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_reshard_spec;
+    use qlove_stream::parallel::ReshardPlan;
+
+    #[test]
+    fn reshard_specs_parse_and_reject() {
+        let split = parse_reshard_spec("4:split:1:700000").unwrap();
+        assert_eq!(split.boundary, 4);
+        assert_eq!(
+            split.plan,
+            ReshardPlan::Split {
+                slot: 1,
+                pivot: 700_000
+            }
+        );
+        let merge = parse_reshard_spec("9:merge:0").unwrap();
+        assert_eq!(merge.boundary, 9);
+        assert_eq!(merge.plan, ReshardPlan::Merge { left: 0 });
+        for bad in [
+            "",
+            "4",
+            "4:split:1",
+            "4:merge",
+            "4:merge:0:1",
+            "x:merge:0",
+            "4:split:a:b",
+            "4:grow:1:2",
+        ] {
+            assert!(parse_reshard_spec(bad).is_err(), "{bad:?}");
+        }
     }
 }

@@ -639,6 +639,29 @@ mod tests {
     }
 
     #[test]
+    fn reshard_rows_are_recorded_but_not_gated() {
+        // Live-resharding swap costs ride in the artifact for
+        // observability, but a reshard is a one-off control-plane
+        // event off the steady-state hot path: the gate must not read
+        // the section, so swap-cost jitter can never flip the perf
+        // verdict. Steady-state socket throughput stays gated through
+        // the transport rows in the same artifact.
+        let with_reshard = r#"{
+          "experiment": "merge",
+          "reshard": [
+            {"pass": "split", "pause_us": 410, "paused_subwindows": 1, "swap_frames": 7, "checkpoint_bytes": 1220, "replayed_frames": 0, "answers_match_sequential": true},
+            {"pass": "split+kill", "pause_us": 460, "paused_subwindows": 1, "swap_frames": 7, "checkpoint_bytes": 1220, "replayed_frames": 9, "answers_match_sequential": true}
+          ],
+          "transport": [
+            {"transport": "uds", "shards": 4, "melems_per_sec": 18.0, "answers_match_sequential": true}
+          ]
+        }"#;
+        let metrics = extract_metrics(&parse_json(with_reshard).unwrap());
+        assert_eq!(metrics.len(), 1);
+        assert!(metrics[0].name.starts_with("merge/transport"));
+    }
+
+    #[test]
     fn sessions_rows_are_recorded_but_not_gated() {
         // The sessions/process scaling curve rides in the artifact for
         // observability, but on the 1-CPU CI host it measures scheduler

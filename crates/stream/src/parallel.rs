@@ -445,6 +445,455 @@ where
     })
 }
 
+// ---------------------------------------------------------------------------
+// Live resharding: elastic shard split/merge mid-window.
+//
+// The dealt-stream executors above freeze the shard set at window start.
+// The types here describe a shard set that *changes while the window
+// runs*: shards own half-open value ranges (a `RangeTable`), a
+// `ReshardPlan` splits one range in two or merges two adjacent ranges,
+// and a `ReshardSchedule` pins each plan to the sub-window boundary
+// where it takes effect. Because sub-window summaries are commutative
+// multiset unions, *where* an element is accumulated never affects the
+// merged answer — only that each boundary group covers exactly its
+// sub-window — so the shard set can change between two sub-windows with
+// answers still bit-identical to a sequential run. `run_resharded` is
+// the sequential in-process reference implementation differential tests
+// compare against; the socket runtime in `qlove_transport` executes the
+// same schedule across worker processes.
+// ---------------------------------------------------------------------------
+
+/// One elastic reconfiguration of the shard set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReshardPlan {
+    /// Split `slot`'s value range at `pivot`: the successor covering
+    /// `[lo, pivot)` replaces the parent, a second successor covers
+    /// `[pivot, hi)`.
+    Split {
+        /// The live slot to split.
+        slot: usize,
+        /// New range boundary; must lie strictly inside the slot's range.
+        pivot: u64,
+    },
+    /// Merge `left`'s range with the next range above it into one
+    /// successor covering both.
+    Merge {
+        /// The lower of the two adjacent slots to merge.
+        left: usize,
+    },
+}
+
+/// A [`ReshardPlan`] pinned to the sub-window boundary where it takes
+/// effect: sub-windows `< boundary` run on the old shard set,
+/// sub-windows `>= boundary` on the new one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReshardSpec {
+    /// First sub-window index dealt under the new shard set (≥ 1).
+    pub boundary: u64,
+    /// The reconfiguration to apply at that boundary.
+    pub plan: ReshardPlan,
+}
+
+/// A successor shard created by a reshard: its stable slot id and the
+/// lower bound of the value range it owns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NewShard {
+    /// The successor's slot id (also its wire session id).
+    pub slot: usize,
+    /// Lower bound (inclusive) of the successor's value range.
+    pub lo: u64,
+}
+
+/// What one applied [`ReshardPlan`] did to the shard set.
+///
+/// Slot ids are never reused: a split retires one slot and creates two,
+/// a merge retires two and creates one. By convention the *first*
+/// created slot inherits the first retired parent's host (for a split,
+/// the low half stays where the parent ran; for a merge, the successor
+/// runs where the left parent ran) — the socket runtime uses this to
+/// open the successor as a new session on the surviving connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReshardDelta {
+    /// The plan that produced this delta.
+    pub plan: ReshardPlan,
+    /// Retired slots, in range order.
+    pub retired: Vec<usize>,
+    /// Created slots, in range order.
+    pub created: Vec<NewShard>,
+}
+
+/// The dealer's routing table: which shard slot owns which value range.
+///
+/// Ranges are half-open `[lo, next lo)`, ascending, covering all of
+/// `u64` (the first bound is 0, the last range is unbounded above).
+/// Routing never affects merged answers — summaries are commutative —
+/// so the bounds only steer load; correctness needs nothing from them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeTable {
+    /// `(lower bound, slot)` per live shard, strictly ascending by
+    /// bound; entry `k` owns `[bound_k, bound_{k+1})`.
+    bounds: Vec<(u64, usize)>,
+    /// Next slot id to assign (slot ids are never reused).
+    next_slot: usize,
+}
+
+impl RangeTable {
+    /// `shards` slots (ids `0..shards`) evenly partitioning `[0, span)`,
+    /// with the last slot unbounded above. `span` only steers balance
+    /// for the expected value domain (e.g. the quantization range);
+    /// values `>= span` simply land in the top slot.
+    ///
+    /// # Panics
+    /// Panics when `shards == 0` or `span < shards` (the bounds could
+    /// not be strictly ascending).
+    pub fn even(shards: usize, span: u64) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(span >= shards as u64, "span too small for shard count");
+        let step = span / shards as u64;
+        Self {
+            bounds: (0..shards).map(|i| (i as u64 * step, i)).collect(),
+            next_slot: shards,
+        }
+    }
+
+    /// The `(lower bound, slot)` pairs, ascending by bound.
+    pub fn bounds(&self) -> &[(u64, usize)] {
+        &self.bounds
+    }
+
+    /// Number of live shards.
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// `false` always — a table never goes empty (merges stop at one).
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+
+    /// The slot owning `value`.
+    pub fn route(&self, value: u64) -> usize {
+        let idx = self.bounds.partition_point(|&(lo, _)| lo <= value) - 1;
+        self.bounds[idx].1
+    }
+
+    /// `slot`'s range as `(lo, hi)`, `hi = None` for the top slot.
+    pub fn slot_range(&self, slot: usize) -> Option<(u64, Option<u64>)> {
+        let idx = self.bounds.iter().position(|&(_, s)| s == slot)?;
+        Some((
+            self.bounds[idx].0,
+            self.bounds.get(idx + 1).map(|&(lo, _)| lo),
+        ))
+    }
+
+    /// Apply one plan, mutating the table and reporting what changed.
+    /// Fails (leaving the table untouched) when the plan names a dead
+    /// slot, a split pivot outside the parent's range, or a merge of
+    /// the top slot.
+    pub fn apply(&mut self, plan: ReshardPlan) -> Result<ReshardDelta, String> {
+        match plan {
+            ReshardPlan::Split { slot, pivot } => {
+                let idx = self
+                    .bounds
+                    .iter()
+                    .position(|&(_, s)| s == slot)
+                    .ok_or_else(|| format!("split: slot {slot} is not live"))?;
+                let lo = self.bounds[idx].0;
+                let hi = self.bounds.get(idx + 1).map(|&(b, _)| b);
+                if pivot <= lo || hi.is_some_and(|h| pivot >= h) {
+                    return Err(format!(
+                        "split: pivot {pivot} outside slot {slot}'s range [{lo}, {})",
+                        hi.map_or("∞".into(), |h| h.to_string())
+                    ));
+                }
+                let (a, b) = (self.next_slot, self.next_slot + 1);
+                self.next_slot += 2;
+                self.bounds[idx] = (lo, a);
+                self.bounds.insert(idx + 1, (pivot, b));
+                Ok(ReshardDelta {
+                    plan,
+                    retired: vec![slot],
+                    created: vec![NewShard { slot: a, lo }, NewShard { slot: b, lo: pivot }],
+                })
+            }
+            ReshardPlan::Merge { left } => {
+                let idx = self
+                    .bounds
+                    .iter()
+                    .position(|&(_, s)| s == left)
+                    .ok_or_else(|| format!("merge: slot {left} is not live"))?;
+                if idx + 1 >= self.bounds.len() {
+                    return Err(format!("merge: slot {left} has no slot above it"));
+                }
+                let right = self.bounds[idx + 1].1;
+                let lo = self.bounds[idx].0;
+                let m = self.next_slot;
+                self.next_slot += 1;
+                self.bounds.remove(idx + 1);
+                self.bounds[idx] = (lo, m);
+                Ok(ReshardDelta {
+                    plan,
+                    retired: vec![left, right],
+                    created: vec![NewShard { slot: m, lo }],
+                })
+            }
+        }
+    }
+}
+
+/// The fully-validated, static timeline of a resharded run: one epoch
+/// per applied plan (epoch 0 is the initial shard set), each with the
+/// routing table in force and the delta that created it.
+///
+/// Everything downstream — the in-process reference, the socket
+/// dealer, and the epoch-aware collector — derives its view from this
+/// one schedule, so dealer and collector agree on group membership for
+/// every boundary without runtime coordination.
+#[derive(Debug, Clone)]
+pub struct ReshardSchedule {
+    /// `(first boundary of the epoch, table in force, delta)`; entry 0
+    /// is `(0, initial table, None)`.
+    epochs: Vec<(u64, RangeTable, Option<ReshardDelta>)>,
+}
+
+impl ReshardSchedule {
+    /// Validate `specs` (strictly ascending boundaries, all ≥ 1, each
+    /// plan legal against the table it amends) and build the timeline.
+    pub fn build(shards: usize, span: u64, specs: &[ReshardSpec]) -> Result<Self, String> {
+        if shards == 0 {
+            return Err("need at least one shard".into());
+        }
+        if span < shards as u64 {
+            return Err(format!("span {span} too small for {shards} shards"));
+        }
+        let mut epochs = vec![(0u64, RangeTable::even(shards, span), None)];
+        for spec in specs {
+            let (last_boundary, table, _) = epochs.last().expect("epoch 0 always exists");
+            if spec.boundary == 0 {
+                return Err("reshard boundary 0 would precede all data; use ≥ 1".into());
+            }
+            if epochs.len() > 1 && spec.boundary <= *last_boundary {
+                return Err(format!(
+                    "reshard boundaries must be strictly ascending ({} after {})",
+                    spec.boundary, last_boundary
+                ));
+            }
+            let mut table = table.clone();
+            let delta = table.apply(spec.plan)?;
+            epochs.push((spec.boundary, table, Some(delta)));
+        }
+        Ok(Self { epochs })
+    }
+
+    /// Number of epochs (1 + applied plans).
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// `false` always — epoch 0 always exists.
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+
+    /// The epoch in force for sub-window `boundary`.
+    pub fn epoch_at(&self, boundary: u64) -> u64 {
+        (self
+            .epochs
+            .partition_point(|&(from, _, _)| from <= boundary)
+            - 1) as u64
+    }
+
+    /// First sub-window of `epoch`.
+    pub fn from_boundary(&self, epoch: u64) -> u64 {
+        self.epochs[epoch as usize].0
+    }
+
+    /// Routing table in force during `epoch`.
+    pub fn table(&self, epoch: u64) -> &RangeTable {
+        &self.epochs[epoch as usize].1
+    }
+
+    /// The delta that opened `epoch` (`None` for epoch 0).
+    pub fn delta(&self, epoch: u64) -> Option<&ReshardDelta> {
+        self.epochs[epoch as usize].2.as_ref()
+    }
+
+    /// Total slots ever created (initial + successors); slot ids are
+    /// dense in `0..slot_count()`.
+    pub fn slot_count(&self) -> usize {
+        self.epochs
+            .last()
+            .expect("epoch 0 always exists")
+            .1
+            .next_slot
+    }
+}
+
+/// [`run_distributed`] with a shard set that changes mid-window: the
+/// sequential **reference implementation** of live resharding, which
+/// the socket runtime's differential tests compare against.
+///
+/// Each sub-window is routed under the schedule's table for that
+/// boundary; at each epoch boundary the retired shards are dropped and
+/// the successors start empty — exactly what the distributed swap
+/// restores from boundary checkpoints, which are empty *at* a boundary
+/// (sub-window state was just shipped). Every live shard ships a
+/// summary every boundary (empty ones included), so each boundary
+/// group covers exactly its sub-window and the merged answers — values,
+/// provenance, bounds, burst flags, trailing pending state — are
+/// bit-identical to a sequential single-instance run.
+pub fn run_resharded<S, C, F>(
+    make_shard: F,
+    coordinator: &mut C,
+    period: usize,
+    values: &[u64],
+    shards: usize,
+    span: u64,
+    specs: &[ReshardSpec],
+) -> Result<Vec<C::Output>, String>
+where
+    S: ShardAccumulator<Input = u64>,
+    C: SummaryMerge<Summary = S::Summary>,
+    F: Fn() -> S,
+{
+    assert!(period > 0, "need a positive sub-window period");
+    let schedule = ReshardSchedule::build(shards, span, specs)?;
+    let mut slots: Vec<Option<S>> = Vec::new();
+    slots.resize_with(schedule.slot_count(), || None);
+    let mut bufs: Vec<Vec<u64>> = vec![Vec::new(); schedule.slot_count()];
+    for &(_, slot) in schedule.table(0).bounds() {
+        slots[slot] = Some(make_shard());
+    }
+    let mut epoch = 0u64;
+    let mut answers = Vec::new();
+    for (w, sub) in values.chunks(period).enumerate() {
+        let due = schedule.epoch_at(w as u64);
+        while epoch < due {
+            epoch += 1;
+            let delta = schedule.delta(epoch).expect("non-zero epochs have deltas");
+            for &retired in &delta.retired {
+                slots[retired] = None;
+            }
+            for created in &delta.created {
+                slots[created.slot] = Some(make_shard());
+            }
+        }
+        let table = schedule.table(epoch);
+        for &v in sub {
+            bufs[table.route(v)].push(v);
+        }
+        for &(_, slot) in table.bounds() {
+            let shard = slots[slot].as_mut().expect("live slot has a shard");
+            let buf = &mut bufs[slot];
+            for chunk in buf.chunks(BATCH) {
+                shard.ingest_batch(chunk);
+            }
+            buf.clear();
+        }
+        for &(_, slot) in table.bounds() {
+            let shard = slots[slot].as_mut().expect("live slot has a shard");
+            if let Some(answer) = coordinator.merge_summary(&shard.take_summary()) {
+                answers.push(answer);
+            }
+        }
+    }
+    Ok(answers)
+}
+
+/// Derive a reshard schedule from observed load: the **load-triggered
+/// policy** behind `qlove_cli --reshard-auto`.
+///
+/// Walks the stream one sub-window at a time, simulating routing under
+/// the evolving table, and emits at most one plan per boundary: a slot
+/// whose sub-window element count exceeds `split_above` is split at
+/// the median of the values it routed (taking effect at the *next*
+/// boundary — decisions are made at boundary granularity, exactly when
+/// a live coordinator would make them); when no split triggers, the
+/// adjacent pair with the smallest combined count merges if it stays
+/// under `split_above / 4` (cold ranges collapse). Deterministic in
+/// the input; capped at `max_plans` plans.
+pub fn plan_reshards(
+    values: &[u64],
+    period: usize,
+    shards: usize,
+    span: u64,
+    split_above: usize,
+    max_plans: usize,
+) -> Result<Vec<ReshardSpec>, String> {
+    if period == 0 {
+        return Err("need a positive sub-window period".into());
+    }
+    if shards == 0 {
+        return Err("need at least one shard".into());
+    }
+    if span < shards as u64 {
+        return Err(format!("span {span} too small for {shards} shards"));
+    }
+    if split_above == 0 {
+        return Err("--reshard-auto threshold must be positive".into());
+    }
+    let mut table = RangeTable::even(shards, span);
+    let mut routed: Vec<Vec<u64>> = vec![Vec::new(); table.next_slot];
+    let mut specs = Vec::new();
+    for (w, sub) in values.chunks(period).enumerate() {
+        if specs.len() == max_plans {
+            break;
+        }
+        routed.resize_with(table.next_slot, Vec::new);
+        for buf in &mut routed {
+            buf.clear();
+        }
+        for &v in sub {
+            routed[table.route(v)].push(v);
+        }
+        let plan = {
+            let hottest = table
+                .bounds()
+                .iter()
+                .map(|&(_, slot)| slot)
+                .max_by_key(|&slot| routed[slot].len())
+                .expect("table is never empty");
+            if routed[hottest].len() > split_above {
+                // Split the hot slot at the median of what it routed;
+                // skipped when every element equals the lower bound
+                // (no pivot could peel load off).
+                let (lo, _) = table.slot_range(hottest).expect("hottest slot is live");
+                let mut sorted = routed[hottest].clone();
+                sorted.sort_unstable();
+                let median = sorted[sorted.len() / 2];
+                let pivot = if median > lo {
+                    Some(median)
+                } else {
+                    sorted.iter().copied().find(|&v| v > lo)
+                };
+                pivot.map(|pivot| ReshardPlan::Split {
+                    slot: hottest,
+                    pivot,
+                })
+            } else if table.len() > 1 {
+                // Coldest adjacent pair, merged only while clearly cold.
+                let bounds = table.bounds();
+                (0..bounds.len() - 1)
+                    .min_by_key(|&i| routed[bounds[i].1].len() + routed[bounds[i + 1].1].len())
+                    .filter(|&i| {
+                        routed[bounds[i].1].len() + routed[bounds[i + 1].1].len() < split_above / 4
+                    })
+                    .map(|i| ReshardPlan::Merge { left: bounds[i].1 })
+            } else {
+                None
+            }
+        };
+        if let Some(plan) = plan {
+            table.apply(plan).map_err(|e| format!("auto plan: {e}"))?;
+            specs.push(ReshardSpec {
+                boundary: w as u64 + 1,
+                plan,
+            });
+        }
+    }
+    Ok(specs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -629,6 +1078,207 @@ mod tests {
         let mut coord = SumCoordinator::new(10, 2);
         let got = run_distributed(SumShard::default, &mut coord, 10, &data, 16);
         assert_eq!(got, sequential_window_sums(&data, 10, 2));
+    }
+
+    #[test]
+    fn range_table_routes_every_value_to_exactly_one_live_slot() {
+        let table = RangeTable::even(4, 1_000);
+        assert_eq!(table.bounds(), &[(0, 0), (250, 1), (500, 2), (750, 3)]);
+        assert_eq!(table.route(0), 0);
+        assert_eq!(table.route(249), 0);
+        assert_eq!(table.route(250), 1);
+        assert_eq!(table.route(999), 3);
+        // Values beyond the span land in the (unbounded) top slot.
+        assert_eq!(table.route(u64::MAX), 3);
+        assert_eq!(table.slot_range(1), Some((250, Some(500))));
+        assert_eq!(table.slot_range(3), Some((750, None)));
+        assert_eq!(table.slot_range(9), None);
+    }
+
+    #[test]
+    fn range_table_split_and_merge_never_reuse_slots() {
+        let mut table = RangeTable::even(2, 100);
+        let delta = table
+            .apply(ReshardPlan::Split { slot: 0, pivot: 20 })
+            .unwrap();
+        assert_eq!(delta.retired, vec![0]);
+        assert_eq!(
+            delta.created,
+            vec![NewShard { slot: 2, lo: 0 }, NewShard { slot: 3, lo: 20 }]
+        );
+        assert_eq!(table.bounds(), &[(0, 2), (20, 3), (50, 1)]);
+        let delta = table.apply(ReshardPlan::Merge { left: 3 }).unwrap();
+        assert_eq!(delta.retired, vec![3, 1]);
+        assert_eq!(delta.created, vec![NewShard { slot: 4, lo: 20 }]);
+        assert_eq!(table.bounds(), &[(0, 2), (20, 4)]);
+        // Invalid plans fail and leave the table untouched.
+        let before = table.clone();
+        assert!(table
+            .apply(ReshardPlan::Split { slot: 0, pivot: 5 })
+            .is_err()); // dead slot
+        assert!(table
+            .apply(ReshardPlan::Split { slot: 2, pivot: 0 })
+            .is_err()); // pivot ≤ lo
+        assert!(table
+            .apply(ReshardPlan::Split { slot: 2, pivot: 20 })
+            .is_err()); // pivot ≥ hi
+        assert!(table.apply(ReshardPlan::Merge { left: 4 }).is_err()); // top slot
+        assert!(table.apply(ReshardPlan::Merge { left: 1 }).is_err()); // dead slot
+        assert_eq!(table, before);
+    }
+
+    #[test]
+    fn reshard_schedule_pins_epochs_to_boundaries() {
+        let specs = [
+            ReshardSpec {
+                boundary: 2,
+                plan: ReshardPlan::Split {
+                    slot: 0,
+                    pivot: 100,
+                },
+            },
+            ReshardSpec {
+                boundary: 5,
+                plan: ReshardPlan::Merge { left: 3 },
+            },
+        ];
+        let schedule = ReshardSchedule::build(2, 1_000, &specs).unwrap();
+        assert_eq!(schedule.len(), 3);
+        assert_eq!(schedule.epoch_at(0), 0);
+        assert_eq!(schedule.epoch_at(1), 0);
+        assert_eq!(schedule.epoch_at(2), 1);
+        assert_eq!(schedule.epoch_at(4), 1);
+        assert_eq!(schedule.epoch_at(5), 2);
+        assert_eq!(schedule.epoch_at(999), 2);
+        assert_eq!(schedule.from_boundary(1), 2);
+        assert_eq!(schedule.slot_count(), 5);
+        assert_eq!(schedule.table(0).len(), 2);
+        assert_eq!(schedule.table(1).len(), 3);
+        assert_eq!(schedule.table(2).len(), 2);
+        // Rejections: boundary 0, non-ascending boundaries, bad plans.
+        let at = |boundary, plan| ReshardSpec { boundary, plan };
+        let split = ReshardPlan::Split {
+            slot: 0,
+            pivot: 100,
+        };
+        assert!(ReshardSchedule::build(2, 1_000, &[at(0, split)]).is_err());
+        assert!(ReshardSchedule::build(
+            2,
+            1_000,
+            &[at(3, split), at(3, ReshardPlan::Merge { left: 2 })]
+        )
+        .is_err());
+        assert!(
+            ReshardSchedule::build(2, 1_000, &[at(1, ReshardPlan::Merge { left: 1 })]).is_err()
+        );
+        assert!(ReshardSchedule::build(0, 1_000, &[]).is_err());
+    }
+
+    #[test]
+    fn resharded_matches_sequential_at_every_boundary() {
+        // The in-process reference: split and merge applied at every
+        // sub-window boundary must leave windowed answers (and the
+        // coordinator's trailing partial state) identical to the
+        // sequential sums — including a trailing partial sub-window and
+        // a non-period-multiple length.
+        let (period, n_sub) = (250, 3);
+        let len = 2_137usize;
+        let data: Vec<u64> = (0..len as u64).map(|i| (i * 2654435761) % 1_000).collect();
+        let want = sequential_window_sums(&data, period, n_sub);
+        let boundaries = len.div_ceil(period) as u64;
+        for b in 1..boundaries {
+            for plan in [
+                ReshardPlan::Split { slot: 0, pivot: 77 },
+                ReshardPlan::Merge { left: 0 },
+            ] {
+                let mut coord = SumCoordinator::new(period, n_sub);
+                let got = run_resharded(
+                    SumShard::default,
+                    &mut coord,
+                    period,
+                    &data,
+                    2,
+                    1_000,
+                    &[ReshardSpec { boundary: b, plan }],
+                )
+                .unwrap();
+                assert_eq!(got, want, "boundary {b} plan {plan:?}");
+                assert_eq!(coord.filled, len % period, "boundary {b} plan {plan:?}");
+            }
+        }
+        // A longer chain: split, split again, then merge back.
+        let specs = [
+            ReshardSpec {
+                boundary: 1,
+                plan: ReshardPlan::Split {
+                    slot: 0,
+                    pivot: 300,
+                },
+            },
+            ReshardSpec {
+                boundary: 3,
+                plan: ReshardPlan::Split {
+                    slot: 3,
+                    pivot: 400,
+                },
+            },
+            ReshardSpec {
+                boundary: 6,
+                plan: ReshardPlan::Merge { left: 4 },
+            },
+        ];
+        let mut coord = SumCoordinator::new(period, n_sub);
+        let got = run_resharded(
+            SumShard::default,
+            &mut coord,
+            period,
+            &data,
+            2,
+            1_000,
+            &specs,
+        )
+        .unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn plan_reshards_splits_hot_ranges_and_merges_cold_ones() {
+        let period = 100;
+        // Sub-windows 0..3 concentrate everything in slot 0's range,
+        // then the stream goes quiet enough for merges.
+        let mut data: Vec<u64> = (0..300u64).map(|i| i % 50).collect();
+        data.extend((0..300u64).map(|i| 10 * (i % 100)));
+        let specs = plan_reshards(&data, period, 2, 1_000, 80, 4).unwrap();
+        assert!(!specs.is_empty());
+        assert!(matches!(
+            specs[0],
+            ReshardSpec {
+                boundary: 1,
+                plan: ReshardPlan::Split { slot: 0, .. }
+            }
+        ));
+        // Deterministic: same input, same schedule.
+        assert_eq!(
+            specs,
+            plan_reshards(&data, period, 2, 1_000, 80, 4).unwrap()
+        );
+        // The planned schedule validates and reproduces sequential sums.
+        let mut coord = SumCoordinator::new(period, 2);
+        let got = run_resharded(
+            SumShard::default,
+            &mut coord,
+            period,
+            &data,
+            2,
+            1_000,
+            &specs,
+        )
+        .unwrap();
+        assert_eq!(got, sequential_window_sums(&data, period, 2));
+        // The cap is honored.
+        assert!(plan_reshards(&data, period, 2, 1_000, 80, 1).unwrap().len() <= 1);
+        assert!(plan_reshards(&data, period, 0, 1_000, 80, 4).is_err());
+        assert!(plan_reshards(&data, period, 2, 1_000, 0, 4).is_err());
     }
 
     #[test]

@@ -88,6 +88,13 @@ pub struct RecoveryPolicy {
     /// the worker is declared stalled. `None` disables hang detection —
     /// only crashes (EOF/reset) are caught.
     pub heartbeat: Option<Duration>,
+    /// Seed for deterministic backoff jitter (`0` disables jitter).
+    /// When set, each restart sleeps `backoff` scaled by a factor in
+    /// `[0.5, 1.5)` drawn from a [`SeededRng`](crate::chaos::SeededRng)
+    /// keyed on `(jitter, shard, attempt)` — so simultaneous
+    /// multi-shard failures don't respawn in lockstep, yet every
+    /// schedule replays exactly from the seed (no wall-clock entropy).
+    pub jitter: u64,
 }
 
 impl RecoveryPolicy {
@@ -98,17 +105,19 @@ impl RecoveryPolicy {
             backoff: Duration::ZERO,
             deadline: Duration::ZERO,
             heartbeat: None,
+            jitter: 0,
         }
     }
 
     /// Reasonable production defaults: 3 restarts per shard, 50 ms
-    /// backoff, 10 s recovery deadline, 500 ms heartbeat.
+    /// jittered backoff, 10 s recovery deadline, 500 ms heartbeat.
     pub fn supervised() -> Self {
         Self {
             max_restarts: 3,
             backoff: Duration::from_millis(50),
             deadline: Duration::from_secs(10),
             heartbeat: Some(Duration::from_millis(500)),
+            jitter: 0x5EED_BACC_0FF5,
         }
     }
 
@@ -116,6 +125,29 @@ impl RecoveryPolicy {
     /// abort the run exactly as if no policy were involved.
     pub fn enabled(&self) -> bool {
         self.max_restarts > 0
+    }
+
+    /// The pause before restart attempt `attempt` (1-based) of the
+    /// failure domain identified by `key` (a shard index, session id —
+    /// anything stable). With `jitter == 0` this is exactly `backoff`;
+    /// otherwise `backoff` is scaled by a deterministic factor in
+    /// `[0.5, 1.5)` drawn from the seed, so concurrent failures of
+    /// different keys spread out instead of respawning in lockstep —
+    /// and the whole schedule is reproducible (no wall-clock entropy).
+    pub fn backoff_for(&self, key: u64, attempt: u32) -> Duration {
+        if self.jitter == 0 || self.backoff.is_zero() {
+            return self.backoff;
+        }
+        // One draw per (seed, key, attempt): mix the coordinates into
+        // the seed rather than advancing a shared generator, so the
+        // schedule doesn't depend on the order failures happen to
+        // interleave in.
+        let mut rng = crate::chaos::SeededRng::new(
+            self.jitter ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(attempt) << 17,
+        );
+        // factor = 0.5 + (draw / 2^64) ∈ [0.5, 1.5)
+        let frac = rng.next_u64() as f64 / (u64::MAX as f64 + 1.0);
+        Duration::from_nanos((self.backoff.as_nanos() as f64 * (0.5 + frac)) as u64)
     }
 
     /// Arm the socket deadlines this policy calls for. Timeouts are a
@@ -550,7 +582,7 @@ impl<F: FnMut(usize) -> io::Result<Conn>> Supervisor<'_, F> {
             && started.elapsed() <= self.policy.deadline
         {
             if attempt > 0 {
-                thread::sleep(self.policy.backoff);
+                thread::sleep(self.policy.backoff_for(shard as u64, attempt));
             }
             attempt += 1;
             self.restarts[shard] += 1;
@@ -580,6 +612,7 @@ impl<F: FnMut(usize) -> io::Result<Conn>> Supervisor<'_, F> {
                 Ok(Frame::BoundarySummary {
                     session,
                     boundary,
+                    epoch: 0,
                     summary,
                 }) if session == shard as u64 && boundary == b as u64 => {
                     self.links[shard].ack(b as u64);
@@ -973,5 +1006,72 @@ mod tests {
         assert_eq!(policy.heartbeat, None);
         assert!(!policy.enabled());
         assert!(RecoveryPolicy::supervised().enabled());
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_bounded_and_spreads_shards() {
+        let base = Duration::from_millis(50);
+
+        // jitter == 0: the schedule is exactly the flat backoff.
+        let mut flat = RecoveryPolicy::supervised();
+        flat.backoff = base;
+        flat.jitter = 0;
+        for key in 0..4 {
+            for attempt in 1..4 {
+                assert_eq!(flat.backoff_for(key, attempt), base);
+            }
+        }
+
+        let mut jittered = RecoveryPolicy::supervised();
+        jittered.backoff = base;
+        jittered.jitter = 0xDEAD_BEEF;
+
+        // Deterministic: the same (seed, key, attempt) always yields
+        // the same pause — a failing schedule replays from its seed.
+        let replay = RecoveryPolicy {
+            jitter: 0xDEAD_BEEF,
+            ..jittered
+        };
+        let schedule: Vec<Duration> = (0u64..8)
+            .flat_map(|key| (1u32..4).map(move |attempt| (key, attempt)))
+            .map(|(key, attempt)| jittered.backoff_for(key, attempt))
+            .collect();
+        let again: Vec<Duration> = (0u64..8)
+            .flat_map(|key| (1u32..4).map(move |attempt| (key, attempt)))
+            .map(|(key, attempt)| replay.backoff_for(key, attempt))
+            .collect();
+        assert_eq!(schedule, again);
+
+        // Bounded: every pause lands in [0.5, 1.5) × backoff.
+        for (i, d) in schedule.iter().enumerate() {
+            assert!(*d >= base / 2 && *d < base * 3 / 2, "entry {i}: {d:?}");
+        }
+
+        // Spread: simultaneous failures of distinct shards must not
+        // respawn in lockstep — first-attempt pauses all differ.
+        let first: Vec<Duration> = (0u64..8).map(|key| jittered.backoff_for(key, 1)).collect();
+        let mut unique = first.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), first.len(), "lockstep respawn: {first:?}");
+
+        // Attempts of the same shard also vary (no fixed per-shard
+        // offset that merely shifts the lockstep).
+        assert_ne!(jittered.backoff_for(3, 1), jittered.backoff_for(3, 2));
+
+        // A different seed is a different schedule.
+        let mut other = jittered;
+        other.jitter = 0xFEED_FACE;
+        assert_ne!(
+            (0u64..8)
+                .map(|k| other.backoff_for(k, 1))
+                .collect::<Vec<_>>(),
+            first
+        );
+
+        // Zero backoff stays zero regardless of jitter.
+        let mut zero = jittered;
+        zero.backoff = Duration::ZERO;
+        assert_eq!(zero.backoff_for(0, 1), Duration::ZERO);
     }
 }

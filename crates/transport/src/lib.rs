@@ -3,10 +3,10 @@
 //! Runs QLOVE windows across **worker processes** connected by TCP or
 //! Unix-domain sockets, answering bit-identically to single-instance
 //! runs — the "multi-process shards exchanging QLVS frames over
-//! sockets" extension the merge design record called for. Four layers,
+//! sockets" extension the merge design record called for. Six layers,
 //! each usable on its own:
 //!
-//! * [`proto`] — the framed QLVT wire protocol (v2): length-prefixed,
+//! * [`proto`] — the framed QLVT wire protocol (v3): length-prefixed,
 //!   versioned frames carrying the QLVS summary codec plus control
 //!   messages. Every post-handshake frame is **session-scoped** (leads
 //!   with a varint session ID), so one connection multiplexes many
@@ -34,6 +34,19 @@
 //!   under supervision ([`run_sessions_supervised`]) — a respawned
 //!   process re-hosts every unfinished session, restoring each to its
 //!   own acknowledged boundary.
+//! * [`reshard`] — **live resharding**: [`run_resharded`] applies a
+//!   static schedule of shard splits and merges mid-window — boundary
+//!   checkpoints run through the core split/merge helpers, successor
+//!   sessions opened and restored on an (optionally fresh) worker,
+//!   epochs stamped on every summary so boundary groups can never mix
+//!   across a swap — with ingest paused for at most one sub-window
+//!   gap, composing with the same per-connection replay-ring
+//!   supervision as the other layers.
+//! * [`chaos`] — the reusable seed-deterministic fault-injection
+//!   harness the recovery tests share: a byte-level proxy that can
+//!   cut, delay, or duplicate coordinator→worker frames at exact
+//!   positions ([`interpose`]), plus the small PRNG that also drives
+//!   deterministic [`RecoveryPolicy`] backoff jitter.
 //!
 //! [`net`] holds the socket plumbing (endpoints, listeners, duplex
 //! connections over TCP/UDS).
@@ -47,18 +60,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod coordinator;
 pub mod net;
 pub mod proto;
+pub mod reshard;
 pub mod sessions;
 pub mod worker;
 
+pub use chaos::{interpose, ChaosProxy, CutAfter, Fate, FaultInjector, NoFaults, SeededRng};
 pub use coordinator::{
     run_over_sockets, run_remote_operator, run_remote_operator_with_policy, run_supervised,
     DistributedRun, FailureEvent, FailureKind, RecoveryPolicy, TransportError, MAX_RING_BOUNDARIES,
 };
 pub use net::{Conn, Endpoint, Listener};
 pub use proto::{Frame, FrameReader, FrameWriter, Role, WorkerMode, PROTOCOL_VERSION};
+pub use reshard::{run_resharded, ReshardEvent, ReshardRun};
 pub use sessions::{
     run_sessions, run_sessions_supervised, SessionOutcome, SessionSpec, SessionsRun,
 };
@@ -345,6 +362,7 @@ mod tests {
                         writer.write_frame(&Frame::BoundarySummary {
                             session,
                             boundary,
+                            epoch: 0,
                             summary,
                         })?;
                         writer.flush()?;
@@ -545,6 +563,7 @@ mod tests {
                             .write_frame(&Frame::BoundarySummary {
                                 session,
                                 boundary,
+                                epoch: 0,
                                 summary: qlove_core::QloveSummary::from_counts(vec![(1, 500)])
                                     .unwrap(),
                             })
@@ -574,6 +593,7 @@ mod tests {
             backoff: Duration::from_millis(10),
             deadline: Duration::from_secs(20),
             heartbeat: Some(Duration::from_millis(75)),
+            jitter: 0,
         }
     }
 
@@ -622,6 +642,7 @@ mod tests {
                         writer.write_frame(&Frame::BoundarySummary {
                             session,
                             boundary,
+                            epoch: 0,
                             summary: shard.take_summary(),
                         })?;
                         writer.flush()?;
@@ -748,6 +769,7 @@ mod tests {
             backoff: Duration::from_millis(5),
             deadline: Duration::from_secs(20),
             heartbeat: Some(Duration::from_millis(50)),
+            jitter: 0,
         };
         let mut coordinator = Qlove::new(cfg.clone());
         let result = run_supervised(&cfg, &mut coordinator, vec![conn], &data, &policy, |_s| {

@@ -16,12 +16,13 @@
 //! | 2    | `OpenSession`     | varint session id, config + mode (varints/f64 bits)  |
 //! | 3    | `EventBatch`      | varint session id, varint count, then value varints  |
 //! | 4    | `Boundary`        | varint session id, varint boundary index             |
-//! | 5    | `BoundarySummary` | varint session id, varint boundary, one QLVS frame   |
+//! | 5    | `BoundarySummary` | varint session, boundary, epoch, then one QLVS frame |
 //! | 6    | `Answer`          | varint session id, varint eval index, `QloveAnswer`  |
 //! | 7    | `Shutdown`        | empty                                                |
 //! | 8    | `Heartbeat`       | varint session id                                    |
 //! | 9    | `Restore`         | varint session id, varint boundary, QLVS checkpoint  |
 //! | 10   | `CloseSession`    | varint session id                                    |
+//! | 11   | `Reshard`         | varint session id, varint boundary, varint epoch     |
 //!
 //! Since protocol v2 a single connection multiplexes many independent
 //! sessions: every post-handshake frame except `Shutdown` leads with a
@@ -50,9 +51,10 @@ use std::io::{self, Read, Write};
 /// Connection magic carried by every [`Frame::Hello`].
 pub const PROTOCOL_MAGIC: &[u8; 4] = b"QLVT";
 /// Current protocol version. v2 made every post-handshake frame
-/// session-scoped (multi-session connections); v1 peers are rejected at
-/// the hello exchange.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// session-scoped (multi-session connections); v3 added live
+/// resharding (the `Reshard` frame and the epoch stamp on
+/// `BoundarySummary`). Older peers are rejected at the hello exchange.
+pub const PROTOCOL_VERSION: u8 = 3;
 /// Hard cap on a frame's declared payload length. An `EventBatch` of
 /// the executor's batch size costs at most ~41 KB; 16 MiB leaves room
 /// for huge unquantized summaries while bounding what a corrupt length
@@ -130,6 +132,12 @@ pub enum Frame {
         /// Which boundary this summary closes (must match the
         /// triggering [`Frame::Boundary`]).
         boundary: u64,
+        /// The reshard epoch the session was stamped with by the last
+        /// [`Frame::Reshard`] (0 until one arrives — i.e. always 0
+        /// outside resharded runs). The collector refuses to assemble
+        /// a boundary group from mixed epochs, so summaries from
+        /// before and after an elastic swap can never blend.
+        epoch: u64,
         /// The shard's partial sub-window.
         summary: QloveSummary,
     },
@@ -193,6 +201,24 @@ pub enum Frame {
         /// Which session to retire.
         session: u64,
     },
+    /// Coordinator → worker (shard mode): an elastic reshard of the
+    /// dealt key space takes effect for this session at sub-window
+    /// `boundary` — stamp every summary from that boundary on with
+    /// `epoch`. Sent to *every* surviving session when the dealer swaps
+    /// its routing table (and replayed from the ring or re-synthesized
+    /// during recovery), so a boundary group's members always agree on
+    /// the epoch and the collector can tell pre- from post-swap groups
+    /// apart. The plan itself (which ranges split or merged) stays
+    /// coordinator-local: workers only ever see sessions and epochs.
+    Reshard {
+        /// Which session the epoch applies to.
+        session: u64,
+        /// First boundary whose summary carries the new epoch; must be
+        /// the session's next expected boundary (sequence check).
+        boundary: u64,
+        /// The new reshard epoch (monotonically increasing per run).
+        epoch: u64,
+    },
 }
 
 impl Frame {
@@ -208,6 +234,7 @@ impl Frame {
             Frame::Heartbeat { .. } => 8,
             Frame::Restore { .. } => 9,
             Frame::CloseSession { .. } => 10,
+            Frame::Reshard { .. } => 11,
         }
     }
 }
@@ -522,10 +549,12 @@ fn encode_payload(buf: &mut Vec<u8>, frame: &Frame) {
         Frame::BoundarySummary {
             session,
             boundary,
+            epoch,
             summary,
         } => {
             write_uvarint(buf, *session);
             write_uvarint(buf, *boundary);
+            write_uvarint(buf, *epoch);
             qlove_wire::encode_summary(summary.counts(), buf);
         }
         Frame::Answer {
@@ -549,6 +578,15 @@ fn encode_payload(buf: &mut Vec<u8>, frame: &Frame) {
             qlove_wire::encode_summary(checkpoint.counts(), buf);
         }
         Frame::CloseSession { session } => write_uvarint(buf, *session),
+        Frame::Reshard {
+            session,
+            boundary,
+            epoch,
+        } => {
+            write_uvarint(buf, *session);
+            write_uvarint(buf, *boundary);
+            write_uvarint(buf, *epoch);
+        }
     }
 }
 
@@ -605,11 +643,13 @@ pub fn decode_frame(frame_type: u8, mut payload: &[u8]) -> io::Result<Frame> {
         5 => {
             let session = read_varint(data, "session id")?;
             let boundary = read_varint(data, "boundary index")?;
+            let epoch = read_varint(data, "reshard epoch")?;
             let summary = QloveSummary::from_bytes(data)?;
             *data = &[];
             Frame::BoundarySummary {
                 session,
                 boundary,
+                epoch,
                 summary,
             }
         }
@@ -640,6 +680,11 @@ pub fn decode_frame(frame_type: u8, mut payload: &[u8]) -> io::Result<Frame> {
         }
         10 => Frame::CloseSession {
             session: read_varint(data, "session id")?,
+        },
+        11 => Frame::Reshard {
+            session: read_varint(data, "session id")?,
+            boundary: read_varint(data, "reshard boundary index")?,
+            epoch: read_varint(data, "reshard epoch")?,
         },
         other => return Err(bad(format!("unknown frame type {other}"))),
     };
@@ -862,11 +907,13 @@ mod tests {
             Frame::BoundarySummary {
                 session: 7,
                 boundary: 17,
+                epoch: 0,
                 summary: QloveSummary::from_counts(vec![]).unwrap(),
             },
             Frame::BoundarySummary {
                 session: 0,
                 boundary: 18,
+                epoch: u64::MAX,
                 summary,
             },
             Frame::Answer {
@@ -889,6 +936,16 @@ mod tests {
             },
             Frame::CloseSession { session: 0 },
             Frame::CloseSession { session: u64::MAX },
+            Frame::Reshard {
+                session: 0,
+                boundary: 0,
+                epoch: 1,
+            },
+            Frame::Reshard {
+                session: u64::MAX,
+                boundary: u64::MAX,
+                epoch: u64::MAX,
+            },
         ];
         for frame in &frames {
             assert_eq!(&roundtrip(frame), frame, "{frame:?}");
@@ -1086,10 +1143,10 @@ mod tests {
 
     #[test]
     fn rejects_structural_corruption() {
-        // Unknown frame type (10 became CloseSession in v2; 11 is the
+        // Unknown frame type (11 became Reshard in v3; 12 is the
         // first unassigned type).
         assert!(decode_frame(0, &[]).is_err());
-        assert!(decode_frame(11, &[]).is_err());
+        assert!(decode_frame(12, &[]).is_err());
         assert!(decode_frame(255, &[1, 2, 3]).is_err());
         // Bad hello: wrong magic, wrong length, unknown role.
         assert!(decode_frame(1, b"NOPE\x01\x00").is_err());
@@ -1263,6 +1320,7 @@ mod tests {
             Frame::BoundarySummary {
                 session: 9,
                 boundary: 5,
+                epoch: 0,
                 summary: QloveSummary::from_counts(vec![(2, 9), (40, 1)]).unwrap(),
             },
             Frame::Shutdown,
@@ -1318,7 +1376,7 @@ mod tests {
             // Streamed: random header + noise payload.
             let mut stream = Vec::with_capacity(len + 5);
             stream.extend_from_slice(&(len as u32).to_le_bytes());
-            stream.push(next() % 12);
+            stream.push(next() % 13);
             stream.extend_from_slice(&noise);
             let mut reader = FrameReader::new(stream.as_slice());
             while let Ok(Some(_)) = reader.try_read_frame() {}

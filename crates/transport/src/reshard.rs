@@ -1,0 +1,1239 @@
+//! Live resharding: elastic shard split/merge **mid-window** on the
+//! socket runtime — the shard set changes while the window runs, with
+//! answers still bit-identical to a sequential single-instance run.
+//!
+//! The schedule is static: every [`ReshardSpec`] (a split or merge
+//! pinned to a sub-window boundary) is validated upfront into a
+//! [`ReshardSchedule`], so the dealer and the collector derive the
+//! same epoch timeline — routing table, group membership, and epoch
+//! stamp per boundary — with no runtime coordination between them.
+//!
+//! ## The swap protocol
+//!
+//! A plan pinned to boundary `B` executes in the dealer, inline,
+//! between dealing sub-window `B-1` and sub-window `B` — so ingest
+//! pauses for exactly one inter-sub-window gap (`paused_subwindows ==
+//! 1` on the reported [`ReshardEvent`], asserted by the differential
+//! tests):
+//!
+//! 1. **Drain by construction**: every affected parent has already
+//!    been dealt all its sub-windows `< B`; because a
+//!    [`qlove_core::QloveShard`] resets at every boundary, the
+//!    parent's *boundary checkpoint* is `boundary index + summary`
+//!    with an empty summary — there is nothing left to move.
+//! 2. **Retire**: parents get `CloseSession`; a merge's right-hand
+//!    connection (which hosts no successor) also gets `Shutdown`.
+//! 3. **Restore successors**: each successor slot is opened as a new
+//!    session — on the surviving parent connection for the first
+//!    successor, on a freshly connected worker for a split's high
+//!    half — and `Restore`d at `B` from the parent checkpoint run
+//!    through the core split/merge helpers
+//!    ([`QloveSummary::split_at`] / [`QloveSummary::merged`]).
+//! 4. **Stamp the epoch**: every session live in the new epoch gets a
+//!    [`Frame::Reshard`] carrying `(B, epoch)`; workers stamp it on
+//!    every subsequent summary, and the collector refuses any summary
+//!    whose epoch does not match its boundary's epoch — groups from
+//!    before and after the swap can never mix.
+//! 5. **Swap the routing table**: the dealer continues under the new
+//!    epoch's [`RangeTable`](qlove_stream::parallel::RangeTable).
+//!
+//! ## Composition with supervision
+//!
+//! Recovery is per **connection** (a connection can briefly host two
+//! sessions: a retiring parent and its successor). Every frame dealt
+//! to a connection — including the swap's `CloseSession` /
+//! `OpenSession` / `Restore` / `Reshard` control frames — rides one
+//! per-connection replay ring, pruned on boundary acknowledgement
+//! exactly like the single-session rings in
+//! [`run_supervised`](crate::coordinator::run_supervised). A worker
+//! killed *during* a reshard is therefore recovered by the ordinary
+//! mechanism: respawn, re-open the sessions that predate the ring
+//! (tracked as the ring's base state), `Restore` each to its
+//! acknowledged boundary, re-stamp its epoch, replay the tail — which
+//! replays the in-flight swap itself, in order, at the exact stream
+//! positions it originally held.
+
+use crate::coordinator::{
+    hello_handshake, is_timeout, join_io, FailureEvent, FailureKind, RecoveryPolicy,
+    MAX_RING_BOUNDARIES,
+};
+use crate::net::Conn;
+use crate::proto::{Frame, FrameReader, FrameWriter, WorkerMode};
+use qlove_core::{Qlove, QloveAnswer, QloveConfig, QloveSummary};
+use qlove_stream::parallel::{ReshardPlan, ReshardSchedule, ReshardSpec, BATCH};
+use qlove_stream::{coordinate_pipelined, PipelineStats};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, BufReader};
+use std::sync::{Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn protocol(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// One executed reshard, with the metrics the acceptance gate and the
+/// bench report care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReshardEvent {
+    /// First sub-window dealt under the new shard set.
+    pub boundary: u64,
+    /// The epoch this swap opened (stamped on all subsequent
+    /// summaries).
+    pub epoch: u64,
+    /// The plan that was applied.
+    pub plan: ReshardPlan,
+    /// Wall time the dealer spent inside the swap (session retirement,
+    /// fresh-worker connect + handshake, successor restore, epoch
+    /// stamping) — the whole ingest pause.
+    pub pause_us: u64,
+    /// Sub-window gaps the swap spanned, measured from the dealer's
+    /// value frontier on either side of the swap. The protocol
+    /// executes between two sub-windows, so this is 1 — the "no pause
+    /// longer than one sub-window" bound, asserted by tests.
+    pub paused_subwindows: u64,
+    /// Control frames the swap dealt (`CloseSession`, `Shutdown`,
+    /// `OpenSession`, `Restore`, `Reshard`).
+    pub swap_frames: usize,
+    /// Serialized bytes of the successor checkpoints carried by the
+    /// swap's `Restore` frames.
+    pub checkpoint_bytes: usize,
+}
+
+/// Result of a resharded socket-distributed run.
+#[derive(Debug)]
+pub struct ReshardRun {
+    /// The merged window evaluations, bit-identical to a
+    /// single-instance run over the undealt stream.
+    pub answers: Vec<QloveAnswer>,
+    /// Pipeline timing (same meaning as in unresharded runs).
+    pub stats: PipelineStats,
+    /// Worker failures detected during the run and how recovery went.
+    /// `shard` on each event is the **connection index** here.
+    pub failures: Vec<FailureEvent>,
+    /// The reshards actually executed, in boundary order.
+    pub events: Vec<ReshardEvent>,
+}
+
+// ---------------------------------------------------------------------------
+// Static connection plan
+// ---------------------------------------------------------------------------
+
+/// Where every slot the schedule will ever create is hosted, derived
+/// once from the schedule: the first successor of a plan inherits the
+/// first retired parent's connection (split low half, merge result);
+/// a split's high half gets a fresh connection; a merge fully retires
+/// the right parent's connection.
+struct ConnPlan {
+    /// Slot id → connection index.
+    conn_of: Vec<usize>,
+    /// Connection index → boundary at which its first frames are dealt
+    /// (0 for the initial fleet).
+    opened_at: Vec<u64>,
+    /// Connection index → boundary at whose swap it receives
+    /// `Shutdown` (merges only); `None` = lives to the end of the run.
+    retired_at: Vec<Option<u64>>,
+}
+
+impl ConnPlan {
+    fn build(schedule: &ReshardSchedule, shards: usize) -> Self {
+        let mut plan = ConnPlan {
+            conn_of: (0..shards).collect(),
+            opened_at: vec![0; shards],
+            retired_at: vec![None; shards],
+        };
+        for epoch in 1..schedule.len() as u64 {
+            let b = schedule.from_boundary(epoch);
+            let delta = schedule.delta(epoch).expect("epoch > 0 has a delta");
+            // Slot ids are dense and created in order, so each created
+            // slot extends conn_of by exactly one entry.
+            match delta.plan {
+                ReshardPlan::Split { .. } => {
+                    let parent = delta.retired[0];
+                    debug_assert_eq!(delta.created[0].slot, plan.conn_of.len());
+                    plan.conn_of.push(plan.conn_of[parent]); // low half stays
+                    let fresh = plan.opened_at.len();
+                    debug_assert_eq!(delta.created[1].slot, plan.conn_of.len());
+                    plan.conn_of.push(fresh); // high half: new worker
+                    plan.opened_at.push(b);
+                    plan.retired_at.push(None);
+                }
+                ReshardPlan::Merge { .. } => {
+                    let (left, right) = (delta.retired[0], delta.retired[1]);
+                    debug_assert_eq!(delta.created[0].slot, plan.conn_of.len());
+                    plan.conn_of.push(plan.conn_of[left]); // successor on left's conn
+                    plan.retired_at[plan.conn_of[right]] = Some(b);
+                }
+            }
+        }
+        plan
+    }
+
+    fn conns(&self) -> usize {
+        self.opened_at.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection link: replay ring + base state + write half
+// ---------------------------------------------------------------------------
+
+/// A session that existed before the oldest retained ring frame; on
+/// recovery it is re-opened and restored *before* the ring is
+/// replayed. Maintained by interpreting the session-lifecycle frames
+/// as they are pruned out of the ring.
+#[derive(Debug, Clone, Copy)]
+struct BaseSession {
+    slot: u64,
+    /// Boundary the session is restored to (boundaries acknowledged).
+    acked: u64,
+    /// Epoch to re-stamp after the restore (0 = never resharded).
+    epoch: u64,
+}
+
+struct ConnState {
+    retain: bool,
+    ring: VecDeque<Frame>,
+    ring_boundaries: usize,
+    /// Sessions predating the ring, with their restore coordinates.
+    base: Vec<BaseSession>,
+    /// Sessions ever closed on this connection: their `CloseSession`
+    /// acks are expected (possibly more than once, after a replay) and
+    /// skipped by the collector.
+    closing: HashSet<u64>,
+    writer: Option<FrameWriter<Conn>>,
+    failed: bool,
+}
+
+struct ConnLink {
+    state: Mutex<ConnState>,
+    cv: Condvar,
+}
+
+impl ConnLink {
+    fn new(base: Vec<BaseSession>, retain: bool) -> Self {
+        Self {
+            state: Mutex::new(ConnState {
+                retain,
+                ring: VecDeque::new(),
+                ring_boundaries: 0,
+                base,
+                closing: HashSet::new(),
+                writer: None,
+                failed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn install_writer(&self, writer: FrameWriter<Conn>) {
+        let mut st = self.state.lock().expect("conn link poisoned");
+        st.writer = Some(writer);
+    }
+
+    /// Dealer path: ring the frame (under a restartable policy), then
+    /// push it down the socket. A failed write parks the link; the
+    /// collector notices the dead peer and recovers or ends the run.
+    /// Blocks while the ring holds [`MAX_RING_BOUNDARIES`] boundaries.
+    fn deal(&self, frame: Frame) -> io::Result<()> {
+        let mut st = self.state.lock().expect("conn link poisoned");
+        let is_boundary = matches!(frame, Frame::Boundary { .. });
+        if is_boundary {
+            while st.ring_boundaries >= MAX_RING_BOUNDARIES && !st.failed {
+                st = self.cv.wait(st).expect("conn link poisoned");
+            }
+        }
+        if st.failed {
+            return Err(io::Error::other("resharded run aborted"));
+        }
+        if let Frame::CloseSession { session } = frame {
+            st.closing.insert(session);
+        }
+        let flush = is_boundary || matches!(frame, Frame::Shutdown);
+        let st = &mut *st;
+        let frame = if st.retain {
+            st.ring.push_back(frame);
+            if is_boundary {
+                st.ring_boundaries += 1;
+            }
+            st.ring.back().expect("frame was just pushed")
+        } else {
+            &frame
+        };
+        if let Some(writer) = st.writer.as_mut() {
+            let sent =
+                writer
+                    .write_frame(frame)
+                    .and_then(|()| if flush { writer.flush() } else { Ok(()) });
+            if sent.is_err() {
+                st.writer = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Collector ack: `slot`'s summary for boundary `b` is merged —
+    /// prune the ring through that `Boundary` frame, folding every
+    /// pruned session-lifecycle frame into the base state, and wake a
+    /// dealer waiting on ring space.
+    fn ack_through(&self, slot: u64, b: u64) {
+        let mut st = self.state.lock().expect("conn link poisoned");
+        let st = &mut *st;
+        while let Some(frame) = st.ring.pop_front() {
+            match frame {
+                Frame::OpenSession { session, .. } => st.base.push(BaseSession {
+                    slot: session,
+                    acked: 0,
+                    epoch: 0,
+                }),
+                Frame::Restore {
+                    session, boundary, ..
+                } => {
+                    if let Some(s) = st.base.iter_mut().find(|s| s.slot == session) {
+                        s.acked = boundary;
+                    }
+                }
+                Frame::Reshard { session, epoch, .. } => {
+                    if let Some(s) = st.base.iter_mut().find(|s| s.slot == session) {
+                        s.epoch = epoch;
+                    }
+                }
+                Frame::CloseSession { session } => st.base.retain(|s| s.slot != session),
+                Frame::Boundary { session, boundary } => {
+                    st.ring_boundaries -= 1;
+                    if let Some(s) = st.base.iter_mut().find(|s| s.slot == session) {
+                        s.acked = boundary + 1;
+                    }
+                    if session == slot && boundary == b {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    fn is_closing(&self, session: u64) -> bool {
+        self.state
+            .lock()
+            .expect("conn link poisoned")
+            .closing
+            .contains(&session)
+    }
+
+    /// Lowest restore boundary among base sessions (for failure
+    /// reporting).
+    fn restored_boundary(&self) -> u64 {
+        let st = self.state.lock().expect("conn link poisoned");
+        st.base.iter().map(|s| s.acked).min().unwrap_or(0)
+    }
+
+    /// Ask the worker for a heartbeat echo; fails when the link is
+    /// parked — i.e. the worker crashed.
+    fn probe(&self) -> io::Result<()> {
+        let mut st = self.state.lock().expect("conn link poisoned");
+        let st = &mut *st;
+        let session = st.base.first().map_or(0, |s| s.slot);
+        match st.writer.as_mut() {
+            Some(writer) => {
+                let sent = writer
+                    .write_frame(&Frame::Heartbeat { session })
+                    .and_then(|()| writer.flush());
+                if sent.is_err() {
+                    st.writer = None;
+                }
+                sent
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "connection link is down",
+            )),
+        }
+    }
+
+    /// Recovery: on a fresh post-handshake connection, re-open every
+    /// base session at its acknowledged boundary (re-stamping its
+    /// epoch), then replay the unacknowledged ring tail — which
+    /// replays any in-flight swap in order. Returns the frame count
+    /// replayed from the ring.
+    fn reinstall(&self, mut writer: FrameWriter<Conn>, config: &QloveConfig) -> io::Result<usize> {
+        let mut st = self.state.lock().expect("conn link poisoned");
+        for s in &st.base {
+            writer.write_frame(&Frame::OpenSession {
+                session: s.slot,
+                config: config.clone(),
+                mode: WorkerMode::Shard,
+            })?;
+            writer.write_frame(&Frame::Restore {
+                session: s.slot,
+                boundary: s.acked,
+                checkpoint: QloveSummary::default(),
+            })?;
+            if s.epoch > 0 {
+                writer.write_frame(&Frame::Reshard {
+                    session: s.slot,
+                    boundary: s.acked,
+                    epoch: s.epoch,
+                })?;
+            }
+        }
+        for frame in &st.ring {
+            writer.write_frame(frame)?;
+        }
+        writer.flush()?;
+        let replayed = st.ring.len();
+        st.writer = Some(writer);
+        Ok(replayed)
+    }
+
+    fn fail(&self) {
+        let mut st = self.state.lock().expect("conn link poisoned");
+        st.failed = true;
+        st.writer = None;
+        self.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry: dealer hands fresh connections' read halves to the collector
+// ---------------------------------------------------------------------------
+
+type ReadHalf = (FrameReader<BufReader<Conn>>, Conn);
+
+struct Registry {
+    state: Mutex<RegistryState>,
+    cv: Condvar,
+}
+
+struct RegistryState {
+    /// `Some` = live read half + breaker; `None` = the dealer tried to
+    /// bring the connection up and failed (the collector treats that
+    /// as a crash and runs ordinary recovery).
+    entries: HashMap<usize, Option<ReadHalf>>,
+    aborted: bool,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(RegistryState {
+                entries: HashMap::new(),
+                aborted: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn deposit(&self, conn: usize, entry: Option<ReadHalf>) {
+        let mut st = self.state.lock().expect("registry poisoned");
+        st.entries.insert(conn, entry);
+        self.cv.notify_all();
+    }
+
+    /// Wait (bounded) for the dealer to deposit connection `conn`.
+    fn take(&self, conn: usize, deadline: Duration) -> io::Result<Option<ReadHalf>> {
+        let mut st = self.state.lock().expect("registry poisoned");
+        let end = Instant::now() + deadline;
+        loop {
+            if let Some(entry) = st.entries.remove(&conn) {
+                return Ok(entry);
+            }
+            if st.aborted {
+                return Err(io::Error::other("resharded run aborted"));
+            }
+            let now = Instant::now();
+            if now >= end {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("connection {conn} was never established by the dealer"),
+                ));
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, end - now)
+                .expect("registry poisoned");
+            st = guard;
+        }
+    }
+
+    fn abort(&self) {
+        let mut st = self.state.lock().expect("registry poisoned");
+        st.aborted = true;
+        self.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collector
+// ---------------------------------------------------------------------------
+
+struct Collector<'a, F> {
+    config: &'a QloveConfig,
+    policy: &'a RecoveryPolicy,
+    links: &'a [ConnLink],
+    readers: Vec<Option<FrameReader<BufReader<Conn>>>>,
+    breakers: Vec<Option<Conn>>,
+    registry: &'a Registry,
+    connect: &'a Mutex<F>,
+    restarts: Vec<u32>,
+    failures: Vec<FailureEvent>,
+}
+
+type Verdict = (FailureKind, u64, io::Error);
+
+impl<F: FnMut(usize) -> io::Result<Conn>> Collector<'_, F> {
+    /// Make sure `conn`'s read half is installed, fetching it from the
+    /// registry for connections born mid-run.
+    fn ensure_reader(&mut self, conn: usize) -> Result<(), Verdict> {
+        if self.readers[conn].is_some() {
+            return Ok(());
+        }
+        let deadline = self.policy.deadline.max(Duration::from_secs(30));
+        match self.registry.take(conn, deadline) {
+            Ok(Some((reader, breaker))) => {
+                self.readers[conn] = Some(reader);
+                self.breakers[conn] = Some(breaker);
+                Ok(())
+            }
+            Ok(None) => Err((
+                FailureKind::Crash,
+                0,
+                io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    format!("worker connection {conn} never came up"),
+                ),
+            )),
+            Err(e) => Err((FailureKind::Crash, 0, e)),
+        }
+    }
+
+    /// Read one frame from `conn`, probing through read deadlines
+    /// (same verdict protocol as the single-session supervisor).
+    fn read_with_probe(&mut self, conn: usize) -> Result<Frame, Verdict> {
+        self.ensure_reader(conn)?;
+        let mut silent_since: Option<Instant> = None;
+        let mut probed = false;
+        loop {
+            let reader = self.readers[conn].as_mut().expect("reader just ensured");
+            match reader.read_frame() {
+                Ok(Frame::Heartbeat { .. }) => {
+                    silent_since = None;
+                    probed = false;
+                }
+                Ok(frame) => return Ok(frame),
+                Err(e) if is_timeout(&e) => {
+                    let since = *silent_since.get_or_insert_with(Instant::now);
+                    if probed {
+                        return Err((FailureKind::Stall, since.elapsed().as_micros() as u64, e));
+                    }
+                    if self.links[conn].probe().is_err() {
+                        return Err((FailureKind::Crash, since.elapsed().as_micros() as u64, e));
+                    }
+                    probed = true;
+                }
+                Err(e) => {
+                    let detect_us = silent_since
+                        .map(|s| s.elapsed().as_micros() as u64)
+                        .unwrap_or(0);
+                    return Err((FailureKind::Crash, detect_us, e));
+                }
+            }
+        }
+    }
+
+    /// One restart attempt: respawn, arm, handshake, base restore +
+    /// ring replay (which re-executes any in-flight swap), swap the
+    /// read half in.
+    fn try_restart(&mut self, conn: usize) -> io::Result<usize> {
+        let fresh = {
+            let mut connect = self.connect.lock().expect("connect hook poisoned");
+            connect(conn)?
+        };
+        self.policy.arm(&fresh)?;
+        let breaker = fresh.try_clone()?;
+        let (reader, writer) = hello_handshake(fresh)?;
+        let replayed = self.links[conn].reinstall(writer, self.config)?;
+        self.readers[conn] = Some(reader);
+        self.breakers[conn] = Some(breaker);
+        Ok(replayed)
+    }
+
+    /// Drive recovery of `conn` to completion or declare the run dead.
+    fn recover(&mut self, conn: usize, verdict: Verdict) -> io::Result<()> {
+        let (kind, detect_us, cause) = verdict;
+        if let Some(b) = &self.breakers[conn] {
+            let _ = b.shutdown();
+        }
+        let mut event = FailureEvent {
+            shard: conn,
+            boundary: self.links[conn].restored_boundary(),
+            kind,
+            restarts: self.restarts[conn],
+            detect_us,
+            restore_us: 0,
+            replay_us: 0,
+            replayed_frames: 0,
+            recovered: false,
+        };
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        while self.restarts[conn] < self.policy.max_restarts
+            && started.elapsed() <= self.policy.deadline
+        {
+            if attempt > 0 {
+                thread::sleep(self.policy.backoff_for(conn as u64, attempt));
+            }
+            attempt += 1;
+            self.restarts[conn] += 1;
+            event.restarts = self.restarts[conn];
+            let restore_start = Instant::now();
+            match self.try_restart(conn) {
+                Ok(replayed) => {
+                    event.boundary = self.links[conn].restored_boundary();
+                    event.replayed_frames = replayed;
+                    event.restore_us = restore_start.elapsed().as_micros() as u64;
+                    event.recovered = true;
+                    self.failures.push(event);
+                    return Ok(());
+                }
+                Err(_retry) => continue,
+            }
+        }
+        self.failures.push(event);
+        Err(cause)
+    }
+
+    /// Read (recovering as needed) until `slot` on `conn` delivers its
+    /// summary for boundary `b` stamped with `epoch`, then acknowledge
+    /// it. `CloseSession` acks for retired sessions on the same
+    /// connection are skipped.
+    fn expect_summary(
+        &mut self,
+        conn: usize,
+        slot: u64,
+        b: u64,
+        epoch: u64,
+    ) -> io::Result<QloveSummary> {
+        loop {
+            match self.read_with_probe(conn) {
+                Ok(Frame::BoundarySummary {
+                    session,
+                    boundary,
+                    epoch: got,
+                    summary,
+                }) if session == slot && boundary == b && got == epoch => {
+                    self.links[conn].ack_through(slot, b);
+                    return Ok(summary);
+                }
+                Ok(Frame::CloseSession { session }) if self.links[conn].is_closing(session) => {}
+                Ok(other) => {
+                    return Err(protocol(format!(
+                        "expected summary for slot {slot} boundary {b} epoch {epoch}, \
+                         got {other:?}"
+                    )))
+                }
+                Err(verdict) => self.recover(conn, verdict)?,
+            }
+        }
+    }
+
+    /// Read (recovering as needed) until `conn` acknowledges shutdown.
+    fn expect_shutdown_ack(&mut self, conn: usize) -> io::Result<()> {
+        loop {
+            match self.read_with_probe(conn) {
+                Ok(Frame::Shutdown) => return Ok(()),
+                Ok(Frame::CloseSession { session }) if self.links[conn].is_closing(session) => {}
+                Ok(other) => return Err(protocol(format!("expected shutdown ack, got {other:?}"))),
+                Err(verdict) => self.recover(conn, verdict)?,
+            }
+        }
+    }
+
+    /// Best-effort drain of a connection fully retired by a merge: its
+    /// last needed summary is already merged, so its `CloseSession` and
+    /// `Shutdown` acks are read for tidiness but a crash here cannot
+    /// affect the answers and is deliberately ignored.
+    fn drain_retired(&mut self, conn: usize) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline {
+            let Some(reader) = self.readers[conn].as_mut() else {
+                break;
+            };
+            match reader.read_frame() {
+                Ok(Frame::Shutdown) => break,
+                Ok(Frame::CloseSession { .. }) | Ok(Frame::Heartbeat { .. }) => {}
+                Ok(_) | Err(_) => break,
+            }
+        }
+        if let Some(b) = self.breakers[conn].take() {
+            let _ = b.shutdown();
+        }
+        self.readers[conn] = None;
+    }
+
+    fn fail_all(&mut self) {
+        for b in self.breakers.iter().flatten() {
+            let _ = b.shutdown();
+        }
+        for link in self.links {
+            link.fail();
+        }
+        self.registry.abort();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dealer-side swap
+// ---------------------------------------------------------------------------
+
+/// Bring a fresh worker connection up: connect, arm deadlines, hello
+/// handshake. Returns the read half + breaker for the registry and the
+/// write half for the link.
+fn open_fresh<F: FnMut(usize) -> io::Result<Conn>>(
+    conn: usize,
+    connect: &Mutex<F>,
+    policy: &RecoveryPolicy,
+) -> io::Result<(ReadHalf, FrameWriter<Conn>)> {
+    let fresh = {
+        let mut connect = connect.lock().expect("connect hook poisoned");
+        connect(conn)?
+    };
+    policy.arm(&fresh)?;
+    let breaker = fresh.try_clone()?;
+    let (reader, writer) = hello_handshake(fresh)?;
+    Ok(((reader, breaker), writer))
+}
+
+/// Execute the swap opening `epoch`, between dealing sub-window
+/// `boundary - 1` and sub-window `boundary`.
+#[allow(clippy::too_many_arguments)]
+fn execute_swap<F: FnMut(usize) -> io::Result<Conn>>(
+    epoch: u64,
+    schedule: &ReshardSchedule,
+    plan: &ConnPlan,
+    links: &[ConnLink],
+    config: &QloveConfig,
+    policy: &RecoveryPolicy,
+    registry: &Registry,
+    connect: &Mutex<F>,
+    open_conns: &mut HashSet<usize>,
+) -> io::Result<ReshardEvent> {
+    let b = schedule.from_boundary(epoch);
+    let delta = schedule.delta(epoch).expect("epoch > 0 has a delta");
+    let started = Instant::now();
+    let mut swap_frames = 0usize;
+    let mut checkpoint_bytes = 0usize;
+
+    // The parents' boundary checkpoints, run through the core
+    // split/merge helpers. At a sub-window boundary a shard's state
+    // has just been shipped, so these are empty here — but the path is
+    // the general one: any state a checkpoint *did* carry would be
+    // partitioned (split) or unioned (merge) into the successors.
+    let parent = QloveSummary::default();
+    let checkpoints: Vec<QloveSummary> = match delta.plan {
+        ReshardPlan::Split { pivot, .. } => {
+            let (lo, hi) = parent.split_at(pivot);
+            vec![lo, hi]
+        }
+        ReshardPlan::Merge { .. } => {
+            vec![parent
+                .merged(&QloveSummary::default())
+                .expect("merging empty checkpoints cannot overflow")]
+        }
+    };
+
+    // 1. Retire the parents.
+    for &p in &delta.retired {
+        links[plan.conn_of[p]].deal(Frame::CloseSession { session: p as u64 })?;
+        swap_frames += 1;
+    }
+    // 2. A merge's right-hand connection hosts no successor: shut it
+    //    down entirely.
+    for conn in 0..plan.conns() {
+        if plan.retired_at[conn] == Some(b) {
+            links[conn].deal(Frame::Shutdown)?;
+            swap_frames += 1;
+            open_conns.remove(&conn);
+        }
+    }
+    // 3. Open + restore the successors.
+    for (ns, checkpoint) in delta.created.iter().zip(checkpoints) {
+        let conn = plan.conn_of[ns.slot];
+        if plan.opened_at[conn] == b && open_conns.insert(conn) {
+            // A fresh worker for this successor. Failure to bring it
+            // up is not fatal here: the frames below are retained in
+            // the (parked) link's ring, and the collector's ordinary
+            // recovery path brings the connection up and replays them.
+            match open_fresh(conn, connect, policy) {
+                Ok((read_half, writer)) => {
+                    links[conn].install_writer(writer);
+                    registry.deposit(conn, Some(read_half));
+                }
+                Err(_) => registry.deposit(conn, None),
+            }
+        }
+        checkpoint_bytes += checkpoint.to_bytes().len();
+        links[conn].deal(Frame::OpenSession {
+            session: ns.slot as u64,
+            config: config.clone(),
+            mode: WorkerMode::Shard,
+        })?;
+        links[conn].deal(Frame::Restore {
+            session: ns.slot as u64,
+            boundary: b,
+            checkpoint,
+        })?;
+        links[conn].deal(Frame::Reshard {
+            session: ns.slot as u64,
+            boundary: b,
+            epoch,
+        })?;
+        swap_frames += 3;
+    }
+    // 4. Stamp the new epoch on every surviving (unaffected) session.
+    for &(_, slot) in schedule.table(epoch).bounds() {
+        if delta.created.iter().any(|ns| ns.slot == slot) {
+            continue;
+        }
+        links[plan.conn_of[slot]].deal(Frame::Reshard {
+            session: slot as u64,
+            boundary: b,
+            epoch,
+        })?;
+        swap_frames += 1;
+    }
+    Ok(ReshardEvent {
+        boundary: b,
+        epoch,
+        plan: delta.plan,
+        pause_us: started.elapsed().as_micros() as u64,
+        // Filled in by the dealer from its value frontier.
+        paused_subwindows: 0,
+        swap_frames,
+        checkpoint_bytes,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The run
+// ---------------------------------------------------------------------------
+
+/// Answer **one logical window** from worker processes while applying
+/// `specs` — live shard splits and merges — mid-window, under
+/// supervision.
+///
+/// `conns` is the initial fleet (one connection per initial shard);
+/// `span` steers the initial even key-range partition (values `>=
+/// span` land in the top shard; routing never affects answers).
+/// `connect(conn_index)` is called both to bring up the fresh worker a
+/// split needs and to respawn a crashed worker under `policy` — for
+/// process workers, typically spawn + `Conn::connect_retry`.
+///
+/// Answers — values, provenance, bounds, burst flags, and the
+/// coordinator's trailing pending state — are **bit-identical** to a
+/// sequential single-instance run and to the in-process reference
+/// (`qlove_stream::parallel::run_resharded`), whatever the schedule,
+/// and through any worker crash the policy can absorb — including a
+/// crash in the middle of a swap, whose control frames are replayed
+/// from the connection's ring.
+///
+/// # Panics
+/// Panics when `conns` is empty or `config.period` is 0 (the same
+/// contract as `run_supervised`).
+pub fn run_resharded<F>(
+    config: &QloveConfig,
+    coordinator: &mut Qlove,
+    conns: Vec<Conn>,
+    values: &[u64],
+    span: u64,
+    specs: &[ReshardSpec],
+    policy: &RecoveryPolicy,
+    connect: F,
+) -> io::Result<ReshardRun>
+where
+    F: FnMut(usize) -> io::Result<Conn> + Send,
+{
+    let shards = conns.len();
+    assert!(shards > 0, "need at least one shard");
+    let period = config.period;
+    assert!(period > 0, "need a positive sub-window period");
+    let boundaries = values.len().div_ceil(period);
+
+    let schedule = ReshardSchedule::build(shards, span, specs)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    let plan = ConnPlan::build(&schedule, shards);
+
+    // Links for every connection the schedule will ever use; the ones
+    // beyond the initial fleet stay dormant (no writer) until their
+    // swap brings them up.
+    let links: Vec<ConnLink> = (0..plan.conns())
+        .map(|conn| {
+            let base = if conn < shards {
+                vec![BaseSession {
+                    slot: conn as u64,
+                    acked: 0,
+                    epoch: 0,
+                }]
+            } else {
+                Vec::new()
+            };
+            ConnLink::new(base, policy.enabled())
+        })
+        .collect();
+
+    // Bring the initial fleet up. The initial `OpenSession`s are *not*
+    // ringed — the base state re-opens them on recovery.
+    let mut readers: Vec<Option<FrameReader<BufReader<Conn>>>> =
+        (0..plan.conns()).map(|_| None).collect();
+    let mut breakers: Vec<Option<Conn>> = (0..plan.conns()).map(|_| None).collect();
+    for (conn, c) in conns.into_iter().enumerate() {
+        policy.arm(&c)?;
+        breakers[conn] = Some(c.try_clone()?);
+        let (reader, mut writer) = hello_handshake(c)?;
+        writer.write_frame(&Frame::OpenSession {
+            session: conn as u64,
+            config: config.clone(),
+            mode: WorkerMode::Shard,
+        })?;
+        writer.flush()?;
+        readers[conn] = Some(reader);
+        links[conn].install_writer(writer);
+    }
+
+    let registry = Registry::new();
+    let connect = Mutex::new(connect);
+    let mut collector = Collector {
+        config,
+        policy,
+        links: &links,
+        readers,
+        breakers,
+        registry: &registry,
+        connect: &connect,
+        restarts: vec![0; plan.conns()],
+        failures: Vec::new(),
+    };
+
+    let final_epoch = if boundaries == 0 {
+        0
+    } else {
+        schedule.epoch_at(boundaries as u64 - 1)
+    };
+
+    let (answers, stats, failures, events) = thread::scope(|scope| -> io::Result<_> {
+        let links_ref = &links;
+        let schedule_ref = &schedule;
+        let plan_ref = &plan;
+        let registry_ref = &registry;
+        let connect_ref = &connect;
+        let dealer = scope.spawn(move || -> io::Result<Vec<ReshardEvent>> {
+            let mut bufs: Vec<Vec<u64>> = vec![Vec::new(); schedule_ref.slot_count()];
+            let mut open_conns: HashSet<usize> = (0..shards).collect();
+            let mut current_epoch = 0u64;
+            let mut events = Vec::new();
+            for (b, chunk) in values.chunks(period).enumerate() {
+                let target = schedule_ref.epoch_at(b as u64);
+                while current_epoch < target {
+                    current_epoch += 1;
+                    let frontier_before = b * period;
+                    let mut event = execute_swap(
+                        current_epoch,
+                        schedule_ref,
+                        plan_ref,
+                        links_ref,
+                        config,
+                        policy,
+                        registry_ref,
+                        connect_ref,
+                        &mut open_conns,
+                    )?;
+                    // No values were dealt inside the swap, so the
+                    // pause spans exactly the one inter-sub-window gap
+                    // it started in.
+                    event.paused_subwindows = ((b * period - frontier_before) / period + 1) as u64;
+                    events.push(event);
+                }
+                let table = schedule_ref.table(current_epoch);
+                for &v in chunk {
+                    let slot = table.route(v);
+                    bufs[slot].push(v);
+                    if bufs[slot].len() == BATCH {
+                        links_ref[plan_ref.conn_of[slot]].deal(Frame::EventBatch {
+                            session: slot as u64,
+                            values: std::mem::take(&mut bufs[slot]),
+                        })?;
+                    }
+                }
+                for &(_, slot) in table.bounds() {
+                    if !bufs[slot].is_empty() {
+                        links_ref[plan_ref.conn_of[slot]].deal(Frame::EventBatch {
+                            session: slot as u64,
+                            values: std::mem::take(&mut bufs[slot]),
+                        })?;
+                    }
+                    links_ref[plan_ref.conn_of[slot]].deal(Frame::Boundary {
+                        session: slot as u64,
+                        boundary: b as u64,
+                    })?;
+                }
+            }
+            let mut remaining: Vec<usize> = open_conns.into_iter().collect();
+            remaining.sort_unstable();
+            for conn in remaining {
+                links_ref[conn].deal(Frame::Shutdown)?;
+            }
+            Ok(events)
+        });
+
+        // Collector + double-buffered merger: group membership and the
+        // expected epoch stamp are functions of the boundary.
+        let mut drained_epoch = 0u64;
+        let collect = |b: usize, group: &mut Vec<QloveSummary>| -> io::Result<()> {
+            let epoch = schedule.epoch_at(b as u64);
+            // Connections fully retired by now-reached merges are
+            // drained once their last group is merged.
+            while drained_epoch < epoch {
+                drained_epoch += 1;
+                let swap_b = schedule.from_boundary(drained_epoch);
+                for conn in 0..plan.conns() {
+                    if plan.retired_at[conn] == Some(swap_b) {
+                        collector.drain_retired(conn);
+                    }
+                }
+            }
+            let mut total = 0u64;
+            for &(_, slot) in schedule.table(epoch).bounds() {
+                let summary =
+                    collector.expect_summary(plan.conn_of[slot], slot as u64, b as u64, epoch)?;
+                total += summary.total();
+                group.push(summary);
+            }
+            let expected = (values.len() - b * period).min(period) as u64;
+            if total != expected {
+                return Err(protocol(format!(
+                    "boundary {b}: summaries cover {total} elements, dealt {expected}"
+                )));
+            }
+            Ok(())
+        };
+        let merged = coordinate_pipelined(coordinator, boundaries, collect);
+
+        let finished = merged.and_then(|ok| {
+            // Confirm shutdown on every connection alive at the end
+            // (fully-retired ones were drained at their swap).
+            for conn in 0..plan.conns() {
+                let opened = plan.opened_at[conn] == 0
+                    || plan.opened_at[conn] < boundaries as u64
+                    || (boundaries == 0 && plan.opened_at[conn] == 0);
+                let retired = plan
+                    .retired_at
+                    .get(conn)
+                    .copied()
+                    .flatten()
+                    .is_some_and(|rb| rb < boundaries as u64);
+                if opened && !retired {
+                    collector.expect_shutdown_ack(conn)?;
+                }
+            }
+            Ok(ok)
+        });
+        if finished.is_err() {
+            collector.fail_all();
+        }
+        let events = join_io(dealer, "dealer");
+        let (answers, stats) = finished?;
+        let events = events?;
+        Ok((answers, stats, collector.failures, events))
+    })?;
+    let _ = final_epoch; // membership is derived per boundary above
+    Ok(ReshardRun {
+        answers,
+        stats,
+        failures,
+        events,
+    })
+}
+
+#[cfg(test)]
+#[cfg(unix)]
+mod tests {
+    use super::*;
+    use crate::worker::serve_stream;
+    use qlove_core::Backend;
+    use qlove_stream::parallel::ReshardPlan;
+    use std::os::unix::net::UnixStream;
+    use std::sync::Mutex as StdMutex;
+    use std::thread::JoinHandle;
+
+    fn config(backend: Backend) -> QloveConfig {
+        QloveConfig::new(&[0.5, 0.9], 400, 50).backend(backend)
+    }
+
+    fn stream(seed: u64, n: usize) -> Vec<u64> {
+        (0..n as u64)
+            .map(|i| (i.wrapping_mul(2654435761).wrapping_add(seed * 7919)) % 997)
+            .collect()
+    }
+
+    fn sequential(cfg: &QloveConfig, data: &[u64]) -> (Vec<QloveAnswer>, Qlove) {
+        let mut op = Qlove::new(cfg.clone());
+        let answers = data.iter().filter_map(|&v| op.push_detailed(v)).collect();
+        (answers, op)
+    }
+
+    fn uds_worker(handles: &StdMutex<Vec<JoinHandle<()>>>) -> io::Result<Conn> {
+        let (ours, theirs) = UnixStream::pair()?;
+        let h = std::thread::spawn(move || {
+            let _ = serve_stream(Conn::Unix(theirs));
+        });
+        handles.lock().unwrap().push(h);
+        Ok(Conn::Unix(ours))
+    }
+
+    #[test]
+    fn conn_plan_follows_the_hosting_convention() {
+        let specs = [
+            ReshardSpec {
+                boundary: 2,
+                plan: ReshardPlan::Split {
+                    slot: 0,
+                    pivot: 250,
+                },
+            },
+            ReshardSpec {
+                boundary: 5,
+                plan: ReshardPlan::Merge { left: 2 },
+            },
+        ];
+        let schedule = ReshardSchedule::build(2, 1000, &specs).unwrap();
+        let plan = ConnPlan::build(&schedule, 2);
+        // Split of slot 0 (conn 0): low half (slot 2) stays on conn 0,
+        // high half (slot 3) gets fresh conn 2.
+        assert_eq!(plan.conn_of, vec![0, 1, 0, 2, 0]);
+        assert_eq!(plan.opened_at, vec![0, 0, 2]);
+        // Merge of slots 2 and 3: successor (slot 4) on slot 2's conn
+        // (conn 0); slot 3's conn (conn 2) fully retired at boundary 5.
+        assert_eq!(plan.retired_at, vec![None, None, Some(5)]);
+    }
+
+    #[test]
+    fn split_and_merge_over_uds_are_bit_identical() {
+        let data = stream(3, 430); // 9 boundaries, last one partial
+        for backend in [Backend::Tree, Backend::Dense] {
+            let cfg = config(backend);
+            let (want, single) = sequential(&cfg, &data);
+            for specs in [
+                vec![ReshardSpec {
+                    boundary: 3,
+                    plan: ReshardPlan::Split {
+                        slot: 1,
+                        pivot: 700,
+                    },
+                }],
+                vec![ReshardSpec {
+                    boundary: 4,
+                    plan: ReshardPlan::Merge { left: 0 },
+                }],
+                vec![
+                    ReshardSpec {
+                        boundary: 2,
+                        plan: ReshardPlan::Split {
+                            slot: 0,
+                            pivot: 200,
+                        },
+                    },
+                    ReshardSpec {
+                        boundary: 6,
+                        plan: ReshardPlan::Merge { left: 2 },
+                    },
+                ],
+            ] {
+                let handles = StdMutex::new(Vec::new());
+                let conns: Vec<Conn> = (0..2).map(|_| uds_worker(&handles).unwrap()).collect();
+                let mut coordinator = Qlove::new(cfg.clone());
+                let run = run_resharded(
+                    &cfg,
+                    &mut coordinator,
+                    conns,
+                    &data,
+                    997,
+                    &specs,
+                    &RecoveryPolicy::disabled(),
+                    |_conn| uds_worker(&handles),
+                )
+                .expect("resharded run");
+                assert_eq!(run.answers, want, "{backend:?} {specs:?}");
+                assert_eq!(coordinator.pending(), single.pending());
+                assert!(run.failures.is_empty());
+                assert_eq!(run.events.len(), specs.len());
+                for (event, spec) in run.events.iter().zip(&specs) {
+                    assert_eq!(event.boundary, spec.boundary);
+                    assert_eq!(event.plan, spec.plan);
+                    assert_eq!(
+                        event.paused_subwindows, 1,
+                        "ingest pause must be bounded by one sub-window"
+                    );
+                    assert!(event.swap_frames > 0);
+                }
+                for h in handles.into_inner().unwrap() {
+                    h.join().expect("worker thread panicked");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_schedule_degenerates_to_a_plain_supervised_run() {
+        let cfg = config(Backend::Dense);
+        let data = stream(7, 430);
+        let (want, _) = sequential(&cfg, &data);
+        let handles = StdMutex::new(Vec::new());
+        let conns: Vec<Conn> = (0..3).map(|_| uds_worker(&handles).unwrap()).collect();
+        let mut coordinator = Qlove::new(cfg.clone());
+        let run = run_resharded(
+            &cfg,
+            &mut coordinator,
+            conns,
+            &data,
+            997,
+            &[],
+            &RecoveryPolicy::disabled(),
+            |_conn| uds_worker(&handles),
+        )
+        .unwrap();
+        assert_eq!(run.answers, want);
+        assert!(run.events.is_empty());
+        for h in handles.into_inner().unwrap() {
+            h.join().expect("worker thread panicked");
+        }
+    }
+
+    #[test]
+    fn rejects_an_invalid_schedule() {
+        let cfg = config(Backend::Tree);
+        let handles = StdMutex::new(Vec::new());
+        let conns: Vec<Conn> = (0..2).map(|_| uds_worker(&handles).unwrap()).collect();
+        let mut coordinator = Qlove::new(cfg.clone());
+        let err = run_resharded(
+            &cfg,
+            &mut coordinator,
+            conns,
+            &[1, 2, 3],
+            997,
+            &[ReshardSpec {
+                boundary: 0,
+                plan: ReshardPlan::Merge { left: 0 },
+            }],
+            &RecoveryPolicy::disabled(),
+            |_conn| uds_worker(&handles),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // Workers never handshook past hello; dropping the conns ends
+        // their threads.
+        for h in handles.into_inner().unwrap() {
+            h.join().expect("worker thread panicked");
+        }
+    }
+}

@@ -492,7 +492,10 @@ impl<F: FnMut() -> io::Result<Conn>> MuxCollector<'_, F> {
         while self.restarts < self.policy.max_restarts && started.elapsed() <= self.policy.deadline
         {
             if attempt > 0 {
-                thread::sleep(self.policy.backoff);
+                // The whole connection is one failure domain (every
+                // session shares the socket), so key 0 is fine: jitter
+                // exists to spread *distinct* domains apart.
+                thread::sleep(self.policy.backoff_for(0, attempt));
             }
             attempt += 1;
             self.restarts += 1;
@@ -665,6 +668,7 @@ where
                 Frame::BoundarySummary {
                     session,
                     boundary,
+                    epoch: 0,
                     summary,
                 } => {
                     let s = match session_index(session) {

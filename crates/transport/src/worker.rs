@@ -131,6 +131,10 @@ enum SessionCore {
         /// accepting one mid-stream would let a buggy coordinator
         /// corrupt shard state.
         virgin: bool,
+        /// Reshard epoch stamped on every summary this session ships;
+        /// 0 until a `Reshard` frame raises it (i.e. always 0 outside
+        /// resharded runs).
+        epoch: u64,
     },
     Operator {
         op: Box<Qlove>,
@@ -156,6 +160,7 @@ impl Session {
                 boundaries: 0,
                 shipped: 0,
                 virgin: true,
+                epoch: 0,
             },
             WorkerMode::Operator => SessionCore::Operator {
                 op: Box::new(Qlove::new(config.clone())),
@@ -427,6 +432,7 @@ pub fn serve_stream(conn: Conn) -> io::Result<ServeReport> {
                         boundaries,
                         shipped,
                         virgin,
+                        epoch,
                     } => {
                         *virgin = false;
                         if boundary != *boundaries {
@@ -438,6 +444,7 @@ pub fn serve_stream(conn: Conn) -> io::Result<ServeReport> {
                         writer.write_frame(&Frame::BoundarySummary {
                             session,
                             boundary,
+                            epoch: *epoch,
                             summary: shard.take_summary(),
                         })?;
                         writer.flush()?;
@@ -498,6 +505,46 @@ pub fn serve_stream(conn: Conn) -> io::Result<ServeReport> {
                 finished.push(closed.report());
                 writer.write_frame(&Frame::CloseSession { session })?;
                 writer.flush()?;
+            }
+            Frame::Reshard {
+                session,
+                boundary,
+                epoch,
+            } => {
+                let s = slab.get(session, "reshard")?;
+                match &mut s.core {
+                    SessionCore::Shard {
+                        boundaries,
+                        virgin,
+                        epoch: current,
+                        ..
+                    } => {
+                        // The stamp takes effect at the next summary,
+                        // so it must sit exactly between two
+                        // sub-windows of the session's stream (the
+                        // dealer emits it right after a Boundary, and
+                        // recovery right after the Restore).
+                        if boundary != *boundaries {
+                            return Err(protocol(format!(
+                                "session {session}: reshard at boundary {boundary} \
+                                 out of order (expected {boundaries})"
+                            )));
+                        }
+                        if epoch < *current {
+                            return Err(protocol(format!(
+                                "session {session}: reshard epoch regressed \
+                                 ({epoch} after {current})"
+                            )));
+                        }
+                        *virgin = false;
+                        *current = epoch;
+                    }
+                    SessionCore::Operator { .. } => {
+                        return Err(protocol(format!(
+                            "session {session}: reshard in operator mode"
+                        )))
+                    }
+                }
             }
             Frame::Shutdown => {
                 slab.drain_all(&mut writer)?;

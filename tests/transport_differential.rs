@@ -416,6 +416,7 @@ fn chaos_policy() -> RecoveryPolicy {
         backoff: Duration::from_millis(20),
         deadline: Duration::from_secs(30),
         heartbeat: Some(Duration::from_millis(250)),
+        jitter: 0xC4A05, // deterministic spread for multi-shard chaos respawns
     }
 }
 

@@ -1,11 +1,12 @@
 //! Deterministic recovery differentials for the supervised socket
-//! runtime: a frame-counting proxy sits between the coordinator and a
-//! real in-process worker and severs both connections after exactly N
-//! coordinator→worker frames — so worker "crashes" can be injected at
-//! **every position** of a small stream, not just wherever a signal
-//! happens to land. The oracle is the standing invariant: whatever the
-//! cut position, the supervised run must produce answers bit-identical
-//! to a sequential single-instance run.
+//! runtime: the `qlove::transport::chaos` proxy sits between the
+//! coordinator and a real in-process worker and severs both
+//! connections after exactly N coordinator→worker frames — so worker
+//! "crashes" can be injected at **every position** of a small stream,
+//! not just wherever a signal happens to land. The oracle is the
+//! standing invariant: whatever the cut position, the supervised run
+//! must produce answers bit-identical to a sequential single-instance
+//! run.
 //!
 //! Covered edge shapes (per ISSUE 6): failure on the first/last frame
 //! of a boundary, failure mid-boundary with multiple `EventBatch`
@@ -20,10 +21,10 @@ use proptest::prelude::*;
 use qlove::core::{Backend, FewKConfig, Qlove, QloveAnswer, QloveConfig};
 use qlove::stream::parallel::BATCH;
 use qlove::transport::{
-    run_supervised, serve_stream, Conn, DistributedRun, FailureKind, RecoveryPolicy, ServeReport,
+    interpose, run_supervised, serve_stream, ChaosProxy, Conn, CutAfter, DistributedRun,
+    FailureKind, RecoveryPolicy, ServeReport,
 };
-use std::io::{self, Read, Write};
-use std::net::Shutdown;
+use std::io;
 use std::os::unix::net::UnixStream;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -52,7 +53,7 @@ fn stream(seed: u64, n: usize) -> Vec<u64> {
 /// connection are expected and ignored.
 enum WorkerHandle {
     Direct(JoinHandle<io::Result<ServeReport>>),
-    Proxied(Vec<JoinHandle<()>>),
+    Proxied(JoinHandle<()>, ChaosProxy),
 }
 
 impl WorkerHandle {
@@ -64,10 +65,9 @@ impl WorkerHandle {
                     report.expect("direct worker session failed");
                 }
             }
-            WorkerHandle::Proxied(hs) => {
-                for h in hs {
-                    h.join().expect("proxy thread panicked");
-                }
+            WorkerHandle::Proxied(worker, proxy) => {
+                worker.join().expect("worker thread panicked");
+                proxy.join();
             }
         }
     }
@@ -85,12 +85,11 @@ fn direct_worker() -> io::Result<(Conn, WorkerHandle)> {
 /// is a *worker* failure, never a failed connection attempt.
 const HANDSHAKE_FRAMES: usize = 2;
 
-/// A real in-process worker behind a frame-counting proxy that severs
-/// both connections after `cut_after` post-handshake
-/// coordinator→worker frames (`None` = never).
+/// A real in-process worker behind the shared `transport::chaos` proxy,
+/// severed after `cut_after` post-handshake coordinator→worker frames
+/// (`None` = never).
 fn proxied_worker(cut_after: Option<usize>) -> io::Result<(Conn, WorkerHandle)> {
-    let (coord_side, proxy_coord) = UnixStream::pair()?;
-    let (proxy_work, worker_side) = UnixStream::pair()?;
+    let (upstream, worker_side) = UnixStream::pair()?;
 
     let worker = std::thread::spawn(move || {
         // A severed session errors by design; the differential assert
@@ -98,62 +97,9 @@ fn proxied_worker(cut_after: Option<usize>) -> io::Result<(Conn, WorkerHandle)> 
         let _ = serve_stream(Conn::Unix(worker_side));
     });
 
-    // worker→coordinator: dumb byte pump.
-    let mut pump_read = proxy_work.try_clone()?;
-    let mut pump_write = proxy_coord.try_clone()?;
-    let pump = std::thread::spawn(move || {
-        let mut buf = [0u8; 8192];
-        loop {
-            match pump_read.read(&mut buf) {
-                Ok(0) | Err(_) => break,
-                Ok(n) => {
-                    if pump_write.write_all(&buf[..n]).is_err() {
-                        break;
-                    }
-                }
-            }
-        }
-        let _ = pump_write.shutdown(Shutdown::Both);
-    });
-
-    // coordinator→worker: frame-by-frame forwarder with the cut. QLVT
-    // framing: 4-byte LE payload length + 1 type byte + payload.
-    let mut chop_read = proxy_coord;
-    let mut chop_write = proxy_work;
-    let allowed = cut_after.map(|c| c + HANDSHAKE_FRAMES);
-    let chopper = std::thread::spawn(move || {
-        let mut forwarded = 0usize;
-        let mut header = [0u8; 5];
-        let mut payload = Vec::new();
-        loop {
-            if Some(forwarded) == allowed {
-                // The injected failure: sever both directions of both
-                // sockets, abruptly, exactly here.
-                let _ = chop_read.shutdown(Shutdown::Both);
-                let _ = chop_write.shutdown(Shutdown::Both);
-                break;
-            }
-            if chop_read.read_exact(&mut header).is_err() {
-                let _ = chop_write.shutdown(Shutdown::Both);
-                break;
-            }
-            let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
-            payload.resize(len, 0);
-            if chop_read.read_exact(&mut payload).is_err()
-                || chop_write.write_all(&header).is_err()
-                || chop_write.write_all(&payload).is_err()
-            {
-                let _ = chop_write.shutdown(Shutdown::Both);
-                break;
-            }
-            forwarded += 1;
-        }
-    });
-
-    Ok((
-        Conn::Unix(coord_side),
-        WorkerHandle::Proxied(vec![worker, pump, chopper]),
-    ))
+    let cut = cut_after.map_or(u64::MAX, |c| (c + HANDSHAKE_FRAMES) as u64);
+    let (conn, proxy) = interpose(Conn::Unix(upstream), CutAfter(cut))?;
+    Ok((conn, WorkerHandle::Proxied(worker, proxy)))
 }
 
 fn test_policy(restarts: u32) -> RecoveryPolicy {
@@ -164,6 +110,7 @@ fn test_policy(restarts: u32) -> RecoveryPolicy {
         // EOF detection needs no heartbeat, and a deterministic frame
         // cut needs no probes muddying the frame counts.
         heartbeat: None,
+        jitter: 0,
     }
 }
 

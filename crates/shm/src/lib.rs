@@ -1,0 +1,56 @@
+//! # qlove-shm — shared-memory primitives for the zero-copy data plane
+//!
+//! Every other crate in this workspace is `#![forbid(unsafe_code)]`.
+//! This one is the deliberate exception: it concentrates the small
+//! amount of `unsafe` the shared-memory transport and the mmap-backed
+//! checkpoints need — raw `mmap`/`munmap`/`msync` bindings (declared
+//! directly; the build environment has no `libc` crate), pointer-cast
+//! Pod views, and seqlock word traffic through [`AtomicU64`] views of a
+//! mapping — behind safe, validated APIs:
+//!
+//! * [`SharedMap`] — a `u64`-word region, either a `MAP_SHARED` file
+//!   mapping (the real data plane) or an anonymous heap buffer (tests,
+//!   Miri, non-unix targets). All access goes through one raw pointer,
+//!   so atomic views and slice views share provenance.
+//! * [`pod`] — a minimal `Pod` trait plus checked byte/word casts, in
+//!   the spirit of `bytemuck` (size, alignment, and length are all
+//!   verified; casts never panic, they return `None`).
+//! * [`SummaryRing`] — the per-connection double-buffered summary ring:
+//!   a worker publishes `(value, frequency)` rows under a seqlock epoch
+//!   word, a coordinator validates and copies them out with zero
+//!   decode. Torn or corrupt slots surface as `InvalidData`, never a
+//!   panic and never an unbounded read.
+//! * [`CheckpointFile`] — a mapped slab with a `#[repr(C)]` Pod header
+//!   ([`CkptHeader`]), the persistence layout `DenseFreqStore` uses for
+//!   crash-safe sub-window state (remap + header validation instead of
+//!   replay).
+//!
+//! ## Concurrency contract
+//!
+//! The seqlock ring is written by exactly one writer (the worker owns
+//! slot publication; the coordinator frees slots only through control
+//! frames, never by writing the map). Readers copy under an epoch
+//! check: a slot whose sequence word is odd, or changes across the
+//! copy, is torn and rejected. All shared-word traffic is relaxed
+//! atomics bracketed by acquire/release fences — defined behavior
+//! under the Rust memory model (Miri-clean over the anonymous
+//! backing), compiling to plain loads and stores on x86-64.
+//!
+//! Checkpoint files are single-owner at any instant (a worker while
+//! alive, a recovering successor after it dies — process death, not
+//! concurrent sharing, is the hazard), so they use plain slice access
+//! plus compiler fences around the sequence word; the page cache keeps
+//! every retired store visible to the successor.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod ckpt;
+pub mod map;
+pub mod pod;
+pub mod ring;
+
+pub use ckpt::{CheckpointFile, CkptHeader, CKPT_MAGIC, CKPT_VERSION};
+pub use map::SharedMap;
+pub use pod::Pod;
+pub use ring::{SummaryRing, MAX_RING_ROWS, MAX_RING_SLOTS, RING_MAGIC, RING_VERSION};

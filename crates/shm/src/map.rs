@@ -1,0 +1,340 @@
+//! A shared region of `u64` words: file-backed `MAP_SHARED` mapping on
+//! unix, anonymous heap buffer everywhere else (and under Miri, which
+//! cannot model foreign mmap calls but checks the seqlock and Pod code
+//! over the heap backing bit-for-bit identically).
+//!
+//! All access flows through a single raw base pointer so that atomic
+//! views ([`SharedMap::atomic`]) and slice views
+//! ([`SharedMap::as_mut_slice`]) share provenance: creating one never
+//! invalidates the other under the aliasing models Miri enforces.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicU64;
+
+#[cfg(all(unix, not(miri)))]
+mod sys {
+    //! Raw syscall bindings for the three calls this crate needs. The
+    //! environment has no `libc` crate, so the declarations live here;
+    //! types follow the x86-64 linux ABI (`int` = `i32`,
+    //! `size_t` = `usize`, `off_t` = `i64`).
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 0x1;
+    pub const PROT_WRITE: i32 = 0x2;
+    pub const MAP_SHARED: i32 = 0x01;
+    pub const MS_SYNC: i32 = 4;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, length: usize) -> i32;
+        pub fn msync(addr: *mut c_void, length: usize, flags: i32) -> i32;
+    }
+}
+
+enum Backing {
+    /// `MAP_SHARED` file mapping; the pointer came from `mmap` and is
+    /// released with `munmap` on drop. The file handle is retained so
+    /// the mapping's identity (and the path, for diagnostics) outlive
+    /// any caller-side close.
+    #[cfg(all(unix, not(miri)))]
+    Mapped { _file: File, path: PathBuf },
+    /// Anonymous heap buffer; the pointer points into the boxed slice,
+    /// which is never accessed through its own reference again until
+    /// drop frees it.
+    Anon(#[allow(dead_code)] Box<[u64]>),
+}
+
+/// A fixed-size region of `u64` words shared between processes (file
+/// mapping) or threads (anonymous buffer). See the module docs for the
+/// aliasing discipline.
+pub struct SharedMap {
+    ptr: *mut u64,
+    words: usize,
+    backing: Backing,
+}
+
+// SAFETY: the region is plain memory; all concurrent access goes
+// through `&self` atomic operations. Exclusive access (`as_mut_slice`)
+// requires `&mut self`, which the borrow checker serializes. Callers
+// mapping one file from several processes must follow the seqlock
+// protocol documented in `ring` — that is a logic contract, not a
+// memory-safety one, on the Rust side of the mapping.
+unsafe impl Send for SharedMap {}
+// SAFETY: as above.
+unsafe impl Sync for SharedMap {}
+
+impl SharedMap {
+    /// Largest region this crate will create or map: 1 GiB of words.
+    /// Anything larger in a header is hostile input, not a real ring
+    /// or checkpoint.
+    pub const MAX_WORDS: usize = (1 << 30) / 8;
+
+    /// Allocate an anonymous zeroed region of `words` words.
+    pub fn anon(words: usize) -> io::Result<Self> {
+        let words = Self::check_words(words)?;
+        let mut buf = vec![0u64; words].into_boxed_slice();
+        let ptr = buf.as_mut_ptr();
+        Ok(SharedMap {
+            ptr,
+            words,
+            backing: Backing::Anon(buf),
+        })
+    }
+
+    /// Create (or truncate) `path` at `words * 8` bytes, zero-filled,
+    /// and map it shared.
+    #[cfg(all(unix, not(miri)))]
+    pub fn create_file(path: &Path, words: usize) -> io::Result<Self> {
+        let words = Self::check_words(words)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.set_len((words as u64) * 8)?;
+        Self::map_file(file, path, words)
+    }
+
+    /// Map an existing file shared; its size must be a nonzero
+    /// multiple of 8 bytes and within [`SharedMap::MAX_WORDS`].
+    #[cfg(all(unix, not(miri)))]
+    pub fn open_file(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let bytes = file.metadata()?.len();
+        if bytes == 0 || bytes % 8 != 0 || bytes / 8 > Self::MAX_WORDS as u64 {
+            return Err(bad_input(format!(
+                "shm: file {} has unusable size {bytes}",
+                path.display()
+            )));
+        }
+        Self::map_file(file, path, (bytes / 8) as usize)
+    }
+
+    #[cfg(all(unix, not(miri)))]
+    fn map_file(file: File, path: &Path, words: usize) -> io::Result<Self> {
+        use std::os::unix::io::AsRawFd;
+        let bytes = words * 8;
+        // SAFETY: fd is a valid open file descriptor sized to at least
+        // `bytes` (set_len above / metadata check above); we request a
+        // fresh shared read-write mapping at a kernel-chosen address.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                bytes,
+                sys::PROT_READ | sys::PROT_WRITE,
+                sys::MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(SharedMap {
+            ptr: ptr as *mut u64,
+            words,
+            backing: Backing::Mapped {
+                _file: file,
+                path: path.to_path_buf(),
+            },
+        })
+    }
+
+    /// Portable constructor used by the ring and checkpoint layers:
+    /// file-backed where mmap exists, anonymous elsewhere (the path is
+    /// then only a label). Tests and Miri take the anonymous branch.
+    pub fn create_at(path: &Path, words: usize) -> io::Result<Self> {
+        #[cfg(all(unix, not(miri)))]
+        {
+            Self::create_file(path, words)
+        }
+        #[cfg(not(all(unix, not(miri))))]
+        {
+            let _ = path;
+            Self::anon(words)
+        }
+    }
+
+    /// Number of `u64` words in the region.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Path of the backing file, if file-backed.
+    pub fn path(&self) -> Option<&Path> {
+        match &self.backing {
+            #[cfg(all(unix, not(miri)))]
+            Backing::Mapped { path, .. } => Some(path),
+            Backing::Anon(_) => None,
+        }
+    }
+
+    /// Whether the region is a real file mapping (false for the
+    /// anonymous test/Miri backing).
+    pub fn is_file_backed(&self) -> bool {
+        self.path().is_some()
+    }
+
+    /// Atomic view of word `i`. Panics on out-of-range `i` — indices
+    /// are computed from validated layout, never from foreign input.
+    pub fn atomic(&self, i: usize) -> &AtomicU64 {
+        assert!(i < self.words, "shm: word index {i} out of {}", self.words);
+        // SAFETY: in-bounds (asserted), 8-aligned (mmap is
+        // page-aligned; Box<[u64]> is 8-aligned), and AtomicU64 has
+        // the same layout as u64. The shared reference lives at most
+        // as long as &self, while the region lives as long as self.
+        unsafe { &*(self.ptr.add(i) as *const AtomicU64) }
+    }
+
+    /// The whole region as a plain slice. Only sound to *rely on* when
+    /// no other process is writing; single-owner layers (checkpoints)
+    /// use this, the ring reads exclusively through [`Self::atomic`].
+    pub fn as_slice(&self) -> &[u64] {
+        // SAFETY: ptr is valid for `words` words for the life of self.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.words) }
+    }
+
+    /// Exclusive slice view of the whole region.
+    pub fn as_mut_slice(&mut self) -> &mut [u64] {
+        // SAFETY: as `as_slice`, and `&mut self` guarantees no other
+        // in-process view is live.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.words) }
+    }
+
+    /// Flush the region to its backing file (`MS_SYNC`). No-op for
+    /// anonymous regions.
+    pub fn msync(&self) -> io::Result<()> {
+        match &self.backing {
+            #[cfg(all(unix, not(miri)))]
+            Backing::Mapped { .. } => {
+                // SAFETY: ptr/len describe exactly the live mapping.
+                let rc = unsafe {
+                    sys::msync(
+                        self.ptr as *mut std::ffi::c_void,
+                        self.words * 8,
+                        sys::MS_SYNC,
+                    )
+                };
+                if rc != 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                Ok(())
+            }
+            Backing::Anon(_) => Ok(()),
+        }
+    }
+
+    fn check_words(words: usize) -> io::Result<usize> {
+        if words == 0 || words > Self::MAX_WORDS {
+            return Err(bad_input(format!(
+                "shm: unusable region size {words} words"
+            )));
+        }
+        Ok(words)
+    }
+}
+
+impl Drop for SharedMap {
+    fn drop(&mut self) {
+        match &self.backing {
+            #[cfg(all(unix, not(miri)))]
+            Backing::Mapped { .. } => {
+                // SAFETY: ptr/len came from a successful mmap and the
+                // mapping has not been unmapped before.
+                unsafe {
+                    sys::munmap(self.ptr as *mut std::ffi::c_void, self.words * 8);
+                }
+            }
+            // The boxed slice frees itself.
+            Backing::Anon(_) => {}
+        }
+    }
+}
+
+fn bad_input(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn anon_region_reads_back_writes() {
+        let mut m = SharedMap::anon(16).unwrap();
+        m.as_mut_slice()[3] = 42;
+        assert_eq!(m.atomic(3).load(Ordering::Relaxed), 42);
+        m.atomic(4).store(7, Ordering::Relaxed);
+        assert_eq!(m.as_slice()[4], 7);
+        assert_eq!(m.words(), 16);
+        assert!(m.path().is_none());
+        m.msync().unwrap();
+    }
+
+    #[test]
+    fn anon_rejects_zero_and_huge_sizes() {
+        assert!(SharedMap::anon(0).is_err());
+        assert!(SharedMap::anon(SharedMap::MAX_WORDS + 1).is_err());
+    }
+
+    #[test]
+    fn atomics_are_usable_across_threads() {
+        let m = std::sync::Arc::new(SharedMap::anon(8).unwrap());
+        let m2 = m.clone();
+        let t = std::thread::spawn(move || {
+            m2.atomic(0).store(99, Ordering::Release);
+        });
+        t.join().unwrap();
+        assert_eq!(m.atomic(0).load(Ordering::Acquire), 99);
+    }
+
+    #[cfg(all(unix, not(miri)))]
+    #[test]
+    fn file_mapping_persists_across_remap() {
+        let path = std::env::temp_dir().join(format!("qlove-shm-map-{}", std::process::id()));
+        {
+            let mut m = SharedMap::create_file(&path, 8).unwrap();
+            m.as_mut_slice()[5] = 1234;
+            m.msync().unwrap();
+            assert_eq!(m.path(), Some(path.as_path()));
+            assert!(m.is_file_backed());
+        }
+        {
+            let m = SharedMap::open_file(&path).unwrap();
+            assert_eq!(m.words(), 8);
+            assert_eq!(m.as_slice()[5], 1234);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[cfg(all(unix, not(miri)))]
+    #[test]
+    fn open_rejects_missing_empty_and_ragged_files() {
+        let dir = std::env::temp_dir();
+        let missing = dir.join(format!("qlove-shm-missing-{}", std::process::id()));
+        assert!(SharedMap::open_file(&missing).is_err());
+
+        let empty = dir.join(format!("qlove-shm-empty-{}", std::process::id()));
+        std::fs::write(&empty, b"").unwrap();
+        assert!(SharedMap::open_file(&empty).is_err());
+
+        let ragged = dir.join(format!("qlove-shm-ragged-{}", std::process::id()));
+        std::fs::write(&ragged, b"12345").unwrap();
+        assert!(SharedMap::open_file(&ragged).is_err());
+
+        std::fs::remove_file(&empty).unwrap();
+        std::fs::remove_file(&ragged).unwrap();
+    }
+}

@@ -1,0 +1,119 @@
+//! Minimal plain-old-data casting, in the spirit of `bytemuck`.
+//!
+//! The workspace cannot take external dependencies, so the handful of
+//! checked casts the checkpoint header needs live here. Every cast
+//! validates size, alignment, and length and returns `None` on
+//! mismatch — callers treat a failed cast like any other corrupt
+//! input (`InvalidData`), never a panic.
+
+/// Marker for types that are valid for any bit pattern and contain no
+/// padding when viewed as `[u64]` words.
+///
+/// # Safety
+///
+/// Implementors must be `#[repr(C)]` (or a primitive), have no
+/// padding bytes, no invalid bit patterns, and no interior mutability
+/// or pointers. Every field must itself satisfy the same contract.
+pub unsafe trait Pod: Copy + 'static {}
+
+// SAFETY: primitive integers are valid for all bit patterns and padding-free.
+unsafe impl Pod for u8 {}
+// SAFETY: as above.
+unsafe impl Pod for u32 {}
+// SAFETY: as above.
+unsafe impl Pod for u64 {}
+// SAFETY: arrays of Pod are Pod.
+unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
+
+/// Reinterpret a prefix of a word slice as a reference to `T`.
+///
+/// Returns `None` when `T` is not a whole number of `u64` words, when
+/// its alignment exceeds `u64`'s, or when the slice is too short.
+pub fn cast_prefix<T: Pod>(words: &[u64]) -> Option<&T> {
+    let need = size_in_words::<T>()?;
+    if words.len() < need {
+        return None;
+    }
+    // SAFETY: T is Pod (valid for any bits, no padding), fits in the
+    // checked prefix, and its alignment requirement is at most that of
+    // u64, which the slice already satisfies.
+    Some(unsafe { &*(words.as_ptr() as *const T) })
+}
+
+/// Mutable variant of [`cast_prefix`].
+pub fn cast_prefix_mut<T: Pod>(words: &mut [u64]) -> Option<&mut T> {
+    let need = size_in_words::<T>()?;
+    if words.len() < need {
+        return None;
+    }
+    // SAFETY: as in `cast_prefix`; the borrow is exclusive.
+    Some(unsafe { &mut *(words.as_mut_ptr() as *mut T) })
+}
+
+/// View a Pod value as its underlying `u64` words.
+///
+/// Returns `None` when `T` is not a whole number of words or is
+/// over-aligned (neither happens for the types in this crate; the
+/// check keeps the function total).
+pub fn as_words<T: Pod>(value: &T) -> Option<&[u64]> {
+    let need = size_in_words::<T>()?;
+    // SAFETY: T is Pod, so all its bytes are initialized and any u64
+    // view of them is a valid value; length is exactly T's size.
+    Some(unsafe { std::slice::from_raw_parts(value as *const T as *const u64, need) })
+}
+
+/// Size of `T` in `u64` words, or `None` if `T` does not tile words.
+pub fn size_in_words<T: Pod>() -> Option<usize> {
+    let size = std::mem::size_of::<T>();
+    if !size.is_multiple_of(8) || std::mem::align_of::<T>() > 8 {
+        return None;
+    }
+    Some(size / 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    #[repr(C)]
+    struct Pair {
+        a: u64,
+        b: u64,
+    }
+    // SAFETY: repr(C), two u64 fields, no padding.
+    unsafe impl Pod for Pair {}
+
+    #[derive(Clone, Copy)]
+    #[repr(C)]
+    struct Odd {
+        a: u32,
+    }
+    // SAFETY: a single u32 is Pod (it just doesn't tile u64 words).
+    unsafe impl Pod for Odd {}
+
+    #[test]
+    fn cast_prefix_roundtrips() {
+        let mut words = [1u64, 2, 3];
+        let p: &Pair = cast_prefix(&words).unwrap();
+        assert_eq!(*p, Pair { a: 1, b: 2 });
+        let pm: &mut Pair = cast_prefix_mut(&mut words).unwrap();
+        pm.b = 9;
+        assert_eq!(words, [1, 9, 3]);
+    }
+
+    #[test]
+    fn cast_rejects_short_slices_and_odd_sizes() {
+        let words = [1u64];
+        assert!(cast_prefix::<Pair>(&words).is_none());
+        assert!(cast_prefix::<Odd>(&words).is_none());
+        assert_eq!(size_in_words::<Pair>(), Some(2));
+        assert_eq!(size_in_words::<Odd>(), None);
+    }
+
+    #[test]
+    fn as_words_views_the_value() {
+        let p = Pair { a: 7, b: 8 };
+        assert_eq!(as_words(&p).unwrap(), &[7, 8]);
+    }
+}

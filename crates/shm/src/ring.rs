@@ -1,0 +1,438 @@
+//! The per-connection summary ring: a small set of fixed-capacity
+//! slots in a [`SharedMap`], each guarded by a seqlock sequence word.
+//!
+//! Layout (all `u64` words, little-endian on every supported target):
+//!
+//! ```text
+//! word 0..8    ring header   [magic, version, slots, cap, 0, 0, 0, 0]
+//! per slot     8 + 2*cap     [seq, session, boundary, epoch, len, 0, 0, 0]
+//!                            [value0, freq0, value1, freq1, ...]
+//! ```
+//!
+//! One writer (the worker) publishes a slot by bumping `seq` to odd,
+//! writing the metadata and rows, then storing `seq` back to even with
+//! release ordering. One reader (the coordinator) copies under an
+//! acquire/recheck bracket; an odd or moved `seq`, an over-long `len`,
+//! or mismatched metadata all surface as `InvalidData` — the same
+//! hostile-input contract as the framed protocol. The reader never
+//! copies more than `cap` rows no matter what the header claims.
+
+use crate::map::SharedMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{fence, Ordering};
+
+/// `b"QLOVRING"` as a little-endian word.
+pub const RING_MAGIC: u64 = u64::from_le_bytes(*b"QLOVRING");
+/// Bumped on any layout change.
+pub const RING_VERSION: u64 = 1;
+/// Upper bound on slots a ring may declare; larger is hostile input.
+pub const MAX_RING_SLOTS: u64 = 64;
+/// Upper bound on rows per slot a ring may declare (16 Mi words of
+/// payload per slot at most — mirrors the 16 MiB frame cap).
+pub const MAX_RING_ROWS: u64 = 1 << 20;
+
+const HDR_WORDS: usize = 8;
+const SLOT_HDR_WORDS: usize = 8;
+
+const W_MAGIC: usize = 0;
+const W_VERSION: usize = 1;
+const W_SLOTS: usize = 2;
+const W_CAP: usize = 3;
+
+const S_SEQ: usize = 0;
+const S_SESSION: usize = 1;
+const S_BOUNDARY: usize = 2;
+const S_EPOCH: usize = 3;
+const S_LEN: usize = 4;
+
+/// A mapped summary ring. See the module docs for layout and the
+/// single-writer/single-reader seqlock contract.
+pub struct SummaryRing {
+    map: SharedMap,
+    slots: usize,
+    cap: usize,
+}
+
+impl SummaryRing {
+    /// Words needed for a ring with `slots` slots of `cap` rows.
+    fn words_for(slots: usize, cap: usize) -> usize {
+        HDR_WORDS + slots * (SLOT_HDR_WORDS + 2 * cap)
+    }
+
+    /// Create a ring at `path` (file-backed where mmap exists,
+    /// anonymous otherwise) and initialize its header.
+    pub fn create(path: &Path, slots: usize, cap: usize) -> io::Result<Self> {
+        check_geometry(slots as u64, cap as u64)?;
+        let mut map = SharedMap::create_at(path, Self::words_for(slots, cap))?;
+        let words = map.as_mut_slice();
+        words[W_MAGIC] = RING_MAGIC;
+        words[W_VERSION] = RING_VERSION;
+        words[W_SLOTS] = slots as u64;
+        words[W_CAP] = cap as u64;
+        Ok(SummaryRing { map, slots, cap })
+    }
+
+    /// Anonymous ring for tests and Miri.
+    pub fn anon(slots: usize, cap: usize) -> io::Result<Self> {
+        check_geometry(slots as u64, cap as u64)?;
+        let mut map = SharedMap::anon(Self::words_for(slots, cap))?;
+        let words = map.as_mut_slice();
+        words[W_MAGIC] = RING_MAGIC;
+        words[W_VERSION] = RING_VERSION;
+        words[W_SLOTS] = slots as u64;
+        words[W_CAP] = cap as u64;
+        Ok(SummaryRing { map, slots, cap })
+    }
+
+    /// Map an existing ring file and validate its header: magic,
+    /// version, bounded geometry, and a file size that exactly matches
+    /// the declared layout. Any mismatch is `InvalidData`.
+    #[cfg(all(unix, not(miri)))]
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let map = SharedMap::open_file(path)?;
+        Self::validate(map)
+    }
+
+    /// Adopt an already-initialized map (the open path, split out so
+    /// the validation logic is testable over anonymous maps too).
+    pub fn validate(map: SharedMap) -> io::Result<Self> {
+        let words = map.as_slice();
+        if words.len() < HDR_WORDS {
+            return Err(torn("ring header truncated"));
+        }
+        if words[W_MAGIC] != RING_MAGIC {
+            return Err(torn("ring magic mismatch"));
+        }
+        if words[W_VERSION] != RING_VERSION {
+            return Err(torn("ring version mismatch"));
+        }
+        let (slots, cap) = (words[W_SLOTS], words[W_CAP]);
+        check_geometry(slots, cap)?;
+        let (slots, cap) = (slots as usize, cap as usize);
+        if words.len() != Self::words_for(slots, cap) {
+            return Err(torn("ring size does not match declared geometry"));
+        }
+        Ok(SummaryRing { map, slots, cap })
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Row capacity per slot.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Path of the backing file, if file-backed.
+    pub fn path(&self) -> Option<&Path> {
+        self.map.path()
+    }
+
+    fn slot_base(&self, slot: usize) -> usize {
+        assert!(slot < self.slots, "ring: slot {slot} out of {}", self.slots);
+        HDR_WORDS + slot * (SLOT_HDR_WORDS + 2 * self.cap)
+    }
+
+    /// Publish `rows` into `slot` under the seqlock. Returns `false`
+    /// (leaving the slot reusable) when `rows` exceeds the slot
+    /// capacity — the caller then falls back to the inline frame path.
+    pub fn publish(
+        &self,
+        slot: usize,
+        session: u64,
+        boundary: u64,
+        epoch: u64,
+        rows: &[(u64, u64)],
+    ) -> bool {
+        if rows.len() > self.cap {
+            return false;
+        }
+        let base = self.slot_base(slot);
+        let seq = self.map.atomic(base + S_SEQ);
+        // Normalize to even in case a previous publish was torn by a
+        // crashed writer of this same slot (we are its successor).
+        let start = seq.load(Ordering::Relaxed) & !1;
+        seq.store(start + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        self.map
+            .atomic(base + S_SESSION)
+            .store(session, Ordering::Relaxed);
+        self.map
+            .atomic(base + S_BOUNDARY)
+            .store(boundary, Ordering::Relaxed);
+        self.map
+            .atomic(base + S_EPOCH)
+            .store(epoch, Ordering::Relaxed);
+        self.map
+            .atomic(base + S_LEN)
+            .store(rows.len() as u64, Ordering::Relaxed);
+        let data = base + SLOT_HDR_WORDS;
+        for (i, &(value, freq)) in rows.iter().enumerate() {
+            self.map
+                .atomic(data + 2 * i)
+                .store(value, Ordering::Relaxed);
+            self.map
+                .atomic(data + 2 * i + 1)
+                .store(freq, Ordering::Relaxed);
+        }
+        seq.store(start + 2, Ordering::Release);
+        true
+    }
+
+    /// Copy the rows of `slot` into `out`, validating the seqlock
+    /// bracket and that the slot's metadata matches what the control
+    /// channel announced. `out` is cleared first. Torn, oversized, or
+    /// mismatched slots are `InvalidData`; nothing beyond the slot
+    /// capacity is ever read.
+    pub fn read_into(
+        &self,
+        slot: usize,
+        session: u64,
+        boundary: u64,
+        epoch: u64,
+        out: &mut Vec<(u64, u64)>,
+    ) -> io::Result<()> {
+        out.clear();
+        let base = self.slot_base(slot);
+        let seq = self.map.atomic(base + S_SEQ);
+        let before = seq.load(Ordering::Acquire);
+        if before & 1 == 1 {
+            return Err(torn("ring slot is mid-publish"));
+        }
+        let got_session = self.map.atomic(base + S_SESSION).load(Ordering::Relaxed);
+        let got_boundary = self.map.atomic(base + S_BOUNDARY).load(Ordering::Relaxed);
+        let got_epoch = self.map.atomic(base + S_EPOCH).load(Ordering::Relaxed);
+        let len = self.map.atomic(base + S_LEN).load(Ordering::Relaxed);
+        if len > self.cap as u64 {
+            return Err(torn("ring slot declares more rows than its capacity"));
+        }
+        let data = base + SLOT_HDR_WORDS;
+        out.reserve(len as usize);
+        for i in 0..len as usize {
+            let value = self.map.atomic(data + 2 * i).load(Ordering::Relaxed);
+            let freq = self.map.atomic(data + 2 * i + 1).load(Ordering::Relaxed);
+            out.push((value, freq));
+        }
+        fence(Ordering::Acquire);
+        if seq.load(Ordering::Relaxed) != before {
+            out.clear();
+            return Err(torn("ring slot changed under the reader"));
+        }
+        if (got_session, got_boundary, got_epoch) != (session, boundary, epoch) {
+            out.clear();
+            return Err(torn("ring slot metadata does not match announcement"));
+        }
+        Ok(())
+    }
+
+    /// Deliberately wedge `slot` mid-publish (sequence word left odd).
+    /// This is the torn-write injector hook used by the chaos harness;
+    /// a subsequent [`Self::read_into`] must fail with `InvalidData`.
+    pub fn tear_slot(&self, slot: usize) {
+        let base = self.slot_base(slot);
+        let seq = self.map.atomic(base + S_SEQ);
+        let v = seq.load(Ordering::Relaxed) | 1;
+        seq.store(v, Ordering::Release);
+    }
+
+    /// Overwrite the declared row count of `slot` without touching the
+    /// seqlock — a "consistent-looking but lying" corruption for the
+    /// chaos harness. Readers must reject it by the capacity bound.
+    pub fn corrupt_len(&self, slot: usize, len: u64) {
+        let base = self.slot_base(slot);
+        self.map.atomic(base + S_LEN).store(len, Ordering::Release);
+    }
+
+    /// Flush the ring to its backing file. Only meaningful for tests
+    /// that inspect the file; the live data plane relies on shared
+    /// page-cache coherence, not durability.
+    pub fn msync(&self) -> io::Result<()> {
+        self.map.msync()
+    }
+}
+
+fn check_geometry(slots: u64, cap: u64) -> io::Result<()> {
+    if slots == 0 || slots > MAX_RING_SLOTS || cap == 0 || cap > MAX_RING_ROWS {
+        return Err(torn("ring geometry out of bounds"));
+    }
+    Ok(())
+}
+
+fn torn(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(
+        ring: &SummaryRing,
+        slot: usize,
+        s: u64,
+        b: u64,
+        e: u64,
+    ) -> io::Result<Vec<(u64, u64)>> {
+        let mut out = Vec::new();
+        ring.read_into(slot, s, b, e, &mut out)?;
+        Ok(out)
+    }
+
+    #[test]
+    fn publish_then_read_roundtrips() {
+        let ring = SummaryRing::anon(2, 8).unwrap();
+        let rows = vec![(10, 1), (20, 3), (30, 2)];
+        assert!(ring.publish(0, 7, 42, 5, &rows));
+        assert_eq!(read(&ring, 0, 7, 42, 5).unwrap(), rows);
+        // Republishing the same slot with new contents supersedes.
+        let rows2 = vec![(5, 9)];
+        assert!(ring.publish(0, 7, 43, 6, &rows2));
+        assert_eq!(read(&ring, 0, 7, 43, 6).unwrap(), rows2);
+    }
+
+    #[test]
+    fn empty_rows_publish_cleanly() {
+        let ring = SummaryRing::anon(1, 4).unwrap();
+        assert!(ring.publish(0, 1, 1, 1, &[]));
+        assert_eq!(read(&ring, 0, 1, 1, 1).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn oversized_publish_is_refused_not_truncated() {
+        let ring = SummaryRing::anon(1, 2).unwrap();
+        let rows = vec![(1, 1), (2, 1), (3, 1)];
+        assert!(!ring.publish(0, 1, 1, 1, &rows));
+    }
+
+    #[test]
+    fn torn_slot_reads_as_invalid_data() {
+        let ring = SummaryRing::anon(1, 4).unwrap();
+        assert!(ring.publish(0, 1, 2, 3, &[(4, 4)]));
+        ring.tear_slot(0);
+        let err = read(&ring, 0, 1, 2, 3).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn lying_length_is_bounded_and_rejected() {
+        let ring = SummaryRing::anon(1, 4).unwrap();
+        assert!(ring.publish(0, 1, 2, 3, &[(4, 4)]));
+        ring.corrupt_len(0, u64::MAX);
+        let err = read(&ring, 0, 1, 2, 3).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn metadata_mismatch_is_rejected() {
+        let ring = SummaryRing::anon(1, 4).unwrap();
+        assert!(ring.publish(0, 1, 2, 3, &[(4, 4)]));
+        for (s, b, e) in [(9, 2, 3), (1, 9, 3), (1, 2, 9)] {
+            let err = read(&ring, 0, s, b, e).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
+    }
+
+    #[test]
+    fn publish_recovers_a_torn_slot() {
+        let ring = SummaryRing::anon(1, 4).unwrap();
+        ring.tear_slot(0);
+        assert!(ring.publish(0, 1, 2, 3, &[(8, 1)]));
+        assert_eq!(read(&ring, 0, 1, 2, 3).unwrap(), vec![(8, 1)]);
+    }
+
+    #[test]
+    fn geometry_bounds_are_enforced() {
+        assert!(SummaryRing::anon(0, 4).is_err());
+        assert!(SummaryRing::anon(4, 0).is_err());
+        assert!(SummaryRing::anon(MAX_RING_SLOTS as usize + 1, 4).is_err());
+        assert!(SummaryRing::anon(1, MAX_RING_ROWS as usize + 1).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_corrupt_headers() {
+        // Magic mismatch.
+        let map = SharedMap::anon(SummaryRing::words_for(1, 1)).unwrap();
+        assert!(SummaryRing::validate(map).is_err());
+
+        // Hostile geometry: huge slot count in an otherwise-valid header.
+        let mut map = SharedMap::anon(SummaryRing::words_for(1, 1)).unwrap();
+        {
+            let w = map.as_mut_slice();
+            w[W_MAGIC] = RING_MAGIC;
+            w[W_VERSION] = RING_VERSION;
+            w[W_SLOTS] = u64::MAX;
+            w[W_CAP] = 1;
+        }
+        assert!(SummaryRing::validate(map).is_err());
+
+        // Declared geometry larger than the actual region.
+        let mut map = SharedMap::anon(SummaryRing::words_for(1, 1)).unwrap();
+        {
+            let w = map.as_mut_slice();
+            w[W_MAGIC] = RING_MAGIC;
+            w[W_VERSION] = RING_VERSION;
+            w[W_SLOTS] = 4;
+            w[W_CAP] = 64;
+        }
+        assert!(SummaryRing::validate(map).is_err());
+
+        // Wrong version.
+        let mut map = SharedMap::anon(SummaryRing::words_for(1, 1)).unwrap();
+        {
+            let w = map.as_mut_slice();
+            w[W_MAGIC] = RING_MAGIC;
+            w[W_VERSION] = RING_VERSION + 1;
+            w[W_SLOTS] = 1;
+            w[W_CAP] = 1;
+        }
+        assert!(SummaryRing::validate(map).is_err());
+    }
+
+    #[test]
+    fn concurrent_publish_read_never_tears() {
+        // One writer republishing, one reader spinning: the reader may
+        // see "torn" errors but any successful read must be one of the
+        // published row sets, never a mix.
+        let ring = std::sync::Arc::new(SummaryRing::anon(1, 16).unwrap());
+        let w = ring.clone();
+        let rounds: u64 = if cfg!(miri) { 50 } else { 2000 };
+        let writer = std::thread::spawn(move || {
+            for i in 0..rounds {
+                let rows: Vec<(u64, u64)> = (0..8).map(|j| (i, i + j)).collect();
+                assert!(w.publish(0, 1, i, i, &rows));
+            }
+        });
+        let mut out = Vec::new();
+        for b in 0..rounds {
+            // Racing the writer: a read may fail as torn/mismatched,
+            // but a successful read must be internally consistent.
+            if ring.read_into(0, 1, b, b, &mut out).is_ok() {
+                assert!(out.iter().all(|&(v, f)| v == b && f >= b && f < b + 8));
+            }
+        }
+        writer.join().unwrap();
+        let last = rounds - 1;
+        ring.read_into(0, 1, last, last, &mut out).unwrap();
+        assert_eq!(out.len(), 8);
+    }
+
+    #[cfg(all(unix, not(miri)))]
+    #[test]
+    fn ring_file_reopens_with_contents() {
+        let path = std::env::temp_dir().join(format!("qlove-shm-ring-{}", std::process::id()));
+        {
+            let ring = SummaryRing::create(&path, 2, 4).unwrap();
+            assert!(ring.publish(1, 3, 4, 5, &[(6, 7)]));
+            assert_eq!(ring.path(), Some(path.as_path()));
+        }
+        {
+            let ring = SummaryRing::open(&path).unwrap();
+            assert_eq!((ring.slots(), ring.cap()), (2, 4));
+            assert_eq!(read(&ring, 1, 3, 4, 5).unwrap(), vec![(6, 7)]);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

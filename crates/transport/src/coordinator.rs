@@ -49,14 +49,93 @@
 use crate::net::Conn;
 use crate::proto::{Frame, FrameReader, FrameWriter, Role, WorkerMode, PROTOCOL_VERSION};
 use qlove_core::{Qlove, QloveAnswer, QloveConfig, QloveSummary};
+#[cfg(all(unix, not(miri)))]
+use qlove_shm::SummaryRing;
 use qlove_stream::parallel::BATCH;
 use qlove_stream::{coordinate_pipelined, PipelineStats};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, BufReader};
+#[cfg(all(unix, not(miri)))]
+use std::path::{Path, PathBuf};
 use std::sync::{Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Slots in a per-connection shared-memory summary ring. The collector
+/// acknowledges each boundary before requesting the next, so a handful
+/// of slots is all the run-ahead a connection ever needs.
+pub const SHM_RING_SLOTS: usize = 4;
+/// Per-slot row capacity of a summary ring. Covers the full
+/// 3-significant-digit quantized domain (16,300 distinct values), so
+/// dense shard summaries always fit; an oversized summary falls back
+/// to the inline `BoundarySummary` frame path.
+pub const SHM_RING_CAP: usize = 16 * 1024;
+
+#[cfg(all(unix, not(miri)))]
+static RING_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// A coordinator-owned summary ring: created fresh for every
+/// (connection, attach) pair — a replacement worker never inherits a
+/// possibly-torn ring — and unlinked on drop so no map files leak
+/// across runs.
+#[cfg(all(unix, not(miri)))]
+struct CoordRing {
+    ring: SummaryRing,
+}
+
+#[cfg(all(unix, not(miri)))]
+impl CoordRing {
+    /// Create a uniquely named ring beside the worker's `shm:` base
+    /// path and announce it on `writer` with [`Frame::AttachShm`].
+    fn create_attached(base: &Path, writer: &mut FrameWriter<Conn>) -> io::Result<Self> {
+        let seq = RING_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut os = base.as_os_str().to_owned();
+        os.push(format!(".ring.{}.{}", std::process::id(), seq));
+        let path = PathBuf::from(os);
+        let ring = SummaryRing::create(&path, SHM_RING_SLOTS, SHM_RING_CAP)?;
+        writer.write_frame(&Frame::AttachShm {
+            path: path.to_string_lossy().into_owned(),
+            slots: SHM_RING_SLOTS as u64,
+            cap: SHM_RING_CAP as u64,
+        })?;
+        writer.flush()?;
+        Ok(Self { ring })
+    }
+}
+
+#[cfg(all(unix, not(miri)))]
+impl Drop for CoordRing {
+    fn drop(&mut self) {
+        if let Some(path) = self.ring.path() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Per-shard ring holder; `None` on plain-socket connections (and the
+/// whole type degenerates on platforms without shm support).
+#[cfg(all(unix, not(miri)))]
+type RingSlot = Option<CoordRing>;
+#[cfg(not(all(unix, not(miri))))]
+type RingSlot = Option<()>;
+
+/// Create-and-attach a summary ring when `conn` is a `shm:` connection
+/// (a no-op `None` otherwise or on platforms without shm support).
+fn attach_ring(conn: &Conn, writer: &mut FrameWriter<Conn>) -> io::Result<RingSlot> {
+    #[cfg(all(unix, not(miri)))]
+    {
+        match conn.shm_base() {
+            Some(base) => Ok(Some(CoordRing::create_attached(base, writer)?)),
+            None => Ok(None),
+        }
+    }
+    #[cfg(not(all(unix, not(miri))))]
+    {
+        let _ = (conn, writer);
+        Ok(None)
+    }
+}
 
 /// How many dealt-but-unacknowledged sub-windows the replay ring holds
 /// per shard before the dealer waits for the collector to catch up.
@@ -456,6 +535,28 @@ impl ShardLink {
         }
     }
 
+    /// Write a connection-scoped control frame (e.g. [`Frame::ShmAck`])
+    /// that must *not* enter the replay ring — a replacement worker has
+    /// a different ring, so replaying slot handoffs would corrupt it.
+    #[cfg(all(unix, not(miri)))]
+    fn send_control(&self, frame: &Frame) -> io::Result<()> {
+        let mut st = self.state.lock().expect("shard link poisoned");
+        let st = &mut *st;
+        match st.writer.as_mut() {
+            Some(writer) => {
+                let sent = writer.write_frame(frame).and_then(|()| writer.flush());
+                if sent.is_err() {
+                    st.writer = None;
+                }
+                sent
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "shard link is down",
+            )),
+        }
+    }
+
     /// Recovery: restore a fresh worker to the last acknowledged
     /// boundary and replay the unacknowledged tail, then install its
     /// write half. Returns `(restored boundary, frames replayed)`.
@@ -492,6 +593,7 @@ struct Supervisor<'a, F> {
     links: &'a [ShardLink],
     readers: Vec<FrameReader<BufReader<Conn>>>,
     breakers: Vec<Conn>,
+    rings: Vec<RingSlot>,
     respawn: F,
     restarts: Vec<u32>,
     failures: Vec<FailureEvent>,
@@ -540,7 +642,11 @@ impl<F: FnMut(usize) -> io::Result<Conn>> Supervisor<'_, F> {
         let conn = (self.respawn)(shard)?;
         self.policy.arm(&conn)?;
         let breaker = conn.try_clone()?;
-        let (reader, writer) = handshake(conn, shard as u64, self.config, WorkerMode::Shard)?;
+        let (reader, mut writer) = handshake(conn, shard as u64, self.config, WorkerMode::Shard)?;
+        // The replacement worker gets a fresh ring before the restore
+        // stream: the old one may hold a torn slot from the crash, and
+        // this way even replayed boundaries flow through shared memory.
+        self.rings[shard] = attach_ring(&breaker, &mut writer)?;
         let restore_us = restore_start.elapsed().as_micros() as u64;
         let replay_start = Instant::now();
         let (boundary, replayed) = self.links[shard].reinstall(writer)?;
@@ -617,6 +723,53 @@ impl<F: FnMut(usize) -> io::Result<Conn>> Supervisor<'_, F> {
                 }) if session == shard as u64 && boundary == b as u64 => {
                     self.links[shard].ack(b as u64);
                     return Ok(summary);
+                }
+                #[cfg(all(unix, not(miri)))]
+                Ok(Frame::ShmSummary {
+                    session,
+                    boundary,
+                    epoch: 0,
+                    slot,
+                }) if session == shard as u64 && boundary == b as u64 => {
+                    let ring = match self.rings[shard].as_ref() {
+                        Some(r) => &r.ring,
+                        None => {
+                            return Err(protocol(format!(
+                                "shard {shard}: shm summary with no ring attached"
+                            )))
+                        }
+                    };
+                    if slot >= ring.slots() as u64 {
+                        return Err(protocol(format!(
+                            "shard {shard}: shm slot {slot} out of range"
+                        )));
+                    }
+                    let mut rows = Vec::new();
+                    let read = ring
+                        .read_into(slot as usize, session, boundary, 0, &mut rows)
+                        .and_then(|()| {
+                            QloveSummary::from_counts(rows).ok_or_else(|| {
+                                io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    "shm slot rows are not a valid summary",
+                                )
+                            })
+                        });
+                    match read {
+                        Ok(summary) => {
+                            // Hand the slot back before acknowledging so
+                            // the worker can reuse it immediately.
+                            let _ =
+                                self.links[shard].send_control(&Frame::ShmAck { session, slot });
+                            self.links[shard].ack(b as u64);
+                            return Ok(summary);
+                        }
+                        // A torn or corrupt slot means the worker died
+                        // (or scribbled) mid-publish: treat it exactly
+                        // like a crash — sever, respawn, restore, and
+                        // collect the replayed summary.
+                        Err(e) => self.recover(shard, FailureKind::Crash, 0, e)?,
+                    }
                 }
                 Ok(other) => {
                     return Err(protocol(format!(
@@ -733,10 +886,12 @@ where
     let mut readers = Vec::with_capacity(shards);
     let mut breakers = Vec::with_capacity(shards);
     let mut links = Vec::with_capacity(shards);
+    let mut rings = Vec::with_capacity(shards);
     for (shard, conn) in conns.into_iter().enumerate() {
         policy.arm(&conn)?;
         breakers.push(conn.try_clone()?);
-        let (reader, writer) = handshake(conn, shard as u64, config, WorkerMode::Shard)?;
+        let (reader, mut writer) = handshake(conn, shard as u64, config, WorkerMode::Shard)?;
+        rings.push(attach_ring(&breakers[shard], &mut writer)?);
         readers.push(reader);
         links.push(ShardLink::new(shard as u64, writer, policy.enabled()));
     }
@@ -747,6 +902,7 @@ where
         links: &links,
         readers,
         breakers,
+        rings,
         respawn,
         restarts: vec![0; shards],
         failures: Vec::new(),

@@ -6,14 +6,15 @@
 //! sockets" extension the merge design record called for. Six layers,
 //! each usable on its own:
 //!
-//! * [`proto`] — the framed QLVT wire protocol (v3): length-prefixed,
+//! * [`proto`] — the framed QLVT wire protocol (v4): length-prefixed,
 //!   versioned frames carrying the QLVS summary codec plus control
 //!   messages. Every post-handshake frame is **session-scoped** (leads
 //!   with a varint session ID), so one connection multiplexes many
 //!   independent windows: `Hello`, `OpenSession`/`CloseSession`,
 //!   `EventBatch`, `Boundary`, `BoundarySummary`, `Answer`,
-//!   `Heartbeat`, `Restore`, `Shutdown`. Strict decoding: malformed
-//!   input errors, never panics.
+//!   `Heartbeat`, `Restore`, `Shutdown`, and the v4 shared-memory
+//!   plane (`AttachShm`/`ShmSummary`/`ShmAck`). Strict decoding:
+//!   malformed input errors, never panics.
 //! * [`worker`] — the worker runtime: a **multi-session server**
 //!   holding a slab of independent per-session states — distinct
 //!   `QloveConfig`s, backends, and modes in one process — with
@@ -49,7 +50,29 @@
 //!   deterministic [`RecoveryPolicy`] backoff jitter.
 //!
 //! [`net`] holds the socket plumbing (endpoints, listeners, duplex
-//! connections over TCP/UDS).
+//! connections over TCP/UDS, plus the same-host `shm:` endpoint whose
+//! control frames ride a UDS side-channel).
+//!
+//! ## The zero-copy shared-memory data plane (`shm:`)
+//!
+//! A `shm:PATH` endpoint keeps the whole QLVT control protocol on a
+//! Unix socket but moves the bulky boundary-summary payloads through
+//! shared memory. On connect, the coordinator creates a per-connection
+//! [`SummaryRing`](qlove_shm::SummaryRing) file (a small slab of
+//! seqlock-stamped slots) and announces it with `AttachShm`; at each
+//! boundary the worker publishes its `(value, freq)` rows into a free
+//! slot and sends a tiny `ShmSummary` descriptor frame instead of the
+//! inline `BoundarySummary`. The coordinator folds rows straight out
+//! of the mapping, validates the seqlock (a torn or corrupt slot is
+//! handled exactly like a worker crash: sever, respawn, replay), and
+//! returns the slot with `ShmAck`. Workers additionally keep their
+//! dense Level-1 state in an mmap-backed checkpoint file beside the
+//! endpoint, so a respawned same-host worker restores by **remapping**
+//! the file — skipping the already-absorbed replay prefix — instead of
+//! replaying QLVS state through the socket. Everything degrades to the
+//! inline path (no ring, full summary frames) whenever attach fails,
+//! slots run out, or a summary outgrows a slot; answers stay
+//! bit-identical either way.
 //!
 //! The invariant carried over from the thread executor is
 //! non-negotiable: socket-distributed answers — values, provenance,
@@ -68,10 +91,13 @@ pub mod reshard;
 pub mod sessions;
 pub mod worker;
 
+#[cfg(all(unix, not(miri)))]
+pub use chaos::TornWrite;
 pub use chaos::{interpose, ChaosProxy, CutAfter, Fate, FaultInjector, NoFaults, SeededRng};
 pub use coordinator::{
     run_over_sockets, run_remote_operator, run_remote_operator_with_policy, run_supervised,
     DistributedRun, FailureEvent, FailureKind, RecoveryPolicy, TransportError, MAX_RING_BOUNDARIES,
+    SHM_RING_CAP, SHM_RING_SLOTS,
 };
 pub use net::{Conn, Endpoint, Listener};
 pub use proto::{Frame, FrameReader, FrameWriter, Role, WorkerMode, PROTOCOL_VERSION};
@@ -473,6 +499,82 @@ mod tests {
         assert_eq!(report.sessions[0].responses, 1);
         assert_eq!(report.sessions[0].events, cfg.period as u64);
         Ok(())
+    }
+
+    /// Every regular file in `base`'s directory whose name starts with
+    /// `base`'s file name — rings, checkpoints, and the side-channel
+    /// socket all derive their names from the endpoint base, so an
+    /// empty answer here proves nothing leaked.
+    #[cfg(all(unix, not(miri)))]
+    fn shm_residue(base: &std::path::Path) -> Vec<String> {
+        let dir = base.parent().expect("base has a parent directory");
+        let prefix = base
+            .file_name()
+            .expect("base has a file name")
+            .to_string_lossy()
+            .into_owned();
+        std::fs::read_dir(dir)
+            .expect("read shm dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|name| name.starts_with(&prefix))
+            .collect()
+    }
+
+    #[cfg(all(unix, not(miri)))]
+    #[test]
+    fn loopback_shm_session_is_bit_identical_and_leaks_nothing() {
+        // The shm data plane differential at thread scope: summaries
+        // travel through the mapped seqlock ring (control frames on the
+        // UDS side-channel), dense Level-1 state lives in mmap-backed
+        // checkpoint files, and the answers must still be bit-identical
+        // to a sequential run — with every base-derived file gone once
+        // the run finishes.
+        for backend in [Backend::Tree, Backend::Dense] {
+            let cfg = config().backend(backend);
+            let data: Vec<u64> = (0..10_250u64).map(|i| (i * 2654435761) % 9_973).collect();
+            let want = sequential(&cfg, &data);
+            assert!(!want.is_empty());
+            for shards in [1usize, 3] {
+                let tag = format!("qlove-shm-lib-{}-{backend:?}-{shards}", std::process::id())
+                    .to_lowercase();
+                let mut conns = Vec::new();
+                let mut joins = Vec::new();
+                let mut bases = Vec::new();
+                for i in 0..shards {
+                    let base = std::env::temp_dir().join(format!("{tag}-{i}"));
+                    let server = WorkerServer::bind(&Endpoint::Shm(base.clone())).unwrap();
+                    let endpoint = server.local_endpoint().unwrap();
+                    joins.push(std::thread::spawn(move || server.serve_one()));
+                    conns.push(Conn::connect_retry(&endpoint, Duration::from_secs(5)).unwrap());
+                    bases.push(base);
+                }
+                let mut coordinator = Qlove::new(cfg.clone());
+                let run = run_over_sockets(&cfg, &mut coordinator, conns, &data).unwrap();
+                assert_eq!(run.answers, want, "{backend:?} shards {shards}");
+                assert_eq!(coordinator.pending(), data.len() % cfg.period);
+                for join in joins {
+                    let report = join.join().unwrap().unwrap();
+                    assert_eq!(report.responses(), run.stats.boundaries as u64);
+                    // The data plane must actually engage — a silent
+                    // fall-back to inline summaries would make this
+                    // differential vacuous. (Not asserted equal to
+                    // responses(): a worker running ahead of the acks
+                    // may legitimately ship a few inline.)
+                    assert!(
+                        report.shm_summaries() > 0,
+                        "{backend:?} shards {shards}: ring never used"
+                    );
+                }
+                for base in bases {
+                    assert_eq!(
+                        shm_residue(&base),
+                        Vec::<String>::new(),
+                        "{backend:?} shards {shards}: stale shm files"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,11 +1,20 @@
 //! Socket plumbing shared by workers and coordinators: endpoint
 //! addressing, listeners, and a duplex connection type that abstracts
-//! over TCP and Unix-domain sockets.
+//! over TCP, Unix-domain sockets, and the shared-memory transport.
 //!
 //! Endpoints are spelled `tcp:HOST:PORT` (bare `HOST:PORT` also parses
-//! as TCP) or `unix:/path/to.sock`. TCP connections set `TCP_NODELAY`:
-//! boundary frames are small and latency-sensitive, and the batched
-//! event frames are already large enough to fill segments.
+//! as TCP), `unix:/path/to.sock`, or `shm:/path/base`. TCP connections
+//! set `TCP_NODELAY`: boundary frames are small and latency-sensitive,
+//! and the batched event frames are already large enough to fill
+//! segments.
+//!
+//! An `shm:BASE` endpoint is a Unix-domain control socket at
+//! `BASE.sock` plus a family of mapped files derived from `BASE`
+//! (`BASE.ring.*` summary rings, `BASE.ckpt.*` worker checkpoints).
+//! At the `net` layer it behaves exactly like a UDS connection — the
+//! byte stream carries the framed control protocol — but both ends
+//! remember the base path ([`Conn::shm_base`]) so the session layer
+//! can attach the zero-copy data plane.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -16,7 +25,8 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-/// A worker address: TCP host:port or a Unix-domain socket path.
+/// A worker address: TCP host:port, a Unix-domain socket path, or a
+/// shared-memory base path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Endpoint {
     /// TCP `host:port`.
@@ -24,10 +34,15 @@ pub enum Endpoint {
     /// Unix-domain socket path (Unix targets only).
     #[cfg(unix)]
     Unix(PathBuf),
+    /// Shared-memory base path (Unix targets only): control frames ride
+    /// a UDS at `BASE.sock`, summaries ride mapped rings at `BASE.*`.
+    #[cfg(unix)]
+    Shm(PathBuf),
 }
 
 impl Endpoint {
-    /// Parse `tcp:HOST:PORT`, bare `HOST:PORT`, or `unix:PATH`.
+    /// Parse `tcp:HOST:PORT`, bare `HOST:PORT`, `unix:PATH`, or
+    /// `shm:BASE`.
     pub fn parse(spec: &str) -> io::Result<Self> {
         if let Some(path) = spec.strip_prefix("unix:") {
             #[cfg(unix)]
@@ -42,14 +57,38 @@ impl Endpoint {
                 return Err(bad_spec(spec, "unix sockets unsupported on this target"));
             }
         }
+        if let Some(base) = spec.strip_prefix("shm:") {
+            #[cfg(unix)]
+            {
+                if base.is_empty() {
+                    return Err(bad_spec(spec, "empty shm base path"));
+                }
+                return Ok(Endpoint::Shm(PathBuf::from(base)));
+            }
+            #[cfg(not(unix))]
+            {
+                return Err(bad_spec(spec, "shm transport unsupported on this target"));
+            }
+        }
         let addr = spec.strip_prefix("tcp:").unwrap_or(spec);
         if addr.rsplit_once(':').is_none_or(|(host, port)| {
             host.is_empty() || port.is_empty() || port.parse::<u16>().is_err()
         }) {
-            return Err(bad_spec(spec, "expected tcp:HOST:PORT or unix:PATH"));
+            return Err(bad_spec(
+                spec,
+                "expected tcp:HOST:PORT, unix:PATH, or shm:BASE",
+            ));
         }
         Ok(Endpoint::Tcp(addr.to_string()))
     }
+}
+
+/// The control-socket path of an shm base: `BASE.sock`.
+#[cfg(unix)]
+pub(crate) fn shm_sock_path(base: &std::path::Path) -> PathBuf {
+    let mut os = base.as_os_str().to_os_string();
+    os.push(".sock");
+    PathBuf::from(os)
 }
 
 impl fmt::Display for Endpoint {
@@ -58,6 +97,8 @@ impl fmt::Display for Endpoint {
             Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
             #[cfg(unix)]
             Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+            #[cfg(unix)]
+            Endpoint::Shm(base) => write!(f, "shm:{}", base.display()),
         }
     }
 }
@@ -78,6 +119,10 @@ pub enum Listener {
     /// Unix-domain listener.
     #[cfg(unix)]
     Unix(UnixListener),
+    /// Shared-memory listener: a UDS control listener at `BASE.sock`
+    /// plus the remembered base path.
+    #[cfg(unix)]
+    Shm(UnixListener, PathBuf),
 }
 
 impl Listener {
@@ -91,6 +136,12 @@ impl Listener {
             Endpoint::Unix(path) => {
                 let _ = std::fs::remove_file(path);
                 Ok(Listener::Unix(UnixListener::bind(path)?))
+            }
+            #[cfg(unix)]
+            Endpoint::Shm(base) => {
+                let sock = shm_sock_path(base);
+                let _ = std::fs::remove_file(&sock);
+                Ok(Listener::Shm(UnixListener::bind(&sock)?, base.clone()))
             }
         }
     }
@@ -108,6 +159,8 @@ impl Listener {
                     .ok_or_else(|| io::Error::other("unnamed unix listener"))?;
                 Ok(Endpoint::Unix(path.to_path_buf()))
             }
+            #[cfg(unix)]
+            Listener::Shm(_, base) => Ok(Endpoint::Shm(base.clone())),
         }
     }
 
@@ -124,6 +177,14 @@ impl Listener {
                 let (stream, _) = l.accept()?;
                 Ok(Conn::Unix(stream))
             }
+            #[cfg(unix)]
+            Listener::Shm(l, base) => {
+                let (stream, _) = l.accept()?;
+                Ok(Conn::Shm {
+                    stream,
+                    base: base.clone(),
+                })
+            }
         }
     }
 }
@@ -131,12 +192,15 @@ impl Listener {
 #[cfg(unix)]
 impl Drop for Listener {
     fn drop(&mut self) {
-        if let Listener::Unix(l) = self {
-            if let Ok(addr) = l.local_addr() {
-                if let Some(path) = addr.as_pathname() {
-                    let _ = std::fs::remove_file(path);
-                }
-            }
+        let sock = match self {
+            Listener::Unix(l) | Listener::Shm(l, _) => l
+                .local_addr()
+                .ok()
+                .and_then(|a| a.as_pathname().map(|p| p.to_path_buf())),
+            Listener::Tcp(_) => None,
+        };
+        if let Some(path) = sock {
+            let _ = std::fs::remove_file(path);
         }
     }
 }
@@ -154,6 +218,15 @@ pub enum Conn {
     /// Unix-domain stream.
     #[cfg(unix)]
     Unix(UnixStream),
+    /// Shared-memory control stream: a UDS carrying the framed
+    /// protocol, plus the base path both ends derive map files from.
+    #[cfg(unix)]
+    Shm {
+        /// The UDS control stream at `BASE.sock`.
+        stream: UnixStream,
+        /// The shm base path.
+        base: PathBuf,
+    },
 }
 
 impl Conn {
@@ -167,6 +240,22 @@ impl Conn {
             }
             #[cfg(unix)]
             Endpoint::Unix(path) => Ok(Conn::Unix(UnixStream::connect(path)?)),
+            #[cfg(unix)]
+            Endpoint::Shm(base) => Ok(Conn::Shm {
+                stream: UnixStream::connect(shm_sock_path(base))?,
+                base: base.clone(),
+            }),
+        }
+    }
+
+    /// The shm base path, when this is a shared-memory connection —
+    /// how the session layer decides whether the zero-copy data plane
+    /// is available and where its map files live.
+    pub fn shm_base(&self) -> Option<&std::path::Path> {
+        match self {
+            #[cfg(unix)]
+            Conn::Shm { base, .. } => Some(base),
+            _ => None,
         }
     }
 
@@ -195,6 +284,11 @@ impl Conn {
             Conn::Tcp(s) => Ok(Conn::Tcp(s.try_clone()?)),
             #[cfg(unix)]
             Conn::Unix(s) => Ok(Conn::Unix(s.try_clone()?)),
+            #[cfg(unix)]
+            Conn::Shm { stream, base } => Ok(Conn::Shm {
+                stream: stream.try_clone()?,
+                base: base.clone(),
+            }),
         }
     }
 
@@ -211,6 +305,8 @@ impl Conn {
             Conn::Tcp(s) => s.set_read_timeout(timeout),
             #[cfg(unix)]
             Conn::Unix(s) => s.set_read_timeout(timeout),
+            #[cfg(unix)]
+            Conn::Shm { stream, .. } => stream.set_read_timeout(timeout),
         }
     }
 
@@ -223,6 +319,8 @@ impl Conn {
             Conn::Tcp(s) => s.set_write_timeout(timeout),
             #[cfg(unix)]
             Conn::Unix(s) => s.set_write_timeout(timeout),
+            #[cfg(unix)]
+            Conn::Shm { stream, .. } => stream.set_write_timeout(timeout),
         }
     }
 
@@ -234,6 +332,8 @@ impl Conn {
             Conn::Tcp(s) => s.shutdown(Shutdown::Both),
             #[cfg(unix)]
             Conn::Unix(s) => s.shutdown(Shutdown::Both),
+            #[cfg(unix)]
+            Conn::Shm { stream, .. } => stream.shutdown(Shutdown::Both),
         }
     }
 }
@@ -244,6 +344,8 @@ impl Read for Conn {
             Conn::Tcp(s) => s.read(buf),
             #[cfg(unix)]
             Conn::Unix(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Shm { stream, .. } => stream.read(buf),
         }
     }
 }
@@ -254,6 +356,8 @@ impl Write for Conn {
             Conn::Tcp(s) => s.write(buf),
             #[cfg(unix)]
             Conn::Unix(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Shm { stream, .. } => stream.write(buf),
         }
     }
 
@@ -262,6 +366,8 @@ impl Write for Conn {
             Conn::Tcp(s) => s.flush(),
             #[cfg(unix)]
             Conn::Unix(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Shm { stream, .. } => stream.flush(),
         }
     }
 }
@@ -270,36 +376,131 @@ impl Write for Conn {
 mod tests {
     use super::*;
 
+    /// Every endpoint scheme, table-driven: the spec, what it must
+    /// parse to, and the canonical display form (which must re-parse to
+    /// the same endpoint).
     #[test]
-    fn endpoint_parse_and_display_roundtrip() {
-        let tcp = Endpoint::parse("127.0.0.1:9000").unwrap();
-        assert_eq!(tcp, Endpoint::Tcp("127.0.0.1:9000".into()));
-        assert_eq!(tcp.to_string(), "tcp:127.0.0.1:9000");
-        assert_eq!(
-            Endpoint::parse("tcp:localhost:80").unwrap().to_string(),
-            "tcp:localhost:80"
-        );
-        #[cfg(unix)]
-        {
-            let unix = Endpoint::parse("unix:/tmp/w.sock").unwrap();
-            assert_eq!(unix.to_string(), "unix:/tmp/w.sock");
-            assert_eq!(Endpoint::parse(&unix.to_string()).unwrap(), unix);
+    fn endpoint_parse_table_accepts() {
+        let cases: Vec<(&str, Endpoint, &str)> = vec![
+            (
+                "127.0.0.1:9000",
+                Endpoint::Tcp("127.0.0.1:9000".into()),
+                "tcp:127.0.0.1:9000",
+            ),
+            (
+                "tcp:localhost:80",
+                Endpoint::Tcp("localhost:80".into()),
+                "tcp:localhost:80",
+            ),
+            // Port 0 parses — it means "kernel picks" and the listener
+            // announces the resolved port.
+            (
+                "tcp:127.0.0.1:0",
+                Endpoint::Tcp("127.0.0.1:0".into()),
+                "tcp:127.0.0.1:0",
+            ),
+            ("a:1", Endpoint::Tcp("a:1".into()), "tcp:a:1"),
+            (
+                "[::1]:9000",
+                Endpoint::Tcp("[::1]:9000".into()),
+                "tcp:[::1]:9000",
+            ),
+            #[cfg(unix)]
+            (
+                "unix:/tmp/w.sock",
+                Endpoint::Unix("/tmp/w.sock".into()),
+                "unix:/tmp/w.sock",
+            ),
+            #[cfg(unix)]
+            (
+                "unix:relative.sock",
+                Endpoint::Unix("relative.sock".into()),
+                "unix:relative.sock",
+            ),
+            #[cfg(unix)]
+            (
+                "shm:/tmp/qlove-shard0",
+                Endpoint::Shm("/tmp/qlove-shard0".into()),
+                "shm:/tmp/qlove-shard0",
+            ),
+            #[cfg(unix)]
+            (
+                "shm:relative-base",
+                Endpoint::Shm("relative-base".into()),
+                "shm:relative-base",
+            ),
+        ];
+        for (spec, want, display) in cases {
+            let got = Endpoint::parse(spec).unwrap_or_else(|e| panic!("{spec:?}: {e}"));
+            assert_eq!(got, want, "{spec:?}");
+            assert_eq!(got.to_string(), display, "{spec:?}");
+            assert_eq!(
+                Endpoint::parse(display).unwrap(),
+                want,
+                "display of {spec:?} must re-parse"
+            );
         }
     }
 
+    /// Malformed specs, table-driven: every scheme's empty/garbage
+    /// forms must be rejected, never mis-parsed as another scheme.
     #[test]
-    fn endpoint_parse_rejects_garbage() {
-        for bad in [
-            "",
-            "unix:",
-            "nohost",
-            "host:",
-            ":80",
-            "host:notaport",
-            "tcp:host",
-        ] {
-            assert!(Endpoint::parse(bad).is_err(), "{bad:?} should not parse");
+    fn endpoint_parse_table_rejects() {
+        let cases: &[(&str, &str)] = &[
+            ("", "empty spec"),
+            ("unix:", "empty unix path"),
+            ("shm:", "empty shm base"),
+            ("nohost", "no port separator"),
+            ("host:", "empty port"),
+            (":80", "empty host"),
+            ("host:notaport", "non-numeric port"),
+            ("host:65536", "port out of u16 range"),
+            ("host:-1", "negative port"),
+            ("tcp:host", "tcp scheme without port"),
+            ("tcp:", "tcp scheme without address"),
+        ];
+        for &(bad, why) in cases {
+            assert!(
+                Endpoint::parse(bad).is_err(),
+                "{bad:?} ({why}) should not parse"
+            );
         }
+        // Unknown schemes fall through to host:port parsing; ports make
+        // them valid TCP ("weird.scheme:80" is a legal hostname), and
+        // anything portless is rejected.
+        assert!(Endpoint::parse("quic:host").is_err());
+        assert_eq!(
+            Endpoint::parse("quic:8080").unwrap(),
+            Endpoint::Tcp("quic:8080".into())
+        );
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn shm_listener_binds_control_socket_and_cleans_up() {
+        let base = std::env::temp_dir().join(format!("qlove-net-shm-{}", std::process::id()));
+        let sock = shm_sock_path(&base);
+        let ep = Endpoint::parse(&format!("shm:{}", base.display())).unwrap();
+        {
+            let listener = Listener::bind(&ep).unwrap();
+            assert_eq!(listener.local_endpoint().unwrap(), ep);
+            assert!(sock.exists(), "control socket at BASE.sock");
+            assert!(!base.exists(), "no file at the bare base path");
+            let conn = Conn::connect_retry(&ep, Duration::from_secs(1)).unwrap();
+            assert_eq!(conn.shm_base(), Some(base.as_path()));
+            let accepted = listener.accept().unwrap();
+            assert_eq!(accepted.shm_base(), Some(base.as_path()));
+            // Clones keep the base.
+            assert_eq!(conn.try_clone().unwrap().shm_base(), Some(base.as_path()));
+            // Non-shm connections report no base.
+            let tcp_l = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+            let tcp_c = Conn::connect(&tcp_l.local_endpoint().unwrap()).unwrap();
+            assert_eq!(tcp_c.shm_base(), None);
+        }
+        assert!(
+            !sock.exists(),
+            "dropping the shm listener must remove the control socket"
+        );
     }
 
     #[test]

@@ -750,6 +750,7 @@ fn execute_swap<F: FnMut(usize) -> io::Result<Conn>>(
     }
     // 2. A merge's right-hand connection hosts no successor: shut it
     //    down entirely.
+    #[allow(clippy::needless_range_loop)]
     for conn in 0..plan.conns() {
         if plan.retired_at[conn] == Some(b) {
             links[conn].deal(Frame::Shutdown)?;
@@ -841,6 +842,7 @@ fn execute_swap<F: FnMut(usize) -> io::Result<Conn>>(
 /// # Panics
 /// Panics when `conns` is empty or `config.period` is 0 (the same
 /// contract as `run_supervised`).
+#[allow(clippy::too_many_arguments)]
 pub fn run_resharded<F>(
     config: &QloveConfig,
     coordinator: &mut Qlove,
@@ -1023,9 +1025,7 @@ where
             // Confirm shutdown on every connection alive at the end
             // (fully-retired ones were drained at their swap).
             for conn in 0..plan.conns() {
-                let opened = plan.opened_at[conn] == 0
-                    || plan.opened_at[conn] < boundaries as u64
-                    || (boundaries == 0 && plan.opened_at[conn] == 0);
+                let opened = plan.opened_at[conn] == 0 || plan.opened_at[conn] < boundaries as u64;
                 let retired = plan
                     .retired_at
                     .get(conn)

@@ -19,6 +19,9 @@
 //!   domains, and runtime backend dispatch.
 //! * [`rbtree`] — the order-statistic frequency red-black tree backing
 //!   Level-1 state and the Exact baseline.
+//! * [`shm`] — shared-memory primitives behind the `shm:` transport:
+//!   Pod layout validation, mapped slabs, the seqlock summary ring,
+//!   and mmap-backed checkpoint files.
 //! * [`transport`] — the multi-process distributed runtime: framed
 //!   QLVT socket protocol, worker runtime, pipelined coordinator.
 //! * [`wire`] — varint primitives and the QLVS summary codec shared by
@@ -27,6 +30,7 @@
 pub use qlove_core as core;
 pub use qlove_freqstore as freqstore;
 pub use qlove_rbtree as rbtree;
+pub use qlove_shm as shm;
 pub use qlove_sketches as sketches;
 pub use qlove_stats as stats;
 pub use qlove_stream as stream;

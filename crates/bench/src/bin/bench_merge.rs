@@ -50,6 +50,12 @@
 //!   by CI; the overlap rows are recorded but ungated — overlap needs
 //!   real parallelism, so on a 1-CPU runner it sits at ~0 and its
 //!   run-to-run noise is meaningless to gate (see `gate.rs`);
+//! * the **telemetry on/off twin** (`telemetry_overhead` section):
+//!   the same socket-distributed pass with the metrics registry
+//!   globally enabled vs disabled, bit-checked both ways. Report-only —
+//!   the gate already holds the *instrumented* transport rows to ±25%,
+//!   so this section exists to record that the uninstrumented twin
+//!   sits in the same band, not to gate a second noisy number;
 //! * **checkpoint-recovery timing** (`checkpoint_recovery` section,
 //!   unix only): a worker severed mid-sub-window is respawned on the
 //!   same shm base (remap: mmap checkpoint restore + replay-prefix
@@ -591,6 +597,55 @@ fn measure_sessions(data: &[u64], out: &mut Vec<SessionsRow>) {
             matches,
         });
     }
+}
+
+/// One telemetry-overhead measurement (report-only): the same
+/// socket-distributed pass with metric recording globally enabled vs
+/// disabled. The pair proves the counters/gauges/histograms on the
+/// dealer and collector hot paths cost nothing measurable — CI locks
+/// the *instrumented* transport rows to the gated ±25% band, and this
+/// section records the uninstrumented twin for the diff.
+struct TelemetryRow {
+    enabled: bool,
+    rate: f64,
+    matches: bool,
+}
+
+/// Measure instrumented vs uninstrumented distributed throughput over
+/// the cheapest real socket family (uds on unix, tcp loopback
+/// elsewhere), bit-checking every pass. Metric recording is restored
+/// to enabled afterwards regardless, so later sections keep their
+/// instrumentation.
+fn measure_telemetry_overhead(
+    data: &[u64],
+    shards: usize,
+    seq_answers: &[QloveAnswer],
+    out: &mut Vec<TelemetryRow>,
+) {
+    let cfg = QloveConfig::new(&PHIS, WINDOW, PERIOD).backend(Backend::Dense);
+    let family = if cfg!(unix) { "uds" } else { "tcp" };
+    for enabled in [true, false] {
+        qlove_telemetry::set_enabled(enabled);
+        let mut rate = 0.0f64;
+        let mut matches = true;
+        for _ in 0..RATE_PASSES {
+            let start = Instant::now();
+            let (answers, _stats) = socket_pass(&cfg, data, shards, family);
+            rate = rate.max(data.len() as f64 / start.elapsed().as_secs_f64() / 1e6);
+            matches &= answers == seq_answers;
+        }
+        let label = if enabled { "on " } else { "off" };
+        eprintln!(
+            "telemetry {label} {family} distributed({shards} shards) {rate:8.2} Melem/s  \
+             answers_match={matches}"
+        );
+        out.push(TelemetryRow {
+            enabled,
+            rate,
+            matches,
+        });
+    }
+    qlove_telemetry::set_enabled(true);
 }
 
 /// One supervised-recovery measurement: a worker crashes mid-stream,
@@ -1135,6 +1190,22 @@ fn main() {
         );
     }
 
+    // Telemetry on/off twin of the gated transport rows. Report-only
+    // (see `TelemetryRow`): the gate holds the instrumented rows, this
+    // section records what turning the registry off buys (nothing, by
+    // design).
+    let mut telemetry_rows: Vec<TelemetryRow> = Vec::new();
+    {
+        let dense_cfg = QloveConfig::new(&PHIS, WINDOW, PERIOD).backend(Backend::Dense);
+        let mut single = Qlove::new(dense_cfg);
+        let mut dense_seq: Vec<QloveAnswer> = Vec::new();
+        for chunk in data.chunks(4096) {
+            single.push_batch_into(chunk, &mut dense_seq);
+        }
+        let shards = args.shards.iter().copied().find(|&s| s >= 4).unwrap_or(1);
+        measure_telemetry_overhead(&data, shards, &dense_seq, &mut telemetry_rows);
+    }
+
     // Sessions/process scaling curve: S windows multiplexed over one
     // worker connection. Report-only (see `SessionsRow`).
     let mut sessions_rows: Vec<SessionsRow> = Vec::new();
@@ -1287,6 +1358,21 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"telemetry_overhead\": [");
+    for (i, row) in telemetry_rows.iter().enumerate() {
+        let comma = if i + 1 < telemetry_rows.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"enabled\": {}, \"melems_per_sec\": {:.3}, \
+             \"answers_match_sequential\": {}}}{comma}",
+            row.enabled, row.rate, row.matches
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"sessions\": [");
     for (i, row) in sessions_rows.iter().enumerate() {
         let comma = if i + 1 < sessions_rows.len() { "," } else { "" };
@@ -1396,6 +1482,7 @@ fn main() {
         .iter()
         .any(|r| r.dist_rows.iter().any(|&(_, _, m)| !m))
         || transport_rows.iter().any(|r| !r.matches)
+        || telemetry_rows.iter().any(|r| !r.matches)
         || sessions_rows.iter().any(|r| !r.matches)
         || recovery_rows.iter().any(|r| !r.matches)
         || ckpt_recovery_rows.iter().any(|r| !r.matches)

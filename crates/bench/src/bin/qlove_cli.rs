@@ -100,6 +100,14 @@
 //! (default 1000000 — routing never affects answers, only balance).
 //! Both flags also work with the in-process `--distributed N`
 //! executor, which reshards local accumulators instead of sockets.
+//!
+//! **Telemetry**: `--metrics PATH` dumps the process-wide metrics
+//! registry when the run ends — Prometheus text exposition, or JSON
+//! when PATH ends in `.json`. `--metrics-interval-ms MS` additionally
+//! rewrites the file every MS milliseconds while the run is live, so
+//! a node-exporter-style textfile collector can scrape mid-window.
+//! Telemetry is observational only: answers are bit-identical with it
+//! on, off, or dumped mid-run.
 
 use qlove_core::{Backend, Qlove, QloveConfig, QloveShard};
 use qlove_sketches::{
@@ -130,6 +138,8 @@ struct Args {
     reshard_auto: usize,
     shards: usize,
     span: u64,
+    metrics: Option<String>,
+    metrics_interval_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -153,6 +163,8 @@ fn parse_args() -> Result<Args, String> {
         reshard_auto: 0,
         shards: 0,
         span: 1_000_000,
+        metrics: None,
+        metrics_interval_ms: 0,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -213,6 +225,13 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--span" => args.span = need_value(i)?.parse().map_err(|e| format!("{e}"))?,
+            "--metrics" => args.metrics = Some(need_value(i)?.to_string()),
+            "--metrics-interval-ms" => {
+                args.metrics_interval_ms = need_value(i)?.parse().map_err(|e| format!("{e}"))?;
+                if args.metrics_interval_ms == 0 {
+                    return Err("--metrics-interval-ms must be positive".into());
+                }
+            }
             "--demo" => args.demo = Some(need_value(i)?.to_string()),
             "--worker" => args.worker = Some(need_value(i)?.to_string()),
             "--connect" => args.connect = Some(need_value(i)?.to_string()),
@@ -241,7 +260,8 @@ fn parse_args() -> Result<Args, String> {
                      [--worker ENDPOINT | --coordinate EP1,EP2,... | --connect ENDPOINT] \
                      [--sessions N] [--max-restarts N] [--heartbeat-ms MS] \
                      [--reshard-at B:split:SLOT:PIVOT | B:merge:LEFT]... \
-                     [--reshard-auto LOAD] [--shards K] [--span S]"
+                     [--reshard-auto LOAD] [--shards K] [--span S] \
+                     [--metrics PATH] [--metrics-interval-ms MS]"
                 );
                 std::process::exit(0);
             }
@@ -774,6 +794,21 @@ fn run_distributed_mode(args: &Args) -> Result<(), String> {
     )
 }
 
+/// Write the process-wide metrics snapshot to `path` — JSON when the
+/// path ends in `.json`, Prometheus text exposition otherwise. The
+/// whole file is rewritten atomically from the scraper's point of
+/// view (single `write` call), so a concurrent reader never sees a
+/// half-updated dump.
+fn dump_metrics(path: &str) -> Result<(), String> {
+    let snapshot = qlove_telemetry::global_metrics().snapshot();
+    let body = if path.ends_with(".json") {
+        snapshot.to_json()
+    } else {
+        snapshot.to_prometheus_text()
+    };
+    std::fs::write(path, body).map_err(|e| format!("--metrics {path}: {e}"))
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     let socket_modes = usize::from(args.worker.is_some())
@@ -800,19 +835,48 @@ fn run() -> Result<(), String> {
     if args.shards > 0 && args.coordinate.is_empty() {
         return Err("--shards only applies to --coordinate with resharding".into());
     }
+    if args.metrics_interval_ms > 0 && args.metrics.is_none() {
+        return Err("--metrics-interval-ms needs --metrics PATH".into());
+    }
+    if let Some(path) = args
+        .metrics
+        .clone()
+        .filter(|_| args.metrics_interval_ms > 0)
+    {
+        let every = std::time::Duration::from_millis(args.metrics_interval_ms);
+        // Detached on purpose: the dumper dies with the process, and
+        // each tick rewrites the whole file so the final dump below
+        // can only ever be overwritten by a complete snapshot.
+        std::thread::spawn(move || loop {
+            std::thread::sleep(every);
+            if let Err(e) = dump_metrics(&path) {
+                eprintln!("qlove_cli: {e}");
+            }
+        });
+    }
+    let result = dispatch(&args);
+    if let Some(path) = &args.metrics {
+        // Dump even when the run failed: partial counters are exactly
+        // what a post-mortem wants to look at.
+        dump_metrics(path)?;
+    }
+    result
+}
+
+fn dispatch(args: &Args) -> Result<(), String> {
     if let Some(spec) = &args.worker {
-        return run_worker_mode(&args, spec);
+        return run_worker_mode(args, spec);
     }
     if !args.coordinate.is_empty() {
-        return run_coordinate_mode(&args);
+        return run_coordinate_mode(args);
     }
     if let Some(spec) = &args.connect {
-        return run_connect_mode(&args, spec);
+        return run_connect_mode(args, spec);
     }
     if args.distributed > 0 {
-        return run_distributed_mode(&args);
+        return run_distributed_mode(args);
     }
-    let mut policy = make_policy(&args)?;
+    let mut policy = make_policy(args)?;
 
     let stdout = std::io::stdout();
     let mut out = stdout.lock();

@@ -291,7 +291,12 @@ fn row_key(row: &Json, fields: &[&str]) -> String {
 /// and `checkpoint_recovery` (mmap remap-restore vs classic replay on
 /// the shm data plane) is report-only for exactly the same reason,
 /// while the shm *throughput* rows in `transport[]` stay gated like
-/// uds/tcp.
+/// uds/tcp. The `telemetry_overhead` section (the instrumented vs
+/// uninstrumented twin of a transport row) is report-only too: the
+/// instrumented run already IS the gated configuration — metrics are
+/// on by default in every gated transport row — so gating the twin
+/// would double-count the same noise, while the recorded pair still
+/// documents that the registry costs nothing measurable.
 pub fn extract_metrics(doc: &Json) -> Vec<Metric> {
     let experiment = doc
         .get("experiment")
@@ -720,6 +725,44 @@ mod tests {
         let metrics = extract_metrics(&parse_json(with_ckpt).unwrap());
         assert_eq!(metrics.len(), 1);
         assert!(metrics[0].name.starts_with("merge/transport"));
+    }
+
+    #[test]
+    fn telemetry_overhead_rows_are_recorded_but_not_gated() {
+        // The telemetry on/off twin rides in the artifact to document
+        // that instrumentation is free, but the gated configuration IS
+        // the instrumented one (metrics default on in every transport
+        // row), so gating the twin would double-count the same noise.
+        // The transport rows of the same artifact must stay gated —
+        // they are what holds instrumented throughput to ±25%.
+        let with_telemetry = r#"{
+          "experiment": "merge",
+          "telemetry_overhead": [
+            {"enabled": true, "melems_per_sec": 17.8, "answers_match_sequential": true},
+            {"enabled": false, "melems_per_sec": 18.1, "answers_match_sequential": true}
+          ],
+          "transport": [
+            {"transport": "uds", "shards": 4, "melems_per_sec": 18.0, "answers_match_sequential": true}
+          ]
+        }"#;
+        let metrics = extract_metrics(&parse_json(with_telemetry).unwrap());
+        assert_eq!(metrics.len(), 1);
+        assert!(metrics[0].name.starts_with("merge/transport"));
+        // And a collapse of the gated transport row still fails even
+        // with the telemetry section present.
+        let degraded = r#"{
+          "experiment": "merge",
+          "telemetry_overhead": [
+            {"enabled": true, "melems_per_sec": 17.8, "answers_match_sequential": true}
+          ],
+          "transport": [
+            {"transport": "uds", "shards": 4, "melems_per_sec": 9.0, "answers_match_sequential": true}
+          ]
+        }"#;
+        let report = gate(with_telemetry, degraded);
+        assert!(!report.passed());
+        let names: Vec<&str> = report.regressions().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["merge/transport/transport=uds/shards=4"]);
     }
 
     #[test]

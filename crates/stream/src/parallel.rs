@@ -268,6 +268,10 @@ where
                 "seeding empty group buffers"
             );
         }
+        // Answer latency (merging one boundary group) feeds the global
+        // `qlove_answer_merge_us` histogram — observational only, and a
+        // no-op when telemetry is disabled.
+        let merge_hist = qlove_telemetry::global_metrics().histogram("qlove_answer_merge_us");
         let merger = scope.spawn(move || {
             let mut answers = Vec::new();
             let mut merge_ns = 0u128;
@@ -278,7 +282,9 @@ where
                         answers.push(answer);
                     }
                 }
-                merge_ns += start.elapsed().as_nanos();
+                let took = start.elapsed();
+                merge_hist.observe(took.as_micros() as u64);
+                merge_ns += took.as_nanos();
                 // The collector may already be gone (error path); the
                 // buffer is simply dropped then.
                 let _ = recycle_tx.send(group);

@@ -1,0 +1,613 @@
+//! Lock-free metrics: counters, gauges, and log-bucketed histograms
+//! behind a name-keyed registry.
+//!
+//! Handles are `Arc`s over plain atomics: resolve them once (short
+//! registry lock), then update from any thread with single atomic
+//! RMWs — the dealer, collector, and merger threads all record into
+//! the same registry without contending on anything but the cache
+//! line of the metric they touch. Recording honors the global
+//! [`crate::enabled`] switch; reading does not.
+//!
+//! Histograms are log₂-bucketed: bucket `i` (i ≥ 1) covers values in
+//! `[2^(i-1), 2^i)`, bucket 0 holds exact zeros. 65 buckets span the
+//! whole `u64` range, so an observation can never overflow the
+//! layout, and quantile readout (p50/p99) resolves to a bucket upper
+//! bound — a ≤2× overestimate by construction, which is the right
+//! trade for latency telemetry that must never allocate on the hot
+//! path. The exact maximum is tracked separately.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of log₂ histogram buckets: one for zero plus one per bit of
+/// `u64`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.0.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Move the gauge by `delta`.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if crate::enabled() {
+            self.0.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` observations (typically
+/// microseconds), with exact count/sum/max and bucket-resolution
+/// quantiles.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Bucket index for an observation: 0 for zero, else `64 - leading
+/// zeros` (so bucket `i` covers `[2^(i-1), 2^i)`).
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`2^i - 1`; bucket 0 is exact
+/// zero, bucket 64 tops out at `u64::MAX`).
+fn bucket_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [(); HISTOGRAM_BUCKETS].map(|()| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation. Four relaxed RMWs, no allocation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((bucket_bound(i), n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Frozen histogram state: non-empty buckets as `(inclusive upper
+/// bound, count)` pairs in ascending bound order, plus exact
+/// count/sum/max.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Exact maximum observed value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets: `(inclusive upper bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q` (0.0..=1.0), resolved to the upper
+    /// bound of the bucket the rank lands in and clamped to the exact
+    /// observed maximum. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(bound, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bound.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median readout ([`HistogramSnapshot::quantile`] at 0.5).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// Tail readout ([`HistogramSnapshot::quantile`] at 0.99).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+/// One registered metric, by kind.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A name-keyed registry of metrics. Registration (get-or-create)
+/// takes a short mutex; the returned `Arc` handles update lock-free.
+/// Re-registering a name returns the existing metric, so independent
+/// call sites share one series; re-registering under a different
+/// *kind* panics — that is a name collision bug, not a runtime
+/// condition.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// Accept `base` or `base{k="v",k2="v2"}` where `base` is a Prometheus
+/// identifier. Panics on anything else: metric names are compile-time
+/// decisions and a bad one should fail loudly in tests, not corrupt
+/// the exposition output.
+fn validate_name(name: &str) {
+    let (base, labels) = match name.split_once('{') {
+        None => (name, None),
+        Some((base, rest)) => (base, Some(rest)),
+    };
+    let base_ok = !base.is_empty()
+        && base
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && base
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+    let labels_ok = labels.is_none_or(|rest| {
+        rest.ends_with('}')
+            && rest[..rest.len() - 1].chars().all(|c| {
+                c.is_ascii_alphanumeric() || matches!(c, '_' | '=' | '"' | ',' | '.' | '-' | ':')
+            })
+    });
+    assert!(
+        base_ok && labels_ok,
+        "invalid metric name {name:?}: expected identifier or identifier{{k=\"v\"}}"
+    );
+}
+
+/// Render `base{k="v",...}` for a labeled series.
+pub fn labeled(base: &str, labels: &[(&str, &str)]) -> String {
+    let mut out = String::from(base);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+    out
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        validate_name(name);
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let entry = inner.entry(name.to_string()).or_insert_with(make);
+        entry.clone()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, || Metric::Counter(Arc::new(Counter::default()))) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, || Metric::Gauge(Arc::new(Gauge::default()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.get_or_insert(name, || Metric::Histogram(Arc::new(Histogram::default()))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Point-in-time snapshot of every registered metric, in name
+    /// order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in inner.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snap
+    }
+}
+
+/// A frozen view of a registry: every series with its value at
+/// snapshot time, renderable as Prometheus text or JSON.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counters, `(name, value)`, name-ordered.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, `(name, value)`, name-ordered.
+    pub gauges: Vec<(String, i64)>,
+    /// Histograms, `(name, snapshot)`, name-ordered.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Split `base{labels}` into `(base, Some("labels"))`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((base, rest)) => (base, Some(rest.trim_end_matches('}'))),
+        None => (name, None),
+    }
+}
+
+/// `base_suffix{labels,extra}` — splice a suffix onto the base name
+/// and an extra label into the label set (the histogram `le` case).
+fn series(name: &str, suffix: &str, extra: Option<&str>) -> String {
+    let (base, labels) = split_labels(name);
+    let mut out = format!("{base}{suffix}");
+    match (labels, extra) {
+        (None, None) => {}
+        (labels, extra) => {
+            out.push('{');
+            if let Some(labels) = labels {
+                out.push_str(labels);
+                if extra.is_some() {
+                    out.push(',');
+                }
+            }
+            if let Some(extra) = extra {
+                out.push_str(extra);
+            }
+            out.push('}');
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl MetricsSnapshot {
+    /// Render as Prometheus text exposition format: one `# TYPE` line
+    /// per base name, histograms expanded into cumulative
+    /// `_bucket{le=...}` series plus `_sum` and `_count`.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        // Labeled series of the same base share one TYPE line; names
+        // are sorted, so tracking the previous base suffices.
+        let type_line = |out: &mut String, name: &str, kind: &str, last: &mut Option<String>| {
+            let (base, _) = split_labels(name);
+            if last.as_deref() != Some(base) {
+                let _ = writeln!(out, "# TYPE {base} {kind}");
+                *last = Some(base.to_string());
+            }
+        };
+        let mut last = None;
+        for (name, value) in &self.counters {
+            type_line(&mut out, name, "counter", &mut last);
+            let _ = writeln!(out, "{name} {value}");
+        }
+        let mut last = None;
+        for (name, value) in &self.gauges {
+            type_line(&mut out, name, "gauge", &mut last);
+            let _ = writeln!(out, "{name} {value}");
+        }
+        let mut last = None;
+        for (name, h) in &self.histograms {
+            type_line(&mut out, name, "histogram", &mut last);
+            let mut cum = 0u64;
+            for &(bound, n) in &h.buckets {
+                cum += n;
+                let le = format!("le=\"{bound}\"");
+                let _ = writeln!(out, "{} {cum}", series(name, "_bucket", Some(&le)));
+            }
+            let _ = writeln!(
+                out,
+                "{} {}",
+                series(name, "_bucket", Some("le=\"+Inf\"")),
+                h.count
+            );
+            let _ = writeln!(out, "{} {}", series(name, "_sum", None), h.sum);
+            let _ = writeln!(out, "{} {}", series(name, "_count", None), h.count);
+        }
+        out
+    }
+
+    /// Render as JSON: arrays of `{name, value}` objects for counters
+    /// and gauges, and histogram objects carrying count/sum/max,
+    /// p50/p99 readouts, and the non-empty buckets.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": [");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            let comma = if i + 1 < self.counters.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"value\": {value}}}{comma}",
+                json_escape(name)
+            );
+        }
+        out.push_str("\n  ],\n  \"gauges\": [");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            let comma = if i + 1 < self.gauges.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"value\": {value}}}{comma}",
+                json_escape(name)
+            );
+        }
+        out.push_str("\n  ],\n  \"histograms\": [");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let comma = if i + 1 < self.histograms.len() {
+                ","
+            } else {
+                ""
+            };
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|&(bound, n)| format!("{{\"le\": {bound}, \"count\": {n}}}"))
+                .collect();
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"count\": {}, \"sum\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p99\": {}, \"buckets\": [{}]}}{comma}",
+                json_escape(name),
+                h.count,
+                h.sum,
+                h.max,
+                h.p50(),
+                h.p99(),
+                buckets.join(", ")
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("qlove_test_total");
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = reg.gauge("qlove_test_gauge");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+        // Re-registration returns the same series.
+        assert_eq!(reg.counter("qlove_test_total").get(), 42);
+    }
+
+    #[test]
+    fn histogram_buckets_partition_the_u64_range() {
+        // Every value maps to exactly one bucket whose bound contains it.
+        for v in [0u64, 1, 2, 3, 4, 1023, 1024, u64::MAX - 1, u64::MAX] {
+            let i = bucket_of(v);
+            assert!(v <= bucket_bound(i), "{v} above its bucket bound");
+            if i > 0 {
+                assert!(v > bucket_bound(i - 1), "{v} below its bucket floor");
+            }
+        }
+        assert_eq!(bucket_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_the_data() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.sum, 500_500);
+        assert_eq!(snap.max, 1000);
+        // Log-bucket readout overestimates by at most 2x and is capped
+        // at the exact max.
+        let p50 = snap.p50();
+        assert!((500..=1000).contains(&p50), "p50 = {p50}");
+        assert_eq!(snap.p99(), 1000);
+        assert_eq!(snap.quantile(1.0), 1000);
+        assert_eq!(HistogramSnapshot::default_empty().quantile(0.5), 0);
+    }
+
+    impl HistogramSnapshot {
+        fn default_empty() -> Self {
+            HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                max: 0,
+                buckets: Vec::new(),
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_hammering_loses_nothing() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("qlove_hammer_total");
+        let h = reg.histogram("qlove_hammer_us");
+        thread::scope(|scope| {
+            for _ in 0..8 {
+                let (c, h) = (Arc::clone(&c), Arc::clone(&h));
+                scope.spawn(move || {
+                    for v in 0..10_000u64 {
+                        c.inc();
+                        h.observe(v % 512);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 80_000);
+        assert_eq!(snap.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 80_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn cross_kind_reregistration_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("qlove_kind_clash");
+        reg.gauge("qlove_kind_clash");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_names_are_rejected() {
+        MetricsRegistry::new().counter("1starts-with-digit");
+    }
+
+    #[test]
+    fn labeled_names_render_and_register() {
+        let name = labeled("qlove_events_routed_total", &[("shard", "3")]);
+        assert_eq!(name, "qlove_events_routed_total{shard=\"3\"}");
+        let reg = MetricsRegistry::new();
+        reg.counter(&name).add(5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters, vec![(name, 5)]);
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("qlove_a_total{shard=\"0\"}").add(3);
+        reg.counter("qlove_a_total{shard=\"1\"}").add(4);
+        reg.gauge("qlove_depth").set(-2);
+        let h = reg.histogram("qlove_lat_us");
+        h.observe(3);
+        h.observe(700);
+        let text = reg.snapshot().to_prometheus_text();
+        assert!(text.contains("# TYPE qlove_a_total counter\n"));
+        // One TYPE line for the two labeled series of the same base.
+        assert_eq!(text.matches("# TYPE qlove_a_total").count(), 1);
+        assert!(text.contains("qlove_a_total{shard=\"0\"} 3\n"));
+        assert!(text.contains("qlove_a_total{shard=\"1\"} 4\n"));
+        assert!(text.contains("# TYPE qlove_depth gauge\nqlove_depth -2\n"));
+        assert!(text.contains("qlove_lat_us_bucket{le=\"3\"} 1\n"));
+        assert!(text.contains("qlove_lat_us_bucket{le=\"1023\"} 2\n"));
+        assert!(text.contains("qlove_lat_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("qlove_lat_us_sum 703\n"));
+        assert!(text.contains("qlove_lat_us_count 2\n"));
+    }
+
+    #[test]
+    fn histogram_series_splice_labels() {
+        assert_eq!(
+            series("x{shard=\"0\"}", "_bucket", Some("le=\"8\"")),
+            "x_bucket{shard=\"0\",le=\"8\"}"
+        );
+        assert_eq!(series("x", "_sum", None), "x_sum");
+    }
+}

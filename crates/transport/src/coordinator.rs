@@ -53,14 +53,16 @@ use qlove_core::{Qlove, QloveAnswer, QloveConfig, QloveSummary};
 use qlove_shm::SummaryRing;
 use qlove_stream::parallel::BATCH;
 use qlove_stream::{coordinate_pipelined, PipelineStats};
+use qlove_telemetry::metrics::labeled;
+use qlove_telemetry::{Counter, EventJournal, EventKind, Gauge, Stopwatch};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, BufReader};
 #[cfg(all(unix, not(miri)))]
 use std::path::{Path, PathBuf};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Slots in a per-connection shared-memory summary ring. The collector
 /// acknowledges each boundary before requesting the next, so a handful
@@ -331,6 +333,122 @@ pub(crate) fn join_io<T>(
     }
 }
 
+/// Point-in-time worker-side counters scraped over a
+/// [`Frame::StatsReport`] (the coordinator requests one per shard just
+/// before shutdown). Purely observational: the values never influence
+/// routing or merging.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Wire session the counters describe.
+    pub session: u64,
+    /// `EventBatch` frames the worker ingested.
+    pub batches: u64,
+    /// Telemetry values the worker ingested.
+    pub events: u64,
+    /// Boundaries the worker completed.
+    pub boundaries: u64,
+    /// Responses (summaries or answers) the worker shipped.
+    pub responses: u64,
+}
+
+/// Materialize the legacy [`FailureEvent`] view from a run's event
+/// journal: every terminal [`EventKind::Recovery`] record maps onto
+/// one `FailureEvent`, in journal (= causal) order.
+pub(crate) fn failures_view(journal: &EventJournal) -> Vec<FailureEvent> {
+    journal
+        .events()
+        .into_iter()
+        .filter_map(|event| match event.kind {
+            EventKind::Recovery {
+                domain,
+                boundary,
+                stall,
+                restarts,
+                detect_us,
+                restore_us,
+                replay_us,
+                replayed_frames,
+                recovered,
+            } => Some(FailureEvent {
+                shard: domain,
+                boundary,
+                kind: if stall {
+                    FailureKind::Stall
+                } else {
+                    FailureKind::Crash
+                },
+                restarts,
+                detect_us,
+                restore_us,
+                replay_us,
+                replayed_frames,
+                recovered,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The restart loop shared by every collector (supervised, resharded,
+/// multi-session): attempt `try_restart` under the policy's budget and
+/// deadline, sleeping the jittered backoff between attempts. Returns
+/// the total restarts consumed for this failure domain and the first
+/// successful attempt's result (`None` when the budget or deadline ran
+/// out). Timing runs on the shared telemetry clock.
+pub(crate) fn drive_restarts<T>(
+    policy: &RecoveryPolicy,
+    key: u64,
+    consumed: u32,
+    mut try_restart: impl FnMut() -> io::Result<T>,
+) -> (u32, Option<T>) {
+    let started = Stopwatch::start();
+    let mut restarts = consumed;
+    let mut attempt = 0u32;
+    while restarts < policy.max_restarts
+        && Duration::from_micros(started.elapsed_us()) <= policy.deadline
+    {
+        if attempt > 0 {
+            thread::sleep(policy.backoff_for(key, attempt));
+        }
+        attempt += 1;
+        restarts += 1;
+        match try_restart() {
+            Ok(outcome) => return (restarts, Some(outcome)),
+            Err(_retry) => continue,
+        }
+    }
+    (restarts, None)
+}
+
+/// Per-shard coordinator metric handles, resolved once per run from
+/// the global registry (labeled by shard index) so the hot loops pay
+/// one atomic RMW per update, never a registry lookup.
+pub(crate) struct ShardMetrics {
+    /// `qlove_events_routed_total{shard=..}` — values dealt to the
+    /// shard by the dealer.
+    pub routed: Arc<Counter>,
+    /// `qlove_summary_bytes_total{shard=..}` — wire bytes of the
+    /// summary-bearing frames collected from the shard.
+    pub summary_bytes: Arc<Counter>,
+    /// `qlove_subwindow_events{shard=..}` — elements in the shard's
+    /// most recent sub-window summary (the per-shard load signal the
+    /// reshard policy loop reads).
+    pub subwindow: Arc<Gauge>,
+}
+
+impl ShardMetrics {
+    pub(crate) fn for_shard(shard: usize) -> Self {
+        let registry = qlove_telemetry::global_metrics();
+        let label = [("shard", shard.to_string())];
+        let labels: Vec<(&str, &str)> = label.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        Self {
+            routed: registry.counter(&labeled("qlove_events_routed_total", &labels)),
+            summary_bytes: registry.counter(&labeled("qlove_summary_bytes_total", &labels)),
+            subwindow: registry.gauge(&labeled("qlove_subwindow_events", &labels)),
+        }
+    }
+}
+
 /// Result of a socket-distributed run.
 #[derive(Debug)]
 pub struct DistributedRun {
@@ -342,8 +460,15 @@ pub struct DistributedRun {
     pub stats: PipelineStats,
     /// Worker failures detected during the run and how recovery went
     /// (always empty under [`RecoveryPolicy::disabled`], which turns
-    /// failures into errors instead).
+    /// failures into errors instead). A *view* materialized from
+    /// [`DistributedRun::journal`]; kept as a field for compatibility.
     pub failures: Vec<FailureEvent>,
+    /// The run's structured event journal: every failure, recovery,
+    /// reshard, and pause record on one monotonic clock.
+    pub journal: EventJournal,
+    /// Worker-side counters scraped over the wire at shutdown, one per
+    /// shard (all-zero when a worker died before answering its scrape).
+    pub worker_stats: Vec<WorkerStats>,
 }
 
 fn protocol(msg: impl Into<String>) -> io::Error {
@@ -596,7 +721,9 @@ struct Supervisor<'a, F> {
     rings: Vec<RingSlot>,
     respawn: F,
     restarts: Vec<u32>,
-    failures: Vec<FailureEvent>,
+    journal: &'a EventJournal,
+    metrics: &'a [ShardMetrics],
+    worker_stats: Vec<WorkerStats>,
 }
 
 impl<F: FnMut(usize) -> io::Result<Conn>> Supervisor<'_, F> {
@@ -604,7 +731,7 @@ impl<F: FnMut(usize) -> io::Result<Conn>> Supervisor<'_, F> {
     /// `Err` carries the failure verdict, the silence observed before
     /// it (µs), and the underlying error.
     fn read_with_probe(&mut self, shard: usize) -> Result<Frame, (FailureKind, u64, io::Error)> {
-        let mut silent_since: Option<Instant> = None;
+        let mut silent_since: Option<Stopwatch> = None;
         let mut probed = false;
         loop {
             match self.readers[shard].read_frame() {
@@ -614,21 +741,39 @@ impl<F: FnMut(usize) -> io::Result<Conn>> Supervisor<'_, F> {
                     silent_since = None;
                     probed = false;
                 }
+                // A stats scrape reply is absorbed here (like the
+                // heartbeat echo) so it can arrive between any two
+                // expected frames; it also proves the worker is alive.
+                Ok(Frame::StatsReport {
+                    session,
+                    batches,
+                    events,
+                    boundaries,
+                    responses,
+                }) => {
+                    self.worker_stats[shard] = WorkerStats {
+                        session,
+                        batches,
+                        events,
+                        boundaries,
+                        responses,
+                    };
+                    silent_since = None;
+                    probed = false;
+                }
                 Ok(frame) => return Ok(frame),
                 Err(e) if is_timeout(&e) => {
-                    let since = *silent_since.get_or_insert_with(Instant::now);
+                    let since = *silent_since.get_or_insert_with(Stopwatch::start);
                     if probed {
-                        return Err((FailureKind::Stall, since.elapsed().as_micros() as u64, e));
+                        return Err((FailureKind::Stall, since.elapsed_us(), e));
                     }
                     if self.links[shard].probe().is_err() {
-                        return Err((FailureKind::Crash, since.elapsed().as_micros() as u64, e));
+                        return Err((FailureKind::Crash, since.elapsed_us(), e));
                     }
                     probed = true;
                 }
                 Err(e) => {
-                    let detect_us = silent_since
-                        .map(|s| s.elapsed().as_micros() as u64)
-                        .unwrap_or(0);
+                    let detect_us = silent_since.map(|s| s.elapsed_us()).unwrap_or(0);
                     return Err((FailureKind::Crash, detect_us, e));
                 }
             }
@@ -638,7 +783,7 @@ impl<F: FnMut(usize) -> io::Result<Conn>> Supervisor<'_, F> {
     /// One restart attempt: respawn, arm deadlines, handshake, restore
     /// + replay, swap the read half in. Timings in µs.
     fn try_restart(&mut self, shard: usize) -> io::Result<(u64, usize, u64, u64)> {
-        let restore_start = Instant::now();
+        let restore_start = Stopwatch::start();
         let conn = (self.respawn)(shard)?;
         self.policy.arm(&conn)?;
         let breaker = conn.try_clone()?;
@@ -647,10 +792,10 @@ impl<F: FnMut(usize) -> io::Result<Conn>> Supervisor<'_, F> {
         // stream: the old one may hold a torn slot from the crash, and
         // this way even replayed boundaries flow through shared memory.
         self.rings[shard] = attach_ring(&breaker, &mut writer)?;
-        let restore_us = restore_start.elapsed().as_micros() as u64;
-        let replay_start = Instant::now();
+        let restore_us = restore_start.elapsed_us();
+        let replay_start = Stopwatch::start();
         let (boundary, replayed) = self.links[shard].reinstall(writer)?;
-        let replay_us = replay_start.elapsed().as_micros() as u64;
+        let replay_us = replay_start.elapsed_us();
         self.readers[shard] = reader;
         self.breakers[shard] = breaker;
         Ok((boundary, replayed, restore_us, replay_us))
@@ -658,7 +803,8 @@ impl<F: FnMut(usize) -> io::Result<Conn>> Supervisor<'_, F> {
 
     /// Drive recovery of `shard` to completion or declare the run dead.
     /// On success the shard has a live, restored worker and the caller
-    /// retries its read.
+    /// retries its read. The failure verdict and the terminal recovery
+    /// record both land in the run's event journal.
     fn recover(
         &mut self,
         shard: usize,
@@ -671,43 +817,41 @@ impl<F: FnMut(usize) -> io::Result<Conn>> Supervisor<'_, F> {
         // recovered one.
         let _ = self.breakers[shard].shutdown();
 
-        let mut event = FailureEvent {
-            shard,
+        let stall = kind == FailureKind::Stall;
+        self.journal.emit(EventKind::Failure {
+            domain: shard,
             boundary: self.links[shard].acked(),
-            kind,
-            restarts: self.restarts[shard],
+            stall,
             detect_us,
-            restore_us: 0,
-            replay_us: 0,
-            replayed_frames: 0,
-            recovered: false,
+        });
+        let policy = self.policy;
+        let (restarts, outcome) =
+            drive_restarts(policy, shard as u64, self.restarts[shard], || {
+                self.try_restart(shard)
+            });
+        self.restarts[shard] = restarts;
+        let (boundary, replayed, restore_us, replay_us, recovered) = match outcome {
+            Some((boundary, replayed, restore_us, replay_us)) => {
+                (boundary, replayed, restore_us, replay_us, true)
+            }
+            None => (self.links[shard].acked(), 0, 0, 0, false),
         };
-        let started = Instant::now();
-        let mut attempt = 0u32;
-        while self.restarts[shard] < self.policy.max_restarts
-            && started.elapsed() <= self.policy.deadline
-        {
-            if attempt > 0 {
-                thread::sleep(self.policy.backoff_for(shard as u64, attempt));
-            }
-            attempt += 1;
-            self.restarts[shard] += 1;
-            event.restarts = self.restarts[shard];
-            match self.try_restart(shard) {
-                Ok((boundary, replayed, restore_us, replay_us)) => {
-                    event.boundary = boundary;
-                    event.replayed_frames = replayed;
-                    event.restore_us = restore_us;
-                    event.replay_us = replay_us;
-                    event.recovered = true;
-                    self.failures.push(event);
-                    return Ok(());
-                }
-                Err(_retry) => continue,
-            }
+        self.journal.emit(EventKind::Recovery {
+            domain: shard,
+            boundary,
+            stall,
+            restarts,
+            detect_us,
+            restore_us,
+            replay_us,
+            replayed_frames: replayed,
+            recovered,
+        });
+        if recovered {
+            Ok(())
+        } else {
+            Err(cause)
         }
-        self.failures.push(event);
-        Err(cause)
     }
 
     /// Read (recovering as needed) until `shard` delivers its summary
@@ -722,6 +866,10 @@ impl<F: FnMut(usize) -> io::Result<Conn>> Supervisor<'_, F> {
                     summary,
                 }) if session == shard as u64 && boundary == b as u64 => {
                     self.links[shard].ack(b as u64);
+                    self.metrics[shard]
+                        .summary_bytes
+                        .add(self.readers[shard].last_frame_len() as u64);
+                    self.metrics[shard].subwindow.set(summary.total() as i64);
                     return Ok(summary);
                 }
                 #[cfg(all(unix, not(miri)))]
@@ -762,6 +910,13 @@ impl<F: FnMut(usize) -> io::Result<Conn>> Supervisor<'_, F> {
                             let _ =
                                 self.links[shard].send_control(&Frame::ShmAck { session, slot });
                             self.links[shard].ack(b as u64);
+                            // Charge the bytes the summary actually
+                            // moved: the shm rows, not the tiny
+                            // ShmSummary descriptor frame.
+                            self.metrics[shard].summary_bytes.add(
+                                (summary.counts().len() * 2 * std::mem::size_of::<u64>()) as u64,
+                            );
+                            self.metrics[shard].subwindow.set(summary.total() as i64);
                             return Ok(summary);
                         }
                         // A torn or corrupt slot means the worker died
@@ -896,6 +1051,12 @@ where
         links.push(ShardLink::new(shard as u64, writer, policy.enabled()));
     }
 
+    // One journal per run plus per-shard metric handles (labeled into
+    // the process-global registry): observational only, never on the
+    // answer path.
+    let journal = EventJournal::new();
+    let metrics: Vec<ShardMetrics> = (0..shards).map(ShardMetrics::for_shard).collect();
+
     let mut supervisor = Supervisor {
         config,
         policy,
@@ -905,11 +1066,14 @@ where
         rings,
         respawn,
         restarts: vec![0; shards],
-        failures: Vec::new(),
+        journal: &journal,
+        metrics: &metrics,
+        worker_stats: vec![WorkerStats::default(); shards],
     };
 
-    let (answers, stats, failures) = thread::scope(|scope| -> io::Result<_> {
+    let (answers, stats, worker_stats) = thread::scope(|scope| -> io::Result<_> {
         let links_ref = &links;
+        let metrics_ref = &metrics;
         let dealer = scope.spawn(move || -> io::Result<()> {
             let mut bufs: Vec<Vec<u64>> = (0..shards)
                 .map(|_| Vec::with_capacity(BATCH.min(period)))
@@ -920,6 +1084,7 @@ where
                     let shard = (start + i) % shards;
                     bufs[shard].push(v);
                     if bufs[shard].len() == BATCH {
+                        metrics_ref[shard].routed.add(bufs[shard].len() as u64);
                         links_ref[shard].deal(Frame::EventBatch {
                             session: shard as u64,
                             values: std::mem::take(&mut bufs[shard]),
@@ -929,6 +1094,7 @@ where
                 }
                 for (shard, link) in links_ref.iter().enumerate() {
                     if !bufs[shard].is_empty() {
+                        metrics_ref[shard].routed.add(bufs[shard].len() as u64);
                         link.deal(Frame::EventBatch {
                             session: shard as u64,
                             values: std::mem::take(&mut bufs[shard]),
@@ -940,7 +1106,15 @@ where
                     })?;
                 }
             }
-            for link in links_ref.iter() {
+            for (shard, link) in links_ref.iter().enumerate() {
+                // Scrape worker counters before shutdown: the request
+                // rides the replay ring like any dealt frame, so a
+                // recovering worker replays (and re-answers) it, and
+                // ordering guarantees the report precedes the
+                // shutdown ack.
+                link.deal(Frame::StatsRequest {
+                    session: shard as u64,
+                })?;
                 link.deal(Frame::Shutdown)?;
             }
             Ok(())
@@ -984,12 +1158,14 @@ where
         let dealt = join_io(dealer, "dealer");
         let (answers, stats) = finished?;
         dealt?;
-        Ok((answers, stats, supervisor.failures))
+        Ok((answers, stats, supervisor.worker_stats))
     })?;
     Ok(DistributedRun {
         answers,
         stats,
-        failures,
+        failures: failures_view(&journal),
+        journal,
+        worker_stats,
     })
 }
 

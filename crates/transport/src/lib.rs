@@ -6,14 +6,15 @@
 //! sockets" extension the merge design record called for. Six layers,
 //! each usable on its own:
 //!
-//! * [`proto`] — the framed QLVT wire protocol (v4): length-prefixed,
+//! * [`proto`] — the framed QLVT wire protocol (v5): length-prefixed,
 //!   versioned frames carrying the QLVS summary codec plus control
 //!   messages. Every post-handshake frame is **session-scoped** (leads
 //!   with a varint session ID), so one connection multiplexes many
 //!   independent windows: `Hello`, `OpenSession`/`CloseSession`,
 //!   `EventBatch`, `Boundary`, `BoundarySummary`, `Answer`,
-//!   `Heartbeat`, `Restore`, `Shutdown`, and the v4 shared-memory
-//!   plane (`AttachShm`/`ShmSummary`/`ShmAck`). Strict decoding:
+//!   `Heartbeat`, `Restore`, `Shutdown`, the v4 shared-memory
+//!   plane (`AttachShm`/`ShmSummary`/`ShmAck`), and the v5 telemetry
+//!   scrape (`StatsRequest`/`StatsReport`). Strict decoding:
 //!   malformed input errors, never panics.
 //! * [`worker`] — the worker runtime: a **multi-session server**
 //!   holding a slab of independent per-session states — distinct
@@ -96,8 +97,8 @@ pub use chaos::TornWrite;
 pub use chaos::{interpose, ChaosProxy, CutAfter, Fate, FaultInjector, NoFaults, SeededRng};
 pub use coordinator::{
     run_over_sockets, run_remote_operator, run_remote_operator_with_policy, run_supervised,
-    DistributedRun, FailureEvent, FailureKind, RecoveryPolicy, TransportError, MAX_RING_BOUNDARIES,
-    SHM_RING_CAP, SHM_RING_SLOTS,
+    DistributedRun, FailureEvent, FailureKind, RecoveryPolicy, TransportError, WorkerStats,
+    MAX_RING_BOUNDARIES, SHM_RING_CAP, SHM_RING_SLOTS,
 };
 pub use net::{Conn, Endpoint, Listener};
 pub use proto::{Frame, FrameReader, FrameWriter, Role, WorkerMode, PROTOCOL_VERSION};

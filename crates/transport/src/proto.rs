@@ -54,9 +54,10 @@ pub const PROTOCOL_MAGIC: &[u8; 4] = b"QLVT";
 /// session-scoped (multi-session connections); v3 added live
 /// resharding (the `Reshard` frame and the epoch stamp on
 /// `BoundarySummary`); v4 added the shared-memory data plane
-/// (`AttachShm`/`ShmSummary`/`ShmAck`). Older peers are rejected at
-/// the hello exchange.
-pub const PROTOCOL_VERSION: u8 = 4;
+/// (`AttachShm`/`ShmSummary`/`ShmAck`); v5 added on-demand worker
+/// stats scraping (`StatsRequest`/`StatsReport`). Older peers are
+/// rejected at the hello exchange.
+pub const PROTOCOL_VERSION: u8 = 5;
 /// Hard cap on the ring path carried by [`Frame::AttachShm`] — one
 /// filesystem path, so `PATH_MAX`-ish is plenty and a corrupt length
 /// cannot force a large allocation.
@@ -262,6 +263,32 @@ pub enum Frame {
         /// The freed ring slot.
         slot: u64,
     },
+    /// Coordinator → worker (v5): report the named session's ingest
+    /// counters now. Like [`Frame::Heartbeat`], the worker answers
+    /// regardless of whether the session exists (all-zero counters for
+    /// an unknown session), so a scrape can never deadlock against a
+    /// session that already closed.
+    StatsRequest {
+        /// Session to report on.
+        session: u64,
+    },
+    /// Worker → coordinator (v5): point-in-time ingest counters for
+    /// one session, answering a [`Frame::StatsRequest`]. Purely
+    /// observational — the coordinator folds these into its metrics
+    /// registry; they never influence routing or merging.
+    StatsReport {
+        /// Session the counters describe.
+        session: u64,
+        /// `EventBatch` frames ingested so far.
+        batches: u64,
+        /// Telemetry values ingested so far.
+        events: u64,
+        /// Boundaries snapshot (shard mode) or self-scheduled
+        /// (operator mode) so far.
+        boundaries: u64,
+        /// Responses (summaries or answers) shipped so far.
+        responses: u64,
+    },
 }
 
 impl Frame {
@@ -281,6 +308,8 @@ impl Frame {
             Frame::AttachShm { .. } => 12,
             Frame::ShmSummary { .. } => 13,
             Frame::ShmAck { .. } => 14,
+            Frame::StatsRequest { .. } => 15,
+            Frame::StatsReport { .. } => 16,
         }
     }
 }
@@ -654,6 +683,20 @@ fn encode_payload(buf: &mut Vec<u8>, frame: &Frame) {
             write_uvarint(buf, *session);
             write_uvarint(buf, *slot);
         }
+        Frame::StatsRequest { session } => write_uvarint(buf, *session),
+        Frame::StatsReport {
+            session,
+            batches,
+            events,
+            boundaries,
+            responses,
+        } => {
+            write_uvarint(buf, *session);
+            write_uvarint(buf, *batches);
+            write_uvarint(buf, *events);
+            write_uvarint(buf, *boundaries);
+            write_uvarint(buf, *responses);
+        }
     }
 }
 
@@ -782,6 +825,16 @@ pub fn decode_frame(frame_type: u8, mut payload: &[u8]) -> io::Result<Frame> {
             session: read_varint(data, "session id")?,
             slot: read_varint(data, "ring slot")?,
         },
+        15 => Frame::StatsRequest {
+            session: read_varint(data, "session id")?,
+        },
+        16 => Frame::StatsReport {
+            session: read_varint(data, "session id")?,
+            batches: read_varint(data, "stats batch count")?,
+            events: read_varint(data, "stats event count")?,
+            boundaries: read_varint(data, "stats boundary count")?,
+            responses: read_varint(data, "stats response count")?,
+        },
         other => return Err(bad(format!("unknown frame type {other}"))),
     };
     if !data.is_empty() {
@@ -850,6 +903,7 @@ pub struct FrameReader<R> {
     header: [u8; 5],
     header_filled: usize,
     payload_filled: usize,
+    last_frame_len: usize,
 }
 
 impl<R: Read> FrameReader<R> {
@@ -862,7 +916,16 @@ impl<R: Read> FrameReader<R> {
             header: [0u8; 5],
             header_filled: 0,
             payload_filled: 0,
+            last_frame_len: 0,
         }
+    }
+
+    /// Wire size (5-byte header + payload) of the most recently
+    /// *returned* frame. Lets telemetry charge e.g. summary bytes per
+    /// shard without re-encoding the frame it just decoded; 0 before
+    /// the first frame.
+    pub fn last_frame_len(&self) -> usize {
+        self.last_frame_len
     }
 
     /// Read the next frame. EOF — even a clean one between frames —
@@ -916,6 +979,7 @@ impl<R: Read> FrameReader<R> {
         }
         self.header_filled = 0;
         self.payload_filled = 0;
+        self.last_frame_len = len + 5;
         decode_frame(self.header[4], &self.buf).map(Some)
     }
 }
@@ -1071,6 +1135,22 @@ mod tests {
             Frame::ShmAck {
                 session: u64::MAX,
                 slot: u64::MAX,
+            },
+            Frame::StatsRequest { session: 0 },
+            Frame::StatsRequest { session: u64::MAX },
+            Frame::StatsReport {
+                session: 0,
+                batches: 0,
+                events: 0,
+                boundaries: 0,
+                responses: 0,
+            },
+            Frame::StatsReport {
+                session: u64::MAX,
+                batches: u64::MAX,
+                events: u64::MAX,
+                boundaries: u64::MAX,
+                responses: u64::MAX,
             },
         ];
         for frame in &frames {
@@ -1269,10 +1349,10 @@ mod tests {
 
     #[test]
     fn rejects_structural_corruption() {
-        // Unknown frame type (12..=14 became the shm data plane in
-        // v4; 15 is the first unassigned type).
+        // Unknown frame type (15/16 became the stats scrape in v5; 17
+        // is the first unassigned type).
         assert!(decode_frame(0, &[]).is_err());
-        assert!(decode_frame(15, &[]).is_err());
+        assert!(decode_frame(17, &[]).is_err());
         assert!(decode_frame(255, &[1, 2, 3]).is_err());
         // Bad hello: wrong magic, wrong length, unknown role.
         assert!(decode_frame(1, b"NOPE\x01\x00").is_err());
@@ -1409,6 +1489,36 @@ mod tests {
         assert!(decode_frame(14, &[0x80]).is_err());
         assert!(decode_frame(14, &[0, 0]).is_ok());
         assert!(decode_frame(14, &[0, 0, 0]).is_err());
+    }
+
+    /// The v5 stats frames face the same hostile-input contract:
+    /// truncation, torn varints, and trailing bytes all surface as
+    /// `InvalidData` — never a panic.
+    #[test]
+    fn rejects_corrupt_stats_frames() {
+        // StatsRequest: same shape contract as Heartbeat.
+        assert!(decode_frame(15, &[]).is_err());
+        assert!(decode_frame(15, &[0x80]).is_err());
+        assert!(decode_frame(15, &[3]).is_ok());
+        assert!(decode_frame(15, &[3, 0]).is_err());
+        // StatsReport: each of the five varints truncated in turn.
+        for varints in 0..5usize {
+            let mut payload = Vec::new();
+            for _ in 0..varints {
+                write_uvarint(&mut payload, 7);
+            }
+            assert!(decode_frame(16, &payload).is_err(), "{varints} varints");
+            payload.push(0x80); // torn continuation byte
+            assert!(decode_frame(16, &payload).is_err());
+        }
+        // Exactly five varints is a frame; a sixth byte is trailing.
+        let mut payload = Vec::new();
+        for v in [0u64, 1, u64::MAX, 3, 4] {
+            write_uvarint(&mut payload, v);
+        }
+        assert!(decode_frame(16, &payload).is_ok());
+        payload.push(0);
+        assert!(decode_frame(16, &payload).is_err());
     }
 
     #[test]
@@ -1548,13 +1658,13 @@ mod tests {
         };
         for len in 0..96usize {
             let noise: Vec<u8> = (0..len).map(|_| next()).collect();
-            for frame_type in 0..=16u8 {
+            for frame_type in 0..=18u8 {
                 let _ = decode_frame(frame_type, &noise); // must return
             }
             // Streamed: random header + noise payload.
             let mut stream = Vec::with_capacity(len + 5);
             stream.extend_from_slice(&(len as u32).to_le_bytes());
-            stream.push(next() % 13);
+            stream.push(next() % 17);
             stream.extend_from_slice(&noise);
             let mut reader = FrameReader::new(stream.as_slice());
             while let Ok(Some(_)) = reader.try_read_frame() {}

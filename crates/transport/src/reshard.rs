@@ -54,14 +54,15 @@
 //! positions it originally held.
 
 use crate::coordinator::{
-    hello_handshake, is_timeout, join_io, FailureEvent, FailureKind, RecoveryPolicy,
-    MAX_RING_BOUNDARIES,
+    drive_restarts, failures_view, hello_handshake, is_timeout, join_io, FailureEvent, FailureKind,
+    RecoveryPolicy, MAX_RING_BOUNDARIES,
 };
 use crate::net::Conn;
 use crate::proto::{Frame, FrameReader, FrameWriter, WorkerMode};
 use qlove_core::{Qlove, QloveAnswer, QloveConfig, QloveSummary};
 use qlove_stream::parallel::{ReshardPlan, ReshardSchedule, ReshardSpec, BATCH};
 use qlove_stream::{coordinate_pipelined, PipelineStats};
+use qlove_telemetry::{EventJournal, EventKind, Stopwatch};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, BufReader};
 use std::sync::{Condvar, Mutex};
@@ -109,10 +110,65 @@ pub struct ReshardRun {
     /// Pipeline timing (same meaning as in unresharded runs).
     pub stats: PipelineStats,
     /// Worker failures detected during the run and how recovery went.
-    /// `shard` on each event is the **connection index** here.
+    /// `shard` on each event is the **connection index** here. A view
+    /// materialized from [`ReshardRun::journal`].
     pub failures: Vec<FailureEvent>,
-    /// The reshards actually executed, in boundary order.
+    /// The reshards actually executed, in boundary order. A view
+    /// materialized from [`ReshardRun::journal`].
     pub events: Vec<ReshardEvent>,
+    /// The run's structured event journal: reshard, pause, failure,
+    /// and recovery records interleaved in causal order on one clock.
+    pub journal: EventJournal,
+}
+
+/// Materialize the [`ReshardEvent`] view from a run's journal: every
+/// [`EventKind::Reshard`] record, with its pause cost filled from the
+/// [`EventKind::Pause`] record the swap emitted right after it.
+fn reshard_events_view(journal: &EventJournal) -> Vec<ReshardEvent> {
+    let mut out: Vec<ReshardEvent> = Vec::new();
+    let mut unfilled: Option<usize> = None;
+    for event in journal.events() {
+        match event.kind {
+            EventKind::Reshard {
+                boundary,
+                epoch,
+                split,
+                slot,
+                pivot,
+                swap_frames,
+                checkpoint_bytes,
+            } => {
+                out.push(ReshardEvent {
+                    boundary,
+                    epoch,
+                    plan: if split {
+                        ReshardPlan::Split { slot, pivot }
+                    } else {
+                        ReshardPlan::Merge { left: slot }
+                    },
+                    pause_us: 0,
+                    paused_subwindows: 0,
+                    swap_frames,
+                    checkpoint_bytes,
+                });
+                unfilled = Some(out.len() - 1);
+            }
+            EventKind::Pause {
+                boundary,
+                pause_us,
+                paused_subwindows,
+            } => {
+                if let Some(i) = unfilled.take() {
+                    if out[i].boundary == boundary {
+                        out[i].pause_us = pause_us;
+                        out[i].paused_subwindows = paused_subwindows as u64;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -477,7 +533,7 @@ struct Collector<'a, F> {
     registry: &'a Registry,
     connect: &'a Mutex<F>,
     restarts: Vec<u32>,
-    failures: Vec<FailureEvent>,
+    journal: &'a EventJournal,
 }
 
 type Verdict = (FailureKind, u64, io::Error);
@@ -512,7 +568,7 @@ impl<F: FnMut(usize) -> io::Result<Conn>> Collector<'_, F> {
     /// (same verdict protocol as the single-session supervisor).
     fn read_with_probe(&mut self, conn: usize) -> Result<Frame, Verdict> {
         self.ensure_reader(conn)?;
-        let mut silent_since: Option<Instant> = None;
+        let mut silent_since: Option<Stopwatch> = None;
         let mut probed = false;
         loop {
             let reader = self.readers[conn].as_mut().expect("reader just ensured");
@@ -523,19 +579,17 @@ impl<F: FnMut(usize) -> io::Result<Conn>> Collector<'_, F> {
                 }
                 Ok(frame) => return Ok(frame),
                 Err(e) if is_timeout(&e) => {
-                    let since = *silent_since.get_or_insert_with(Instant::now);
+                    let since = *silent_since.get_or_insert_with(Stopwatch::start);
                     if probed {
-                        return Err((FailureKind::Stall, since.elapsed().as_micros() as u64, e));
+                        return Err((FailureKind::Stall, since.elapsed_us(), e));
                     }
                     if self.links[conn].probe().is_err() {
-                        return Err((FailureKind::Crash, since.elapsed().as_micros() as u64, e));
+                        return Err((FailureKind::Crash, since.elapsed_us(), e));
                     }
                     probed = true;
                 }
                 Err(e) => {
-                    let detect_us = silent_since
-                        .map(|s| s.elapsed().as_micros() as u64)
-                        .unwrap_or(0);
+                    let detect_us = silent_since.map(|s| s.elapsed_us()).unwrap_or(0);
                     return Err((FailureKind::Crash, detect_us, e));
                 }
             }
@@ -560,48 +614,47 @@ impl<F: FnMut(usize) -> io::Result<Conn>> Collector<'_, F> {
     }
 
     /// Drive recovery of `conn` to completion or declare the run dead.
+    /// Both the failure verdict and the terminal recovery record land
+    /// in the run's event journal.
     fn recover(&mut self, conn: usize, verdict: Verdict) -> io::Result<()> {
         let (kind, detect_us, cause) = verdict;
         if let Some(b) = &self.breakers[conn] {
             let _ = b.shutdown();
         }
-        let mut event = FailureEvent {
-            shard: conn,
+        let stall = kind == FailureKind::Stall;
+        self.journal.emit(EventKind::Failure {
+            domain: conn,
             boundary: self.links[conn].restored_boundary(),
-            kind,
-            restarts: self.restarts[conn],
+            stall,
             detect_us,
-            restore_us: 0,
-            replay_us: 0,
-            replayed_frames: 0,
-            recovered: false,
+        });
+        let policy = self.policy;
+        let (restarts, outcome) = drive_restarts(policy, conn as u64, self.restarts[conn], || {
+            let restore = Stopwatch::start();
+            let replayed = self.try_restart(conn)?;
+            Ok((replayed, restore.elapsed_us()))
+        });
+        self.restarts[conn] = restarts;
+        let (replayed, restore_us, recovered) = match outcome {
+            Some((replayed, restore_us)) => (replayed, restore_us, true),
+            None => (0, 0, false),
         };
-        let started = Instant::now();
-        let mut attempt = 0u32;
-        while self.restarts[conn] < self.policy.max_restarts
-            && started.elapsed() <= self.policy.deadline
-        {
-            if attempt > 0 {
-                thread::sleep(self.policy.backoff_for(conn as u64, attempt));
-            }
-            attempt += 1;
-            self.restarts[conn] += 1;
-            event.restarts = self.restarts[conn];
-            let restore_start = Instant::now();
-            match self.try_restart(conn) {
-                Ok(replayed) => {
-                    event.boundary = self.links[conn].restored_boundary();
-                    event.replayed_frames = replayed;
-                    event.restore_us = restore_start.elapsed().as_micros() as u64;
-                    event.recovered = true;
-                    self.failures.push(event);
-                    return Ok(());
-                }
-                Err(_retry) => continue,
-            }
+        self.journal.emit(EventKind::Recovery {
+            domain: conn,
+            boundary: self.links[conn].restored_boundary(),
+            stall,
+            restarts,
+            detect_us,
+            restore_us,
+            replay_us: 0,
+            replayed_frames: replayed,
+            recovered,
+        });
+        if recovered {
+            Ok(())
+        } else {
+            Err(cause)
         }
-        self.failures.push(event);
-        Err(cause)
     }
 
     /// Read (recovering as needed) until `slot` on `conn` delivers its
@@ -721,7 +774,7 @@ fn execute_swap<F: FnMut(usize) -> io::Result<Conn>>(
 ) -> io::Result<ReshardEvent> {
     let b = schedule.from_boundary(epoch);
     let delta = schedule.delta(epoch).expect("epoch > 0 has a delta");
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let mut swap_frames = 0usize;
     let mut checkpoint_bytes = 0usize;
 
@@ -808,7 +861,7 @@ fn execute_swap<F: FnMut(usize) -> io::Result<Conn>>(
         boundary: b,
         epoch,
         plan: delta.plan,
-        pause_us: started.elapsed().as_micros() as u64,
+        pause_us: started.elapsed_us(),
         // Filled in by the dealer from its value frontier.
         paused_subwindows: 0,
         swap_frames,
@@ -905,6 +958,9 @@ where
 
     let registry = Registry::new();
     let connect = Mutex::new(connect);
+    // One journal per run: the dealer's reshard/pause records and the
+    // collector's failure/recovery records interleave in causal order.
+    let journal = EventJournal::new();
     let mut collector = Collector {
         config,
         policy,
@@ -914,7 +970,7 @@ where
         registry: &registry,
         connect: &connect,
         restarts: vec![0; plan.conns()],
-        failures: Vec::new(),
+        journal: &journal,
     };
 
     let final_epoch = if boundaries == 0 {
@@ -923,17 +979,17 @@ where
         schedule.epoch_at(boundaries as u64 - 1)
     };
 
-    let (answers, stats, failures, events) = thread::scope(|scope| -> io::Result<_> {
+    let (answers, stats) = thread::scope(|scope| -> io::Result<_> {
         let links_ref = &links;
         let schedule_ref = &schedule;
         let plan_ref = &plan;
         let registry_ref = &registry;
         let connect_ref = &connect;
-        let dealer = scope.spawn(move || -> io::Result<Vec<ReshardEvent>> {
+        let journal_ref = &journal;
+        let dealer = scope.spawn(move || -> io::Result<()> {
             let mut bufs: Vec<Vec<u64>> = vec![Vec::new(); schedule_ref.slot_count()];
             let mut open_conns: HashSet<usize> = (0..shards).collect();
             let mut current_epoch = 0u64;
-            let mut events = Vec::new();
             for (b, chunk) in values.chunks(period).enumerate() {
                 let target = schedule_ref.epoch_at(b as u64);
                 while current_epoch < target {
@@ -954,7 +1010,24 @@ where
                     // pause spans exactly the one inter-sub-window gap
                     // it started in.
                     event.paused_subwindows = ((b * period - frontier_before) / period + 1) as u64;
-                    events.push(event);
+                    let (split, slot, pivot) = match event.plan {
+                        ReshardPlan::Split { slot, pivot } => (true, slot, pivot),
+                        ReshardPlan::Merge { left } => (false, left, 0),
+                    };
+                    journal_ref.emit(EventKind::Reshard {
+                        boundary: event.boundary,
+                        epoch: event.epoch,
+                        split,
+                        slot,
+                        pivot,
+                        swap_frames: event.swap_frames,
+                        checkpoint_bytes: event.checkpoint_bytes,
+                    });
+                    journal_ref.emit(EventKind::Pause {
+                        boundary: event.boundary,
+                        pause_us: event.pause_us,
+                        paused_subwindows: event.paused_subwindows as usize,
+                    });
                 }
                 let table = schedule_ref.table(current_epoch);
                 for &v in chunk {
@@ -985,7 +1058,7 @@ where
             for conn in remaining {
                 links_ref[conn].deal(Frame::Shutdown)?;
             }
-            Ok(events)
+            Ok(())
         });
 
         // Collector + double-buffered merger: group membership and the
@@ -1041,17 +1114,18 @@ where
         if finished.is_err() {
             collector.fail_all();
         }
-        let events = join_io(dealer, "dealer");
+        let dealt = join_io(dealer, "dealer");
         let (answers, stats) = finished?;
-        let events = events?;
-        Ok((answers, stats, collector.failures, events))
+        dealt?;
+        Ok((answers, stats))
     })?;
     let _ = final_epoch; // membership is derived per boundary above
     Ok(ReshardRun {
         answers,
         stats,
-        failures,
-        events,
+        failures: failures_view(&journal),
+        events: reshard_events_view(&journal),
+        journal,
     })
 }
 

@@ -26,18 +26,18 @@
 //! supervised mixed-mode run is rejected up front.
 
 use crate::coordinator::{
-    hello_handshake, is_timeout, join_io, FailureEvent, FailureKind, RecoveryPolicy,
-    MAX_RING_BOUNDARIES,
+    drive_restarts, failures_view, hello_handshake, is_timeout, join_io, FailureEvent, FailureKind,
+    RecoveryPolicy, WorkerStats, MAX_RING_BOUNDARIES,
 };
 use crate::net::Conn;
 use crate::proto::{Frame, FrameReader, FrameWriter, WorkerMode};
 use qlove_core::{Qlove, QloveAnswer, QloveConfig, QloveSummary};
 use qlove_stream::parallel::BATCH;
+use qlove_telemetry::{EventJournal, EventKind, Stopwatch};
 use std::collections::VecDeque;
 use std::io::{self, BufReader};
 use std::sync::{Condvar, Mutex};
 use std::thread;
-use std::time::Instant;
 
 /// One session to run on the shared connection.
 #[derive(Debug, Clone)]
@@ -75,8 +75,15 @@ pub struct SessionsRun {
     pub outcomes: Vec<SessionOutcome>,
     /// Worker failures and the per-session recoveries they triggered:
     /// one [`FailureEvent`] per session restored (its `shard` field
-    /// carries the session index).
+    /// carries the session index). A view materialized from
+    /// [`SessionsRun::journal`].
     pub failures: Vec<FailureEvent>,
+    /// The run's structured event journal.
+    pub journal: EventJournal,
+    /// Worker-side counters scraped over the wire just before each
+    /// session closed, in `specs` order (all-zero when the worker died
+    /// before answering a session's scrape).
+    pub worker_stats: Vec<WorkerStats>,
 }
 
 fn protocol(msg: impl Into<String>) -> io::Error {
@@ -230,6 +237,7 @@ struct DealCursor<'a> {
     mode: WorkerMode,
     pos: usize,
     sent_boundaries: u64,
+    stats_sent: bool,
     close_sent: bool,
 }
 
@@ -242,6 +250,7 @@ impl<'a> DealCursor<'a> {
             mode: spec.mode,
             pos: 0,
             sent_boundaries: 0,
+            stats_sent: false,
             close_sent: false,
         }
     }
@@ -294,6 +303,17 @@ impl<'a> DealCursor<'a> {
             return Frame::EventBatch {
                 session: self.session,
                 values,
+            };
+        }
+        // Scrape the session's worker-side counters while it is still
+        // live — a closed session is gone from the worker's slab and
+        // would only answer zeros. The request rides the replay ring
+        // like any other dealt frame, so a recovering worker re-answers
+        // it and the collector keeps the latest report.
+        if !self.stats_sent {
+            self.stats_sent = true;
+            return Frame::StatsRequest {
+                session: self.session,
             };
         }
         self.close_sent = true;
@@ -371,7 +391,8 @@ struct MuxCollector<'a, F> {
     breaker: Conn,
     respawn: F,
     restarts: u32,
-    failures: Vec<FailureEvent>,
+    journal: &'a EventJournal,
+    worker_stats: Vec<WorkerStats>,
 }
 
 impl<F: FnMut() -> io::Result<Conn>> MuxCollector<'_, F> {
@@ -401,7 +422,7 @@ impl<F: FnMut() -> io::Result<Conn>> MuxCollector<'_, F> {
     /// Read one frame, probing through read deadlines (same two-silent-
     /// intervals verdict as the supervised coordinator).
     fn read_with_probe(&mut self) -> Result<Frame, (FailureKind, u64, io::Error)> {
-        let mut silent_since: Option<Instant> = None;
+        let mut silent_since: Option<Stopwatch> = None;
         let mut probed = false;
         loop {
             match self.reader.read_frame() {
@@ -409,21 +430,44 @@ impl<F: FnMut() -> io::Result<Conn>> MuxCollector<'_, F> {
                     silent_since = None;
                     probed = false;
                 }
+                // A stats scrape reply is absorbed here (latest report
+                // wins — a replayed scrape after recovery overwrites);
+                // it also proves the worker is alive.
+                Ok(Frame::StatsReport {
+                    session,
+                    batches,
+                    events,
+                    boundaries,
+                    responses,
+                }) => {
+                    if let Some(slot) = usize::try_from(session)
+                        .ok()
+                        .filter(|&s| s < self.worker_stats.len())
+                    {
+                        self.worker_stats[slot] = WorkerStats {
+                            session,
+                            batches,
+                            events,
+                            boundaries,
+                            responses,
+                        };
+                    }
+                    silent_since = None;
+                    probed = false;
+                }
                 Ok(frame) => return Ok(frame),
                 Err(e) if is_timeout(&e) => {
-                    let since = *silent_since.get_or_insert_with(Instant::now);
+                    let since = *silent_since.get_or_insert_with(Stopwatch::start);
                     if probed {
-                        return Err((FailureKind::Stall, since.elapsed().as_micros() as u64, e));
+                        return Err((FailureKind::Stall, since.elapsed_us(), e));
                     }
                     if self.probe().is_err() {
-                        return Err((FailureKind::Crash, since.elapsed().as_micros() as u64, e));
+                        return Err((FailureKind::Crash, since.elapsed_us(), e));
                     }
                     probed = true;
                 }
                 Err(e) => {
-                    let detect_us = silent_since
-                        .map(|s| s.elapsed().as_micros() as u64)
-                        .unwrap_or(0);
+                    let detect_us = silent_since.map(|s| s.elapsed_us()).unwrap_or(0);
                     return Err((FailureKind::Crash, detect_us, e));
                 }
             }
@@ -436,13 +480,13 @@ impl<F: FnMut() -> io::Result<Conn>> MuxCollector<'_, F> {
     /// its own acknowledged boundary + its own ring replay. Returns
     /// `(restored sessions, restore_us, replay_us)`.
     fn try_restart(&mut self) -> io::Result<(Vec<RestoredSession>, u64, u64)> {
-        let restore_start = Instant::now();
+        let restore_start = Stopwatch::start();
         let conn = (self.respawn)()?;
         self.policy.arm(&conn)?;
         let breaker = conn.try_clone()?;
         let (reader, mut writer) = hello_handshake(conn)?;
-        let restore_us = restore_start.elapsed().as_micros() as u64;
-        let replay_start = Instant::now();
+        let restore_us = restore_start.elapsed_us();
+        let replay_start = Stopwatch::start();
         let mut st = self.link.state.lock().expect("mux link poisoned");
         let st = &mut *st;
         let mut restored = Vec::new();
@@ -471,7 +515,7 @@ impl<F: FnMut() -> io::Result<Conn>> MuxCollector<'_, F> {
         writer.flush()?;
         st.writer = Some(writer);
         self.link.cv.notify_all();
-        let replay_us = replay_start.elapsed().as_micros() as u64;
+        let replay_us = replay_start.elapsed_us();
         self.reader = reader;
         self.breaker = breaker;
         Ok((restored, restore_us, replay_us))
@@ -479,7 +523,8 @@ impl<F: FnMut() -> io::Result<Conn>> MuxCollector<'_, F> {
 
     /// Drive recovery of the whole connection to completion or declare
     /// the run dead. Every unfinished session is restored individually;
-    /// one [`FailureEvent`] is recorded per restored session.
+    /// one [`EventKind::Recovery`] record is journaled per restored
+    /// session (surfacing as one [`FailureEvent`] each in the view).
     fn recover(&mut self, kind: FailureKind, detect_us: u64, cause: io::Error) -> io::Result<()> {
         // Sever the old socket first: a stalled worker that wakes up
         // later must find its stream dead, never the recovered one.
@@ -487,50 +532,60 @@ impl<F: FnMut() -> io::Result<Conn>> MuxCollector<'_, F> {
         if !self.policy.enabled() {
             return Err(cause);
         }
-        let started = Instant::now();
-        let mut attempt = 0u32;
-        while self.restarts < self.policy.max_restarts && started.elapsed() <= self.policy.deadline
-        {
-            if attempt > 0 {
-                // The whole connection is one failure domain (every
-                // session shares the socket), so key 0 is fine: jitter
-                // exists to spread *distinct* domains apart.
-                thread::sleep(self.policy.backoff_for(0, attempt));
-            }
-            attempt += 1;
-            self.restarts += 1;
-            match self.try_restart() {
-                Ok((restored, restore_us, replay_us)) => {
-                    for (s, boundary, replayed) in restored {
-                        self.failures.push(FailureEvent {
-                            shard: s,
-                            boundary,
-                            kind,
-                            restarts: self.restarts,
-                            detect_us,
-                            restore_us,
-                            replay_us,
-                            replayed_frames: replayed,
-                            recovered: true,
-                        });
-                    }
-                    return Ok(());
+        let stall = kind == FailureKind::Stall;
+        let lowest_acked = {
+            let st = self.link.state.lock().expect("mux link poisoned");
+            st.sessions
+                .iter()
+                .filter(|s| !s.closed)
+                .map(|s| s.acked)
+                .min()
+                .unwrap_or(0)
+        };
+        self.journal.emit(EventKind::Failure {
+            // The whole connection is one failure domain (every session
+            // shares the socket): domain 0, at the least-restored
+            // unfinished session's boundary.
+            domain: 0,
+            boundary: lowest_acked,
+            stall,
+            detect_us,
+        });
+        let policy = self.policy;
+        let (restarts, outcome) = drive_restarts(policy, 0, self.restarts, || self.try_restart());
+        self.restarts = restarts;
+        match outcome {
+            Some((restored, restore_us, replay_us)) => {
+                for (s, boundary, replayed) in restored {
+                    self.journal.emit(EventKind::Recovery {
+                        domain: s,
+                        boundary,
+                        stall,
+                        restarts,
+                        detect_us,
+                        restore_us,
+                        replay_us,
+                        replayed_frames: replayed,
+                        recovered: true,
+                    });
                 }
-                Err(_retry) => continue,
+                Ok(())
+            }
+            None => {
+                self.journal.emit(EventKind::Recovery {
+                    domain: 0,
+                    boundary: 0,
+                    stall,
+                    restarts,
+                    detect_us,
+                    restore_us: 0,
+                    replay_us: 0,
+                    replayed_frames: 0,
+                    recovered: false,
+                });
+                Err(cause)
             }
         }
-        self.failures.push(FailureEvent {
-            shard: 0,
-            boundary: 0,
-            kind,
-            restarts: self.restarts,
-            detect_us,
-            restore_us: 0,
-            replay_us: 0,
-            replayed_frames: 0,
-            recovered: false,
-        });
-        Err(cause)
     }
 
     fn fail_all(&mut self) {
@@ -621,6 +676,7 @@ where
     writer.flush()?;
 
     let link = MuxLink::new(writer, n, policy.enabled());
+    let journal = EventJournal::new();
     let mut collector = MuxCollector {
         link: &link,
         specs,
@@ -629,7 +685,8 @@ where
         breaker,
         respawn,
         restarts: 0,
-        failures: Vec::new(),
+        journal: &journal,
+        worker_stats: vec![WorkerStats::default(); n],
     };
 
     // Client-side merge state per shard session (operator sessions get
@@ -645,7 +702,7 @@ where
     let mut merged: Vec<u64> = vec![0; n];
     let mut closed: Vec<bool> = vec![false; n];
 
-    let (outcomes, failures) = thread::scope(|scope| -> io::Result<_> {
+    let (outcomes, worker_stats) = thread::scope(|scope| -> io::Result<_> {
         let link_ref = &link;
         let dealer = scope.spawn(move || deal_all(link_ref, specs));
 
@@ -765,8 +822,13 @@ where
                 boundaries: merged[s],
             })
             .collect();
-        Ok((outcomes, collector.failures))
+        Ok((outcomes, collector.worker_stats))
     })?;
 
-    Ok(SessionsRun { outcomes, failures })
+    Ok(SessionsRun {
+        outcomes,
+        failures: failures_view(&journal),
+        journal,
+        worker_stats,
+    })
 }

@@ -87,6 +87,15 @@ pub struct SessionReport {
     /// than as inline `BoundarySummary` payloads. Always 0 when the
     /// coordinator never attached a ring.
     pub shm_summaries: u64,
+    /// `EventBatch` frames ingested.
+    pub batches: u64,
+    /// When the session was opened, in microseconds on the shared
+    /// monotonic telemetry clock ([`qlove_telemetry::now_us`]) — never
+    /// wall time, so reports from different threads order consistently.
+    pub opened_us: u64,
+    /// When this report was cut (session close or connection
+    /// shutdown), on the same clock.
+    pub closed_us: u64,
 }
 
 /// What a completed connection looked like: one report per session, in
@@ -221,6 +230,8 @@ fn new_session(
                         epoch: 0,
                     },
                     events: 0,
+                    batches: 0,
+                    opened_us: qlove_telemetry::now_us(),
                     pending: VecDeque::new(),
                     skip: 0,
                     stash,
@@ -277,6 +288,12 @@ struct Session {
     id: u64,
     core: SessionCore,
     events: u64,
+    /// `EventBatch` frames ingested (the scrapeable twin of `events`;
+    /// replay-skipped batches are not counted, so a restored session
+    /// reports only work it actually did).
+    batches: u64,
+    /// Open timestamp on the shared monotonic telemetry clock.
+    opened_us: u64,
     pending: VecDeque<Vec<u64>>,
     /// Replayed `EventBatch` frames still to drop because the remapped
     /// checkpoint already reflects them (set by a map-backed `Restore`,
@@ -313,6 +330,8 @@ impl Session {
             id,
             core,
             events: 0,
+            batches: 0,
+            opened_us: qlove_telemetry::now_us(),
             pending: VecDeque::new(),
             skip: 0,
             stash: None,
@@ -345,6 +364,7 @@ impl Session {
             return Ok(false);
         };
         self.events += values.len() as u64;
+        self.batches += 1;
         match &mut self.core {
             SessionCore::Shard {
                 shard, boundaries, ..
@@ -397,6 +417,28 @@ impl Session {
             responses,
             events: self.events,
             shm_summaries: self.shm_shipped,
+            batches: self.batches,
+            opened_us: self.opened_us,
+            closed_us: qlove_telemetry::now_us(),
+        }
+    }
+
+    /// Point-in-time counters for a [`Frame::StatsRequest`] scrape.
+    fn stats_frame(&self) -> Frame {
+        let (boundaries, responses) = match &self.core {
+            SessionCore::Shard {
+                boundaries,
+                shipped,
+                ..
+            } => (*boundaries, *shipped),
+            SessionCore::Operator { produced, .. } => (*produced, *produced),
+        };
+        Frame::StatsReport {
+            session: self.id,
+            batches: self.batches,
+            events: self.events,
+            boundaries,
+            responses,
         }
     }
 }
@@ -445,6 +487,14 @@ impl SessionSlab {
             Some(&slot) => Ok(self.slots[slot].as_mut().expect("indexed slot is live")),
             None => Err(protocol(format!("{what} for unknown session {id}"))),
         }
+    }
+
+    /// Non-erroring lookup, for frames (stats scrape) that answer even
+    /// when the session is unknown.
+    fn peek(&self, id: u64) -> Option<&Session> {
+        self.index
+            .get(&id)
+            .map(|&slot| self.slots[slot].as_ref().expect("indexed slot is live"))
     }
 
     fn close(&mut self, id: u64) -> io::Result<Session> {
@@ -691,6 +741,25 @@ pub fn serve_stream(conn: Conn) -> io::Result<ServeReport> {
                 writer.write_frame(&Frame::Heartbeat { session })?;
                 writer.flush()?;
             }
+            Frame::StatsRequest { session } => {
+                // Same echo-regardless contract as Heartbeat: a scrape
+                // for a session that already closed (or never opened on
+                // this incarnation) answers with zero counters instead
+                // of erroring, so stats collection can never kill a
+                // healthy connection.
+                let report = match slab.peek(session) {
+                    Some(s) => s.stats_frame(),
+                    None => Frame::StatsReport {
+                        session,
+                        batches: 0,
+                        events: 0,
+                        boundaries: 0,
+                        responses: 0,
+                    },
+                };
+                writer.write_frame(&report)?;
+                writer.flush()?;
+            }
             Frame::Restore {
                 session,
                 boundary,
@@ -832,7 +901,8 @@ pub fn serve_stream(conn: Conn) -> io::Result<ServeReport> {
             other @ (Frame::Hello { .. }
             | Frame::BoundarySummary { .. }
             | Frame::Answer { .. }
-            | Frame::ShmSummary { .. }) => {
+            | Frame::ShmSummary { .. }
+            | Frame::StatsReport { .. }) => {
                 return Err(protocol(format!(
                     "unexpected frame from coordinator: {other:?}"
                 )))

@@ -22,6 +22,9 @@
 //! * [`shm`] — shared-memory primitives behind the `shm:` transport:
 //!   Pod layout validation, mapped slabs, the seqlock summary ring,
 //!   and mmap-backed checkpoint files.
+//! * [`telemetry`] — the observability plane: lock-free metrics
+//!   registry (counters/gauges/log-bucketed histograms), the bounded
+//!   structured event journal, and the shared monotonic clock.
 //! * [`transport`] — the multi-process distributed runtime: framed
 //!   QLVT socket protocol, worker runtime, pipelined coordinator.
 //! * [`wire`] — varint primitives and the QLVS summary codec shared by
@@ -34,6 +37,7 @@ pub use qlove_shm as shm;
 pub use qlove_sketches as sketches;
 pub use qlove_stats as stats;
 pub use qlove_stream as stream;
+pub use qlove_telemetry as telemetry;
 pub use qlove_transport as transport;
 pub use qlove_wire as wire;
 pub use qlove_workloads as workloads;
